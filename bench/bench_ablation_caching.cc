@@ -1,0 +1,55 @@
+// Ablation: the cache-overflow policy. The paper's §4.1 text says a host
+// stores "as many received POIs as its cache capacity allows ... and their
+// collective MBR". When the capacity binds, that collective MBR contains
+// server POIs that were NOT stored — it silently violates the completeness
+// invariant Lemma 3.1 requires, which inflates verified regions (and with
+// them the sharing hit ratio) while producing wrong answers. Our default
+// policy instead shrinks the region until its complete content fits.
+//
+// This bench quantifies the trade on both query types: resolved-by-sharing
+// percentage vs the fraction of exact-path queries whose answer differs from
+// the brute-force oracle.
+
+#include <cstdio>
+
+#include "sim_bench_util.h"
+#include "sim/simulator.h"
+
+int main() {
+  using namespace lbsq;
+
+  std::printf("=== Ablation: sound region shrinking vs the paper's literal "
+              "collective-MBR policy ===\n\n");
+  std::printf("%-10s %-22s | %10s %12s %12s %10s\n", "query", "policy",
+              "sharing%", "approx%", "broadcast%", "errors%");
+
+  const struct {
+    sim::QueryType type;
+    const char* name;
+  } query_kinds[] = {{sim::QueryType::kKnn, "kNN"},
+                     {sim::QueryType::kWindow, "window"}};
+  const struct {
+    core::CachePolicy policy;
+    const char* name;
+  } policies[] = {{core::CachePolicy::kSoundShrink, "sound shrink"},
+                  {core::CachePolicy::kCollectiveMbr, "collective MBR"}};
+
+  for (const auto& kind : query_kinds) {
+    for (const auto& policy : policies) {
+      sim::SimConfig config =
+          bench::BaseConfig(sim::LosAngelesCity(), kind.type);
+      config.cache_policy = policy.policy;
+      sim::Simulator simulator(config);
+      const sim::SimMetrics m = simulator.Run();
+      std::printf("%-10s %-22s | %10.1f %12.1f %12.1f %10.2f\n", kind.name,
+                  policy.name, m.PctVerified(), m.PctApproximate(),
+                  m.PctBroadcast(), m.PctAnswerErrors());
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\nThe collective-MBR policy buys its larger sharing "
+              "percentage with wrong exact-path\nanswers; the paper's "
+              "reported hit ratios are consistent with it, our defaults "
+              "are not.\n");
+  return 0;
+}

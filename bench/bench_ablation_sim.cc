@@ -1,0 +1,134 @@
+// System-level ablations of the design choices DESIGN.md calls out, all on
+// the LA City kNN workload:
+//   * §3.3.3 broadcast data filtering on vs off,
+//   * approximate answers accepted vs exact-only,
+//   * cache structure: 1 vs 8 verified regions per host,
+//   * mobility: random waypoint vs Manhattan street grid,
+//   * peer discovery: single-hop vs multi-hop relaying,
+// and the SBWQ window-reduction ablation on the window workload.
+
+#include <cstdio>
+
+#include "sim_bench_util.h"
+#include "sim/simulator.h"
+
+namespace {
+
+void Report(const char* label, const lbsq::sim::SimMetrics& m) {
+  std::printf("%-36s | %8.1f %8.1f %10.1f %11.1f %11.1f\n", label,
+              m.PctVerified(), m.PctApproximate(), m.PctBroadcast(),
+              m.MeanLatencyAllQueries(), m.broadcast_tuning.mean());
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main() {
+  using namespace lbsq;
+
+  std::printf("=== System ablations (LA City) ===\n\n");
+  std::printf("%-36s | %8s %8s %10s %11s %11s\n", "configuration", "SBNN%",
+              "approx%", "broadcast%", "latency", "tuning");
+
+  {
+    sim::SimConfig base =
+        bench::BaseConfig(sim::LosAngelesCity(), sim::QueryType::kKnn);
+    sim::Simulator s(base);
+    Report("kNN baseline (defaults)", s.Run());
+  }
+  {
+    sim::SimConfig config =
+        bench::BaseConfig(sim::LosAngelesCity(), sim::QueryType::kKnn);
+    config.use_filtering = false;
+    sim::Simulator s(config);
+    Report("kNN without §3.3.3 data filtering", s.Run());
+  }
+  {
+    sim::SimConfig config =
+        bench::BaseConfig(sim::LosAngelesCity(), sim::QueryType::kKnn);
+    config.tighten_with_index_bound = true;
+    sim::Simulator s(config);
+    Report("kNN with min(index, heap) radius", s.Run());
+  }
+  {
+    sim::SimConfig config =
+        bench::BaseConfig(sim::LosAngelesCity(), sim::QueryType::kKnn);
+    config.accept_approximate = false;
+    sim::Simulator s(config);
+    Report("kNN exact-only (no approx answers)", s.Run());
+  }
+  {
+    sim::SimConfig config =
+        bench::BaseConfig(sim::LosAngelesCity(), sim::QueryType::kKnn);
+    config.max_regions_per_host = 1;
+    sim::Simulator s(config);
+    Report("kNN with 1 cached region per host", s.Run());
+  }
+  {
+    sim::SimConfig config =
+        bench::BaseConfig(sim::LosAngelesCity(), sim::QueryType::kKnn);
+    config.mobility = sim::MobilityType::kManhattanGrid;
+    sim::Simulator s(config);
+    Report("kNN on Manhattan street grid", s.Run());
+  }
+  {
+    sim::SimConfig config =
+        bench::BaseConfig(sim::LosAngelesCity(), sim::QueryType::kKnn);
+    config.params.tx_range_m = 100.0;
+    sim::Simulator s(config);
+    Report("kNN @100m, single-hop", s.Run());
+  }
+  {
+    sim::SimConfig config =
+        bench::BaseConfig(sim::LosAngelesCity(), sim::QueryType::kKnn);
+    config.params.tx_range_m = 100.0;
+    config.p2p_hops = 2;
+    sim::Simulator s(config);
+    Report("kNN @100m, 2-hop relaying", s.Run());
+  }
+  {
+    sim::SimConfig config =
+        bench::BaseConfig(sim::LosAngelesCity(), sim::QueryType::kKnn);
+    config.params.tx_range_m = 100.0;
+    config.p2p_hops = 4;
+    sim::Simulator s(config);
+    Report("kNN @100m, 4-hop relaying", s.Run());
+  }
+  {
+    sim::SimConfig config =
+        bench::BaseConfig(sim::LosAngelesCity(), sim::QueryType::kKnn);
+    config.prefetch_radius_factor = 2.0;
+    sim::Simulator s(config);
+    Report("kNN with 2x prefetch radius", s.Run());
+  }
+  {
+    sim::SimConfig config =
+        bench::BaseConfig(sim::LosAngelesCity(), sim::QueryType::kMixed);
+    sim::Simulator s(config);
+    Report("mixed workload (30% windows)", s.Run());
+  }
+
+  std::printf("\n%-36s | %8s %8s %10s %11s %11s\n", "configuration", "SBWQ%",
+              "-", "broadcast%", "latency", "tuning");
+  {
+    sim::SimConfig config =
+        bench::BaseConfig(sim::LosAngelesCity(), sim::QueryType::kWindow);
+    sim::Simulator s(config);
+    Report("window baseline (reduction on)", s.Run());
+  }
+  {
+    sim::SimConfig config =
+        bench::BaseConfig(sim::LosAngelesCity(), sim::QueryType::kWindow);
+    config.use_window_reduction = false;
+    sim::Simulator s(config);
+    Report("window without w' reduction", s.Run());
+  }
+  {
+    sim::SimConfig config =
+        bench::BaseConfig(sim::LosAngelesCity(), sim::QueryType::kWindow);
+    config.retrieval = onair::WindowRetrieval::kPartitionedRanges;
+    sim::Simulator s(config);
+    Report("window with partitioned retrieval", s.Run());
+  }
+  return 0;
+}

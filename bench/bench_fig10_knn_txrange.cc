@@ -1,0 +1,15 @@
+// Figure 10 (a-c): percentage of kNN queries resolved by SBNN, approximate
+// SBNN, or the broadcast channel, as a function of the wireless transmission
+// range (10..200 m), for the three Table 3 parameter sets.
+
+#include "sim_bench_util.h"
+
+int main() {
+  lbsq::bench::RunFigure(
+      "10", "TxRange(m)", lbsq::sim::QueryType::kKnn,
+      {10, 20, 40, 60, 80, 100, 120, 140, 160, 180, 200},
+      [](double x, lbsq::sim::SimConfig* config) {
+        config->params.tx_range_m = x;
+      });
+  return 0;
+}

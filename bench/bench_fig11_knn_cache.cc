@@ -1,0 +1,14 @@
+// Figure 11 (a-c): percentage of kNN queries resolved by SBNN, approximate
+// SBNN, or the broadcast channel, as a function of the per-host cache
+// capacity (6..30 POIs), for the three Table 3 parameter sets.
+
+#include "sim_bench_util.h"
+
+int main() {
+  lbsq::bench::RunFigure(
+      "11", "CacheCapacity", lbsq::sim::QueryType::kKnn, {6, 12, 18, 24, 30},
+      [](double x, lbsq::sim::SimConfig* config) {
+        config->params.csize = static_cast<int>(x);
+      });
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Figure 12 (a-c): percentage of kNN queries resolved by SBNN, approximate
+// SBNN, or the broadcast channel, as a function of the mean number of
+// requested neighbors k (3..15), for the three Table 3 parameter sets.
+
+#include "sim_bench_util.h"
+
+int main() {
+  lbsq::bench::RunFigure(
+      "12", "k", lbsq::sim::QueryType::kKnn, {3, 6, 9, 12, 15},
+      [](double x, lbsq::sim::SimConfig* config) {
+        config->params.knn_k = x;
+      });
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Figure 13 (a-c): percentage of window queries resolved by SBWQ or the
+// broadcast channel, as a function of the wireless transmission range
+// (10..200 m), for the three Table 3 parameter sets.
+
+#include "sim_bench_util.h"
+
+int main() {
+  lbsq::bench::RunFigure(
+      "13", "TxRange(m)", lbsq::sim::QueryType::kWindow,
+      {10, 20, 40, 60, 80, 100, 120, 140, 160, 180, 200},
+      [](double x, lbsq::sim::SimConfig* config) {
+        config->params.tx_range_m = x;
+      });
+  return 0;
+}

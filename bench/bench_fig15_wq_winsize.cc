@@ -1,0 +1,14 @@
+// Figure 15 (a-c): percentage of window queries resolved by SBWQ or the
+// broadcast channel, as a function of the mean query-window size
+// (1..5 % of the search space), for the three Table 3 parameter sets.
+
+#include "sim_bench_util.h"
+
+int main() {
+  lbsq::bench::RunFigure(
+      "15", "WindowSize(%)", lbsq::sim::QueryType::kWindow, {1, 2, 3, 4, 5},
+      [](double x, lbsq::sim::SimConfig* config) {
+        config->params.window_pct = x;
+      });
+  return 0;
+}

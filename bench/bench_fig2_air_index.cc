@@ -1,0 +1,131 @@
+// Figure 2 / §2.1: the (1, m) air-index organization and its two defining
+// metrics, access latency and tuning time. Sweeps the index replication
+// factor m for on-air kNN and window queries over the LA City POI density
+// (at full-scale POI count, so cycle lengths are realistic), and quantifies
+// what the sharing-based filter saves when peers hold partial knowledge.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "analysis/energy_model.h"
+#include "broadcast/system.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "core/sbnn.h"
+#include "onair/onair_knn.h"
+#include "onair/onair_window.h"
+#include "spatial/generators.h"
+
+int main() {
+  using namespace lbsq;
+  const geom::Rect world{0.0, 0.0, 20.0, 20.0};
+  Rng rng(1);
+  // The full-scale LA City POI count: 2750 objects on the air.
+  std::vector<spatial::Poi> pois =
+      spatial::GenerateUniformPois(&rng, world, 2750);
+  const double density = 2750.0 / world.area();
+
+  std::printf("=== Fig. 2 / §2.1: the (1, m) broadcast organization ===\n");
+  std::printf("(2750 POIs, %d per bucket; 5-NN and 3%%-window queries, 500 "
+              "each)\n\n", broadcast::BroadcastParams().bucket_capacity);
+  std::printf("%3s %9s | %12s %12s %10s | %12s %12s\n", "m", "cycle",
+              "kNN latency", "kNN tuning", "kNN mJ", "win latency",
+              "win tuning");
+  const analysis::RadioPowerModel radio;
+  for (int m : {1, 2, 4, 8, 16, 32}) {
+    broadcast::BroadcastParams params;
+    params.m = m;
+    broadcast::BroadcastSystem server(pois, world, params);
+    RunningStat knn_latency, knn_tuning, knn_energy, win_latency, win_tuning;
+    Rng qrng(7);
+    for (int i = 0; i < 500; ++i) {
+      const geom::Point q{qrng.Uniform(0.0, 20.0), qrng.Uniform(0.0, 20.0)};
+      const int64_t now = static_cast<int64_t>(qrng.NextBelow(
+          static_cast<uint64_t>(server.schedule().cycle_length())));
+      const auto knn = onair::OnAirKnn(server, q, 5, now);
+      knn_latency.Add(static_cast<double>(knn.stats.access_latency));
+      knn_tuning.Add(static_cast<double>(knn.stats.tuning_time));
+      knn_energy.Add(analysis::QueryEnergyJoules(radio, knn.stats) * 1000.0);
+      const double half = 20.0 * std::sqrt(0.03) / 2.0;
+      const geom::Rect window = geom::Rect::CenteredSquare(q, half);
+      const auto win = onair::OnAirWindow(server, window, now);
+      win_latency.Add(static_cast<double>(win.stats.access_latency));
+      win_tuning.Add(static_cast<double>(win.stats.tuning_time));
+    }
+    std::printf("%3d %9lld | %12.1f %12.1f %10.1f | %12.1f %12.1f\n", m,
+                static_cast<long long>(server.schedule().cycle_length()),
+                knn_latency.mean(), knn_tuning.mean(), knn_energy.mean(),
+                win_latency.mean(), win_tuning.mean());
+  }
+
+  std::printf("\n=== Flat directory vs hierarchical (B+-tree) air index "
+              "===\n");
+  std::printf("(m = 4; 500 5-NN queries; identical answers, different "
+              "tuning)\n\n");
+  std::printf("%6s | %9s %12s %12s %10s\n", "index", "segment", "latency",
+              "tuning", "kNN mJ");
+  for (const broadcast::IndexKind kind :
+       {broadcast::IndexKind::kFlat, broadcast::IndexKind::kTree}) {
+    broadcast::BroadcastParams kind_params;
+    kind_params.index_kind = kind;
+    broadcast::BroadcastSystem server(pois, world, kind_params);
+    RunningStat latency, tuning, energy;
+    Rng qrng(9);
+    for (int i = 0; i < 500; ++i) {
+      const geom::Point q{qrng.Uniform(0.0, 20.0), qrng.Uniform(0.0, 20.0)};
+      const int64_t now = static_cast<int64_t>(qrng.NextBelow(
+          static_cast<uint64_t>(server.schedule().cycle_length())));
+      const auto result = onair::OnAirKnn(server, q, 5, now);
+      latency.Add(static_cast<double>(result.stats.access_latency));
+      tuning.Add(static_cast<double>(result.stats.tuning_time));
+      energy.Add(analysis::QueryEnergyJoules(radio, result.stats) * 1000.0);
+    }
+    std::printf("%6s | %9lld %12.1f %12.1f %10.1f\n",
+                kind == broadcast::IndexKind::kFlat ? "flat" : "tree",
+                static_cast<long long>(server.schedule().index_buckets()),
+                latency.mean(), tuning.mean(), energy.mean());
+  }
+
+  std::printf("\n=== Sharing-based data filtering on the fallback path "
+              "===\n");
+  std::printf("(one peer with a verified square around q, k = 10, 4-POI "
+              "packets,\n min(index, heap) search radius)\n\n");
+  std::printf("%14s | %12s %12s %9s\n", "peer VR side", "latency", "buckets",
+              "skipped");
+  broadcast::BroadcastParams params;
+  params.bucket_capacity = 4;  // finer packets let the lower bound excuse some
+  broadcast::BroadcastSystem server(pois, world, params);
+  for (double side : {0.0, 0.4, 0.8, 1.2, 1.6}) {
+    RunningStat latency, buckets, skipped;
+    Rng qrng(11);
+    for (int i = 0; i < 500; ++i) {
+      const geom::Point q{qrng.Uniform(1.0, 19.0), qrng.Uniform(1.0, 19.0)};
+      const int64_t now = static_cast<int64_t>(qrng.NextBelow(
+          static_cast<uint64_t>(server.schedule().cycle_length())));
+      std::vector<core::PeerData> peers;
+      if (side > 0.0) {
+        core::VerifiedRegion vr;
+        vr.region = geom::Rect::CenteredSquare(q, side / 2.0);
+        for (const spatial::Poi& p : server.pois()) {
+          if (vr.region.Contains(p.pos)) vr.pois.push_back(p);
+        }
+        peers.push_back(core::PeerData{{vr}});
+      }
+      core::SbnnOptions options;
+      options.k = 10;
+      options.accept_approximate = false;
+      options.tighten_with_index_bound = true;
+      const auto outcome =
+          core::RunSbnn(q, options, peers, density, server, now);
+      if (outcome.resolved_by != core::ResolvedBy::kBroadcast) continue;
+      latency.Add(static_cast<double>(outcome.stats.access_latency));
+      buckets.Add(static_cast<double>(outcome.stats.buckets_read));
+      skipped.Add(static_cast<double>(outcome.buckets_skipped));
+    }
+    std::printf("%14.1f | %12.1f %12.1f %9.2f   (n=%lld)\n", side,
+                latency.mean(), buckets.mean(), skipped.mean(),
+                static_cast<long long>(latency.count()));
+  }
+  return 0;
+}

@@ -1,0 +1,234 @@
+// Micro-benchmarks (google-benchmark) for the hot algorithmic kernels, plus
+// the design-choice ablations DESIGN.md calls out: best-first vs depth-first
+// R-tree kNN, single-span vs partitioned Hilbert retrieval, and NNV cost as
+// a function of the peer count.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "broadcast/system.h"
+#include "broadcast/wire.h"
+#include "common/rng.h"
+#include "core/nnv.h"
+#include "geom/rect_region.h"
+#include "hilbert/hilbert.h"
+#include "onair/onair_window.h"
+#include "spatial/generators.h"
+#include "spatial/quadtree.h"
+#include "spatial/rstar_tree.h"
+#include "spatial/rtree.h"
+
+namespace {
+
+using namespace lbsq;
+
+const geom::Rect kWorld{0.0, 0.0, 100.0, 100.0};
+
+void BM_HilbertEncode(benchmark::State& state) {
+  const int order = static_cast<int>(state.range(0));
+  Rng rng(1);
+  std::vector<hilbert::CellXY> cells;
+  for (int i = 0; i < 1024; ++i) {
+    cells.push_back({static_cast<uint32_t>(rng.NextBelow(1u << order)),
+                     static_cast<uint32_t>(rng.NextBelow(1u << order))});
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hilbert::XyToIndex(order, cells[i]));
+    i = (i + 1) & 1023;
+  }
+}
+BENCHMARK(BM_HilbertEncode)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_HilbertCoverRect(benchmark::State& state) {
+  hilbert::HilbertGrid grid(kWorld, static_cast<int>(state.range(0)));
+  Rng rng(2);
+  for (auto _ : state) {
+    const geom::Point a{rng.Uniform(0.0, 90.0), rng.Uniform(0.0, 90.0)};
+    const geom::Rect query{a.x, a.y, a.x + 10.0, a.y + 10.0};
+    benchmark::DoNotOptimize(grid.CoverRect(query));
+  }
+}
+BENCHMARK(BM_HilbertCoverRect)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_RTreeInsert(benchmark::State& state) {
+  Rng rng(3);
+  const auto pois = spatial::GenerateUniformPois(
+      &rng, kWorld, state.range(0));
+  for (auto _ : state) {
+    spatial::RTree tree;
+    tree.InsertAll(pois);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RTreeInsert)->Arg(1000)->Arg(10000);
+
+// Ablation: the two classic kNN strategies on the same tree.
+void BM_RTreeKnnBestFirst(benchmark::State& state) {
+  Rng rng(4);
+  spatial::RTree tree;
+  tree.InsertAll(spatial::GenerateUniformPois(&rng, kWorld, 20000));
+  for (auto _ : state) {
+    const geom::Point q{rng.Uniform(0.0, 100.0), rng.Uniform(0.0, 100.0)};
+    benchmark::DoNotOptimize(
+        tree.KnnBestFirst(q, static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_RTreeKnnBestFirst)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_RTreeKnnDepthFirst(benchmark::State& state) {
+  Rng rng(4);
+  spatial::RTree tree;
+  tree.InsertAll(spatial::GenerateUniformPois(&rng, kWorld, 20000));
+  for (auto _ : state) {
+    const geom::Point q{rng.Uniform(0.0, 100.0), rng.Uniform(0.0, 100.0)};
+    benchmark::DoNotOptimize(
+        tree.KnnDepthFirst(q, static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_RTreeKnnDepthFirst)->Arg(1)->Arg(10)->Arg(100);
+
+// Ablation: the same kNN on the three index structures.
+void BM_RStarKnn(benchmark::State& state) {
+  Rng rng(4);
+  spatial::RStarTree tree;
+  tree.InsertAll(spatial::GenerateUniformPois(&rng, kWorld, 20000));
+  for (auto _ : state) {
+    const geom::Point q{rng.Uniform(0.0, 100.0), rng.Uniform(0.0, 100.0)};
+    benchmark::DoNotOptimize(tree.Knn(q, static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_RStarKnn)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_QuadTreeKnn(benchmark::State& state) {
+  Rng rng(4);
+  spatial::QuadTree tree(kWorld, 8);
+  tree.InsertAll(spatial::GenerateUniformPois(&rng, kWorld, 20000));
+  for (auto _ : state) {
+    const geom::Point q{rng.Uniform(0.0, 100.0), rng.Uniform(0.0, 100.0)};
+    benchmark::DoNotOptimize(tree.Knn(q, static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_QuadTreeKnn)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_WindowQueryByIndex(benchmark::State& state) {
+  Rng rng(9);
+  const auto pois = spatial::GenerateUniformPois(&rng, kWorld, 20000);
+  spatial::RTree rtree;
+  spatial::RStarTree rstar;
+  spatial::QuadTree quad(kWorld, 8);
+  rtree.InsertAll(pois);
+  rstar.InsertAll(pois);
+  quad.InsertAll(pois);
+  const int which = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const geom::Point a{rng.Uniform(0.0, 90.0), rng.Uniform(0.0, 90.0)};
+    const geom::Rect window{a.x, a.y, a.x + 10.0, a.y + 10.0};
+    switch (which) {
+      case 0:
+        benchmark::DoNotOptimize(rtree.WindowQuery(window));
+        break;
+      case 1:
+        benchmark::DoNotOptimize(rstar.WindowQuery(window));
+        break;
+      default:
+        benchmark::DoNotOptimize(quad.WindowQuery(window));
+        break;
+    }
+  }
+  state.SetLabel(which == 0 ? "guttman" : which == 1 ? "rstar" : "quadtree");
+}
+BENCHMARK(BM_WindowQueryByIndex)->Arg(0)->Arg(1)->Arg(2);
+
+// Wire-format throughput.
+void BM_WireBucketRoundTrip(benchmark::State& state) {
+  Rng rng(13);
+  const geom::Rect world{0.0, 0.0, 16.0, 16.0};
+  hilbert::HilbertGrid grid(world, 5);
+  const auto pois = spatial::GenerateUniformPois(
+      &rng, world, state.range(0));
+  const auto buckets = broadcast::BuildBuckets(pois, grid,
+                                               static_cast<int>(state.range(0)));
+  const auto bytes = broadcast::EncodeBucket(buckets.front());
+  for (auto _ : state) {
+    broadcast::DataBucket decoded;
+    benchmark::DoNotOptimize(
+        broadcast::DecodeBucket(bytes.data(), bytes.size(), &decoded));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(bytes.size()));
+}
+BENCHMARK(BM_WireBucketRoundTrip)->Arg(8)->Arg(64)->Arg(512);
+
+// The merged-verified-region construction that dominates NNV (the paper's
+// O(n log n + i log n) MapOverlay step, here as exact rectangle algebra).
+void BM_RegionMerge(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(5);
+  std::vector<geom::Rect> rects;
+  for (int i = 0; i < n; ++i) {
+    const geom::Point c{rng.Uniform(40.0, 60.0), rng.Uniform(40.0, 60.0)};
+    rects.push_back(geom::Rect::CenteredSquare(c, rng.Uniform(2.0, 6.0)));
+  }
+  for (auto _ : state) {
+    geom::RectRegion region;
+    for (const auto& r : rects) region.Add(r);
+    benchmark::DoNotOptimize(region.BoundaryDistance({50.0, 50.0}));
+  }
+}
+BENCHMARK(BM_RegionMerge)->Arg(4)->Arg(16)->Arg(64);
+
+// Full NNV cost as a function of the number of responding peers.
+void BM_NnvByPeerCount(benchmark::State& state) {
+  const int peers = static_cast<int>(state.range(0));
+  Rng rng(6);
+  const auto server = spatial::GenerateUniformPois(&rng, kWorld, 2000);
+  std::vector<core::PeerData> peer_data;
+  for (int p = 0; p < peers; ++p) {
+    core::VerifiedRegion vr;
+    vr.region = geom::Rect::CenteredSquare(
+        {rng.Uniform(45.0, 55.0), rng.Uniform(45.0, 55.0)},
+        rng.Uniform(2.0, 5.0));
+    for (const auto& poi : server) {
+      if (vr.region.Contains(poi.pos)) vr.pois.push_back(poi);
+    }
+    peer_data.push_back(core::PeerData{{vr}});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::NearestNeighborVerify({50.0, 50.0}, 10, peer_data, 0.2));
+  }
+}
+BENCHMARK(BM_NnvByPeerCount)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+// Ablation: single-span vs partitioned window retrieval volumes.
+void BM_WindowRetrieval(benchmark::State& state) {
+  Rng rng(7);
+  broadcast::BroadcastParams params;
+  params.hilbert_order = 7;
+  broadcast::BroadcastSystem server(
+      spatial::GenerateUniformPois(&rng, kWorld, 5000), kWorld, params);
+  const auto retrieval = static_cast<onair::WindowRetrieval>(state.range(0));
+  int64_t buckets = 0;
+  int64_t queries = 0;
+  for (auto _ : state) {
+    const geom::Point a{rng.Uniform(0.0, 80.0), rng.Uniform(0.0, 80.0)};
+    const geom::Rect window{a.x, a.y, a.x + 15.0, a.y + 15.0};
+    const auto ids = onair::BucketsForWindow(server, window, retrieval);
+    buckets += static_cast<int64_t>(ids.size());
+    ++queries;
+    benchmark::DoNotOptimize(ids);
+  }
+  state.counters["buckets_per_query"] =
+      static_cast<double>(buckets) / static_cast<double>(queries);
+}
+BENCHMARK(BM_WindowRetrieval)
+    ->Arg(static_cast<int>(onair::WindowRetrieval::kSingleSpan))
+    ->Arg(static_cast<int>(onair::WindowRetrieval::kPartitionedRanges));
+
+}  // namespace
+
+BENCHMARK_MAIN();

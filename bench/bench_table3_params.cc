@@ -1,0 +1,78 @@
+// Tables 3 and 4: prints the three simulation parameter sets as published,
+// the per-square-mile densities derived from them (the quantities that drive
+// every result), and the scaled instantiation the benchmarks actually run.
+
+#include <cstdio>
+
+#include "sim_bench_util.h"
+
+int main() {
+  using namespace lbsq;
+  const sim::ParameterSet sets[] = {sim::LosAngelesCity(),
+                                    sim::SyntheticSuburbia(),
+                                    sim::RiversideCounty()};
+
+  std::printf("=== Table 3: simulation parameter sets (full scale, "
+              "20 x 20 mi) ===\n\n");
+  std::printf("%-16s %12s %12s %18s\n", "Parameter", "LA City", "Suburbia",
+              "Riverside County");
+  std::printf("%-16s %12.0f %12.0f %18.0f\n", "POINumber", sets[0].poi_number,
+              sets[1].poi_number, sets[2].poi_number);
+  std::printf("%-16s %12.0f %12.0f %18.0f\n", "MHNumber", sets[0].mh_number,
+              sets[1].mh_number, sets[2].mh_number);
+  std::printf("%-16s %12d %12d %18d\n", "CSize", sets[0].csize,
+              sets[1].csize, sets[2].csize);
+  std::printf("%-16s %12.0f %12.0f %18.0f  [1/min]\n", "Query",
+              sets[0].query_per_min, sets[1].query_per_min,
+              sets[2].query_per_min);
+  std::printf("%-16s %12.0f %12.0f %18.0f  [m]\n", "TxRange",
+              sets[0].tx_range_m, sets[1].tx_range_m, sets[2].tx_range_m);
+  std::printf("%-16s %12.0f %12.0f %18.0f\n", "kNN", sets[0].knn_k,
+              sets[1].knn_k, sets[2].knn_k);
+  std::printf("%-16s %12.0f %12.0f %18.0f  [%%]\n", "Window",
+              sets[0].window_pct, sets[1].window_pct, sets[2].window_pct);
+  std::printf("%-16s %12.0f %12.0f %18.0f  [mile]\n", "Distance",
+              sets[0].distance_mi, sets[1].distance_mi, sets[2].distance_mi);
+  std::printf("%-16s %12.0f %12.0f %18.0f  [hr]\n", "Texecution",
+              sets[0].t_execution_hr, sets[1].t_execution_hr,
+              sets[2].t_execution_hr);
+
+  std::printf("\n=== Derived densities (per square mile) ===\n\n");
+  std::printf("%-16s %12s %12s %18s\n", "Density", "LA City", "Suburbia",
+              "Riverside County");
+  std::printf("%-16s %12.2f %12.2f %18.2f\n", "POIs",
+              sets[0].PoiDensity(), sets[1].PoiDensity(),
+              sets[2].PoiDensity());
+  std::printf("%-16s %12.2f %12.2f %18.2f\n", "Mobile hosts",
+              sets[0].MhDensity(), sets[1].MhDensity(), sets[2].MhDensity());
+  std::printf("%-16s %12.2f %12.2f %18.2f\n", "Queries/min",
+              sets[0].QueryRatePerSqMiPerMin(),
+              sets[1].QueryRatePerSqMiPerMin(),
+              sets[2].QueryRatePerSqMiPerMin());
+
+  std::printf("\n=== Scaled instantiation used by the benches ===\n\n");
+  std::printf("%-16s %12s %12s %18s\n", "Quantity", "LA City", "Suburbia",
+              "Riverside County");
+  sim::SimConfig configs[3];
+  for (int i = 0; i < 3; ++i) {
+    configs[i] = bench::BaseConfig(sets[i], sim::QueryType::kKnn);
+  }
+  std::printf("%-16s %12.1f %12.1f %18.1f  [mi]\n", "World side",
+              configs[0].world_side_mi, configs[1].world_side_mi,
+              configs[2].world_side_mi);
+  std::printf("%-16s %12lld %12lld %18lld\n", "Mobile hosts",
+              static_cast<long long>(configs[0].ScaledMhCount()),
+              static_cast<long long>(configs[1].ScaledMhCount()),
+              static_cast<long long>(configs[2].ScaledMhCount()));
+  std::printf("%-16s %12lld %12lld %18lld\n", "POIs",
+              static_cast<long long>(configs[0].ScaledPoiCount()),
+              static_cast<long long>(configs[1].ScaledPoiCount()),
+              static_cast<long long>(configs[2].ScaledPoiCount()));
+  std::printf("%-16s %12.1f %12.1f %18.1f  [1/min]\n", "Queries",
+              configs[0].ScaledQueriesPerMin(),
+              configs[1].ScaledQueriesPerMin(),
+              configs[2].ScaledQueriesPerMin());
+  std::printf("\nSet LBSQ_WORLD_SIDE=20 to reproduce the full-scale "
+              "instantiation.\n");
+  return 0;
+}

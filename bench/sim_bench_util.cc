@@ -1,0 +1,91 @@
+#include "sim_bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/simulator.h"
+
+namespace lbsq::bench {
+
+namespace {
+
+bool FastMode() {
+  const char* fast = std::getenv("LBSQ_BENCH_FAST");
+  return fast != nullptr && fast[0] == '1';
+}
+
+double WorldSide() {
+  if (const char* side = std::getenv("LBSQ_WORLD_SIDE")) {
+    const double value = std::atof(side);
+    if (value > 0.0) return value;
+  }
+  return 3.0;
+}
+
+}  // namespace
+
+sim::SimConfig BaseConfig(const sim::ParameterSet& params,
+                          sim::QueryType type) {
+  sim::SimConfig config;
+  config.params = params;
+  config.query_type = type;
+  config.world_side_mi = WorldSide();
+  // Window experiments keep the paper's absolute window/cache/POI geometry
+  // (see SimConfig::paper_window_geometry).
+  config.paper_window_geometry = type == sim::QueryType::kWindow;
+  if (FastMode()) {
+    config.warmup_min = 15.0;
+    config.duration_min = 10.0;
+  } else {
+    config.warmup_min = 45.0;
+    config.duration_min = 30.0;
+  }
+  config.seed = 20070415;  // ICDE 2007
+  return config;
+}
+
+void RunFigure(const std::string& figure, const std::string& xlabel,
+               sim::QueryType type, const std::vector<double>& xs,
+               const ConfigMutator& mutate) {
+  const sim::ParameterSet sets[] = {sim::LosAngelesCity(),
+                                    sim::SyntheticSuburbia(),
+                                    sim::RiversideCounty()};
+  const char* subfigures = "abc";
+  std::printf("=== %s ===\n", figure.c_str());
+  std::printf("(world %.1f mi, warm-up %.0f min, measured %.0f min; "
+              "densities per Table 3)\n\n",
+              BaseConfig(sets[0], type).world_side_mi,
+              BaseConfig(sets[0], type).warmup_min,
+              BaseConfig(sets[0], type).duration_min);
+  for (int s = 0; s < 3; ++s) {
+    std::printf("--- Fig. %s%c: %s ---\n", figure.c_str(), subfigures[s],
+                sets[s].name.c_str());
+    if (type == sim::QueryType::kKnn) {
+      std::printf("%-18s %10s %12s %12s %9s %14s\n", xlabel.c_str(), "SBNN%",
+                  "ApproxSBNN%", "Broadcast%", "peers", "latency(slots)");
+    } else {
+      std::printf("%-18s %10s %12s %9s %14s %12s\n", xlabel.c_str(), "SBWQ%",
+                  "Broadcast%", "peers", "latency(slots)", "residual%");
+    }
+    for (double x : xs) {
+      sim::SimConfig config = BaseConfig(sets[s], type);
+      mutate(x, &config);
+      sim::Simulator simulator(config);
+      const sim::SimMetrics m = simulator.Run();
+      if (type == sim::QueryType::kKnn) {
+        std::printf("%-18g %10.1f %12.1f %12.1f %9.1f %14.1f\n", x,
+                    m.PctVerified(), m.PctApproximate(), m.PctBroadcast(),
+                    m.peers_per_query.mean(), m.MeanLatencyAllQueries());
+      } else {
+        std::printf("%-18g %10.1f %12.1f %9.1f %14.1f %12.1f\n", x,
+                    m.PctVerified(), m.PctBroadcast(),
+                    m.peers_per_query.mean(), m.MeanLatencyAllQueries(),
+                    m.residual_fraction.mean() * 100.0);
+      }
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace lbsq::bench

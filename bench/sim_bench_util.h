@@ -1,0 +1,42 @@
+#ifndef LBSQ_BENCH_SIM_BENCH_UTIL_H_
+#define LBSQ_BENCH_SIM_BENCH_UTIL_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/metrics.h"
+
+/// \file
+/// Shared harness for the figure-reproduction benchmarks. Each bench sweeps
+/// one parameter over the three Table 3 parameter sets and prints the same
+/// series the paper's figures plot: the percentage of queries resolved by
+/// SBNN / approximate SBNN / the broadcast channel (kNN), or by SBWQ / the
+/// broadcast channel (window queries).
+///
+/// Environment knobs:
+///   LBSQ_BENCH_FAST=1   - quarter-length runs for smoke testing.
+///   LBSQ_WORLD_SIDE=<mi> - override the simulated world side (default 3;
+///                          20 reproduces the paper's full scale).
+
+namespace lbsq::bench {
+
+/// Returns the base configuration for a parameter set, honoring the
+/// environment knobs.
+sim::SimConfig BaseConfig(const sim::ParameterSet& params,
+                          sim::QueryType type);
+
+/// One sweep point: the x value and a mutator applying it to the config.
+using ConfigMutator = std::function<void(double x, sim::SimConfig*)>;
+
+/// Runs the sweep for all three parameter sets and prints the series.
+/// `xlabel` names the swept parameter (table header), `xs` are the sweep
+/// values, `mutate` applies a value to a config.
+void RunFigure(const std::string& figure, const std::string& xlabel,
+               sim::QueryType type, const std::vector<double>& xs,
+               const ConfigMutator& mutate);
+
+}  // namespace lbsq::bench
+
+#endif  // LBSQ_BENCH_SIM_BENCH_UTIL_H_

@@ -1,0 +1,99 @@
+// The paper's motivating scenario: a motorist on a highway asks "find the
+// top-3 nearest hospitals". An exact on-air answer can take most of a
+// broadcast cycle to assemble — by which time a fast car has moved on — so
+// the motorist prefers a prompt answer verified (or probabilistically
+// scored) from the caches of nearby vehicles.
+//
+// This example drives a vehicle down a highway through a city, issuing a
+// 3-NN hospital query every minute, with a handful of other vehicles around
+// whose caches fill as they query too. It prints, per query, how the answer
+// was obtained, what it cost, and how far the motorist would have driven at
+// highway speed while a pure on-air query was still waiting for packets.
+//
+// Run:  ./build/examples/highway_hospitals
+
+#include <cstdio>
+#include <vector>
+
+#include "broadcast/system.h"
+#include "common/rng.h"
+#include "core/peer_cache.h"
+#include "core/sbnn.h"
+#include "onair/onair_knn.h"
+#include "spatial/generators.h"
+
+int main() {
+  using namespace lbsq;
+
+  const geom::Rect world{0.0, 0.0, 20.0, 20.0};
+  Rng rng(7);
+
+  // ~60 hospitals in a 20 x 20 mile metro area.
+  std::vector<spatial::Poi> hospitals =
+      spatial::GenerateUniformPois(&rng, world, 60);
+  const double density = 60.0 / world.area();
+
+  broadcast::BroadcastParams params;
+  params.bucket_capacity = 4;  // hospital records are big
+  broadcast::BroadcastSystem server(hospitals, world, params);
+  const double slots_per_minute = 50.0 * 60.0;
+
+  // Our motorist drives east along y = 10 at 60 mph; 8 companion vehicles
+  // drive nearby lanes with a small offset, querying too (and caching).
+  const double speed_mi_per_min = 1.0;
+  std::vector<core::PeerCache> caches(8, core::PeerCache(50, 8));
+  std::vector<double> lane_offset;
+  for (int i = 0; i < 8; ++i) lane_offset.push_back(rng.Uniform(-0.05, 0.05));
+
+  std::printf("minute | resolved by          | latency (slots) | baseline "
+              "latency | miles driven while waiting (baseline)\n");
+  core::SbnnOptions options;
+  options.k = 3;
+  options.min_correctness = 0.5;
+
+  int peer_hits = 0;
+  for (int minute = 1; minute <= 18; ++minute) {
+    const double t = static_cast<double>(minute);
+    const geom::Point me{1.0 + speed_mi_per_min * t, 10.0};
+    const int64_t slot = static_cast<int64_t>(t * slots_per_minute);
+
+    // Companions in a loose convoy. Each minute a companion occasionally
+    // runs its own query (paying the broadcast cost) and caches the result;
+    // the convoy's shared knowledge builds up over the drive.
+    std::vector<core::PeerData> peers;
+    for (size_t i = 0; i < caches.size(); ++i) {
+      const geom::Point pos{me.x + lane_offset[i] * 10.0,
+                            10.0 + lane_offset[i]};
+      if (rng.NextBool(0.3)) {
+        const core::SbnnOutcome own = core::RunSbnn(
+            pos, options, {}, density, server, slot - 100);
+        caches[i].Insert(own.cacheable, pos, pos, {1.0, 0.0});
+      }
+      const core::PeerData data = caches[i].Share();
+      if (!data.empty()) peers.push_back(data);
+    }
+
+    const core::SbnnOutcome outcome =
+        core::RunSbnn(me, options, peers, density, server, slot);
+    const onair::OnAirKnnResult baseline =
+        onair::OnAirKnn(server, me, 3, slot);
+
+    const char* how = "broadcast            ";
+    if (outcome.resolved_by == core::ResolvedBy::kPeersVerified) {
+      how = "peers (verified)     ";
+      ++peer_hits;
+    } else if (outcome.resolved_by == core::ResolvedBy::kPeersApproximate) {
+      how = "peers (approximate)  ";
+      ++peer_hits;
+    }
+    const double baseline_minutes =
+        static_cast<double>(baseline.stats.access_latency) / slots_per_minute;
+    std::printf("%6d | %s | %15lld | %16lld | %.2f\n", minute, how,
+                static_cast<long long>(outcome.stats.access_latency),
+                static_cast<long long>(baseline.stats.access_latency),
+                baseline_minutes * speed_mi_per_min);
+  }
+  std::printf("\n%d of 18 queries answered without touching the broadcast "
+              "channel.\n", peer_hits);
+  return 0;
+}

@@ -1,0 +1,59 @@
+#include "analysis/air_index_model.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace lbsq::analysis {
+
+namespace {
+
+// Average wait from a uniformly random slot boundary to the next index
+// segment start. With m equal segment periods P = C/m the wait is uniform
+// over {0..P-1}; uneven chunking perturbs this by O(1).
+double ExpectedIndexWait(const AirIndexModel& model) {
+  const double period = static_cast<double>(model.CycleLength()) /
+                        static_cast<double>(model.m);
+  return (period - 1.0) / 2.0;
+}
+
+}  // namespace
+
+double ExpectedIndexLatency(const AirIndexModel& model) {
+  LBSQ_CHECK(model.m >= 1);
+  LBSQ_CHECK(model.num_data_buckets >= model.m);
+  // Probe slot + doze to the segment + read the whole segment.
+  return 1.0 + ExpectedIndexWait(model) +
+         static_cast<double>(model.index_buckets);
+}
+
+double ExpectedSingleBucketLatency(const AirIndexModel& model) {
+  // After the index read completes (always at a chunk boundary), the needed
+  // bucket's next occurrence is on average half a cycle away; +1 for its
+  // own transmission slot.
+  return ExpectedIndexLatency(model) +
+         static_cast<double>(model.CycleLength()) / 2.0 + 1.0;
+}
+
+int64_t TuningTime(const AirIndexModel& model, int64_t buckets_needed) {
+  LBSQ_CHECK(buckets_needed >= 0);
+  return 1 + model.index_buckets + buckets_needed;
+}
+
+int OptimalM(int64_t num_data_buckets, int64_t index_buckets) {
+  LBSQ_CHECK(num_data_buckets >= 1);
+  LBSQ_CHECK(index_buckets >= 1);
+  int best_m = 1;
+  double best = 0.0;
+  for (int m = 1; m <= num_data_buckets; ++m) {
+    AirIndexModel model{num_data_buckets, index_buckets, m};
+    const double latency = ExpectedSingleBucketLatency(model);
+    if (m == 1 || latency < best) {
+      best = latency;
+      best_m = m;
+    }
+  }
+  return best_m;
+}
+
+}  // namespace lbsq::analysis

@@ -1,0 +1,50 @@
+#ifndef LBSQ_ANALYSIS_AIR_INDEX_MODEL_H_
+#define LBSQ_ANALYSIS_AIR_INDEX_MODEL_H_
+
+#include <cstdint>
+
+/// \file
+/// Closed-form expectations for the (1, m) broadcast organization
+/// (Imielinski, Viswanathan & Badrinath): the access-latency and tuning-time
+/// trade-off that §2.1 of the paper describes and the figure-2 bench
+/// measures. All quantities in slots; expectations are over a query instant
+/// uniform in the cycle and a needed data bucket uniform over the file.
+
+namespace lbsq::analysis {
+
+/// Parameters of one (1, m) cycle.
+struct AirIndexModel {
+  /// Data buckets per cycle.
+  int64_t num_data_buckets = 1;
+  /// Index segment size in buckets.
+  int64_t index_buckets = 1;
+  /// Replication factor.
+  int m = 1;
+
+  /// Cycle length: m * index + data.
+  int64_t CycleLength() const {
+    return static_cast<int64_t>(m) * index_buckets + num_data_buckets;
+  }
+};
+
+/// Expected slots from the query instant until the next index segment has
+/// been fully read (initial probe + doze + index read).
+double ExpectedIndexLatency(const AirIndexModel& model);
+
+/// Expected access latency for retrieving one uniformly chosen data bucket
+/// with the three-step protocol.
+double ExpectedSingleBucketLatency(const AirIndexModel& model);
+
+/// Tuning time for retrieving `buckets_needed` distinct buckets: probe +
+/// index read + one slot per bucket (exact, not an expectation).
+int64_t TuningTime(const AirIndexModel& model, int64_t buckets_needed);
+
+/// The m minimizing ExpectedSingleBucketLatency for the given data/index
+/// sizes (scans m = 1..num_data_buckets). This is the classic optimal
+/// replication factor trade-off: more replicas shorten the index wait but
+/// lengthen the cycle.
+int OptimalM(int64_t num_data_buckets, int64_t index_buckets);
+
+}  // namespace lbsq::analysis
+
+#endif  // LBSQ_ANALYSIS_AIR_INDEX_MODEL_H_

@@ -1,0 +1,28 @@
+#include "analysis/energy_model.h"
+
+#include "common/check.h"
+
+namespace lbsq::analysis {
+
+double QueryEnergyJoules(const RadioPowerModel& model,
+                         const broadcast::AccessStats& stats) {
+  LBSQ_CHECK(model.active_rx_watts >= 0.0);
+  LBSQ_CHECK(model.doze_watts >= 0.0);
+  LBSQ_CHECK(model.slot_seconds > 0.0);
+  LBSQ_CHECK(stats.tuning_time <= stats.access_latency ||
+             stats.access_latency == 0);
+  const double active =
+      static_cast<double>(stats.tuning_time) * model.slot_seconds;
+  const double doze =
+      static_cast<double>(stats.access_latency - stats.tuning_time) *
+      model.slot_seconds;
+  return active * model.active_rx_watts + doze * model.doze_watts;
+}
+
+double AlwaysOnEnergyJoules(const RadioPowerModel& model,
+                            const broadcast::AccessStats& stats) {
+  return static_cast<double>(stats.access_latency) * model.slot_seconds *
+         model.active_rx_watts;
+}
+
+}  // namespace lbsq::analysis

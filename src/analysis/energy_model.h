@@ -1,0 +1,38 @@
+#ifndef LBSQ_ANALYSIS_ENERGY_MODEL_H_
+#define LBSQ_ANALYSIS_ENERGY_MODEL_H_
+
+#include "broadcast/client_protocol.h"
+
+/// \file
+/// Energy accounting for broadcast clients. Tuning time "proportionally
+/// represents the power consumption of the client" (§2.1, after Imielinski
+/// et al.); this module makes the proportionality concrete with
+/// representative IEEE 802.11b radio power draws (receive-active vs doze, in
+/// the range measured by Feeney & Nilsson), so benches can report joules per
+/// query rather than bare slot counts.
+
+namespace lbsq::analysis {
+
+/// Radio power parameters.
+struct RadioPowerModel {
+  /// Power while actively receiving (W).
+  double active_rx_watts = 0.9;
+  /// Power while dozing with the receiver off, waiting for a known slot (W).
+  double doze_watts = 0.045;
+  /// Wall-clock duration of one broadcast slot (s); 50 slots/s by default.
+  double slot_seconds = 0.02;
+};
+
+/// Energy one query costs the client: tuning slots at active power plus the
+/// remaining access-latency slots dozing.
+double QueryEnergyJoules(const RadioPowerModel& model,
+                         const broadcast::AccessStats& stats);
+
+/// Energy of an always-on client listening for the same duration (the
+/// no-air-index strawman): access latency entirely at active power.
+double AlwaysOnEnergyJoules(const RadioPowerModel& model,
+                            const broadcast::AccessStats& stats);
+
+}  // namespace lbsq::analysis
+
+#endif  // LBSQ_ANALYSIS_ENERGY_MODEL_H_

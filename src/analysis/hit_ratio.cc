@@ -1,0 +1,144 @@
+#include "analysis/hit_ratio.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "core/probability.h"
+#include "geom/circle.h"
+#include "geom/rect.h"
+#include "geom/rect_region.h"
+
+namespace lbsq::analysis {
+
+double SampleKthNeighborDistance(const HitRatioModel& model, Rng* rng) {
+  LBSQ_CHECK(model.poi_density > 0.0);
+  LBSQ_CHECK(model.k >= 1);
+  const double u = rng->NextDouble();
+  // Invert P(d_k <= r) = u by bisection on a bracket grown geometrically.
+  double hi = core::KthNeighborDistanceMean(model.poi_density, model.k);
+  while (core::KthNeighborDistanceCdf(model.poi_density, model.k, hi) < u) {
+    hi *= 2.0;
+  }
+  double lo = 0.0;
+  for (int i = 0; i < 60; ++i) {
+    const double mid = (lo + hi) / 2.0;
+    if (core::KthNeighborDistanceCdf(model.poi_density, model.k, mid) < u) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return (lo + hi) / 2.0;
+}
+
+namespace {
+
+// Standard normal CDF.
+double NormalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+// Expected number of peer VR centers landing in the square of side `side`
+// centered on the query point, for peers Poisson(rho) in the tx disc whose
+// centers are displaced by an isotropic normal with std `sigma`. A Poisson
+// process remains Poisson under independent displacement, so
+//   E = rho * Int_{tx disc} P(p + N(0, sigma) in square) dp,
+// evaluated by a polar midpoint rule (exact as the grid refines; sigma = 0
+// degenerates to rho * area(square ∩ tx disc) <= rho * min(side^2, tx area)).
+double ExpectedFavorableCenters(const HitRatioModel& model, double side) {
+  if (side <= 0.0 || model.tx_range <= 0.0) return 0.0;
+  const double half = side / 2.0;
+  if (model.center_spread <= 0.0) {
+    // No displacement: centers = peer positions; favorable area is the
+    // square clipped to the tx disc (approximated by the smaller of the
+    // two areas — exact when one contains the other).
+    const double tx_area = M_PI * model.tx_range * model.tx_range;
+    return model.peer_density * std::min(side * side, tx_area);
+  }
+  const int radial_steps = 48;
+  const int angular_steps = 48;
+  const double sigma = model.center_spread;
+  double integral = 0.0;
+  for (int i = 0; i < radial_steps; ++i) {
+    const double r =
+        (static_cast<double>(i) + 0.5) / radial_steps * model.tx_range;
+    const double dr = model.tx_range / radial_steps;
+    for (int j = 0; j < angular_steps; ++j) {
+      const double theta =
+          (static_cast<double>(j) + 0.5) / angular_steps * 2.0 * M_PI;
+      const double dtheta = 2.0 * M_PI / angular_steps;
+      const double px = r * std::cos(theta);
+      const double py = r * std::sin(theta);
+      const double prob_x =
+          NormalCdf((half - px) / sigma) - NormalCdf((-half - px) / sigma);
+      const double prob_y =
+          NormalCdf((half - py) / sigma) - NormalCdf((-half - py) / sigma);
+      integral += prob_x * prob_y * r * dr * dtheta;
+    }
+  }
+  return model.peer_density * integral;
+}
+
+}  // namespace
+
+double AnalyticHitRatioLowerBound(const HitRatioModel& model) {
+  LBSQ_CHECK(model.poi_density > 0.0);
+  LBSQ_CHECK(model.k >= 1);
+  // A peer's square (side s, center c) alone contains disc(q, d) iff
+  // |q - c|_inf <= s/2 - d, so the hit probability is at least the
+  // probability that at least one VR center lands in that square. The
+  // center field is Poisson (independent displacement of a Poisson field),
+  // so P(hit | d) >= 1 - exp(-E(d)) with E the expected favorable-center
+  // count. Integrate over the k-NN radius distribution in probability space
+  // (200-point midpoint rule over the inverse CDF; no tail truncation).
+  const int steps = 200;
+  double total = 0.0;
+  for (int i = 0; i < steps; ++i) {
+    const double u = (static_cast<double>(i) + 0.5) / steps;
+    // Invert the CDF at u by bisection.
+    double hi = std::max(
+        1e-9, core::KthNeighborDistanceMean(model.poi_density, model.k));
+    while (core::KthNeighborDistanceCdf(model.poi_density, model.k, hi) < u) {
+      hi *= 2.0;
+    }
+    double lo = 0.0;
+    for (int j = 0; j < 50; ++j) {
+      const double mid = (lo + hi) / 2.0;
+      if (core::KthNeighborDistanceCdf(model.poi_density, model.k, mid) < u) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    const double d = (lo + hi) / 2.0;
+    const double expected =
+        ExpectedFavorableCenters(model, model.vr_side - 2.0 * d);
+    total += 1.0 - std::exp(-expected);
+  }
+  return total / steps;
+}
+
+double MonteCarloHitRatio(const HitRatioModel& model, Rng* rng, int trials) {
+  LBSQ_CHECK(trials >= 1);
+  LBSQ_CHECK(model.tx_range >= 0.0);
+  int hits = 0;
+  const geom::Point q{0.0, 0.0};
+  for (int t = 0; t < trials; ++t) {
+    const double d_k = SampleKthNeighborDistance(model, rng);
+    const int64_t peers = rng->Poisson(
+        model.peer_density * M_PI * model.tx_range * model.tx_range);
+    geom::RectRegion mvr;
+    for (int64_t p = 0; p < peers; ++p) {
+      // Peer position uniform in the tx disc.
+      const double radius = model.tx_range * std::sqrt(rng->NextDouble());
+      const double angle = rng->Uniform(0.0, 2.0 * M_PI);
+      geom::Point center{radius * std::cos(angle), radius * std::sin(angle)};
+      center.x += rng->Normal(0.0, model.center_spread);
+      center.y += rng->Normal(0.0, model.center_spread);
+      mvr.Add(geom::Rect::CenteredSquare(center, model.vr_side / 2.0));
+    }
+    if (mvr.ContainsDisc(geom::Circle{q, d_k})) ++hits;
+  }
+  return static_cast<double>(hits) / trials;
+}
+
+}  // namespace lbsq::analysis

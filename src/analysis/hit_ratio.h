@@ -1,0 +1,51 @@
+#ifndef LBSQ_ANALYSIS_HIT_RATIO_H_
+#define LBSQ_ANALYSIS_HIT_RATIO_H_
+
+#include "common/rng.h"
+
+/// \file
+/// Probabilistic analysis of the sharing hit ratio (the paper's contribution
+/// (d)): how likely is it that a kNN query can be answered entirely from
+/// peer caches? We model peers as a spatial Poisson process, each carrying
+/// one square verified region whose center is displaced from the peer by an
+/// isotropic normal (cache entries were acquired at past positions), and ask
+/// for the probability that the disc of the k-th nearest POI around the
+/// query point is fully covered by the union of peer squares.
+
+namespace lbsq::analysis {
+
+/// Parameters of the coverage model. All lengths in the same unit (miles in
+/// the simulator's parameter sets).
+struct HitRatioModel {
+  /// Mobile hosts per square unit.
+  double peer_density = 0.0;
+  /// Wireless transmission range (peers beyond it share nothing).
+  double tx_range = 0.0;
+  /// Side length of a peer's square verified region.
+  double vr_side = 0.0;
+  /// Std-dev of the displacement between a peer's position and its verified
+  /// region's center (host movement since the entry was cached).
+  double center_spread = 0.0;
+  /// POIs per square unit (determines the k-NN disc radius distribution).
+  double poi_density = 0.0;
+  /// Number of neighbors requested.
+  int k = 1;
+};
+
+/// Closed-form lower bound on the hit ratio: the probability that at least
+/// one single peer's verified square alone contains the k-NN disc,
+/// integrated over the k-NN radius distribution. Ignores multi-peer union
+/// coverage, hence a lower bound (tight for small transmission ranges).
+double AnalyticHitRatioLowerBound(const HitRatioModel& model);
+
+/// Monte-Carlo estimate of the exact model hit ratio (union coverage via the
+/// exact rectangle-region algebra). `trials` >= 1.
+double MonteCarloHitRatio(const HitRatioModel& model, Rng* rng, int trials);
+
+/// Samples a k-th-nearest-POI distance from the Poisson model by numerically
+/// inverting the CDF. Exposed for tests.
+double SampleKthNeighborDistance(const HitRatioModel& model, Rng* rng);
+
+}  // namespace lbsq::analysis
+
+#endif  // LBSQ_ANALYSIS_HIT_RATIO_H_

@@ -1,0 +1,82 @@
+#include "broadcast/air_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace lbsq::broadcast {
+
+AirIndex::AirIndex(const std::vector<DataBucket>& buckets,
+                   const hilbert::HilbertGrid& grid, int entries_per_bucket)
+    : grid_(&grid), entries_per_bucket_(entries_per_bucket) {
+  LBSQ_CHECK(entries_per_bucket_ >= 1);
+  for (const DataBucket& bucket : buckets) {
+    bucket_ranges_.push_back(
+        hilbert::IndexRange{bucket.hilbert_lo, bucket.hilbert_hi});
+    for (const spatial::Poi& poi : bucket.pois) {
+      entries_.push_back(Entry{grid.IndexOf(poi.pos), bucket.id});
+    }
+  }
+  // Buckets are built in Hilbert order, so entries are already sorted; the
+  // check documents (and enforces) the contract.
+  for (size_t i = 1; i < entries_.size(); ++i) {
+    LBSQ_CHECK(entries_[i - 1].hilbert <= entries_[i].hilbert);
+  }
+  for (size_t i = 1; i < bucket_ranges_.size(); ++i) {
+    LBSQ_CHECK(bucket_ranges_[i - 1].lo <= bucket_ranges_[i].lo);
+  }
+}
+
+int64_t AirIndex::SizeInBuckets() const {
+  const int64_t n = static_cast<int64_t>(entries_.size());
+  return std::max<int64_t>(1, (n + entries_per_bucket_ - 1) /
+                                  entries_per_bucket_);
+}
+
+double AirIndex::KthDistanceUpperBound(geom::Point q, int k) const {
+  LBSQ_CHECK(k >= 1);
+  if (static_cast<int>(entries_.size()) < k) {
+    return std::numeric_limits<double>::infinity();
+  }
+  std::vector<double> distances;
+  distances.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    distances.push_back(
+        geom::Distance(grid_->CellRect(e.hilbert).center(), q));
+  }
+  std::nth_element(distances.begin(), distances.begin() + (k - 1),
+                   distances.end());
+  const geom::Rect cell = grid_->CellRect(entries_.front().hilbert);
+  const double half_diagonal =
+      0.5 * std::sqrt(cell.width() * cell.width() +
+                      cell.height() * cell.height());
+  return distances[static_cast<size_t>(k - 1)] + half_diagonal;
+}
+
+std::vector<int64_t> AirIndex::BucketsForSpan(uint64_t lo, uint64_t hi) const {
+  std::vector<int64_t> out;
+  for (size_t b = 0; b < bucket_ranges_.size(); ++b) {
+    if (bucket_ranges_[b].lo <= hi && bucket_ranges_[b].hi >= lo) {
+      out.push_back(static_cast<int64_t>(b));
+    }
+  }
+  return out;
+}
+
+std::vector<int64_t> AirIndex::BucketsForRanges(
+    const std::vector<hilbert::IndexRange>& ranges) const {
+  std::vector<int64_t> out;
+  for (size_t b = 0; b < bucket_ranges_.size(); ++b) {
+    for (const hilbert::IndexRange& r : ranges) {
+      if (bucket_ranges_[b].lo <= r.hi && bucket_ranges_[b].hi >= r.lo) {
+        out.push_back(static_cast<int64_t>(b));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace lbsq::broadcast

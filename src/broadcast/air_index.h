@@ -1,0 +1,66 @@
+#ifndef LBSQ_BROADCAST_AIR_INDEX_H_
+#define LBSQ_BROADCAST_AIR_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "broadcast/packet.h"
+#include "geom/point.h"
+#include "hilbert/hilbert.h"
+
+/// \file
+/// The air index: a flat directory, broadcast as part of every index
+/// segment, mapping each object's Hilbert index to the data bucket that
+/// carries it. A client that has read one index segment can compute the
+/// arrival slot of any data bucket and an approximate position (the Hilbert
+/// cell center) for every object.
+
+namespace lbsq::broadcast {
+
+/// Immutable air-index directory built from the bucketized data file.
+class AirIndex {
+ public:
+  /// One directory entry per object.
+  struct Entry {
+    uint64_t hilbert = 0;
+    int64_t bucket = 0;
+  };
+
+  /// Builds the directory for `buckets` on `grid`; the serialized index
+  /// occupies ceil(entries / entries_per_bucket) index buckets.
+  AirIndex(const std::vector<DataBucket>& buckets,
+           const hilbert::HilbertGrid& grid, int entries_per_bucket);
+
+  /// All entries, sorted by (hilbert, bucket).
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Size of the serialized index in buckets (>= 1).
+  int64_t SizeInBuckets() const;
+
+  /// Upper bound on the distance from `q` to its k-th nearest object,
+  /// derived from the index alone: the k-th smallest cell-center distance
+  /// plus half a cell diagonal. This is how the on-air kNN derives its
+  /// search circle before any data bucket arrives. Returns +infinity when
+  /// the index holds fewer than k entries.
+  double KthDistanceUpperBound(geom::Point q, int k) const;
+
+  /// Ids of the buckets whose Hilbert range intersects [lo, hi], ascending.
+  std::vector<int64_t> BucketsForSpan(uint64_t lo, uint64_t hi) const;
+
+  /// Ids of the buckets whose Hilbert range intersects any of `ranges`
+  /// (sorted ascending ranges as produced by HilbertGrid::CoverRect).
+  /// Deduplicated, ascending.
+  std::vector<int64_t> BucketsForRanges(
+      const std::vector<hilbert::IndexRange>& ranges) const;
+
+ private:
+  const hilbert::HilbertGrid* grid_;
+  int entries_per_bucket_;
+  std::vector<Entry> entries_;
+  // Per bucket: [hilbert_lo, hilbert_hi], ascending by bucket id.
+  std::vector<hilbert::IndexRange> bucket_ranges_;
+};
+
+}  // namespace lbsq::broadcast
+
+#endif  // LBSQ_BROADCAST_AIR_INDEX_H_

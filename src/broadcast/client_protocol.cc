@@ -1,0 +1,88 @@
+#include "broadcast/client_protocol.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace lbsq::broadcast {
+
+AccessStats RetrieveBucketsLossy(const BroadcastSchedule& schedule, int64_t t,
+                                 const std::vector<int64_t>& buckets,
+                                 double loss_prob, Rng* rng) {
+  LBSQ_CHECK(t >= 0);
+  LBSQ_CHECK(loss_prob >= 0.0 && loss_prob < 1.0);
+  LBSQ_CHECK(rng != nullptr);
+  AccessStats stats;
+
+  // Initial probe (assumed to succeed: only the next-index pointer is
+  // needed, and it is carried by every bucket).
+  stats.tuning_time += 1;
+
+  // Index search with per-segment retry: a lost segment means dozing until
+  // the next replica.
+  int64_t cursor = t + 1;
+  for (;;) {
+    const int64_t index_start = schedule.NextIndexSegmentStart(cursor);
+    cursor = index_start + schedule.index_buckets();
+    stats.tuning_time += schedule.index_buckets();
+    if (!rng->NextBool(loss_prob)) break;
+  }
+  const int64_t index_end = cursor;
+
+  // Data retrieval with per-bucket retries at subsequent cycle occurrences.
+  std::vector<int64_t> needed = buckets;
+  std::sort(needed.begin(), needed.end());
+  needed.erase(std::unique(needed.begin(), needed.end()), needed.end());
+  int64_t completion = index_end;
+  for (int64_t bucket : needed) {
+    int64_t attempt_from = index_end;
+    for (;;) {
+      const int64_t slot = schedule.NextBucketSlot(attempt_from, bucket);
+      stats.tuning_time += 1;
+      if (!rng->NextBool(loss_prob)) {
+        completion = std::max(completion, slot + 1);
+        break;
+      }
+      attempt_from = slot + 1;
+    }
+  }
+  stats.buckets_read = static_cast<int64_t>(needed.size());
+  stats.access_latency = completion - t;
+  return stats;
+}
+
+AccessStats RetrieveBuckets(const BroadcastSchedule& schedule, int64_t t,
+                            const std::vector<int64_t>& buckets,
+                            int64_t index_read_buckets) {
+  LBSQ_CHECK(t >= 0);
+  if (index_read_buckets < 0) index_read_buckets = schedule.index_buckets();
+  LBSQ_CHECK(index_read_buckets <= schedule.index_buckets());
+  AccessStats stats;
+
+  // Step 1: initial probe. The client listens to the slot in progress; every
+  // bucket carries a pointer to the next index segment.
+  stats.tuning_time += 1;
+  const int64_t after_probe = t + 1;
+
+  // Step 2: index search. Read the needed part of the next index segment
+  // (dozing between tree-path buckets when a hierarchical index is in use).
+  const int64_t index_start = schedule.NextIndexSegmentStart(after_probe);
+  const int64_t index_end = index_start + schedule.index_buckets();
+  stats.tuning_time += index_read_buckets;
+
+  // Step 3: data retrieval.
+  std::vector<int64_t> needed = buckets;
+  std::sort(needed.begin(), needed.end());
+  needed.erase(std::unique(needed.begin(), needed.end()), needed.end());
+  int64_t completion = index_end;
+  for (int64_t bucket : needed) {
+    completion =
+        std::max(completion, schedule.NextBucketSlot(index_end, bucket) + 1);
+  }
+  stats.tuning_time += static_cast<int64_t>(needed.size());
+  stats.buckets_read = static_cast<int64_t>(needed.size());
+  stats.access_latency = completion - t;
+  return stats;
+}
+
+}  // namespace lbsq::broadcast

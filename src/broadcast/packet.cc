@@ -1,0 +1,47 @@
+#include "broadcast/packet.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace lbsq::broadcast {
+
+std::vector<DataBucket> BuildBuckets(const std::vector<spatial::Poi>& pois,
+                                     const hilbert::HilbertGrid& grid,
+                                     int capacity) {
+  LBSQ_CHECK(capacity >= 1);
+  struct Keyed {
+    uint64_t hilbert;
+    spatial::Poi poi;
+  };
+  std::vector<Keyed> keyed;
+  keyed.reserve(pois.size());
+  for (const spatial::Poi& p : pois) {
+    keyed.push_back(Keyed{grid.IndexOf(p.pos), p});
+  }
+  std::sort(keyed.begin(), keyed.end(), [](const Keyed& a, const Keyed& b) {
+    if (a.hilbert != b.hilbert) return a.hilbert < b.hilbert;
+    return a.poi.id < b.poi.id;
+  });
+
+  std::vector<DataBucket> buckets;
+  const size_t cap = static_cast<size_t>(capacity);
+  for (size_t start = 0; start < keyed.size(); start += cap) {
+    const size_t end = std::min(start + cap, keyed.size());
+    DataBucket bucket;
+    bucket.id = static_cast<int64_t>(buckets.size());
+    bucket.hilbert_lo = keyed[start].hilbert;
+    bucket.hilbert_hi = keyed[end - 1].hilbert;
+    for (size_t i = start; i < end; ++i) {
+      bucket.mbr.Expand(keyed[i].poi.pos);
+      bucket.pois.push_back(keyed[i].poi);
+    }
+    buckets.push_back(std::move(bucket));
+  }
+  if (buckets.empty()) {
+    buckets.push_back(DataBucket{});  // placeholder bucket for an empty set
+  }
+  return buckets;
+}
+
+}  // namespace lbsq::broadcast

@@ -1,0 +1,40 @@
+#ifndef LBSQ_BROADCAST_PACKET_H_
+#define LBSQ_BROADCAST_PACKET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/rect.h"
+#include "hilbert/hilbert.h"
+#include "spatial/poi.h"
+
+/// \file
+/// Data buckets: the unit of wireless broadcast. The server sorts the POI
+/// set in Hilbert order and chunks it into fixed-capacity buckets, so
+/// spatially close objects are broadcast close together in time.
+
+namespace lbsq::broadcast {
+
+/// One broadcast data bucket. Bucket ids equal their position in the data
+/// file (0-based); one bucket occupies one slot on the air.
+struct DataBucket {
+  int64_t id = 0;
+  /// Hilbert index of the first/last contained POI (inclusive).
+  uint64_t hilbert_lo = 0;
+  uint64_t hilbert_hi = 0;
+  /// MBR of the contained POIs.
+  geom::Rect mbr;
+  /// The payload, in Hilbert order.
+  std::vector<spatial::Poi> pois;
+};
+
+/// Sorts `pois` in (Hilbert index, id) order on `grid` and chunks them into
+/// buckets of at most `capacity` POIs. Returns at least one bucket even for
+/// an empty data set (an empty broadcast cycle is not representable).
+std::vector<DataBucket> BuildBuckets(const std::vector<spatial::Poi>& pois,
+                                     const hilbert::HilbertGrid& grid,
+                                     int capacity);
+
+}  // namespace lbsq::broadcast
+
+#endif  // LBSQ_BROADCAST_PACKET_H_

@@ -1,0 +1,61 @@
+#include "broadcast/system.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace lbsq::broadcast {
+
+namespace {
+
+// The (1, m) schedule requires m <= number of data buckets; clamp so tiny
+// data sets still build.
+int ClampM(int m, int64_t num_buckets) {
+  return static_cast<int>(
+      std::max<int64_t>(1, std::min<int64_t>(m, num_buckets)));
+}
+
+}  // namespace
+
+BroadcastSystem::BroadcastSystem(std::vector<spatial::Poi> pois,
+                                 const geom::Rect& world,
+                                 const BroadcastParams& params)
+    : params_(params),
+      pois_(std::move(pois)),
+      grid_(world, params.hilbert_order, params.curve),
+      buckets_(BuildBuckets(pois_, grid_, params.bucket_capacity)),
+      index_(buckets_, grid_, params.index_entries_per_bucket),
+      tree_index_(params.index_kind == IndexKind::kTree
+                      ? std::make_unique<TreeAirIndex>(
+                            index_.entries(), params.index_entries_per_bucket)
+                      : nullptr),
+      schedule_(static_cast<int64_t>(buckets_.size()), IndexSegmentBuckets(),
+                ClampM(params.m, static_cast<int64_t>(buckets_.size()))) {}
+
+int64_t BroadcastSystem::IndexSegmentBuckets() const {
+  return tree_index_ ? tree_index_->SizeInBuckets() : index_.SizeInBuckets();
+}
+
+int64_t BroadcastSystem::IndexReadBuckets(
+    const std::vector<hilbert::IndexRange>& lookups) const {
+  if (!tree_index_) return IndexSegmentBuckets();
+  return tree_index_->ReadCostForRanges(lookups);
+}
+
+std::vector<spatial::Poi> BroadcastSystem::CollectPois(
+    const std::vector<int64_t>& bucket_ids) const {
+  std::vector<spatial::Poi> out;
+  for (int64_t id : bucket_ids) {
+    LBSQ_CHECK(id >= 0 && id < static_cast<int64_t>(buckets_.size()));
+    const DataBucket& bucket = buckets_[static_cast<size_t>(id)];
+    out.insert(out.end(), bucket.pois.begin(), bucket.pois.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const spatial::Poi& a, const spatial::Poi& b) {
+              return a.id < b.id;
+            });
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace lbsq::broadcast

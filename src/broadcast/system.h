@@ -1,0 +1,105 @@
+#ifndef LBSQ_BROADCAST_SYSTEM_H_
+#define LBSQ_BROADCAST_SYSTEM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include <memory>
+
+#include "broadcast/air_index.h"
+#include "broadcast/packet.h"
+#include "broadcast/schedule.h"
+#include "broadcast/tree_index.h"
+#include "geom/rect.h"
+#include "hilbert/hilbert.h"
+#include "spatial/poi.h"
+
+/// \file
+/// The wireless information server: owns the POI database, the Hilbert
+/// bucketization, the air index, and the (1, m) broadcast schedule. One
+/// instance is shared by all mobile hosts in a simulation (it is the single
+/// transmitter of the broadcast model).
+
+namespace lbsq::broadcast {
+
+/// How the air index is organized on the channel.
+enum class IndexKind {
+  /// A flat directory: clients read the whole index segment (simple, large
+  /// tuning cost).
+  kFlat,
+  /// A level-order B+-tree: clients read only root-to-leaf paths, dozing
+  /// between index buckets (the classic air-indexing design).
+  kTree,
+};
+
+/// Tuning knobs for the broadcast organization.
+struct BroadcastParams {
+  /// POIs per data bucket.
+  int bucket_capacity = 8;
+  /// Directory entries per index bucket (an index entry is much smaller
+  /// than a POI record, hence the larger fan-in).
+  int index_entries_per_bucket = 64;
+  /// Index replication factor of the (1, m) allocation.
+  int m = 4;
+  /// Curve order (2^order cells per axis).
+  int hilbert_order = 7;
+  /// Space-filling curve the data file is linearized with. Hilbert is the
+  /// paper's choice; Morton is provided for the locality ablation.
+  hilbert::CurveKind curve = hilbert::CurveKind::kHilbert;
+  /// Air-index organization (see IndexKind).
+  IndexKind index_kind = IndexKind::kFlat;
+};
+
+/// Immutable server state for one broadcast channel.
+class BroadcastSystem {
+ public:
+  /// Builds the channel for `pois` over `world`.
+  BroadcastSystem(std::vector<spatial::Poi> pois, const geom::Rect& world,
+                  const BroadcastParams& params);
+
+  BroadcastSystem(const BroadcastSystem&) = delete;
+  BroadcastSystem& operator=(const BroadcastSystem&) = delete;
+
+  /// The full POI database (the ground truth oracles test against).
+  const std::vector<spatial::Poi>& pois() const { return pois_; }
+  /// The Hilbert grid the data is linearized on.
+  const hilbert::HilbertGrid& grid() const { return grid_; }
+  /// The bucketized data file, in broadcast order.
+  const std::vector<DataBucket>& buckets() const { return buckets_; }
+  /// The air-index directory.
+  const AirIndex& index() const { return index_; }
+  /// The (1, m) cycle layout.
+  const BroadcastSchedule& schedule() const { return schedule_; }
+  /// The parameters the channel was built with.
+  const BroadcastParams& params() const { return params_; }
+
+  /// The hierarchical index (null under IndexKind::kFlat).
+  const TreeAirIndex* tree_index() const { return tree_index_.get(); }
+
+  /// Index buckets a client must read to resolve the given curve-interval
+  /// lookups: the whole segment under the flat directory, the union of
+  /// root-to-leaf paths under the tree.
+  int64_t IndexReadBuckets(
+      const std::vector<hilbert::IndexRange>& lookups) const;
+
+  /// POIs contained in the given buckets (what a client that downloaded
+  /// them holds), deduplicated by id.
+  std::vector<spatial::Poi> CollectPois(
+      const std::vector<int64_t>& bucket_ids) const;
+
+ private:
+  /// Index segment size under the configured organization.
+  int64_t IndexSegmentBuckets() const;
+
+  BroadcastParams params_;
+  std::vector<spatial::Poi> pois_;
+  hilbert::HilbertGrid grid_;
+  std::vector<DataBucket> buckets_;
+  AirIndex index_;
+  std::unique_ptr<TreeAirIndex> tree_index_;
+  BroadcastSchedule schedule_;
+};
+
+}  // namespace lbsq::broadcast
+
+#endif  // LBSQ_BROADCAST_SYSTEM_H_

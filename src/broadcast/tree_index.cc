@@ -1,0 +1,133 @@
+#include "broadcast/tree_index.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace lbsq::broadcast {
+
+TreeAirIndex::TreeAirIndex(const std::vector<AirIndex::Entry>& entries,
+                           int entries_per_bucket) {
+  LBSQ_CHECK(entries_per_bucket >= 2);
+  for (size_t i = 1; i < entries.size(); ++i) {
+    LBSQ_CHECK(entries[i - 1].hilbert <= entries[i].hilbert);
+  }
+
+  // Build bottom-up in level order (leaves first), then reverse into BFS
+  // (root-first) order so a sequentially broadcast segment streams parents
+  // before children.
+  struct Staged {
+    Node node;
+    // Indexes into the previous staged level (for internal nodes).
+    std::vector<int64_t> staged_children;
+  };
+  std::vector<std::vector<Staged>> levels;
+
+  // Leaf level.
+  std::vector<Staged> leaves;
+  const size_t per = static_cast<size_t>(entries_per_bucket);
+  if (entries.empty()) {
+    Staged empty;
+    empty.node.leaf = true;
+    empty.node.lo = 0;
+    empty.node.hi = 0;
+    leaves.push_back(std::move(empty));
+  }
+  for (size_t start = 0; start < entries.size(); start += per) {
+    const size_t end = std::min(start + per, entries.size());
+    Staged staged;
+    staged.node.leaf = true;
+    staged.node.lo = entries[start].hilbert;
+    staged.node.hi = entries[end - 1].hilbert;
+    for (size_t i = start; i < end; ++i) {
+      staged.node.keys.push_back(entries[i].hilbert);
+    }
+    leaves.push_back(std::move(staged));
+  }
+  levels.push_back(std::move(leaves));
+
+  // Internal levels until a single root remains.
+  while (levels.back().size() > 1) {
+    const std::vector<Staged>& below = levels.back();
+    std::vector<Staged> level;
+    for (size_t start = 0; start < below.size(); start += per) {
+      const size_t end = std::min(start + per, below.size());
+      Staged staged;
+      staged.node.leaf = false;
+      staged.node.lo = below[start].node.lo;
+      staged.node.hi = below[end - 1].node.hi;
+      for (size_t i = start; i < end; ++i) {
+        staged.node.keys.push_back(below[i].node.lo);
+        staged.staged_children.push_back(static_cast<int64_t>(i));
+      }
+      level.push_back(std::move(staged));
+    }
+    levels.push_back(std::move(level));
+  }
+  height_ = static_cast<int>(levels.size());
+
+  // Emit BFS: levels from root (last built) down to leaves; record each
+  // staged node's final offset so parents can point at children.
+  std::vector<std::vector<int64_t>> offsets(levels.size());
+  int64_t next_offset = 0;
+  for (size_t level = levels.size(); level-- > 0;) {
+    offsets[level].resize(levels[level].size());
+    for (size_t i = 0; i < levels[level].size(); ++i) {
+      offsets[level][i] = next_offset++;
+    }
+  }
+  nodes_.resize(static_cast<size_t>(next_offset));
+  for (size_t level = 0; level < levels.size(); ++level) {
+    for (size_t i = 0; i < levels[level].size(); ++i) {
+      Node node = std::move(levels[level][i].node);
+      for (int64_t staged_child : levels[level][i].staged_children) {
+        node.children.push_back(
+            offsets[level - 1][static_cast<size_t>(staged_child)]);
+      }
+      nodes_[static_cast<size_t>(offsets[level][i])] = std::move(node);
+    }
+  }
+  root_ = 0;
+  LBSQ_CHECK_EQ(offsets.back()[0], 0);
+}
+
+std::vector<int64_t> TreeAirIndex::IndexBucketsForSpan(uint64_t lo,
+                                                       uint64_t hi) const {
+  LBSQ_CHECK(lo <= hi);
+  std::vector<int64_t> visited;
+  std::vector<int64_t> stack = {root_};
+  while (!stack.empty()) {
+    const int64_t offset = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[static_cast<size_t>(offset)];
+    if (node.hi < lo || node.lo > hi) continue;
+    visited.push_back(offset);
+    if (!node.leaf) {
+      for (size_t i = 0; i < node.children.size(); ++i) {
+        // Child i covers [keys[i], next key); prune without descending.
+        const uint64_t child_lo = node.keys[i];
+        const uint64_t child_hi =
+            nodes_[static_cast<size_t>(node.children[i])].hi;
+        if (child_hi < lo || child_lo > hi) continue;
+        stack.push_back(node.children[i]);
+      }
+    }
+  }
+  std::sort(visited.begin(), visited.end());
+  return visited;
+}
+
+int64_t TreeAirIndex::ReadCostForRanges(
+    const std::vector<hilbert::IndexRange>& ranges) const {
+  std::vector<int64_t> all;
+  for (const hilbert::IndexRange& range : ranges) {
+    const std::vector<int64_t> part = IndexBucketsForSpan(range.lo, range.hi);
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  // The root is always read (it is the entry point), even for a miss.
+  return std::max<int64_t>(1, static_cast<int64_t>(all.size()));
+}
+
+}  // namespace lbsq::broadcast

@@ -1,0 +1,70 @@
+#ifndef LBSQ_BROADCAST_TREE_INDEX_H_
+#define LBSQ_BROADCAST_TREE_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "broadcast/air_index.h"
+#include "hilbert/hilbert.h"
+
+/// \file
+/// Hierarchical air index: a bulk-loaded B+-tree over the (hilbert → data
+/// bucket) directory, serialized level by level — root first — into the
+/// index segment. A client reads the root bucket, picks the children
+/// covering its search interval, and dozes until those buckets pass, so the
+/// tuning cost of an index lookup is the path count, not the whole segment
+/// (the reason the air-indexing literature broadcasts trees). The flat
+/// directory remains the default; the broadcast system selects per
+/// BroadcastParams::index_kind.
+
+namespace lbsq::broadcast {
+
+/// Immutable bulk-loaded B+-tree over a sorted directory.
+class TreeAirIndex {
+ public:
+  /// Builds the tree for `entries` (sorted by hilbert, as produced by
+  /// AirIndex) with `entries_per_bucket` directory entries per leaf bucket
+  /// (internal buckets hold the same number of router keys).
+  TreeAirIndex(const std::vector<AirIndex::Entry>& entries,
+               int entries_per_bucket);
+
+  /// Total index buckets (all levels; >= 1).
+  int64_t SizeInBuckets() const {
+    return static_cast<int64_t>(nodes_.size());
+  }
+
+  /// Tree height in levels (1 = a single root leaf).
+  int height() const { return height_; }
+
+  /// Offsets (within the index segment, root = 0) of the index buckets a
+  /// client must read to resolve every directory entry with hilbert value
+  /// in [lo, hi]: the root-to-leaf paths to all intersecting leaves, with
+  /// shared prefixes counted once. Sorted ascending.
+  std::vector<int64_t> IndexBucketsForSpan(uint64_t lo, uint64_t hi) const;
+
+  /// Convenience: |IndexBucketsForSpan| for several disjoint ranges, with
+  /// shared buckets counted once.
+  int64_t ReadCostForRanges(const std::vector<hilbert::IndexRange>& ranges)
+      const;
+
+ private:
+  struct Node {
+    bool leaf = true;
+    // Minimum hilbert key covered by each child (or entry); parallel to
+    // `children` for internal nodes.
+    std::vector<uint64_t> keys;
+    // Offsets of child nodes in `nodes_` (internal nodes only).
+    std::vector<int64_t> children;
+    // Covered key range [lo, hi] of the whole subtree.
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+  };
+
+  int height_ = 1;
+  int64_t root_ = 0;
+  std::vector<Node> nodes_;  // BFS order: root first
+};
+
+}  // namespace lbsq::broadcast
+
+#endif  // LBSQ_BROADCAST_TREE_INDEX_H_

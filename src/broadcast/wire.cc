@@ -1,0 +1,190 @@
+#include "broadcast/wire.h"
+
+#include <cstring>
+
+namespace lbsq::broadcast {
+
+namespace {
+
+constexpr uint8_t kBucketMagic[4] = {'L', 'B', 'Q', 'B'};
+constexpr uint8_t kIndexMagic[4] = {'L', 'B', 'Q', 'I'};
+
+// Zig-zag is unnecessary: ids are non-negative by contract, but the wire
+// must not break on a negative id from a hostile peer — encode as two's
+// complement u64 and range-check on decode.
+uint64_t IdToWire(int64_t id) { return static_cast<uint64_t>(id); }
+int64_t IdFromWire(uint64_t wire) { return static_cast<int64_t>(wire); }
+
+int VarintSize(uint64_t value) {
+  int size = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++size;
+  }
+  return size;
+}
+
+void PutMagic(ByteWriter* writer, const uint8_t magic[4]) {
+  writer->PutBytes(magic, 4);
+}
+
+bool CheckMagic(ByteReader* reader, const uint8_t magic[4]) {
+  for (int i = 0; i < 4; ++i) {
+    if (reader->GetU8() != magic[i]) return false;
+  }
+  return reader->ok();
+}
+
+}  // namespace
+
+void ByteWriter::PutVarint(uint64_t value) {
+  while (value >= 0x80) {
+    buffer_.push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  buffer_.push_back(static_cast<uint8_t>(value));
+}
+
+void ByteWriter::PutDouble(double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  for (int i = 0; i < 8; ++i) {
+    buffer_.push_back(static_cast<uint8_t>(bits >> (8 * i)));
+  }
+}
+
+void ByteWriter::PutBytes(const uint8_t* data, size_t size) {
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+uint8_t ByteReader::GetU8() {
+  if (!ok_ || position_ >= size_) {
+    ok_ = false;
+    return 0;
+  }
+  return data_[position_++];
+}
+
+uint64_t ByteReader::GetVarint() {
+  uint64_t value = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    const uint8_t byte = GetU8();
+    if (!ok_) return 0;
+    value |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      // Reject non-canonical over-long encodings in the final byte.
+      if (shift == 63 && byte > 1) {
+        ok_ = false;
+        return 0;
+      }
+      return value;
+    }
+  }
+  ok_ = false;  // more than 10 continuation bytes
+  return 0;
+}
+
+double ByteReader::GetDouble() {
+  uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) {
+    bits |= static_cast<uint64_t>(GetU8()) << (8 * i);
+  }
+  if (!ok_) return 0.0;
+  double value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+std::vector<uint8_t> EncodeBucket(const DataBucket& bucket) {
+  ByteWriter writer;
+  PutMagic(&writer, kBucketMagic);
+  writer.PutU8(kWireVersion);
+  writer.PutVarint(IdToWire(bucket.id));
+  writer.PutVarint(bucket.hilbert_lo);
+  writer.PutVarint(bucket.hilbert_hi);
+  writer.PutDouble(bucket.mbr.x1);
+  writer.PutDouble(bucket.mbr.y1);
+  writer.PutDouble(bucket.mbr.x2);
+  writer.PutDouble(bucket.mbr.y2);
+  writer.PutVarint(bucket.pois.size());
+  for (const spatial::Poi& poi : bucket.pois) {
+    writer.PutVarint(IdToWire(poi.id));
+    writer.PutDouble(poi.pos.x);
+    writer.PutDouble(poi.pos.y);
+  }
+  return writer.bytes();
+}
+
+bool DecodeBucket(const uint8_t* data, size_t size, DataBucket* out) {
+  ByteReader reader(data, size);
+  if (!CheckMagic(&reader, kBucketMagic)) return false;
+  if (reader.GetU8() != kWireVersion) return false;
+  out->id = IdFromWire(reader.GetVarint());
+  out->hilbert_lo = reader.GetVarint();
+  out->hilbert_hi = reader.GetVarint();
+  out->mbr.x1 = reader.GetDouble();
+  out->mbr.y1 = reader.GetDouble();
+  out->mbr.x2 = reader.GetDouble();
+  out->mbr.y2 = reader.GetDouble();
+  const uint64_t count = reader.GetVarint();
+  if (!reader.ok()) return false;
+  // A POI needs at least 17 bytes; reject absurd counts before allocating.
+  if (count > reader.remaining() / 17) return false;
+  out->pois.clear();
+  out->pois.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    spatial::Poi poi;
+    poi.id = IdFromWire(reader.GetVarint());
+    poi.pos.x = reader.GetDouble();
+    poi.pos.y = reader.GetDouble();
+    out->pois.push_back(poi);
+  }
+  return reader.ok() && reader.remaining() == 0;
+}
+
+std::vector<uint8_t> EncodeIndexSegment(
+    const std::vector<AirIndex::Entry>& entries) {
+  ByteWriter writer;
+  PutMagic(&writer, kIndexMagic);
+  writer.PutU8(kWireVersion);
+  writer.PutVarint(entries.size());
+  for (const AirIndex::Entry& entry : entries) {
+    writer.PutVarint(entry.hilbert);
+    writer.PutVarint(IdToWire(entry.bucket));
+  }
+  return writer.bytes();
+}
+
+bool DecodeIndexSegment(const uint8_t* data, size_t size,
+                        std::vector<AirIndex::Entry>* out) {
+  ByteReader reader(data, size);
+  if (!CheckMagic(&reader, kIndexMagic)) return false;
+  if (reader.GetU8() != kWireVersion) return false;
+  const uint64_t count = reader.GetVarint();
+  if (!reader.ok()) return false;
+  if (count > reader.remaining()) return false;  // >= 2 bytes per entry
+  out->clear();
+  out->reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    AirIndex::Entry entry;
+    entry.hilbert = reader.GetVarint();
+    entry.bucket = IdFromWire(reader.GetVarint());
+    out->push_back(entry);
+  }
+  return reader.ok() && reader.remaining() == 0;
+}
+
+int64_t BucketWireSize(const DataBucket& bucket) {
+  int64_t size = 4 + 1;  // magic + version
+  size += VarintSize(IdToWire(bucket.id));
+  size += VarintSize(bucket.hilbert_lo);
+  size += VarintSize(bucket.hilbert_hi);
+  size += 4 * 8;  // MBR
+  size += VarintSize(bucket.pois.size());
+  for (const spatial::Poi& poi : bucket.pois) {
+    size += VarintSize(IdToWire(poi.id)) + 16;
+  }
+  return size;
+}
+
+}  // namespace lbsq::broadcast

@@ -1,0 +1,92 @@
+#ifndef LBSQ_BROADCAST_WIRE_H_
+#define LBSQ_BROADCAST_WIRE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "broadcast/air_index.h"
+#include "broadcast/packet.h"
+
+/// \file
+/// Wire format for the broadcast channel: the byte-level encoding of data
+/// buckets and air-index segments a real transmitter would emit. The
+/// simulator's slot-based cost model abstracts packets as unit slots; this
+/// module grounds that abstraction (and the byte budget per slot) and gives
+/// downstream users a concrete, versioned serialization.
+///
+/// Layout (little-endian):
+///   bucket  := magic 'LBQB' | u8 version | varint id
+///              | varint hilbert_lo | varint hilbert_hi
+///              | f64 mbr.x1 y1 x2 y2 | varint poi_count
+///              | poi_count * (varint id | f64 x | f64 y)
+///   segment := magic 'LBQI' | u8 version | varint entry_count
+///              | entry_count * (varint hilbert | varint bucket)
+/// Varints are LEB128 (7 bits per byte). Decoders are bounds-checked and
+/// reject bad magic, bad version, truncation, and trailing garbage.
+
+namespace lbsq::broadcast {
+
+/// Current wire version.
+inline constexpr uint8_t kWireVersion = 1;
+
+/// Append-only byte buffer with the primitive encoders.
+class ByteWriter {
+ public:
+  /// The bytes written so far.
+  const std::vector<uint8_t>& bytes() const { return buffer_; }
+
+  void PutU8(uint8_t value) { buffer_.push_back(value); }
+  /// LEB128 unsigned varint.
+  void PutVarint(uint64_t value);
+  /// IEEE-754 binary64, little-endian byte order.
+  void PutDouble(double value);
+  /// Raw bytes.
+  void PutBytes(const uint8_t* data, size_t size);
+
+ private:
+  std::vector<uint8_t> buffer_;
+};
+
+/// Bounds-checked sequential reader. Any failed read latches the error flag
+/// and makes all further reads return zero values.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  /// True while no read has failed.
+  bool ok() const { return ok_; }
+  /// Bytes not yet consumed.
+  size_t remaining() const { return size_ - position_; }
+
+  uint8_t GetU8();
+  uint64_t GetVarint();
+  double GetDouble();
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t position_ = 0;
+  bool ok_ = true;
+};
+
+/// Serializes one data bucket.
+std::vector<uint8_t> EncodeBucket(const DataBucket& bucket);
+
+/// Parses a data bucket; returns false (leaving *out unspecified) on any
+/// malformed input. The entire buffer must be consumed.
+bool DecodeBucket(const uint8_t* data, size_t size, DataBucket* out);
+
+/// Serializes an index segment (a slice of the directory).
+std::vector<uint8_t> EncodeIndexSegment(
+    const std::vector<AirIndex::Entry>& entries);
+
+/// Parses an index segment; same error contract as DecodeBucket.
+bool DecodeIndexSegment(const uint8_t* data, size_t size,
+                        std::vector<AirIndex::Entry>* out);
+
+/// Wire size of a bucket in bytes (without encoding it).
+int64_t BucketWireSize(const DataBucket& bucket);
+
+}  // namespace lbsq::broadcast
+
+#endif  // LBSQ_BROADCAST_WIRE_H_

@@ -1,0 +1,99 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace lbsq {
+
+namespace {
+
+inline uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> uniform in [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  LBSQ_CHECK(lo <= hi);
+  return lo + (hi - lo) * NextDouble();
+}
+
+uint64_t Rng::NextBelow(uint64_t n) {
+  LBSQ_CHECK(n > 0);
+  const uint64_t threshold = (0 - n) % n;  // 2^64 mod n
+  for (;;) {
+    const uint64_t r = NextUint64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  LBSQ_CHECK(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  NextBelow(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+double Rng::Exponential(double lambda) {
+  LBSQ_CHECK(lambda > 0);
+  // 1 - U in (0, 1] avoids log(0).
+  return -std::log(1.0 - NextDouble()) / lambda;
+}
+
+int64_t Rng::Poisson(double mean) {
+  LBSQ_CHECK(mean >= 0);
+  if (mean == 0) return 0;
+  if (mean < 64) {
+    const double limit = std::exp(-mean);
+    double product = NextDouble();
+    int64_t count = 0;
+    while (product > limit) {
+      product *= NextDouble();
+      ++count;
+    }
+    return count;
+  }
+  const double value = Normal(mean, std::sqrt(mean));
+  return value < 0 ? 0 : static_cast<int64_t>(value + 0.5);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  const double u1 = 1.0 - NextDouble();  // (0, 1]
+  const double u2 = NextDouble();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+Rng Rng::Fork() { return Rng(NextUint64()); }
+
+}  // namespace lbsq

@@ -1,0 +1,103 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace lbsq {
+
+void RunningStat::Add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+void RunningStat::Merge(const RunningStat& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const int64_t n = count_ + other.count_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) /
+                         static_cast<double>(n);
+  mean_ = (mean_ * static_cast<double>(count_) +
+           other.mean_ * static_cast<double>(other.count_)) /
+          static_cast<double>(n);
+  count_ = n;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Histogram::Histogram(double lo, double hi, int buckets) : lo_(lo), hi_(hi) {
+  LBSQ_CHECK(lo < hi);
+  LBSQ_CHECK(buckets > 0);
+  counts_.assign(static_cast<size_t>(buckets), 0);
+}
+
+void Histogram::Add(double x) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  int64_t idx = static_cast<int64_t>(std::floor((x - lo_) / width));
+  idx = std::clamp<int64_t>(idx, 0, static_cast<int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::Percentile(double p) const {
+  LBSQ_CHECK(p >= 0.0 && p <= 100.0);
+  if (total_ == 0) return lo_;
+  const double target = p / 100.0 * static_cast<double>(total_);
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  double cumulative = 0.0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cumulative + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      const double frac =
+          counts_[i] == 0
+              ? 0.0
+              : (target - cumulative) / static_cast<double>(counts_[i]);
+      return lo_ + (static_cast<double>(i) + frac) * width;
+    }
+    cumulative = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::ToString() const {
+  std::string out;
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  int64_t peak = 1;
+  for (int64_t c : counts_) peak = std::max(peak, c);
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    char line[128];
+    const int bars =
+        static_cast<int>(40.0 * static_cast<double>(counts_[i]) /
+                         static_cast<double>(peak));
+    std::snprintf(line, sizeof(line), "[%8.3f, %8.3f) %8lld |",
+                  lo_ + static_cast<double>(i) * width,
+                  lo_ + static_cast<double>(i + 1) * width,
+                  static_cast<long long>(counts_[i]));
+    out += line;
+    out.append(static_cast<size_t>(bars), '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace lbsq

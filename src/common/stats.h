@@ -1,0 +1,81 @@
+#ifndef LBSQ_COMMON_STATS_H_
+#define LBSQ_COMMON_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file
+/// Streaming statistics accumulators used by the simulator's metric
+/// collection and by the benchmark harness.
+
+namespace lbsq {
+
+/// Welford-style online accumulator for mean/variance/min/max.
+class RunningStat {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Number of observations added.
+  int64_t count() const { return count_; }
+  /// Arithmetic mean (0 when empty).
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Unbiased sample variance (0 with fewer than two observations).
+  double variance() const;
+  /// Sample standard deviation.
+  double stddev() const;
+  /// Smallest observation (+inf when empty).
+  double min() const { return min_; }
+  /// Largest observation (-inf when empty).
+  double max() const { return max_; }
+  /// Sum of all observations.
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel Welford merge).
+  void Merge(const RunningStat& other);
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 1.0 / 0.0 * 1.0;   // +inf without <limits> in the header
+  double max_ = -(1.0 / 0.0);      // -inf
+};
+
+/// Fixed-bucket histogram over [lo, hi); out-of-range samples clamp to the
+/// first/last bucket. Used to report latency distributions.
+class Histogram {
+ public:
+  /// Creates `buckets` equal-width buckets spanning [lo, hi). Requires
+  /// lo < hi and buckets > 0.
+  Histogram(double lo, double hi, int buckets);
+
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Count in bucket `i`.
+  int64_t bucket_count(int i) const { return counts_[static_cast<size_t>(i)]; }
+  /// Number of buckets.
+  int num_buckets() const { return static_cast<int>(counts_.size()); }
+  /// Total observations.
+  int64_t total() const { return total_; }
+
+  /// Approximate p-th percentile (p in [0, 100]) by linear interpolation
+  /// within the containing bucket. Returns `lo` when empty.
+  double Percentile(double p) const;
+
+  /// Multi-line ASCII rendering for logs.
+  std::string ToString() const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<int64_t> counts_;
+  int64_t total_ = 0;
+};
+
+}  // namespace lbsq
+
+#endif  // LBSQ_COMMON_STATS_H_

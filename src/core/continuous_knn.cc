@@ -1,0 +1,48 @@
+#include "core/continuous_knn.h"
+
+#include "common/check.h"
+#include "core/nnv.h"
+
+namespace lbsq::core {
+
+ContinuousKnn::ContinuousKnn(const SbnnOptions& options, double poi_density)
+    : options_(options), poi_density_(poi_density) {
+  LBSQ_CHECK(options.k >= 1);
+  LBSQ_CHECK(poi_density >= 0.0);
+}
+
+ContinuousKnn::Update ContinuousKnn::Tick(
+    geom::Point pos, PeerCache* cache, const std::vector<PeerData>& peers,
+    const broadcast::BroadcastSystem& system, int64_t now) {
+  LBSQ_CHECK(cache != nullptr);
+  ++ticks_;
+  Update update;
+
+  // Step 1: can the host's own knowledge still verify the full answer?
+  const PeerData own = cache->Share();
+  if (!own.empty()) {
+    const NnvResult self_check =
+        NearestNeighborVerify(pos, options_.k, {own}, poi_density_);
+    if (self_check.heap.fully_verified()) {
+      ++own_cache_hits_;
+      update.from_own_cache = true;
+      for (const HeapEntry& e : self_check.heap.entries()) {
+        update.neighbors.push_back(spatial::PoiDistance{e.poi, e.distance});
+      }
+      return update;
+    }
+  }
+
+  // Step 2: full SBNN over own cache + radio peers, refreshing the cache.
+  std::vector<PeerData> all = peers;
+  if (!own.empty()) all.push_back(own);
+  SbnnOutcome outcome =
+      RunSbnn(pos, options_, all, poi_density_, system, now);
+  update.neighbors = std::move(outcome.neighbors);
+  update.resolved_by = outcome.resolved_by;
+  update.stats = outcome.stats;
+  cache->Insert(outcome.cacheable, pos, pos, geom::Point{0.0, 0.0});
+  return update;
+}
+
+}  // namespace lbsq::core

@@ -1,0 +1,69 @@
+#ifndef LBSQ_CORE_CONTINUOUS_KNN_H_
+#define LBSQ_CORE_CONTINUOUS_KNN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "broadcast/system.h"
+#include "core/peer_cache.h"
+#include "core/sbnn.h"
+#include "geom/point.h"
+#include "spatial/poi.h"
+
+/// \file
+/// Continuous kNN for a moving host — the natural extension of the paper's
+/// one-shot queries (its conclusion points at future work on the sharing
+/// architecture; a navigator asking "nearest gas station, continuously" is
+/// the canonical use). Each position update first attempts Lemma 3.1
+/// verification against the host's *own* cache: while the host remains deep
+/// inside previously verified territory, updates cost nothing. Only when
+/// its knowledge no longer covers the k-NN disc does the update fall back
+/// to the full SBNN pipeline (peers, then broadcast), and the result of
+/// that refresh is inserted back into the cache, typically buying many more
+/// free updates.
+
+namespace lbsq::core {
+
+/// Driver for a continuous k-nearest-neighbor query.
+class ContinuousKnn {
+ public:
+  /// Continuous query for `options.k` neighbors; `poi_density` parameterizes
+  /// Lemma 3.2 exactly as in RunSbnn.
+  ContinuousKnn(const SbnnOptions& options, double poi_density);
+
+  /// Result of one position update.
+  struct Update {
+    /// The current k nearest neighbors (exact unless served approximately
+    /// by peers, same contract as SbnnOutcome).
+    std::vector<spatial::PoiDistance> neighbors;
+    /// True when the host's own cache fully verified the answer — a
+    /// zero-communication tick.
+    bool from_own_cache = false;
+    /// How the fallback resolved (meaningful when !from_own_cache).
+    ResolvedBy resolved_by = ResolvedBy::kPeersVerified;
+    /// Broadcast cost of this update (zero for cache/peer ticks).
+    broadcast::AccessStats stats;
+  };
+
+  /// Advances the query to `pos` at broadcast slot `now`. `cache` is the
+  /// host's own query cache (consulted first, refreshed on fallback);
+  /// `peers` is whatever the radio currently reaches.
+  Update Tick(geom::Point pos, PeerCache* cache,
+              const std::vector<PeerData>& peers,
+              const broadcast::BroadcastSystem& system, int64_t now);
+
+  /// Updates served entirely from the host's own cache so far.
+  int64_t own_cache_hits() const { return own_cache_hits_; }
+  /// Total updates.
+  int64_t ticks() const { return ticks_; }
+
+ private:
+  SbnnOptions options_;
+  double poi_density_;
+  int64_t own_cache_hits_ = 0;
+  int64_t ticks_ = 0;
+};
+
+}  // namespace lbsq::core
+
+#endif  // LBSQ_CORE_CONTINUOUS_KNN_H_

@@ -1,0 +1,53 @@
+#ifndef LBSQ_CORE_NNV_H_
+#define LBSQ_CORE_NNV_H_
+
+#include <vector>
+
+#include "core/result_heap.h"
+#include "core/verified_region.h"
+#include "geom/point.h"
+#include "geom/rect_region.h"
+
+/// \file
+/// Nearest Neighbor Verification — Algorithm 1 of the paper, the core of the
+/// sharing-based nearest neighbor query. Merges the peers' verified regions
+/// into the MVR, sorts the pooled candidate POIs by distance, and verifies
+/// each candidate closer to the query point than the nearest MVR boundary
+/// edge (Lemma 3.1). Unverified candidates are annotated with their Lemma
+/// 3.2 correctness probability and surpassing ratio.
+///
+/// Note: Algorithm 1 as printed increments the loop variable only in the
+/// `else` branch; that is a typographical slip (the loop would never advance
+/// past a verified POI). We advance per iteration, matching the prose.
+
+namespace lbsq::core {
+
+/// Outcome of one NNV run.
+struct NnvResult {
+  /// The candidate heap H.
+  ResultHeap heap;
+  /// The merged verified region MVR.
+  geom::RectRegion mvr;
+  /// ||q, e_s||: distance from the query point to the nearest boundary edge
+  /// of the MVR; 0 when q lies outside the MVR (nothing can be verified).
+  double boundary_distance = 0.0;
+  /// Number of distinct candidate POIs pooled from the peers.
+  int candidate_count = 0;
+  /// All distinct candidates, ascending by distance to q. These are genuine
+  /// server objects; the broadcast fallback merges them with downloaded
+  /// buckets to assemble exact answers despite skipped packets.
+  std::vector<spatial::PoiDistance> candidates;
+
+  explicit NnvResult(int k) : heap(k) {}
+};
+
+/// Runs NNV for query point `q` requesting `k` neighbors over the data
+/// shared by `peers`. `poi_density` (objects per square unit) parameterizes
+/// the Lemma 3.2 correctness probabilities of unverified entries.
+NnvResult NearestNeighborVerify(geom::Point q, int k,
+                                const std::vector<PeerData>& peers,
+                                double poi_density);
+
+}  // namespace lbsq::core
+
+#endif  // LBSQ_CORE_NNV_H_

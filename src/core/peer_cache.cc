@@ -1,0 +1,162 @@
+#include "core/peer_cache.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace lbsq::core {
+
+namespace {
+
+// Keeps only the POIs whose position lies inside the region.
+void FilterToRegion(VerifiedRegion* vr) {
+  std::erase_if(vr->pois, [vr](const spatial::Poi& p) {
+    return !vr->region.Contains(p.pos);
+  });
+}
+
+// Replacement score (higher = evicted sooner): distance from the host to the
+// entry's center, doubled when the entry lies behind the direction of
+// motion (Ren & Dunham's direction + data-distance policy).
+double EvictionScore(const VerifiedRegion& vr, geom::Point host_pos,
+                     geom::Point heading) {
+  const geom::Point center = vr.region.center();
+  double score = geom::Distance(center, host_pos);
+  const geom::Point to_entry = center - host_pos;
+  if (geom::Norm(heading) > 0.0 && geom::Dot(heading, to_entry) < 0.0) {
+    score *= 2.0;
+  }
+  return score;
+}
+
+}  // namespace
+
+PeerCache::PeerCache(int poi_capacity, int max_regions, CachePolicy policy)
+    : poi_capacity_(poi_capacity),
+      max_regions_(max_regions),
+      policy_(policy) {
+  LBSQ_CHECK(poi_capacity >= 0);
+  LBSQ_CHECK(max_regions >= 1);
+}
+
+int64_t PeerCache::TotalPois() const {
+  int64_t total = 0;
+  for (const VerifiedRegion& vr : entries_) {
+    total += static_cast<int64_t>(vr.pois.size());
+  }
+  return total;
+}
+
+PeerData PeerCache::Share() const { return PeerData{entries_}; }
+
+VerifiedRegion PeerCache::ShrinkToCapacity(VerifiedRegion vr,
+                                           geom::Point anchor, int capacity) {
+  FilterToRegion(&vr);
+  if (static_cast<int>(vr.pois.size()) <= capacity) return vr;
+  if (capacity <= 0) return VerifiedRegion{};
+
+  // Keep the largest anchored square holding at most `capacity` POIs: rank
+  // the POIs by max-norm (Chebyshev) distance to the anchor — exactly the
+  // order in which a growing square absorbs them — and cut halfway between
+  // the capacity-th and the (capacity+1)-th.
+  std::vector<double> distances;
+  distances.reserve(vr.pois.size());
+  for (const spatial::Poi& p : vr.pois) {
+    distances.push_back(std::max(std::abs(p.pos.x - anchor.x),
+                                 std::abs(p.pos.y - anchor.y)));
+  }
+  std::nth_element(distances.begin(),
+                   distances.begin() + static_cast<long>(capacity),
+                   distances.end());
+  const double outer = distances[static_cast<size_t>(capacity)];
+  const double inner = *std::max_element(
+      distances.begin(), distances.begin() + static_cast<long>(capacity));
+  // Coincident max-norm distances (ties) can still overflow the capacity;
+  // shrink further until the entry fits or degenerates.
+  double half = (inner + outer) / 2.0;
+  const geom::Rect original = vr.region;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    VerifiedRegion candidate = vr;
+    candidate.region =
+        original.Intersection(geom::Rect::CenteredSquare(anchor, half));
+    if (candidate.region.empty() || candidate.region.area() == 0.0) {
+      return VerifiedRegion{};
+    }
+    FilterToRegion(&candidate);
+    if (static_cast<int>(candidate.pois.size()) <= capacity) return candidate;
+    half *= 0.75;
+  }
+  return VerifiedRegion{};
+}
+
+VerifiedRegion PeerCache::ReduceToCollectiveMbr(VerifiedRegion vr,
+                                                geom::Point anchor,
+                                                int capacity) {
+  FilterToRegion(&vr);
+  if (static_cast<int>(vr.pois.size()) <= capacity) return vr;
+  if (capacity <= 0) return VerifiedRegion{};
+  std::sort(vr.pois.begin(), vr.pois.end(),
+            [anchor](const spatial::Poi& a, const spatial::Poi& b) {
+              const double da = geom::DistanceSquared(a.pos, anchor);
+              const double db = geom::DistanceSquared(b.pos, anchor);
+              if (da != db) return da < db;
+              return a.id < b.id;
+            });
+  vr.pois.resize(static_cast<size_t>(capacity));
+  geom::Rect mbr;
+  for (const spatial::Poi& p : vr.pois) mbr.Expand(p.pos);
+  // "store all of them and their collective MBR" — the MBR of the kept POIs,
+  // clipped to the region that was actually observed.
+  vr.region = vr.region.Intersection(mbr);
+  return vr;
+}
+
+void PeerCache::Insert(VerifiedRegion vr, geom::Point anchor,
+                       geom::Point host_pos, geom::Point heading) {
+  if (vr.region.empty() || vr.region.area() == 0.0) return;
+  vr = policy_ == CachePolicy::kSoundShrink
+           ? ShrinkToCapacity(std::move(vr), anchor, poi_capacity_)
+           : ReduceToCollectiveMbr(std::move(vr), anchor, poi_capacity_);
+  if (vr.region.empty()) return;
+
+  // Drop entries subsumed by the new region; skip the insert when an
+  // existing entry already covers it.
+  for (const VerifiedRegion& existing : entries_) {
+    if (existing.region.ContainsRect(vr.region)) return;
+  }
+  std::erase_if(entries_, [&vr](const VerifiedRegion& existing) {
+    return vr.region.ContainsRect(existing.region);
+  });
+
+  entries_.push_back(std::move(vr));
+  EnforceCapacity(host_pos, heading, entries_.size() - 1);
+}
+
+void PeerCache::EnforceCapacity(geom::Point host_pos, geom::Point heading,
+                                size_t protect_index) {
+  while (TotalPois() > poi_capacity_ ||
+         static_cast<int>(entries_.size()) > max_regions_) {
+    size_t worst = entries_.size();
+    double worst_score = -std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if (i == protect_index) continue;
+      const double score = EvictionScore(entries_[i], host_pos, heading);
+      if (score > worst_score) {
+        worst_score = score;
+        worst = i;
+      }
+    }
+    if (worst == entries_.size()) {
+      // Only the protected entry remains; it already fits (ShrinkToCapacity
+      // bounded it by the POI capacity) and one region never exceeds the
+      // region limit.
+      break;
+    }
+    if (worst < protect_index) --protect_index;
+    entries_.erase(entries_.begin() + static_cast<long>(worst));
+  }
+}
+
+}  // namespace lbsq::core

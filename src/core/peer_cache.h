@@ -1,0 +1,104 @@
+#ifndef LBSQ_CORE_PEER_CACHE_H_
+#define LBSQ_CORE_PEER_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/verified_region.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "spatial/poi.h"
+
+/// \file
+/// The local query-result cache of a mobile host. Per the paper's policies
+/// (§4.1): a host stores verified POIs together with their MBRs, bounded by
+/// a per-data-type POI capacity (CSize), and replaces entries based on its
+/// current moving direction and the distance to the cached data (the
+/// semantic caching policy of Ren & Dunham).
+///
+/// The load-bearing invariant maintained throughout: for every cache entry,
+/// every server POI inside `region` is present in `pois`. Lemma 3.1 (and
+/// with it the correctness of every sharing-based answer in the system) is
+/// unsound without it, so insertion *shrinks* regions that would exceed the
+/// capacity rather than silently dropping POIs.
+
+namespace lbsq::core {
+
+/// How an entry that exceeds the POI capacity is reduced.
+enum class CachePolicy {
+  /// Shrink the region until its complete content fits (sound; default).
+  kSoundShrink,
+  /// The policy the paper's §4.1 text describes literally: store the
+  /// `capacity` nearest POIs "and their collective MBR". When the capacity
+  /// binds, that MBR contains server POIs that were NOT stored, silently
+  /// breaking the completeness invariant Lemma 3.1 depends on — peers
+  /// consuming such regions can return wrong answers. Provided so the
+  /// ablation bench can quantify the hit-ratio inflation and the answer
+  /// error rate this policy trades it for.
+  kCollectiveMbr,
+};
+
+/// Query-result cache of one mobile host.
+class PeerCache {
+ public:
+  /// Cache holding at most `poi_capacity` POIs (the paper's CSize) across at
+  /// most `max_regions` verified regions.
+  explicit PeerCache(int poi_capacity, int max_regions = 8,
+                     CachePolicy policy = CachePolicy::kSoundShrink);
+
+  /// Current verified regions.
+  const std::vector<VerifiedRegion>& entries() const { return entries_; }
+
+  /// Total cached POIs across all entries.
+  int64_t TotalPois() const;
+
+  /// What this host returns when a peer asks for its cached spatial data.
+  PeerData Share() const;
+
+  /// Empties the cache.
+  void Clear() { entries_.clear(); }
+
+  /// Inserts a verified region. `vr` must satisfy the completeness invariant
+  /// on entry (POIs outside the region are permitted and are dropped).
+  ///
+  /// `anchor` is the point the knowledge is centered on (the query
+  /// location): when the entry alone exceeds the POI capacity its region is
+  /// shrunk around the anchor until it fits. `host_pos` and `heading`
+  /// parameterize the replacement policy used to evict older entries when
+  /// the cache overflows: the entry with the worst direction-weighted
+  /// distance (far away and behind the direction of motion) goes first.
+  void Insert(VerifiedRegion vr, geom::Point anchor, geom::Point host_pos,
+              geom::Point heading);
+
+  /// Reduces `vr` to the `capacity` POIs nearest to `anchor` and claims
+  /// their collective MBR (intersected with the original region) as the
+  /// verified region — the kCollectiveMbr policy. Unsound when POIs were
+  /// dropped; see CachePolicy.
+  static VerifiedRegion ReduceToCollectiveMbr(VerifiedRegion vr,
+                                              geom::Point anchor,
+                                              int capacity);
+
+  /// Shrinks `vr` around `anchor` until it holds at most `capacity` POIs,
+  /// preserving the completeness invariant: POIs are ranked by distance to
+  /// the anchor, a cut radius is placed between the capacity-th and the
+  /// (capacity+1)-th, and the region is intersected with the axis-aligned
+  /// square inscribed in that cut disc. Returns an empty-region entry when
+  /// nothing can be kept. Exposed for tests.
+  static VerifiedRegion ShrinkToCapacity(VerifiedRegion vr, geom::Point anchor,
+                                         int capacity);
+
+ private:
+  /// Evicts worst-scored entries (except `protect_index`) until both the POI
+  /// capacity and the region-count limit hold.
+  void EnforceCapacity(geom::Point host_pos, geom::Point heading,
+                       size_t protect_index);
+
+  int poi_capacity_;
+  int max_regions_;
+  CachePolicy policy_;
+  std::vector<VerifiedRegion> entries_;
+};
+
+}  // namespace lbsq::core
+
+#endif  // LBSQ_CORE_PEER_CACHE_H_

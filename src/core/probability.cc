@@ -1,0 +1,49 @@
+#include "core/probability.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace lbsq::core {
+
+double CorrectnessProbability(double lambda, double area) {
+  LBSQ_CHECK(lambda >= 0.0);
+  LBSQ_CHECK(area >= -1e-9);  // tolerate tiny negative numerical noise
+  return std::exp(-lambda * std::max(area, 0.0));
+}
+
+double SurpassingRatio(double unverified_distance,
+                       double last_verified_distance) {
+  LBSQ_CHECK(unverified_distance >= 0.0);
+  if (last_verified_distance <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return unverified_distance / last_verified_distance;
+}
+
+double KthNeighborDistanceCdf(double lambda, int k, double r) {
+  LBSQ_CHECK(lambda >= 0.0);
+  LBSQ_CHECK(k >= 1);
+  if (r <= 0.0) return 0.0;
+  const double mu = lambda * M_PI * r * r;
+  double term = std::exp(-mu);  // i = 0
+  double tail = term;
+  for (int i = 1; i < k; ++i) {
+    term *= mu / static_cast<double>(i);
+    tail += term;
+  }
+  return 1.0 - tail;
+}
+
+double KthNeighborDistanceMean(double lambda, int k) {
+  LBSQ_CHECK(lambda > 0.0);
+  LBSQ_CHECK(k >= 1);
+  // E[d_k] = Gamma(k + 1/2) / Gamma(k) / sqrt(lambda * pi).
+  const double log_ratio = std::lgamma(static_cast<double>(k) + 0.5) -
+                           std::lgamma(static_cast<double>(k));
+  return std::exp(log_ratio) / std::sqrt(lambda * M_PI);
+}
+
+}  // namespace lbsq::core

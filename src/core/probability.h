@@ -1,0 +1,38 @@
+#ifndef LBSQ_CORE_PROBABILITY_H_
+#define LBSQ_CORE_PROBABILITY_H_
+
+/// \file
+/// The probabilistic machinery of §3.3.2: under a Poisson POI distribution,
+/// the correctness probability of an unverified nearest neighbor is
+/// e^(-lambda * u) where u is the area of its unverified region (Lemma 3.2),
+/// and the surpassing ratio bounds the extra travel distance a user accepts
+/// when acting on an unverified answer.
+
+namespace lbsq::core {
+
+/// Lemma 3.2: probability that no POI exists in an unverified region of
+/// `area` square units when POIs are Poisson with density `lambda` per
+/// square unit. Requires lambda >= 0 and area >= 0.
+double CorrectnessProbability(double lambda, double area);
+
+/// Surpassing ratio r'/r of an unverified POI at distance
+/// `unverified_distance` relative to the last verified POI at distance
+/// `last_verified_distance` (> 0). The worst-case extra travel distance for
+/// a user who takes the unverified POI as their i-th NN is approximately
+/// last_verified_distance * (ratio - 1) (the paper's Table 2 example).
+double SurpassingRatio(double unverified_distance,
+                       double last_verified_distance);
+
+/// CDF of the distance to the k-th nearest POI from an arbitrary point under
+/// a Poisson process of density `lambda`:
+/// P(d_k <= r) = 1 - sum_{i<k} e^(-lambda pi r^2) (lambda pi r^2)^i / i!.
+/// Used by the analytic hit-ratio model.
+double KthNeighborDistanceCdf(double lambda, int k, double r);
+
+/// Mean of the k-th nearest-neighbor distance under the same model,
+/// E[d_k] = Gamma(k + 1/2) / (k-1)! / sqrt(lambda pi).
+double KthNeighborDistanceMean(double lambda, int k);
+
+}  // namespace lbsq::core
+
+#endif  // LBSQ_CORE_PROBABILITY_H_

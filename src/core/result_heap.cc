@@ -1,0 +1,53 @@
+#include "core/result_heap.h"
+
+#include "common/check.h"
+
+namespace lbsq::core {
+
+ResultHeap::ResultHeap(int k) : k_(k) { LBSQ_CHECK(k >= 1); }
+
+int ResultHeap::verified_count() const {
+  int count = 0;
+  for (const HeapEntry& e : entries_) {
+    if (e.verified) ++count;
+  }
+  return count;
+}
+
+bool ResultHeap::Push(const HeapEntry& entry) {
+  if (full()) return false;
+  if (!entries_.empty()) {
+    LBSQ_CHECK(entry.distance >= entries_.back().distance);
+    // Verification is monotone in distance: once an unverified entry
+    // appears, no later entry can be verified.
+    LBSQ_CHECK(!(entry.verified && !entries_.back().verified));
+  }
+  entries_.push_back(entry);
+  return true;
+}
+
+HeapState ResultHeap::State() const {
+  const int verified = verified_count();
+  const int unverified = unverified_count();
+  if (entries_.empty()) return HeapState::kEmpty;
+  if (full()) {
+    if (unverified == 0) return HeapState::kFulfilled;
+    return verified > 0 ? HeapState::kFullMixed : HeapState::kFullUnverified;
+  }
+  if (verified > 0 && unverified > 0) return HeapState::kPartialMixed;
+  if (verified > 0) return HeapState::kPartialVerified;
+  return HeapState::kPartialUnverified;
+}
+
+std::optional<double> ResultHeap::UpperBound() const {
+  if (!full()) return std::nullopt;
+  return entries_.back().distance;
+}
+
+std::optional<double> ResultHeap::LowerBound() const {
+  const int verified = verified_count();
+  if (verified == 0) return std::nullopt;
+  return entries_[static_cast<size_t>(verified - 1)].distance;
+}
+
+}  // namespace lbsq::core

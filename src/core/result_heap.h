@@ -1,0 +1,96 @@
+#ifndef LBSQ_CORE_RESULT_HEAP_H_
+#define LBSQ_CORE_RESULT_HEAP_H_
+
+#include <optional>
+#include <vector>
+
+#include "spatial/poi.h"
+
+/// \file
+/// The heap H of the paper (Table 2): the ordered candidate answer set a
+/// sharing-based NN query accumulates, each entry flagged verified or
+/// unverified and annotated with its correctness probability and surpassing
+/// ratio. Section 3.3.3 classifies H into six states which determine the
+/// search bounds available for broadcast-channel data filtering.
+
+namespace lbsq::core {
+
+/// One candidate nearest neighbor.
+struct HeapEntry {
+  spatial::Poi poi;
+  /// Euclidean distance to the query point.
+  double distance = 0.0;
+  /// True when Lemma 3.1 verified this entry as a top-v NN.
+  bool verified = false;
+  /// Lemma 3.2 probability that this entry is the true i-th NN
+  /// (1 for verified entries).
+  double correctness = 1.0;
+  /// Ratio of this entry's distance to the last verified entry's distance
+  /// (the worst-case extra-travel metric); 1 for verified entries and +inf
+  /// when no entry is verified.
+  double surpassing_ratio = 1.0;
+};
+
+/// The six states of §3.3.3, plus the terminal "query fulfilled" state in
+/// which all k entries are verified (the paper's states only classify heaps
+/// that did not reach k verified objects).
+enum class HeapState {
+  kFulfilled = 0,          // full, all k entries verified
+  kFullMixed = 1,          // full, verified + unverified
+  kFullUnverified = 2,     // full, only unverified
+  kPartialMixed = 3,       // not full, verified + unverified
+  kPartialVerified = 4,    // not full, only verified
+  kPartialUnverified = 5,  // not full, only unverified
+  kEmpty = 6,              // no entries
+};
+
+/// Candidate heap for a k-NN query. Entries are kept in ascending distance
+/// order; all verified entries precede all unverified ones (NNV inserts in
+/// ascending order and verification is monotone in distance).
+class ResultHeap {
+ public:
+  /// Heap for a query requesting `k` >= 1 neighbors.
+  explicit ResultHeap(int k);
+
+  /// Requested result size.
+  int k() const { return k_; }
+  /// Current entries, ascending by distance.
+  const std::vector<HeapEntry>& entries() const { return entries_; }
+  /// Mutable access for post-hoc annotation (correctness, surpassing ratio).
+  std::vector<HeapEntry>* mutable_entries() { return &entries_; }
+
+  /// True when |H| == k.
+  bool full() const { return static_cast<int>(entries_.size()) == k_; }
+  /// Number of verified entries.
+  int verified_count() const;
+  /// Number of unverified entries.
+  int unverified_count() const {
+    return static_cast<int>(entries_.size()) - verified_count();
+  }
+  /// True when all k requested entries are present and verified.
+  bool fully_verified() const { return full() && verified_count() == k_; }
+
+  /// Appends an entry (distance must be >= the last entry's distance, and a
+  /// verified entry must not follow an unverified one). Returns false when
+  /// the heap is already full.
+  bool Push(const HeapEntry& entry);
+
+  /// The state classification of §3.3.3.
+  HeapState State() const;
+
+  /// Search upper bound: distance of the last (k-th) entry when the heap is
+  /// full (states 1 and 2); the true k-th NN distance cannot exceed it.
+  std::optional<double> UpperBound() const;
+
+  /// Search lower bound: distance of the last verified entry (states 1, 3,
+  /// 4); every object within this distance is already known.
+  std::optional<double> LowerBound() const;
+
+ private:
+  int k_;
+  std::vector<HeapEntry> entries_;
+};
+
+}  // namespace lbsq::core
+
+#endif  // LBSQ_CORE_RESULT_HEAP_H_

@@ -1,0 +1,153 @@
+#include "core/sbnn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "geom/circle.h"
+#include "onair/onair_knn.h"
+
+namespace lbsq::core {
+
+namespace {
+
+// Converts heap entries into the result representation.
+std::vector<spatial::PoiDistance> HeapToNeighbors(const ResultHeap& heap) {
+  std::vector<spatial::PoiDistance> out;
+  out.reserve(heap.entries().size());
+  for (const HeapEntry& e : heap.entries()) {
+    out.push_back(spatial::PoiDistance{e.poi, e.distance});
+  }
+  return out;
+}
+
+// True when every unverified entry clears the correctness threshold.
+bool ApproximateAcceptable(const ResultHeap& heap, double min_correctness) {
+  for (const HeapEntry& e : heap.entries()) {
+    if (!e.verified && e.correctness < min_correctness) return false;
+  }
+  return true;
+}
+
+// The square inscribed in the disc of the last verified entry: every server
+// POI inside it is among the verified prefix, so the pair (square, verified
+// POIs inside it) satisfies the cache completeness invariant.
+VerifiedRegion CacheableFromVerifiedPrefix(geom::Point q,
+                                           const ResultHeap& heap) {
+  VerifiedRegion vr;
+  const auto lower = heap.LowerBound();
+  if (!lower.has_value() || *lower <= 0.0) return vr;
+  // Shrink a hair below the inscribed square so distance ties with POIs that
+  // did not fit in the heap (and square-corner contacts) stay outside.
+  vr.region = geom::Rect::CenteredSquare(
+      q, *lower / std::sqrt(2.0) * (1.0 - 1e-9));
+  for (const HeapEntry& e : heap.entries()) {
+    if (e.verified && vr.region.Contains(e.poi.pos)) vr.pois.push_back(e.poi);
+  }
+  return vr;
+}
+
+}  // namespace
+
+SbnnOutcome RunSbnn(geom::Point q, const SbnnOptions& options,
+                    const std::vector<PeerData>& peers, double poi_density,
+                    const broadcast::BroadcastSystem& system, int64_t now) {
+  LBSQ_CHECK(options.k >= 1);
+  SbnnOutcome outcome(options.k);
+  outcome.nnv = NearestNeighborVerify(q, options.k, peers, poi_density);
+  const ResultHeap& heap = outcome.nnv.heap;
+
+  if (heap.fully_verified()) {
+    outcome.resolved_by = ResolvedBy::kPeersVerified;
+    outcome.neighbors = HeapToNeighbors(heap);
+    outcome.cacheable = CacheableFromVerifiedPrefix(q, heap);
+    return outcome;
+  }
+  if (options.accept_approximate && heap.full() &&
+      ApproximateAcceptable(heap, options.min_correctness)) {
+    outcome.resolved_by = ResolvedBy::kPeersApproximate;
+    outcome.neighbors = HeapToNeighbors(heap);
+    outcome.cacheable = CacheableFromVerifiedPrefix(q, heap);
+    return outcome;
+  }
+
+  // Broadcast fallback with §3.3.3 data filtering.
+  outcome.resolved_by = ResolvedBy::kBroadcast;
+
+  // Search upper bound. The paper's client uses the k-th heap entry when H
+  // is full (states 1, 2) and the index-derived bound otherwise; with
+  // tighten_with_index_bound both bounds apply (their minimum is sound).
+  const auto upper = heap.UpperBound();
+  double radius;
+  if (options.use_filtering && upper.has_value() &&
+      !options.tighten_with_index_bound) {
+    radius = *upper;
+  } else {
+    radius = system.index().KthDistanceUpperBound(q, options.k);
+    if (!std::isfinite(radius)) {
+      radius = system.grid().world().MaxDistance(q);
+    }
+    if (options.use_filtering && upper.has_value()) {
+      radius = std::min(radius, *upper);
+    }
+  }
+  LBSQ_CHECK(options.prefetch_radius_factor >= 1.0);
+  radius *= options.prefetch_radius_factor;
+  std::vector<int64_t> needed =
+      onair::BucketsForCircle(system, geom::Circle{q, radius});
+
+  // Search lower bound: packets fully covered by the circle C_i of radius
+  // d_v (the last verified entry) hold only objects the peers already
+  // supplied (states 1, 3, 4).
+  const auto lower = heap.LowerBound();
+  if (options.use_filtering && lower.has_value()) {
+    const geom::Circle known{q, *lower};
+    std::vector<int64_t> kept;
+    for (int64_t id : needed) {
+      const broadcast::DataBucket& bucket =
+          system.buckets()[static_cast<size_t>(id)];
+      if (known.ContainsRect(bucket.mbr)) {
+        ++outcome.buckets_skipped;
+      } else {
+        kept.push_back(id);
+      }
+    }
+    needed.swap(kept);
+  }
+
+  outcome.buckets = needed;
+  int64_t index_read = -1;  // flat directory: whole segment
+  if (system.tree_index() != nullptr) {
+    index_read = system.IndexReadBuckets(
+        system.grid().CoverRect(geom::Circle{q, radius}.Mbr()));
+  }
+  outcome.stats = broadcast::RetrieveBuckets(system.schedule(), now, needed,
+                                             index_read);
+
+  // Assemble the exact answer from the downloaded buckets plus everything
+  // the peers supplied (which covers any packets the filter skipped).
+  std::vector<spatial::Poi> known_pois = system.CollectPois(needed);
+  for (const spatial::PoiDistance& c : outcome.nnv.candidates) {
+    known_pois.push_back(c.poi);
+  }
+  std::sort(known_pois.begin(), known_pois.end(),
+            [](const spatial::Poi& a, const spatial::Poi& b) {
+              return a.id < b.id;
+            });
+  known_pois.erase(std::unique(known_pois.begin(), known_pois.end()),
+                   known_pois.end());
+  outcome.neighbors = spatial::BruteForceKnn(known_pois, q, options.k);
+
+  // Every cell intersecting the search MBR is covered by a bucket that was
+  // either downloaded or skipped-as-peer-known, so the client now has
+  // complete knowledge of the MBR.
+  outcome.cacheable.region = geom::Circle{q, radius}.Mbr();
+  for (const spatial::Poi& poi : known_pois) {
+    if (outcome.cacheable.region.Contains(poi.pos)) {
+      outcome.cacheable.pois.push_back(poi);
+    }
+  }
+  return outcome;
+}
+
+}  // namespace lbsq::core

@@ -1,0 +1,100 @@
+#ifndef LBSQ_CORE_SBNN_H_
+#define LBSQ_CORE_SBNN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "broadcast/client_protocol.h"
+#include "broadcast/system.h"
+#include "core/nnv.h"
+#include "core/verified_region.h"
+#include "geom/point.h"
+#include "spatial/poi.h"
+
+/// \file
+/// The Sharing-Based Nearest Neighbor query — Algorithm 2 of the paper.
+/// First NNV attempts to answer from peer caches; if k verified neighbors
+/// are found the query is fulfilled with zero broadcast access. Otherwise
+/// the user may accept an approximate answer (heap full, all unverified
+/// entries above a correctness threshold), or the query falls back to the
+/// broadcast channel with the §3.3.3 data filtering: the heap's upper bound
+/// shrinks the search circle, and the lower-bound circle C_i excuses every
+/// packet it fully covers.
+
+namespace lbsq::core {
+
+/// User-facing SBNN knobs.
+struct SbnnOptions {
+  /// Number of neighbors requested.
+  int k = 5;
+  /// Whether the user accepts an approximate (partially unverified) answer.
+  bool accept_approximate = true;
+  /// Minimum Lemma 3.2 correctness probability an unverified entry needs
+  /// for the approximate answer to be acceptable (the paper's experiments
+  /// use 50%).
+  double min_correctness = 0.5;
+  /// Enables the §3.3.3 broadcast-channel data filtering on fallback; when
+  /// false the fallback behaves exactly like the on-air baseline.
+  bool use_filtering = true;
+  /// When true, the fallback search radius is the minimum of the heap's
+  /// upper bound and the air-index-derived bound (both bound the true k-th
+  /// NN distance, so the minimum is sound and downloads less). The paper's
+  /// client uses the heap bound alone when H is full — which retrieves a
+  /// wider region whose complete content then feeds the cache, trading
+  /// download volume for future sharing coverage. Off by default to match
+  /// the paper; the ablation bench quantifies the trade.
+  bool tighten_with_index_bound = false;
+  /// Multiplies the fallback search radius (>= 1). The retrieval then covers
+  /// a region larger than the query strictly needs; the surplus is complete
+  /// verified knowledge that feeds the cache — prefetching for future
+  /// queries (essential for continuous queries on a moving host, where a
+  /// cache exactly the size of the k-NN disc is exhausted by the first
+  /// position change).
+  double prefetch_radius_factor = 1.0;
+};
+
+/// How a query was ultimately resolved.
+enum class ResolvedBy {
+  /// All k results verified from peer data; no broadcast access.
+  kPeersVerified,
+  /// Heap full and the user accepted the approximate result.
+  kPeersApproximate,
+  /// The broadcast channel supplied (part of) the answer.
+  kBroadcast,
+};
+
+/// Outcome of one SBNN execution.
+struct SbnnOutcome {
+  ResolvedBy resolved_by = ResolvedBy::kBroadcast;
+  /// The answer, ascending by distance. Exact unless kPeersApproximate, in
+  /// which case unverified members carry their correctness in `nnv.heap`.
+  std::vector<spatial::PoiDistance> neighbors;
+  /// Diagnostics: the NNV result this outcome was derived from.
+  NnvResult nnv;
+  /// Broadcast cost (all zero for peer-resolved queries).
+  broadcast::AccessStats stats;
+  /// Buckets downloaded on fallback.
+  std::vector<int64_t> buckets;
+  /// Buckets the lower-bound circle C_i excused from download.
+  int64_t buckets_skipped = 0;
+  /// The verified knowledge this query produced, ready for insertion into
+  /// the querier's own cache (empty region when the query yielded no
+  /// complete coverage). For peer-verified answers this is the axis-aligned
+  /// square inscribed in the disc of the last verified neighbor; for
+  /// broadcast answers it is the search MBR, whose content is fully known
+  /// from downloaded buckets plus peer data covering skipped packets.
+  VerifiedRegion cacheable;
+
+  explicit SbnnOutcome(int k) : nnv(k) {}
+};
+
+/// Executes SBNN for query point `q` at slot `now` against the data shared
+/// by `peers`, falling back to `system`'s broadcast channel when sharing
+/// cannot fulfill the query. `poi_density` parameterizes Lemma 3.2.
+SbnnOutcome RunSbnn(geom::Point q, const SbnnOptions& options,
+                    const std::vector<PeerData>& peers, double poi_density,
+                    const broadcast::BroadcastSystem& system, int64_t now);
+
+}  // namespace lbsq::core
+
+#endif  // LBSQ_CORE_SBNN_H_

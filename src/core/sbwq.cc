@@ -1,0 +1,85 @@
+#include "core/sbwq.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace lbsq::core {
+
+SbwqOutcome RunSbwq(const geom::Rect& window, const SbwqOptions& options,
+                    const std::vector<PeerData>& peers,
+                    const broadcast::BroadcastSystem& system, int64_t now) {
+  LBSQ_CHECK(!window.empty());
+  SbwqOutcome outcome;
+
+  // Merge peer verified regions and pool the shared POIs that overlap w.
+  std::vector<spatial::Poi> pool;
+  for (const PeerData& peer : peers) {
+    for (const VerifiedRegion& vr : peer.regions) {
+      outcome.mvr.Add(vr.region);
+      for (const spatial::Poi& poi : vr.pois) {
+        if (window.Contains(poi.pos)) pool.push_back(poi);
+      }
+    }
+  }
+
+  // Residual windows w' = w \ MVR.
+  outcome.mvr.SubtractFrom(window, &outcome.residual_windows);
+  double residual_area = 0.0;
+  for (const geom::Rect& r : outcome.residual_windows) {
+    residual_area += r.area();
+  }
+  outcome.residual_fraction =
+      window.area() > 0.0 ? residual_area / window.area() : 0.0;
+
+  if (outcome.residual_windows.empty()) {
+    // w lies inside the MVR: the pooled data is complete for w.
+    outcome.resolved_by_peers = true;
+  } else {
+    // Solve the residual window(s) on air. Without window reduction the
+    // baseline retrieves the whole original window.
+    std::vector<int64_t> needed;
+    if (options.use_window_reduction) {
+      for (const geom::Rect& residual : outcome.residual_windows) {
+        const std::vector<int64_t> part =
+            onair::BucketsForWindow(system, residual, options.retrieval);
+        needed.insert(needed.end(), part.begin(), part.end());
+      }
+    } else {
+      needed = onair::BucketsForWindow(system, window, options.retrieval);
+    }
+    std::sort(needed.begin(), needed.end());
+    needed.erase(std::unique(needed.begin(), needed.end()), needed.end());
+    outcome.buckets = needed;
+    int64_t index_read = -1;  // flat directory: whole segment
+    if (system.tree_index() != nullptr) {
+      std::vector<hilbert::IndexRange> lookups;
+      if (options.use_window_reduction) {
+        for (const geom::Rect& residual : outcome.residual_windows) {
+          const auto part = system.grid().CoverRect(residual);
+          lookups.insert(lookups.end(), part.begin(), part.end());
+        }
+      } else {
+        lookups = system.grid().CoverRect(window);
+      }
+      index_read = system.IndexReadBuckets(lookups);
+    }
+    outcome.stats = broadcast::RetrieveBuckets(system.schedule(), now, needed,
+                                               index_read);
+    for (const spatial::Poi& poi : system.CollectPois(needed)) {
+      if (window.Contains(poi.pos)) pool.push_back(poi);
+    }
+  }
+
+  std::sort(pool.begin(), pool.end(),
+            [](const spatial::Poi& a, const spatial::Poi& b) {
+              return a.id < b.id;
+            });
+  pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
+  outcome.pois = std::move(pool);
+  // Both resolution paths end with complete knowledge of the window.
+  outcome.cacheable = VerifiedRegion{window, outcome.pois};
+  return outcome;
+}
+
+}  // namespace lbsq::core

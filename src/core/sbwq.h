@@ -1,0 +1,65 @@
+#ifndef LBSQ_CORE_SBWQ_H_
+#define LBSQ_CORE_SBWQ_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "broadcast/client_protocol.h"
+#include "broadcast/system.h"
+#include "core/verified_region.h"
+#include "geom/rect.h"
+#include "geom/rect_region.h"
+#include "onair/onair_window.h"
+#include "spatial/poi.h"
+
+/// \file
+/// The Sharing-Based Window Query — Algorithm 3 of the paper. The querying
+/// host merges peer verified regions into the MVR; if the window lies
+/// entirely inside the MVR the query is answered from shared data with zero
+/// broadcast access. Otherwise the residual window(s) w' = w \ MVR shrink
+/// the on-air search range.
+
+namespace lbsq::core {
+
+/// SBWQ knobs.
+struct SbwqOptions {
+  /// Retrieval strategy for the on-air part.
+  onair::WindowRetrieval retrieval = onair::WindowRetrieval::kSingleSpan;
+  /// Enables window reduction (w'); when false the fallback retrieves the
+  /// full window like the baseline.
+  bool use_window_reduction = true;
+};
+
+/// Outcome of one SBWQ execution.
+struct SbwqOutcome {
+  /// True when peers alone answered the query (w inside MVR).
+  bool resolved_by_peers = false;
+  /// Exactly the POIs inside the window, sorted by id.
+  std::vector<spatial::Poi> pois;
+  /// The merged verified region.
+  geom::RectRegion mvr;
+  /// Residual windows that had to be solved on air (empty when resolved by
+  /// peers).
+  std::vector<geom::Rect> residual_windows;
+  /// Fraction of the window's area NOT covered by the MVR (0 when resolved
+  /// by peers; 1 with no useful peer data).
+  double residual_fraction = 1.0;
+  /// Broadcast cost (all zero for peer-resolved queries).
+  broadcast::AccessStats stats;
+  /// Buckets downloaded on fallback.
+  std::vector<int64_t> buckets;
+  /// The verified knowledge this query produced (always the full window:
+  /// both resolution paths end with complete knowledge of w).
+  VerifiedRegion cacheable;
+};
+
+/// Executes SBWQ for `window` at slot `now` against the data shared by
+/// `peers`, falling back to `system`'s broadcast channel for residual
+/// windows.
+SbwqOutcome RunSbwq(const geom::Rect& window, const SbwqOptions& options,
+                    const std::vector<PeerData>& peers,
+                    const broadcast::BroadcastSystem& system, int64_t now);
+
+}  // namespace lbsq::core
+
+#endif  // LBSQ_CORE_SBWQ_H_

@@ -1,0 +1,37 @@
+#ifndef LBSQ_CORE_VERIFIED_REGION_H_
+#define LBSQ_CORE_VERIFIED_REGION_H_
+
+#include <vector>
+
+#include "geom/rect.h"
+#include "spatial/poi.h"
+
+/// \file
+/// The data a peer shares when asked: its verified regions (MBRs within
+/// which its cache is guaranteed complete with respect to the server
+/// database) and its cached POIs.
+
+namespace lbsq::core {
+
+/// One verified region with its complete POI content.
+///
+/// Invariant (the soundness precondition of Lemma 3.1): every server POI
+/// whose position lies inside `region` is present in `pois`. POIs outside
+/// the region may also appear; they are genuine objects (they originate from
+/// the server) but carry no completeness guarantee.
+struct VerifiedRegion {
+  geom::Rect region;
+  std::vector<spatial::Poi> pois;
+};
+
+/// Everything a peer returns to a querying host: all of its cache entries.
+struct PeerData {
+  std::vector<VerifiedRegion> regions;
+
+  /// True when the peer shared nothing useful.
+  bool empty() const { return regions.empty(); }
+};
+
+}  // namespace lbsq::core
+
+#endif  // LBSQ_CORE_VERIFIED_REGION_H_

@@ -1,0 +1,87 @@
+#include "geom/circle.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace lbsq::geom {
+
+namespace {
+
+// Signed area of the circular sector of radius r from direction a to
+// direction b, taking the short way (|angle| < pi). a and b need not be
+// normalized.
+double SectorArea(Point a, Point b, double r) {
+  const double angle = std::atan2(Cross(a, b), Dot(a, b));
+  return 0.5 * r * r * angle;
+}
+
+// Signed area of disc(origin, r) intersected with triangle(origin, p1, p2).
+// The sign follows the orientation of (p1, p2) as seen from the origin.
+double CircularTriangleArea(Point p1, Point p2, double r) {
+  const double r2 = r * r;
+  const bool in1 = Dot(p1, p1) <= r2;
+  const bool in2 = Dot(p2, p2) <= r2;
+  if (in1 && in2) return 0.5 * Cross(p1, p2);
+
+  // Intersections of the segment p1 + t (p2 - p1), t in [0, 1], with the
+  // circle |p| = r: quadratic a t^2 + b t + c = 0.
+  const Point d = p2 - p1;
+  const double a = Dot(d, d);
+  const double b = 2.0 * Dot(p1, d);
+  const double c = Dot(p1, p1) - r2;
+  double t_lo = 2.0, t_hi = -1.0;  // no roots by default
+  if (a > 0.0) {
+    const double disc = b * b - 4.0 * a * c;
+    if (disc > 0.0) {
+      const double sq = std::sqrt(disc);
+      t_lo = (-b - sq) / (2.0 * a);
+      t_hi = (-b + sq) / (2.0 * a);
+    }
+  }
+  auto at = [&](double t) { return p1 + d * t; };
+
+  if (in1 && !in2) {
+    // Leaves the disc at t_hi (the exit root lies in [0, 1]).
+    const double t = std::clamp(t_hi, 0.0, 1.0);
+    const Point q = at(t);
+    return 0.5 * Cross(p1, q) + SectorArea(q, p2, r);
+  }
+  if (!in1 && in2) {
+    const double t = std::clamp(t_lo, 0.0, 1.0);
+    const Point q = at(t);
+    return SectorArea(p1, q, r) + 0.5 * Cross(q, p2);
+  }
+  // Both endpoints outside: the chord contributes only when both roots fall
+  // strictly inside the parameter range.
+  if (t_lo > 0.0 && t_hi < 1.0 && t_lo < t_hi) {
+    const Point q1 = at(t_lo);
+    const Point q2 = at(t_hi);
+    return SectorArea(p1, q1, r) + 0.5 * Cross(q1, q2) + SectorArea(q2, p2, r);
+  }
+  return SectorArea(p1, p2, r);
+}
+
+}  // namespace
+
+double DiscRectIntersectionArea(const Circle& disc, const Rect& rect) {
+  if (rect.empty() || disc.radius <= 0.0) return 0.0;
+  // Fast paths.
+  if (rect.MaxDistance(disc.center) <= disc.radius) return rect.area();
+  if (rect.MinDistance(disc.center) >= disc.radius) return 0.0;
+
+  const std::array<Point, 4> corners = {
+      Point{rect.x1, rect.y1}, Point{rect.x2, rect.y1},
+      Point{rect.x2, rect.y2}, Point{rect.x1, rect.y2}};
+  double area = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    const Point p1 = corners[static_cast<size_t>(i)] - disc.center;
+    const Point p2 = corners[static_cast<size_t>((i + 1) % 4)] - disc.center;
+    area += CircularTriangleArea(p1, p2, disc.radius);
+  }
+  // Numerical noise can produce a tiny negative result for near-tangent
+  // configurations; clamp to the valid range.
+  return std::clamp(area, 0.0, std::min(rect.area(), disc.area()));
+}
+
+}  // namespace lbsq::geom

@@ -1,0 +1,47 @@
+#ifndef LBSQ_GEOM_CIRCLE_H_
+#define LBSQ_GEOM_CIRCLE_H_
+
+#include "geom/point.h"
+#include "geom/rect.h"
+
+/// \file
+/// Exact disc geometry. The sharing-based NN algorithms need the area of a
+/// disc that is *not* covered by a rectilinear region (the "unverified
+/// region" of Lemma 3.2); the primitive for that is the exact area of the
+/// intersection of a disc with an axis-aligned rectangle.
+
+namespace lbsq::geom {
+
+/// A disc (filled circle).
+struct Circle {
+  Point center;
+  double radius = 0.0;
+
+  /// Disc area.
+  double area() const { return M_PI * radius * radius; }
+
+  /// Closed containment of a point.
+  bool Contains(Point p) const {
+    return DistanceSquared(center, p) <= radius * radius;
+  }
+
+  /// True when the whole rectangle lies inside the disc.
+  bool ContainsRect(const Rect& r) const {
+    return !r.empty() && r.MaxDistance(center) <= radius;
+  }
+
+  /// The MBR of the disc (the on-air kNN search range of Zheng et al.).
+  Rect Mbr() const { return Rect::CenteredSquare(center, radius); }
+};
+
+/// Exact area of the intersection of `disc` with rectangle `rect`.
+///
+/// Implementation: decompose the (CCW) rectangle into four triangles sharing
+/// the disc center as apex and sum the signed disc-triangle intersection
+/// areas. Each edge of a rectangle subtends an angle < pi as seen from any
+/// point, so the short-way signed sector is always the correct one.
+double DiscRectIntersectionArea(const Circle& disc, const Rect& rect);
+
+}  // namespace lbsq::geom
+
+#endif  // LBSQ_GEOM_CIRCLE_H_

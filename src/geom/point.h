@@ -1,0 +1,47 @@
+#ifndef LBSQ_GEOM_POINT_H_
+#define LBSQ_GEOM_POINT_H_
+
+#include <cmath>
+
+/// \file
+/// Plain 2-D point/vector type. Coordinates are in world units (miles in the
+/// simulator); the geometry layer itself is unit-agnostic.
+
+namespace lbsq::geom {
+
+/// A 2-D point, also used as a free vector where convenient.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend Point operator+(Point a, Point b) { return {a.x + b.x, a.y + b.y}; }
+  friend Point operator-(Point a, Point b) { return {a.x - b.x, a.y - b.y}; }
+  friend Point operator*(Point a, double s) { return {a.x * s, a.y * s}; }
+  friend Point operator*(double s, Point a) { return a * s; }
+  friend bool operator==(Point a, Point b) { return a.x == b.x && a.y == b.y; }
+};
+
+/// Dot product.
+inline double Dot(Point a, Point b) { return a.x * b.x + a.y * b.y; }
+
+/// 2-D cross product (z-component of the 3-D cross product).
+inline double Cross(Point a, Point b) { return a.x * b.y - a.y * b.x; }
+
+/// Squared Euclidean distance; prefer this in comparisons to avoid sqrt.
+inline double DistanceSquared(Point a, Point b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Euclidean distance ||a, b||.
+inline double Distance(Point a, Point b) {
+  return std::sqrt(DistanceSquared(a, b));
+}
+
+/// Euclidean norm of a vector.
+inline double Norm(Point a) { return std::sqrt(a.x * a.x + a.y * a.y); }
+
+}  // namespace lbsq::geom
+
+#endif  // LBSQ_GEOM_POINT_H_

@@ -1,0 +1,39 @@
+#include "geom/rect.h"
+
+#include <cmath>
+
+namespace lbsq::geom {
+
+double Rect::MinDistance(Point p) const {
+  if (empty()) return 0.0;
+  const double dx = std::max({x1 - p.x, 0.0, p.x - x2});
+  const double dy = std::max({y1 - p.y, 0.0, p.y - y2});
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double Rect::MaxDistance(Point p) const {
+  if (empty()) return 0.0;
+  const double dx = std::max(std::abs(p.x - x1), std::abs(p.x - x2));
+  const double dy = std::max(std::abs(p.y - y1), std::abs(p.y - y2));
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+void SubtractRect(const Rect& a, const Rect& b, std::vector<Rect>* out) {
+  if (a.empty()) return;
+  const Rect overlap = a.Intersection(b);
+  if (overlap.empty() || overlap.area() == 0.0) {
+    out->push_back(a);
+    return;
+  }
+  // Slab decomposition: the strip below, the strip above, and the side
+  // pieces level with the overlap. Zero-area slivers are dropped.
+  auto emit = [out](double x1, double y1, double x2, double y2) {
+    if (x2 > x1 && y2 > y1) out->push_back(Rect{x1, y1, x2, y2});
+  };
+  emit(a.x1, a.y1, a.x2, overlap.y1);          // below
+  emit(a.x1, overlap.y2, a.x2, a.y2);          // above
+  emit(a.x1, overlap.y1, overlap.x1, overlap.y2);  // left
+  emit(overlap.x2, overlap.y1, a.x2, overlap.y2);  // right
+}
+
+}  // namespace lbsq::geom

@@ -1,0 +1,108 @@
+#ifndef LBSQ_GEOM_RECT_H_
+#define LBSQ_GEOM_RECT_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "geom/point.h"
+
+/// \file
+/// Axis-aligned rectangle (the MBR of the spatial-database literature) and the
+/// primitive rectangle operations the rest of the library builds on.
+
+namespace lbsq::geom {
+
+/// Closed axis-aligned rectangle [x1, x2] x [y1, y2]. A default-constructed
+/// rectangle is "inverted" (empty) and behaves as the identity for Expand().
+struct Rect {
+  double x1 = 1.0;
+  double y1 = 1.0;
+  double x2 = 0.0;
+  double y2 = 0.0;
+
+  /// Rectangle from two corner coordinates (any order).
+  static Rect FromCorners(Point a, Point b) {
+    return Rect{std::min(a.x, b.x), std::min(a.y, b.y), std::max(a.x, b.x),
+                std::max(a.y, b.y)};
+  }
+
+  /// Square of side 2*half centered at c (the MBR of a disc of radius half).
+  static Rect CenteredSquare(Point c, double half) {
+    return Rect{c.x - half, c.y - half, c.x + half, c.y + half};
+  }
+
+  /// True when the rectangle contains no points (inverted bounds).
+  bool empty() const { return x1 > x2 || y1 > y2; }
+
+  /// Width (0 when empty).
+  double width() const { return empty() ? 0.0 : x2 - x1; }
+  /// Height (0 when empty).
+  double height() const { return empty() ? 0.0 : y2 - y1; }
+  /// Area (0 when empty or degenerate).
+  double area() const { return width() * height(); }
+  /// Center point; meaningless for empty rectangles.
+  Point center() const { return {(x1 + x2) / 2.0, (y1 + y2) / 2.0}; }
+
+  /// Closed containment of a point.
+  bool Contains(Point p) const {
+    return !empty() && p.x >= x1 && p.x <= x2 && p.y >= y1 && p.y <= y2;
+  }
+
+  /// True when `other` lies entirely inside this rectangle.
+  bool ContainsRect(const Rect& other) const {
+    if (other.empty()) return true;
+    return !empty() && other.x1 >= x1 && other.x2 <= x2 && other.y1 >= y1 &&
+           other.y2 <= y2;
+  }
+
+  /// Closed intersection test (touching rectangles intersect).
+  bool Intersects(const Rect& other) const {
+    return !empty() && !other.empty() && x1 <= other.x2 && other.x1 <= x2 &&
+           y1 <= other.y2 && other.y1 <= y2;
+  }
+
+  /// Intersection rectangle (empty when disjoint).
+  Rect Intersection(const Rect& other) const {
+    return Rect{std::max(x1, other.x1), std::max(y1, other.y1),
+                std::min(x2, other.x2), std::min(y2, other.y2)};
+  }
+
+  /// Smallest rectangle covering both this and `other`.
+  Rect Union(const Rect& other) const {
+    if (empty()) return other;
+    if (other.empty()) return *this;
+    return Rect{std::min(x1, other.x1), std::min(y1, other.y1),
+                std::max(x2, other.x2), std::max(y2, other.y2)};
+  }
+
+  /// Grows (in place) to cover point p.
+  void Expand(Point p) {
+    if (empty()) {
+      x1 = x2 = p.x;
+      y1 = y2 = p.y;
+      return;
+    }
+    x1 = std::min(x1, p.x);
+    y1 = std::min(y1, p.y);
+    x2 = std::max(x2, p.x);
+    y2 = std::max(y2, p.y);
+  }
+
+  /// Minimum Euclidean distance from p to the rectangle (0 when inside).
+  double MinDistance(Point p) const;
+
+  /// Maximum Euclidean distance from p to any point of the rectangle.
+  double MaxDistance(Point p) const;
+
+  friend bool operator==(const Rect& a, const Rect& b) {
+    return a.x1 == b.x1 && a.y1 == b.y1 && a.x2 == b.x2 && a.y2 == b.y2;
+  }
+};
+
+/// Computes `a` minus `b` as up to four disjoint rectangles appended to
+/// `*out`. Pieces with zero area are omitted.
+void SubtractRect(const Rect& a, const Rect& b, std::vector<Rect>* out);
+
+}  // namespace lbsq::geom
+
+#endif  // LBSQ_GEOM_RECT_H_

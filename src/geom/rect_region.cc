@@ -1,0 +1,162 @@
+#include "geom/rect_region.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace lbsq::geom {
+
+namespace {
+
+// Subtracts the union of `covered` (pairs of [lo, hi]) from [lo, hi] and
+// appends the remaining sub-intervals to `*out`.
+void SubtractIntervals(double lo, double hi,
+                       std::vector<std::pair<double, double>>* covered,
+                       std::vector<std::pair<double, double>>* out) {
+  std::sort(covered->begin(), covered->end());
+  double cursor = lo;
+  for (const auto& [c_lo, c_hi] : *covered) {
+    if (c_lo > cursor) out->emplace_back(cursor, std::min(c_lo, hi));
+    cursor = std::max(cursor, c_hi);
+    if (cursor >= hi) break;
+  }
+  if (cursor < hi) out->emplace_back(cursor, hi);
+}
+
+}  // namespace
+
+void RectRegion::Add(const Rect& r) {
+  if (r.empty() || r.area() == 0.0) return;
+  std::vector<Rect> remainder = {r};
+  std::vector<Rect> next;
+  for (const Rect& piece : pieces_) {
+    next.clear();
+    for (const Rect& part : remainder) SubtractRect(part, piece, &next);
+    remainder.swap(next);
+    if (remainder.empty()) return;
+  }
+  pieces_.insert(pieces_.end(), remainder.begin(), remainder.end());
+}
+
+void RectRegion::Merge(const RectRegion& other) {
+  for (const Rect& r : other.pieces_) Add(r);
+}
+
+double RectRegion::Area() const {
+  double total = 0.0;
+  for (const Rect& r : pieces_) total += r.area();
+  return total;
+}
+
+bool RectRegion::Contains(Point p) const {
+  for (const Rect& r : pieces_) {
+    if (r.Contains(p)) return true;
+  }
+  return false;
+}
+
+bool RectRegion::ContainsRect(const Rect& r) const {
+  if (r.empty() || r.area() == 0.0) return Contains({r.x1, r.y1});
+  std::vector<Rect> residual;
+  SubtractFrom(r, &residual);
+  return residual.empty();
+}
+
+bool RectRegion::ContainsDisc(const Circle& disc) const {
+  if (disc.radius <= 0.0) return Contains(disc.center);
+  return Contains(disc.center) && BoundaryDistance(disc.center) >= disc.radius;
+}
+
+std::vector<Segment> RectRegion::BoundarySegments() const {
+  std::vector<Segment> boundary;
+  std::vector<std::pair<double, double>> covered;
+  std::vector<std::pair<double, double>> open;
+  for (const Rect& p : pieces_) {
+    // Top side (y == p.y2): covered where a piece sits immediately above.
+    covered.clear();
+    open.clear();
+    for (const Rect& q : pieces_) {
+      if (q.y1 == p.y2 && q.x1 < p.x2 && q.x2 > p.x1) {
+        covered.emplace_back(std::max(q.x1, p.x1), std::min(q.x2, p.x2));
+      }
+    }
+    SubtractIntervals(p.x1, p.x2, &covered, &open);
+    for (const auto& [lo, hi] : open) {
+      boundary.push_back({{lo, p.y2}, {hi, p.y2}});
+    }
+    // Bottom side (y == p.y1): covered where a piece sits immediately below.
+    covered.clear();
+    open.clear();
+    for (const Rect& q : pieces_) {
+      if (q.y2 == p.y1 && q.x1 < p.x2 && q.x2 > p.x1) {
+        covered.emplace_back(std::max(q.x1, p.x1), std::min(q.x2, p.x2));
+      }
+    }
+    SubtractIntervals(p.x1, p.x2, &covered, &open);
+    for (const auto& [lo, hi] : open) {
+      boundary.push_back({{lo, p.y1}, {hi, p.y1}});
+    }
+    // Right side (x == p.x2).
+    covered.clear();
+    open.clear();
+    for (const Rect& q : pieces_) {
+      if (q.x1 == p.x2 && q.y1 < p.y2 && q.y2 > p.y1) {
+        covered.emplace_back(std::max(q.y1, p.y1), std::min(q.y2, p.y2));
+      }
+    }
+    SubtractIntervals(p.y1, p.y2, &covered, &open);
+    for (const auto& [lo, hi] : open) {
+      boundary.push_back({{p.x2, lo}, {p.x2, hi}});
+    }
+    // Left side (x == p.x1).
+    covered.clear();
+    open.clear();
+    for (const Rect& q : pieces_) {
+      if (q.x2 == p.x1 && q.y1 < p.y2 && q.y2 > p.y1) {
+        covered.emplace_back(std::max(q.y1, p.y1), std::min(q.y2, p.y2));
+      }
+    }
+    SubtractIntervals(p.y1, p.y2, &covered, &open);
+    for (const auto& [lo, hi] : open) {
+      boundary.push_back({{p.x1, lo}, {p.x1, hi}});
+    }
+  }
+  return boundary;
+}
+
+double RectRegion::BoundaryDistance(Point p) const {
+  if (!Contains(p)) return 0.0;
+  double best = std::numeric_limits<double>::infinity();
+  for (const Segment& s : BoundarySegments()) {
+    best = std::min(best, s.DistanceTo(p));
+  }
+  return std::isinf(best) ? 0.0 : best;
+}
+
+double RectRegion::DiscCoveredArea(const Circle& disc) const {
+  double covered = 0.0;
+  for (const Rect& r : pieces_) covered += DiscRectIntersectionArea(disc, r);
+  // Interior-disjoint pieces cannot cover more than the disc; clamp noise.
+  return std::min(covered, disc.area());
+}
+
+void RectRegion::SubtractFrom(const Rect& r, std::vector<Rect>* out) const {
+  if (r.empty() || r.area() == 0.0) return;
+  std::vector<Rect> remainder = {r};
+  std::vector<Rect> next;
+  for (const Rect& piece : pieces_) {
+    next.clear();
+    for (const Rect& part : remainder) SubtractRect(part, piece, &next);
+    remainder.swap(next);
+    if (remainder.empty()) return;
+  }
+  out->insert(out->end(), remainder.begin(), remainder.end());
+}
+
+Rect RectRegion::BoundingBox() const {
+  Rect box;
+  for (const Rect& r : pieces_) box = box.Union(r);
+  return box;
+}
+
+}  // namespace lbsq::geom

@@ -1,0 +1,93 @@
+#ifndef LBSQ_GEOM_RECT_REGION_H_
+#define LBSQ_GEOM_RECT_REGION_H_
+
+#include <vector>
+
+#include "geom/circle.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "geom/segment.h"
+
+/// \file
+/// `RectRegion` is the workhorse behind the merged verified region MVR of the
+/// paper: the union of the peers' verified-region MBRs. Because every input
+/// is an axis-aligned rectangle, the union is always a rectilinear polygon
+/// (possibly disconnected, possibly with holes), which this class represents
+/// exactly as a set of interior-disjoint rectangles. This replaces the
+/// general MapOverlay step of the paper with an exact special case.
+
+namespace lbsq::geom {
+
+/// A (closed) region of the plane formed by a union of axis-aligned
+/// rectangles, stored as an interior-disjoint decomposition.
+class RectRegion {
+ public:
+  RectRegion() = default;
+
+  /// Region consisting of a single rectangle.
+  explicit RectRegion(const Rect& r) { Add(r); }
+
+  /// Unions `r` into the region. Amortized cost O(pieces) per call; the
+  /// decomposition only splits along coordinates already present, so no
+  /// floating-point arithmetic is introduced (coordinates are copied).
+  void Add(const Rect& r);
+
+  /// Unions every rectangle of `other` into this region.
+  void Merge(const RectRegion& other);
+
+  /// Removes all rectangles.
+  void Clear() { pieces_.clear(); }
+
+  /// True when the region contains no area.
+  bool empty() const { return pieces_.empty(); }
+
+  /// The interior-disjoint decomposition.
+  const std::vector<Rect>& pieces() const { return pieces_; }
+
+  /// Exact area of the region.
+  double Area() const;
+
+  /// Closed membership test.
+  bool Contains(Point p) const;
+
+  /// True when the whole rectangle `r` lies inside the region.
+  bool ContainsRect(const Rect& r) const;
+
+  /// True when the whole disc lies inside the region. Exact: the disc is
+  /// inside iff its center is inside and its radius does not exceed the
+  /// distance to the region boundary.
+  bool ContainsDisc(const Circle& disc) const;
+
+  /// The boundary of the region as a set of axis-parallel segments (outer
+  /// boundary and hole boundaries alike). Degenerate (zero-length) segments
+  /// are omitted.
+  std::vector<Segment> BoundarySegments() const;
+
+  /// Distance from `p` to the nearest boundary point of the region
+  /// (the ||q, e_s|| of the paper's NNV algorithm). Returns 0 when `p` is
+  /// outside the region or the region is empty.
+  double BoundaryDistance(Point p) const;
+
+  /// Exact area of the part of `disc` covered by the region.
+  double DiscCoveredArea(const Circle& disc) const;
+
+  /// Exact area of the part of `disc` NOT covered by the region — the
+  /// "unverified region" area `u` of Lemma 3.2.
+  double DiscUncoveredArea(const Circle& disc) const {
+    return disc.area() - DiscCoveredArea(disc);
+  }
+
+  /// Computes `r` minus this region as interior-disjoint rectangles appended
+  /// to `*out` (the residual query windows w' of the SBWQ algorithm).
+  void SubtractFrom(const Rect& r, std::vector<Rect>* out) const;
+
+  /// The MBR of the whole region (empty rect when the region is empty).
+  Rect BoundingBox() const;
+
+ private:
+  std::vector<Rect> pieces_;
+};
+
+}  // namespace lbsq::geom
+
+#endif  // LBSQ_GEOM_RECT_REGION_H_

@@ -1,0 +1,33 @@
+#ifndef LBSQ_GEOM_SEGMENT_H_
+#define LBSQ_GEOM_SEGMENT_H_
+
+#include "geom/point.h"
+
+/// \file
+/// Line segment and point-to-segment distance, used to measure the distance
+/// from a query point to the boundary edges of a merged verified region.
+
+namespace lbsq::geom {
+
+/// Closed line segment between two endpoints.
+struct Segment {
+  Point a;
+  Point b;
+
+  /// Segment length.
+  double Length() const { return Distance(a, b); }
+
+  /// Minimum Euclidean distance from p to any point of the segment.
+  double DistanceTo(Point p) const {
+    const Point d = b - a;
+    const double len2 = Dot(d, d);
+    if (len2 == 0.0) return Distance(p, a);
+    double t = Dot(p - a, d) / len2;
+    t = t < 0.0 ? 0.0 : (t > 1.0 ? 1.0 : t);
+    return Distance(p, a + d * t);
+  }
+};
+
+}  // namespace lbsq::geom
+
+#endif  // LBSQ_GEOM_SEGMENT_H_

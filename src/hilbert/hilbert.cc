@@ -1,0 +1,145 @@
+#include "hilbert/hilbert.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace lbsq::hilbert {
+
+namespace {
+
+// Rotates/flips a quadrant so the curve orientation is canonical.
+void Rot(uint32_t n, uint32_t* x, uint32_t* y, uint32_t rx, uint32_t ry) {
+  if (ry == 0) {
+    if (rx == 1) {
+      *x = n - 1 - *x;
+      *y = n - 1 - *y;
+    }
+    std::swap(*x, *y);
+  }
+}
+
+}  // namespace
+
+uint64_t XyToIndex(int order, CellXY cell) {
+  LBSQ_CHECK(order >= 1 && order <= 31);
+  const uint32_t n = 1u << order;
+  LBSQ_CHECK(cell.x < n && cell.y < n);
+  uint32_t x = cell.x;
+  uint32_t y = cell.y;
+  uint64_t d = 0;
+  for (uint32_t s = n / 2; s > 0; s /= 2) {
+    const uint32_t rx = (x & s) > 0 ? 1 : 0;
+    const uint32_t ry = (y & s) > 0 ? 1 : 0;
+    d += static_cast<uint64_t>(s) * s * ((3 * rx) ^ ry);
+    Rot(n, &x, &y, rx, ry);
+  }
+  return d;
+}
+
+CellXY IndexToXy(int order, uint64_t index) {
+  LBSQ_CHECK(order >= 1 && order <= 31);
+  const uint32_t n = 1u << order;
+  LBSQ_CHECK(index < (static_cast<uint64_t>(n) * n));
+  uint32_t x = 0;
+  uint32_t y = 0;
+  uint64_t t = index;
+  for (uint32_t s = 1; s < n; s *= 2) {
+    const uint32_t rx = static_cast<uint32_t>(1 & (t / 2));
+    const uint32_t ry = static_cast<uint32_t>(1 & (t ^ rx));
+    Rot(s, &x, &y, rx, ry);
+    x += s * rx;
+    y += s * ry;
+    t /= 4;
+  }
+  return CellXY{x, y};
+}
+
+uint64_t MortonXyToIndex(int order, CellXY cell) {
+  LBSQ_CHECK(order >= 1 && order <= 31);
+  const uint32_t n = 1u << order;
+  LBSQ_CHECK(cell.x < n && cell.y < n);
+  uint64_t result = 0;
+  for (int bit = 0; bit < order; ++bit) {
+    result |= static_cast<uint64_t>((cell.x >> bit) & 1u) << (2 * bit);
+    result |= static_cast<uint64_t>((cell.y >> bit) & 1u) << (2 * bit + 1);
+  }
+  return result;
+}
+
+CellXY MortonIndexToXy(int order, uint64_t index) {
+  LBSQ_CHECK(order >= 1 && order <= 31);
+  LBSQ_CHECK(index < (1ull << (2 * order)));
+  CellXY cell;
+  for (int bit = 0; bit < order; ++bit) {
+    cell.x |= static_cast<uint32_t>((index >> (2 * bit)) & 1u) << bit;
+    cell.y |= static_cast<uint32_t>((index >> (2 * bit + 1)) & 1u) << bit;
+  }
+  return cell;
+}
+
+HilbertGrid::HilbertGrid(const geom::Rect& world, int order, CurveKind curve)
+    : world_(world), order_(order), curve_(curve), cells_(1u << order) {
+  LBSQ_CHECK(!world.empty());
+  LBSQ_CHECK(order >= 1 && order <= 31);
+  cell_w_ = world.width() / static_cast<double>(cells_);
+  cell_h_ = world.height() / static_cast<double>(cells_);
+  LBSQ_CHECK(cell_w_ > 0.0 && cell_h_ > 0.0);
+}
+
+CellXY HilbertGrid::CellOf(geom::Point p) const {
+  auto clamp_cell = [this](double v) {
+    const int64_t c = static_cast<int64_t>(std::floor(v));
+    return static_cast<uint32_t>(
+        std::clamp<int64_t>(c, 0, static_cast<int64_t>(cells_) - 1));
+  };
+  return CellXY{clamp_cell((p.x - world_.x1) / cell_w_),
+                clamp_cell((p.y - world_.y1) / cell_h_)};
+}
+
+uint64_t HilbertGrid::ToIndex(CellXY cell) const {
+  return curve_ == CurveKind::kHilbert ? XyToIndex(order_, cell)
+                                       : MortonXyToIndex(order_, cell);
+}
+
+CellXY HilbertGrid::ToXy(uint64_t index) const {
+  return curve_ == CurveKind::kHilbert ? IndexToXy(order_, index)
+                                       : MortonIndexToXy(order_, index);
+}
+
+geom::Rect HilbertGrid::CellRect(uint64_t index) const {
+  return CellRect(ToXy(index));
+}
+
+geom::Rect HilbertGrid::CellRect(CellXY cell) const {
+  const double x = world_.x1 + cell_w_ * static_cast<double>(cell.x);
+  const double y = world_.y1 + cell_h_ * static_cast<double>(cell.y);
+  return geom::Rect{x, y, x + cell_w_, y + cell_h_};
+}
+
+std::vector<IndexRange> HilbertGrid::CoverRect(const geom::Rect& query) const {
+  std::vector<IndexRange> ranges;
+  const geom::Rect q = query.Intersection(world_);
+  if (q.empty()) return ranges;
+  const CellXY lo = CellOf({q.x1, q.y1});
+  const CellXY hi = CellOf({q.x2, q.y2});
+  std::vector<uint64_t> indexes;
+  indexes.reserve(static_cast<size_t>(hi.x - lo.x + 1) * (hi.y - lo.y + 1));
+  for (uint32_t y = lo.y; y <= hi.y; ++y) {
+    for (uint32_t x = lo.x; x <= hi.x; ++x) {
+      indexes.push_back(ToIndex(CellXY{x, y}));
+    }
+  }
+  std::sort(indexes.begin(), indexes.end());
+  for (uint64_t idx : indexes) {
+    if (!ranges.empty() && ranges.back().hi + 1 == idx) {
+      ranges.back().hi = idx;
+    } else {
+      ranges.push_back(IndexRange{idx, idx});
+    }
+  }
+  return ranges;
+}
+
+}  // namespace lbsq::hilbert

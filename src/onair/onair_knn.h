@@ -1,0 +1,57 @@
+#ifndef LBSQ_ONAIR_ONAIR_KNN_H_
+#define LBSQ_ONAIR_ONAIR_KNN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "broadcast/client_protocol.h"
+#include "broadcast/system.h"
+#include "geom/circle.h"
+#include "geom/point.h"
+#include "spatial/poi.h"
+
+/// \file
+/// The on-air kNN baseline (after Zheng, Lee & Lee): scan the air index to
+/// derive a search circle guaranteed to contain the k nearest objects, take
+/// the MBR of that circle as the search range, and download every data
+/// bucket whose Hilbert span falls within the range's span. This is the
+/// algorithm the paper's sharing-based approach improves upon.
+
+namespace lbsq::onair {
+
+/// Result of an on-air query.
+struct OnAirKnnResult {
+  /// The exact k nearest neighbors (ascending distance).
+  std::vector<spatial::PoiDistance> neighbors;
+  /// Broadcast cost of the retrieval.
+  broadcast::AccessStats stats;
+  /// The search circle derived from the index.
+  geom::Circle search_circle;
+  /// Buckets downloaded.
+  std::vector<int64_t> buckets;
+};
+
+/// Executes an on-air kNN for query point `q` issued at slot `now`.
+OnAirKnnResult OnAirKnn(const broadcast::BroadcastSystem& system,
+                        geom::Point q, int k, int64_t now);
+
+/// Retrieval strategy for the on-air kNN.
+enum class KnnRetrieval {
+  /// One contiguous span covering the search MBR (the basic algorithm and
+  /// the paper's client).
+  kSingleSpan,
+  /// The exact interval cover of the search MBR (the search-space partition
+  /// refinement applied to kNN).
+  kPartitionedRanges,
+};
+
+/// Computes the set of buckets the baseline would download for a search
+/// circle. Exposed for the sharing-based filter, which starts from the same
+/// set.
+std::vector<int64_t> BucketsForCircle(
+    const broadcast::BroadcastSystem& system, const geom::Circle& circle,
+    KnnRetrieval retrieval = KnnRetrieval::kSingleSpan);
+
+}  // namespace lbsq::onair
+
+#endif  // LBSQ_ONAIR_ONAIR_KNN_H_

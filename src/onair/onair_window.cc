@@ -1,0 +1,37 @@
+#include "onair/onair_window.h"
+
+#include <algorithm>
+
+namespace lbsq::onair {
+
+std::vector<int64_t> BucketsForWindow(const broadcast::BroadcastSystem& system,
+                                      const geom::Rect& window,
+                                      WindowRetrieval retrieval) {
+  const std::vector<hilbert::IndexRange> ranges =
+      system.grid().CoverRect(window);
+  if (ranges.empty()) return {};
+  if (retrieval == WindowRetrieval::kSingleSpan) {
+    return system.index().BucketsForSpan(ranges.front().lo, ranges.back().hi);
+  }
+  return system.index().BucketsForRanges(ranges);
+}
+
+OnAirWindowResult OnAirWindow(const broadcast::BroadcastSystem& system,
+                              const geom::Rect& window, int64_t now,
+                              WindowRetrieval retrieval) {
+  OnAirWindowResult result;
+  result.buckets = BucketsForWindow(system, window, retrieval);
+  int64_t index_read = -1;  // flat directory: whole segment
+  if (system.tree_index() != nullptr) {
+    index_read =
+        system.IndexReadBuckets(system.grid().CoverRect(window));
+  }
+  result.stats = broadcast::RetrieveBuckets(system.schedule(), now,
+                                            result.buckets, index_read);
+  for (const spatial::Poi& poi : system.CollectPois(result.buckets)) {
+    if (window.Contains(poi.pos)) result.pois.push_back(poi);
+  }
+  return result;
+}
+
+}  // namespace lbsq::onair

@@ -1,0 +1,55 @@
+#ifndef LBSQ_ONAIR_ONAIR_WINDOW_H_
+#define LBSQ_ONAIR_ONAIR_WINDOW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "broadcast/client_protocol.h"
+#include "broadcast/system.h"
+#include "geom/rect.h"
+#include "spatial/poi.h"
+
+/// \file
+/// The on-air window-query baseline (after Zheng, Lee & Lee): find the first
+/// point `a` and last point `b` of the query window along the Hilbert curve
+/// and download every bucket between them, filtering out objects outside the
+/// window. The optional search-space partition refinement downloads only the
+/// buckets overlapping the exact Hilbert interval cover of the window.
+
+namespace lbsq::onair {
+
+/// Retrieval strategy for the on-air window query.
+enum class WindowRetrieval {
+  /// One contiguous span from a to b (the basic algorithm).
+  kSingleSpan,
+  /// The exact interval cover of the window (the partition refinement the
+  /// paper mentions as still insufficient without sharing).
+  kPartitionedRanges,
+};
+
+/// Result of an on-air window query.
+struct OnAirWindowResult {
+  /// Exactly the POIs inside the window, sorted by id.
+  std::vector<spatial::Poi> pois;
+  /// Broadcast cost of the retrieval.
+  broadcast::AccessStats stats;
+  /// Buckets downloaded.
+  std::vector<int64_t> buckets;
+};
+
+/// Executes an on-air window query for `window` issued at slot `now`.
+OnAirWindowResult OnAirWindow(const broadcast::BroadcastSystem& system,
+                              const geom::Rect& window, int64_t now,
+                              WindowRetrieval retrieval =
+                                  WindowRetrieval::kSingleSpan);
+
+/// The bucket set the chosen retrieval strategy downloads for `window`.
+/// Exposed for the sharing-based window query, which applies it to the
+/// residual windows w'.
+std::vector<int64_t> BucketsForWindow(const broadcast::BroadcastSystem& system,
+                                      const geom::Rect& window,
+                                      WindowRetrieval retrieval);
+
+}  // namespace lbsq::onair
+
+#endif  // LBSQ_ONAIR_ONAIR_WINDOW_H_

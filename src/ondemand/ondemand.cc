@@ -1,0 +1,49 @@
+#include "ondemand/ondemand.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace lbsq::ondemand {
+
+double MM1ExpectedResponseTime(const OnDemandParams& params) {
+  LBSQ_CHECK(params.arrival_rate > 0.0);
+  LBSQ_CHECK(params.mean_service_time > 0.0);
+  const double mu = 1.0 / params.mean_service_time;
+  if (params.arrival_rate >= mu) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return 1.0 / (mu - params.arrival_rate);
+}
+
+double MM1Utilization(const OnDemandParams& params) {
+  LBSQ_CHECK(params.arrival_rate > 0.0);
+  LBSQ_CHECK(params.mean_service_time > 0.0);
+  return params.arrival_rate * params.mean_service_time;
+}
+
+OnDemandResult SimulateOnDemandServer(const OnDemandParams& params,
+                                      int64_t num_requests, Rng* rng) {
+  LBSQ_CHECK(num_requests >= 1);
+  LBSQ_CHECK(params.arrival_rate > 0.0);
+  LBSQ_CHECK(params.mean_service_time > 0.0);
+  OnDemandResult result;
+  double arrival = 0.0;
+  double server_free_at = 0.0;
+  double busy_time = 0.0;
+  for (int64_t i = 0; i < num_requests; ++i) {
+    arrival += rng->Exponential(params.arrival_rate);
+    const double start = std::max(arrival, server_free_at);
+    const double service = rng->Exponential(1.0 / params.mean_service_time);
+    const double completion = start + service;
+    result.response_time.Add(completion - arrival);
+    busy_time += service;
+    server_free_at = completion;
+  }
+  result.served = num_requests;
+  result.utilization = server_free_at > 0.0 ? busy_time / server_free_at : 0.0;
+  return result;
+}
+
+}  // namespace lbsq::ondemand

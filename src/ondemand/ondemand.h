@@ -1,0 +1,55 @@
+#ifndef LBSQ_ONDEMAND_ONDEMAND_H_
+#define LBSQ_ONDEMAND_ONDEMAND_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+/// \file
+/// The on-demand (point-to-point) access model the paper's §2.1 contrasts
+/// the broadcast model against: every client request occupies the server
+/// individually, so response time grows with the client population while a
+/// broadcast cycle serves any number of listeners at constant latency. This
+/// module provides the queueing model (M/M/1) and a discrete-event
+/// simulation of a single-server request queue, and is exercised by the
+/// scalability bench.
+
+namespace lbsq::ondemand {
+
+/// Parameters of the on-demand server.
+struct OnDemandParams {
+  /// Aggregate request arrival rate (requests per slot), Poisson.
+  double arrival_rate = 0.1;
+  /// Mean service time per request in slots (exponential service).
+  double mean_service_time = 1.0;
+};
+
+/// Outcome of a queue simulation.
+struct OnDemandResult {
+  /// Response time (queue wait + service) per request, slots.
+  RunningStat response_time;
+  /// Fraction of time the server was busy.
+  double utilization = 0.0;
+  /// Requests served.
+  int64_t served = 0;
+};
+
+/// M/M/1 expected response time: 1 / (mu - lambda), with mu = 1 /
+/// mean_service_time. Requires lambda < mu (a stable queue); returns
+/// +infinity otherwise.
+double MM1ExpectedResponseTime(const OnDemandParams& params);
+
+/// M/M/1 server utilization rho = lambda / mu (may exceed 1 for an unstable
+/// queue).
+double MM1Utilization(const OnDemandParams& params);
+
+/// Simulates `num_requests` requests through a FIFO single-server queue
+/// with Poisson arrivals and exponential service. Deterministic given the
+/// RNG state.
+OnDemandResult SimulateOnDemandServer(const OnDemandParams& params,
+                                      int64_t num_requests, Rng* rng);
+
+}  // namespace lbsq::ondemand
+
+#endif  // LBSQ_ONDEMAND_ONDEMAND_H_

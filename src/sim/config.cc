@@ -1,0 +1,73 @@
+#include "sim/config.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lbsq::sim {
+
+namespace {
+constexpr double kPaperAreaSqMi = kPaperWorldSideMiles * kPaperWorldSideMiles;
+}  // namespace
+
+double ParameterSet::PoiDensity() const { return poi_number / kPaperAreaSqMi; }
+double ParameterSet::MhDensity() const { return mh_number / kPaperAreaSqMi; }
+double ParameterSet::QueryRatePerSqMiPerMin() const {
+  return query_per_min / kPaperAreaSqMi;
+}
+
+ParameterSet LosAngelesCity() {
+  ParameterSet p;
+  p.name = "Los Angeles City";
+  p.poi_number = 2750;
+  p.mh_number = 93300;
+  p.csize = 50;
+  p.query_per_min = 6220;
+  p.tx_range_m = 200;
+  p.knn_k = 5;
+  p.window_pct = 3;
+  p.distance_mi = 1;
+  p.t_execution_hr = 10;
+  return p;
+}
+
+ParameterSet SyntheticSuburbia() {
+  ParameterSet p = LosAngelesCity();
+  p.name = "Synthetic Suburbia";
+  p.poi_number = 2100;
+  p.mh_number = 51500;
+  p.query_per_min = 3440;
+  return p;
+}
+
+ParameterSet RiversideCounty() {
+  ParameterSet p = LosAngelesCity();
+  p.name = "Riverside County";
+  p.poi_number = 1450;
+  p.mh_number = 9700;
+  p.query_per_min = 650;
+  return p;
+}
+
+double SimConfig::Scale() const {
+  return (world_side_mi * world_side_mi) / kPaperAreaSqMi;
+}
+
+int64_t SimConfig::ScaledMhCount() const {
+  return std::max<int64_t>(
+      1, static_cast<int64_t>(std::llround(params.mh_number * Scale())));
+}
+
+int64_t SimConfig::ScaledPoiCount() const {
+  if (paper_window_geometry) {
+    return std::max<int64_t>(
+        1, static_cast<int64_t>(std::llround(params.poi_number)));
+  }
+  return std::max<int64_t>(
+      1, static_cast<int64_t>(std::llround(params.poi_number * Scale())));
+}
+
+double SimConfig::ScaledQueriesPerMin() const {
+  return params.query_per_min * Scale();
+}
+
+}  // namespace lbsq::sim

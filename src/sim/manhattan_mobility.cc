@@ -1,0 +1,124 @@
+#include "sim/manhattan_mobility.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace lbsq::sim {
+
+ManhattanGridModel::ManhattanGridModel(const geom::Rect& world,
+                                       int64_t num_hosts, double block,
+                                       double speed_min, double speed_max,
+                                       Rng seed_rng)
+    : world_(world), speed_min_(speed_min), speed_max_(speed_max) {
+  LBSQ_CHECK(!world.empty());
+  LBSQ_CHECK(num_hosts >= 1);
+  LBSQ_CHECK(block > 0.0);
+  LBSQ_CHECK(speed_min > 0.0 && speed_min <= speed_max);
+  // At least a 2 x 2 street grid.
+  block_ = std::min({block, world.width() / 2.0, world.height() / 2.0});
+  cells_x_ = static_cast<int>(std::floor(world.width() / block_));
+  cells_y_ = static_cast<int>(std::floor(world.height() / block_));
+  LBSQ_CHECK(cells_x_ >= 2 && cells_y_ >= 2);
+
+  hosts_.resize(static_cast<size_t>(num_hosts));
+  rngs_.reserve(static_cast<size_t>(num_hosts));
+  for (int64_t i = 0; i < num_hosts; ++i) {
+    rngs_.push_back(seed_rng.Fork());
+    Rng& rng = rngs_.back();
+    HostState& host = hosts_[static_cast<size_t>(i)];
+    host.ix = static_cast<int>(rng.NextBelow(static_cast<uint64_t>(cells_x_ + 1)));
+    host.iy = static_cast<int>(rng.NextBelow(static_cast<uint64_t>(cells_y_ + 1)));
+    // Any in-bounds initial direction.
+    host.dx = 0;
+    host.dy = 0;
+    PickDirection(&host, &rng);
+    StartLeg(&host, &rng, 0.0);
+  }
+}
+
+geom::Point ManhattanGridModel::Intersection(int ix, int iy) const {
+  return geom::Point{world_.x1 + block_ * static_cast<double>(ix),
+                     world_.y1 + block_ * static_cast<double>(iy)};
+}
+
+void ManhattanGridModel::PickDirection(HostState* host, Rng* rng) const {
+  struct Option {
+    int dx;
+    int dy;
+    double weight;
+  };
+  std::vector<Option> options;
+  auto in_bounds = [this, host](int dx, int dy) {
+    const int nx = host->ix + dx;
+    const int ny = host->iy + dy;
+    return nx >= 0 && nx <= cells_x_ && ny >= 0 && ny <= cells_y_;
+  };
+  const bool moving = host->dx != 0 || host->dy != 0;
+  if (moving) {
+    // Straight, left, right relative to the incoming direction.
+    const int sx = host->dx, sy = host->dy;
+    const int lx = -sy, ly = sx;   // left turn
+    const int rx = sy, ry = -sx;   // right turn
+    if (in_bounds(sx, sy)) options.push_back({sx, sy, 0.5});
+    if (in_bounds(lx, ly)) options.push_back({lx, ly, 0.25});
+    if (in_bounds(rx, ry)) options.push_back({rx, ry, 0.25});
+    if (options.empty() && in_bounds(-sx, -sy)) {
+      options.push_back({-sx, -sy, 1.0});  // dead end: U-turn
+    }
+  } else {
+    for (const auto& [dx, dy] :
+         {std::pair{1, 0}, {-1, 0}, {0, 1}, {0, -1}}) {
+      if (in_bounds(dx, dy)) options.push_back({dx, dy, 0.25});
+    }
+  }
+  LBSQ_CHECK(!options.empty());
+  double total = 0.0;
+  for (const Option& o : options) total += o.weight;
+  double pick = rng->Uniform(0.0, total);
+  for (const Option& o : options) {
+    pick -= o.weight;
+    if (pick <= 0.0) {
+      host->dx = o.dx;
+      host->dy = o.dy;
+      return;
+    }
+  }
+  host->dx = options.back().dx;
+  host->dy = options.back().dy;
+}
+
+void ManhattanGridModel::StartLeg(HostState* host, Rng* rng, double t) const {
+  const double speed = rng->Uniform(speed_min_, speed_max_);
+  host->depart_time = t;
+  host->arrive_time = t + block_ / speed;
+}
+
+geom::Point ManhattanGridModel::Position(int64_t host_id, double t) {
+  LBSQ_CHECK(host_id >= 0 && host_id < num_hosts());
+  HostState& host = hosts_[static_cast<size_t>(host_id)];
+  Rng& rng = rngs_[static_cast<size_t>(host_id)];
+  LBSQ_CHECK(t >= host.depart_time);
+  while (t > host.arrive_time) {
+    host.ix += host.dx;
+    host.iy += host.dy;
+    const double arrived = host.arrive_time;
+    PickDirection(&host, &rng);
+    StartLeg(&host, &rng, arrived);
+  }
+  const geom::Point from = Intersection(host.ix, host.iy);
+  const double span = host.arrive_time - host.depart_time;
+  const double frac = span > 0.0 ? (t - host.depart_time) / span : 1.0;
+  return geom::Point{from.x + block_ * frac * static_cast<double>(host.dx),
+                     from.y + block_ * frac * static_cast<double>(host.dy)};
+}
+
+geom::Point ManhattanGridModel::Heading(int64_t host_id) const {
+  LBSQ_CHECK(host_id >= 0 && host_id < num_hosts());
+  const HostState& host = hosts_[static_cast<size_t>(host_id)];
+  return geom::Point{static_cast<double>(host.dx),
+                     static_cast<double>(host.dy)};
+}
+
+}  // namespace lbsq::sim

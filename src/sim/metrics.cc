@@ -1,0 +1,42 @@
+#include "sim/metrics.h"
+
+#include <cstdio>
+
+namespace lbsq::sim {
+
+namespace {
+double Pct(int64_t part, int64_t total) {
+  return total == 0 ? 0.0 : 100.0 * static_cast<double>(part) /
+                                static_cast<double>(total);
+}
+}  // namespace
+
+double SimMetrics::PctVerified() const { return Pct(solved_verified, queries); }
+double SimMetrics::PctApproximate() const {
+  return Pct(solved_approximate, queries);
+}
+double SimMetrics::PctBroadcast() const {
+  return Pct(solved_broadcast, queries);
+}
+
+double SimMetrics::PctAnswerErrors() const {
+  return Pct(answer_errors, queries - solved_approximate);
+}
+
+double SimMetrics::MeanLatencyAllQueries() const {
+  if (queries == 0) return 0.0;
+  return broadcast_latency.sum() / static_cast<double>(queries);
+}
+
+std::string SimMetrics::ToString() const {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "queries=%lld verified=%.1f%% approx=%.1f%% broadcast=%.1f%% "
+                "avg_peers=%.1f bcast_latency=%.0f baseline_latency=%.0f",
+                static_cast<long long>(queries), PctVerified(),
+                PctApproximate(), PctBroadcast(), peers_per_query.mean(),
+                broadcast_latency.mean(), baseline_latency.mean());
+  return buffer;
+}
+
+}  // namespace lbsq::sim

@@ -1,0 +1,69 @@
+#ifndef LBSQ_SIM_METRICS_H_
+#define LBSQ_SIM_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/stats.h"
+
+/// \file
+/// Metric collection for simulation runs: the resolved-by breakdown the
+/// paper's Figures 10-15 report, plus the latency/tuning accounting behind
+/// the motivation (Figure 2 and §2.1).
+
+namespace lbsq::sim {
+
+/// Aggregated results of one simulation run (post-warm-up queries only).
+struct SimMetrics {
+  /// Total measured queries.
+  int64_t queries = 0;
+  /// Queries fully answered by verified peer data (SBNN) or a fully covered
+  /// window (SBWQ) — zero broadcast access.
+  int64_t solved_verified = 0;
+  /// kNN queries answered approximately from peers (all unverified entries
+  /// above the correctness threshold).
+  int64_t solved_approximate = 0;
+  /// Queries that had to touch the broadcast channel.
+  int64_t solved_broadcast = 0;
+  /// Exact-path queries (everything except approximate kNN answers) whose
+  /// result differed from the brute-force oracle. Always 0 under the sound
+  /// cache policy; nonzero under kCollectiveMbr.
+  int64_t answer_errors = 0;
+  /// Approximate kNN answers that happened to equal the oracle's top-k.
+  int64_t approx_exact = 0;
+
+  /// Peers within range per query.
+  RunningStat peers_per_query;
+  /// Access latency / tuning time (slots) of queries that used the channel.
+  RunningStat broadcast_latency;
+  RunningStat broadcast_tuning;
+  /// Buckets downloaded / excused by the data filter per broadcast query.
+  RunningStat buckets_read;
+  RunningStat buckets_skipped;
+  /// What the pure on-air baseline would have cost for the same queries
+  /// (computed for every query, peer-resolved or not).
+  RunningStat baseline_latency;
+  RunningStat baseline_tuning;
+  /// SBWQ: residual window area fraction after peer coverage.
+  RunningStat residual_fraction;
+  /// Verified entries in H for kNN queries (diagnostic).
+  RunningStat verified_per_query;
+
+  /// Percentages of the resolved-by breakdown (0..100).
+  double PctVerified() const;
+  double PctApproximate() const;
+  double PctBroadcast() const;
+  /// Percentage of exact-path queries with wrong answers (0..100).
+  double PctAnswerErrors() const;
+
+  /// Mean access latency over *all* queries, counting peer-resolved queries
+  /// as zero-latency — the paper's headline effect.
+  double MeanLatencyAllQueries() const;
+
+  /// One-line summary for logs.
+  std::string ToString() const;
+};
+
+}  // namespace lbsq::sim
+
+#endif  // LBSQ_SIM_METRICS_H_

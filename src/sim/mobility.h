@@ -1,0 +1,79 @@
+#ifndef LBSQ_SIM_MOBILITY_H_
+#define LBSQ_SIM_MOBILITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+
+/// \file
+/// The random waypoint mobility model (Broch et al.), the paper's mobility
+/// model: each host repeatedly picks a uniform destination in the world and
+/// travels to it in a straight line at a uniformly drawn speed (zero pause
+/// time). Positions are closed-form along each leg, so the model is queried
+/// lazily at arbitrary (non-decreasing) times without a tick loop.
+
+namespace lbsq::sim {
+
+/// Interface for host mobility models. Implementations must be
+/// deterministic given their seed and support lazy, non-decreasing-time
+/// position queries per host.
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+
+  /// Number of hosts.
+  virtual int64_t num_hosts() const = 0;
+
+  /// Position of `host` at time `t` (minutes, non-decreasing per host).
+  virtual geom::Point Position(int64_t host, double t) = 0;
+
+  /// Unit vector of the host's current direction of travel (zero when
+  /// stationary). Valid for the time of the most recent Position() call.
+  virtual geom::Point Heading(int64_t host) const = 0;
+};
+
+/// Random-waypoint trajectories for a fleet of hosts.
+class RandomWaypointModel : public MobilityModel {
+ public:
+  /// `num_hosts` hosts with uniform starting positions in `world`, moving at
+  /// speeds uniform in [speed_min, speed_max] (world units per minute).
+  RandomWaypointModel(const geom::Rect& world, int64_t num_hosts,
+                      double speed_min, double speed_max, Rng seed_rng);
+
+  /// Number of hosts.
+  int64_t num_hosts() const override {
+    return static_cast<int64_t>(legs_.size());
+  }
+
+  /// Position of `host` at time `t` (minutes). Times must be non-decreasing
+  /// per host; the model advances through legs lazily.
+  geom::Point Position(int64_t host, double t) override;
+
+  /// Unit vector of the host's current direction of travel (zero vector
+  /// when the current leg is degenerate). Valid for the time of the most
+  /// recent Position() call for this host.
+  geom::Point Heading(int64_t host) const override;
+
+ private:
+  struct Leg {
+    geom::Point from;
+    geom::Point to;
+    double depart_time = 0.0;
+    double arrive_time = 0.0;
+  };
+
+  void StartNewLeg(int64_t host, geom::Point from, double t);
+
+  geom::Rect world_;
+  double speed_min_;
+  double speed_max_;
+  std::vector<Leg> legs_;
+  std::vector<Rng> rngs_;
+};
+
+}  // namespace lbsq::sim
+
+#endif  // LBSQ_SIM_MOBILITY_H_

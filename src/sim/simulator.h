@@ -1,0 +1,100 @@
+#ifndef LBSQ_SIM_SIMULATOR_H_
+#define LBSQ_SIM_SIMULATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "broadcast/system.h"
+#include "common/rng.h"
+#include "core/peer_cache.h"
+#include "core/sbnn.h"
+#include "core/sbwq.h"
+#include "sim/config.h"
+#include "sim/metrics.h"
+#include "sim/mobility.h"
+#include "sim/trace.h"
+#include "spatial/grid_index.h"
+#include "spatial/rtree.h"
+
+/// \file
+/// The end-to-end simulation of the paper's §4.1 system model: a base
+/// station continuously broadcasting the Hilbert-organized POI database
+/// with a (1, m) air index, and a fleet of mobile hosts moving by random
+/// waypoint, issuing kNN or window queries at Poisson times, first trying
+/// their single-hop peers (SBNN / SBWQ) and falling back to the broadcast
+/// channel.
+
+namespace lbsq::sim {
+
+/// One simulation instance. Construct, Run() once, read the metrics.
+class Simulator {
+ public:
+  explicit Simulator(const SimConfig& config);
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Executes the configured run and returns post-warm-up metrics.
+  SimMetrics Run();
+
+  /// Replays a recorded workload (typically from a prior Run() with
+  /// record_trace set on a simulator with the same configuration and seed;
+  /// mobility and the POI set are reconstructed from the seed, so a replay
+  /// of a recording reproduces its metrics exactly).
+  SimMetrics Replay(const std::vector<QueryEvent>& events);
+
+  /// Events recorded by the last Run() under record_trace.
+  const std::vector<QueryEvent>& trace() const { return trace_; }
+
+  /// The broadcast channel (valid after construction).
+  const broadcast::BroadcastSystem& system() const { return *system_; }
+  /// The simulated world rectangle.
+  const geom::Rect& world() const { return world_; }
+  /// Host caches (for inspection in tests).
+  const std::vector<core::PeerCache>& caches() const { return caches_; }
+
+ private:
+  /// Collects the shared data of all peers within transmission range of
+  /// `pos` (excluding `querier`); returns peer count including cache-empty
+  /// peers (they respond, with nothing to share).
+  int GatherPeers(int64_t querier, geom::Point pos,
+                  std::vector<core::PeerData>* out);
+
+  /// Positions every host at time `t`, refreshes the peer index, gathers
+  /// the querier's peers, and dispatches the event.
+  void ExecuteEvent(const QueryEvent& event, SimMetrics* metrics);
+
+  void ExecuteKnn(int64_t querier, geom::Point pos, int k, int64_t slot,
+                  const std::vector<core::PeerData>& peers, bool measured,
+                  SimMetrics* metrics);
+  void ExecuteWindow(int64_t querier, geom::Point pos,
+                     const geom::Rect& window, int64_t slot,
+                     const std::vector<core::PeerData>& peers, bool measured,
+                     SimMetrics* metrics);
+
+  /// Samples this query's k (mean params.knn_k, always >= 1).
+  int SampleK();
+  /// Samples a query window per the paper: mean area = window_pct% of the
+  /// search space, center at a normally distributed distance from the host.
+  geom::Rect SampleWindow(geom::Point pos);
+
+  /// Validates the cache completeness invariant of `host` against the
+  /// server database (check_cache_invariant mode).
+  void CheckCacheInvariant(int64_t host) const;
+
+  SimConfig config_;
+  geom::Rect world_;
+  Rng rng_;
+  std::unique_ptr<broadcast::BroadcastSystem> system_;
+  spatial::RTree server_index_;
+  std::unique_ptr<MobilityModel> mobility_;
+  std::vector<core::PeerCache> caches_;
+  spatial::GridIndex peer_index_;
+  std::vector<geom::Point> positions_;
+  std::vector<QueryEvent> trace_;
+  double tx_range_mi_;
+};
+
+}  // namespace lbsq::sim
+
+#endif  // LBSQ_SIM_SIMULATOR_H_

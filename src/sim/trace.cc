@@ -1,0 +1,85 @@
+#include "sim/trace.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace lbsq::sim {
+
+namespace {
+constexpr char kHeader[] = "lbsq-trace v1";
+}  // namespace
+
+std::string SerializeTrace(const std::vector<QueryEvent>& events) {
+  std::string out = kHeader;
+  out += '\n';
+  char line[256];
+  for (const QueryEvent& e : events) {
+    if (e.type == QueryType::kKnn) {
+      std::snprintf(line, sizeof(line), "K %a %lld %d\n", e.time_min,
+                    static_cast<long long>(e.host), e.k);
+    } else {
+      std::snprintf(line, sizeof(line), "W %a %lld %a %a %a %a\n", e.time_min,
+                    static_cast<long long>(e.host), e.window.x1, e.window.y1,
+                    e.window.x2, e.window.y2);
+    }
+    out += line;
+  }
+  return out;
+}
+
+bool ParseTrace(const std::string& text, std::vector<QueryEvent>* out) {
+  std::istringstream stream(text);
+  std::string header;
+  if (!std::getline(stream, header) || header != kHeader) return false;
+  out->clear();
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (line.empty()) continue;
+    QueryEvent event;
+    long long host = 0;
+    if (line[0] == 'K') {
+      int k = 0;
+      if (std::sscanf(line.c_str(), "K %la %lld %d", &event.time_min, &host,
+                      &k) != 3 ||
+          k < 1) {
+        return false;
+      }
+      event.type = QueryType::kKnn;
+      event.k = k;
+    } else if (line[0] == 'W') {
+      if (std::sscanf(line.c_str(), "W %la %lld %la %la %la %la",
+                      &event.time_min, &host, &event.window.x1,
+                      &event.window.y1, &event.window.x2,
+                      &event.window.y2) != 6) {
+        return false;
+      }
+      event.type = QueryType::kWindow;
+    } else {
+      return false;
+    }
+    if (event.time_min < 0.0 || host < 0) return false;
+    event.host = host;
+    out->push_back(event);
+  }
+  return true;
+}
+
+bool SaveTrace(const std::string& path,
+               const std::vector<QueryEvent>& events) {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << SerializeTrace(events);
+  return static_cast<bool>(file);
+}
+
+bool LoadTrace(const std::string& path, std::vector<QueryEvent>* out) {
+  std::ifstream file(path);
+  if (!file) return false;
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return ParseTrace(buffer.str(), out);
+}
+
+}  // namespace lbsq::sim

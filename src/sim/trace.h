@@ -1,0 +1,54 @@
+#ifndef LBSQ_SIM_TRACE_H_
+#define LBSQ_SIM_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/rect.h"
+#include "sim/config.h"
+
+/// \file
+/// Recorded query workloads. A simulation run can record every query event
+/// it samples (time, querying host, query parameters); the trace can be
+/// saved as text, reloaded, and replayed against a simulator with the same
+/// configuration, reproducing the run exactly — the basis for workload
+/// regression tests and for comparing algorithm variants on identical
+/// workloads.
+
+namespace lbsq::sim {
+
+/// One query of a recorded workload.
+struct QueryEvent {
+  /// Simulation time in minutes.
+  double time_min = 0.0;
+  /// The querying host.
+  int64_t host = 0;
+  /// kKnn or kWindow (never kMixed — mixing is resolved at record time).
+  QueryType type = QueryType::kKnn;
+  /// Number of neighbors (kNN events).
+  int k = 0;
+  /// Query window (window events).
+  geom::Rect window;
+
+  friend bool operator==(const QueryEvent& a, const QueryEvent& b) {
+    return a.time_min == b.time_min && a.host == b.host && a.type == b.type &&
+           a.k == b.k && a.window == b.window;
+  }
+};
+
+/// Serializes a trace as text: a header line, then one event per line
+/// (`K <time> <host> <k>` or `W <time> <host> <x1> <y1> <x2> <y2>`, with
+/// round-trip-exact hex doubles).
+std::string SerializeTrace(const std::vector<QueryEvent>& events);
+
+/// Parses a serialized trace; returns false on any malformed content.
+bool ParseTrace(const std::string& text, std::vector<QueryEvent>* out);
+
+/// File convenience wrappers; return false on I/O or parse failure.
+bool SaveTrace(const std::string& path, const std::vector<QueryEvent>& events);
+bool LoadTrace(const std::string& path, std::vector<QueryEvent>* out);
+
+}  // namespace lbsq::sim
+
+#endif  // LBSQ_SIM_TRACE_H_

@@ -1,0 +1,56 @@
+#include "spatial/generators.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace lbsq::spatial {
+
+std::vector<Poi> GeneratePoissonPois(Rng* rng, const geom::Rect& world,
+                                     double density) {
+  LBSQ_CHECK(!world.empty());
+  LBSQ_CHECK(density >= 0.0);
+  const int64_t count = rng->Poisson(density * world.area());
+  return GenerateUniformPois(rng, world, count);
+}
+
+std::vector<Poi> GenerateUniformPois(Rng* rng, const geom::Rect& world,
+                                     int64_t count) {
+  LBSQ_CHECK(!world.empty());
+  LBSQ_CHECK(count >= 0);
+  std::vector<Poi> pois;
+  pois.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    pois.push_back(Poi{i,
+                       {rng->Uniform(world.x1, world.x2),
+                        rng->Uniform(world.y1, world.y2)}});
+  }
+  return pois;
+}
+
+std::vector<Poi> GenerateClusteredPois(Rng* rng, const geom::Rect& world,
+                                       int num_clusters,
+                                       double mean_per_cluster,
+                                       double spread) {
+  LBSQ_CHECK(!world.empty());
+  LBSQ_CHECK(num_clusters >= 0);
+  LBSQ_CHECK(mean_per_cluster >= 0.0);
+  LBSQ_CHECK(spread >= 0.0);
+  std::vector<Poi> pois;
+  int64_t next_id = 0;
+  for (int c = 0; c < num_clusters; ++c) {
+    const geom::Point center{rng->Uniform(world.x1, world.x2),
+                             rng->Uniform(world.y1, world.y2)};
+    const int64_t children = rng->Poisson(mean_per_cluster);
+    for (int64_t i = 0; i < children; ++i) {
+      geom::Point p{center.x + rng->Normal(0.0, spread),
+                    center.y + rng->Normal(0.0, spread)};
+      p.x = std::clamp(p.x, world.x1, world.x2);
+      p.y = std::clamp(p.y, world.y1, world.y2);
+      pois.push_back(Poi{next_id++, p});
+    }
+  }
+  return pois;
+}
+
+}  // namespace lbsq::spatial

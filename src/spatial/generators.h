@@ -1,0 +1,40 @@
+#ifndef LBSQ_SPATIAL_GENERATORS_H_
+#define LBSQ_SPATIAL_GENERATORS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "geom/rect.h"
+#include "spatial/poi.h"
+
+/// \file
+/// Synthetic workload generators. The paper derives its parameter sets from
+/// real-world densities (vehicles and gas stations in Southern California)
+/// and observes that common POI types are Poisson distributed; these
+/// generators synthesize point sets with exactly those statistics.
+
+namespace lbsq::spatial {
+
+/// Homogeneous spatial Poisson process: the point count is Poisson with mean
+/// `density * area(world)` and positions are i.i.d. uniform. Ids are
+/// assigned 0..n-1.
+std::vector<Poi> GeneratePoissonPois(Rng* rng, const geom::Rect& world,
+                                     double density);
+
+/// Exactly `count` i.i.d. uniform POIs (the conditional Poisson process given
+/// its count — what the paper's fixed POINumber corresponds to).
+std::vector<Poi> GenerateUniformPois(Rng* rng, const geom::Rect& world,
+                                     int64_t count);
+
+/// Neyman-Scott clustered process: `num_clusters` parent centers placed
+/// uniformly, each spawning Poisson(`mean_per_cluster`) children displaced by
+/// an isotropic normal with standard deviation `spread`. Children falling
+/// outside the world are clamped to its border. Models downtown-style POI
+/// clustering for the robustness experiments.
+std::vector<Poi> GenerateClusteredPois(Rng* rng, const geom::Rect& world,
+                                       int num_clusters,
+                                       double mean_per_cluster, double spread);
+
+}  // namespace lbsq::spatial
+
+#endif  // LBSQ_SPATIAL_GENERATORS_H_

@@ -1,0 +1,63 @@
+#include "spatial/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace lbsq::spatial {
+
+GridIndex::GridIndex(const geom::Rect& world, double cell_size)
+    : world_(world) {
+  LBSQ_CHECK(!world.empty());
+  LBSQ_CHECK(cell_size > 0.0);
+  const double min_cell_w = world.width() / 1024.0;
+  const double min_cell_h = world.height() / 1024.0;
+  cell_w_ = std::max(cell_size, min_cell_w);
+  cell_h_ = std::max(cell_size, min_cell_h);
+  nx_ = std::max(1, static_cast<int>(std::ceil(world.width() / cell_w_)));
+  ny_ = std::max(1, static_cast<int>(std::ceil(world.height() / cell_h_)));
+  buckets_.resize(static_cast<size_t>(nx_) * static_cast<size_t>(ny_));
+}
+
+int GridIndex::CellIndex(geom::Point p) const {
+  int cx = static_cast<int>(std::floor((p.x - world_.x1) / cell_w_));
+  int cy = static_cast<int>(std::floor((p.y - world_.y1) / cell_h_));
+  cx = std::clamp(cx, 0, nx_ - 1);
+  cy = std::clamp(cy, 0, ny_ - 1);
+  return cy * nx_ + cx;
+}
+
+void GridIndex::Rebuild(const std::vector<geom::Point>& positions) {
+  for (auto& bucket : buckets_) bucket.clear();
+  positions_ = positions;
+  for (size_t i = 0; i < positions_.size(); ++i) {
+    buckets_[static_cast<size_t>(CellIndex(positions_[i]))].push_back(
+        static_cast<int64_t>(i));
+  }
+}
+
+void GridIndex::QueryDisc(geom::Point center, double radius,
+                          std::vector<int64_t>* out) const {
+  const double r2 = radius * radius;
+  int cx_lo = static_cast<int>(std::floor((center.x - radius - world_.x1) / cell_w_));
+  int cx_hi = static_cast<int>(std::floor((center.x + radius - world_.x1) / cell_w_));
+  int cy_lo = static_cast<int>(std::floor((center.y - radius - world_.y1) / cell_h_));
+  int cy_hi = static_cast<int>(std::floor((center.y + radius - world_.y1) / cell_h_));
+  cx_lo = std::clamp(cx_lo, 0, nx_ - 1);
+  cx_hi = std::clamp(cx_hi, 0, nx_ - 1);
+  cy_lo = std::clamp(cy_lo, 0, ny_ - 1);
+  cy_hi = std::clamp(cy_hi, 0, ny_ - 1);
+  for (int cy = cy_lo; cy <= cy_hi; ++cy) {
+    for (int cx = cx_lo; cx <= cx_hi; ++cx) {
+      for (int64_t id : buckets_[static_cast<size_t>(cy * nx_ + cx)]) {
+        if (geom::DistanceSquared(positions_[static_cast<size_t>(id)],
+                                  center) <= r2) {
+          out->push_back(id);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace lbsq::spatial

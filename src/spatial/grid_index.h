@@ -1,0 +1,55 @@
+#ifndef LBSQ_SPATIAL_GRID_INDEX_H_
+#define LBSQ_SPATIAL_GRID_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+
+/// \file
+/// Uniform grid over a rectangular world for radius queries on moving
+/// points. The simulator uses it to find the single-hop peers of a querying
+/// mobile host (all hosts within the wireless transmission range).
+
+namespace lbsq::spatial {
+
+/// Bucketed uniform grid. Rebuild() is O(n); QueryDisc() touches only the
+/// buckets overlapping the disc's MBR.
+class GridIndex {
+ public:
+  /// Grid over `world` with roughly `cell_size`-sized square cells. The cell
+  /// size is clamped so there are at most ~1M cells.
+  GridIndex(const geom::Rect& world, double cell_size);
+
+  /// Replaces the content with `positions`; item i gets id i.
+  void Rebuild(const std::vector<geom::Point>& positions);
+
+  /// Appends the ids of all items within distance `radius` of `center`
+  /// (closed ball, torus wrap disabled) to `*out`.
+  void QueryDisc(geom::Point center, double radius,
+                 std::vector<int64_t>* out) const;
+
+  /// Number of indexed items.
+  int64_t size() const { return static_cast<int64_t>(positions_.size()); }
+
+  /// Position of item `id` as of the last Rebuild().
+  geom::Point position(int64_t id) const {
+    return positions_[static_cast<size_t>(id)];
+  }
+
+ private:
+  int CellIndex(geom::Point p) const;
+
+  geom::Rect world_;
+  int nx_;
+  int ny_;
+  double cell_w_;
+  double cell_h_;
+  std::vector<geom::Point> positions_;
+  std::vector<std::vector<int64_t>> buckets_;
+};
+
+}  // namespace lbsq::spatial
+
+#endif  // LBSQ_SPATIAL_GRID_INDEX_H_

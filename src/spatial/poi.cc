@@ -1,0 +1,34 @@
+#include "spatial/poi.h"
+
+#include <algorithm>
+
+#include "geom/rect.h"
+
+namespace lbsq::spatial {
+
+std::vector<PoiDistance> BruteForceKnn(const std::vector<Poi>& pois,
+                                       geom::Point q, int k) {
+  std::vector<PoiDistance> all;
+  all.reserve(pois.size());
+  for (const Poi& p : pois) {
+    all.push_back(PoiDistance{p, geom::Distance(p.pos, q)});
+  }
+  const size_t take = std::min<size_t>(static_cast<size_t>(k), all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<long>(take),
+                    all.end());
+  all.resize(take);
+  return all;
+}
+
+std::vector<Poi> BruteForceWindow(const std::vector<Poi>& pois,
+                                  const geom::Rect& window) {
+  std::vector<Poi> result;
+  for (const Poi& p : pois) {
+    if (window.Contains(p.pos)) result.push_back(p);
+  }
+  std::sort(result.begin(), result.end(),
+            [](const Poi& a, const Poi& b) { return a.id < b.id; });
+  return result;
+}
+
+}  // namespace lbsq::spatial

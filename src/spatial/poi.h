@@ -1,0 +1,51 @@
+#ifndef LBSQ_SPATIAL_POI_H_
+#define LBSQ_SPATIAL_POI_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+
+/// \file
+/// Point of interest. Following the paper's notation, an object identifier
+/// also stands for its position coordinates.
+
+namespace lbsq::spatial {
+
+/// A point of interest (gas station, hospital, ...). `id` is unique within a
+/// data set and is the unit of caching and exchange between peers.
+struct Poi {
+  int64_t id = -1;
+  geom::Point pos;
+
+  friend bool operator==(const Poi& a, const Poi& b) {
+    return a.id == b.id && a.pos == b.pos;
+  }
+};
+
+/// A POI together with its distance to some query point; the currency of the
+/// kNN algorithms.
+struct PoiDistance {
+  Poi poi;
+  double distance = 0.0;
+
+  friend bool operator<(const PoiDistance& a, const PoiDistance& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.poi.id < b.poi.id;  // deterministic tie-break
+  }
+};
+
+/// Brute-force k nearest neighbors — the oracle the index implementations and
+/// the sharing algorithms are tested against. Returns min(k, n) results in
+/// ascending distance order with deterministic tie-breaking.
+std::vector<PoiDistance> BruteForceKnn(const std::vector<Poi>& pois,
+                                       geom::Point q, int k);
+
+/// Brute-force window query oracle; results sorted by id.
+std::vector<Poi> BruteForceWindow(const std::vector<Poi>& pois,
+                                  const geom::Rect& window);
+
+}  // namespace lbsq::spatial
+
+#endif  // LBSQ_SPATIAL_POI_H_

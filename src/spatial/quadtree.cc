@@ -1,0 +1,130 @@
+#include "spatial/quadtree.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.h"
+
+namespace lbsq::spatial {
+
+QuadTree::QuadTree(const geom::Rect& world, int bucket_capacity, int max_depth)
+    : bucket_capacity_(bucket_capacity), max_depth_(max_depth) {
+  LBSQ_CHECK(!world.empty());
+  LBSQ_CHECK(bucket_capacity >= 1);
+  LBSQ_CHECK(max_depth >= 1);
+  root_ = std::make_unique<Node>();
+  root_->bounds = world;
+}
+
+int QuadTree::ChildIndex(const Node& node, geom::Point p) {
+  const geom::Point c = node.bounds.center();
+  return (p.x >= c.x ? 1 : 0) + (p.y >= c.y ? 2 : 0);
+}
+
+void QuadTree::Split(Node* node, int depth) {
+  (void)depth;
+  const geom::Rect& b = node->bounds;
+  const geom::Point c = b.center();
+  node->children[0] = std::make_unique<Node>();
+  node->children[0]->bounds = geom::Rect{b.x1, b.y1, c.x, c.y};
+  node->children[1] = std::make_unique<Node>();
+  node->children[1]->bounds = geom::Rect{c.x, b.y1, b.x2, c.y};
+  node->children[2] = std::make_unique<Node>();
+  node->children[2]->bounds = geom::Rect{b.x1, c.y, c.x, b.y2};
+  node->children[3] = std::make_unique<Node>();
+  node->children[3]->bounds = geom::Rect{c.x, c.y, b.x2, b.y2};
+  std::vector<Poi> pois = std::move(node->pois);
+  node->pois.clear();
+  for (const Poi& p : pois) {
+    node->children[static_cast<size_t>(ChildIndex(*node, p.pos))]
+        ->pois.push_back(p);
+  }
+}
+
+void QuadTree::InsertInto(Node* node, const Poi& poi, int depth) {
+  if (!node->leaf()) {
+    InsertInto(node->children[static_cast<size_t>(ChildIndex(*node, poi.pos))]
+                   .get(),
+               poi, depth + 1);
+    return;
+  }
+  node->pois.push_back(poi);
+  if (static_cast<int>(node->pois.size()) > bucket_capacity_ &&
+      depth < max_depth_) {
+    Split(node, depth);
+  }
+}
+
+void QuadTree::Insert(const Poi& poi) {
+  LBSQ_CHECK(root_->bounds.Contains(poi.pos));
+  InsertInto(root_.get(), poi, 0);
+  ++size_;
+}
+
+void QuadTree::InsertAll(const std::vector<Poi>& pois) {
+  for (const Poi& p : pois) Insert(p);
+}
+
+std::vector<Poi> QuadTree::WindowQuery(const geom::Rect& window) const {
+  node_accesses_ = 0;
+  std::vector<Poi> result;
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    ++node_accesses_;
+    if (!window.Intersects(node->bounds)) continue;
+    if (node->leaf()) {
+      for (const Poi& p : node->pois) {
+        if (window.Contains(p.pos)) result.push_back(p);
+      }
+    } else {
+      for (const auto& child : node->children) stack.push_back(child.get());
+    }
+  }
+  std::sort(result.begin(), result.end(),
+            [](const Poi& a, const Poi& b) { return a.id < b.id; });
+  return result;
+}
+
+std::vector<PoiDistance> QuadTree::Knn(geom::Point q, int k) const {
+  node_accesses_ = 0;
+  std::vector<PoiDistance> result;
+  if (k <= 0 || size_ == 0) return result;
+  struct QueueItem {
+    double distance;
+    int64_t tie;       // POI id for objects, -1 for nodes
+    const Node* node;  // null for object items
+    Poi poi;
+  };
+  auto cmp = [](const QueueItem& a, const QueueItem& b) {
+    if (a.distance != b.distance) return a.distance > b.distance;
+    return a.tie > b.tie;
+  };
+  std::priority_queue<QueueItem, std::vector<QueueItem>, decltype(cmp)> queue(
+      cmp);
+  queue.push(QueueItem{root_->bounds.MinDistance(q), -1, root_.get(), Poi{}});
+  while (!queue.empty()) {
+    QueueItem item = queue.top();
+    queue.pop();
+    if (item.node == nullptr) {
+      result.push_back(PoiDistance{item.poi, item.distance});
+      if (static_cast<int>(result.size()) == k) break;
+      continue;
+    }
+    ++node_accesses_;
+    if (item.node->leaf()) {
+      for (const Poi& p : item.node->pois) {
+        queue.push(QueueItem{geom::Distance(p.pos, q), p.id, nullptr, p});
+      }
+    } else {
+      for (const auto& child : item.node->children) {
+        queue.push(QueueItem{child->bounds.MinDistance(q), -1, child.get(),
+                             Poi{}});
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace lbsq::spatial

@@ -1,0 +1,69 @@
+#ifndef LBSQ_SPATIAL_QUADTREE_H_
+#define LBSQ_SPATIAL_QUADTREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "spatial/poi.h"
+
+/// \file
+/// Point-region (PR) quadtree. The paper's related work uses the quadtree
+/// family for window queries (Aboulnaga & Aref); we provide it as an
+/// alternative window-query index and as a cross-check for the R-tree.
+
+namespace lbsq::spatial {
+
+/// Bucket PR quadtree over a fixed world rectangle.
+class QuadTree {
+ public:
+  /// Tree over `world`; leaves split when they exceed `bucket_capacity`
+  /// POIs (unless `max_depth` is reached, in which case leaves overflow).
+  explicit QuadTree(const geom::Rect& world, int bucket_capacity = 8,
+                    int max_depth = 16);
+
+  QuadTree(const QuadTree&) = delete;
+  QuadTree& operator=(const QuadTree&) = delete;
+
+  /// Inserts one POI; its position must lie inside the world rectangle.
+  void Insert(const Poi& poi);
+
+  /// Inserts a batch of POIs.
+  void InsertAll(const std::vector<Poi>& pois);
+
+  /// Number of stored POIs.
+  int64_t size() const { return size_; }
+
+  /// All POIs inside `window` (closed), sorted by id.
+  std::vector<Poi> WindowQuery(const geom::Rect& window) const;
+
+  /// k nearest neighbors via best-first distance browsing over the quadrant
+  /// hierarchy (Hjaltason-Samet applied to the quadtree).
+  std::vector<PoiDistance> Knn(geom::Point q, int k) const;
+
+  /// Nodes visited by the most recent query.
+  int64_t last_node_accesses() const { return node_accesses_; }
+
+ private:
+  struct Node {
+    geom::Rect bounds;
+    std::vector<Poi> pois;                  // leaf payload
+    std::unique_ptr<Node> children[4];      // null for leaves
+    bool leaf() const { return children[0] == nullptr; }
+  };
+
+  void InsertInto(Node* node, const Poi& poi, int depth);
+  void Split(Node* node, int depth);
+  static int ChildIndex(const Node& node, geom::Point p);
+
+  int bucket_capacity_;
+  int max_depth_;
+  int64_t size_ = 0;
+  std::unique_ptr<Node> root_;
+  mutable int64_t node_accesses_ = 0;
+};
+
+}  // namespace lbsq::spatial
+
+#endif  // LBSQ_SPATIAL_QUADTREE_H_

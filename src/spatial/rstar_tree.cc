@@ -1,0 +1,387 @@
+#include "spatial/rstar_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/check.h"
+
+namespace lbsq::spatial {
+
+namespace {
+
+double OverlapArea(const geom::Rect& a, const geom::Rect& b) {
+  return a.Intersection(b).area();
+}
+
+double Margin(const geom::Rect& r) { return 2.0 * (r.width() + r.height()); }
+
+}  // namespace
+
+geom::Rect RStarTree::Node::Mbr() const {
+  geom::Rect mbr;
+  for (const Entry& e : entries) mbr = mbr.Union(e.mbr);
+  return mbr;
+}
+
+RStarTree::RStarTree(int max_entries, int min_entries)
+    : max_entries_(max_entries),
+      min_entries_(min_entries > 0 ? min_entries
+                                   : std::max(2, max_entries * 2 / 5)) {
+  LBSQ_CHECK(max_entries_ >= 4);
+  LBSQ_CHECK(min_entries_ >= 2 && min_entries_ <= max_entries_ / 2);
+}
+
+void RStarTree::Insert(const Poi& poi) {
+  Entry entry;
+  entry.mbr = geom::Rect{poi.pos.x, poi.pos.y, poi.pos.x, poi.pos.y};
+  entry.poi = poi;
+  ++size_;
+  InsertLeafEntry(std::move(entry), /*allow_reinsert=*/true);
+}
+
+void RStarTree::InsertAll(const std::vector<Poi>& pois) {
+  for (const Poi& p : pois) Insert(p);
+}
+
+RStarTree::Node* RStarTree::ChooseSubtree(const geom::Rect& mbr,
+                                          std::vector<Node*>* path) {
+  Node* node = root_.get();
+  while (!node->leaf) {
+    path->push_back(node);
+    Entry* best = nullptr;
+    const bool children_are_leaves = node->entries.front().child->leaf;
+    double best_primary = 0.0;
+    double best_secondary = 0.0;
+    double best_area = 0.0;
+    for (Entry& e : node->entries) {
+      const geom::Rect enlarged = e.mbr.Union(mbr);
+      const double area_enlargement = enlarged.area() - e.mbr.area();
+      double primary;
+      if (children_are_leaves) {
+        // Overlap enlargement of this entry against its siblings.
+        double overlap_before = 0.0;
+        double overlap_after = 0.0;
+        for (const Entry& other : node->entries) {
+          if (&other == &e) continue;
+          overlap_before += OverlapArea(e.mbr, other.mbr);
+          overlap_after += OverlapArea(enlarged, other.mbr);
+        }
+        primary = overlap_after - overlap_before;
+      } else {
+        primary = area_enlargement;
+      }
+      if (best == nullptr || primary < best_primary ||
+          (primary == best_primary &&
+           (area_enlargement < best_secondary ||
+            (area_enlargement == best_secondary && e.mbr.area() < best_area)))) {
+        best = &e;
+        best_primary = primary;
+        best_secondary = area_enlargement;
+        best_area = e.mbr.area();
+      }
+    }
+    LBSQ_CHECK(best != nullptr);
+    best->mbr = best->mbr.Union(mbr);
+    node = best->child.get();
+  }
+  return node;
+}
+
+std::vector<RStarTree::Entry> RStarTree::TakeReinsertVictims(
+    Node* node) const {
+  const geom::Point center = node->Mbr().center();
+  std::vector<size_t> order(node->entries.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return geom::DistanceSquared(node->entries[a].mbr.center(), center) >
+           geom::DistanceSquared(node->entries[b].mbr.center(), center);
+  });
+  const size_t take = std::max<size_t>(1, node->entries.size() * 3 / 10);
+  std::vector<Entry> victims;
+  std::vector<bool> doomed(node->entries.size(), false);
+  for (size_t i = 0; i < take; ++i) doomed[order[i]] = true;
+  std::vector<Entry> kept;
+  for (size_t i = 0; i < node->entries.size(); ++i) {
+    if (doomed[i]) {
+      victims.push_back(std::move(node->entries[i]));
+    } else {
+      kept.push_back(std::move(node->entries[i]));
+    }
+  }
+  node->entries = std::move(kept);
+  return victims;
+}
+
+std::unique_ptr<RStarTree::Node> RStarTree::SplitNode(Node* node) const {
+  // R* topological split: pick the axis with the minimum total margin over
+  // all candidate distributions, then the distribution with minimum overlap
+  // (ties: minimum total area).
+  std::vector<Entry> all = std::move(node->entries);
+  node->entries.clear();
+  const int total = static_cast<int>(all.size());
+  const int dist_count = total - 2 * min_entries_ + 1;
+  LBSQ_CHECK(dist_count >= 1);
+
+  struct Candidate {
+    int axis = 0;        // 0 = x, 1 = y
+    bool by_upper = false;
+    int split_at = 0;    // first group size = min_entries_ + split_at
+  };
+  double best_axis_margin[2] = {0.0, 0.0};
+
+  auto sort_by = [&all](int axis, bool by_upper) {
+    std::sort(all.begin(), all.end(),
+              [axis, by_upper](const Entry& a, const Entry& b) {
+                const double ka = axis == 0 ? (by_upper ? a.mbr.x2 : a.mbr.x1)
+                                            : (by_upper ? a.mbr.y2 : a.mbr.y1);
+                const double kb = axis == 0 ? (by_upper ? b.mbr.x2 : b.mbr.x1)
+                                            : (by_upper ? b.mbr.y2 : b.mbr.y1);
+                if (ka != kb) return ka < kb;
+                return a.poi.id < b.poi.id;
+              });
+  };
+
+  // Evaluate margins per axis.
+  for (int axis = 0; axis < 2; ++axis) {
+    double margin_sum = 0.0;
+    for (const bool by_upper : {false, true}) {
+      sort_by(axis, by_upper);
+      // Prefix/suffix MBRs.
+      std::vector<geom::Rect> prefix(all.size());
+      std::vector<geom::Rect> suffix(all.size());
+      geom::Rect acc;
+      for (size_t i = 0; i < all.size(); ++i) {
+        acc = acc.Union(all[i].mbr);
+        prefix[i] = acc;
+      }
+      acc = geom::Rect{};
+      for (size_t i = all.size(); i-- > 0;) {
+        acc = acc.Union(all[i].mbr);
+        suffix[i] = acc;
+      }
+      for (int d = 0; d < dist_count; ++d) {
+        const int first = min_entries_ + d;
+        margin_sum += Margin(prefix[static_cast<size_t>(first - 1)]) +
+                      Margin(suffix[static_cast<size_t>(first)]);
+      }
+    }
+    best_axis_margin[axis] = margin_sum;
+  }
+  const int axis = best_axis_margin[0] <= best_axis_margin[1] ? 0 : 1;
+
+  // On the chosen axis, pick the distribution (over both sort orders) with
+  // minimal overlap, ties by minimal combined area.
+  Candidate best;
+  double best_overlap = std::numeric_limits<double>::infinity();
+  double best_area = std::numeric_limits<double>::infinity();
+  for (const bool by_upper : {false, true}) {
+    sort_by(axis, by_upper);
+    std::vector<geom::Rect> prefix(all.size());
+    std::vector<geom::Rect> suffix(all.size());
+    geom::Rect acc;
+    for (size_t i = 0; i < all.size(); ++i) {
+      acc = acc.Union(all[i].mbr);
+      prefix[i] = acc;
+    }
+    acc = geom::Rect{};
+    for (size_t i = all.size(); i-- > 0;) {
+      acc = acc.Union(all[i].mbr);
+      suffix[i] = acc;
+    }
+    for (int d = 0; d < dist_count; ++d) {
+      const int first = min_entries_ + d;
+      const geom::Rect& a = prefix[static_cast<size_t>(first - 1)];
+      const geom::Rect& b = suffix[static_cast<size_t>(first)];
+      const double overlap = OverlapArea(a, b);
+      const double area = a.area() + b.area();
+      if (overlap < best_overlap ||
+          (overlap == best_overlap && area < best_area)) {
+        best_overlap = overlap;
+        best_area = area;
+        best = Candidate{axis, by_upper, d};
+      }
+    }
+  }
+
+  sort_by(best.axis, best.by_upper);
+  const int first = min_entries_ + best.split_at;
+  auto sibling = std::make_unique<Node>();
+  sibling->leaf = node->leaf;
+  for (int i = 0; i < total; ++i) {
+    if (i < first) {
+      node->entries.push_back(std::move(all[static_cast<size_t>(i)]));
+    } else {
+      sibling->entries.push_back(std::move(all[static_cast<size_t>(i)]));
+    }
+  }
+  return sibling;
+}
+
+void RStarTree::PropagateUp(std::vector<Node*>* path, Node* child,
+                            std::unique_ptr<Node> sibling) {
+  Node* current = child;
+  for (auto it = path->rbegin(); it != path->rend(); ++it) {
+    Node* parent = *it;
+    Entry* self = nullptr;
+    for (Entry& e : parent->entries) {
+      if (e.child.get() == current) {
+        self = &e;
+        break;
+      }
+    }
+    LBSQ_CHECK(self != nullptr);
+    self->mbr = current->Mbr();
+    if (sibling) {
+      Entry entry;
+      entry.mbr = sibling->Mbr();
+      entry.child = std::move(sibling);
+      parent->entries.push_back(std::move(entry));
+      sibling = nullptr;
+      if (static_cast<int>(parent->entries.size()) > max_entries_) {
+        sibling = SplitNode(parent);
+      }
+    }
+    current = parent;
+  }
+  if (sibling) {
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    Entry left;
+    left.mbr = root_->Mbr();
+    left.child = std::move(root_);
+    Entry right;
+    right.mbr = sibling->Mbr();
+    right.child = std::move(sibling);
+    new_root->entries.push_back(std::move(left));
+    new_root->entries.push_back(std::move(right));
+    root_ = std::move(new_root);
+  }
+}
+
+void RStarTree::InsertLeafEntry(Entry entry, bool allow_reinsert) {
+  if (!root_) {
+    root_ = std::make_unique<Node>();
+    root_->leaf = true;
+  }
+  std::vector<Node*> path;
+  const geom::Rect mbr = entry.mbr;
+  Node* leaf = ChooseSubtree(mbr, &path);
+  leaf->entries.push_back(std::move(entry));
+
+  if (static_cast<int>(leaf->entries.size()) <= max_entries_) {
+    PropagateUp(&path, leaf, nullptr);
+    return;
+  }
+  if (allow_reinsert && leaf != root_.get()) {
+    // Forced reinsertion (leaf level): evict the 30% farthest-from-center
+    // entries and insert them afresh from the root.
+    std::vector<Entry> victims = TakeReinsertVictims(leaf);
+    PropagateUp(&path, leaf, nullptr);
+    for (Entry& v : victims) {
+      InsertLeafEntry(std::move(v), /*allow_reinsert=*/false);
+    }
+    return;
+  }
+  std::unique_ptr<Node> sibling = SplitNode(leaf);
+  PropagateUp(&path, leaf, std::move(sibling));
+}
+
+int RStarTree::Height() const {
+  int height = 0;
+  for (const Node* n = root_.get(); n != nullptr;
+       n = n->leaf ? nullptr : n->entries.front().child.get()) {
+    ++height;
+  }
+  return height;
+}
+
+std::vector<Poi> RStarTree::WindowQuery(const geom::Rect& window) const {
+  node_accesses_ = 0;
+  std::vector<Poi> result;
+  if (!root_) return result;
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    ++node_accesses_;
+    for (const Entry& e : node->entries) {
+      if (!window.Intersects(e.mbr)) continue;
+      if (node->leaf) {
+        result.push_back(e.poi);
+      } else {
+        stack.push_back(e.child.get());
+      }
+    }
+  }
+  std::sort(result.begin(), result.end(),
+            [](const Poi& a, const Poi& b) { return a.id < b.id; });
+  return result;
+}
+
+std::vector<PoiDistance> RStarTree::Knn(geom::Point q, int k) const {
+  node_accesses_ = 0;
+  std::vector<PoiDistance> result;
+  if (!root_ || k <= 0) return result;
+  struct QueueItem {
+    double distance;
+    int64_t tie;
+    const Node* node;
+    Poi poi;
+  };
+  auto cmp = [](const QueueItem& a, const QueueItem& b) {
+    if (a.distance != b.distance) return a.distance > b.distance;
+    return a.tie > b.tie;
+  };
+  std::priority_queue<QueueItem, std::vector<QueueItem>, decltype(cmp)> queue(
+      cmp);
+  queue.push(QueueItem{0.0, -1, root_.get(), Poi{}});
+  while (!queue.empty()) {
+    QueueItem item = queue.top();
+    queue.pop();
+    if (item.node == nullptr) {
+      result.push_back(PoiDistance{item.poi, item.distance});
+      if (static_cast<int>(result.size()) == k) break;
+      continue;
+    }
+    ++node_accesses_;
+    for (const Entry& e : item.node->entries) {
+      if (item.node->leaf) {
+        queue.push(QueueItem{geom::Distance(e.poi.pos, q), e.poi.id, nullptr,
+                             e.poi});
+      } else {
+        queue.push(QueueItem{e.mbr.MinDistance(q), -1, e.child.get(), Poi{}});
+      }
+    }
+  }
+  return result;
+}
+
+void RStarTree::CheckInvariants() const {
+  if (!root_) return;
+  int leaf_depth = -1;
+  int64_t counted = 0;
+  auto visit = [&](auto&& self, const Node* node, int depth,
+                   bool is_root) -> void {
+    if (!is_root) {
+      LBSQ_CHECK(static_cast<int>(node->entries.size()) >= min_entries_);
+    }
+    LBSQ_CHECK(static_cast<int>(node->entries.size()) <= max_entries_);
+    if (node->leaf) {
+      if (leaf_depth == -1) leaf_depth = depth;
+      LBSQ_CHECK_EQ(leaf_depth, depth);
+      counted += static_cast<int64_t>(node->entries.size());
+      return;
+    }
+    for (const Entry& e : node->entries) {
+      LBSQ_CHECK(e.child != nullptr);
+      LBSQ_CHECK(e.mbr == e.child->Mbr());
+      self(self, e.child.get(), depth + 1, false);
+    }
+  };
+  visit(visit, root_.get(), 0, true);
+  LBSQ_CHECK_EQ(counted, size_);
+}
+
+}  // namespace lbsq::spatial

@@ -1,0 +1,450 @@
+#include "spatial/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/check.h"
+
+namespace lbsq::spatial {
+
+geom::Rect RTree::Node::Mbr() const {
+  geom::Rect mbr;
+  for (const Entry& e : entries) mbr = mbr.Union(e.mbr);
+  return mbr;
+}
+
+RTree::RTree(int max_entries, int min_entries)
+    : max_entries_(max_entries),
+      min_entries_(min_entries > 0 ? min_entries : max_entries / 2) {
+  LBSQ_CHECK(max_entries_ >= 4);
+  LBSQ_CHECK(min_entries_ >= 1 && min_entries_ <= max_entries_ / 2);
+}
+
+void RTree::Insert(const Poi& poi) {
+  const geom::Rect point_mbr{poi.pos.x, poi.pos.y, poi.pos.x, poi.pos.y};
+  ++size_;
+  if (!root_) {
+    root_ = std::make_unique<Node>();
+    root_->leaf = true;
+  }
+  // Descend to a leaf, choosing the subtree needing least MBR enlargement.
+  std::vector<Node*> path;
+  Node* node = root_.get();
+  while (!node->leaf) {
+    path.push_back(node);
+    Entry* best = nullptr;
+    double best_enlargement = 0.0;
+    double best_area = 0.0;
+    for (Entry& e : node->entries) {
+      const double area = e.mbr.area();
+      const double enlargement = e.mbr.Union(point_mbr).area() - area;
+      if (best == nullptr || enlargement < best_enlargement ||
+          (enlargement == best_enlargement && area < best_area)) {
+        best = &e;
+        best_enlargement = enlargement;
+        best_area = area;
+      }
+    }
+    LBSQ_CHECK(best != nullptr);
+    best->mbr = best->mbr.Union(point_mbr);
+    node = best->child.get();
+  }
+  node->entries.push_back(Entry{point_mbr, nullptr, poi});
+
+  // Split overflowing nodes bottom-up along the insertion path.
+  Node* current = node;
+  std::unique_ptr<Node> sibling;
+  if (static_cast<int>(current->entries.size()) > max_entries_) {
+    sibling = SplitNode(current);
+  }
+  for (auto it = path.rbegin(); it != path.rend(); ++it) {
+    Node* parent = *it;
+    Entry* self = nullptr;
+    for (Entry& e : parent->entries) {
+      if (e.child.get() == current) {
+        self = &e;
+        break;
+      }
+    }
+    LBSQ_CHECK(self != nullptr);
+    self->mbr = current->Mbr();
+    if (sibling) {
+      geom::Rect mbr = sibling->Mbr();
+      parent->entries.push_back(Entry{mbr, std::move(sibling), Poi{}});
+      sibling = nullptr;
+      if (static_cast<int>(parent->entries.size()) > max_entries_) {
+        sibling = SplitNode(parent);
+      }
+    }
+    current = parent;
+  }
+  if (sibling) {
+    // Root split: grow the tree by one level.
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    geom::Rect left_mbr = root_->Mbr();
+    geom::Rect right_mbr = sibling->Mbr();
+    new_root->entries.push_back(Entry{left_mbr, std::move(root_), Poi{}});
+    new_root->entries.push_back(Entry{right_mbr, std::move(sibling), Poi{}});
+    root_ = std::move(new_root);
+  }
+}
+
+void RTree::InsertAll(const std::vector<Poi>& pois) {
+  for (const Poi& p : pois) Insert(p);
+}
+
+namespace {
+
+// Splits `count` items into runs of at most `max_run`, rebalancing the tail
+// so every run has at least `min_run` items (assumes count >= min_run or
+// count == 0). Returns the run sizes.
+std::vector<int> PackedRunSizes(int64_t count, int max_run, int min_run) {
+  std::vector<int> sizes;
+  int64_t remaining = count;
+  while (remaining > 0) {
+    if (remaining <= max_run) {
+      sizes.push_back(static_cast<int>(remaining));
+      remaining = 0;
+    } else if (remaining - max_run < min_run) {
+      // A full run would leave an under-full tail: split the remainder in
+      // two roughly equal runs (each >= min_run since remaining > max_run
+      // >= 2 * min_run).
+      const int first = static_cast<int>(remaining / 2);
+      sizes.push_back(first);
+      sizes.push_back(static_cast<int>(remaining - first));
+      remaining = 0;
+    } else {
+      sizes.push_back(max_run);
+      remaining -= max_run;
+    }
+  }
+  return sizes;
+}
+
+}  // namespace
+
+RTree RTree::BulkLoadStr(const std::vector<Poi>& pois, int max_entries,
+                         int min_entries) {
+  RTree tree(max_entries, min_entries);
+  tree.size_ = static_cast<int64_t>(pois.size());
+  if (pois.empty()) return tree;
+
+  const int capacity = tree.max_entries_;
+  const int min_fill = tree.min_entries_;
+
+  // Build the leaf level: sort by x, tile into vertical slabs of
+  // ceil(sqrt(n / M)) columns, sort each slab by y, pack runs.
+  std::vector<Poi> sorted = pois;
+  std::sort(sorted.begin(), sorted.end(), [](const Poi& a, const Poi& b) {
+    if (a.pos.x != b.pos.x) return a.pos.x < b.pos.x;
+    return a.id < b.id;
+  });
+  const int64_t n = static_cast<int64_t>(sorted.size());
+  const int64_t num_leaves = (n + capacity - 1) / capacity;
+  const int64_t slabs = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(std::sqrt(
+             static_cast<double>(num_leaves)))));
+  const int64_t slab_size =
+      std::max<int64_t>(capacity, (n + slabs - 1) / slabs);
+
+  // Slabs define only the order; runs are packed globally so min occupancy
+  // holds for every node (a run may straddle a slab boundary at its tail).
+  for (int64_t start = 0; start < n; start += slab_size) {
+    const int64_t end = std::min(start + slab_size, n);
+    std::sort(sorted.begin() + start, sorted.begin() + end,
+              [](const Poi& a, const Poi& b) {
+                if (a.pos.y != b.pos.y) return a.pos.y < b.pos.y;
+                return a.id < b.id;
+              });
+  }
+  std::vector<std::unique_ptr<Node>> level;
+  {
+    int64_t cursor = 0;
+    for (int run : PackedRunSizes(n, capacity, min_fill)) {
+      auto leaf = std::make_unique<Node>();
+      leaf->leaf = true;
+      for (int i = 0; i < run; ++i) {
+        const Poi& poi = sorted[static_cast<size_t>(cursor++)];
+        leaf->entries.push_back(Entry{
+            geom::Rect{poi.pos.x, poi.pos.y, poi.pos.x, poi.pos.y}, nullptr,
+            poi});
+      }
+      level.push_back(std::move(leaf));
+    }
+  }
+
+  // Pack upper levels until one root remains, ordering nodes by their MBR
+  // center with the same x-slab / y-run tiling.
+  while (level.size() > 1) {
+    std::sort(level.begin(), level.end(),
+              [](const std::unique_ptr<Node>& a,
+                 const std::unique_ptr<Node>& b) {
+                return a->Mbr().center().x < b->Mbr().center().x;
+              });
+    const int64_t count = static_cast<int64_t>(level.size());
+    const int64_t parents = (count + capacity - 1) / capacity;
+    const int64_t pslabs = std::max<int64_t>(
+        1, static_cast<int64_t>(std::ceil(std::sqrt(
+               static_cast<double>(parents)))));
+    const int64_t pslab_size =
+        std::max<int64_t>(capacity, (count + pslabs - 1) / pslabs);
+    for (int64_t start = 0; start < count; start += pslab_size) {
+      const int64_t end = std::min(start + pslab_size, count);
+      std::sort(level.begin() + start, level.begin() + end,
+                [](const std::unique_ptr<Node>& a,
+                   const std::unique_ptr<Node>& b) {
+                  return a->Mbr().center().y < b->Mbr().center().y;
+                });
+    }
+    std::vector<std::unique_ptr<Node>> next;
+    int64_t cursor = 0;
+    for (int run : PackedRunSizes(count, capacity, min_fill)) {
+      auto parent = std::make_unique<Node>();
+      parent->leaf = false;
+      for (int i = 0; i < run; ++i) {
+        std::unique_ptr<Node> child =
+            std::move(level[static_cast<size_t>(cursor++)]);
+        Entry entry;
+        entry.mbr = child->Mbr();
+        entry.child = std::move(child);
+        parent->entries.push_back(std::move(entry));
+      }
+      next.push_back(std::move(parent));
+    }
+    level = std::move(next);
+  }
+  tree.root_ = std::move(level.front());
+  return tree;
+}
+
+int RTree::Height() const {
+  int height = 0;
+  for (const Node* n = root_.get(); n != nullptr;
+       n = n->leaf ? nullptr : n->entries.front().child.get()) {
+    ++height;
+  }
+  return height;
+}
+
+void RTree::PickSeeds(const std::vector<Entry>& entries, size_t* a,
+                      size_t* b) {
+  double worst = -1.0;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    for (size_t j = i + 1; j < entries.size(); ++j) {
+      const double dead = entries[i].mbr.Union(entries[j].mbr).area() -
+                          entries[i].mbr.area() - entries[j].mbr.area();
+      if (dead > worst) {
+        worst = dead;
+        *a = i;
+        *b = j;
+      }
+    }
+  }
+}
+
+std::unique_ptr<RTree::Node> RTree::SplitNode(Node* node) const {
+  std::vector<Entry> all = std::move(node->entries);
+  node->entries.clear();
+  auto sibling = std::make_unique<Node>();
+  sibling->leaf = node->leaf;
+
+  size_t seed_a = 0, seed_b = 1;
+  PickSeeds(all, &seed_a, &seed_b);
+  geom::Rect mbr_a = all[seed_a].mbr;
+  geom::Rect mbr_b = all[seed_b].mbr;
+  node->entries.push_back(std::move(all[seed_a]));
+  sibling->entries.push_back(std::move(all[seed_b]));
+  // Erase the larger index first so the smaller index stays valid.
+  all.erase(all.begin() + static_cast<long>(std::max(seed_a, seed_b)));
+  all.erase(all.begin() + static_cast<long>(std::min(seed_a, seed_b)));
+
+  while (!all.empty()) {
+    const size_t remaining = all.size();
+    const size_t need_a =
+        min_entries_ > static_cast<int>(node->entries.size())
+            ? static_cast<size_t>(min_entries_) - node->entries.size()
+            : 0;
+    const size_t need_b =
+        min_entries_ > static_cast<int>(sibling->entries.size())
+            ? static_cast<size_t>(min_entries_) - sibling->entries.size()
+            : 0;
+    if (need_a == remaining) {
+      for (Entry& e : all) {
+        mbr_a = mbr_a.Union(e.mbr);
+        node->entries.push_back(std::move(e));
+      }
+      break;
+    }
+    if (need_b == remaining) {
+      for (Entry& e : all) {
+        mbr_b = mbr_b.Union(e.mbr);
+        sibling->entries.push_back(std::move(e));
+      }
+      break;
+    }
+    // PickNext: the entry with the strongest preference for one group.
+    size_t pick = 0;
+    double best_diff = -1.0;
+    for (size_t i = 0; i < all.size(); ++i) {
+      const double da = mbr_a.Union(all[i].mbr).area() - mbr_a.area();
+      const double db = mbr_b.Union(all[i].mbr).area() - mbr_b.area();
+      const double diff = std::abs(da - db);
+      if (diff > best_diff) {
+        best_diff = diff;
+        pick = i;
+      }
+    }
+    const double da = mbr_a.Union(all[pick].mbr).area() - mbr_a.area();
+    const double db = mbr_b.Union(all[pick].mbr).area() - mbr_b.area();
+    bool to_a;
+    if (da != db) {
+      to_a = da < db;
+    } else if (mbr_a.area() != mbr_b.area()) {
+      to_a = mbr_a.area() < mbr_b.area();
+    } else {
+      to_a = node->entries.size() <= sibling->entries.size();
+    }
+    if (to_a) {
+      mbr_a = mbr_a.Union(all[pick].mbr);
+      node->entries.push_back(std::move(all[pick]));
+    } else {
+      mbr_b = mbr_b.Union(all[pick].mbr);
+      sibling->entries.push_back(std::move(all[pick]));
+    }
+    all.erase(all.begin() + static_cast<long>(pick));
+  }
+  return sibling;
+}
+
+std::vector<Poi> RTree::WindowQuery(const geom::Rect& window) const {
+  node_accesses_ = 0;
+  std::vector<Poi> result;
+  if (!root_) return result;
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    ++node_accesses_;
+    for (const Entry& e : node->entries) {
+      if (!window.Intersects(e.mbr)) continue;
+      if (node->leaf) {
+        result.push_back(e.poi);
+      } else {
+        stack.push_back(e.child.get());
+      }
+    }
+  }
+  std::sort(result.begin(), result.end(),
+            [](const Poi& a, const Poi& b) { return a.id < b.id; });
+  return result;
+}
+
+std::vector<PoiDistance> RTree::KnnBestFirst(geom::Point q, int k) const {
+  node_accesses_ = 0;
+  std::vector<PoiDistance> result;
+  if (!root_ || k <= 0) return result;
+
+  struct QueueItem {
+    double distance;
+    int64_t tie;       // POI id for objects, -1 for nodes
+    const Node* node;  // null for object items
+    Poi poi;
+  };
+  auto cmp = [](const QueueItem& a, const QueueItem& b) {
+    if (a.distance != b.distance) return a.distance > b.distance;
+    return a.tie > b.tie;
+  };
+  std::priority_queue<QueueItem, std::vector<QueueItem>, decltype(cmp)> queue(
+      cmp);
+  queue.push(QueueItem{0.0, -1, root_.get(), Poi{}});
+  while (!queue.empty()) {
+    QueueItem item = queue.top();
+    queue.pop();
+    if (item.node == nullptr) {
+      result.push_back(PoiDistance{item.poi, item.distance});
+      if (static_cast<int>(result.size()) == k) break;
+      continue;
+    }
+    ++node_accesses_;
+    for (const Entry& e : item.node->entries) {
+      if (item.node->leaf) {
+        queue.push(QueueItem{geom::Distance(e.poi.pos, q), e.poi.id, nullptr,
+                             e.poi});
+      } else {
+        queue.push(QueueItem{e.mbr.MinDistance(q), -1, e.child.get(), Poi{}});
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<PoiDistance> RTree::KnnDepthFirst(geom::Point q, int k) const {
+  node_accesses_ = 0;
+  std::vector<PoiDistance> best;  // kept sorted ascending, size <= k
+  if (!root_ || k <= 0) return best;
+
+  auto worst = [&best, k]() {
+    return static_cast<int>(best.size()) < k
+               ? std::numeric_limits<double>::infinity()
+               : best.back().distance;
+  };
+  // Recursive branch-and-bound with MINDIST-ordered children.
+  auto visit = [&](auto&& self, const Node* node) -> void {
+    ++node_accesses_;
+    if (node->leaf) {
+      for (const Entry& e : node->entries) {
+        const double d = geom::Distance(e.poi.pos, q);
+        const PoiDistance candidate{e.poi, d};
+        if (static_cast<int>(best.size()) < k || candidate < best.back()) {
+          best.insert(std::upper_bound(best.begin(), best.end(), candidate),
+                      candidate);
+          if (static_cast<int>(best.size()) > k) best.pop_back();
+        }
+      }
+      return;
+    }
+    std::vector<std::pair<double, const Node*>> children;
+    children.reserve(node->entries.size());
+    for (const Entry& e : node->entries) {
+      children.emplace_back(e.mbr.MinDistance(q), e.child.get());
+    }
+    std::sort(children.begin(), children.end());
+    for (const auto& [mindist, child] : children) {
+      if (mindist > worst()) break;  // prune: list is sorted by MINDIST
+      self(self, child);
+    }
+  };
+  visit(visit, root_.get());
+  return best;
+}
+
+void RTree::CheckInvariants() const {
+  if (!root_) return;
+  // Uniform leaf depth and MBR containment; entry-count bounds everywhere
+  // except the root.
+  int leaf_depth = -1;
+  auto visit = [&](auto&& self, const Node* node, int depth,
+                   bool is_root) -> void {
+    if (!is_root) {
+      LBSQ_CHECK(static_cast<int>(node->entries.size()) >= min_entries_);
+    }
+    LBSQ_CHECK(static_cast<int>(node->entries.size()) <= max_entries_);
+    if (node->leaf) {
+      if (leaf_depth == -1) leaf_depth = depth;
+      LBSQ_CHECK_EQ(leaf_depth, depth);
+      return;
+    }
+    for (const Entry& e : node->entries) {
+      LBSQ_CHECK(e.child != nullptr);
+      LBSQ_CHECK(e.mbr.ContainsRect(e.child->Mbr()));
+      LBSQ_CHECK(e.mbr == e.child->Mbr());
+      self(self, e.child.get(), depth + 1, false);
+    }
+  };
+  visit(visit, root_.get(), 0, true);
+}
+
+}  // namespace lbsq::spatial

@@ -1,0 +1,101 @@
+#include "analysis/air_index_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "broadcast/client_protocol.h"
+#include "broadcast/schedule.h"
+
+namespace lbsq::analysis {
+namespace {
+
+// Empirical averages over every query slot and every bucket.
+struct Empirical {
+  double index_latency = 0.0;
+  double bucket_latency = 0.0;
+};
+
+Empirical Measure(const AirIndexModel& model) {
+  broadcast::BroadcastSchedule schedule(model.num_data_buckets,
+                                        model.index_buckets, model.m);
+  Empirical result;
+  const int64_t cycle = schedule.cycle_length();
+  int64_t samples = 0;
+  double index_total = 0.0;
+  double bucket_total = 0.0;
+  for (int64_t t = 0; t < cycle; ++t) {
+    const int64_t index_start = schedule.NextIndexSegmentStart(t + 1);
+    index_total +=
+        static_cast<double>(index_start + model.index_buckets - t);
+    for (int64_t b = 0; b < model.num_data_buckets; ++b) {
+      const broadcast::AccessStats stats =
+          broadcast::RetrieveBuckets(schedule, t, {b});
+      bucket_total += static_cast<double>(stats.access_latency);
+      ++samples;
+    }
+  }
+  result.index_latency = index_total / static_cast<double>(cycle);
+  result.bucket_latency = bucket_total / static_cast<double>(samples);
+  return result;
+}
+
+TEST(AirIndexModelTest, CycleLength) {
+  const AirIndexModel model{100, 5, 4};
+  EXPECT_EQ(model.CycleLength(), 120);
+}
+
+TEST(AirIndexModelTest, IndexLatencyMatchesEmpirical) {
+  for (int m : {1, 2, 4, 8}) {
+    const AirIndexModel model{96, 4, m};
+    const Empirical empirical = Measure(model);
+    EXPECT_NEAR(ExpectedIndexLatency(model), empirical.index_latency,
+                0.05 * empirical.index_latency + 1.5)
+        << "m=" << m;
+  }
+}
+
+TEST(AirIndexModelTest, SingleBucketLatencyMatchesEmpirical) {
+  for (int m : {1, 2, 4, 8}) {
+    const AirIndexModel model{96, 4, m};
+    const Empirical empirical = Measure(model);
+    EXPECT_NEAR(ExpectedSingleBucketLatency(model), empirical.bucket_latency,
+                0.08 * empirical.bucket_latency + 2.0)
+        << "m=" << m;
+  }
+}
+
+TEST(AirIndexModelTest, TuningTimeIsExact) {
+  const AirIndexModel model{96, 4, 4};
+  broadcast::BroadcastSchedule schedule(96, 4, 4);
+  const broadcast::AccessStats stats =
+      broadcast::RetrieveBuckets(schedule, 17, {3, 40, 77});
+  EXPECT_EQ(TuningTime(model, 3), stats.tuning_time);
+}
+
+TEST(AirIndexModelTest, OptimalMNearSquareRootRule) {
+  // Imielinski et al.: the latency-optimal replication factor is about
+  // sqrt(data / index).
+  for (const auto& [data, index] : {std::pair<int64_t, int64_t>{1024, 16},
+                                    {4096, 4}, {900, 9}}) {
+    const int optimal = OptimalM(data, index);
+    const double rule = std::sqrt(static_cast<double>(data) /
+                                  static_cast<double>(index));
+    EXPECT_GE(optimal, static_cast<int>(rule / 2.0)) << data << "/" << index;
+    EXPECT_LE(optimal, static_cast<int>(rule * 2.0) + 1)
+        << data << "/" << index;
+  }
+}
+
+TEST(AirIndexModelTest, MoreReplicasShortenIndexWait) {
+  double prev = 1e18;
+  for (int m : {1, 2, 4, 8, 16}) {
+    const AirIndexModel model{256, 4, m};
+    const double latency = ExpectedIndexLatency(model);
+    EXPECT_LT(latency, prev);
+    prev = latency;
+  }
+}
+
+}  // namespace
+}  // namespace lbsq::analysis

@@ -1,0 +1,130 @@
+#include "broadcast/air_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "spatial/generators.h"
+#include "spatial/poi.h"
+
+namespace lbsq::broadcast {
+namespace {
+
+const geom::Rect kWorld{0.0, 0.0, 32.0, 32.0};
+
+struct Fixture {
+  hilbert::HilbertGrid grid{kWorld, 5};
+  std::vector<spatial::Poi> pois;
+  std::vector<DataBucket> buckets;
+
+  explicit Fixture(int n, int capacity = 8, uint64_t seed = 1) {
+    Rng rng(seed);
+    pois = spatial::GenerateUniformPois(&rng, kWorld, n);
+    buckets = BuildBuckets(pois, grid, capacity);
+  }
+};
+
+TEST(AirIndexTest, OneEntryPerObject) {
+  Fixture f(120);
+  AirIndex index(f.buckets, f.grid, 16);
+  EXPECT_EQ(index.entries().size(), 120u);
+}
+
+TEST(AirIndexTest, SizeInBuckets) {
+  Fixture f(120);
+  AirIndex index(f.buckets, f.grid, 16);
+  EXPECT_EQ(index.SizeInBuckets(), 8);  // ceil(120 / 16)
+  AirIndex big(f.buckets, f.grid, 1000);
+  EXPECT_EQ(big.SizeInBuckets(), 1);
+}
+
+TEST(AirIndexTest, KthDistanceUpperBoundIsSound) {
+  Fixture f(200);
+  AirIndex index(f.buckets, f.grid, 16);
+  Rng rng(9);
+  for (int trial = 0; trial < 50; ++trial) {
+    const geom::Point q{rng.Uniform(0.0, 32.0), rng.Uniform(0.0, 32.0)};
+    for (int k : {1, 3, 10, 50}) {
+      const double bound = index.KthDistanceUpperBound(q, k);
+      const auto truth = spatial::BruteForceKnn(f.pois, q, k);
+      EXPECT_GE(bound, truth.back().distance)
+          << "k=" << k << " trial=" << trial;
+    }
+  }
+}
+
+TEST(AirIndexTest, KthDistanceUpperBoundIsTight) {
+  // The bound overshoots by at most one cell diagonal.
+  Fixture f(300);
+  AirIndex index(f.buckets, f.grid, 16);
+  const double diag = std::sqrt(2.0) * 32.0 / 32.0;  // cell size 1
+  Rng rng(10);
+  for (int trial = 0; trial < 20; ++trial) {
+    const geom::Point q{rng.Uniform(0.0, 32.0), rng.Uniform(0.0, 32.0)};
+    const double bound = index.KthDistanceUpperBound(q, 5);
+    const auto truth = spatial::BruteForceKnn(f.pois, q, 5);
+    EXPECT_LE(bound, truth.back().distance + 2.0 * diag);
+  }
+}
+
+TEST(AirIndexTest, KthDistanceUpperBoundInsufficientData) {
+  Fixture f(3);
+  AirIndex index(f.buckets, f.grid, 16);
+  EXPECT_TRUE(std::isinf(index.KthDistanceUpperBound({1.0, 1.0}, 5)));
+  EXPECT_TRUE(std::isfinite(index.KthDistanceUpperBound({1.0, 1.0}, 3)));
+}
+
+TEST(AirIndexTest, BucketsForSpanFindsAllContainingPois) {
+  Fixture f(250, 6);
+  AirIndex index(f.buckets, f.grid, 16);
+  Rng rng(11);
+  for (int trial = 0; trial < 30; ++trial) {
+    const uint64_t a = rng.NextBelow(f.grid.num_cells());
+    const uint64_t b = rng.NextBelow(f.grid.num_cells());
+    const uint64_t lo = std::min(a, b);
+    const uint64_t hi = std::max(a, b);
+    const auto got = index.BucketsForSpan(lo, hi);
+    // Every POI whose Hilbert value is in the span must live in a returned
+    // bucket.
+    for (const DataBucket& bucket : f.buckets) {
+      for (const spatial::Poi& p : bucket.pois) {
+        const uint64_t h = f.grid.IndexOf(p.pos);
+        if (h >= lo && h <= hi) {
+          EXPECT_TRUE(std::binary_search(got.begin(), got.end(), bucket.id));
+        }
+      }
+    }
+    // And every returned bucket genuinely overlaps the span.
+    for (int64_t id : got) {
+      const DataBucket& bucket = f.buckets[static_cast<size_t>(id)];
+      EXPECT_TRUE(bucket.hilbert_lo <= hi && bucket.hilbert_hi >= lo);
+    }
+  }
+}
+
+TEST(AirIndexTest, BucketsForRangesSubsetOfSpan) {
+  Fixture f(250, 6);
+  AirIndex index(f.buckets, f.grid, 16);
+  const std::vector<hilbert::IndexRange> ranges = {
+      {10, 20}, {100, 150}, {800, 810}};
+  const auto by_ranges = index.BucketsForRanges(ranges);
+  const auto by_span = index.BucketsForSpan(10, 810);
+  for (int64_t id : by_ranges) {
+    EXPECT_TRUE(std::binary_search(by_span.begin(), by_span.end(), id));
+  }
+  EXPECT_LE(by_ranges.size(), by_span.size());
+}
+
+TEST(AirIndexTest, BucketsForRangesNoDuplicates) {
+  Fixture f(100, 4);
+  AirIndex index(f.buckets, f.grid, 16);
+  // Overlapping ranges must not duplicate buckets.
+  const std::vector<hilbert::IndexRange> ranges = {{0, 500}, {200, 900}};
+  const auto got = index.BucketsForRanges(ranges);
+  for (size_t i = 1; i < got.size(); ++i) EXPECT_GT(got[i], got[i - 1]);
+}
+
+}  // namespace
+}  // namespace lbsq::broadcast

@@ -1,0 +1,140 @@
+#include "geom/circle.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace lbsq::geom {
+namespace {
+
+// Monte-Carlo reference for the disc-rect intersection area.
+double MonteCarloArea(const Circle& c, const Rect& r, int samples,
+                      uint64_t seed) {
+  Rng rng(seed);
+  int inside = 0;
+  for (int i = 0; i < samples; ++i) {
+    const Point p{rng.Uniform(r.x1, r.x2), rng.Uniform(r.y1, r.y2)};
+    if (c.Contains(p)) ++inside;
+  }
+  return r.area() * static_cast<double>(inside) / samples;
+}
+
+TEST(CircleTest, BasicAccessors) {
+  const Circle c{{1.0, 2.0}, 3.0};
+  EXPECT_DOUBLE_EQ(c.area(), M_PI * 9.0);
+  EXPECT_TRUE(c.Contains({1.0, 5.0}));   // on the boundary
+  EXPECT_FALSE(c.Contains({1.0, 5.01}));
+  EXPECT_EQ(c.Mbr(), (Rect{-2.0, -1.0, 4.0, 5.0}));
+}
+
+TEST(CircleTest, ContainsRect) {
+  const Circle c{{0.0, 0.0}, 2.0};
+  EXPECT_TRUE(c.ContainsRect(Rect{-1.0, -1.0, 1.0, 1.0}));
+  EXPECT_FALSE(c.ContainsRect(Rect{-2.0, -2.0, 2.0, 2.0}));  // corners out
+  // Inscribed square: corners at exactly radius.
+  const double h = 2.0 / std::sqrt(2.0);
+  EXPECT_TRUE(c.ContainsRect(Rect{-h, -h, h, h}));
+}
+
+TEST(DiscRectAreaTest, RectFullyInsideDisc) {
+  const Circle c{{0.0, 0.0}, 10.0};
+  const Rect r{-1.0, -2.0, 3.0, 1.0};
+  EXPECT_DOUBLE_EQ(DiscRectIntersectionArea(c, r), r.area());
+}
+
+TEST(DiscRectAreaTest, DiscFullyInsideRect) {
+  const Circle c{{0.0, 0.0}, 1.0};
+  const Rect r{-5.0, -5.0, 5.0, 5.0};
+  EXPECT_NEAR(DiscRectIntersectionArea(c, r), M_PI, 1e-12);
+}
+
+TEST(DiscRectAreaTest, Disjoint) {
+  const Circle c{{0.0, 0.0}, 1.0};
+  EXPECT_EQ(DiscRectIntersectionArea(c, Rect{2.0, 2.0, 3.0, 3.0}), 0.0);
+}
+
+TEST(DiscRectAreaTest, HalfPlaneCut) {
+  // Rect covers exactly the right half of the disc.
+  const Circle c{{0.0, 0.0}, 2.0};
+  const Rect r{0.0, -10.0, 10.0, 10.0};
+  EXPECT_NEAR(DiscRectIntersectionArea(c, r), M_PI * 4.0 / 2.0, 1e-9);
+}
+
+TEST(DiscRectAreaTest, QuarterCut) {
+  const Circle c{{0.0, 0.0}, 2.0};
+  const Rect r{0.0, 0.0, 10.0, 10.0};
+  EXPECT_NEAR(DiscRectIntersectionArea(c, r), M_PI, 1e-9);
+}
+
+TEST(DiscRectAreaTest, ZeroRadius) {
+  const Circle c{{0.5, 0.5}, 0.0};
+  EXPECT_EQ(DiscRectIntersectionArea(c, Rect{0.0, 0.0, 1.0, 1.0}), 0.0);
+}
+
+TEST(DiscRectAreaTest, EmptyRect) {
+  const Circle c{{0.0, 0.0}, 1.0};
+  EXPECT_EQ(DiscRectIntersectionArea(c, Rect{}), 0.0);
+}
+
+TEST(DiscRectAreaTest, KnownCircularSegment) {
+  // Rect slices the disc at x >= 1 (radius 2): circular segment with
+  // half-angle acos(1/2) = pi/3. Area = r^2 (theta - sin theta cos theta)
+  // with theta = pi/3.
+  const Circle c{{0.0, 0.0}, 2.0};
+  const Rect r{1.0, -10.0, 10.0, 10.0};
+  const double theta = std::acos(0.5);
+  const double expected =
+      4.0 * (theta - std::sin(theta) * std::cos(theta));
+  EXPECT_NEAR(DiscRectIntersectionArea(c, r), expected, 1e-9);
+}
+
+TEST(DiscRectAreaTest, MatchesMonteCarloOnRandomConfigurations) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Circle c{{rng.Uniform(-2.0, 2.0), rng.Uniform(-2.0, 2.0)},
+                   rng.Uniform(0.2, 3.0)};
+    const Rect r = Rect::FromCorners(
+        {rng.Uniform(-3.0, 3.0), rng.Uniform(-3.0, 3.0)},
+        {rng.Uniform(-3.0, 3.0), rng.Uniform(-3.0, 3.0)});
+    if (r.area() <= 0.0) continue;
+    const double exact = DiscRectIntersectionArea(c, r);
+    const double mc = MonteCarloArea(c, r, 200000, 1000 + trial);
+    // MC tolerance ~ 3 sigma of the estimator.
+    const double sigma = r.area() / std::sqrt(200000.0);
+    EXPECT_NEAR(exact, mc, 4.0 * sigma + 1e-6)
+        << "trial " << trial << " circle r=" << c.radius;
+  }
+}
+
+TEST(DiscRectAreaTest, SymmetryUnderTranslation) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Point shift{rng.Uniform(-10.0, 10.0), rng.Uniform(-10.0, 10.0)};
+    const Circle c{{0.3, -0.7}, 1.7};
+    const Rect r{-1.0, -0.5, 2.0, 1.5};
+    const Circle c2{c.center + shift, c.radius};
+    const Rect r2{r.x1 + shift.x, r.y1 + shift.y, r.x2 + shift.x,
+                  r.y2 + shift.y};
+    EXPECT_NEAR(DiscRectIntersectionArea(c, r),
+                DiscRectIntersectionArea(c2, r2), 1e-9);
+  }
+}
+
+TEST(DiscRectAreaTest, MonotoneInRadius) {
+  const Rect r{-1.0, -1.0, 1.5, 2.0};
+  double prev = 0.0;
+  for (double radius = 0.1; radius < 4.0; radius += 0.1) {
+    const double area =
+        DiscRectIntersectionArea(Circle{{0.2, 0.3}, radius}, r);
+    EXPECT_GE(area, prev - 1e-12);
+    prev = area;
+  }
+  EXPECT_NEAR(prev, r.area(), 1e-9);  // large disc covers the rect
+}
+
+}  // namespace
+}  // namespace lbsq::geom

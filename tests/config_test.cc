@@ -1,0 +1,83 @@
+#include "sim/config.h"
+
+#include <gtest/gtest.h>
+
+namespace lbsq::sim {
+namespace {
+
+TEST(ConfigTest, Table3LosAngeles) {
+  const ParameterSet p = LosAngelesCity();
+  EXPECT_EQ(p.poi_number, 2750);
+  EXPECT_EQ(p.mh_number, 93300);
+  EXPECT_EQ(p.csize, 50);
+  EXPECT_EQ(p.query_per_min, 6220);
+  EXPECT_EQ(p.tx_range_m, 200);
+  EXPECT_EQ(p.knn_k, 5);
+  EXPECT_EQ(p.window_pct, 3);
+  EXPECT_EQ(p.distance_mi, 1);
+  EXPECT_EQ(p.t_execution_hr, 10);
+}
+
+TEST(ConfigTest, Table3Riverside) {
+  const ParameterSet p = RiversideCounty();
+  EXPECT_EQ(p.poi_number, 1450);
+  EXPECT_EQ(p.mh_number, 9700);
+  EXPECT_EQ(p.query_per_min, 650);
+}
+
+TEST(ConfigTest, Table3Suburbia) {
+  const ParameterSet p = SyntheticSuburbia();
+  EXPECT_EQ(p.poi_number, 2100);
+  EXPECT_EQ(p.mh_number, 51500);
+  EXPECT_EQ(p.query_per_min, 3440);
+  // Suburbia lies between LA and Riverside on every density.
+  EXPECT_GT(p.MhDensity(), RiversideCounty().MhDensity());
+  EXPECT_LT(p.MhDensity(), LosAngelesCity().MhDensity());
+  EXPECT_GT(p.PoiDensity(), RiversideCounty().PoiDensity());
+  EXPECT_LT(p.PoiDensity(), LosAngelesCity().PoiDensity());
+}
+
+TEST(ConfigTest, DensitiesUseFullArea) {
+  const ParameterSet p = LosAngelesCity();
+  EXPECT_DOUBLE_EQ(p.PoiDensity(), 2750.0 / 400.0);
+  EXPECT_DOUBLE_EQ(p.MhDensity(), 93300.0 / 400.0);
+  EXPECT_DOUBLE_EQ(p.QueryRatePerSqMiPerMin(), 6220.0 / 400.0);
+}
+
+TEST(ConfigTest, FullScaleRoundTrips) {
+  SimConfig config;
+  config.params = LosAngelesCity();
+  config.world_side_mi = kPaperWorldSideMiles;
+  EXPECT_DOUBLE_EQ(config.Scale(), 1.0);
+  EXPECT_EQ(config.ScaledMhCount(), 93300);
+  EXPECT_EQ(config.ScaledPoiCount(), 2750);
+  EXPECT_DOUBLE_EQ(config.ScaledQueriesPerMin(), 6220.0);
+}
+
+TEST(ConfigTest, ScaledWorldPreservesDensities) {
+  SimConfig config;
+  config.params = SyntheticSuburbia();
+  config.world_side_mi = 4.0;
+  const double area = 16.0;
+  EXPECT_NEAR(static_cast<double>(config.ScaledMhCount()) / area,
+              config.params.MhDensity(), 0.5);
+  EXPECT_NEAR(static_cast<double>(config.ScaledPoiCount()) / area,
+              config.params.PoiDensity(), 0.5);
+  EXPECT_NEAR(config.ScaledQueriesPerMin() / area,
+              config.params.QueryRatePerSqMiPerMin(), 1e-9);
+}
+
+TEST(ConfigTest, ScaledCountsNeverZero) {
+  SimConfig config;
+  config.params = RiversideCounty();
+  config.world_side_mi = 0.1;
+  EXPECT_GE(config.ScaledMhCount(), 1);
+  EXPECT_GE(config.ScaledPoiCount(), 1);
+}
+
+TEST(ConfigTest, MetersToMiles) {
+  EXPECT_NEAR(200.0 * kMilesPerMeter, 0.1243, 0.0001);
+}
+
+}  // namespace
+}  // namespace lbsq::sim

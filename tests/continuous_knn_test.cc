@@ -1,0 +1,127 @@
+#include "core/continuous_knn.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "broadcast/system.h"
+#include "common/rng.h"
+#include "spatial/generators.h"
+
+namespace lbsq::core {
+namespace {
+
+const geom::Rect kWorld{0.0, 0.0, 20.0, 20.0};
+
+struct Fixture {
+  std::unique_ptr<broadcast::BroadcastSystem> system;
+  double poi_density;
+
+  explicit Fixture(int n_pois, uint64_t seed = 1) {
+    Rng rng(seed);
+    broadcast::BroadcastParams params;
+    params.hilbert_order = 5;
+    system = std::make_unique<broadcast::BroadcastSystem>(
+        spatial::GenerateUniformPois(&rng, kWorld, n_pois), kWorld, params);
+    poi_density = static_cast<double>(n_pois) / kWorld.area();
+  }
+};
+
+SbnnOptions ExactOptions(int k) {
+  SbnnOptions options;
+  options.k = k;
+  options.accept_approximate = false;
+  // Continuous queries need headroom around the refresh point.
+  options.prefetch_radius_factor = 2.0;
+  return options;
+}
+
+TEST(ContinuousKnnTest, FirstTickFallsBack) {
+  Fixture f(300);
+  ContinuousKnn query(ExactOptions(3), f.poi_density);
+  PeerCache cache(50);
+  const auto update = query.Tick({10.0, 10.0}, &cache, {}, *f.system, 0);
+  EXPECT_FALSE(update.from_own_cache);
+  EXPECT_EQ(update.resolved_by, ResolvedBy::kBroadcast);
+  EXPECT_EQ(query.own_cache_hits(), 0);
+  EXPECT_GT(cache.TotalPois(), 0);  // the refresh fed the cache
+}
+
+TEST(ContinuousKnnTest, SmallStepsServedFromOwnCache) {
+  Fixture f(300);
+  ContinuousKnn query(ExactOptions(3), f.poi_density);
+  PeerCache cache(50);
+  query.Tick({10.0, 10.0}, &cache, {}, *f.system, 0);  // warms the cache
+  // Tiny steps around the refresh point stay inside the verified MBR.
+  for (int i = 1; i <= 5; ++i) {
+    const geom::Point pos{10.0 + 0.01 * i, 10.0};
+    const auto update = query.Tick(pos, &cache, {}, *f.system, i * 10);
+    EXPECT_TRUE(update.from_own_cache) << "step " << i;
+    EXPECT_EQ(update.stats.access_latency, 0);
+  }
+  EXPECT_EQ(query.own_cache_hits(), 5);
+}
+
+TEST(ContinuousKnnTest, AnswersAlwaysExactAlongADrive) {
+  Fixture f(400);
+  ContinuousKnn query(ExactOptions(4), f.poi_density);
+  PeerCache cache(50);
+  int64_t slot = 0;
+  for (double x = 2.0; x <= 18.0; x += 0.25) {
+    const geom::Point pos{x, 10.0};
+    const auto update = query.Tick(pos, &cache, {}, *f.system, slot);
+    slot += update.stats.access_latency + 10;
+    const auto truth = spatial::BruteForceKnn(f.system->pois(), pos, 4);
+    ASSERT_EQ(update.neighbors.size(), truth.size());
+    for (size_t i = 0; i < truth.size(); ++i) {
+      EXPECT_DOUBLE_EQ(update.neighbors[i].distance, truth[i].distance)
+          << "x=" << x;
+    }
+  }
+  // A 16-mile drive with quarter-mile ticks must hit the cache often.
+  EXPECT_GT(query.own_cache_hits(), query.ticks() / 4);
+  EXPECT_LT(query.own_cache_hits(), query.ticks());  // but it must refresh
+}
+
+TEST(ContinuousKnnTest, PeersReduceBroadcastRefreshes) {
+  Fixture f(400);
+  // A peer that knows a wide corridor along the drive.
+  VerifiedRegion corridor;
+  corridor.region = geom::Rect{0.0, 8.0, 20.0, 12.0};
+  for (const auto& p : f.system->pois()) {
+    if (corridor.region.Contains(p.pos)) corridor.pois.push_back(p);
+  }
+  const std::vector<PeerData> peers = {PeerData{{corridor}}};
+
+  auto drive = [&f](const std::vector<PeerData>& available) {
+    ContinuousKnn query(ExactOptions(3), f.poi_density);
+    PeerCache cache(50);
+    int64_t broadcast_refreshes = 0;
+    for (double x = 2.0; x <= 18.0; x += 0.5) {
+      const auto update =
+          query.Tick({x, 10.0}, &cache, available, *f.system, 0);
+      if (!update.from_own_cache &&
+          update.resolved_by == ResolvedBy::kBroadcast) {
+        ++broadcast_refreshes;
+      }
+    }
+    return broadcast_refreshes;
+  };
+  EXPECT_LT(drive(peers), drive({}));
+}
+
+TEST(ContinuousKnnTest, ZeroCapacityCacheAlwaysFallsBack) {
+  Fixture f(200);
+  ContinuousKnn query(ExactOptions(2), f.poi_density);
+  PeerCache cache(0);
+  for (int i = 0; i < 5; ++i) {
+    const auto update =
+        query.Tick({10.0 + i * 0.1, 10.0}, &cache, {}, *f.system, i);
+    EXPECT_FALSE(update.from_own_cache);
+  }
+  EXPECT_EQ(query.own_cache_hits(), 0);
+}
+
+}  // namespace
+}  // namespace lbsq::core

@@ -1,0 +1,46 @@
+#include "analysis/energy_model.h"
+
+#include <gtest/gtest.h>
+
+namespace lbsq::analysis {
+namespace {
+
+TEST(EnergyModelTest, HandComputedValue) {
+  RadioPowerModel model;
+  model.active_rx_watts = 1.0;
+  model.doze_watts = 0.1;
+  model.slot_seconds = 0.02;
+  // 10 slots tuned, 90 dozing.
+  broadcast::AccessStats stats{100, 10, 5};
+  EXPECT_NEAR(QueryEnergyJoules(model, stats),
+              10 * 0.02 * 1.0 + 90 * 0.02 * 0.1, 1e-12);
+}
+
+TEST(EnergyModelTest, ZeroCostQueryIsFree) {
+  RadioPowerModel model;
+  broadcast::AccessStats stats{0, 0, 0};
+  EXPECT_EQ(QueryEnergyJoules(model, stats), 0.0);
+}
+
+TEST(EnergyModelTest, IndexSavesEnergyVersusAlwaysOn) {
+  // The entire point of the air index: dozing between known slots beats
+  // listening continuously whenever tuning < latency.
+  RadioPowerModel model;
+  broadcast::AccessStats stats{400, 25, 20};
+  EXPECT_LT(QueryEnergyJoules(model, stats),
+            AlwaysOnEnergyJoules(model, stats) / 5.0);
+}
+
+TEST(EnergyModelTest, MonotoneInTuning) {
+  RadioPowerModel model;
+  double prev = -1.0;
+  for (int64_t tuning = 0; tuning <= 100; tuning += 20) {
+    broadcast::AccessStats stats{100, tuning, tuning};
+    const double joules = QueryEnergyJoules(model, stats);
+    EXPECT_GT(joules, prev);
+    prev = joules;
+  }
+}
+
+}  // namespace
+}  // namespace lbsq::analysis

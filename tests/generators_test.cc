@@ -1,0 +1,107 @@
+#include "spatial/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+
+namespace lbsq::spatial {
+namespace {
+
+const geom::Rect kWorld{0.0, 0.0, 20.0, 10.0};
+
+TEST(GeneratorsTest, UniformCountAndBounds) {
+  Rng rng(1);
+  const auto pois = GenerateUniformPois(&rng, kWorld, 250);
+  EXPECT_EQ(pois.size(), 250u);
+  for (const Poi& p : pois) {
+    EXPECT_TRUE(kWorld.Contains(p.pos));
+  }
+}
+
+TEST(GeneratorsTest, UniformIdsAreSequential) {
+  Rng rng(2);
+  const auto pois = GenerateUniformPois(&rng, kWorld, 50);
+  for (size_t i = 0; i < pois.size(); ++i) {
+    EXPECT_EQ(pois[i].id, static_cast<int64_t>(i));
+  }
+}
+
+TEST(GeneratorsTest, UniformZeroCount) {
+  Rng rng(3);
+  EXPECT_TRUE(GenerateUniformPois(&rng, kWorld, 0).empty());
+}
+
+TEST(GeneratorsTest, UniformSpreadAcrossQuadrants) {
+  Rng rng(4);
+  const auto pois = GenerateUniformPois(&rng, kWorld, 4000);
+  int quadrants[4] = {0};
+  for (const Poi& p : pois) {
+    const int ix = p.pos.x < 10.0 ? 0 : 1;
+    const int iy = p.pos.y < 5.0 ? 0 : 2;
+    ++quadrants[ix + iy];
+  }
+  for (int q : quadrants) EXPECT_NEAR(q, 1000, 120);
+}
+
+TEST(GeneratorsTest, PoissonMeanMatchesDensityTimesArea) {
+  Rng rng(5);
+  double total = 0.0;
+  const int runs = 200;
+  for (int i = 0; i < runs; ++i) {
+    total += static_cast<double>(GeneratePoissonPois(&rng, kWorld, 0.5).size());
+  }
+  // Mean should be density * area = 0.5 * 200 = 100.
+  EXPECT_NEAR(total / runs, 100.0, 3.0);
+}
+
+TEST(GeneratorsTest, PoissonZeroDensity) {
+  Rng rng(6);
+  EXPECT_TRUE(GeneratePoissonPois(&rng, kWorld, 0.0).empty());
+}
+
+TEST(GeneratorsTest, ClusteredStaysInWorldAndClusters) {
+  Rng rng(7);
+  const auto pois =
+      GenerateClusteredPois(&rng, kWorld, /*num_clusters=*/5,
+                            /*mean_per_cluster=*/40.0, /*spread=*/0.3);
+  EXPECT_GT(pois.size(), 100u);
+  std::set<int64_t> ids;
+  for (const Poi& p : pois) {
+    EXPECT_TRUE(kWorld.Contains(p.pos));
+    ids.insert(p.id);
+  }
+  EXPECT_EQ(ids.size(), pois.size());  // unique ids
+
+  // Clustering: the average nearest-neighbor distance should be much
+  // smaller than for a uniform set of the same size.
+  auto mean_nn = [](const std::vector<Poi>& set) {
+    double total = 0.0;
+    for (const Poi& a : set) {
+      double best = 1e18;
+      for (const Poi& b : set) {
+        if (a.id == b.id) continue;
+        best = std::min(best, geom::Distance(a.pos, b.pos));
+      }
+      total += best;
+    }
+    return total / static_cast<double>(set.size());
+  };
+  Rng rng2(8);
+  const auto uniform =
+      GenerateUniformPois(&rng2, kWorld, static_cast<int64_t>(pois.size()));
+  EXPECT_LT(mean_nn(pois), mean_nn(uniform) * 0.7);
+}
+
+TEST(GeneratorsTest, DeterministicGivenSeed) {
+  Rng a(42);
+  Rng b(42);
+  const auto first = GenerateUniformPois(&a, kWorld, 30);
+  const auto second = GenerateUniformPois(&b, kWorld, 30);
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace lbsq::spatial

@@ -1,0 +1,99 @@
+#include "spatial/grid_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "geom/point.h"
+
+namespace lbsq::spatial {
+namespace {
+
+const geom::Rect kWorld{0.0, 0.0, 10.0, 10.0};
+
+std::vector<int64_t> BruteForceDisc(const std::vector<geom::Point>& pts,
+                                    geom::Point center, double radius) {
+  std::vector<int64_t> out;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    if (geom::Distance(pts[i], center) <= radius) {
+      out.push_back(static_cast<int64_t>(i));
+    }
+  }
+  return out;
+}
+
+TEST(GridIndexTest, EmptyIndex) {
+  GridIndex index(kWorld, 1.0);
+  index.Rebuild({});
+  std::vector<int64_t> out;
+  index.QueryDisc({5.0, 5.0}, 3.0, &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(index.size(), 0);
+}
+
+TEST(GridIndexTest, MatchesBruteForce) {
+  Rng rng(3);
+  std::vector<geom::Point> pts;
+  for (int i = 0; i < 500; ++i) {
+    pts.push_back({rng.Uniform(0.0, 10.0), rng.Uniform(0.0, 10.0)});
+  }
+  GridIndex index(kWorld, 0.7);
+  index.Rebuild(pts);
+  for (int trial = 0; trial < 50; ++trial) {
+    const geom::Point c{rng.Uniform(-1.0, 11.0), rng.Uniform(-1.0, 11.0)};
+    const double r = rng.Uniform(0.1, 3.0);
+    std::vector<int64_t> got;
+    index.QueryDisc(c, r, &got);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, BruteForceDisc(pts, c, r));
+  }
+}
+
+TEST(GridIndexTest, ClosedBallIncludesBoundary) {
+  GridIndex index(kWorld, 1.0);
+  index.Rebuild({{2.0, 2.0}, {5.0, 2.0}});
+  std::vector<int64_t> out;
+  index.QueryDisc({2.0, 2.0}, 3.0, &out);  // second point at exactly r
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<int64_t>{0, 1}));
+}
+
+TEST(GridIndexTest, RebuildReplacesContent) {
+  GridIndex index(kWorld, 1.0);
+  index.Rebuild({{1.0, 1.0}});
+  index.Rebuild({{9.0, 9.0}});
+  std::vector<int64_t> out;
+  index.QueryDisc({1.0, 1.0}, 0.5, &out);
+  EXPECT_TRUE(out.empty());
+  index.QueryDisc({9.0, 9.0}, 0.5, &out);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(index.position(0), (geom::Point{9.0, 9.0}));
+}
+
+TEST(GridIndexTest, PointsOutsideWorldClampIntoBorderCells) {
+  GridIndex index(kWorld, 1.0);
+  index.Rebuild({{-5.0, -5.0}, {15.0, 15.0}});
+  std::vector<int64_t> out;
+  index.QueryDisc({-5.0, -5.0}, 1.0, &out);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 0);
+}
+
+TEST(GridIndexTest, TinyCellSizeClamped) {
+  // Requested cell size far below the 1024-per-axis cap must not blow up.
+  GridIndex index(kWorld, 1e-9);
+  Rng rng(5);
+  std::vector<geom::Point> pts;
+  for (int i = 0; i < 100; ++i) {
+    pts.push_back({rng.Uniform(0.0, 10.0), rng.Uniform(0.0, 10.0)});
+  }
+  index.Rebuild(pts);
+  std::vector<int64_t> out;
+  index.QueryDisc({5.0, 5.0}, 10.0, &out);
+  EXPECT_EQ(out.size(), 100u);
+}
+
+}  // namespace
+}  // namespace lbsq::spatial

@@ -1,0 +1,99 @@
+#include "analysis/hit_ratio.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/probability.h"
+
+namespace lbsq::analysis {
+namespace {
+
+HitRatioModel LaLikeModel() {
+  HitRatioModel model;
+  model.peer_density = 233.0;   // MHs per sq mi (LA)
+  model.tx_range = 0.124;       // 200 m in miles
+  model.vr_side = 1.0;          // ~2x the 5-NN distance at 6.9 POI/sq mi
+  model.center_spread = 0.2;
+  model.poi_density = 6.875;
+  model.k = 5;
+  return model;
+}
+
+TEST(HitRatioTest, SampledDistancesFollowCdf) {
+  HitRatioModel model = LaLikeModel();
+  Rng rng(1);
+  int below_median = 0;
+  const int trials = 4000;
+  // Median of d_k: CDF^-1(0.5).
+  double lo = 0.0, hi = 10.0;
+  for (int i = 0; i < 60; ++i) {
+    const double mid = (lo + hi) / 2.0;
+    if (core::KthNeighborDistanceCdf(model.poi_density, model.k, mid) < 0.5) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double median = (lo + hi) / 2.0;
+  for (int i = 0; i < trials; ++i) {
+    if (SampleKthNeighborDistance(model, &rng) <= median) ++below_median;
+  }
+  EXPECT_NEAR(static_cast<double>(below_median) / trials, 0.5, 0.03);
+}
+
+TEST(HitRatioTest, AnalyticBoundIsALowerBound) {
+  HitRatioModel model = LaLikeModel();
+  Rng rng(2);
+  const double analytic = AnalyticHitRatioLowerBound(model);
+  const double mc = MonteCarloHitRatio(model, &rng, 3000);
+  EXPECT_LE(analytic, mc + 0.05);  // MC noise allowance
+  EXPECT_GT(mc, 0.0);
+}
+
+TEST(HitRatioTest, HitRatioGrowsWithTransmissionRange) {
+  HitRatioModel model = LaLikeModel();
+  Rng rng(3);
+  double prev = -1.0;
+  for (double range : {0.01, 0.05, 0.124}) {
+    model.tx_range = range;
+    const double hit = MonteCarloHitRatio(model, &rng, 2000);
+    EXPECT_GE(hit, prev - 0.03);
+    prev = hit;
+  }
+}
+
+TEST(HitRatioTest, HitRatioGrowsWithPeerDensity) {
+  HitRatioModel model = LaLikeModel();
+  Rng rng(4);
+  model.peer_density = 24.25;  // Riverside
+  const double sparse = MonteCarloHitRatio(model, &rng, 2000);
+  model.peer_density = 233.0;  // LA
+  const double dense = MonteCarloHitRatio(model, &rng, 2000);
+  EXPECT_GT(dense, sparse);
+}
+
+TEST(HitRatioTest, HitRatioFallsWithK) {
+  HitRatioModel model = LaLikeModel();
+  Rng rng(5);
+  model.k = 3;
+  const double k3 = MonteCarloHitRatio(model, &rng, 2000);
+  model.k = 15;
+  const double k15 = MonteCarloHitRatio(model, &rng, 2000);
+  EXPECT_GT(k3, k15);
+}
+
+TEST(HitRatioTest, ZeroRangeMeansNoHits) {
+  HitRatioModel model = LaLikeModel();
+  model.tx_range = 0.0;
+  Rng rng(6);
+  EXPECT_EQ(MonteCarloHitRatio(model, &rng, 500), 0.0);
+}
+
+TEST(HitRatioTest, AnalyticBoundZeroWhenVrTooSmall) {
+  HitRatioModel model = LaLikeModel();
+  model.vr_side = 1e-6;  // cannot possibly contain a k-NN disc
+  EXPECT_NEAR(AnalyticHitRatioLowerBound(model), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace lbsq::analysis

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "sim/config.h"
+#include "sim/simulator.h"
+
+namespace lbsq::sim {
+namespace {
+
+// End-to-end runs with every internal validity check enabled: every
+// sharing-based answer is compared against a brute-force oracle over the
+// server database, and every cache entry is re-validated for completeness
+// after each insertion. These runs are slow per query, so the worlds are
+// small; the point is that thousands of end-to-end queries execute without
+// a single soundness violation.
+
+SimConfig CheckedConfig(QueryType type, uint64_t seed) {
+  SimConfig config;
+  config.params = LosAngelesCity();
+  config.query_type = type;
+  config.world_side_mi = 1.0;
+  config.warmup_min = 8.0;
+  config.duration_min = 8.0;
+  config.check_answers = true;
+  config.check_cache_invariant = true;
+  config.seed = seed;
+  return config;
+}
+
+TEST(IntegrationTest, KnnEndToEndWithOracleChecks) {
+  Simulator sim(CheckedConfig(QueryType::kKnn, 11));
+  const SimMetrics metrics = sim.Run();
+  EXPECT_GT(metrics.queries, 30);
+}
+
+TEST(IntegrationTest, WindowEndToEndWithOracleChecks) {
+  Simulator sim(CheckedConfig(QueryType::kWindow, 13));
+  const SimMetrics metrics = sim.Run();
+  EXPECT_GT(metrics.queries, 30);
+}
+
+TEST(IntegrationTest, KnnCheckedAcrossParameterSets) {
+  for (const ParameterSet& params :
+       {LosAngelesCity(), SyntheticSuburbia(), RiversideCounty()}) {
+    SimConfig config = CheckedConfig(QueryType::kKnn, 17);
+    config.params = params;
+    // Denser world for Riverside so some peers exist at all.
+    config.world_side_mi = params.mh_number < 20000 ? 2.0 : 1.0;
+    Simulator sim(config);
+    const SimMetrics metrics = sim.Run();
+    EXPECT_GT(metrics.queries, 10) << params.name;
+  }
+}
+
+TEST(IntegrationTest, FilteringAblationStaysSound) {
+  for (bool filtering : {true, false}) {
+    SimConfig config = CheckedConfig(QueryType::kKnn, 19);
+    config.use_filtering = filtering;
+    Simulator sim(config);
+    sim.Run();
+  }
+}
+
+TEST(IntegrationTest, WindowReductionAblationStaysSound) {
+  for (bool reduction : {true, false}) {
+    SimConfig config = CheckedConfig(QueryType::kWindow, 23);
+    config.use_window_reduction = reduction;
+    Simulator sim(config);
+    sim.Run();
+  }
+}
+
+TEST(IntegrationTest, PartitionedRetrievalStaysSound) {
+  SimConfig config = CheckedConfig(QueryType::kWindow, 29);
+  config.retrieval = onair::WindowRetrieval::kPartitionedRanges;
+  Simulator sim(config);
+  sim.Run();
+}
+
+TEST(IntegrationTest, ApproximateDisabledStaysSound) {
+  SimConfig config = CheckedConfig(QueryType::kKnn, 31);
+  config.accept_approximate = false;
+  Simulator sim(config);
+  const SimMetrics metrics = sim.Run();
+  EXPECT_EQ(metrics.solved_approximate, 0);
+}
+
+TEST(IntegrationTest, TightCacheCapacityStaysSound) {
+  SimConfig config = CheckedConfig(QueryType::kKnn, 37);
+  config.params.csize = 3;  // forces aggressive region shrinking
+  Simulator sim(config);
+  sim.Run();
+}
+
+}  // namespace
+}  // namespace lbsq::sim

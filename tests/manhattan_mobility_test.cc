@@ -1,0 +1,103 @@
+#include "sim/manhattan_mobility.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace lbsq::sim {
+namespace {
+
+const geom::Rect kWorld{0.0, 0.0, 4.0, 4.0};
+
+TEST(ManhattanMobilityTest, PositionsStayInWorld) {
+  ManhattanGridModel model(kWorld, 20, 0.25, 0.3, 0.8, Rng(1));
+  for (double t = 0.0; t < 60.0; t += 0.17) {
+    for (int64_t h = 0; h < 20; ++h) {
+      const geom::Point p = model.Position(h, t);
+      EXPECT_GE(p.x, kWorld.x1 - 1e-9);
+      EXPECT_LE(p.x, kWorld.x2 + 1e-9);
+      EXPECT_GE(p.y, kWorld.y1 - 1e-9);
+      EXPECT_LE(p.y, kWorld.y2 + 1e-9);
+    }
+  }
+}
+
+TEST(ManhattanMobilityTest, PositionsSnapToStreets) {
+  ManhattanGridModel model(kWorld, 15, 0.25, 0.3, 0.8, Rng(2));
+  const double block = model.block();
+  for (double t = 0.0; t < 30.0; t += 0.31) {
+    for (int64_t h = 0; h < 15; ++h) {
+      const geom::Point p = model.Position(h, t);
+      // At least one coordinate lies exactly on a street line.
+      const double fx = std::abs(
+          p.x / block - std::round(p.x / block));
+      const double fy = std::abs(
+          p.y / block - std::round(p.y / block));
+      EXPECT_TRUE(fx < 1e-9 || fy < 1e-9)
+          << "host " << h << " off-street at (" << p.x << "," << p.y << ")";
+    }
+  }
+}
+
+TEST(ManhattanMobilityTest, HeadingIsAxisAligned) {
+  ManhattanGridModel model(kWorld, 10, 0.25, 0.3, 0.8, Rng(3));
+  for (int64_t h = 0; h < 10; ++h) {
+    model.Position(h, 5.0);
+    const geom::Point dir = model.Heading(h);
+    EXPECT_DOUBLE_EQ(std::abs(dir.x) + std::abs(dir.y), 1.0);
+    EXPECT_TRUE(dir.x == 0.0 || dir.y == 0.0);
+  }
+}
+
+TEST(ManhattanMobilityTest, SpeedBounded) {
+  ManhattanGridModel model(kWorld, 8, 0.3, 0.6, 1.6, Rng(4));
+  std::vector<geom::Point> prev(8);
+  for (int64_t h = 0; h < 8; ++h) prev[static_cast<size_t>(h)] = model.Position(h, 0.0);
+  const double dt = 0.01;
+  for (double t = dt; t < 10.0; t += dt) {
+    for (int64_t h = 0; h < 8; ++h) {
+      const geom::Point p = model.Position(h, t);
+      // Straight-line displacement cannot exceed max speed * dt.
+      EXPECT_LE(geom::Distance(p, prev[static_cast<size_t>(h)]),
+                1.6 * dt + 1e-9);
+      prev[static_cast<size_t>(h)] = p;
+    }
+  }
+}
+
+TEST(ManhattanMobilityTest, Deterministic) {
+  ManhattanGridModel a(kWorld, 6, 0.25, 0.3, 0.8, Rng(42));
+  ManhattanGridModel b(kWorld, 6, 0.25, 0.3, 0.8, Rng(42));
+  for (double t = 0.0; t < 20.0; t += 0.7) {
+    for (int64_t h = 0; h < 6; ++h) {
+      EXPECT_EQ(a.Position(h, t), b.Position(h, t));
+    }
+  }
+}
+
+TEST(ManhattanMobilityTest, HostsTraverseTheGrid) {
+  ManhattanGridModel model(kWorld, 5, 0.25, 0.5, 1.0, Rng(5));
+  for (int64_t h = 0; h < 5; ++h) {
+    const geom::Point start = model.Position(h, 0.0);
+    double max_travel = 0.0;
+    for (double t = 1.0; t < 60.0; t += 1.0) {
+      max_travel = std::max(max_travel,
+                            geom::Distance(model.Position(h, t), start));
+    }
+    EXPECT_GT(max_travel, 0.5);  // not stuck at the origin intersection
+  }
+}
+
+TEST(ManhattanMobilityTest, TinyBlockClampedToGrid) {
+  // Requested block bigger than half the world: clamped so a grid exists.
+  ManhattanGridModel model(kWorld, 3, 10.0, 0.3, 0.8, Rng(6));
+  EXPECT_LE(model.block(), 2.0);
+  for (int64_t h = 0; h < 3; ++h) {
+    EXPECT_TRUE(kWorld.Contains(model.Position(h, 7.0)));
+  }
+}
+
+}  // namespace
+}  // namespace lbsq::sim

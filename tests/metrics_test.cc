@@ -1,0 +1,50 @@
+#include "sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace lbsq::sim {
+namespace {
+
+TEST(MetricsTest, EmptyMetrics) {
+  SimMetrics m;
+  EXPECT_EQ(m.PctVerified(), 0.0);
+  EXPECT_EQ(m.PctApproximate(), 0.0);
+  EXPECT_EQ(m.PctBroadcast(), 0.0);
+  EXPECT_EQ(m.MeanLatencyAllQueries(), 0.0);
+}
+
+TEST(MetricsTest, PercentagesSumToHundred) {
+  SimMetrics m;
+  m.queries = 10;
+  m.solved_verified = 5;
+  m.solved_approximate = 2;
+  m.solved_broadcast = 3;
+  EXPECT_DOUBLE_EQ(m.PctVerified(), 50.0);
+  EXPECT_DOUBLE_EQ(m.PctApproximate(), 20.0);
+  EXPECT_DOUBLE_EQ(m.PctBroadcast(), 30.0);
+  EXPECT_DOUBLE_EQ(
+      m.PctVerified() + m.PctApproximate() + m.PctBroadcast(), 100.0);
+}
+
+TEST(MetricsTest, MeanLatencyCountsPeerHitsAsZero) {
+  SimMetrics m;
+  m.queries = 4;
+  m.solved_verified = 2;
+  m.solved_broadcast = 2;
+  m.broadcast_latency.Add(100.0);
+  m.broadcast_latency.Add(200.0);
+  // (0 + 0 + 100 + 200) / 4.
+  EXPECT_DOUBLE_EQ(m.MeanLatencyAllQueries(), 75.0);
+}
+
+TEST(MetricsTest, ToStringMentionsKeyNumbers) {
+  SimMetrics m;
+  m.queries = 7;
+  m.solved_broadcast = 7;
+  const std::string s = m.ToString();
+  EXPECT_NE(s.find("queries=7"), std::string::npos);
+  EXPECT_NE(s.find("broadcast=100.0%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lbsq::sim

@@ -1,0 +1,93 @@
+#include "sim/mobility.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace lbsq::sim {
+namespace {
+
+const geom::Rect kWorld{0.0, 0.0, 10.0, 10.0};
+
+TEST(MobilityTest, PositionsStayInWorld) {
+  RandomWaypointModel model(kWorld, 20, 0.5, 1.0, Rng(1));
+  for (double t = 0.0; t < 100.0; t += 0.37) {
+    for (int64_t h = 0; h < 20; ++h) {
+      const geom::Point p = model.Position(h, t);
+      EXPECT_TRUE(kWorld.Contains(p)) << "host " << h << " t " << t;
+    }
+  }
+}
+
+TEST(MobilityTest, MovementRespectsSpeedBounds) {
+  RandomWaypointModel model(kWorld, 10, 0.5, 1.0, Rng(2));
+  std::vector<geom::Point> prev(10);
+  for (int64_t h = 0; h < 10; ++h) prev[static_cast<size_t>(h)] = model.Position(h, 0.0);
+  const double dt = 0.01;
+  for (double t = dt; t < 20.0; t += dt) {
+    for (int64_t h = 0; h < 10; ++h) {
+      const geom::Point p = model.Position(h, t);
+      const double moved = geom::Distance(p, prev[static_cast<size_t>(h)]);
+      // Within one leg speed <= max; across a waypoint turn the path is two
+      // segments, so displacement is still bounded by max speed * dt.
+      EXPECT_LE(moved, 1.0 * dt + 1e-9);
+      prev[static_cast<size_t>(h)] = p;
+    }
+  }
+}
+
+TEST(MobilityTest, HostsActuallyMove) {
+  RandomWaypointModel model(kWorld, 5, 0.5, 1.0, Rng(3));
+  for (int64_t h = 0; h < 5; ++h) {
+    const geom::Point a = model.Position(h, 0.0);
+    const geom::Point b = model.Position(h, 5.0);
+    EXPECT_GT(geom::Distance(a, b), 1e-6);
+  }
+}
+
+TEST(MobilityTest, HeadingIsUnitVector) {
+  RandomWaypointModel model(kWorld, 8, 0.5, 1.0, Rng(4));
+  for (int64_t h = 0; h < 8; ++h) {
+    model.Position(h, 3.0);
+    const geom::Point dir = model.Heading(h);
+    EXPECT_NEAR(geom::Norm(dir), 1.0, 1e-9);
+  }
+}
+
+TEST(MobilityTest, DeterministicAcrossInstances) {
+  RandomWaypointModel a(kWorld, 6, 0.5, 1.0, Rng(77));
+  RandomWaypointModel b(kWorld, 6, 0.5, 1.0, Rng(77));
+  for (double t = 0.0; t < 30.0; t += 1.3) {
+    for (int64_t h = 0; h < 6; ++h) {
+      EXPECT_EQ(a.Position(h, t), b.Position(h, t));
+    }
+  }
+}
+
+TEST(MobilityTest, LongHorizonAdvancesManyLegs) {
+  RandomWaypointModel model(kWorld, 3, 1.0, 2.0, Rng(5));
+  // 10000 minutes at ~1.5 world-units/minute crosses the world many times.
+  for (int64_t h = 0; h < 3; ++h) {
+    const geom::Point p = model.Position(h, 10000.0);
+    EXPECT_TRUE(kWorld.Contains(p));
+  }
+}
+
+TEST(MobilityTest, HeadingPointsTowardDestination) {
+  RandomWaypointModel model(kWorld, 10, 0.5, 1.0, Rng(6));
+  for (int64_t h = 0; h < 10; ++h) {
+    const geom::Point p0 = model.Position(h, 0.0);
+    const geom::Point dir = model.Heading(h);
+    const geom::Point p1 = model.Position(h, 0.001);
+    // Short-horizon displacement aligns with the reported heading.
+    const geom::Point d = p1 - p0;
+    if (geom::Norm(d) > 0.0) {
+      EXPECT_GT(geom::Dot(d, dir), 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lbsq::sim

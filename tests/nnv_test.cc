@@ -1,0 +1,203 @@
+#include "core/nnv.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "spatial/generators.h"
+#include "spatial/poi.h"
+
+namespace lbsq::core {
+namespace {
+
+using spatial::Poi;
+
+// Builds the PeerData of a peer holding the complete server content of
+// `region` (the completeness invariant by construction).
+PeerData PeerWithRegion(const std::vector<Poi>& server, geom::Rect region) {
+  VerifiedRegion vr;
+  vr.region = region;
+  for (const Poi& p : server) {
+    if (region.Contains(p.pos)) vr.pois.push_back(p);
+  }
+  return PeerData{{vr}};
+}
+
+TEST(NnvTest, NoPeersVerifiesNothing) {
+  const NnvResult result = NearestNeighborVerify({0.0, 0.0}, 3, {}, 1.0);
+  EXPECT_EQ(result.heap.State(), HeapState::kEmpty);
+  EXPECT_EQ(result.boundary_distance, 0.0);
+  EXPECT_TRUE(result.mvr.empty());
+}
+
+TEST(NnvTest, SinglePeerVerifiesNearNeighbor) {
+  // Server: POIs at distance 1 and 10; peer knows [-3,3]^2 around q.
+  const std::vector<Poi> server = {{0, {1.0, 0.0}}, {1, {10.0, 0.0}}};
+  const PeerData peer = PeerWithRegion(server, geom::Rect{-3.0, -3.0, 3.0, 3.0});
+  const NnvResult result = NearestNeighborVerify({0.0, 0.0}, 2, {peer}, 0.1);
+  EXPECT_DOUBLE_EQ(result.boundary_distance, 3.0);
+  ASSERT_EQ(result.heap.entries().size(), 1u);  // only one candidate known
+  EXPECT_TRUE(result.heap.entries()[0].verified);
+  EXPECT_EQ(result.heap.entries()[0].poi.id, 0);
+}
+
+TEST(NnvTest, FarCandidateStaysUnverified) {
+  // A POI in the region's corner lies beyond the boundary distance (3.0), so
+  // it cannot be verified even though it is the true NN: a closer POI could
+  // hide just outside the region.
+  const std::vector<Poi> server = {{0, {2.9, 2.9}}};
+  const PeerData peer = PeerWithRegion(server, geom::Rect{-3.0, -3.0, 3.0, 3.0});
+  const NnvResult result = NearestNeighborVerify({0.0, 0.0}, 1, {peer}, 0.1);
+  ASSERT_EQ(result.heap.entries().size(), 1u);
+  EXPECT_FALSE(result.heap.entries()[0].verified);
+  EXPECT_GT(result.heap.entries()[0].correctness, 0.0);
+  EXPECT_LT(result.heap.entries()[0].correctness, 1.0);
+}
+
+TEST(NnvTest, QueryOutsideMvrVerifiesNothing) {
+  const std::vector<Poi> server = {{0, {1.0, 1.0}}};
+  const PeerData peer = PeerWithRegion(server, geom::Rect{0.0, 0.0, 2.0, 2.0});
+  const NnvResult result =
+      NearestNeighborVerify({10.0, 10.0}, 1, {peer}, 0.1);
+  EXPECT_EQ(result.boundary_distance, 0.0);
+  ASSERT_EQ(result.heap.entries().size(), 1u);
+  EXPECT_FALSE(result.heap.entries()[0].verified);
+}
+
+TEST(NnvTest, MergedRegionsVerifyAcrossSeams) {
+  // Two peers whose regions together surround q; neither alone suffices.
+  const std::vector<Poi> server = {{0, {0.5, 0.0}}, {1, {-0.5, 0.0}}};
+  const PeerData left = PeerWithRegion(server, geom::Rect{-2.0, -2.0, 0.0, 2.0});
+  const PeerData right = PeerWithRegion(server, geom::Rect{0.0, -2.0, 2.0, 2.0});
+  const NnvResult result =
+      NearestNeighborVerify({0.0, 0.0}, 2, {left, right}, 0.1);
+  EXPECT_DOUBLE_EQ(result.boundary_distance, 2.0);
+  EXPECT_EQ(result.heap.verified_count(), 2);
+}
+
+TEST(NnvTest, UnverifiedRegionHoleBlocksVerification) {
+  // Paper Figure 6: a hole in the MVR between q and the candidate keeps the
+  // candidate unverified even though the candidate itself is inside the MVR.
+  std::vector<Poi> server = {{0, {0.0, 1.8}}};
+  // Frame around q with a hole at the top middle.
+  PeerData frame;
+  auto add = [&frame, &server](geom::Rect r) {
+    VerifiedRegion vr;
+    vr.region = r;
+    for (const Poi& p : server) {
+      if (r.Contains(p.pos)) vr.pois.push_back(p);
+    }
+    frame.regions.push_back(vr);
+  };
+  add(geom::Rect{-2.0, -2.0, 2.0, 1.0});   // bottom block (contains q)
+  add(geom::Rect{-2.0, 1.0, -0.5, 2.0});   // top-left
+  add(geom::Rect{0.5, 1.0, 2.0, 2.0});     // top-right
+  add(geom::Rect{-0.5, 1.5, 0.5, 2.0});    // top-center upper (hole below)
+  const NnvResult result =
+      NearestNeighborVerify({0.0, 0.0}, 1, {frame}, 0.1);
+  // Boundary distance is limited by the hole ([-0.5,1.0]x[0.5,1.5]).
+  EXPECT_DOUBLE_EQ(result.boundary_distance, 1.0);
+  ASSERT_EQ(result.heap.entries().size(), 1u);
+  EXPECT_FALSE(result.heap.entries()[0].verified);
+  // Its unverified region is the part of disc(q, 1.8) in the hole.
+  EXPECT_GT(result.heap.entries()[0].correctness, 0.0);
+  EXPECT_LT(result.heap.entries()[0].correctness, 1.0);
+}
+
+TEST(NnvTest, DuplicateCandidatesFromMultiplePeersDeduplicated) {
+  const std::vector<Poi> server = {{0, {0.5, 0.5}}};
+  const PeerData a = PeerWithRegion(server, geom::Rect{-1.0, -1.0, 1.0, 1.0});
+  const PeerData b = PeerWithRegion(server, geom::Rect{0.0, 0.0, 2.0, 2.0});
+  const NnvResult result = NearestNeighborVerify({0.4, 0.4}, 3, {a, b}, 0.1);
+  EXPECT_EQ(result.candidate_count, 1);
+  EXPECT_EQ(result.heap.entries().size(), 1u);
+}
+
+TEST(NnvTest, CorrectnessAnnotationsMatchLemma) {
+  // One verified then one unverified entry: surpassing ratio must be the
+  // distance ratio, correctness must equal e^(-lambda * uncovered).
+  const std::vector<Poi> server = {{0, {1.0, 0.0}}, {1, {5.0, 0.0}}};
+  // The peer knows the square around q plus a small island holding the far
+  // POI, so the far POI is a candidate but stays unverified.
+  PeerData peer = PeerWithRegion(server, geom::Rect{-2.0, -2.0, 2.0, 2.0});
+  const PeerData island =
+      PeerWithRegion(server, geom::Rect{4.9, -0.1, 5.1, 0.1});
+  peer.regions.push_back(island.regions[0]);
+  const double lambda = 0.3;
+  const NnvResult result =
+      NearestNeighborVerify({0.0, 0.0}, 2, {peer}, lambda);
+  ASSERT_EQ(result.heap.entries().size(), 2u);
+  const HeapEntry& verified = result.heap.entries()[0];
+  const HeapEntry& unverified = result.heap.entries()[1];
+  ASSERT_TRUE(verified.verified);
+  ASSERT_FALSE(unverified.verified);
+  EXPECT_DOUBLE_EQ(unverified.surpassing_ratio, 5.0);
+  const double uncovered =
+      result.mvr.DiscUncoveredArea(geom::Circle{{0.0, 0.0}, 5.0});
+  EXPECT_NEAR(unverified.correctness, std::exp(-lambda * uncovered), 1e-12);
+}
+
+TEST(NnvTest, CandidatesAreSortedAndComplete) {
+  const std::vector<Poi> server = {
+      {0, {1.0, 0.0}}, {1, {0.5, 0.5}}, {2, {3.0, 3.0}}};
+  const PeerData peer =
+      PeerWithRegion(server, geom::Rect{-4.0, -4.0, 4.0, 4.0});
+  const NnvResult result = NearestNeighborVerify({0.0, 0.0}, 2, {peer}, 0.1);
+  ASSERT_EQ(result.candidates.size(), 3u);
+  EXPECT_EQ(result.candidate_count, 3);
+  for (size_t i = 1; i < result.candidates.size(); ++i) {
+    EXPECT_LE(result.candidates[i - 1].distance,
+              result.candidates[i].distance);
+  }
+  // The heap holds only k entries but candidates keep everything.
+  EXPECT_EQ(result.heap.entries().size(), 2u);
+}
+
+TEST(NnvTest, SurpassingRatioInfiniteWithoutVerifiedPrefix) {
+  const std::vector<Poi> server = {{0, {5.0, 5.0}}};
+  const PeerData peer =
+      PeerWithRegion(server, geom::Rect{4.0, 4.0, 6.0, 6.0});
+  // q far outside the region: candidate known but nothing verified.
+  const NnvResult result =
+      NearestNeighborVerify({0.0, 0.0}, 1, {peer}, 0.1);
+  ASSERT_EQ(result.heap.entries().size(), 1u);
+  EXPECT_FALSE(result.heap.entries()[0].verified);
+  EXPECT_TRUE(std::isinf(result.heap.entries()[0].surpassing_ratio));
+}
+
+// The soundness property (Lemma 3.1): every POI NNV marks verified is a true
+// top-v nearest neighbor, across random configurations.
+class NnvSoundnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NnvSoundnessTest, VerifiedEntriesMatchOracle) {
+  const int num_peers = GetParam();
+  Rng rng(1000 + static_cast<uint64_t>(num_peers));
+  const geom::Rect world{0.0, 0.0, 10.0, 10.0};
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto server = spatial::GenerateUniformPois(&rng, world, 120);
+    std::vector<PeerData> peers;
+    for (int p = 0; p < num_peers; ++p) {
+      const geom::Point c{rng.Uniform(0.0, 10.0), rng.Uniform(0.0, 10.0)};
+      peers.push_back(PeerWithRegion(
+          server, geom::Rect::CenteredSquare(c, rng.Uniform(0.3, 1.5))));
+    }
+    const geom::Point q{rng.Uniform(0.0, 10.0), rng.Uniform(0.0, 10.0)};
+    const int k = static_cast<int>(rng.UniformInt(1, 8));
+    const NnvResult result = NearestNeighborVerify(q, k, peers, 1.2);
+    const auto truth = spatial::BruteForceKnn(server, q, k);
+    const auto& entries = result.heap.entries();
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (!entries[i].verified) break;
+      EXPECT_EQ(entries[i].poi.id, truth[i].poi.id)
+          << "trial " << trial << " i " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PeerCounts, NnvSoundnessTest,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+}  // namespace
+}  // namespace lbsq::core

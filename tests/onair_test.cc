@@ -1,0 +1,146 @@
+#include "onair/onair_knn.h"
+#include "onair/onair_window.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "broadcast/system.h"
+#include "common/rng.h"
+#include "spatial/generators.h"
+
+namespace lbsq::onair {
+namespace {
+
+const geom::Rect kWorld{0.0, 0.0, 20.0, 20.0};
+
+std::unique_ptr<broadcast::BroadcastSystem> MakeSystem(int n_pois,
+                                                       uint64_t seed = 1) {
+  Rng rng(seed);
+  broadcast::BroadcastParams params;
+  params.bucket_capacity = 8;
+  params.index_entries_per_bucket = 32;
+  params.m = 4;
+  params.hilbert_order = 5;
+  return std::make_unique<broadcast::BroadcastSystem>(
+      spatial::GenerateUniformPois(&rng, kWorld, n_pois), kWorld, params);
+}
+
+TEST(OnAirKnnTest, ExactAcrossRandomQueries) {
+  auto system = MakeSystem(300);
+  Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    const geom::Point q{rng.Uniform(0.0, 20.0), rng.Uniform(0.0, 20.0)};
+    const int k = static_cast<int>(rng.UniformInt(1, 12));
+    const auto result = OnAirKnn(*system, q, k, trial * 13);
+    const auto truth = spatial::BruteForceKnn(system->pois(), q, k);
+    ASSERT_EQ(result.neighbors.size(), truth.size());
+    for (size_t i = 0; i < truth.size(); ++i) {
+      EXPECT_DOUBLE_EQ(result.neighbors[i].distance, truth[i].distance);
+    }
+  }
+}
+
+TEST(OnAirKnnTest, KLargerThanDatabase) {
+  auto system = MakeSystem(5);
+  const auto result = OnAirKnn(*system, {10.0, 10.0}, 20, 0);
+  EXPECT_EQ(result.neighbors.size(), 5u);
+}
+
+TEST(OnAirKnnTest, StatsAreConsistent) {
+  auto system = MakeSystem(400);
+  const auto result = OnAirKnn(*system, {10.0, 10.0}, 5, 7);
+  EXPECT_GT(result.stats.access_latency, 0);
+  EXPECT_LE(result.stats.tuning_time, result.stats.access_latency);
+  EXPECT_EQ(result.stats.buckets_read,
+            static_cast<int64_t>(result.buckets.size()));
+}
+
+TEST(OnAirKnnTest, SearchCircleContainsResults) {
+  auto system = MakeSystem(300);
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const geom::Point q{rng.Uniform(0.0, 20.0), rng.Uniform(0.0, 20.0)};
+    const auto result = OnAirKnn(*system, q, 7, 0);
+    for (const auto& n : result.neighbors) {
+      EXPECT_LE(n.distance, result.search_circle.radius + 1e-12);
+    }
+  }
+}
+
+TEST(OnAirKnnTest, LargerKDownloadsMoreBuckets) {
+  auto system = MakeSystem(500);
+  const auto small = OnAirKnn(*system, {10.0, 10.0}, 1, 0);
+  const auto large = OnAirKnn(*system, {10.0, 10.0}, 50, 0);
+  EXPECT_LT(small.buckets.size(), large.buckets.size());
+}
+
+TEST(OnAirKnnTest, PartitionedCircleRetrievalIsSubsetAndSufficient) {
+  auto system = MakeSystem(400);
+  Rng rng(6);
+  for (int trial = 0; trial < 30; ++trial) {
+    const geom::Point q{rng.Uniform(2.0, 18.0), rng.Uniform(2.0, 18.0)};
+    const geom::Circle circle{q, rng.Uniform(0.5, 4.0)};
+    const auto span = BucketsForCircle(*system, circle,
+                                       KnnRetrieval::kSingleSpan);
+    const auto part = BucketsForCircle(*system, circle,
+                                       KnnRetrieval::kPartitionedRanges);
+    EXPECT_LE(part.size(), span.size());
+    // Every POI inside the circle's MBR must be in a partition bucket.
+    const auto received = system->CollectPois(part);
+    for (const auto& poi : system->pois()) {
+      if (!circle.Mbr().Contains(poi.pos)) continue;
+      EXPECT_TRUE(std::any_of(
+          received.begin(), received.end(),
+          [&poi](const spatial::Poi& p) { return p.id == poi.id; }));
+    }
+  }
+}
+
+TEST(OnAirWindowTest, ExactAcrossRandomQueries) {
+  auto system = MakeSystem(300);
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const geom::Point a{rng.Uniform(0.0, 18.0), rng.Uniform(0.0, 18.0)};
+    const geom::Rect window{a.x, a.y, a.x + rng.Uniform(0.5, 6.0),
+                            a.y + rng.Uniform(0.5, 6.0)};
+    for (const WindowRetrieval retrieval :
+         {WindowRetrieval::kSingleSpan, WindowRetrieval::kPartitionedRanges}) {
+      const auto result = OnAirWindow(*system, window, trial * 7, retrieval);
+      EXPECT_EQ(result.pois, spatial::BruteForceWindow(system->pois(), window));
+    }
+  }
+}
+
+TEST(OnAirWindowTest, PartitionedRangesNeverDownloadMore) {
+  auto system = MakeSystem(400);
+  Rng rng(4);
+  for (int trial = 0; trial < 30; ++trial) {
+    const geom::Point a{rng.Uniform(0.0, 15.0), rng.Uniform(0.0, 15.0)};
+    const geom::Rect window{a.x, a.y, a.x + rng.Uniform(1.0, 5.0),
+                            a.y + rng.Uniform(1.0, 5.0)};
+    const auto span = BucketsForWindow(*system, window,
+                                       WindowRetrieval::kSingleSpan);
+    const auto ranges = BucketsForWindow(*system, window,
+                                         WindowRetrieval::kPartitionedRanges);
+    EXPECT_LE(ranges.size(), span.size());
+  }
+}
+
+TEST(OnAirWindowTest, EmptyWindowReturnsNothing) {
+  auto system = MakeSystem(100);
+  const auto result =
+      OnAirWindow(*system, geom::Rect{30.0, 30.0, 31.0, 31.0}, 0);
+  EXPECT_TRUE(result.pois.empty());
+}
+
+TEST(OnAirWindowTest, WholeWorldWindowReturnsAll) {
+  auto system = MakeSystem(150);
+  const auto result = OnAirWindow(*system, kWorld, 0);
+  EXPECT_EQ(result.pois.size(), 150u);
+  // Single span over the whole world downloads the whole file.
+  EXPECT_EQ(result.buckets.size(), system->buckets().size());
+}
+
+}  // namespace
+}  // namespace lbsq::onair

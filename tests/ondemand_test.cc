@@ -1,0 +1,63 @@
+#include "ondemand/ondemand.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace lbsq::ondemand {
+namespace {
+
+TEST(MM1Test, ClosedFormValues) {
+  // lambda = 0.5, mu = 1: E[T] = 1 / (1 - 0.5) = 2.
+  OnDemandParams params{0.5, 1.0};
+  EXPECT_DOUBLE_EQ(MM1ExpectedResponseTime(params), 2.0);
+  EXPECT_DOUBLE_EQ(MM1Utilization(params), 0.5);
+}
+
+TEST(MM1Test, UnstableQueueIsInfinite) {
+  OnDemandParams params{2.0, 1.0};
+  EXPECT_TRUE(std::isinf(MM1ExpectedResponseTime(params)));
+  EXPECT_DOUBLE_EQ(MM1Utilization(params), 2.0);
+}
+
+TEST(OnDemandSimTest, MatchesMM1AtModerateLoad) {
+  Rng rng(1);
+  for (double rho : {0.2, 0.5, 0.8}) {
+    OnDemandParams params{rho, 1.0};
+    const OnDemandResult result =
+        SimulateOnDemandServer(params, 200000, &rng);
+    const double expected = MM1ExpectedResponseTime(params);
+    EXPECT_NEAR(result.response_time.mean(), expected, 0.08 * expected)
+        << "rho=" << rho;
+    EXPECT_NEAR(result.utilization, rho, 0.03);
+  }
+}
+
+TEST(OnDemandSimTest, ResponseTimeExplodesNearSaturation) {
+  Rng rng(2);
+  const OnDemandResult light =
+      SimulateOnDemandServer({0.3, 1.0}, 50000, &rng);
+  const OnDemandResult heavy =
+      SimulateOnDemandServer({0.95, 1.0}, 50000, &rng);
+  EXPECT_GT(heavy.response_time.mean(), 5.0 * light.response_time.mean());
+}
+
+TEST(OnDemandSimTest, ResponseAtLeastServiceTime) {
+  Rng rng(3);
+  const OnDemandResult result = SimulateOnDemandServer({0.1, 2.0}, 20000, &rng);
+  EXPECT_GE(result.response_time.mean(), 2.0 * 0.9);
+  EXPECT_GT(result.response_time.min(), 0.0);
+}
+
+TEST(OnDemandSimTest, DeterministicGivenSeed) {
+  Rng a(7);
+  Rng b(7);
+  const OnDemandResult ra = SimulateOnDemandServer({0.5, 1.0}, 1000, &a);
+  const OnDemandResult rb = SimulateOnDemandServer({0.5, 1.0}, 1000, &b);
+  EXPECT_DOUBLE_EQ(ra.response_time.mean(), rb.response_time.mean());
+}
+
+}  // namespace
+}  // namespace lbsq::ondemand

@@ -1,0 +1,84 @@
+#include "broadcast/packet.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "spatial/generators.h"
+
+namespace lbsq::broadcast {
+namespace {
+
+const geom::Rect kWorld{0.0, 0.0, 16.0, 16.0};
+
+TEST(PacketTest, EmptyDataSetYieldsPlaceholderBucket) {
+  hilbert::HilbertGrid grid(kWorld, 4);
+  const auto buckets = BuildBuckets({}, grid, 8);
+  ASSERT_EQ(buckets.size(), 1u);
+  EXPECT_TRUE(buckets[0].pois.empty());
+}
+
+TEST(PacketTest, BucketsRespectCapacity) {
+  hilbert::HilbertGrid grid(kWorld, 4);
+  Rng rng(1);
+  const auto pois = spatial::GenerateUniformPois(&rng, kWorld, 100);
+  const auto buckets = BuildBuckets(pois, grid, 8);
+  EXPECT_EQ(buckets.size(), 13u);  // ceil(100 / 8)
+  for (const DataBucket& b : buckets) {
+    EXPECT_LE(b.pois.size(), 8u);
+    EXPECT_FALSE(b.pois.empty());
+  }
+}
+
+TEST(PacketTest, EveryPoiAppearsExactlyOnce) {
+  hilbert::HilbertGrid grid(kWorld, 5);
+  Rng rng(2);
+  const auto pois = spatial::GenerateUniformPois(&rng, kWorld, 333);
+  const auto buckets = BuildBuckets(pois, grid, 7);
+  std::set<int64_t> ids;
+  for (const DataBucket& b : buckets) {
+    for (const spatial::Poi& p : b.pois) {
+      EXPECT_TRUE(ids.insert(p.id).second) << "duplicate id " << p.id;
+    }
+  }
+  EXPECT_EQ(ids.size(), pois.size());
+}
+
+TEST(PacketTest, BucketsAreInHilbertOrder) {
+  hilbert::HilbertGrid grid(kWorld, 5);
+  Rng rng(3);
+  const auto pois = spatial::GenerateUniformPois(&rng, kWorld, 200);
+  const auto buckets = BuildBuckets(pois, grid, 6);
+  uint64_t prev = 0;
+  for (const DataBucket& b : buckets) {
+    EXPECT_LE(b.hilbert_lo, b.hilbert_hi);
+    EXPECT_GE(b.hilbert_lo, prev);
+    prev = b.hilbert_hi;
+    // Per-bucket metadata matches the payload.
+    uint64_t lo = ~0ull, hi = 0;
+    geom::Rect mbr;
+    for (const spatial::Poi& p : b.pois) {
+      const uint64_t h = grid.IndexOf(p.pos);
+      lo = std::min(lo, h);
+      hi = std::max(hi, h);
+      mbr.Expand(p.pos);
+    }
+    EXPECT_EQ(b.hilbert_lo, lo);
+    EXPECT_EQ(b.hilbert_hi, hi);
+    EXPECT_EQ(b.mbr, mbr);
+  }
+}
+
+TEST(PacketTest, SequentialIds) {
+  hilbert::HilbertGrid grid(kWorld, 4);
+  Rng rng(4);
+  const auto pois = spatial::GenerateUniformPois(&rng, kWorld, 50);
+  const auto buckets = BuildBuckets(pois, grid, 4);
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    EXPECT_EQ(buckets[i].id, static_cast<int64_t>(i));
+  }
+}
+
+}  // namespace
+}  // namespace lbsq::broadcast

@@ -1,0 +1,275 @@
+#include "core/peer_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "spatial/generators.h"
+
+namespace lbsq::core {
+namespace {
+
+using spatial::Poi;
+
+// Builds a complete verified region over `server`.
+VerifiedRegion MakeRegion(const std::vector<Poi>& server, geom::Rect region) {
+  VerifiedRegion vr;
+  vr.region = region;
+  for (const Poi& p : server) {
+    if (region.Contains(p.pos)) vr.pois.push_back(p);
+  }
+  return vr;
+}
+
+// Checks the completeness invariant of every entry against `server`.
+void CheckInvariant(const PeerCache& cache, const std::vector<Poi>& server) {
+  for (const VerifiedRegion& vr : cache.entries()) {
+    for (const Poi& p : server) {
+      if (!vr.region.Contains(p.pos)) continue;
+      EXPECT_TRUE(std::any_of(
+          vr.pois.begin(), vr.pois.end(),
+          [&p](const Poi& c) { return c.id == p.id; }));
+    }
+    for (const Poi& p : vr.pois) {
+      EXPECT_TRUE(vr.region.Contains(p.pos));
+    }
+  }
+}
+
+TEST(PeerCacheTest, EmptyCacheSharesNothing) {
+  PeerCache cache(10);
+  EXPECT_TRUE(cache.Share().empty());
+  EXPECT_EQ(cache.TotalPois(), 0);
+}
+
+TEST(PeerCacheTest, InsertWithinCapacityKeepsRegion) {
+  const std::vector<Poi> server = {{0, {1.0, 1.0}}, {1, {2.0, 2.0}}};
+  PeerCache cache(10);
+  cache.Insert(MakeRegion(server, geom::Rect{0.0, 0.0, 3.0, 3.0}),
+               {1.5, 1.5}, {1.5, 1.5}, {1.0, 0.0});
+  ASSERT_EQ(cache.entries().size(), 1u);
+  EXPECT_EQ(cache.TotalPois(), 2);
+  CheckInvariant(cache, server);
+}
+
+TEST(PeerCacheTest, ShrinkPreservesCompleteness) {
+  Rng rng(3);
+  const geom::Rect world{0.0, 0.0, 10.0, 10.0};
+  const auto server = spatial::GenerateUniformPois(&rng, world, 200);
+  PeerCache cache(8);  // far below the ~200 POIs of the full region
+  cache.Insert(MakeRegion(server, world), {5.0, 5.0}, {5.0, 5.0}, {1.0, 0.0});
+  ASSERT_EQ(cache.entries().size(), 1u);
+  EXPECT_LE(cache.TotalPois(), 8);
+  EXPECT_GT(cache.TotalPois(), 0);
+  CheckInvariant(cache, server);
+  // The shrunken region is centered on the anchor.
+  EXPECT_TRUE(cache.entries()[0].region.Contains({5.0, 5.0}));
+}
+
+TEST(PeerCacheTest, ShrinkToCapacityStatic) {
+  std::vector<Poi> server;
+  for (int i = 0; i < 20; ++i) {
+    server.push_back(Poi{i, {static_cast<double>(i), 0.0}});
+  }
+  const VerifiedRegion vr =
+      MakeRegion(server, geom::Rect{-1.0, -1.0, 20.0, 1.0});
+  const VerifiedRegion shrunk =
+      PeerCache::ShrinkToCapacity(vr, {0.0, 0.0}, 5);
+  EXPECT_LE(static_cast<int>(shrunk.pois.size()), 5);
+  EXPECT_FALSE(shrunk.region.empty());
+  // Keeps the nearest POIs to the anchor.
+  for (const Poi& p : shrunk.pois) EXPECT_LT(p.pos.x, 5.5);
+}
+
+TEST(PeerCacheTest, ShrinkWithZeroCapacityYieldsEmpty) {
+  const std::vector<Poi> server = {{0, {0.0, 0.0}}};
+  const VerifiedRegion vr =
+      MakeRegion(server, geom::Rect{-1.0, -1.0, 1.0, 1.0});
+  const VerifiedRegion shrunk =
+      PeerCache::ShrinkToCapacity(vr, {0.0, 0.0}, 0);
+  EXPECT_TRUE(shrunk.region.empty());
+}
+
+TEST(PeerCacheTest, CoincidentPoisBeyondCapacityDegrade) {
+  // More POIs at the exact anchor than capacity: no region can be kept.
+  std::vector<Poi> server;
+  for (int i = 0; i < 5; ++i) server.push_back(Poi{i, {2.0, 2.0}});
+  const VerifiedRegion vr =
+      MakeRegion(server, geom::Rect{0.0, 0.0, 4.0, 4.0});
+  const VerifiedRegion shrunk =
+      PeerCache::ShrinkToCapacity(vr, {2.0, 2.0}, 3);
+  EXPECT_TRUE(shrunk.region.empty());
+}
+
+TEST(PeerCacheTest, SubsumedInsertIsDropped) {
+  const std::vector<Poi> server = {{0, {5.0, 5.0}}};
+  PeerCache cache(20);
+  cache.Insert(MakeRegion(server, geom::Rect{0.0, 0.0, 10.0, 10.0}),
+               {5.0, 5.0}, {5.0, 5.0}, {1.0, 0.0});
+  cache.Insert(MakeRegion(server, geom::Rect{4.0, 4.0, 6.0, 6.0}),
+               {5.0, 5.0}, {5.0, 5.0}, {1.0, 0.0});
+  EXPECT_EQ(cache.entries().size(), 1u);
+  EXPECT_EQ(cache.entries()[0].region, (geom::Rect{0.0, 0.0, 10.0, 10.0}));
+}
+
+TEST(PeerCacheTest, SubsumingInsertReplacesExisting) {
+  const std::vector<Poi> server = {{0, {5.0, 5.0}}};
+  PeerCache cache(20);
+  cache.Insert(MakeRegion(server, geom::Rect{4.0, 4.0, 6.0, 6.0}),
+               {5.0, 5.0}, {5.0, 5.0}, {1.0, 0.0});
+  cache.Insert(MakeRegion(server, geom::Rect{0.0, 0.0, 10.0, 10.0}),
+               {5.0, 5.0}, {5.0, 5.0}, {1.0, 0.0});
+  EXPECT_EQ(cache.entries().size(), 1u);
+  EXPECT_EQ(cache.entries()[0].region, (geom::Rect{0.0, 0.0, 10.0, 10.0}));
+}
+
+TEST(PeerCacheTest, RegionLimitEnforced) {
+  const std::vector<Poi> server = {};
+  PeerCache cache(100, /*max_regions=*/3);
+  for (int i = 0; i < 10; ++i) {
+    const double x = static_cast<double>(i) * 5.0;
+    VerifiedRegion vr;
+    vr.region = geom::Rect{x, 0.0, x + 1.0, 1.0};
+    cache.Insert(vr, {x + 0.5, 0.5}, {0.0, 0.5}, {1.0, 0.0});
+  }
+  EXPECT_LE(cache.entries().size(), 3u);
+}
+
+TEST(PeerCacheTest, EvictionPrefersFarBehindEntries) {
+  PeerCache cache(100, /*max_regions=*/2);
+  // Host at origin moving +x. Entry A: ahead and near. Entry B: behind and
+  // far. Entry C triggers eviction; B must go.
+  VerifiedRegion ahead;
+  ahead.region = geom::Rect{1.0, -0.5, 2.0, 0.5};
+  VerifiedRegion behind;
+  behind.region = geom::Rect{-10.0, -0.5, -9.0, 0.5};
+  VerifiedRegion fresh;
+  fresh.region = geom::Rect{3.0, -0.5, 4.0, 0.5};
+  const geom::Point host{0.0, 0.0};
+  const geom::Point heading{1.0, 0.0};
+  cache.Insert(ahead, ahead.region.center(), host, heading);
+  cache.Insert(behind, behind.region.center(), host, heading);
+  cache.Insert(fresh, fresh.region.center(), host, heading);
+  ASSERT_EQ(cache.entries().size(), 2u);
+  for (const VerifiedRegion& vr : cache.entries()) {
+    EXPECT_GT(vr.region.center().x, 0.0);  // the behind entry was evicted
+  }
+}
+
+TEST(PeerCacheTest, PoiCapacityEnforcedAcrossEntries) {
+  Rng rng(5);
+  const geom::Rect world{0.0, 0.0, 20.0, 20.0};
+  const auto server = spatial::GenerateUniformPois(&rng, world, 400);
+  PeerCache cache(30, 8);
+  for (int i = 0; i < 12; ++i) {
+    const geom::Point c{rng.Uniform(2.0, 18.0), rng.Uniform(2.0, 18.0)};
+    cache.Insert(MakeRegion(server, geom::Rect::CenteredSquare(c, 1.5)), c,
+                 {10.0, 10.0}, {1.0, 0.0});
+    EXPECT_LE(cache.TotalPois(), 30);
+    CheckInvariant(cache, server);
+  }
+}
+
+TEST(PeerCacheTest, EmptyRegionInsertIgnored) {
+  PeerCache cache(10);
+  cache.Insert(VerifiedRegion{}, {0.0, 0.0}, {0.0, 0.0}, {1.0, 0.0});
+  EXPECT_TRUE(cache.entries().empty());
+}
+
+TEST(PeerCachePolicyTest, CollectiveMbrKeepsNearestAndClaimsMbr) {
+  std::vector<Poi> server;
+  for (int i = 0; i < 10; ++i) {
+    server.push_back(Poi{i, {static_cast<double>(i), 0.0}});
+  }
+  const VerifiedRegion vr =
+      MakeRegion(server, geom::Rect{-1.0, -1.0, 10.0, 1.0});
+  const VerifiedRegion reduced =
+      PeerCache::ReduceToCollectiveMbr(vr, {0.0, 0.0}, 4);
+  ASSERT_EQ(reduced.pois.size(), 4u);
+  for (const Poi& p : reduced.pois) EXPECT_LT(p.pos.x, 4.0 + 1e-9);
+  // The collective MBR spans the kept POIs.
+  EXPECT_DOUBLE_EQ(reduced.region.x2, 3.0);
+}
+
+TEST(PeerCachePolicyTest, CollectiveMbrViolatesCompletenessWhenBinding) {
+  // A deterministic counter-example: the two nearest POIs sit at opposite
+  // corners of a square, a dropped third POI sits in the middle of that
+  // square — strictly inside the claimed collective MBR.
+  const std::vector<Poi> server = {
+      {0, {0.0, 0.0}}, {1, {1.0, 1.0}}, {2, {0.5, 0.55}}};
+  const VerifiedRegion vr =
+      MakeRegion(server, geom::Rect{-1.0, -1.0, 2.0, 2.0});
+  // Anchor at (0,0): distances are 0 (id 0), 1.41 (id 1), 0.74 (id 2) —
+  // capacity 2 keeps ids {0, 2}... keep the far corner instead by anchoring
+  // between the corners but slightly away from the middle POI.
+  const VerifiedRegion reduced =
+      PeerCache::ReduceToCollectiveMbr(vr, {0.5, 0.0}, 2);
+  // Distances from (0.5, 0): id0 = 0.5, id1 ~ 1.12, id2 ~ 0.55 ->
+  // kept {0, 2}; their MBR [0,0.5]x[0,0.55] excludes id1: consistent here,
+  // so check the opposite anchoring which keeps the straddling pair.
+  const VerifiedRegion reduced2 =
+      PeerCache::ReduceToCollectiveMbr(vr, {1.0, 0.25}, 2);
+  // Distances from (1, 0.25): id0 ~ 1.03, id1 = 0.75, id2 ~ 0.58 ->
+  // kept {1, 2}: MBR [0.5,1]x[0.55,1] excludes id0: also consistent.
+  // Two-point MBRs of adjacent-by-distance POIs rarely trap a third in
+  // tiny examples; the flaw fires statistically on dense data below.
+  EXPECT_EQ(reduced.pois.size(), 2u);
+  EXPECT_EQ(reduced2.pois.size(), 2u);
+
+  // Statistical demonstration: over random dense regions, the collective
+  // MBR frequently contains server POIs that were not stored, while the
+  // sound shrink never does.
+  Rng rng(123);
+  const geom::Rect world{0.0, 0.0, 10.0, 10.0};
+  const auto big = spatial::GenerateUniformPois(&rng, world, 400);
+  int collective_violations = 0;
+  int sound_violations = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const geom::Point anchor{rng.Uniform(2.0, 8.0), rng.Uniform(2.0, 8.0)};
+    const geom::Rect region = geom::Rect::CenteredSquare(anchor, 2.0);
+    const VerifiedRegion full = MakeRegion(big, region);
+    auto violates = [&big](const VerifiedRegion& entry) {
+      for (const Poi& p : big) {
+        if (!entry.region.Contains(p.pos)) continue;
+        const bool stored = std::any_of(
+            entry.pois.begin(), entry.pois.end(),
+            [&p](const Poi& c) { return c.id == p.id; });
+        if (!stored) return true;
+      }
+      return false;
+    };
+    if (violates(PeerCache::ReduceToCollectiveMbr(full, anchor, 10))) {
+      ++collective_violations;
+    }
+    if (violates(PeerCache::ShrinkToCapacity(full, anchor, 10))) {
+      ++sound_violations;
+    }
+  }
+  EXPECT_GT(collective_violations, 10);  // the flaw fires routinely
+  EXPECT_EQ(sound_violations, 0);        // the sound policy never does
+}
+
+TEST(PeerCachePolicyTest, CollectiveMbrUnderCapacityIsUnchanged) {
+  const std::vector<Poi> server = {{0, {1.0, 1.0}}, {1, {2.0, 2.0}}};
+  const VerifiedRegion vr =
+      MakeRegion(server, geom::Rect{0.0, 0.0, 3.0, 3.0});
+  const VerifiedRegion reduced =
+      PeerCache::ReduceToCollectiveMbr(vr, {1.5, 1.5}, 10);
+  EXPECT_EQ(reduced.region, vr.region);
+  EXPECT_EQ(reduced.pois.size(), 2u);
+}
+
+TEST(PeerCacheTest, ClearEmptiesEverything) {
+  const std::vector<Poi> server = {{0, {1.0, 1.0}}};
+  PeerCache cache(10);
+  cache.Insert(MakeRegion(server, geom::Rect{0.0, 0.0, 2.0, 2.0}),
+               {1.0, 1.0}, {1.0, 1.0}, {1.0, 0.0});
+  cache.Clear();
+  EXPECT_EQ(cache.TotalPois(), 0);
+  EXPECT_TRUE(cache.Share().empty());
+}
+
+}  // namespace
+}  // namespace lbsq::core

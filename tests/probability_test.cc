@@ -1,0 +1,126 @@
+#include "core/probability.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace lbsq::core {
+namespace {
+
+TEST(CorrectnessProbabilityTest, PaperExample) {
+  // §3.3.2: lambda = 0.3 POIs per square unit, unverified region of 2
+  // square units -> e^-0.6 ~ 0.5488 (the paper's "55%").
+  EXPECT_NEAR(CorrectnessProbability(0.3, 2.0), 0.5488, 0.0001);
+}
+
+TEST(CorrectnessProbabilityTest, ZeroAreaIsCertain) {
+  EXPECT_DOUBLE_EQ(CorrectnessProbability(0.5, 0.0), 1.0);
+}
+
+TEST(CorrectnessProbabilityTest, ZeroDensityIsCertain) {
+  EXPECT_DOUBLE_EQ(CorrectnessProbability(0.0, 100.0), 1.0);
+}
+
+TEST(CorrectnessProbabilityTest, DecreasesWithArea) {
+  double prev = 1.1;
+  for (double area = 0.0; area < 10.0; area += 0.5) {
+    const double p = CorrectnessProbability(0.4, area);
+    EXPECT_LT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(CorrectnessProbabilityTest, MatchesEmpiricalPoissonVoidProbability) {
+  // Scatter Poisson POIs over a big region and measure how often a given
+  // sub-area is empty.
+  Rng rng(7);
+  const double lambda = 0.3;
+  const double area = 2.0;  // a 1 x 2 box
+  int empty = 0;
+  const int trials = 100000;
+  for (int t = 0; t < trials; ++t) {
+    if (rng.Poisson(lambda * area) == 0) ++empty;
+  }
+  EXPECT_NEAR(static_cast<double>(empty) / trials,
+              CorrectnessProbability(lambda, area), 0.005);
+}
+
+TEST(SurpassingRatioTest, PaperTable2) {
+  // o4 at 5 miles vs last verified o5 at 3 miles -> 1.67; o3 at 6 -> 2.0.
+  EXPECT_NEAR(SurpassingRatio(5.0, 3.0), 1.6667, 0.001);
+  EXPECT_DOUBLE_EQ(SurpassingRatio(6.0, 3.0), 2.0);
+}
+
+TEST(SurpassingRatioTest, NoVerifiedNeighborIsInfinite) {
+  EXPECT_TRUE(std::isinf(SurpassingRatio(4.0, 0.0)));
+}
+
+TEST(KthNeighborDistanceCdfTest, IsAValidCdf) {
+  const double lambda = 2.0;
+  for (int k : {1, 3, 8}) {
+    EXPECT_DOUBLE_EQ(KthNeighborDistanceCdf(lambda, k, 0.0), 0.0);
+    double prev = 0.0;
+    for (double r = 0.05; r < 5.0; r += 0.05) {
+      const double c = KthNeighborDistanceCdf(lambda, k, r);
+      EXPECT_GE(c, prev - 1e-12);
+      EXPECT_LE(c, 1.0);
+      prev = c;
+    }
+    EXPECT_NEAR(prev, 1.0, 1e-6);
+  }
+}
+
+TEST(KthNeighborDistanceCdfTest, FirstNeighborClosedForm) {
+  // P(d_1 <= r) = 1 - e^(-lambda pi r^2).
+  const double lambda = 1.5;
+  for (double r : {0.1, 0.5, 1.0}) {
+    EXPECT_NEAR(KthNeighborDistanceCdf(lambda, 1, r),
+                1.0 - std::exp(-lambda * M_PI * r * r), 1e-12);
+  }
+}
+
+TEST(KthNeighborDistanceCdfTest, StochasticallyOrderedInK) {
+  // The k-th neighbor is farther than the (k-1)-th.
+  const double lambda = 1.0;
+  for (double r : {0.3, 0.6, 1.0, 1.5}) {
+    for (int k = 2; k <= 6; ++k) {
+      EXPECT_LE(KthNeighborDistanceCdf(lambda, k, r),
+                KthNeighborDistanceCdf(lambda, k - 1, r) + 1e-12);
+    }
+  }
+}
+
+TEST(KthNeighborDistanceMeanTest, FirstNeighborClosedForm) {
+  // E[d_1] = 1 / (2 sqrt(lambda)).
+  EXPECT_NEAR(KthNeighborDistanceMean(1.0, 1), 0.5, 1e-9);
+  EXPECT_NEAR(KthNeighborDistanceMean(4.0, 1), 0.25, 1e-9);
+}
+
+TEST(KthNeighborDistanceMeanTest, MatchesEmpiricalKnnDistance) {
+  // Empirical check by sampling Poisson point sets around the origin.
+  Rng rng(11);
+  const double lambda = 2.0;
+  const int k = 3;
+  const double world = 10.0;  // large enough that edge effects vanish
+  double total = 0.0;
+  const int trials = 3000;
+  for (int t = 0; t < trials; ++t) {
+    const int64_t n = rng.Poisson(lambda * world * world);
+    std::vector<double> d2;
+    for (int64_t i = 0; i < n; ++i) {
+      const double x = rng.Uniform(-world / 2, world / 2);
+      const double y = rng.Uniform(-world / 2, world / 2);
+      d2.push_back(x * x + y * y);
+    }
+    std::nth_element(d2.begin(), d2.begin() + (k - 1), d2.end());
+    total += std::sqrt(d2[k - 1]);
+  }
+  EXPECT_NEAR(total / trials, KthNeighborDistanceMean(lambda, k), 0.01);
+}
+
+}  // namespace
+}  // namespace lbsq::core

@@ -1,0 +1,139 @@
+#include "spatial/quadtree.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "spatial/generators.h"
+#include "spatial/poi.h"
+#include "spatial/rtree.h"
+
+namespace lbsq::spatial {
+namespace {
+
+const geom::Rect kWorld{0.0, 0.0, 64.0, 64.0};
+
+TEST(QuadTreeTest, EmptyTree) {
+  QuadTree tree(kWorld);
+  EXPECT_EQ(tree.size(), 0);
+  EXPECT_TRUE(tree.WindowQuery(kWorld).empty());
+}
+
+TEST(QuadTreeTest, SingleInsertAndQuery) {
+  QuadTree tree(kWorld);
+  tree.Insert(Poi{3, {10.0, 20.0}});
+  const auto result = tree.WindowQuery(geom::Rect{5.0, 15.0, 15.0, 25.0});
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].id, 3);
+}
+
+TEST(QuadTreeTest, SplitsBeyondBucketCapacity) {
+  QuadTree tree(kWorld, /*bucket_capacity=*/4);
+  Rng rng(1);
+  const auto pois = GenerateUniformPois(&rng, kWorld, 100);
+  tree.InsertAll(pois);
+  EXPECT_EQ(tree.size(), 100);
+  // Full-world query returns everything.
+  EXPECT_EQ(tree.WindowQuery(kWorld).size(), 100u);
+}
+
+TEST(QuadTreeTest, WindowQueryMatchesBruteForce) {
+  Rng rng(7);
+  const auto pois = GenerateUniformPois(&rng, kWorld, 700);
+  QuadTree tree(kWorld, 8);
+  tree.InsertAll(pois);
+  for (int trial = 0; trial < 40; ++trial) {
+    const geom::Point a{rng.Uniform(0.0, 60.0), rng.Uniform(0.0, 60.0)};
+    const geom::Rect window{a.x, a.y, a.x + rng.Uniform(1.0, 20.0),
+                            a.y + rng.Uniform(1.0, 20.0)};
+    EXPECT_EQ(tree.WindowQuery(window), BruteForceWindow(pois, window));
+  }
+}
+
+TEST(QuadTreeTest, MatchesRTreeOnIdenticalData) {
+  Rng rng(11);
+  const auto pois = GenerateUniformPois(&rng, kWorld, 500);
+  QuadTree qt(kWorld, 8);
+  qt.InsertAll(pois);
+  RTree rt;
+  rt.InsertAll(pois);
+  for (int trial = 0; trial < 25; ++trial) {
+    const geom::Point a{rng.Uniform(0.0, 55.0), rng.Uniform(0.0, 55.0)};
+    const geom::Rect window{a.x, a.y, a.x + rng.Uniform(2.0, 25.0),
+                            a.y + rng.Uniform(2.0, 25.0)};
+    EXPECT_EQ(qt.WindowQuery(window), rt.WindowQuery(window));
+  }
+}
+
+TEST(QuadTreeTest, CoincidentPointsOverflowGracefully) {
+  // More identical points than bucket capacity: depth limit stops splitting.
+  QuadTree tree(kWorld, 2, /*max_depth=*/6);
+  for (int i = 0; i < 20; ++i) tree.Insert(Poi{i, {32.0, 32.0}});
+  EXPECT_EQ(tree.size(), 20);
+  EXPECT_EQ(tree.WindowQuery(geom::Rect{31.0, 31.0, 33.0, 33.0}).size(), 20u);
+}
+
+TEST(QuadTreeTest, BoundaryPointsQueryClosed) {
+  QuadTree tree(kWorld);
+  tree.Insert(Poi{1, {32.0, 32.0}});  // exactly on the split lines
+  tree.Insert(Poi{2, {0.0, 0.0}});
+  tree.Insert(Poi{3, {64.0, 64.0}});
+  EXPECT_EQ(tree.WindowQuery(kWorld).size(), 3u);
+  EXPECT_EQ(tree.WindowQuery(geom::Rect{32.0, 32.0, 32.0, 32.0}).size(), 1u);
+}
+
+TEST(QuadTreeTest, KnnMatchesBruteForce) {
+  Rng rng(21);
+  const auto pois = GenerateUniformPois(&rng, kWorld, 500);
+  QuadTree tree(kWorld, 6);
+  tree.InsertAll(pois);
+  for (int trial = 0; trial < 40; ++trial) {
+    const geom::Point q{rng.Uniform(-5.0, 70.0), rng.Uniform(-5.0, 70.0)};
+    const int k = static_cast<int>(rng.UniformInt(1, 15));
+    const auto got = tree.Knn(q, k);
+    const auto want = BruteForceKnn(pois, q, k);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].poi.id, want[i].poi.id) << "trial " << trial;
+    }
+  }
+}
+
+TEST(QuadTreeTest, KnnEmptyAndOversizedK) {
+  QuadTree tree(kWorld);
+  EXPECT_TRUE(tree.Knn({1.0, 1.0}, 5).empty());
+  tree.Insert(Poi{0, {2.0, 2.0}});
+  EXPECT_EQ(tree.Knn({1.0, 1.0}, 5).size(), 1u);
+}
+
+TEST(QuadTreeTest, KnnAgreesWithRTree) {
+  Rng rng(22);
+  const auto pois = GenerateUniformPois(&rng, kWorld, 400);
+  QuadTree qt(kWorld, 8);
+  qt.InsertAll(pois);
+  RTree rt;
+  rt.InsertAll(pois);
+  for (int trial = 0; trial < 20; ++trial) {
+    const geom::Point q{rng.Uniform(0.0, 64.0), rng.Uniform(0.0, 64.0)};
+    const auto a = qt.Knn(q, 8);
+    const auto b = rt.KnnBestFirst(q, 8);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].poi.id, b[i].poi.id);
+    }
+  }
+}
+
+TEST(QuadTreeTest, NodeAccessCounterRuns) {
+  Rng rng(13);
+  QuadTree tree(kWorld, 4);
+  tree.InsertAll(GenerateUniformPois(&rng, kWorld, 300));
+  tree.WindowQuery(geom::Rect{0.0, 0.0, 4.0, 4.0});
+  const int64_t small_query = tree.last_node_accesses();
+  tree.WindowQuery(kWorld);
+  const int64_t full_query = tree.last_node_accesses();
+  EXPECT_GT(small_query, 0);
+  EXPECT_GT(full_query, small_query);
+}
+
+}  // namespace
+}  // namespace lbsq::spatial

@@ -1,0 +1,240 @@
+#include "geom/rect_region.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "geom/circle.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace lbsq::geom {
+namespace {
+
+TEST(RectRegionTest, EmptyRegion) {
+  RectRegion region;
+  EXPECT_TRUE(region.empty());
+  EXPECT_EQ(region.Area(), 0.0);
+  EXPECT_FALSE(region.Contains({0.0, 0.0}));
+  EXPECT_EQ(region.BoundaryDistance({0.0, 0.0}), 0.0);
+  EXPECT_TRUE(region.BoundingBox().empty());
+}
+
+TEST(RectRegionTest, SingleRect) {
+  RectRegion region(Rect{0.0, 0.0, 2.0, 1.0});
+  EXPECT_DOUBLE_EQ(region.Area(), 2.0);
+  EXPECT_TRUE(region.Contains({1.0, 0.5}));
+  EXPECT_TRUE(region.Contains({0.0, 0.0}));  // closed
+  EXPECT_FALSE(region.Contains({2.1, 0.5}));
+  EXPECT_DOUBLE_EQ(region.BoundaryDistance({1.0, 0.5}), 0.5);
+  EXPECT_EQ(region.BoundingBox(), (Rect{0.0, 0.0, 2.0, 1.0}));
+}
+
+TEST(RectRegionTest, DisjointUnionAreaAdds) {
+  RectRegion region;
+  region.Add(Rect{0.0, 0.0, 1.0, 1.0});
+  region.Add(Rect{5.0, 5.0, 7.0, 6.0});
+  EXPECT_DOUBLE_EQ(region.Area(), 3.0);
+}
+
+TEST(RectRegionTest, OverlappingUnionAreaExact) {
+  RectRegion region;
+  region.Add(Rect{0.0, 0.0, 2.0, 2.0});
+  region.Add(Rect{1.0, 1.0, 3.0, 3.0});
+  EXPECT_DOUBLE_EQ(region.Area(), 4.0 + 4.0 - 1.0);
+}
+
+TEST(RectRegionTest, DuplicateAddIsIdempotent) {
+  RectRegion region;
+  region.Add(Rect{0.0, 0.0, 2.0, 2.0});
+  region.Add(Rect{0.0, 0.0, 2.0, 2.0});
+  EXPECT_DOUBLE_EQ(region.Area(), 4.0);
+  EXPECT_EQ(region.pieces().size(), 1u);
+}
+
+TEST(RectRegionTest, ContainedAddIsNoop) {
+  RectRegion region;
+  region.Add(Rect{0.0, 0.0, 4.0, 4.0});
+  region.Add(Rect{1.0, 1.0, 2.0, 2.0});
+  EXPECT_DOUBLE_EQ(region.Area(), 16.0);
+  EXPECT_EQ(region.pieces().size(), 1u);
+}
+
+TEST(RectRegionTest, ZeroAreaRectIgnored) {
+  RectRegion region;
+  region.Add(Rect{0.0, 0.0, 0.0, 5.0});
+  EXPECT_TRUE(region.empty());
+}
+
+TEST(RectRegionTest, PiecesAreInteriorDisjoint) {
+  Rng rng(7);
+  RectRegion region;
+  for (int i = 0; i < 25; ++i) {
+    const Point a{rng.Uniform(0.0, 10.0), rng.Uniform(0.0, 10.0)};
+    const Point b{a.x + rng.Uniform(0.1, 3.0), a.y + rng.Uniform(0.1, 3.0)};
+    region.Add(Rect::FromCorners(a, b));
+  }
+  const auto& pieces = region.pieces();
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    for (size_t j = i + 1; j < pieces.size(); ++j) {
+      EXPECT_LE(pieces[i].Intersection(pieces[j]).area(), 0.0);
+    }
+  }
+}
+
+TEST(RectRegionTest, AreaMatchesMonteCarlo) {
+  Rng rng(11);
+  RectRegion region;
+  const Rect domain{0.0, 0.0, 10.0, 10.0};
+  for (int i = 0; i < 15; ++i) {
+    // Keep every rectangle inside the Monte-Carlo sampling domain.
+    const Point a{rng.Uniform(0.0, 7.0), rng.Uniform(0.0, 7.0)};
+    region.Add(Rect{a.x, a.y, a.x + rng.Uniform(0.5, 3.0),
+                    a.y + rng.Uniform(0.5, 3.0)});
+  }
+  int inside = 0;
+  const int samples = 200000;
+  Rng sample_rng(12);
+  for (int i = 0; i < samples; ++i) {
+    const Point p{sample_rng.Uniform(0.0, 10.0), sample_rng.Uniform(0.0, 10.0)};
+    if (region.Contains(p)) ++inside;
+  }
+  const double mc = 100.0 * static_cast<double>(inside) / samples;
+  EXPECT_NEAR(region.Area(), mc, 1.0);
+}
+
+TEST(RectRegionTest, MergeEqualsSequentialAdds) {
+  RectRegion a;
+  a.Add(Rect{0.0, 0.0, 2.0, 2.0});
+  RectRegion b;
+  b.Add(Rect{1.0, 1.0, 3.0, 3.0});
+  b.Add(Rect{4.0, 0.0, 5.0, 1.0});
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.Area(), 7.0 + 1.0);
+}
+
+TEST(RectRegionTest, BoundarySegmentsOfSingleRect) {
+  RectRegion region(Rect{0.0, 0.0, 2.0, 1.0});
+  const auto segments = region.BoundarySegments();
+  double perimeter = 0.0;
+  for (const Segment& s : segments) perimeter += s.Length();
+  EXPECT_DOUBLE_EQ(perimeter, 6.0);
+}
+
+TEST(RectRegionTest, SharedEdgeIsInterior) {
+  // Two rects sharing a full edge: the shared edge is not boundary.
+  RectRegion region;
+  region.Add(Rect{0.0, 0.0, 1.0, 1.0});
+  region.Add(Rect{1.0, 0.0, 2.0, 1.0});
+  double perimeter = 0.0;
+  for (const Segment& s : region.BoundarySegments()) perimeter += s.Length();
+  EXPECT_DOUBLE_EQ(perimeter, 6.0);  // 2x1 rectangle outline
+  // A point on the (former) shared edge is interior: boundary distance 1.
+  EXPECT_DOUBLE_EQ(region.BoundaryDistance({1.0, 0.5}), 0.5);
+}
+
+TEST(RectRegionTest, HoleBoundaryCounts) {
+  // Frame: big square minus an inner hole built from four strips.
+  RectRegion region;
+  region.Add(Rect{0.0, 0.0, 4.0, 1.0});   // bottom strip
+  region.Add(Rect{0.0, 3.0, 4.0, 4.0});   // top strip
+  region.Add(Rect{0.0, 1.0, 1.0, 3.0});   // left strip
+  region.Add(Rect{3.0, 1.0, 4.0, 3.0});   // right strip
+  EXPECT_DOUBLE_EQ(region.Area(), 16.0 - 4.0);
+  EXPECT_FALSE(region.Contains({2.0, 2.0}));  // the hole
+  double perimeter = 0.0;
+  for (const Segment& s : region.BoundarySegments()) perimeter += s.Length();
+  EXPECT_DOUBLE_EQ(perimeter, 16.0 + 8.0);  // outer + hole outline
+  // Distance from a point in the frame to the nearest boundary (hole edge).
+  EXPECT_DOUBLE_EQ(region.BoundaryDistance({0.5, 2.0}), 0.5);
+}
+
+TEST(RectRegionTest, BoundaryDistanceOutsideIsZero) {
+  RectRegion region(Rect{0.0, 0.0, 1.0, 1.0});
+  EXPECT_EQ(region.BoundaryDistance({5.0, 5.0}), 0.0);
+}
+
+TEST(RectRegionTest, ContainsRectExact) {
+  RectRegion region;
+  region.Add(Rect{0.0, 0.0, 2.0, 2.0});
+  region.Add(Rect{2.0, 0.0, 4.0, 2.0});
+  // Straddles the internal seam but is fully covered.
+  EXPECT_TRUE(region.ContainsRect(Rect{1.0, 0.5, 3.0, 1.5}));
+  EXPECT_FALSE(region.ContainsRect(Rect{1.0, 0.5, 3.0, 2.5}));
+}
+
+TEST(RectRegionTest, ContainsDisc) {
+  RectRegion region;
+  region.Add(Rect{0.0, 0.0, 2.0, 2.0});
+  region.Add(Rect{2.0, 0.0, 4.0, 2.0});
+  EXPECT_TRUE(region.ContainsDisc(Circle{{2.0, 1.0}, 1.0}));
+  EXPECT_FALSE(region.ContainsDisc(Circle{{2.0, 1.0}, 1.01}));
+  EXPECT_FALSE(region.ContainsDisc(Circle{{10.0, 10.0}, 0.1}));
+}
+
+TEST(RectRegionTest, DiscCoveredAreaAcrossSeam) {
+  RectRegion region;
+  region.Add(Rect{0.0, -10.0, 10.0, 10.0});
+  region.Add(Rect{-10.0, -10.0, 0.0, 10.0});
+  // The seam at x=0 splits the disc into two halves; the union covers all.
+  const Circle disc{{0.0, 0.0}, 1.0};
+  EXPECT_NEAR(region.DiscCoveredArea(disc), M_PI, 1e-9);
+  EXPECT_NEAR(region.DiscUncoveredArea(disc), 0.0, 1e-9);
+}
+
+TEST(RectRegionTest, DiscUncoveredAreaHalf) {
+  RectRegion region(Rect{0.0, -10.0, 10.0, 10.0});
+  const Circle disc{{0.0, 0.0}, 2.0};
+  EXPECT_NEAR(region.DiscUncoveredArea(disc), 2.0 * M_PI, 1e-9);
+}
+
+TEST(RectRegionTest, SubtractFromYieldsResidualRects) {
+  RectRegion region(Rect{0.0, 0.0, 2.0, 2.0});
+  std::vector<Rect> residual;
+  region.SubtractFrom(Rect{1.0, 1.0, 3.0, 3.0}, &residual);
+  double area = 0.0;
+  for (const Rect& r : residual) area += r.area();
+  EXPECT_DOUBLE_EQ(area, 3.0);
+  for (const Rect& r : residual) {
+    EXPECT_LE(region.BoundingBox().Intersection(r).area(),
+              r.area());  // sanity
+    EXPECT_FALSE(region.ContainsRect(r));
+  }
+}
+
+TEST(RectRegionTest, SubtractFromFullyCovered) {
+  RectRegion region(Rect{0.0, 0.0, 4.0, 4.0});
+  std::vector<Rect> residual;
+  region.SubtractFrom(Rect{1.0, 1.0, 2.0, 2.0}, &residual);
+  EXPECT_TRUE(residual.empty());
+}
+
+TEST(RectRegionTest, BoundaryDistanceMatchesBruteForceProbe) {
+  // Random union; for interior points, walking to the boundary distance in
+  // any direction must stay inside a closed ball of that radius.
+  Rng rng(31);
+  RectRegion region;
+  for (int i = 0; i < 12; ++i) {
+    const Point a{rng.Uniform(0.0, 8.0), rng.Uniform(0.0, 8.0)};
+    region.Add(Rect{a.x, a.y, a.x + rng.Uniform(0.5, 3.0),
+                    a.y + rng.Uniform(0.5, 3.0)});
+  }
+  for (int trial = 0; trial < 2000; ++trial) {
+    const Point p{rng.Uniform(0.0, 10.0), rng.Uniform(0.0, 10.0)};
+    if (!region.Contains(p)) continue;
+    const double d = region.BoundaryDistance(p);
+    // Any point strictly inside the radius-d ball must be inside the region.
+    for (int probe = 0; probe < 16; ++probe) {
+      const double angle = rng.Uniform(0.0, 2.0 * M_PI);
+      const double radius = rng.Uniform(0.0, d * 0.999);
+      const Point inside{p.x + radius * std::cos(angle),
+                         p.y + radius * std::sin(angle)};
+      EXPECT_TRUE(region.Contains(inside))
+          << "p=(" << p.x << "," << p.y << ") d=" << d;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lbsq::geom

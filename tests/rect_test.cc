@@ -1,0 +1,150 @@
+#include "geom/rect.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/point.h"
+
+namespace lbsq::geom {
+namespace {
+
+TEST(RectTest, DefaultIsEmpty) {
+  Rect r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.area(), 0.0);
+  EXPECT_EQ(r.width(), 0.0);
+}
+
+TEST(RectTest, FromCornersNormalizesOrder) {
+  const Rect r = Rect::FromCorners({5.0, 1.0}, {2.0, 7.0});
+  EXPECT_EQ(r.x1, 2.0);
+  EXPECT_EQ(r.y1, 1.0);
+  EXPECT_EQ(r.x2, 5.0);
+  EXPECT_EQ(r.y2, 7.0);
+}
+
+TEST(RectTest, CenteredSquare) {
+  const Rect r = Rect::CenteredSquare({1.0, 2.0}, 0.5);
+  EXPECT_EQ(r, (Rect{0.5, 1.5, 1.5, 2.5}));
+  EXPECT_EQ(r.center(), (Point{1.0, 2.0}));
+}
+
+TEST(RectTest, ContainsIsClosed) {
+  const Rect r{0.0, 0.0, 1.0, 1.0};
+  EXPECT_TRUE(r.Contains({0.0, 0.0}));
+  EXPECT_TRUE(r.Contains({1.0, 1.0}));
+  EXPECT_TRUE(r.Contains({0.5, 1.0}));
+  EXPECT_FALSE(r.Contains({1.0001, 0.5}));
+}
+
+TEST(RectTest, ContainsRect) {
+  const Rect outer{0.0, 0.0, 10.0, 10.0};
+  EXPECT_TRUE(outer.ContainsRect(Rect{1.0, 1.0, 9.0, 9.0}));
+  EXPECT_TRUE(outer.ContainsRect(outer));
+  EXPECT_FALSE(outer.ContainsRect(Rect{1.0, 1.0, 10.5, 9.0}));
+  // Empty rectangles are vacuously contained.
+  EXPECT_TRUE(outer.ContainsRect(Rect{}));
+}
+
+TEST(RectTest, IntersectsIncludesTouching) {
+  const Rect a{0.0, 0.0, 1.0, 1.0};
+  EXPECT_TRUE(a.Intersects(Rect{1.0, 0.0, 2.0, 1.0}));  // shared edge
+  EXPECT_TRUE(a.Intersects(Rect{1.0, 1.0, 2.0, 2.0}));  // shared corner
+  EXPECT_FALSE(a.Intersects(Rect{1.1, 0.0, 2.0, 1.0}));
+  EXPECT_FALSE(a.Intersects(Rect{}));
+}
+
+TEST(RectTest, IntersectionAndUnion) {
+  const Rect a{0.0, 0.0, 4.0, 4.0};
+  const Rect b{2.0, 1.0, 6.0, 3.0};
+  EXPECT_EQ(a.Intersection(b), (Rect{2.0, 1.0, 4.0, 3.0}));
+  EXPECT_EQ(a.Union(b), (Rect{0.0, 0.0, 6.0, 4.0}));
+  EXPECT_TRUE(a.Intersection(Rect{5.0, 5.0, 6.0, 6.0}).empty());
+}
+
+TEST(RectTest, UnionWithEmptyIsIdentity) {
+  const Rect a{0.0, 0.0, 4.0, 4.0};
+  EXPECT_EQ(a.Union(Rect{}), a);
+  EXPECT_EQ(Rect{}.Union(a), a);
+}
+
+TEST(RectTest, ExpandGrowsToPoint) {
+  Rect r;
+  r.Expand({3.0, 4.0});
+  EXPECT_EQ(r, (Rect{3.0, 4.0, 3.0, 4.0}));
+  r.Expand({1.0, 6.0});
+  EXPECT_EQ(r, (Rect{1.0, 4.0, 3.0, 6.0}));
+}
+
+TEST(RectTest, MinDistanceInsideIsZero) {
+  const Rect r{0.0, 0.0, 2.0, 2.0};
+  EXPECT_EQ(r.MinDistance({1.0, 1.0}), 0.0);
+  EXPECT_EQ(r.MinDistance({0.0, 2.0}), 0.0);  // boundary
+}
+
+TEST(RectTest, MinDistanceOutside) {
+  const Rect r{0.0, 0.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(r.MinDistance({5.0, 1.0}), 3.0);          // right side
+  EXPECT_DOUBLE_EQ(r.MinDistance({1.0, -2.0}), 2.0);         // below
+  EXPECT_DOUBLE_EQ(r.MinDistance({5.0, 6.0}), 5.0);          // corner 3-4-5
+}
+
+TEST(RectTest, MaxDistance) {
+  const Rect r{0.0, 0.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(r.MaxDistance({0.0, 0.0}), std::sqrt(8.0));
+  EXPECT_DOUBLE_EQ(r.MaxDistance({1.0, 1.0}), std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(r.MaxDistance({3.0, 1.0}), std::sqrt(9.0 + 1.0));
+}
+
+TEST(SubtractRectTest, NoOverlapKeepsWhole) {
+  std::vector<Rect> out;
+  SubtractRect(Rect{0.0, 0.0, 1.0, 1.0}, Rect{2.0, 2.0, 3.0, 3.0}, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (Rect{0.0, 0.0, 1.0, 1.0}));
+}
+
+TEST(SubtractRectTest, FullyCoveredYieldsNothing) {
+  std::vector<Rect> out;
+  SubtractRect(Rect{1.0, 1.0, 2.0, 2.0}, Rect{0.0, 0.0, 3.0, 3.0}, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SubtractRectTest, CenterHoleYieldsFourPieces) {
+  std::vector<Rect> out;
+  SubtractRect(Rect{0.0, 0.0, 3.0, 3.0}, Rect{1.0, 1.0, 2.0, 2.0}, &out);
+  ASSERT_EQ(out.size(), 4u);
+  double total = 0.0;
+  for (const Rect& r : out) {
+    total += r.area();
+    // Pieces must be disjoint from the subtracted rect's interior.
+    EXPECT_LE(r.Intersection(Rect{1.0, 1.0, 2.0, 2.0}).area(), 0.0);
+  }
+  EXPECT_DOUBLE_EQ(total, 8.0);
+}
+
+TEST(SubtractRectTest, EdgeTouchingOnlyKeepsWhole) {
+  std::vector<Rect> out;
+  SubtractRect(Rect{0.0, 0.0, 1.0, 1.0}, Rect{1.0, 0.0, 2.0, 1.0}, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (Rect{0.0, 0.0, 1.0, 1.0}));
+}
+
+TEST(SubtractRectTest, PartialOverlapAreaConserved) {
+  const Rect a{0.0, 0.0, 4.0, 4.0};
+  const Rect b{2.0, -1.0, 6.0, 2.0};
+  std::vector<Rect> out;
+  SubtractRect(a, b, &out);
+  double total = 0.0;
+  for (const Rect& r : out) total += r.area();
+  EXPECT_DOUBLE_EQ(total, a.area() - a.Intersection(b).area());
+  // Pieces pairwise interior-disjoint.
+  for (size_t i = 0; i < out.size(); ++i) {
+    for (size_t j = i + 1; j < out.size(); ++j) {
+      EXPECT_LE(out[i].Intersection(out[j]).area(), 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lbsq::geom

@@ -1,0 +1,110 @@
+#include "core/result_heap.h"
+
+#include <gtest/gtest.h>
+
+namespace lbsq::core {
+namespace {
+
+HeapEntry Entry(int64_t id, double distance, bool verified) {
+  HeapEntry e;
+  e.poi = spatial::Poi{id, {distance, 0.0}};
+  e.distance = distance;
+  e.verified = verified;
+  return e;
+}
+
+TEST(ResultHeapTest, EmptyState) {
+  ResultHeap heap(3);
+  EXPECT_EQ(heap.State(), HeapState::kEmpty);
+  EXPECT_FALSE(heap.full());
+  EXPECT_EQ(heap.verified_count(), 0);
+  EXPECT_FALSE(heap.UpperBound().has_value());
+  EXPECT_FALSE(heap.LowerBound().has_value());
+}
+
+TEST(ResultHeapTest, FulfilledState) {
+  ResultHeap heap(2);
+  EXPECT_TRUE(heap.Push(Entry(1, 1.0, true)));
+  EXPECT_TRUE(heap.Push(Entry(2, 2.0, true)));
+  EXPECT_TRUE(heap.fully_verified());
+  EXPECT_EQ(heap.State(), HeapState::kFulfilled);
+  EXPECT_EQ(*heap.UpperBound(), 2.0);
+  EXPECT_EQ(*heap.LowerBound(), 2.0);
+}
+
+TEST(ResultHeapTest, State1FullMixed) {
+  ResultHeap heap(3);
+  heap.Push(Entry(1, 1.0, true));
+  heap.Push(Entry(2, 2.0, true));
+  heap.Push(Entry(3, 5.0, false));
+  EXPECT_EQ(heap.State(), HeapState::kFullMixed);
+  EXPECT_EQ(*heap.UpperBound(), 5.0);
+  EXPECT_EQ(*heap.LowerBound(), 2.0);
+}
+
+TEST(ResultHeapTest, State2FullUnverified) {
+  ResultHeap heap(2);
+  heap.Push(Entry(1, 1.0, false));
+  heap.Push(Entry(2, 2.0, false));
+  EXPECT_EQ(heap.State(), HeapState::kFullUnverified);
+  EXPECT_EQ(*heap.UpperBound(), 2.0);
+  EXPECT_FALSE(heap.LowerBound().has_value());
+}
+
+TEST(ResultHeapTest, State3PartialMixed) {
+  ResultHeap heap(5);
+  heap.Push(Entry(1, 1.0, true));
+  heap.Push(Entry(2, 4.0, false));
+  EXPECT_EQ(heap.State(), HeapState::kPartialMixed);
+  EXPECT_FALSE(heap.UpperBound().has_value());
+  EXPECT_EQ(*heap.LowerBound(), 1.0);
+}
+
+TEST(ResultHeapTest, State4PartialVerified) {
+  ResultHeap heap(5);
+  heap.Push(Entry(1, 1.0, true));
+  heap.Push(Entry(2, 2.0, true));
+  EXPECT_EQ(heap.State(), HeapState::kPartialVerified);
+  EXPECT_FALSE(heap.UpperBound().has_value());
+  EXPECT_EQ(*heap.LowerBound(), 2.0);
+}
+
+TEST(ResultHeapTest, State5PartialUnverified) {
+  ResultHeap heap(5);
+  heap.Push(Entry(1, 3.0, false));
+  EXPECT_EQ(heap.State(), HeapState::kPartialUnverified);
+  EXPECT_FALSE(heap.UpperBound().has_value());
+  EXPECT_FALSE(heap.LowerBound().has_value());
+}
+
+TEST(ResultHeapTest, PushBeyondCapacityRejected) {
+  ResultHeap heap(1);
+  EXPECT_TRUE(heap.Push(Entry(1, 1.0, true)));
+  EXPECT_FALSE(heap.Push(Entry(2, 2.0, false)));
+  EXPECT_EQ(heap.entries().size(), 1u);
+}
+
+TEST(ResultHeapTest, CountersAreConsistent) {
+  ResultHeap heap(4);
+  heap.Push(Entry(1, 1.0, true));
+  heap.Push(Entry(2, 2.0, false));
+  heap.Push(Entry(3, 3.0, false));
+  EXPECT_EQ(heap.verified_count(), 1);
+  EXPECT_EQ(heap.unverified_count(), 2);
+  EXPECT_EQ(heap.k(), 4);
+}
+
+TEST(ResultHeapDeathTest, OutOfOrderPushAborts) {
+  ResultHeap heap(3);
+  heap.Push(Entry(1, 5.0, false));
+  EXPECT_DEATH(heap.Push(Entry(2, 1.0, false)), "LBSQ_CHECK");
+}
+
+TEST(ResultHeapDeathTest, VerifiedAfterUnverifiedAborts) {
+  ResultHeap heap(3);
+  heap.Push(Entry(1, 1.0, false));
+  EXPECT_DEATH(heap.Push(Entry(2, 2.0, true)), "LBSQ_CHECK");
+}
+
+}  // namespace
+}  // namespace lbsq::core

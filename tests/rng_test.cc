@@ -1,0 +1,152 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace lbsq {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.Uniform(-3.5, 12.25);
+    EXPECT_GE(x, -3.5);
+    EXPECT_LT(x, 12.25);
+  }
+}
+
+TEST(RngTest, UniformMeanIsCentered) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform(0.0, 10.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(RngTest, NextBelowCoversRangeUniformly) {
+  Rng rng(13);
+  int counts[7] = {0};
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) ++counts[rng.NextBelow(7)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 7.0, 400.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(17);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NextBoolMatchesProbability) {
+  Rng rng(19);
+  int trues = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextBool(0.3)) ++trues;
+  }
+  EXPECT_NEAR(static_cast<double>(trues) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(23);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, PoissonSmallMean) {
+  Rng rng(29);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.Poisson(3.7));
+  EXPECT_NEAR(sum / n, 3.7, 0.05);
+}
+
+TEST(RngTest, PoissonLargeMeanUsesNormalApprox) {
+  Rng rng(31);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.Poisson(200.0));
+  EXPECT_NEAR(sum / n, 200.0, 1.0);
+}
+
+TEST(RngTest, PoissonZeroMean) {
+  Rng rng(37);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.Poisson(0.0), 0);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(41);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal(5.0, 2.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.02);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(55);
+  Rng forked = a.Fork();
+  // The fork must differ from the parent's continued stream.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == forked.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng rng(99);
+  const uint64_t first = rng.NextUint64();
+  rng.NextUint64();
+  rng.Seed(99);
+  EXPECT_EQ(rng.NextUint64(), first);
+}
+
+}  // namespace
+}  // namespace lbsq

@@ -1,0 +1,226 @@
+#include "spatial/rtree.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "spatial/generators.h"
+#include "spatial/poi.h"
+
+namespace lbsq::spatial {
+namespace {
+
+std::vector<Poi> RandomPois(int n, uint64_t seed) {
+  Rng rng(seed);
+  return GenerateUniformPois(&rng, geom::Rect{0.0, 0.0, 100.0, 100.0}, n);
+}
+
+TEST(RTreeTest, EmptyTree) {
+  RTree tree;
+  EXPECT_EQ(tree.size(), 0);
+  EXPECT_EQ(tree.Height(), 0);
+  EXPECT_TRUE(tree.WindowQuery(geom::Rect{0.0, 0.0, 100.0, 100.0}).empty());
+  EXPECT_TRUE(tree.KnnBestFirst({0.0, 0.0}, 3).empty());
+  EXPECT_TRUE(tree.KnnDepthFirst({0.0, 0.0}, 3).empty());
+}
+
+TEST(RTreeTest, SingleElement) {
+  RTree tree;
+  tree.Insert(Poi{7, {3.0, 4.0}});
+  EXPECT_EQ(tree.size(), 1);
+  EXPECT_EQ(tree.Height(), 1);
+  const auto knn = tree.KnnBestFirst({0.0, 0.0}, 5);
+  ASSERT_EQ(knn.size(), 1u);
+  EXPECT_EQ(knn[0].poi.id, 7);
+  EXPECT_DOUBLE_EQ(knn[0].distance, 5.0);
+}
+
+TEST(RTreeTest, InvariantsHoldWhileGrowing) {
+  RTree tree(8);
+  Rng rng(5);
+  const auto pois = RandomPois(500, 5);
+  for (const Poi& p : pois) {
+    tree.Insert(p);
+    if (tree.size() % 50 == 0) tree.CheckInvariants();
+  }
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.size(), 500);
+  EXPECT_GT(tree.Height(), 1);
+}
+
+TEST(RTreeTest, WindowQueryMatchesBruteForce) {
+  const auto pois = RandomPois(800, 17);
+  RTree tree;
+  tree.InsertAll(pois);
+  Rng rng(18);
+  for (int trial = 0; trial < 40; ++trial) {
+    const geom::Point a{rng.Uniform(0.0, 90.0), rng.Uniform(0.0, 90.0)};
+    const geom::Rect window{a.x, a.y, a.x + rng.Uniform(1.0, 30.0),
+                            a.y + rng.Uniform(1.0, 30.0)};
+    EXPECT_EQ(tree.WindowQuery(window), BruteForceWindow(pois, window));
+  }
+}
+
+TEST(RTreeTest, KnnBestFirstMatchesBruteForce) {
+  const auto pois = RandomPois(600, 23);
+  RTree tree;
+  tree.InsertAll(pois);
+  Rng rng(24);
+  for (int trial = 0; trial < 40; ++trial) {
+    const geom::Point q{rng.Uniform(-10.0, 110.0), rng.Uniform(-10.0, 110.0)};
+    const int k = static_cast<int>(rng.UniformInt(1, 20));
+    const auto got = tree.KnnBestFirst(q, k);
+    const auto want = BruteForceKnn(pois, q, k);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].poi.id, want[i].poi.id) << "trial " << trial;
+      EXPECT_DOUBLE_EQ(got[i].distance, want[i].distance);
+    }
+  }
+}
+
+TEST(RTreeTest, KnnDepthFirstMatchesBestFirst) {
+  const auto pois = RandomPois(600, 29);
+  RTree tree;
+  tree.InsertAll(pois);
+  Rng rng(30);
+  for (int trial = 0; trial < 40; ++trial) {
+    const geom::Point q{rng.Uniform(0.0, 100.0), rng.Uniform(0.0, 100.0)};
+    const int k = static_cast<int>(rng.UniformInt(1, 15));
+    const auto bf = tree.KnnBestFirst(q, k);
+    const auto df = tree.KnnDepthFirst(q, k);
+    ASSERT_EQ(bf.size(), df.size());
+    for (size_t i = 0; i < bf.size(); ++i) {
+      EXPECT_EQ(bf[i].poi.id, df[i].poi.id);
+    }
+  }
+}
+
+TEST(RTreeTest, BestFirstNeverAccessesMoreNodesThanDepthFirst) {
+  // Hjaltason & Samet's best-first search is I/O-optimal; the depth-first
+  // branch-and-bound can only match or exceed its node accesses.
+  const auto pois = RandomPois(1000, 31);
+  RTree tree;
+  tree.InsertAll(pois);
+  Rng rng(32);
+  for (int trial = 0; trial < 20; ++trial) {
+    const geom::Point q{rng.Uniform(0.0, 100.0), rng.Uniform(0.0, 100.0)};
+    tree.KnnBestFirst(q, 10);
+    const int64_t bf_accesses = tree.last_node_accesses();
+    tree.KnnDepthFirst(q, 10);
+    const int64_t df_accesses = tree.last_node_accesses();
+    EXPECT_LE(bf_accesses, df_accesses);
+  }
+}
+
+TEST(RTreeTest, KnnWithKLargerThanSize) {
+  const auto pois = RandomPois(10, 37);
+  RTree tree;
+  tree.InsertAll(pois);
+  EXPECT_EQ(tree.KnnBestFirst({50.0, 50.0}, 25).size(), 10u);
+  EXPECT_EQ(tree.KnnDepthFirst({50.0, 50.0}, 25).size(), 10u);
+}
+
+TEST(RTreeTest, DuplicatePositionsSupported) {
+  RTree tree;
+  for (int i = 0; i < 40; ++i) tree.Insert(Poi{i, {1.0, 1.0}});
+  tree.CheckInvariants();
+  const auto knn = tree.KnnBestFirst({1.0, 1.0}, 5);
+  ASSERT_EQ(knn.size(), 5u);
+  // Deterministic id tie-break.
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(knn[static_cast<size_t>(i)].poi.id, i);
+}
+
+TEST(RTreeTest, WindowQueryOnBoundaryIsClosed) {
+  RTree tree;
+  tree.Insert(Poi{1, {5.0, 5.0}});
+  EXPECT_EQ(tree.WindowQuery(geom::Rect{5.0, 5.0, 6.0, 6.0}).size(), 1u);
+  EXPECT_EQ(tree.WindowQuery(geom::Rect{4.0, 4.0, 5.0, 5.0}).size(), 1u);
+  EXPECT_TRUE(tree.WindowQuery(geom::Rect{5.1, 5.0, 6.0, 6.0}).empty());
+}
+
+TEST(RTreeBulkLoadTest, EmptyAndTiny) {
+  const RTree empty = RTree::BulkLoadStr({});
+  EXPECT_EQ(empty.size(), 0);
+  EXPECT_TRUE(empty.KnnBestFirst({0.0, 0.0}, 3).empty());
+
+  const RTree tiny = RTree::BulkLoadStr({{7, {1.0, 2.0}}, {9, {3.0, 4.0}}});
+  EXPECT_EQ(tiny.size(), 2);
+  tiny.CheckInvariants();
+  EXPECT_EQ(tiny.KnnBestFirst({0.0, 0.0}, 1)[0].poi.id, 7);
+}
+
+TEST(RTreeBulkLoadTest, InvariantsAndCorrectnessAcrossSizes) {
+  for (int n : {1, 7, 8, 9, 63, 64, 65, 500, 3000}) {
+    const auto pois = RandomPois(n, 100 + static_cast<uint64_t>(n));
+    const RTree tree = RTree::BulkLoadStr(pois, 8);
+    EXPECT_EQ(tree.size(), n);
+    tree.CheckInvariants();
+    Rng rng(200 + static_cast<uint64_t>(n));
+    for (int trial = 0; trial < 8; ++trial) {
+      const geom::Point q{rng.Uniform(0.0, 100.0), rng.Uniform(0.0, 100.0)};
+      const auto got = tree.KnnBestFirst(q, 5);
+      const auto want = BruteForceKnn(pois, q, 5);
+      ASSERT_EQ(got.size(), want.size()) << "n=" << n;
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].poi.id, want[i].poi.id) << "n=" << n;
+      }
+      const geom::Rect window{q.x - 8.0, q.y - 8.0, q.x + 8.0, q.y + 8.0};
+      EXPECT_EQ(tree.WindowQuery(window), BruteForceWindow(pois, window));
+    }
+  }
+}
+
+TEST(RTreeBulkLoadTest, PackedTreeIsShallowerOrEqual) {
+  const auto pois = RandomPois(2000, 55);
+  const RTree packed = RTree::BulkLoadStr(pois, 8);
+  RTree dynamic(8);
+  dynamic.InsertAll(pois);
+  EXPECT_LE(packed.Height(), dynamic.Height());
+}
+
+TEST(RTreeBulkLoadTest, PackedTreeReadsFewerNodesOnWindows) {
+  const auto pois = RandomPois(3000, 57);
+  const RTree packed = RTree::BulkLoadStr(pois, 8);
+  RTree dynamic(8);
+  dynamic.InsertAll(pois);
+  Rng rng(58);
+  int64_t packed_accesses = 0;
+  int64_t dynamic_accesses = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const geom::Point a{rng.Uniform(0.0, 90.0), rng.Uniform(0.0, 90.0)};
+    const geom::Rect window{a.x, a.y, a.x + 10.0, a.y + 10.0};
+    EXPECT_EQ(packed.WindowQuery(window), dynamic.WindowQuery(window));
+    packed_accesses += packed.last_node_accesses();
+    dynamic.WindowQuery(window);
+    dynamic_accesses += dynamic.last_node_accesses();
+  }
+  EXPECT_LT(packed_accesses, dynamic_accesses);
+}
+
+class RTreeFanoutTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RTreeFanoutTest, CorrectAcrossFanouts) {
+  const int fanout = GetParam();
+  const auto pois = RandomPois(400, 41);
+  RTree tree(fanout);
+  tree.InsertAll(pois);
+  tree.CheckInvariants();
+  Rng rng(42);
+  for (int trial = 0; trial < 10; ++trial) {
+    const geom::Point q{rng.Uniform(0.0, 100.0), rng.Uniform(0.0, 100.0)};
+    const auto got = tree.KnnBestFirst(q, 7);
+    const auto want = BruteForceKnn(pois, q, 7);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].poi.id, want[i].poi.id);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, RTreeFanoutTest,
+                         ::testing::Values(4, 6, 8, 16, 32, 64));
+
+}  // namespace
+}  // namespace lbsq::spatial

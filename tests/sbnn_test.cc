@@ -1,0 +1,282 @@
+#include "core/sbnn.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "broadcast/system.h"
+#include "common/rng.h"
+#include "spatial/generators.h"
+
+namespace lbsq::core {
+namespace {
+
+const geom::Rect kWorld{0.0, 0.0, 20.0, 20.0};
+
+struct Fixture {
+  std::unique_ptr<broadcast::BroadcastSystem> system;
+  double poi_density;
+
+  explicit Fixture(int n_pois, uint64_t seed = 1, int bucket_capacity = 8) {
+    Rng rng(seed);
+    broadcast::BroadcastParams params;
+    params.hilbert_order = 5;
+    params.bucket_capacity = bucket_capacity;
+    system = std::make_unique<broadcast::BroadcastSystem>(
+        spatial::GenerateUniformPois(&rng, kWorld, n_pois), kWorld, params);
+    poi_density = static_cast<double>(n_pois) / kWorld.area();
+  }
+
+  // A peer that knows the complete server content of `region`.
+  PeerData PeerWithRegion(geom::Rect region) const {
+    VerifiedRegion vr;
+    vr.region = region;
+    for (const spatial::Poi& p : system->pois()) {
+      if (region.Contains(p.pos)) vr.pois.push_back(p);
+    }
+    return PeerData{{vr}};
+  }
+};
+
+TEST(SbnnTest, NoPeersFallsBackToBroadcastExactly) {
+  Fixture f(300);
+  SbnnOptions options;
+  options.k = 5;
+  const SbnnOutcome outcome =
+      RunSbnn({10.0, 10.0}, options, {}, f.poi_density, *f.system, 0);
+  EXPECT_EQ(outcome.resolved_by, ResolvedBy::kBroadcast);
+  EXPECT_GT(outcome.stats.access_latency, 0);
+  const auto truth = spatial::BruteForceKnn(f.system->pois(), {10.0, 10.0}, 5);
+  ASSERT_EQ(outcome.neighbors.size(), truth.size());
+  for (size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_EQ(outcome.neighbors[i].poi.id, truth[i].poi.id);
+  }
+}
+
+TEST(SbnnTest, LargePeerRegionResolvesWithoutBroadcast) {
+  Fixture f(300);
+  SbnnOptions options;
+  options.k = 3;
+  const std::vector<PeerData> peers = {
+      f.PeerWithRegion(geom::Rect{5.0, 5.0, 15.0, 15.0})};
+  const SbnnOutcome outcome =
+      RunSbnn({10.0, 10.0}, options, peers, f.poi_density, *f.system, 0);
+  EXPECT_EQ(outcome.resolved_by, ResolvedBy::kPeersVerified);
+  EXPECT_EQ(outcome.stats.access_latency, 0);
+  EXPECT_EQ(outcome.stats.tuning_time, 0);
+  const auto truth = spatial::BruteForceKnn(f.system->pois(), {10.0, 10.0}, 3);
+  ASSERT_EQ(outcome.neighbors.size(), 3u);
+  for (size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_EQ(outcome.neighbors[i].poi.id, truth[i].poi.id);
+  }
+}
+
+TEST(SbnnTest, ApproximateAcceptedWhenCorrectnessHigh) {
+  // Sparse data: the peer's region covers most of the relevant disc, so the
+  // unverified tail has high correctness.
+  Fixture f(40);
+  SbnnOptions options;
+  options.k = 5;
+  options.accept_approximate = true;
+  options.min_correctness = 0.2;
+  const std::vector<PeerData> peers = {
+      f.PeerWithRegion(geom::Rect{0.0, 0.0, 20.0, 14.0})};
+  const SbnnOutcome outcome =
+      RunSbnn({10.0, 7.0}, options, peers, f.poi_density, *f.system, 0);
+  // Depending on the draw this may fully verify; both peer paths are fine,
+  // but it must not touch the channel.
+  EXPECT_NE(outcome.resolved_by, ResolvedBy::kBroadcast);
+  EXPECT_EQ(outcome.stats.access_latency, 0);
+}
+
+TEST(SbnnTest, ApproximateRejectedWhenThresholdHigh) {
+  Fixture f(40);
+  SbnnOptions options;
+  options.k = 5;
+  options.accept_approximate = true;
+  options.min_correctness = 0.999999;  // effectively requires verification
+  const std::vector<PeerData> peers = {
+      f.PeerWithRegion(geom::Rect{8.0, 5.0, 12.0, 9.0})};
+  const SbnnOutcome outcome =
+      RunSbnn({10.0, 7.0}, options, peers, f.poi_density, *f.system, 0);
+  if (outcome.resolved_by != ResolvedBy::kPeersVerified) {
+    EXPECT_EQ(outcome.resolved_by, ResolvedBy::kBroadcast);
+    // Fallback answers are exact.
+    const auto truth =
+        spatial::BruteForceKnn(f.system->pois(), {10.0, 7.0}, 5);
+    for (size_t i = 0; i < truth.size(); ++i) {
+      EXPECT_EQ(outcome.neighbors[i].poi.id, truth[i].poi.id);
+    }
+  }
+}
+
+TEST(SbnnTest, FilteringSkipsBucketsButStaysExact) {
+  // Dense data and tiny buckets so bucket MBRs are small relative to the
+  // lower-bound circle C_i.
+  Fixture f(4000, /*seed=*/1, /*bucket_capacity=*/2);
+  Rng rng(3);
+  int skipped_total = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const geom::Point q{rng.Uniform(3.0, 17.0), rng.Uniform(3.0, 17.0)};
+    SbnnOptions options;
+    options.k = 30;
+    options.accept_approximate = false;
+    options.use_filtering = true;
+    // Peer region sized for strong partial (not full) verification.
+    const std::vector<PeerData> peers = {f.PeerWithRegion(
+        geom::Rect::CenteredSquare(q, rng.Uniform(0.6, 0.8)))};
+    const SbnnOutcome outcome =
+        RunSbnn(q, options, peers, f.poi_density, *f.system, trial * 11);
+    const auto truth = spatial::BruteForceKnn(f.system->pois(), q, options.k);
+    ASSERT_EQ(outcome.neighbors.size(), truth.size());
+    for (size_t i = 0; i < truth.size(); ++i) {
+      EXPECT_DOUBLE_EQ(outcome.neighbors[i].distance, truth[i].distance)
+          << "trial " << trial;
+    }
+    skipped_total += static_cast<int>(outcome.buckets_skipped);
+  }
+  EXPECT_GT(skipped_total, 0);  // the filter must actually fire sometimes
+}
+
+TEST(SbnnTest, FilteringReducesDownloadsVsUnfiltered) {
+  Fixture f(500);
+  Rng rng(5);
+  int64_t filtered = 0;
+  int64_t unfiltered = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    const geom::Point q{rng.Uniform(2.0, 18.0), rng.Uniform(2.0, 18.0)};
+    const std::vector<PeerData> peers = {
+        f.PeerWithRegion(geom::Rect::CenteredSquare(q, 1.5))};
+    SbnnOptions options;
+    options.k = 10;
+    options.accept_approximate = false;
+    options.use_filtering = true;
+    filtered += RunSbnn(q, options, peers, f.poi_density, *f.system, 0)
+                    .stats.buckets_read;
+    options.use_filtering = false;
+    unfiltered += RunSbnn(q, options, peers, f.poi_density, *f.system, 0)
+                      .stats.buckets_read;
+  }
+  EXPECT_LT(filtered, unfiltered);
+}
+
+TEST(SbnnTest, CacheableRegionIsComplete) {
+  Fixture f(400);
+  Rng rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    const geom::Point q{rng.Uniform(1.0, 19.0), rng.Uniform(1.0, 19.0)};
+    SbnnOptions options;
+    options.k = 5;
+    options.accept_approximate = trial % 2 == 0;
+    std::vector<PeerData> peers;
+    if (trial % 3 != 0) {
+      peers.push_back(f.PeerWithRegion(
+          geom::Rect::CenteredSquare(q, rng.Uniform(0.3, 3.0))));
+    }
+    const SbnnOutcome outcome =
+        RunSbnn(q, options, peers, f.poi_density, *f.system, 0);
+    if (outcome.cacheable.region.empty()) continue;
+    // Completeness: every server POI inside the cacheable region is present.
+    for (const spatial::Poi& p : f.system->pois()) {
+      if (!outcome.cacheable.region.Contains(p.pos)) continue;
+      const bool present = std::any_of(
+          outcome.cacheable.pois.begin(), outcome.cacheable.pois.end(),
+          [&p](const spatial::Poi& c) { return c.id == p.id; });
+      EXPECT_TRUE(present) << "trial " << trial << " poi " << p.id;
+    }
+  }
+}
+
+TEST(SbnnTest, IndexBoundTighteningNeverDownloadsMoreAndStaysExact) {
+  Fixture f(800);
+  Rng rng(11);
+  for (int trial = 0; trial < 30; ++trial) {
+    const geom::Point q{rng.Uniform(2.0, 18.0), rng.Uniform(2.0, 18.0)};
+    const std::vector<PeerData> peers = {f.PeerWithRegion(
+        geom::Rect::CenteredSquare(q, rng.Uniform(0.8, 1.6)))};
+    SbnnOptions options;
+    options.k = 12;
+    options.accept_approximate = false;
+    options.tighten_with_index_bound = false;
+    const SbnnOutcome paper =
+        RunSbnn(q, options, peers, f.poi_density, *f.system, 0);
+    options.tighten_with_index_bound = true;
+    const SbnnOutcome tightened =
+        RunSbnn(q, options, peers, f.poi_density, *f.system, 0);
+    if (paper.resolved_by == ResolvedBy::kBroadcast &&
+        tightened.resolved_by == ResolvedBy::kBroadcast) {
+      EXPECT_LE(tightened.stats.buckets_read, paper.stats.buckets_read);
+    }
+    const auto truth = spatial::BruteForceKnn(f.system->pois(), q, 12);
+    ASSERT_EQ(tightened.neighbors.size(), truth.size());
+    for (size_t i = 0; i < truth.size(); ++i) {
+      EXPECT_DOUBLE_EQ(tightened.neighbors[i].distance, truth[i].distance);
+      EXPECT_DOUBLE_EQ(paper.neighbors[i].distance, truth[i].distance);
+    }
+  }
+}
+
+TEST(SbnnTest, PrefetchWidensCacheableRegionAndStaysExact) {
+  Fixture f(500);
+  const geom::Point q{10.0, 10.0};
+  SbnnOptions options;
+  options.k = 5;
+  options.accept_approximate = false;
+  const SbnnOutcome base = RunSbnn(q, options, {}, f.poi_density, *f.system, 0);
+  options.prefetch_radius_factor = 2.0;
+  const SbnnOutcome wide = RunSbnn(q, options, {}, f.poi_density, *f.system, 0);
+  EXPECT_GT(wide.cacheable.region.area(), base.cacheable.region.area());
+  EXPECT_GE(wide.stats.buckets_read, base.stats.buckets_read);
+  const auto truth = spatial::BruteForceKnn(f.system->pois(), q, 5);
+  for (size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_EQ(wide.neighbors[i].poi.id, truth[i].poi.id);
+    EXPECT_EQ(base.neighbors[i].poi.id, truth[i].poi.id);
+  }
+  // The widened cacheable region still satisfies completeness.
+  for (const spatial::Poi& p : f.system->pois()) {
+    if (!wide.cacheable.region.Contains(p.pos)) continue;
+    EXPECT_TRUE(std::any_of(
+        wide.cacheable.pois.begin(), wide.cacheable.pois.end(),
+        [&p](const spatial::Poi& c) { return c.id == p.id; }));
+  }
+}
+
+TEST(SbnnTest, ApproximateOutcomeCacheableUsesVerifiedPrefixOnly) {
+  Fixture f(60);
+  Rng rng(13);
+  for (int trial = 0; trial < 40; ++trial) {
+    const geom::Point q{rng.Uniform(2.0, 18.0), rng.Uniform(2.0, 18.0)};
+    SbnnOptions options;
+    options.k = 6;
+    options.accept_approximate = true;
+    options.min_correctness = 0.0;  // accept anything
+    const std::vector<PeerData> peers = {f.PeerWithRegion(
+        geom::Rect::CenteredSquare(q, rng.Uniform(1.0, 3.0)))};
+    const SbnnOutcome outcome =
+        RunSbnn(q, options, peers, f.poi_density, *f.system, 0);
+    if (outcome.resolved_by != ResolvedBy::kPeersApproximate) continue;
+    if (outcome.cacheable.region.empty()) continue;
+    // Completeness of whatever was claimed.
+    for (const spatial::Poi& p : f.system->pois()) {
+      if (!outcome.cacheable.region.Contains(p.pos)) continue;
+      EXPECT_TRUE(std::any_of(
+          outcome.cacheable.pois.begin(), outcome.cacheable.pois.end(),
+          [&p](const spatial::Poi& c) { return c.id == p.id; }))
+          << "trial " << trial;
+    }
+  }
+}
+
+TEST(SbnnTest, KGreaterThanDatabase) {
+  Fixture f(4);
+  SbnnOptions options;
+  options.k = 10;
+  const SbnnOutcome outcome =
+      RunSbnn({10.0, 10.0}, options, {}, f.poi_density, *f.system, 0);
+  EXPECT_EQ(outcome.resolved_by, ResolvedBy::kBroadcast);
+  EXPECT_EQ(outcome.neighbors.size(), 4u);
+}
+
+}  // namespace
+}  // namespace lbsq::core

@@ -1,0 +1,160 @@
+#include "core/sbwq.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "broadcast/system.h"
+#include "common/rng.h"
+#include "spatial/generators.h"
+
+namespace lbsq::core {
+namespace {
+
+const geom::Rect kWorld{0.0, 0.0, 20.0, 20.0};
+
+struct Fixture {
+  std::unique_ptr<broadcast::BroadcastSystem> system;
+
+  explicit Fixture(int n_pois, uint64_t seed = 1) {
+    Rng rng(seed);
+    broadcast::BroadcastParams params;
+    params.hilbert_order = 5;
+    system = std::make_unique<broadcast::BroadcastSystem>(
+        spatial::GenerateUniformPois(&rng, kWorld, n_pois), kWorld, params);
+  }
+
+  PeerData PeerWithRegion(geom::Rect region) const {
+    VerifiedRegion vr;
+    vr.region = region;
+    for (const spatial::Poi& p : system->pois()) {
+      if (region.Contains(p.pos)) vr.pois.push_back(p);
+    }
+    return PeerData{{vr}};
+  }
+};
+
+TEST(SbwqTest, WindowInsideMvrResolvedByPeers) {
+  Fixture f(300);
+  const geom::Rect window{8.0, 8.0, 12.0, 12.0};
+  const std::vector<PeerData> peers = {
+      f.PeerWithRegion(geom::Rect{5.0, 5.0, 15.0, 15.0})};
+  const SbwqOutcome outcome = RunSbwq(window, {}, peers, *f.system, 0);
+  EXPECT_TRUE(outcome.resolved_by_peers);
+  EXPECT_EQ(outcome.stats.access_latency, 0);
+  EXPECT_EQ(outcome.residual_fraction, 0.0);
+  EXPECT_EQ(outcome.pois, spatial::BruteForceWindow(f.system->pois(), window));
+}
+
+TEST(SbwqTest, WindowCoveredByMultiplePeersJointly) {
+  Fixture f(300);
+  const geom::Rect window{8.0, 8.0, 12.0, 12.0};
+  const std::vector<PeerData> peers = {
+      f.PeerWithRegion(geom::Rect{7.0, 7.0, 10.0, 13.0}),
+      f.PeerWithRegion(geom::Rect{10.0, 7.0, 13.0, 13.0})};
+  const SbwqOutcome outcome = RunSbwq(window, {}, peers, *f.system, 0);
+  EXPECT_TRUE(outcome.resolved_by_peers);
+  EXPECT_EQ(outcome.pois, spatial::BruteForceWindow(f.system->pois(), window));
+}
+
+TEST(SbwqTest, NoPeersFallsBackExactly) {
+  Fixture f(300);
+  const geom::Rect window{3.0, 5.0, 9.0, 11.0};
+  const SbwqOutcome outcome = RunSbwq(window, {}, {}, *f.system, 0);
+  EXPECT_FALSE(outcome.resolved_by_peers);
+  EXPECT_EQ(outcome.residual_fraction, 1.0);
+  EXPECT_GT(outcome.stats.access_latency, 0);
+  EXPECT_EQ(outcome.pois, spatial::BruteForceWindow(f.system->pois(), window));
+}
+
+TEST(SbwqTest, PartialCoverageStaysExact) {
+  Fixture f(400);
+  Rng rng(3);
+  for (int trial = 0; trial < 40; ++trial) {
+    const geom::Point a{rng.Uniform(0.0, 15.0), rng.Uniform(0.0, 15.0)};
+    const geom::Rect window{a.x, a.y, a.x + rng.Uniform(1.0, 5.0),
+                            a.y + rng.Uniform(1.0, 5.0)};
+    std::vector<PeerData> peers;
+    const int n_peers = static_cast<int>(rng.UniformInt(0, 4));
+    for (int p = 0; p < n_peers; ++p) {
+      const geom::Point c{rng.Uniform(0.0, 20.0), rng.Uniform(0.0, 20.0)};
+      peers.push_back(f.PeerWithRegion(
+          geom::Rect::CenteredSquare(c, rng.Uniform(0.5, 3.0))));
+    }
+    for (bool reduce : {true, false}) {
+      SbwqOptions options;
+      options.use_window_reduction = reduce;
+      const SbwqOutcome outcome =
+          RunSbwq(window, options, peers, *f.system, trial * 5);
+      EXPECT_EQ(outcome.pois,
+                spatial::BruteForceWindow(f.system->pois(), window))
+          << "trial " << trial << " reduce " << reduce;
+    }
+  }
+}
+
+TEST(SbwqTest, WindowReductionDownloadsNoMoreThanBaseline) {
+  Fixture f(400);
+  Rng rng(5);
+  int64_t reduced = 0;
+  int64_t unreduced = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    const geom::Point a{rng.Uniform(0.0, 14.0), rng.Uniform(0.0, 14.0)};
+    const geom::Rect window{a.x, a.y, a.x + 4.0, a.y + 4.0};
+    // Peer covers the window's left half.
+    const std::vector<PeerData> peers = {f.PeerWithRegion(
+        geom::Rect{a.x - 0.5, a.y - 0.5, a.x + 2.0, a.y + 4.5})};
+    SbwqOptions options;
+    options.use_window_reduction = true;
+    reduced +=
+        RunSbwq(window, options, peers, *f.system, 0).stats.buckets_read;
+    options.use_window_reduction = false;
+    unreduced +=
+        RunSbwq(window, options, peers, *f.system, 0).stats.buckets_read;
+  }
+  EXPECT_LE(reduced, unreduced);
+  EXPECT_LT(reduced, unreduced);  // it must help at least once
+}
+
+TEST(SbwqTest, ResidualFractionReflectsCoverage) {
+  Fixture f(100);
+  const geom::Rect window{0.0, 0.0, 4.0, 4.0};
+  // Peer covers exactly the left half.
+  const std::vector<PeerData> peers = {
+      f.PeerWithRegion(geom::Rect{0.0, 0.0, 2.0, 4.0})};
+  const SbwqOutcome outcome = RunSbwq(window, {}, peers, *f.system, 0);
+  EXPECT_NEAR(outcome.residual_fraction, 0.5, 1e-12);
+  ASSERT_EQ(outcome.residual_windows.size(), 1u);
+  EXPECT_EQ(outcome.residual_windows[0], (geom::Rect{2.0, 0.0, 4.0, 4.0}));
+}
+
+TEST(SbwqTest, CacheableEqualsWindowAnswer) {
+  Fixture f(250);
+  Rng rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    const geom::Point a{rng.Uniform(0.0, 16.0), rng.Uniform(0.0, 16.0)};
+    const geom::Rect window{a.x, a.y, a.x + 3.0, a.y + 3.0};
+    const SbwqOutcome outcome = RunSbwq(window, {}, {}, *f.system, 0);
+    EXPECT_EQ(outcome.cacheable.region, window);
+    EXPECT_EQ(outcome.cacheable.pois, outcome.pois);
+  }
+}
+
+TEST(SbwqTest, PartitionedRetrievalStaysExact) {
+  Fixture f(350);
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const geom::Point a{rng.Uniform(0.0, 14.0), rng.Uniform(0.0, 14.0)};
+    const geom::Rect window{a.x, a.y, a.x + rng.Uniform(2.0, 6.0),
+                            a.y + rng.Uniform(2.0, 6.0)};
+    SbwqOptions options;
+    options.retrieval = onair::WindowRetrieval::kPartitionedRanges;
+    const SbwqOutcome outcome = RunSbwq(window, options, {}, *f.system, 0);
+    EXPECT_EQ(outcome.pois,
+              spatial::BruteForceWindow(f.system->pois(), window));
+  }
+}
+
+}  // namespace
+}  // namespace lbsq::core

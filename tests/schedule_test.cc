@@ -1,0 +1,142 @@
+#include "broadcast/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace lbsq::broadcast {
+namespace {
+
+TEST(ScheduleTest, CycleLength) {
+  BroadcastSchedule s(/*num_data_buckets=*/100, /*index_buckets=*/5, /*m=*/4);
+  EXPECT_EQ(s.cycle_length(), 4 * 5 + 100);
+}
+
+TEST(ScheduleTest, OneCycleCoversEveryDataBucketOnce) {
+  BroadcastSchedule s(97, 3, 5);  // uneven chunking
+  std::set<int64_t> seen;
+  int64_t index_slots = 0;
+  for (int64_t t = 0; t < s.cycle_length(); ++t) {
+    const auto slot = s.SlotAt(t);
+    if (slot.kind == BroadcastSchedule::Slot::Kind::kIndex) {
+      ++index_slots;
+      EXPECT_GE(slot.value, 0);
+      EXPECT_LT(slot.value, 3);
+    } else {
+      EXPECT_TRUE(seen.insert(slot.value).second)
+          << "bucket " << slot.value << " repeated";
+    }
+  }
+  EXPECT_EQ(seen.size(), 97u);
+  EXPECT_EQ(index_slots, 3 * 5);
+}
+
+TEST(ScheduleTest, DataBucketsBroadcastInOrder) {
+  BroadcastSchedule s(50, 2, 3);
+  int64_t prev = -1;
+  for (int64_t t = 0; t < s.cycle_length(); ++t) {
+    const auto slot = s.SlotAt(t);
+    if (slot.kind == BroadcastSchedule::Slot::Kind::kData) {
+      EXPECT_EQ(slot.value, prev + 1);
+      prev = slot.value;
+    }
+  }
+  EXPECT_EQ(prev, 49);
+}
+
+TEST(ScheduleTest, ScheduleRepeatsAcrossCycles) {
+  BroadcastSchedule s(20, 2, 2);
+  for (int64_t t = 0; t < s.cycle_length(); ++t) {
+    const auto a = s.SlotAt(t);
+    const auto b = s.SlotAt(t + 3 * s.cycle_length());
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.value, b.value);
+  }
+}
+
+TEST(ScheduleTest, EachSegmentPrecedesItsChunk) {
+  // With m=4 over 40 buckets, each index segment must be immediately
+  // followed by its 10-bucket chunk.
+  BroadcastSchedule s(40, 3, 4);
+  for (int64_t j = 0; j < 4; ++j) {
+    const int64_t seg_start = j * (3 + 10);
+    for (int64_t i = 0; i < 3; ++i) {
+      EXPECT_EQ(s.SlotAt(seg_start + i).kind,
+                BroadcastSchedule::Slot::Kind::kIndex);
+    }
+    for (int64_t i = 0; i < 10; ++i) {
+      const auto slot = s.SlotAt(seg_start + 3 + i);
+      EXPECT_EQ(slot.kind, BroadcastSchedule::Slot::Kind::kData);
+      EXPECT_EQ(slot.value, j * 10 + i);
+    }
+  }
+}
+
+TEST(ScheduleTest, NextIndexSegmentStartBruteForce) {
+  BroadcastSchedule s(37, 2, 3);
+  auto brute = [&s](int64_t t) {
+    for (int64_t u = t;; ++u) {
+      if (s.SlotAt(u).kind == BroadcastSchedule::Slot::Kind::kIndex &&
+          s.SlotAt(u).value == 0) {
+        return u;
+      }
+    }
+  };
+  for (int64_t t = 0; t < 2 * s.cycle_length(); ++t) {
+    EXPECT_EQ(s.NextIndexSegmentStart(t), brute(t)) << "t=" << t;
+  }
+}
+
+TEST(ScheduleTest, NextBucketSlotBruteForce) {
+  BroadcastSchedule s(23, 2, 4);
+  auto brute = [&s](int64_t t, int64_t bucket) {
+    for (int64_t u = t;; ++u) {
+      const auto slot = s.SlotAt(u);
+      if (slot.kind == BroadcastSchedule::Slot::Kind::kData &&
+          slot.value == bucket) {
+        return u;
+      }
+    }
+  };
+  for (int64_t t = 0; t < s.cycle_length(); t += 3) {
+    for (int64_t bucket = 0; bucket < 23; bucket += 5) {
+      EXPECT_EQ(s.NextBucketSlot(t, bucket), brute(t, bucket))
+          << "t=" << t << " bucket=" << bucket;
+    }
+  }
+}
+
+TEST(ScheduleTest, NextBucketSlotIsNeverBeforeT) {
+  BroadcastSchedule s(31, 1, 2);
+  for (int64_t t = 0; t < 3 * s.cycle_length(); t += 7) {
+    for (int64_t bucket = 0; bucket < 31; bucket += 3) {
+      const int64_t slot = s.NextBucketSlot(t, bucket);
+      EXPECT_GE(slot, t);
+      EXPECT_LT(slot, t + s.cycle_length());
+      EXPECT_EQ(s.SlotAt(slot).value, bucket);
+    }
+  }
+}
+
+TEST(ScheduleTest, MEqualsOne) {
+  BroadcastSchedule s(10, 4, 1);
+  EXPECT_EQ(s.cycle_length(), 14);
+  EXPECT_EQ(s.NextIndexSegmentStart(0), 0);
+  EXPECT_EQ(s.NextIndexSegmentStart(1), 14);
+}
+
+TEST(ScheduleTest, MEqualsDataBuckets) {
+  // One data bucket per chunk.
+  BroadcastSchedule s(5, 1, 5);
+  std::vector<int64_t> data_slots;
+  for (int64_t t = 0; t < s.cycle_length(); ++t) {
+    if (s.SlotAt(t).kind == BroadcastSchedule::Slot::Kind::kData) {
+      data_slots.push_back(t);
+    }
+  }
+  EXPECT_EQ(data_slots, (std::vector<int64_t>{1, 3, 5, 7, 9}));
+}
+
+}  // namespace
+}  // namespace lbsq::broadcast

@@ -1,0 +1,73 @@
+#include "geom/segment.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace lbsq::geom {
+namespace {
+
+TEST(SegmentTest, Length) {
+  const Segment s{{0.0, 0.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(s.Length(), 5.0);
+}
+
+TEST(SegmentTest, DegenerateSegmentIsAPoint) {
+  const Segment s{{2.0, 2.0}, {2.0, 2.0}};
+  EXPECT_EQ(s.Length(), 0.0);
+  EXPECT_DOUBLE_EQ(s.DistanceTo({5.0, 6.0}), 5.0);
+}
+
+TEST(SegmentTest, DistancePerpendicularFoot) {
+  const Segment s{{0.0, 0.0}, {10.0, 0.0}};
+  EXPECT_DOUBLE_EQ(s.DistanceTo({5.0, 3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(s.DistanceTo({5.0, -3.0}), 3.0);
+}
+
+TEST(SegmentTest, DistanceClampsToEndpoints) {
+  const Segment s{{0.0, 0.0}, {10.0, 0.0}};
+  EXPECT_DOUBLE_EQ(s.DistanceTo({-3.0, 4.0}), 5.0);   // before a
+  EXPECT_DOUBLE_EQ(s.DistanceTo({13.0, -4.0}), 5.0);  // past b
+}
+
+TEST(SegmentTest, PointOnSegmentIsZero) {
+  const Segment s{{1.0, 1.0}, {5.0, 5.0}};
+  EXPECT_DOUBLE_EQ(s.DistanceTo({3.0, 3.0}), 0.0);
+  EXPECT_DOUBLE_EQ(s.DistanceTo({1.0, 1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(s.DistanceTo({5.0, 5.0}), 0.0);
+}
+
+TEST(SegmentTest, MatchesBruteForceSampling) {
+  Rng rng(9);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Segment s{{rng.Uniform(-5.0, 5.0), rng.Uniform(-5.0, 5.0)},
+                    {rng.Uniform(-5.0, 5.0), rng.Uniform(-5.0, 5.0)}};
+    const Point p{rng.Uniform(-8.0, 8.0), rng.Uniform(-8.0, 8.0)};
+    // Brute force: dense parameter sampling.
+    double best = 1e18;
+    for (int i = 0; i <= 2000; ++i) {
+      const double t = static_cast<double>(i) / 2000.0;
+      best = std::min(best, Distance(p, s.a + (s.b - s.a) * t));
+    }
+    EXPECT_NEAR(s.DistanceTo(p), best, 1e-3);
+    EXPECT_LE(s.DistanceTo(p), best + 1e-12);  // exact <= sampled
+  }
+}
+
+TEST(SegmentTest, SymmetricInEndpoints) {
+  Rng rng(10);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Point a{rng.Uniform(-5.0, 5.0), rng.Uniform(-5.0, 5.0)};
+    const Point b{rng.Uniform(-5.0, 5.0), rng.Uniform(-5.0, 5.0)};
+    const Point p{rng.Uniform(-8.0, 8.0), rng.Uniform(-8.0, 8.0)};
+    const Segment forward{a, b};
+    const Segment backward{b, a};
+    // Symmetric up to floating-point rounding of the projection parameter.
+    EXPECT_NEAR(forward.DistanceTo(p), backward.DistanceTo(p), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace lbsq::geom

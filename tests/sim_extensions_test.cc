@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "sim/config.h"
+#include "sim/simulator.h"
+
+/// Tests for the simulator extensions beyond the paper's base setup:
+/// Manhattan-grid mobility, multi-hop peer discovery, the paper-geometry
+/// window scaling, and the unsound collective-MBR cache policy ablation.
+
+namespace lbsq::sim {
+namespace {
+
+SimConfig SmallConfig(QueryType type) {
+  SimConfig config;
+  config.params = LosAngelesCity();
+  config.query_type = type;
+  config.world_side_mi = 1.0;
+  config.warmup_min = 10.0;
+  config.duration_min = 10.0;
+  config.seed = 7;
+  return config;
+}
+
+TEST(SimExtensionsTest, ManhattanMobilityRunsChecked) {
+  SimConfig config = SmallConfig(QueryType::kKnn);
+  config.mobility = MobilityType::kManhattanGrid;
+  config.check_answers = true;
+  config.check_cache_invariant = true;
+  Simulator sim(config);
+  const SimMetrics metrics = sim.Run();
+  EXPECT_GT(metrics.queries, 50);
+  EXPECT_EQ(metrics.answer_errors, 0);
+}
+
+TEST(SimExtensionsTest, MultiHopReachesMorePeers) {
+  SimConfig config = SmallConfig(QueryType::kKnn);
+  config.params.tx_range_m = 60.0;  // sparse single-hop neighborhoods
+  Simulator one_hop(config);
+  const double peers1 = one_hop.Run().peers_per_query.mean();
+  config.p2p_hops = 3;
+  Simulator three_hop(config);
+  const double peers3 = three_hop.Run().peers_per_query.mean();
+  EXPECT_GT(peers3, peers1);
+}
+
+TEST(SimExtensionsTest, MultiHopImprovesSharing) {
+  SimConfig config = SmallConfig(QueryType::kKnn);
+  config.params.tx_range_m = 60.0;
+  Simulator one_hop(config);
+  const SimMetrics m1 = one_hop.Run();
+  config.p2p_hops = 3;
+  Simulator three_hop(config);
+  const SimMetrics m3 = three_hop.Run();
+  EXPECT_GE(m3.solved_verified + m3.solved_approximate,
+            m1.solved_verified + m1.solved_approximate);
+}
+
+TEST(SimExtensionsTest, MultiHopStaysSound) {
+  SimConfig config = SmallConfig(QueryType::kKnn);
+  config.p2p_hops = 2;
+  config.check_answers = true;
+  Simulator sim(config);
+  EXPECT_EQ(sim.Run().answer_errors, 0);
+}
+
+TEST(SimExtensionsTest, PaperWindowGeometryKeepsPoiCount) {
+  SimConfig config = SmallConfig(QueryType::kWindow);
+  config.paper_window_geometry = true;
+  EXPECT_EQ(config.ScaledPoiCount(), 2750);
+  config.paper_window_geometry = false;
+  EXPECT_LT(config.ScaledPoiCount(), 100);
+}
+
+TEST(SimExtensionsTest, PaperWindowGeometryRunsChecked) {
+  SimConfig config = SmallConfig(QueryType::kWindow);
+  config.paper_window_geometry = true;
+  config.warmup_min = 5.0;
+  config.duration_min = 5.0;
+  config.check_answers = true;
+  Simulator sim(config);
+  const SimMetrics metrics = sim.Run();
+  EXPECT_GT(metrics.queries, 10);
+  EXPECT_EQ(metrics.answer_errors, 0);
+}
+
+TEST(SimExtensionsTest, SoundPolicyNeverErrs) {
+  for (QueryType type : {QueryType::kKnn, QueryType::kWindow}) {
+    SimConfig config = SmallConfig(type);
+    config.cache_policy = core::CachePolicy::kSoundShrink;
+    Simulator sim(config);
+    EXPECT_EQ(sim.Run().answer_errors, 0);
+  }
+}
+
+TEST(SimExtensionsTest, CollectiveMbrPolicyRuns) {
+  // The unsound policy must not crash; errors are counted, not asserted.
+  SimConfig config = SmallConfig(QueryType::kWindow);
+  config.paper_window_geometry = true;
+  config.warmup_min = 5.0;
+  config.duration_min = 5.0;
+  config.cache_policy = core::CachePolicy::kCollectiveMbr;
+  Simulator sim(config);
+  const SimMetrics metrics = sim.Run();
+  EXPECT_GE(metrics.answer_errors, 0);
+  EXPECT_GT(metrics.queries, 10);
+}
+
+TEST(SimExtensionsTest, ApproxExactCounterBounded) {
+  SimConfig config = SmallConfig(QueryType::kKnn);
+  Simulator sim(config);
+  const SimMetrics metrics = sim.Run();
+  EXPECT_LE(metrics.approx_exact, metrics.solved_approximate);
+}
+
+}  // namespace
+}  // namespace lbsq::sim

@@ -1,0 +1,100 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/config.h"
+
+namespace lbsq::sim {
+namespace {
+
+// A small but live configuration: dense enough that all three resolution
+// paths occur, tiny enough to run in milliseconds.
+SimConfig SmallConfig(QueryType type) {
+  SimConfig config;
+  config.params = LosAngelesCity();
+  config.query_type = type;
+  config.world_side_mi = 1.0;
+  config.warmup_min = 10.0;
+  config.duration_min = 10.0;
+  config.seed = 7;
+  return config;
+}
+
+TEST(SimulatorTest, KnnRunProducesConsistentBreakdown) {
+  Simulator sim(SmallConfig(QueryType::kKnn));
+  const SimMetrics metrics = sim.Run();
+  EXPECT_GT(metrics.queries, 50);
+  EXPECT_EQ(metrics.solved_verified + metrics.solved_approximate +
+                metrics.solved_broadcast,
+            metrics.queries);
+  EXPECT_NEAR(metrics.PctVerified() + metrics.PctApproximate() +
+                  metrics.PctBroadcast(),
+              100.0, 1e-9);
+}
+
+TEST(SimulatorTest, WindowRunProducesConsistentBreakdown) {
+  Simulator sim(SmallConfig(QueryType::kWindow));
+  const SimMetrics metrics = sim.Run();
+  EXPECT_GT(metrics.queries, 50);
+  EXPECT_EQ(metrics.solved_approximate, 0);  // windows are never approximate
+  EXPECT_EQ(metrics.solved_verified + metrics.solved_broadcast,
+            metrics.queries);
+  EXPECT_GE(metrics.residual_fraction.mean(), 0.0);
+  EXPECT_LE(metrics.residual_fraction.mean(), 1.0);
+}
+
+TEST(SimulatorTest, DeterministicGivenSeed) {
+  const SimConfig config = SmallConfig(QueryType::kKnn);
+  Simulator a(config);
+  Simulator b(config);
+  const SimMetrics ma = a.Run();
+  const SimMetrics mb = b.Run();
+  EXPECT_EQ(ma.queries, mb.queries);
+  EXPECT_EQ(ma.solved_verified, mb.solved_verified);
+  EXPECT_EQ(ma.solved_approximate, mb.solved_approximate);
+  EXPECT_EQ(ma.solved_broadcast, mb.solved_broadcast);
+  EXPECT_DOUBLE_EQ(ma.broadcast_latency.sum(), mb.broadcast_latency.sum());
+}
+
+TEST(SimulatorTest, DifferentSeedsDiffer) {
+  SimConfig config = SmallConfig(QueryType::kKnn);
+  Simulator a(config);
+  config.seed = 8;
+  Simulator b(config);
+  EXPECT_NE(a.Run().queries, b.Run().queries);
+}
+
+TEST(SimulatorTest, SharingReducesMeanLatencyVersusBaseline) {
+  Simulator sim(SmallConfig(QueryType::kKnn));
+  const SimMetrics metrics = sim.Run();
+  // The headline effect: averaged over all queries (peer-resolved count as
+  // zero), sharing must beat the always-on-air baseline.
+  EXPECT_LT(metrics.MeanLatencyAllQueries(), metrics.baseline_latency.mean());
+}
+
+TEST(SimulatorTest, SomeQueriesResolvedByPeersInDenseWorld) {
+  Simulator sim(SmallConfig(QueryType::kKnn));
+  const SimMetrics metrics = sim.Run();
+  EXPECT_GT(metrics.solved_verified + metrics.solved_approximate, 0);
+  EXPECT_GT(metrics.peers_per_query.mean(), 1.0);
+}
+
+TEST(SimulatorTest, TinyTransmissionRangeForcesBroadcast) {
+  SimConfig config = SmallConfig(QueryType::kKnn);
+  config.params.tx_range_m = 1.0;  // nobody in range
+  Simulator sim(config);
+  const SimMetrics metrics = sim.Run();
+  EXPECT_EQ(metrics.solved_verified + metrics.solved_approximate, 0);
+  EXPECT_EQ(metrics.solved_broadcast, metrics.queries);
+}
+
+TEST(SimulatorTest, CachesPopulateDuringRun) {
+  Simulator sim(SmallConfig(QueryType::kKnn));
+  sim.Run();
+  int64_t cached = 0;
+  for (const auto& cache : sim.caches()) cached += cache.TotalPois();
+  EXPECT_GT(cached, 0);
+}
+
+}  // namespace
+}  // namespace lbsq::sim

@@ -1,0 +1,87 @@
+#include "broadcast/system.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "spatial/generators.h"
+
+namespace lbsq::broadcast {
+namespace {
+
+const geom::Rect kWorld{0.0, 0.0, 16.0, 16.0};
+
+TEST(BroadcastSystemTest, ComponentsAreConsistent) {
+  Rng rng(1);
+  BroadcastParams params;
+  params.bucket_capacity = 8;
+  BroadcastSystem system(spatial::GenerateUniformPois(&rng, kWorld, 200),
+                         kWorld, params);
+  EXPECT_EQ(system.pois().size(), 200u);
+  EXPECT_EQ(system.buckets().size(), 25u);
+  EXPECT_EQ(system.index().entries().size(), 200u);
+  EXPECT_EQ(system.schedule().num_data_buckets(), 25);
+  EXPECT_EQ(system.schedule().index_buckets(), system.index().SizeInBuckets());
+  EXPECT_EQ(system.params().bucket_capacity, 8);
+}
+
+TEST(BroadcastSystemTest, EmptyDatabaseStillBuildsAChannel) {
+  BroadcastSystem system({}, kWorld, BroadcastParams{});
+  EXPECT_EQ(system.buckets().size(), 1u);
+  EXPECT_GE(system.schedule().cycle_length(), 2);
+}
+
+TEST(BroadcastSystemTest, MClampedToBucketCount) {
+  Rng rng(2);
+  BroadcastParams params;
+  params.m = 64;  // far more than the handful of buckets
+  BroadcastSystem system(spatial::GenerateUniformPois(&rng, kWorld, 20),
+                         kWorld, params);
+  EXPECT_LE(system.schedule().m(),
+            static_cast<int>(system.buckets().size()));
+}
+
+TEST(BroadcastSystemTest, CollectPoisGathersAndDeduplicates) {
+  Rng rng(3);
+  BroadcastSystem system(spatial::GenerateUniformPois(&rng, kWorld, 100),
+                         kWorld, BroadcastParams{});
+  std::vector<int64_t> all;
+  for (const DataBucket& b : system.buckets()) all.push_back(b.id);
+  // Duplicates in the request must not duplicate results.
+  std::vector<int64_t> doubled = all;
+  doubled.insert(doubled.end(), all.begin(), all.end());
+  const auto pois = system.CollectPois(doubled);
+  EXPECT_EQ(pois.size(), 100u);
+  std::set<int64_t> ids;
+  for (const auto& p : pois) ids.insert(p.id);
+  EXPECT_EQ(ids.size(), 100u);
+}
+
+TEST(BroadcastSystemTest, CollectPoisEmptyRequest) {
+  Rng rng(4);
+  BroadcastSystem system(spatial::GenerateUniformPois(&rng, kWorld, 50),
+                         kWorld, BroadcastParams{});
+  EXPECT_TRUE(system.CollectPois({}).empty());
+}
+
+TEST(BroadcastSystemDeathTest, CollectPoisRejectsBadBucketId) {
+  Rng rng(5);
+  BroadcastSystem system(spatial::GenerateUniformPois(&rng, kWorld, 50),
+                         kWorld, BroadcastParams{});
+  EXPECT_DEATH(system.CollectPois({9999}), "LBSQ_CHECK");
+}
+
+TEST(BroadcastSystemTest, EveryPoiReachableThroughSomeBucket) {
+  Rng rng(6);
+  BroadcastSystem system(spatial::GenerateUniformPois(&rng, kWorld, 150),
+                         kWorld, BroadcastParams{});
+  std::set<int64_t> seen;
+  for (const DataBucket& bucket : system.buckets()) {
+    for (const auto& poi : bucket.pois) seen.insert(poi.id);
+  }
+  EXPECT_EQ(seen.size(), 150u);
+}
+
+}  // namespace
+}  // namespace lbsq::broadcast

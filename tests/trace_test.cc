@@ -1,0 +1,149 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "sim/simulator.h"
+
+namespace lbsq::sim {
+namespace {
+
+std::vector<QueryEvent> SampleEvents() {
+  std::vector<QueryEvent> events;
+  QueryEvent knn;
+  knn.time_min = 1.25;
+  knn.host = 42;
+  knn.type = QueryType::kKnn;
+  knn.k = 5;
+  events.push_back(knn);
+  QueryEvent window;
+  window.time_min = 2.5;
+  window.host = 7;
+  window.type = QueryType::kWindow;
+  window.window = geom::Rect{0.1, 0.2, 0.3, 0.4};
+  events.push_back(window);
+  return events;
+}
+
+TEST(TraceTest, SerializeParseRoundTrip) {
+  const auto events = SampleEvents();
+  std::vector<QueryEvent> parsed;
+  ASSERT_TRUE(ParseTrace(SerializeTrace(events), &parsed));
+  ASSERT_EQ(parsed.size(), events.size());
+  EXPECT_EQ(parsed[0], events[0]);
+  EXPECT_EQ(parsed[1], events[1]);
+}
+
+TEST(TraceTest, RoundTripPreservesExactDoubles) {
+  std::vector<QueryEvent> events;
+  QueryEvent e;
+  e.time_min = 0.1 + 0.2;  // not exactly representable as decimal text
+  e.host = 1;
+  e.type = QueryType::kKnn;
+  e.k = 3;
+  events.push_back(e);
+  std::vector<QueryEvent> parsed;
+  ASSERT_TRUE(ParseTrace(SerializeTrace(events), &parsed));
+  EXPECT_EQ(parsed[0].time_min, events[0].time_min);  // bit-exact
+}
+
+TEST(TraceTest, RejectsBadHeader) {
+  std::vector<QueryEvent> parsed;
+  EXPECT_FALSE(ParseTrace("nonsense\nK 0x1p+0 1 3\n", &parsed));
+}
+
+TEST(TraceTest, RejectsMalformedLines) {
+  std::vector<QueryEvent> parsed;
+  EXPECT_FALSE(ParseTrace("lbsq-trace v1\nX 1 2 3\n", &parsed));
+  EXPECT_FALSE(ParseTrace("lbsq-trace v1\nK 1.0 5\n", &parsed));
+  EXPECT_FALSE(ParseTrace("lbsq-trace v1\nK 1.0 -2 3\n", &parsed));
+  EXPECT_FALSE(ParseTrace("lbsq-trace v1\nK 1.0 2 0\n", &parsed));
+}
+
+TEST(TraceTest, EmptyTrace) {
+  std::vector<QueryEvent> parsed;
+  ASSERT_TRUE(ParseTrace(SerializeTrace({}), &parsed));
+  EXPECT_TRUE(parsed.empty());
+}
+
+TEST(TraceTest, SaveLoadRoundTrip) {
+  const auto events = SampleEvents();
+  const std::string path = testing::TempDir() + "/lbsq_trace_test.txt";
+  ASSERT_TRUE(SaveTrace(path, events));
+  std::vector<QueryEvent> loaded;
+  ASSERT_TRUE(LoadTrace(path, &loaded));
+  EXPECT_EQ(loaded.size(), events.size());
+  EXPECT_EQ(loaded[0], events[0]);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, LoadMissingFileFails) {
+  std::vector<QueryEvent> loaded;
+  EXPECT_FALSE(LoadTrace("/nonexistent/path/trace.txt", &loaded));
+}
+
+SimConfig SmallConfig(QueryType type) {
+  SimConfig config;
+  config.params = LosAngelesCity();
+  config.query_type = type;
+  config.world_side_mi = 1.0;
+  config.warmup_min = 6.0;
+  config.duration_min = 6.0;
+  config.seed = 31;
+  return config;
+}
+
+TEST(TraceReplayTest, ReplayReproducesRunExactly) {
+  for (QueryType type :
+       {QueryType::kKnn, QueryType::kWindow, QueryType::kMixed}) {
+    SimConfig config = SmallConfig(type);
+    config.record_trace = true;
+    Simulator recorder(config);
+    const SimMetrics recorded = recorder.Run();
+    ASSERT_GT(recorder.trace().size(), 0u);
+
+    Simulator replayer(config);
+    const SimMetrics replayed = replayer.Replay(recorder.trace());
+    EXPECT_EQ(replayed.queries, recorded.queries);
+    EXPECT_EQ(replayed.solved_verified, recorded.solved_verified);
+    EXPECT_EQ(replayed.solved_approximate, recorded.solved_approximate);
+    EXPECT_EQ(replayed.solved_broadcast, recorded.solved_broadcast);
+    EXPECT_DOUBLE_EQ(replayed.broadcast_latency.sum(),
+                     recorded.broadcast_latency.sum());
+  }
+}
+
+TEST(TraceReplayTest, ReplayThroughTextRoundTrip) {
+  SimConfig config = SmallConfig(QueryType::kKnn);
+  config.record_trace = true;
+  Simulator recorder(config);
+  const SimMetrics recorded = recorder.Run();
+
+  std::vector<QueryEvent> reloaded;
+  ASSERT_TRUE(ParseTrace(SerializeTrace(recorder.trace()), &reloaded));
+  Simulator replayer(config);
+  const SimMetrics replayed = replayer.Replay(reloaded);
+  EXPECT_EQ(replayed.solved_verified, recorded.solved_verified);
+  EXPECT_EQ(replayed.solved_broadcast, recorded.solved_broadcast);
+}
+
+TEST(TraceReplayTest, AlgorithmVariantsOnIdenticalWorkload) {
+  // The point of traces: compare configurations on exactly the same
+  // queries. Disable filtering on the replay and verify the workload is
+  // identical while the costs differ.
+  SimConfig config = SmallConfig(QueryType::kKnn);
+  config.record_trace = true;
+  Simulator recorder(config);
+  const SimMetrics baseline = recorder.Run();
+
+  SimConfig variant = config;
+  variant.use_filtering = false;
+  Simulator replayer(variant);
+  const SimMetrics unfiltered = replayer.Replay(recorder.trace());
+  EXPECT_EQ(unfiltered.queries, baseline.queries);
+  EXPECT_NE(unfiltered.buckets_read.sum(), baseline.buckets_read.sum());
+}
+
+}  // namespace
+}  // namespace lbsq::sim

@@ -1,0 +1,158 @@
+#include "broadcast/tree_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "broadcast/system.h"
+#include "common/rng.h"
+#include "onair/onair_knn.h"
+#include "onair/onair_window.h"
+#include "spatial/generators.h"
+
+namespace lbsq::broadcast {
+namespace {
+
+std::vector<AirIndex::Entry> MakeEntries(int n, uint64_t step = 3) {
+  std::vector<AirIndex::Entry> entries;
+  for (int i = 0; i < n; ++i) {
+    entries.push_back(
+        AirIndex::Entry{static_cast<uint64_t>(i) * step, i / 8});
+  }
+  return entries;
+}
+
+TEST(TreeAirIndexTest, EmptyDirectory) {
+  TreeAirIndex tree({}, 8);
+  EXPECT_EQ(tree.SizeInBuckets(), 1);
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_EQ(tree.ReadCostForRanges({{0, 100}}), 1);
+}
+
+TEST(TreeAirIndexTest, SingleLeaf) {
+  TreeAirIndex tree(MakeEntries(5), 8);
+  EXPECT_EQ(tree.SizeInBuckets(), 1);
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_EQ(tree.IndexBucketsForSpan(0, 100), (std::vector<int64_t>{0}));
+}
+
+TEST(TreeAirIndexTest, HeightGrowsLogarithmically) {
+  EXPECT_EQ(TreeAirIndex(MakeEntries(8), 8).height(), 1);
+  EXPECT_EQ(TreeAirIndex(MakeEntries(9), 8).height(), 2);
+  EXPECT_EQ(TreeAirIndex(MakeEntries(64), 8).height(), 2);
+  EXPECT_EQ(TreeAirIndex(MakeEntries(65), 8).height(), 3);
+  EXPECT_EQ(TreeAirIndex(MakeEntries(512), 8).height(), 3);
+}
+
+TEST(TreeAirIndexTest, PointLookupCostsOnePathAndRootIsFirst) {
+  TreeAirIndex tree(MakeEntries(512), 8);  // height 3
+  for (uint64_t key : {0ull, 511ull * 3, 300ull}) {
+    const auto path = tree.IndexBucketsForSpan(key, key);
+    EXPECT_EQ(path.size(), 3u) << key;
+    EXPECT_EQ(path.front(), 0);  // root is broadcast first
+    // BFS order: each path node's offset increases with depth.
+    EXPECT_TRUE(std::is_sorted(path.begin(), path.end()));
+  }
+}
+
+TEST(TreeAirIndexTest, MissCostsRootOnly) {
+  TreeAirIndex tree(MakeEntries(64, /*step=*/10), 8);
+  // Keys are multiples of 10; span (1..9) between entries still descends to
+  // the leaf that could contain it or prunes — cost must be small and >= 1.
+  const int64_t cost = tree.ReadCostForRanges({{1000000, 2000000}});
+  EXPECT_EQ(cost, 1);  // outside the root's range entirely
+}
+
+TEST(TreeAirIndexTest, SpanCostsSharedPrefixOnce) {
+  TreeAirIndex tree(MakeEntries(512), 8);
+  const auto single = tree.IndexBucketsForSpan(0, 0);
+  const auto wide = tree.IndexBucketsForSpan(0, 511 * 3);
+  EXPECT_EQ(wide.size(), 1u + 8u + 64u);  // whole tree
+  EXPECT_LT(single.size(), wide.size());
+  // Two adjacent point lookups share root and possibly internal nodes.
+  const int64_t joint = tree.ReadCostForRanges({{0, 0}, {3, 3}});
+  EXPECT_LE(joint, 2 * 3 - 1);  // root shared at minimum
+}
+
+TEST(TreeAirIndexTest, SpanCoversExactlyIntersectingLeaves) {
+  const auto entries = MakeEntries(200, 5);
+  TreeAirIndex tree(entries, 8);
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const uint64_t a = rng.NextBelow(1100);
+    const uint64_t b = rng.NextBelow(1100);
+    const uint64_t lo = std::min(a, b);
+    const uint64_t hi = std::max(a, b);
+    const auto visited = tree.IndexBucketsForSpan(lo, hi);
+    // Brute force: leaves are consecutive 8-entry chunks; count chunks whose
+    // key range intersects [lo, hi].
+    int64_t expected_leaves = 0;
+    for (size_t start = 0; start < entries.size(); start += 8) {
+      const size_t end = std::min(start + 8, entries.size());
+      if (entries[start].hilbert <= hi && entries[end - 1].hilbert >= lo) {
+        ++expected_leaves;
+      }
+    }
+    // Visited = leaves + their ancestors; at least `expected_leaves`, and
+    // every leaf bucket in `visited` must intersect the span.
+    int64_t visited_leaves = 0;
+    const int64_t first_leaf_offset =
+        tree.SizeInBuckets() -
+        static_cast<int64_t>((entries.size() + 7) / 8);
+    for (int64_t offset : visited) {
+      if (offset >= first_leaf_offset) ++visited_leaves;
+    }
+    EXPECT_EQ(visited_leaves, expected_leaves) << "span " << lo << ".." << hi;
+  }
+}
+
+TEST(TreeIndexSystemTest, TreeReducesTuningNotCorrectness) {
+  const geom::Rect world{0.0, 0.0, 20.0, 20.0};
+  Rng rng(5);
+  const auto pois = spatial::GenerateUniformPois(&rng, world, 1500);
+
+  BroadcastParams flat_params;
+  BroadcastParams tree_params;
+  tree_params.index_kind = IndexKind::kTree;
+  BroadcastSystem flat(pois, world, flat_params);
+  BroadcastSystem tree(pois, world, tree_params);
+  EXPECT_EQ(tree.tree_index()->height(), 2);
+
+  int64_t flat_tuning = 0;
+  int64_t tree_tuning = 0;
+  Rng qrng(6);
+  for (int trial = 0; trial < 30; ++trial) {
+    const geom::Point q{qrng.Uniform(0.0, 20.0), qrng.Uniform(0.0, 20.0)};
+    const auto flat_result = onair::OnAirKnn(flat, q, 5, trial * 7);
+    const auto tree_result = onair::OnAirKnn(tree, q, 5, trial * 7);
+    // Identical answers.
+    ASSERT_EQ(flat_result.neighbors.size(), tree_result.neighbors.size());
+    for (size_t i = 0; i < flat_result.neighbors.size(); ++i) {
+      EXPECT_EQ(flat_result.neighbors[i].poi.id,
+                tree_result.neighbors[i].poi.id);
+    }
+    flat_tuning += flat_result.stats.tuning_time;
+    tree_tuning += tree_result.stats.tuning_time;
+  }
+  EXPECT_LT(tree_tuning, flat_tuning);
+}
+
+TEST(TreeIndexSystemTest, WindowQueriesExactUnderTreeIndex) {
+  const geom::Rect world{0.0, 0.0, 20.0, 20.0};
+  Rng rng(7);
+  const auto pois = spatial::GenerateUniformPois(&rng, world, 800);
+  BroadcastParams params;
+  params.index_kind = IndexKind::kTree;
+  BroadcastSystem system(pois, world, params);
+  for (int trial = 0; trial < 20; ++trial) {
+    const geom::Point a{rng.Uniform(0.0, 15.0), rng.Uniform(0.0, 15.0)};
+    const geom::Rect window{a.x, a.y, a.x + 4.0, a.y + 4.0};
+    const auto result = onair::OnAirWindow(system, window, trial);
+    EXPECT_EQ(result.pois, spatial::BruteForceWindow(pois, window));
+    EXPECT_LE(result.stats.tuning_time, result.stats.access_latency);
+  }
+}
+
+}  // namespace
+}  // namespace lbsq::broadcast

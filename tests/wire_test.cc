@@ -1,0 +1,184 @@
+#include "broadcast/wire.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "hilbert/hilbert.h"
+#include "spatial/generators.h"
+
+namespace lbsq::broadcast {
+namespace {
+
+DataBucket SampleBucket(int n_pois, uint64_t seed = 1) {
+  const geom::Rect world{0.0, 0.0, 16.0, 16.0};
+  hilbert::HilbertGrid grid(world, 4);
+  Rng rng(seed);
+  const auto pois = spatial::GenerateUniformPois(&rng, world, n_pois);
+  auto buckets = BuildBuckets(pois, grid, n_pois > 0 ? n_pois : 1);
+  return buckets.front();
+}
+
+TEST(WireVarintTest, RoundTripEdgeValues) {
+  for (uint64_t value :
+       {0ull, 1ull, 127ull, 128ull, 16383ull, 16384ull, 0xffffffffull,
+        0x7fffffffffffffffull, 0xffffffffffffffffull}) {
+    ByteWriter writer;
+    writer.PutVarint(value);
+    ByteReader reader(writer.bytes().data(), writer.bytes().size());
+    EXPECT_EQ(reader.GetVarint(), value);
+    EXPECT_TRUE(reader.ok());
+    EXPECT_EQ(reader.remaining(), 0u);
+  }
+}
+
+TEST(WireVarintTest, TruncatedVarintFails) {
+  ByteWriter writer;
+  writer.PutVarint(1ull << 40);
+  ByteReader reader(writer.bytes().data(), writer.bytes().size() - 2);
+  reader.GetVarint();
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(WireDoubleTest, RoundTripSpecials) {
+  for (double value : {0.0, -0.0, 1.5, -3.25e100, 1e-300}) {
+    ByteWriter writer;
+    writer.PutDouble(value);
+    ByteReader reader(writer.bytes().data(), writer.bytes().size());
+    EXPECT_EQ(reader.GetDouble(), value);
+  }
+}
+
+TEST(WireBucketTest, RoundTrip) {
+  const DataBucket bucket = SampleBucket(23);
+  const auto bytes = EncodeBucket(bucket);
+  DataBucket decoded;
+  ASSERT_TRUE(DecodeBucket(bytes.data(), bytes.size(), &decoded));
+  EXPECT_EQ(decoded.id, bucket.id);
+  EXPECT_EQ(decoded.hilbert_lo, bucket.hilbert_lo);
+  EXPECT_EQ(decoded.hilbert_hi, bucket.hilbert_hi);
+  EXPECT_EQ(decoded.mbr, bucket.mbr);
+  ASSERT_EQ(decoded.pois.size(), bucket.pois.size());
+  for (size_t i = 0; i < bucket.pois.size(); ++i) {
+    EXPECT_EQ(decoded.pois[i], bucket.pois[i]);
+  }
+}
+
+TEST(WireBucketTest, EmptyBucketRoundTrip) {
+  DataBucket bucket;
+  const auto bytes = EncodeBucket(bucket);
+  DataBucket decoded;
+  decoded.pois.push_back(spatial::Poi{});  // must be cleared by decode
+  ASSERT_TRUE(DecodeBucket(bytes.data(), bytes.size(), &decoded));
+  EXPECT_TRUE(decoded.pois.empty());
+}
+
+TEST(WireBucketTest, WireSizeMatchesEncoding) {
+  for (int n : {0, 1, 8, 100}) {
+    const DataBucket bucket = SampleBucket(n, 7 + static_cast<uint64_t>(n));
+    EXPECT_EQ(BucketWireSize(bucket),
+              static_cast<int64_t>(EncodeBucket(bucket).size()));
+  }
+}
+
+TEST(WireBucketTest, RejectsBadMagic) {
+  auto bytes = EncodeBucket(SampleBucket(3));
+  bytes[0] = 'X';
+  DataBucket decoded;
+  EXPECT_FALSE(DecodeBucket(bytes.data(), bytes.size(), &decoded));
+}
+
+TEST(WireBucketTest, RejectsBadVersion) {
+  auto bytes = EncodeBucket(SampleBucket(3));
+  bytes[4] = kWireVersion + 1;
+  DataBucket decoded;
+  EXPECT_FALSE(DecodeBucket(bytes.data(), bytes.size(), &decoded));
+}
+
+TEST(WireBucketTest, RejectsEveryTruncation) {
+  const auto bytes = EncodeBucket(SampleBucket(5));
+  DataBucket decoded;
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_FALSE(DecodeBucket(bytes.data(), cut, &decoded))
+        << "accepted truncation at " << cut;
+  }
+}
+
+TEST(WireBucketTest, RejectsTrailingGarbage) {
+  auto bytes = EncodeBucket(SampleBucket(4));
+  bytes.push_back(0x00);
+  DataBucket decoded;
+  EXPECT_FALSE(DecodeBucket(bytes.data(), bytes.size(), &decoded));
+}
+
+TEST(WireBucketTest, RejectsAbsurdPoiCount) {
+  // Hand-craft a header claiming 2^40 POIs in a tiny buffer.
+  ByteWriter writer;
+  const uint8_t magic[4] = {'L', 'B', 'Q', 'B'};
+  writer.PutBytes(magic, 4);
+  writer.PutU8(kWireVersion);
+  writer.PutVarint(0);  // id
+  writer.PutVarint(0);  // lo
+  writer.PutVarint(0);  // hi
+  for (int i = 0; i < 4; ++i) writer.PutDouble(0.0);
+  writer.PutVarint(1ull << 40);
+  DataBucket decoded;
+  EXPECT_FALSE(
+      DecodeBucket(writer.bytes().data(), writer.bytes().size(), &decoded));
+}
+
+TEST(WireIndexTest, RoundTrip) {
+  std::vector<AirIndex::Entry> entries;
+  for (int i = 0; i < 200; ++i) {
+    entries.push_back(AirIndex::Entry{static_cast<uint64_t>(i * 37), i / 8});
+  }
+  const auto bytes = EncodeIndexSegment(entries);
+  std::vector<AirIndex::Entry> decoded;
+  ASSERT_TRUE(DecodeIndexSegment(bytes.data(), bytes.size(), &decoded));
+  ASSERT_EQ(decoded.size(), entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(decoded[i].hilbert, entries[i].hilbert);
+    EXPECT_EQ(decoded[i].bucket, entries[i].bucket);
+  }
+}
+
+TEST(WireIndexTest, RejectsFlippedBit) {
+  std::vector<AirIndex::Entry> entries = {{5, 0}, {9, 1}};
+  auto bytes = EncodeIndexSegment(entries);
+  bytes[1] ^= 0xff;  // corrupt the magic
+  std::vector<AirIndex::Entry> decoded;
+  EXPECT_FALSE(DecodeIndexSegment(bytes.data(), bytes.size(), &decoded));
+}
+
+TEST(WireIndexTest, EmptySegment) {
+  const auto bytes = EncodeIndexSegment({});
+  std::vector<AirIndex::Entry> decoded;
+  ASSERT_TRUE(DecodeIndexSegment(bytes.data(), bytes.size(), &decoded));
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(WireFuzzTest, RandomBytesNeverCrash) {
+  Rng rng(99);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<uint8_t> junk(rng.NextBelow(200));
+    for (auto& b : junk) b = static_cast<uint8_t>(rng.NextBelow(256));
+    DataBucket bucket;
+    DecodeBucket(junk.data(), junk.size(), &bucket);
+    std::vector<AirIndex::Entry> entries;
+    DecodeIndexSegment(junk.data(), junk.size(), &entries);
+  }
+}
+
+TEST(WireFuzzTest, MutatedValidBucketsNeverCrash) {
+  Rng rng(101);
+  const auto bytes = EncodeBucket(SampleBucket(12));
+  for (int trial = 0; trial < 2000; ++trial) {
+    auto mutated = bytes;
+    const size_t where = rng.NextBelow(mutated.size());
+    mutated[where] = static_cast<uint8_t>(rng.NextBelow(256));
+    DataBucket bucket;
+    DecodeBucket(mutated.data(), mutated.size(), &bucket);  // must not crash
+  }
+}
+
+}  // namespace
+}  // namespace lbsq::broadcast

@@ -1,0 +1,118 @@
+// lbsq_inspect — dumps the broadcast-channel organization a given POI
+// workload produces: bucketization, air-index shape (flat and tree), cycle
+// layout, wire sizes, and the expected client costs from the analytic
+// models. Useful for sizing a deployment before running simulations.
+//
+// Usage: lbsq_inspect [--pois=N] [--world=MILES] [--capacity=N] [--m=N]
+//                     [--order=N] [--seed=N]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "analysis/air_index_model.h"
+#include "broadcast/system.h"
+#include "broadcast/tree_index.h"
+#include "broadcast/wire.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "spatial/generators.h"
+
+namespace {
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lbsq;
+
+  int64_t n_pois = 2750;
+  double world_side = 20.0;
+  broadcast::BroadcastParams params;
+  uint64_t seed = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "--pois", &value)) {
+      n_pois = std::atoll(value.c_str());
+    } else if (ParseFlag(argv[i], "--world", &value)) {
+      world_side = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--capacity", &value)) {
+      params.bucket_capacity = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--m", &value)) {
+      params.m = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--order", &value)) {
+      params.hilbert_order = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--seed", &value)) {
+      seed = static_cast<uint64_t>(std::atoll(value.c_str()));
+    } else {
+      std::fprintf(stderr,
+                   "usage: lbsq_inspect [--pois=N] [--world=MILES] "
+                   "[--capacity=N] [--m=N] [--order=N] [--seed=N]\n");
+      return 2;
+    }
+  }
+
+  const geom::Rect world{0.0, 0.0, world_side, world_side};
+  Rng rng(seed);
+  broadcast::BroadcastSystem system(
+      spatial::GenerateUniformPois(&rng, world, n_pois), world, params);
+
+  std::printf("=== data organization ===\n");
+  std::printf("POIs                : %lld over %.0f x %.0f mi\n",
+              static_cast<long long>(n_pois), world_side, world_side);
+  std::printf("Hilbert grid        : order %d (%u x %u cells)\n",
+              system.grid().order(), system.grid().cells_per_axis(),
+              system.grid().cells_per_axis());
+  std::printf("data buckets        : %zu (capacity %d)\n",
+              system.buckets().size(), params.bucket_capacity);
+
+  RunningStat bucket_bytes, bucket_span, bucket_extent;
+  for (const broadcast::DataBucket& bucket : system.buckets()) {
+    bucket_bytes.Add(static_cast<double>(broadcast::BucketWireSize(bucket)));
+    bucket_span.Add(
+        static_cast<double>(bucket.hilbert_hi - bucket.hilbert_lo));
+    bucket_extent.Add(bucket.mbr.width() * bucket.mbr.height());
+  }
+  std::printf("bucket wire size    : %.0f B avg (min %.0f, max %.0f)\n",
+              bucket_bytes.mean(), bucket_bytes.min(), bucket_bytes.max());
+  std::printf("bucket curve span   : %.1f cells avg\n", bucket_span.mean());
+  std::printf("bucket MBR area     : %.3f sq mi avg\n", bucket_extent.mean());
+
+  std::printf("\n=== air index ===\n");
+  std::printf("directory entries   : %zu (%d per index bucket)\n",
+              system.index().entries().size(),
+              params.index_entries_per_bucket);
+  std::printf("flat segment        : %lld buckets\n",
+              static_cast<long long>(system.index().SizeInBuckets()));
+  const broadcast::TreeAirIndex tree(system.index().entries(),
+                                     params.index_entries_per_bucket);
+  std::printf("tree segment        : %lld buckets, height %d "
+              "(point lookup reads %d)\n",
+              static_cast<long long>(tree.SizeInBuckets()), tree.height(),
+              tree.height());
+
+  std::printf("\n=== (1, m) cycle ===\n");
+  const auto& schedule = system.schedule();
+  std::printf("m                   : %d\n", schedule.m());
+  std::printf("cycle length        : %lld slots\n",
+              static_cast<long long>(schedule.cycle_length()));
+  const analysis::AirIndexModel model{schedule.num_data_buckets(),
+                                      schedule.index_buckets(),
+                                      schedule.m()};
+  std::printf("E[index latency]    : %.1f slots\n",
+              analysis::ExpectedIndexLatency(model));
+  std::printf("E[1-bucket latency] : %.1f slots\n",
+              analysis::ExpectedSingleBucketLatency(model));
+  std::printf("optimal m (1-bucket): %d\n",
+              analysis::OptimalM(schedule.num_data_buckets(),
+                                 schedule.index_buckets()));
+  return 0;
+}

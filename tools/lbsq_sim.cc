@@ -1,0 +1,227 @@
+// lbsq_sim — command-line driver for the end-to-end simulator.
+//
+// Runs one simulation with the paper's parameter sets and prints the
+// resolved-by breakdown plus the latency/tuning accounting. Every knob of
+// sim::SimConfig is reachable from the command line; defaults reproduce the
+// Los Angeles City kNN setup at bench scale.
+//
+// Examples:
+//   lbsq_sim                                      # LA City, kNN, defaults
+//   lbsq_sim --params=riverside --tx=100          # sparse set, 100 m radios
+//   lbsq_sim --query=window --paper-window-geometry
+//   lbsq_sim --mobility=manhattan --hops=2 --seed=9
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "sim/config.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace lbsq;
+
+void PrintUsage() {
+  std::printf(
+      "usage: lbsq_sim [options]\n"
+      "  --params=la|suburbia|riverside   Table 3 parameter set (la)\n"
+      "  --query=knn|window               query type (knn)\n"
+      "  --world=<miles>                  world side (3.0; 20 = full scale)\n"
+      "  --warmup=<min> --duration=<min>  run lengths (45 / 30)\n"
+      "  --tx=<meters>                    transmission range override\n"
+      "  --csize=<pois>                   cache capacity override\n"
+      "  --k=<mean>                       mean kNN k override\n"
+      "  --window-pct=<pct>               mean window size override\n"
+      "  --mobility=waypoint|manhattan    mobility model (waypoint)\n"
+      "  --hops=<n>                       peer-discovery hops (1)\n"
+      "  --policy=sound|collective        cache overflow policy (sound)\n"
+      "  --paper-window-geometry          hold the paper's absolute window\n"
+      "                                   geometry in scaled worlds\n"
+      "  --no-filtering                   disable \xc2\xa73.3.3 data filtering\n"
+      "  --no-approximate                 reject approximate kNN answers\n"
+      "  --index=flat|tree                air-index organization (flat)\n"
+      "  --check                          oracle-check every answer (slow)\n"
+      "  --save-trace=<path>              record the workload to a file\n"
+      "  --replay-trace=<path>            replay a recorded workload\n"
+      "  --seed=<n>                       RNG seed (1)\n");
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  if (arg[len] == '\0') {
+    *value = "";
+    return true;
+  }
+  if (arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sim::SimConfig config;
+  config.params = sim::LosAngelesCity();
+  config.world_side_mi = 3.0;
+  config.warmup_min = 45.0;
+  config.duration_min = 30.0;
+  std::string save_trace_path;
+  std::string replay_trace_path;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    const char* arg = argv[i];
+    if (ParseFlag(arg, "--params", &value)) {
+      if (value == "la") {
+        config.params = sim::LosAngelesCity();
+      } else if (value == "suburbia") {
+        config.params = sim::SyntheticSuburbia();
+      } else if (value == "riverside") {
+        config.params = sim::RiversideCounty();
+      } else {
+        std::fprintf(stderr, "unknown parameter set '%s'\n", value.c_str());
+        return 2;
+      }
+    } else if (ParseFlag(arg, "--query", &value)) {
+      if (value == "knn") {
+        config.query_type = sim::QueryType::kKnn;
+      } else if (value == "window") {
+        config.query_type = sim::QueryType::kWindow;
+      } else {
+        std::fprintf(stderr, "unknown query type '%s'\n", value.c_str());
+        return 2;
+      }
+    } else if (ParseFlag(arg, "--world", &value)) {
+      config.world_side_mi = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "--warmup", &value)) {
+      config.warmup_min = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "--duration", &value)) {
+      config.duration_min = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "--tx", &value)) {
+      config.params.tx_range_m = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "--csize", &value)) {
+      config.params.csize = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "--k", &value)) {
+      config.params.knn_k = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "--window-pct", &value)) {
+      config.params.window_pct = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "--mobility", &value)) {
+      if (value == "waypoint") {
+        config.mobility = sim::MobilityType::kRandomWaypoint;
+      } else if (value == "manhattan") {
+        config.mobility = sim::MobilityType::kManhattanGrid;
+      } else {
+        std::fprintf(stderr, "unknown mobility model '%s'\n", value.c_str());
+        return 2;
+      }
+    } else if (ParseFlag(arg, "--hops", &value)) {
+      config.p2p_hops = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "--policy", &value)) {
+      if (value == "sound") {
+        config.cache_policy = core::CachePolicy::kSoundShrink;
+      } else if (value == "collective") {
+        config.cache_policy = core::CachePolicy::kCollectiveMbr;
+      } else {
+        std::fprintf(stderr, "unknown cache policy '%s'\n", value.c_str());
+        return 2;
+      }
+    } else if (ParseFlag(arg, "--paper-window-geometry", &value)) {
+      config.paper_window_geometry = true;
+    } else if (ParseFlag(arg, "--no-filtering", &value)) {
+      config.use_filtering = false;
+    } else if (ParseFlag(arg, "--no-approximate", &value)) {
+      config.accept_approximate = false;
+    } else if (ParseFlag(arg, "--check", &value)) {
+      config.check_answers = true;
+      config.check_cache_invariant = true;
+    } else if (ParseFlag(arg, "--index", &value)) {
+      if (value == "flat") {
+        config.broadcast.index_kind = broadcast::IndexKind::kFlat;
+      } else if (value == "tree") {
+        config.broadcast.index_kind = broadcast::IndexKind::kTree;
+      } else {
+        std::fprintf(stderr, "unknown index kind '%s'\n", value.c_str());
+        return 2;
+      }
+    } else if (ParseFlag(arg, "--save-trace", &value)) {
+      save_trace_path = value;
+      config.record_trace = true;
+    } else if (ParseFlag(arg, "--replay-trace", &value)) {
+      replay_trace_path = value;
+    } else if (ParseFlag(arg, "--seed", &value)) {
+      config.seed = static_cast<uint64_t>(std::atoll(value.c_str()));
+    } else if (std::strcmp(arg, "--help") == 0 ||
+               std::strcmp(arg, "-h") == 0) {
+      PrintUsage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg);
+      PrintUsage();
+      return 2;
+    }
+  }
+
+  std::printf("parameter set : %s\n", config.params.name.c_str());
+  std::printf("query type    : %s\n",
+              config.query_type == sim::QueryType::kKnn ? "kNN" : "window");
+  std::printf("world         : %.1f x %.1f mi (%lld hosts, %lld POIs, "
+              "%.1f queries/min)\n",
+              config.world_side_mi, config.world_side_mi,
+              static_cast<long long>(config.ScaledMhCount()),
+              static_cast<long long>(config.ScaledPoiCount()),
+              config.ScaledQueriesPerMin());
+  std::printf("tx range      : %.0f m; CSize %d; k %.0f; window %.0f%%\n\n",
+              config.params.tx_range_m, config.params.csize,
+              config.params.knn_k, config.params.window_pct);
+
+  sim::Simulator simulator(config);
+  sim::SimMetrics m;
+  if (!replay_trace_path.empty()) {
+    std::vector<sim::QueryEvent> events;
+    if (!sim::LoadTrace(replay_trace_path, &events)) {
+      std::fprintf(stderr, "failed to load trace '%s'\n",
+                   replay_trace_path.c_str());
+      return 1;
+    }
+    std::printf("replaying %zu recorded events\n\n", events.size());
+    m = simulator.Replay(events);
+  } else {
+    m = simulator.Run();
+    if (!save_trace_path.empty()) {
+      if (!sim::SaveTrace(save_trace_path, simulator.trace())) {
+        std::fprintf(stderr, "failed to save trace '%s'\n",
+                     save_trace_path.c_str());
+        return 1;
+      }
+      std::printf("recorded %zu events to %s\n", simulator.trace().size(),
+                  save_trace_path.c_str());
+    }
+  }
+
+  std::printf("measured queries        : %lld\n",
+              static_cast<long long>(m.queries));
+  std::printf("resolved by sharing     : %.1f%% verified, %.1f%% approximate\n",
+              m.PctVerified(), m.PctApproximate());
+  std::printf("resolved by broadcast   : %.1f%%\n", m.PctBroadcast());
+  std::printf("answer errors           : %.2f%%\n", m.PctAnswerErrors());
+  std::printf("peers per query         : %.1f (avg)\n",
+              m.peers_per_query.mean());
+  std::printf("broadcast latency       : %.1f slots (avg over channel "
+              "queries)\n", m.broadcast_latency.mean());
+  std::printf("latency, all queries    : %.1f slots (peer hits count as 0)\n",
+              m.MeanLatencyAllQueries());
+  std::printf("pure on-air baseline    : %.1f slots\n",
+              m.baseline_latency.mean());
+  std::printf("broadcast tuning        : %.1f slots (avg)\n",
+              m.broadcast_tuning.mean());
+  if (config.query_type == sim::QueryType::kWindow) {
+    std::printf("residual window fraction: %.1f%%\n",
+                m.residual_fraction.mean() * 100.0);
+  }
+  return 0;
+}
