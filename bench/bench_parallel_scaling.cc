@@ -1,0 +1,70 @@
+// Thread-scaling benchmark of the parallel simulation engine on the
+// Figure 10 workload (Los Angeles City, kNN, TxRange 200 m): wall time,
+// throughput (MH queries/second), and speedup over one thread at 1/2/4/8
+// workers — verifying at each point that the metrics are bitwise identical
+// to the single-threaded run, since determinism that only holds when nobody
+// checks is no determinism at all.
+//
+// Speedup is bounded by the physical core count; on a single-core machine
+// every row reports ~1x (the determinism check still exercises the
+// multi-threaded code paths). LBSQ_BENCH_FAST=1 shortens the run.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "sim/config.h"
+#include "sim/parallel_simulator.h"
+#include "sim_bench_util.h"
+
+int main() {
+  using lbsq::sim::ParallelSimulator;
+  using lbsq::sim::SimMetrics;
+
+  lbsq::sim::SimConfig config = lbsq::bench::BaseConfig(
+      lbsq::sim::LosAngelesCity(), lbsq::sim::QueryType::kKnn);
+  config.params.tx_range_m = 200.0;
+
+  std::printf("Parallel engine scaling, Fig. 10 workload "
+              "(%s, kNN, TxRange %.0f m)\n",
+              config.params.name.c_str(), config.params.tx_range_m);
+  std::printf("world %.1f mi, %lld hosts, %lld POIs, epoch %d, "
+              "hardware threads %u\n\n",
+              config.world_side_mi,
+              static_cast<long long>(config.ScaledMhCount()),
+              static_cast<long long>(config.ScaledPoiCount()),
+              config.events_per_epoch,
+              std::thread::hardware_concurrency());
+  std::printf("%8s %12s %14s %10s %12s\n", "threads", "wall(s)", "queries/s",
+              "speedup", "metrics");
+
+  SimMetrics reference;
+  double reference_seconds = 0.0;
+  for (int threads : {1, 2, 4, 8}) {
+    config.threads = threads;
+    ParallelSimulator sim(config);
+    const auto start = std::chrono::steady_clock::now();
+    const SimMetrics metrics = sim.Run();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+
+    if (threads == 1) {
+      reference = metrics;
+      reference_seconds = seconds;
+    } else if (!(metrics == reference)) {
+      std::fprintf(stderr,
+                   "FATAL: metrics at %d threads differ from 1 thread — "
+                   "determinism contract violated\n",
+                   threads);
+      return 1;
+    }
+    std::printf("%8d %12.2f %14.0f %9.2fx %12s\n", threads, seconds,
+                seconds > 0.0 ? static_cast<double>(metrics.queries) / seconds
+                              : 0.0,
+                seconds > 0.0 ? reference_seconds / seconds : 0.0,
+                threads == 1 ? "reference" : "identical");
+  }
+  return 0;
+}

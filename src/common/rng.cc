@@ -96,4 +96,15 @@ double Rng::Normal(double mean, double stddev) {
 
 Rng Rng::Fork() { return Rng(NextUint64()); }
 
+uint64_t DeriveStreamSeed(uint64_t seed, uint64_t stream) {
+  // Two SplitMix64 applications with the stream id injected between them:
+  // one multiplicative step alone would map adjacent streams to correlated
+  // states, and the xoshiro seeding expands whatever we return here anyway.
+  uint64_t x = seed;
+  uint64_t h = SplitMix64(x);
+  x ^= stream * 0xbf58476d1ce4e5b9ull;
+  h ^= SplitMix64(x);
+  return h;
+}
+
 }  // namespace lbsq

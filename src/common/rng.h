@@ -59,6 +59,16 @@ class Rng {
   uint64_t s_[4];
 };
 
+/// Counter-based sub-stream derivation: hashes (seed, stream) into the seed
+/// of an independent generator. Unlike Fork(), the result depends only on the
+/// two inputs — not on how many draws any generator has made — so stream
+/// `i` of seed `s` can be reconstructed from anywhere, in any order, on any
+/// thread. This is the basis of the simulator's per-mobile-host RNG streams:
+/// host `h` always owns `Rng(DeriveStreamSeed(domain_seed, h))`, which makes
+/// its trajectory and query parameters independent of every other host and
+/// of the engine's degree of parallelism.
+uint64_t DeriveStreamSeed(uint64_t seed, uint64_t stream);
+
 }  // namespace lbsq
 
 #endif  // LBSQ_COMMON_RNG_H_

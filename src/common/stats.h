@@ -35,6 +35,13 @@ class RunningStat {
   /// Merges another accumulator into this one (parallel Welford merge).
   void Merge(const RunningStat& other);
 
+  /// Bitwise state equality (exact double comparison on every moment) —
+  /// the currency of the parallel engine's determinism tests.
+  friend bool operator==(const RunningStat& a, const RunningStat& b) {
+    return a.count_ == b.count_ && a.mean_ == b.mean_ && a.m2_ == b.m2_ &&
+           a.sum_ == b.sum_ && a.min_ == b.min_ && a.max_ == b.max_;
+  }
+
  private:
   int64_t count_ = 0;
   double mean_ = 0.0;

@@ -1,0 +1,57 @@
+#include "common/thread_pool.h"
+
+#include "common/check.h"
+
+namespace lbsq {
+
+ThreadPool::ThreadPool(int num_threads) {
+  LBSQ_CHECK(num_threads >= 1);
+  threads_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::RunOnAll(const std::function<void(int)>& fn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  LBSQ_CHECK(pending_ == 0);
+  job_ = &fn;
+  pending_ = num_threads();
+  ++generation_;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop(int index) {
+  int64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(int)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this, seen_generation] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    (*job)(index);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --pending_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+}  // namespace lbsq

@@ -1,0 +1,55 @@
+#ifndef LBSQ_COMMON_THREAD_POOL_H_
+#define LBSQ_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// \file
+/// A minimal fixed-size worker pool for the parallel simulation engine. The
+/// pool runs one job function on every worker and blocks the caller until
+/// all workers have returned — a fork/join barrier per call, which is the
+/// only coordination pattern the epoch-based engine needs. Workers persist
+/// across calls so per-epoch dispatch costs two condition-variable round
+/// trips, not thread creation.
+
+namespace lbsq {
+
+/// Fixed crew of worker threads executing fork/join jobs.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1). The workers idle until RunOnAll().
+  explicit ThreadPool(int num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Joins all workers. Must not race with a RunOnAll() in flight.
+  ~ThreadPool();
+
+  /// Number of workers.
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+  /// Invokes `fn(i)` once on worker `i` for every i in [0, num_threads())
+  /// and returns when every invocation has finished. Not reentrant.
+  void RunOnAll(const std::function<void(int)>& fn);
+
+ private:
+  void WorkerLoop(int index);
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* job_ = nullptr;  // valid while pending_ > 0
+  int64_t generation_ = 0;
+  int pending_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace lbsq
+
+#endif  // LBSQ_COMMON_THREAD_POOL_H_

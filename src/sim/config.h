@@ -140,6 +140,20 @@ struct SimConfig {
   /// scale as usual.
   bool paper_window_geometry = false;
 
+  /// Worker threads of the parallel engine (ParallelSimulator); the
+  /// sequential Simulator ignores it. The parallel engine is bitwise
+  /// deterministic across thread counts: any value yields identical metrics
+  /// for the same config + seed.
+  int threads = 1;
+  /// Query events per epoch of the parallel engine. Peer-cache state is
+  /// snapshotted at epoch barriers and read immutably within an epoch, so
+  /// larger epochs expose more parallelism but serve (slightly) staler peer
+  /// data. 1 reproduces the sequential engine's live-cache semantics
+  /// exactly. Must not be derived from `threads` — it is part of the
+  /// simulated semantics, and tying it to the thread count would break the
+  /// determinism guarantee.
+  int events_per_epoch = 32;
+
   /// When true, the simulator records every query event it samples;
   /// retrieve with Simulator::trace() and replay with Simulator::Replay().
   bool record_trace = false;

@@ -10,7 +10,7 @@ namespace lbsq::sim {
 ManhattanGridModel::ManhattanGridModel(const geom::Rect& world,
                                        int64_t num_hosts, double block,
                                        double speed_min, double speed_max,
-                                       Rng seed_rng)
+                                       uint64_t seed)
     : world_(world), speed_min_(speed_min), speed_max_(speed_max) {
   LBSQ_CHECK(!world.empty());
   LBSQ_CHECK(num_hosts >= 1);
@@ -25,7 +25,7 @@ ManhattanGridModel::ManhattanGridModel(const geom::Rect& world,
   hosts_.resize(static_cast<size_t>(num_hosts));
   rngs_.reserve(static_cast<size_t>(num_hosts));
   for (int64_t i = 0; i < num_hosts; ++i) {
-    rngs_.push_back(seed_rng.Fork());
+    rngs_.emplace_back(DeriveStreamSeed(seed, static_cast<uint64_t>(i)));
     Rng& rng = rngs_.back();
     HostState& host = hosts_[static_cast<size_t>(i)];
     host.ix = static_cast<int>(rng.NextBelow(static_cast<uint64_t>(cells_x_ + 1)));

@@ -24,15 +24,19 @@ class ManhattanGridModel : public MobilityModel {
  public:
   /// `num_hosts` hosts on a street grid with `block` spacing (world units)
   /// over `world`, at speeds uniform in [speed_min, speed_max] (world units
-  /// per minute). Hosts start at uniformly chosen intersections.
+  /// per minute). Hosts start at uniformly chosen intersections. Host `h`
+  /// draws from the counter-based stream `(seed, h)` (see MobilityModel).
   ManhattanGridModel(const geom::Rect& world, int64_t num_hosts, double block,
-                     double speed_min, double speed_max, Rng seed_rng);
+                     double speed_min, double speed_max, uint64_t seed);
 
   int64_t num_hosts() const override {
     return static_cast<int64_t>(hosts_.size());
   }
   geom::Point Position(int64_t host, double t) override;
   geom::Point Heading(int64_t host) const override;
+  std::unique_ptr<MobilityModel> Clone() const override {
+    return std::make_unique<ManhattanGridModel>(*this);
+  }
 
   /// Street spacing actually used (the requested block, clamped so at least
   /// two intersections exist per axis).

@@ -28,6 +28,41 @@ double SimMetrics::MeanLatencyAllQueries() const {
   return broadcast_latency.sum() / static_cast<double>(queries);
 }
 
+void SimMetrics::Merge(const SimMetrics& other) {
+  queries += other.queries;
+  solved_verified += other.solved_verified;
+  solved_approximate += other.solved_approximate;
+  solved_broadcast += other.solved_broadcast;
+  answer_errors += other.answer_errors;
+  approx_exact += other.approx_exact;
+  peers_per_query.Merge(other.peers_per_query);
+  broadcast_latency.Merge(other.broadcast_latency);
+  broadcast_tuning.Merge(other.broadcast_tuning);
+  buckets_read.Merge(other.buckets_read);
+  buckets_skipped.Merge(other.buckets_skipped);
+  baseline_latency.Merge(other.baseline_latency);
+  baseline_tuning.Merge(other.baseline_tuning);
+  residual_fraction.Merge(other.residual_fraction);
+  verified_per_query.Merge(other.verified_per_query);
+}
+
+bool operator==(const SimMetrics& a, const SimMetrics& b) {
+  return a.queries == b.queries && a.solved_verified == b.solved_verified &&
+         a.solved_approximate == b.solved_approximate &&
+         a.solved_broadcast == b.solved_broadcast &&
+         a.answer_errors == b.answer_errors &&
+         a.approx_exact == b.approx_exact &&
+         a.peers_per_query == b.peers_per_query &&
+         a.broadcast_latency == b.broadcast_latency &&
+         a.broadcast_tuning == b.broadcast_tuning &&
+         a.buckets_read == b.buckets_read &&
+         a.buckets_skipped == b.buckets_skipped &&
+         a.baseline_latency == b.baseline_latency &&
+         a.baseline_tuning == b.baseline_tuning &&
+         a.residual_fraction == b.residual_fraction &&
+         a.verified_per_query == b.verified_per_query;
+}
+
 std::string SimMetrics::ToString() const {
   char buffer[256];
   std::snprintf(buffer, sizeof(buffer),

@@ -60,6 +60,18 @@ struct SimMetrics {
   /// as zero-latency — the paper's headline effect.
   double MeanLatencyAllQueries() const;
 
+  /// Folds `other` into this (counter sums + parallel Welford merges).
+  /// Associative up to floating-point rounding; note that because double
+  /// addition is not associative, merge results depend on how observations
+  /// were partitioned — which is why the parallel engine folds per-event
+  /// results in event order instead of merging per-thread accumulators when
+  /// bitwise determinism across thread counts is required.
+  void Merge(const SimMetrics& other);
+
+  /// Bitwise equality across every counter and accumulator moment — the
+  /// determinism contract `lbsq_sim --threads N` is tested against.
+  friend bool operator==(const SimMetrics& a, const SimMetrics& b);
+
   /// One-line summary for logs.
   std::string ToString() const;
 };

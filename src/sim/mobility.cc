@@ -8,7 +8,7 @@ namespace lbsq::sim {
 
 RandomWaypointModel::RandomWaypointModel(const geom::Rect& world,
                                          int64_t num_hosts, double speed_min,
-                                         double speed_max, Rng seed_rng)
+                                         double speed_max, uint64_t seed)
     : world_(world), speed_min_(speed_min), speed_max_(speed_max) {
   LBSQ_CHECK(!world.empty());
   LBSQ_CHECK(num_hosts >= 1);
@@ -16,7 +16,7 @@ RandomWaypointModel::RandomWaypointModel(const geom::Rect& world,
   legs_.resize(static_cast<size_t>(num_hosts));
   rngs_.reserve(static_cast<size_t>(num_hosts));
   for (int64_t i = 0; i < num_hosts; ++i) {
-    rngs_.push_back(seed_rng.Fork());
+    rngs_.emplace_back(DeriveStreamSeed(seed, static_cast<uint64_t>(i)));
     Rng& rng = rngs_.back();
     const geom::Point start{rng.Uniform(world.x1, world.x2),
                             rng.Uniform(world.y1, world.y2)};

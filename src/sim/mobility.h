@@ -2,6 +2,7 @@
 #define LBSQ_SIM_MOBILITY_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/rng.h"
@@ -14,6 +15,13 @@
 /// travels to it in a straight line at a uniformly drawn speed (zero pause
 /// time). Positions are closed-form along each leg, so the model is queried
 /// lazily at arbitrary (non-decreasing) times without a tick loop.
+///
+/// Every host draws from its own counter-based RNG stream
+/// (`DeriveStreamSeed(seed, host)`), so a host's trajectory depends only on
+/// the model seed and its id — never on how far any other host has been
+/// advanced. Clone() therefore yields an independent replica that generates
+/// bit-identical trajectories: the parallel engine hands each worker thread
+/// its own clone and lets it advance hosts freely without synchronization.
 
 namespace lbsq::sim {
 
@@ -33,6 +41,11 @@ class MobilityModel {
   /// Unit vector of the host's current direction of travel (zero when
   /// stationary). Valid for the time of the most recent Position() call.
   virtual geom::Point Heading(int64_t host) const = 0;
+
+  /// Independent replica producing bit-identical trajectories, reset to this
+  /// model's current state. Clones share nothing; advancing one never
+  /// affects another.
+  virtual std::unique_ptr<MobilityModel> Clone() const = 0;
 };
 
 /// Random-waypoint trajectories for a fleet of hosts.
@@ -40,8 +53,9 @@ class RandomWaypointModel : public MobilityModel {
  public:
   /// `num_hosts` hosts with uniform starting positions in `world`, moving at
   /// speeds uniform in [speed_min, speed_max] (world units per minute).
+  /// Host `h` draws from the counter-based stream `(seed, h)`.
   RandomWaypointModel(const geom::Rect& world, int64_t num_hosts,
-                      double speed_min, double speed_max, Rng seed_rng);
+                      double speed_min, double speed_max, uint64_t seed);
 
   /// Number of hosts.
   int64_t num_hosts() const override {
@@ -56,6 +70,10 @@ class RandomWaypointModel : public MobilityModel {
   /// when the current leg is degenerate). Valid for the time of the most
   /// recent Position() call for this host.
   geom::Point Heading(int64_t host) const override;
+
+  std::unique_ptr<MobilityModel> Clone() const override {
+    return std::make_unique<RandomWaypointModel>(*this);
+  }
 
  private:
   struct Leg {

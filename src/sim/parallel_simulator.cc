@@ -1,0 +1,184 @@
+#include "sim/parallel_simulator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "sim/workload.h"
+#include "spatial/generators.h"
+
+namespace lbsq::sim {
+
+ParallelSimulator::Worker::Worker(const MobilityModel& proto,
+                                  const geom::Rect& world, double cell_size)
+    : mobility(proto.Clone()),
+      positions(static_cast<size_t>(proto.num_hosts())),
+      peer_index(world, cell_size) {}
+
+ParallelSimulator::ParallelSimulator(const SimConfig& config)
+    : config_(config),
+      world_{0.0, 0.0, config.world_side_mi, config.world_side_mi},
+      tx_range_mi_(config.params.tx_range_m * kMilesPerMeter) {
+  LBSQ_CHECK(config.world_side_mi > 0.0);
+  LBSQ_CHECK(config.warmup_min >= 0.0);
+  LBSQ_CHECK(config.duration_min > 0.0);
+  LBSQ_CHECK(config.threads >= 1);
+  LBSQ_CHECK(config.events_per_epoch >= 1);
+
+  Rng poi_rng(DeriveStreamSeed(config.seed, kStreamPois));
+  std::vector<spatial::Poi> pois = spatial::GenerateUniformPois(
+      &poi_rng, world_, config.ScaledPoiCount());
+  system_ = std::make_unique<broadcast::BroadcastSystem>(
+      std::move(pois), world_, config.broadcast);
+
+  mobility_proto_ = MakeMobilityModel(config, world_);
+  const int64_t hosts = mobility_proto_->num_hosts();
+  caches_.reserve(static_cast<size_t>(hosts));
+  for (int64_t i = 0; i < hosts; ++i) {
+    caches_.emplace_back(config.params.csize, config.max_regions_per_host,
+                         config.cache_policy);
+  }
+  snapshot_.resize(static_cast<size_t>(hosts));
+
+  const double cell =
+      std::max(tx_range_mi_, config.world_side_mi / 256.0);
+  workers_.reserve(static_cast<size_t>(config.threads));
+  for (int w = 0; w < config.threads; ++w) {
+    workers_.emplace_back(*mobility_proto_, world_, cell);
+  }
+  if (config.threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(config.threads);
+  }
+}
+
+ParallelSimulator::~ParallelSimulator() = default;
+
+void ParallelSimulator::CheckCacheInvariant(int64_t host) const {
+  for (const core::VerifiedRegion& vr :
+       caches_[static_cast<size_t>(host)].entries()) {
+    const std::vector<spatial::Poi> truth =
+        spatial::BruteForceWindow(system_->pois(), vr.region);
+    // Every server POI inside the region must be cached.
+    for (const spatial::Poi& poi : truth) {
+      const bool present =
+          std::any_of(vr.pois.begin(), vr.pois.end(),
+                      [&poi](const spatial::Poi& p) { return p.id == poi.id; });
+      LBSQ_CHECK(present);
+    }
+    // And nothing outside the region may be stored in this entry.
+    for (const spatial::Poi& poi : vr.pois) {
+      LBSQ_CHECK(vr.region.Contains(poi.pos));
+    }
+  }
+}
+
+ParallelSimulator::EventResult ParallelSimulator::ExecuteEvent(
+    Worker* worker, const QueryEvent& event) {
+  // Advance every host in the worker's private fleet replica and refresh
+  // its peer index. Each worker visits its events in time order, so its
+  // replica only ever moves forward.
+  const int64_t hosts = worker->mobility->num_hosts();
+  for (int64_t i = 0; i < hosts; ++i) {
+    worker->positions[static_cast<size_t>(i)] =
+        worker->mobility->Position(i, event.time_min);
+  }
+  worker->peer_index.Rebuild(worker->positions);
+
+  const geom::Point pos = worker->positions[static_cast<size_t>(event.host)];
+  std::vector<core::PeerData> peers;
+  EventResult result;
+  result.peer_count = GatherPeers(
+      worker->peer_index, worker->positions, event.host, tx_range_mi_,
+      config_.p2p_hops,
+      [this](int64_t id) { return snapshot_[static_cast<size_t>(id)]; },
+      &peers);
+  result.measured = event.time_min >= config_.warmup_min;
+
+  const int64_t slot = static_cast<int64_t>(
+      event.time_min * config_.slots_per_second * 60.0);
+  if (event.type == QueryType::kKnn) {
+    KnnQueryResult knn = ExecuteKnnQuery(config_, *system_, world_, pos,
+                                         event.k, slot, peers,
+                                         result.measured);
+    caches_[static_cast<size_t>(event.host)].Insert(
+        std::move(knn.outcome.cacheable), pos, pos,
+        worker->mobility->Heading(event.host));
+    if (config_.check_cache_invariant) CheckCacheInvariant(event.host);
+    result.knn = std::move(knn);
+  } else {
+    WindowQueryResult window = ExecuteWindowQuery(
+        config_, *system_, event.window, slot, peers, result.measured);
+    caches_[static_cast<size_t>(event.host)].Insert(
+        std::move(window.outcome.cacheable), event.window.center(), pos,
+        worker->mobility->Heading(event.host));
+    if (config_.check_cache_invariant) CheckCacheInvariant(event.host);
+    result.window = std::move(window);
+  }
+  return result;
+}
+
+SimMetrics ParallelSimulator::Execute(const std::vector<QueryEvent>& events) {
+  SimMetrics metrics;
+  const int64_t hosts = mobility_proto_->num_hosts();
+  const size_t epoch = static_cast<size_t>(config_.events_per_epoch);
+  const int64_t workers = static_cast<int64_t>(workers_.size());
+  std::vector<EventResult> results;
+
+  for (size_t begin = 0; begin < events.size(); begin += epoch) {
+    const size_t end = std::min(events.size(), begin + epoch);
+
+    // Epoch barrier: freeze every host's shareable data. Workers read the
+    // snapshot lock-free for the rest of the epoch.
+    for (int64_t h = 0; h < hosts; ++h) {
+      snapshot_[static_cast<size_t>(h)] =
+          caches_[static_cast<size_t>(h)].Share();
+    }
+
+    results.assign(end - begin, EventResult{});
+    const auto run_worker = [&](int w) {
+      Worker& worker = workers_[static_cast<size_t>(w)];
+      for (size_t i = begin; i < end; ++i) {
+        const QueryEvent& event = events[i];
+        // Shard by querying host so each cache has exactly one writer, and
+        // receives its inserts in event order no matter the thread count.
+        if (event.host % workers != w) continue;
+        results[i - begin] = ExecuteEvent(&worker, event);
+      }
+    };
+    if (pool_) {
+      pool_->RunOnAll(run_worker);
+    } else {
+      run_worker(0);
+    }
+
+    // Fold per-event results in global event order on this thread. Every
+    // accumulator sees the exact Add sequence the sequential engine would
+    // produce, so the result is bitwise independent of the thread count.
+    for (const EventResult& result : results) {
+      if (!result.measured) continue;
+      metrics.peers_per_query.Add(result.peer_count);
+      if (result.knn) AccumulateKnn(*result.knn, &metrics);
+      if (result.window) AccumulateWindow(*result.window, &metrics);
+    }
+  }
+  return metrics;
+}
+
+SimMetrics ParallelSimulator::Run() {
+  trace_.clear();
+  std::vector<QueryEvent> events = GenerateWorkload(config_, world_);
+  SimMetrics metrics = Execute(events);
+  if (config_.record_trace) trace_ = std::move(events);
+  return metrics;
+}
+
+SimMetrics ParallelSimulator::Replay(const std::vector<QueryEvent>& events) {
+  for (const QueryEvent& event : events) {
+    LBSQ_CHECK(event.host >= 0 &&
+               event.host < mobility_proto_->num_hosts());
+  }
+  return Execute(events);
+}
+
+}  // namespace lbsq::sim

@@ -1,0 +1,123 @@
+#ifndef LBSQ_SIM_PARALLEL_SIMULATOR_H_
+#define LBSQ_SIM_PARALLEL_SIMULATOR_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "broadcast/system.h"
+#include "common/thread_pool.h"
+#include "core/peer_cache.h"
+#include "sim/config.h"
+#include "sim/metrics.h"
+#include "sim/mobility.h"
+#include "sim/query_exec.h"
+#include "sim/trace.h"
+#include "spatial/grid_index.h"
+
+/// \file
+/// The parallel multi-client simulation engine. The sequential Simulator
+/// executes one query event at a time against the live caches of every
+/// host; this engine processes events in *epochs* of
+/// `SimConfig::events_per_epoch` consecutive events:
+///
+///  1. At the epoch barrier, every host's shareable cache content is
+///     snapshotted. The snapshot — like the broadcast schedule and air
+///     index — is immutable for the whole epoch, so workers read it
+///     lock-free.
+///  2. Events are sharded across workers by querying host
+///     (`host % threads`); each worker executes its events in global event
+///     order against the snapshot, writing only (a) the querying host's own
+///     cache — which it exclusively owns — and (b) the event's private
+///     result slot.
+///  3. After the join barrier, per-event results are folded into the run's
+///     `SimMetrics` in event order on one thread.
+///
+/// Determinism: every random draw comes from a counter-based stream keyed
+/// by host or event (never from a shared generator), each host's cache
+/// receives exactly the same inserts in the same order regardless of which
+/// worker owns it, and the event-order fold performs the same floating-
+/// point additions in the same sequence at any thread count. The same
+/// config + seed therefore yields bitwise-identical metrics for threads =
+/// 1, 2, 8, ... — and with `events_per_epoch = 1` the snapshot is always
+/// fresh, reproducing the sequential engine's metrics exactly.
+
+namespace lbsq::sim {
+
+/// Thread-parallel simulation engine. Construct, Run() once, read metrics.
+class ParallelSimulator {
+ public:
+  explicit ParallelSimulator(const SimConfig& config);
+  ~ParallelSimulator();
+
+  ParallelSimulator(const ParallelSimulator&) = delete;
+  ParallelSimulator& operator=(const ParallelSimulator&) = delete;
+
+  /// Generates the workload for the configured seed and executes it with
+  /// `config.threads` workers. Returns post-warm-up metrics.
+  SimMetrics Run();
+
+  /// Executes a recorded workload (same trace format as the sequential
+  /// engine; traces are interchangeable between the two).
+  SimMetrics Replay(const std::vector<QueryEvent>& events);
+
+  /// Events recorded by the last Run() under record_trace.
+  const std::vector<QueryEvent>& trace() const { return trace_; }
+
+  /// The broadcast channel (valid after construction).
+  const broadcast::BroadcastSystem& system() const { return *system_; }
+  /// The simulated world rectangle.
+  const geom::Rect& world() const { return world_; }
+  /// Host caches (for inspection in tests).
+  const std::vector<core::PeerCache>& caches() const { return caches_; }
+
+ private:
+  /// Everything a worker thread owns privately: its fleet replica, its
+  /// position buffer, and its peer index. Nothing here is ever touched by
+  /// another thread.
+  struct Worker {
+    std::unique_ptr<MobilityModel> mobility;
+    std::vector<geom::Point> positions;
+    spatial::GridIndex peer_index;
+
+    Worker(const MobilityModel& proto, const geom::Rect& world,
+           double cell_size);
+  };
+
+  /// Per-event output, written into a private slot by the owning worker and
+  /// folded into SimMetrics in event order after the epoch's join barrier.
+  struct EventResult {
+    bool measured = false;
+    int peer_count = 0;
+    std::optional<KnnQueryResult> knn;
+    std::optional<WindowQueryResult> window;
+  };
+
+  /// Executes one event on `worker` (runs on a worker thread). Reads the
+  /// epoch snapshot; writes only caches_[event.host] and the returned slot.
+  EventResult ExecuteEvent(Worker* worker, const QueryEvent& event);
+
+  /// Validates the cache completeness invariant of `host` against the full
+  /// POI set (check_cache_invariant mode). Brute force instead of the
+  /// R-tree: the tree's node-access counter is mutable state that worker
+  /// threads must not share.
+  void CheckCacheInvariant(int64_t host) const;
+
+  SimMetrics Execute(const std::vector<QueryEvent>& events);
+
+  SimConfig config_;
+  geom::Rect world_;
+  std::unique_ptr<broadcast::BroadcastSystem> system_;
+  std::unique_ptr<MobilityModel> mobility_proto_;
+  std::vector<core::PeerCache> caches_;
+  /// Shareable cache content of every host as of the last epoch barrier.
+  std::vector<core::PeerData> snapshot_;
+  std::vector<Worker> workers_;
+  std::unique_ptr<ThreadPool> pool_;  // null when threads == 1
+  std::vector<QueryEvent> trace_;
+  double tx_range_mi_;
+};
+
+}  // namespace lbsq::sim
+
+#endif  // LBSQ_SIM_PARALLEL_SIMULATOR_H_

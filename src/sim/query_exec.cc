@@ -1,0 +1,169 @@
+#include "sim/query_exec.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "onair/onair_knn.h"
+#include "onair/onair_window.h"
+#include "spatial/generators.h"
+
+namespace lbsq::sim {
+
+KnnQueryResult ExecuteKnnQuery(const SimConfig& config,
+                               const broadcast::BroadcastSystem& system,
+                               const geom::Rect& world, geom::Point pos, int k,
+                               int64_t slot,
+                               const std::vector<core::PeerData>& peers,
+                               bool measured) {
+  core::SbnnOptions options;
+  options.k = k;
+  options.accept_approximate = config.accept_approximate;
+  options.min_correctness = config.min_correctness;
+  options.use_filtering = config.use_filtering;
+  options.tighten_with_index_bound = config.tighten_with_index_bound;
+  options.prefetch_radius_factor = config.prefetch_radius_factor;
+  const double poi_density =
+      static_cast<double>(system.pois().size()) / world.area();
+
+  KnnQueryResult result;
+  result.outcome = core::RunSbnn(pos, options, peers, poi_density, system,
+                                 slot);
+
+  // Correctness accounting against the brute-force oracle (every query).
+  const std::vector<spatial::PoiDistance> truth =
+      spatial::BruteForceKnn(system.pois(), pos, options.k);
+  bool exact = truth.size() == result.outcome.neighbors.size();
+  for (size_t i = 0; exact && i < truth.size(); ++i) {
+    // Compare distances (ids can differ under exact ties).
+    exact = std::abs(truth[i].distance -
+                     result.outcome.neighbors[i].distance) < 1e-9;
+  }
+  result.exact = exact;
+  if (result.outcome.resolved_by != core::ResolvedBy::kPeersApproximate &&
+      config.check_answers) {
+    LBSQ_CHECK(exact);
+  }
+
+  if (measured) {
+    // What the pure on-air baseline would have cost for this query.
+    const onair::OnAirKnnResult baseline =
+        onair::OnAirKnn(system, pos, options.k, slot);
+    result.baseline_latency = baseline.stats.access_latency;
+    result.baseline_tuning = baseline.stats.tuning_time;
+  }
+  return result;
+}
+
+WindowQueryResult ExecuteWindowQuery(const SimConfig& config,
+                                     const broadcast::BroadcastSystem& system,
+                                     const geom::Rect& window, int64_t slot,
+                                     const std::vector<core::PeerData>& peers,
+                                     bool measured) {
+  core::SbwqOptions options;
+  options.retrieval = config.retrieval;
+  options.use_window_reduction = config.use_window_reduction;
+
+  WindowQueryResult result;
+  result.outcome = core::RunSbwq(window, options, peers, system, slot);
+
+  // Correctness accounting against the brute-force oracle (every query).
+  const std::vector<spatial::Poi> truth =
+      spatial::BruteForceWindow(system.pois(), window);
+  result.exact = truth == result.outcome.pois;
+  if (config.check_answers) {
+    LBSQ_CHECK(result.exact);
+  }
+
+  if (measured) {
+    const onair::OnAirWindowResult baseline =
+        onair::OnAirWindow(system, window, slot, config.retrieval);
+    result.baseline_latency = baseline.stats.access_latency;
+    result.baseline_tuning = baseline.stats.tuning_time;
+  }
+  return result;
+}
+
+void AccumulateKnn(const KnnQueryResult& result, SimMetrics* metrics) {
+  const core::SbnnOutcome& outcome = result.outcome;
+  ++metrics->queries;
+  metrics->verified_per_query.Add(outcome.nnv.heap.verified_count());
+  if (outcome.resolved_by == core::ResolvedBy::kPeersApproximate) {
+    if (result.exact) ++metrics->approx_exact;
+  } else if (!result.exact) {
+    ++metrics->answer_errors;
+  }
+  switch (outcome.resolved_by) {
+    case core::ResolvedBy::kPeersVerified:
+      ++metrics->solved_verified;
+      break;
+    case core::ResolvedBy::kPeersApproximate:
+      ++metrics->solved_approximate;
+      break;
+    case core::ResolvedBy::kBroadcast:
+      ++metrics->solved_broadcast;
+      metrics->broadcast_latency.Add(
+          static_cast<double>(outcome.stats.access_latency));
+      metrics->broadcast_tuning.Add(
+          static_cast<double>(outcome.stats.tuning_time));
+      metrics->buckets_read.Add(
+          static_cast<double>(outcome.stats.buckets_read));
+      metrics->buckets_skipped.Add(
+          static_cast<double>(outcome.buckets_skipped));
+      break;
+  }
+  metrics->baseline_latency.Add(static_cast<double>(result.baseline_latency));
+  metrics->baseline_tuning.Add(static_cast<double>(result.baseline_tuning));
+}
+
+void AccumulateWindow(const WindowQueryResult& result, SimMetrics* metrics) {
+  const core::SbwqOutcome& outcome = result.outcome;
+  ++metrics->queries;
+  if (!result.exact) ++metrics->answer_errors;
+  metrics->residual_fraction.Add(outcome.residual_fraction);
+  if (outcome.resolved_by_peers) {
+    ++metrics->solved_verified;
+  } else {
+    ++metrics->solved_broadcast;
+    metrics->broadcast_latency.Add(
+        static_cast<double>(outcome.stats.access_latency));
+    metrics->broadcast_tuning.Add(
+        static_cast<double>(outcome.stats.tuning_time));
+    metrics->buckets_read.Add(static_cast<double>(outcome.stats.buckets_read));
+  }
+  metrics->baseline_latency.Add(static_cast<double>(result.baseline_latency));
+  metrics->baseline_tuning.Add(static_cast<double>(result.baseline_tuning));
+}
+
+int GatherPeers(const spatial::GridIndex& peer_index,
+                const std::vector<geom::Point>& positions, int64_t querier,
+                double tx_range, int hops,
+                const std::function<core::PeerData(int64_t)>& share,
+                std::vector<core::PeerData>* out) {
+  std::vector<bool> visited(positions.size(), false);
+  visited[static_cast<size_t>(querier)] = true;
+  std::vector<int64_t> frontier = {querier};
+  std::vector<int64_t> reached;
+  std::vector<int64_t> scratch;
+  for (int hop = 0; hop < hops && !frontier.empty(); ++hop) {
+    std::vector<int64_t> next;
+    for (int64_t node : frontier) {
+      scratch.clear();
+      peer_index.QueryDisc(positions[static_cast<size_t>(node)], tx_range,
+                           &scratch);
+      for (int64_t id : scratch) {
+        if (visited[static_cast<size_t>(id)]) continue;
+        visited[static_cast<size_t>(id)] = true;
+        next.push_back(id);
+        reached.push_back(id);
+      }
+    }
+    frontier.swap(next);
+  }
+  for (int64_t id : reached) {
+    core::PeerData data = share(id);
+    if (!data.empty()) out->push_back(std::move(data));
+  }
+  return static_cast<int>(reached.size());
+}
+
+}  // namespace lbsq::sim

@@ -1,0 +1,85 @@
+#ifndef LBSQ_SIM_QUERY_EXEC_H_
+#define LBSQ_SIM_QUERY_EXEC_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "broadcast/system.h"
+#include "core/sbnn.h"
+#include "core/sbwq.h"
+#include "sim/config.h"
+#include "sim/metrics.h"
+#include "spatial/grid_index.h"
+
+/// \file
+/// Single-query execution and metric accounting shared by the sequential
+/// and the parallel simulation engines. Each function is a pure computation
+/// over immutable inputs (the broadcast system, a peer snapshot, positions),
+/// so the parallel engine can call them from worker threads without locks;
+/// the accumulate functions perform the metric updates in one fixed order,
+/// so folding per-event results in event order yields bitwise-identical
+/// `SimMetrics` regardless of how events were partitioned across threads.
+
+namespace lbsq::sim {
+
+/// Result of one kNN query: the SBNN outcome, its oracle verdict, and the
+/// pure on-air baseline cost (computed only for measured queries).
+struct KnnQueryResult {
+  core::SbnnOutcome outcome;
+  /// Answer matches the brute-force oracle (distance-wise).
+  bool exact = false;
+  int64_t baseline_latency = 0;
+  int64_t baseline_tuning = 0;
+
+  /// The placeholder outcome needs a valid heap capacity (>= 1); it is
+  /// overwritten by ExecuteKnnQuery before anyone reads it.
+  KnnQueryResult() : outcome(1) {}
+};
+
+/// Result of one window query (see KnnQueryResult).
+struct WindowQueryResult {
+  core::SbwqOutcome outcome;
+  bool exact = false;
+  int64_t baseline_latency = 0;
+  int64_t baseline_tuning = 0;
+};
+
+/// Runs SBNN for one query, checks it against the brute-force oracle
+/// (aborting via LBSQ_CHECK under `config.check_answers` for exact-path
+/// answers), and — when `measured` — prices the pure on-air baseline.
+/// Thread-safe: reads only immutable state.
+KnnQueryResult ExecuteKnnQuery(const SimConfig& config,
+                               const broadcast::BroadcastSystem& system,
+                               const geom::Rect& world, geom::Point pos, int k,
+                               int64_t slot,
+                               const std::vector<core::PeerData>& peers,
+                               bool measured);
+
+/// Window-query counterpart of ExecuteKnnQuery.
+WindowQueryResult ExecuteWindowQuery(const SimConfig& config,
+                                     const broadcast::BroadcastSystem& system,
+                                     const geom::Rect& window, int64_t slot,
+                                     const std::vector<core::PeerData>& peers,
+                                     bool measured);
+
+/// Records a measured kNN query into `metrics` (counters, resolved-by
+/// breakdown, latency/tuning accumulators) in the canonical order.
+void AccumulateKnn(const KnnQueryResult& result, SimMetrics* metrics);
+
+/// Records a measured window query into `metrics` (see AccumulateKnn).
+void AccumulateWindow(const WindowQueryResult& result, SimMetrics* metrics);
+
+/// Breadth-first flood over the radio connectivity graph from `querier` up
+/// to `hops` (1 = the paper's single-hop sharing), collecting the non-empty
+/// shared data of every reached host via `share`. Returns the number of
+/// reached hosts (including ones with nothing to share).
+int GatherPeers(const spatial::GridIndex& peer_index,
+                const std::vector<geom::Point>& positions, int64_t querier,
+                double tx_range, int hops,
+                const std::function<core::PeerData(int64_t)>& share,
+                std::vector<core::PeerData>* out);
+
+}  // namespace lbsq::sim
+
+#endif  // LBSQ_SIM_QUERY_EXEC_H_

@@ -4,9 +4,8 @@
 #include <cmath>
 
 #include "common/check.h"
-#include "onair/onair_knn.h"
-#include "onair/onair_window.h"
-#include "sim/manhattan_mobility.h"
+#include "sim/query_exec.h"
+#include "sim/workload.h"
 #include "spatial/generators.h"
 
 namespace lbsq::sim {
@@ -14,7 +13,6 @@ namespace lbsq::sim {
 Simulator::Simulator(const SimConfig& config)
     : config_(config),
       world_{0.0, 0.0, config.world_side_mi, config.world_side_mi},
-      rng_(config.seed),
       server_index_(8),
       peer_index_(world_,
                   std::max(config.params.tx_range_m * kMilesPerMeter,
@@ -24,100 +22,21 @@ Simulator::Simulator(const SimConfig& config)
   LBSQ_CHECK(config.warmup_min >= 0.0);
   LBSQ_CHECK(config.duration_min > 0.0);
 
-  Rng poi_rng = rng_.Fork();
+  Rng poi_rng(DeriveStreamSeed(config.seed, kStreamPois));
   std::vector<spatial::Poi> pois = spatial::GenerateUniformPois(
       &poi_rng, world_, config.ScaledPoiCount());
   server_index_.InsertAll(pois);
   system_ = std::make_unique<broadcast::BroadcastSystem>(
       std::move(pois), world_, config.broadcast);
 
-  const int64_t hosts = config.ScaledMhCount();
-  // Speeds in miles/minute. Under the paper-geometry window scaling, host
-  // speeds shrink linearly with the world so cache entries age (drift out of
-  // relevance) at the paper's rate relative to the window geometry.
-  const double speed_scale =
-      config.paper_window_geometry
-          ? config.world_side_mi / kPaperWorldSideMiles
-          : 1.0;
-  const double speed_min = config.speed_min_mph / 60.0 * speed_scale;
-  const double speed_max = config.speed_max_mph / 60.0 * speed_scale;
-  if (config.mobility == MobilityType::kManhattanGrid) {
-    mobility_ = std::make_unique<ManhattanGridModel>(
-        world_, hosts, config.street_block_mi, speed_min, speed_max,
-        rng_.Fork());
-  } else {
-    mobility_ = std::make_unique<RandomWaypointModel>(
-        world_, hosts, speed_min, speed_max, rng_.Fork());
-  }
+  mobility_ = MakeMobilityModel(config, world_);
+  const int64_t hosts = mobility_->num_hosts();
   caches_.reserve(static_cast<size_t>(hosts));
   for (int64_t i = 0; i < hosts; ++i) {
     caches_.emplace_back(config.params.csize, config.max_regions_per_host,
                          config.cache_policy);
   }
   positions_.resize(static_cast<size_t>(hosts));
-}
-
-int Simulator::GatherPeers(int64_t querier, geom::Point pos,
-                           std::vector<core::PeerData>* out) {
-  // Breadth-first flood over the radio connectivity graph up to the
-  // configured hop limit (1 = the paper's single-hop sharing).
-  (void)pos;  // positions_[querier] == pos; the flood reads positions_.
-  std::vector<bool> visited(static_cast<size_t>(mobility_->num_hosts()),
-                            false);
-  visited[static_cast<size_t>(querier)] = true;
-  std::vector<int64_t> frontier = {querier};
-  std::vector<int64_t> reached;
-  std::vector<int64_t> scratch;
-  for (int hop = 0; hop < config_.p2p_hops && !frontier.empty(); ++hop) {
-    std::vector<int64_t> next;
-    for (int64_t node : frontier) {
-      scratch.clear();
-      peer_index_.QueryDisc(positions_[static_cast<size_t>(node)],
-                            tx_range_mi_, &scratch);
-      for (int64_t id : scratch) {
-        if (visited[static_cast<size_t>(id)]) continue;
-        visited[static_cast<size_t>(id)] = true;
-        next.push_back(id);
-        reached.push_back(id);
-      }
-    }
-    frontier.swap(next);
-  }
-  for (int64_t id : reached) {
-    core::PeerData data = caches_[static_cast<size_t>(id)].Share();
-    if (!data.empty()) out->push_back(std::move(data));
-  }
-  return static_cast<int>(reached.size());
-}
-
-int Simulator::SampleK() {
-  const double mean = config_.params.knn_k;
-  return static_cast<int>(std::max<int64_t>(1, rng_.Poisson(mean)));
-}
-
-geom::Rect Simulator::SampleWindow(geom::Point pos) {
-  // Mean window area = window_pct% of the search space; sizes are
-  // exponential around the mean, clamped to a sane range.
-  const double mean_fraction = config_.params.window_pct / 100.0;
-  double fraction = rng_.Exponential(1.0 / mean_fraction);
-  fraction = std::clamp(fraction, mean_fraction / 10.0, 4.0 * mean_fraction);
-  const double side = std::sqrt(fraction) * config_.world_side_mi;
-  // Window center at a normally distributed distance from the host, in a
-  // uniform direction, clamped inside the world. Under the paper-geometry
-  // scaling mode the distance shrinks linearly with the world so the
-  // window/center geometry matches the paper's proportions.
-  double mean_distance = config_.params.distance_mi;
-  if (config_.paper_window_geometry) {
-    mean_distance *= config_.world_side_mi / kPaperWorldSideMiles;
-  }
-  const double distance =
-      std::abs(rng_.Normal(mean_distance, mean_distance / 3.0));
-  const double angle = rng_.Uniform(0.0, 2.0 * M_PI);
-  geom::Point center{pos.x + distance * std::cos(angle),
-                     pos.y + distance * std::sin(angle)};
-  center.x = std::clamp(center.x, world_.x1, world_.x2);
-  center.y = std::clamp(center.y, world_.y1, world_.y2);
-  return geom::Rect::CenteredSquare(center, side / 2.0);
 }
 
 void Simulator::CheckCacheInvariant(int64_t host) const {
@@ -139,121 +58,6 @@ void Simulator::CheckCacheInvariant(int64_t host) const {
   }
 }
 
-void Simulator::ExecuteKnn(int64_t querier, geom::Point pos, int k,
-                           int64_t slot,
-                           const std::vector<core::PeerData>& peers,
-                           bool measured, SimMetrics* metrics) {
-  core::SbnnOptions options;
-  options.k = k;
-  options.accept_approximate = config_.accept_approximate;
-  options.min_correctness = config_.min_correctness;
-  options.use_filtering = config_.use_filtering;
-  options.tighten_with_index_bound = config_.tighten_with_index_bound;
-  options.prefetch_radius_factor = config_.prefetch_radius_factor;
-  const double poi_density =
-      static_cast<double>(system_->pois().size()) / world_.area();
-
-  core::SbnnOutcome outcome =
-      core::RunSbnn(pos, options, peers, poi_density, *system_, slot);
-
-  // Correctness accounting against the brute-force oracle (every query).
-  const std::vector<spatial::PoiDistance> truth =
-      spatial::BruteForceKnn(system_->pois(), pos, options.k);
-  bool exact = truth.size() == outcome.neighbors.size();
-  for (size_t i = 0; exact && i < truth.size(); ++i) {
-    // Compare distances (ids can differ under exact ties).
-    exact = std::abs(truth[i].distance - outcome.neighbors[i].distance) < 1e-9;
-  }
-  if (outcome.resolved_by != core::ResolvedBy::kPeersApproximate &&
-      config_.check_answers) {
-    LBSQ_CHECK(exact);
-  }
-
-  caches_[static_cast<size_t>(querier)].Insert(
-      outcome.cacheable, pos, pos, mobility_->Heading(querier));
-  if (config_.check_cache_invariant) CheckCacheInvariant(querier);
-
-  if (!measured) return;
-  ++metrics->queries;
-  metrics->verified_per_query.Add(outcome.nnv.heap.verified_count());
-  if (outcome.resolved_by == core::ResolvedBy::kPeersApproximate) {
-    if (exact) ++metrics->approx_exact;
-  } else if (!exact) {
-    ++metrics->answer_errors;
-  }
-  switch (outcome.resolved_by) {
-    case core::ResolvedBy::kPeersVerified:
-      ++metrics->solved_verified;
-      break;
-    case core::ResolvedBy::kPeersApproximate:
-      ++metrics->solved_approximate;
-      break;
-    case core::ResolvedBy::kBroadcast:
-      ++metrics->solved_broadcast;
-      metrics->broadcast_latency.Add(
-          static_cast<double>(outcome.stats.access_latency));
-      metrics->broadcast_tuning.Add(
-          static_cast<double>(outcome.stats.tuning_time));
-      metrics->buckets_read.Add(
-          static_cast<double>(outcome.stats.buckets_read));
-      metrics->buckets_skipped.Add(
-          static_cast<double>(outcome.buckets_skipped));
-      break;
-  }
-  // What the pure on-air baseline would have cost for this query.
-  const onair::OnAirKnnResult baseline =
-      onair::OnAirKnn(*system_, pos, options.k, slot);
-  metrics->baseline_latency.Add(
-      static_cast<double>(baseline.stats.access_latency));
-  metrics->baseline_tuning.Add(
-      static_cast<double>(baseline.stats.tuning_time));
-}
-
-void Simulator::ExecuteWindow(int64_t querier, geom::Point pos,
-                              const geom::Rect& window, int64_t slot,
-                              const std::vector<core::PeerData>& peers,
-                              bool measured, SimMetrics* metrics) {
-  core::SbwqOptions options;
-  options.retrieval = config_.retrieval;
-  options.use_window_reduction = config_.use_window_reduction;
-
-  core::SbwqOutcome outcome =
-      core::RunSbwq(window, options, peers, *system_, slot);
-
-  // Correctness accounting against the brute-force oracle (every query).
-  const std::vector<spatial::Poi> truth =
-      spatial::BruteForceWindow(system_->pois(), window);
-  const bool exact = truth == outcome.pois;
-  if (config_.check_answers) {
-    LBSQ_CHECK(exact);
-  }
-
-  caches_[static_cast<size_t>(querier)].Insert(
-      outcome.cacheable, window.center(), pos, mobility_->Heading(querier));
-  if (config_.check_cache_invariant) CheckCacheInvariant(querier);
-
-  if (!measured) return;
-  ++metrics->queries;
-  if (!exact) ++metrics->answer_errors;
-  metrics->residual_fraction.Add(outcome.residual_fraction);
-  if (outcome.resolved_by_peers) {
-    ++metrics->solved_verified;
-  } else {
-    ++metrics->solved_broadcast;
-    metrics->broadcast_latency.Add(
-        static_cast<double>(outcome.stats.access_latency));
-    metrics->broadcast_tuning.Add(
-        static_cast<double>(outcome.stats.tuning_time));
-    metrics->buckets_read.Add(static_cast<double>(outcome.stats.buckets_read));
-  }
-  const onair::OnAirWindowResult baseline =
-      onair::OnAirWindow(*system_, window, slot, config_.retrieval);
-  metrics->baseline_latency.Add(
-      static_cast<double>(baseline.stats.access_latency));
-  metrics->baseline_tuning.Add(
-      static_cast<double>(baseline.stats.tuning_time));
-}
-
 void Simulator::ExecuteEvent(const QueryEvent& event, SimMetrics* metrics) {
   const int64_t hosts = mobility_->num_hosts();
   // Advance every host and refresh the peer index. O(hosts) per query
@@ -265,52 +69,43 @@ void Simulator::ExecuteEvent(const QueryEvent& event, SimMetrics* metrics) {
 
   const geom::Point pos = positions_[static_cast<size_t>(event.host)];
   std::vector<core::PeerData> peers;
-  const int peer_count = GatherPeers(event.host, pos, &peers);
+  const int peer_count = GatherPeers(
+      peer_index_, positions_, event.host, tx_range_mi_, config_.p2p_hops,
+      [this](int64_t id) { return caches_[static_cast<size_t>(id)].Share(); },
+      &peers);
   const bool measured = event.time_min >= config_.warmup_min;
   if (measured) metrics->peers_per_query.Add(peer_count);
 
   const int64_t slot = static_cast<int64_t>(
       event.time_min * config_.slots_per_second * 60.0);
   if (event.type == QueryType::kKnn) {
-    ExecuteKnn(event.host, pos, event.k, slot, peers, measured, metrics);
+    KnnQueryResult result = ExecuteKnnQuery(config_, *system_, world_, pos,
+                                            event.k, slot, peers, measured);
+    caches_[static_cast<size_t>(event.host)].Insert(
+        std::move(result.outcome.cacheable), pos, pos,
+        mobility_->Heading(event.host));
+    if (config_.check_cache_invariant) CheckCacheInvariant(event.host);
+    if (measured) AccumulateKnn(result, metrics);
   } else {
-    ExecuteWindow(event.host, pos, event.window, slot, peers, measured,
-                  metrics);
+    WindowQueryResult result = ExecuteWindowQuery(config_, *system_,
+                                                  event.window, slot, peers,
+                                                  measured);
+    caches_[static_cast<size_t>(event.host)].Insert(
+        std::move(result.outcome.cacheable), event.window.center(), pos,
+        mobility_->Heading(event.host));
+    if (config_.check_cache_invariant) CheckCacheInvariant(event.host);
+    if (measured) AccumulateWindow(result, metrics);
   }
 }
 
 SimMetrics Simulator::Run() {
-  SimMetrics metrics;
   trace_.clear();
-  const double rate = std::max(config_.ScaledQueriesPerMin(), 1e-6);
-  const double end = config_.warmup_min + config_.duration_min;
-  const int64_t hosts = mobility_->num_hosts();
-
-  double t = 0.0;
-  for (;;) {
-    t += rng_.Exponential(rate);
-    if (t > end) break;
-    QueryEvent event;
-    event.time_min = t;
-    event.host =
-        static_cast<int64_t>(rng_.NextBelow(static_cast<uint64_t>(hosts)));
-    QueryType type = config_.query_type;
-    if (type == QueryType::kMixed) {
-      type = rng_.NextBool(config_.mixed_window_fraction)
-                 ? QueryType::kWindow
-                 : QueryType::kKnn;
-    }
-    event.type = type;
-    if (type == QueryType::kKnn) {
-      event.k = SampleK();
-    } else {
-      // The window is centered relative to the host's position at query
-      // time; position the host first.
-      event.window = SampleWindow(mobility_->Position(event.host, t));
-    }
-    if (config_.record_trace) trace_.push_back(event);
+  std::vector<QueryEvent> events = GenerateWorkload(config_, world_);
+  SimMetrics metrics;
+  for (const QueryEvent& event : events) {
     ExecuteEvent(event, &metrics);
   }
+  if (config_.record_trace) trace_ = std::move(events);
   return metrics;
 }
 

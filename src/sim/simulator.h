@@ -23,6 +23,13 @@
 /// waypoint, issuing kNN or window queries at Poisson times, first trying
 /// their single-hop peers (SBNN / SBWQ) and falling back to the broadcast
 /// channel.
+///
+/// This is the sequential reference engine: events execute strictly in time
+/// order, each against the live caches of every peer. The parallel engine
+/// (sim/parallel_simulator.h) shards the same workload across worker
+/// threads; with `events_per_epoch = 1` it reproduces this engine's metrics
+/// bit-for-bit (the differential test in tests/parallel_sim_test.cc holds
+/// the two to that contract).
 
 namespace lbsq::sim {
 
@@ -54,29 +61,9 @@ class Simulator {
   const std::vector<core::PeerCache>& caches() const { return caches_; }
 
  private:
-  /// Collects the shared data of all peers within transmission range of
-  /// `pos` (excluding `querier`); returns peer count including cache-empty
-  /// peers (they respond, with nothing to share).
-  int GatherPeers(int64_t querier, geom::Point pos,
-                  std::vector<core::PeerData>* out);
-
   /// Positions every host at time `t`, refreshes the peer index, gathers
   /// the querier's peers, and dispatches the event.
   void ExecuteEvent(const QueryEvent& event, SimMetrics* metrics);
-
-  void ExecuteKnn(int64_t querier, geom::Point pos, int k, int64_t slot,
-                  const std::vector<core::PeerData>& peers, bool measured,
-                  SimMetrics* metrics);
-  void ExecuteWindow(int64_t querier, geom::Point pos,
-                     const geom::Rect& window, int64_t slot,
-                     const std::vector<core::PeerData>& peers, bool measured,
-                     SimMetrics* metrics);
-
-  /// Samples this query's k (mean params.knn_k, always >= 1).
-  int SampleK();
-  /// Samples a query window per the paper: mean area = window_pct% of the
-  /// search space, center at a normally distributed distance from the host.
-  geom::Rect SampleWindow(geom::Point pos);
 
   /// Validates the cache completeness invariant of `host` against the
   /// server database (check_cache_invariant mode).
@@ -84,7 +71,6 @@ class Simulator {
 
   SimConfig config_;
   geom::Rect world_;
-  Rng rng_;
   std::unique_ptr<broadcast::BroadcastSystem> system_;
   spatial::RTree server_index_;
   std::unique_ptr<MobilityModel> mobility_;

@@ -1,0 +1,118 @@
+#include "sim/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "sim/manhattan_mobility.h"
+
+namespace lbsq::sim {
+
+namespace {
+
+/// Mean-`knn_k` Poisson draw, clamped to >= 1.
+int SampleK(Rng* rng, const SimConfig& config) {
+  const double mean = config.params.knn_k;
+  return static_cast<int>(std::max<int64_t>(1, rng->Poisson(mean)));
+}
+
+/// Samples a query window per the paper: mean window area = window_pct% of
+/// the search space (exponential around the mean, clamped to a sane range),
+/// centered at a normally distributed distance from the host in a uniform
+/// direction, clamped inside the world.
+geom::Rect SampleWindow(Rng* rng, const SimConfig& config,
+                        const geom::Rect& world, geom::Point pos) {
+  const double mean_fraction = config.params.window_pct / 100.0;
+  double fraction = rng->Exponential(1.0 / mean_fraction);
+  fraction = std::clamp(fraction, mean_fraction / 10.0, 4.0 * mean_fraction);
+  const double side = std::sqrt(fraction) * config.world_side_mi;
+  // Under the paper-geometry scaling mode the center distance shrinks
+  // linearly with the world so the window/center geometry matches the
+  // paper's proportions.
+  double mean_distance = config.params.distance_mi;
+  if (config.paper_window_geometry) {
+    mean_distance *= config.world_side_mi / kPaperWorldSideMiles;
+  }
+  const double distance =
+      std::abs(rng->Normal(mean_distance, mean_distance / 3.0));
+  const double angle = rng->Uniform(0.0, 2.0 * M_PI);
+  geom::Point center{pos.x + distance * std::cos(angle),
+                     pos.y + distance * std::sin(angle)};
+  center.x = std::clamp(center.x, world.x1, world.x2);
+  center.y = std::clamp(center.y, world.y1, world.y2);
+  return geom::Rect::CenteredSquare(center, side / 2.0);
+}
+
+}  // namespace
+
+std::unique_ptr<MobilityModel> MakeMobilityModel(const SimConfig& config,
+                                                 const geom::Rect& world) {
+  const int64_t hosts = config.ScaledMhCount();
+  // Speeds in miles/minute. Under the paper-geometry window scaling, host
+  // speeds shrink linearly with the world so cache entries age (drift out of
+  // relevance) at the paper's rate relative to the window geometry.
+  const double speed_scale =
+      config.paper_window_geometry
+          ? config.world_side_mi / kPaperWorldSideMiles
+          : 1.0;
+  const double speed_min = config.speed_min_mph / 60.0 * speed_scale;
+  const double speed_max = config.speed_max_mph / 60.0 * speed_scale;
+  const uint64_t seed = DeriveStreamSeed(config.seed, kStreamMobility);
+  if (config.mobility == MobilityType::kManhattanGrid) {
+    return std::make_unique<ManhattanGridModel>(
+        world, hosts, config.street_block_mi, speed_min, speed_max, seed);
+  }
+  return std::make_unique<RandomWaypointModel>(world, hosts, speed_min,
+                                               speed_max, seed);
+}
+
+std::vector<QueryEvent> GenerateWorkload(const SimConfig& config,
+                                         const geom::Rect& world) {
+  LBSQ_CHECK(config.duration_min > 0.0);
+  // Window centers depend on host positions at query time; a private fleet
+  // replica supplies them (event times are globally non-decreasing, so the
+  // lazy models advance legally).
+  const std::unique_ptr<MobilityModel> mobility =
+      MakeMobilityModel(config, world);
+  const int64_t hosts = mobility->num_hosts();
+
+  Rng arrivals(DeriveStreamSeed(config.seed, kStreamArrivals));
+  const uint64_t param_seed = DeriveStreamSeed(config.seed, kStreamQueryParams);
+  std::vector<Rng> param_rngs;
+  param_rngs.reserve(static_cast<size_t>(hosts));
+  for (int64_t h = 0; h < hosts; ++h) {
+    param_rngs.emplace_back(DeriveStreamSeed(param_seed,
+                                             static_cast<uint64_t>(h)));
+  }
+
+  std::vector<QueryEvent> events;
+  const double rate = std::max(config.ScaledQueriesPerMin(), 1e-6);
+  const double end = config.warmup_min + config.duration_min;
+  double t = 0.0;
+  for (;;) {
+    t += arrivals.Exponential(rate);
+    if (t > end) break;
+    QueryEvent event;
+    event.time_min = t;
+    event.host =
+        static_cast<int64_t>(arrivals.NextBelow(static_cast<uint64_t>(hosts)));
+    QueryType type = config.query_type;
+    if (type == QueryType::kMixed) {
+      type = arrivals.NextBool(config.mixed_window_fraction)
+                 ? QueryType::kWindow
+                 : QueryType::kKnn;
+    }
+    event.type = type;
+    Rng& params = param_rngs[static_cast<size_t>(event.host)];
+    if (type == QueryType::kKnn) {
+      event.k = SampleK(&params, config);
+    } else {
+      event.window = SampleWindow(&params, config, world,
+                                  mobility->Position(event.host, t));
+    }
+    events.push_back(event);
+  }
+  return events;
+}
+
+}  // namespace lbsq::sim

@@ -1,0 +1,50 @@
+#ifndef LBSQ_SIM_WORKLOAD_H_
+#define LBSQ_SIM_WORKLOAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/mobility.h"
+#include "sim/trace.h"
+
+/// \file
+/// Deterministic workload generation shared by the sequential and the
+/// parallel simulation engines. All randomness is drawn from fixed,
+/// counter-based sub-streams of `SimConfig::seed` (see DeriveStreamSeed):
+/// the POI layout, every host's trajectory, the Poisson arrival process,
+/// and each host's query parameters each own an independent stream. Two
+/// engines configured with the same seed therefore agree on the entire
+/// world and query workload bit-for-bit, regardless of thread count — the
+/// foundation of the parallel engine's determinism guarantee.
+
+namespace lbsq::sim {
+
+/// Fixed sub-stream identifiers of `SimConfig::seed`. Changing these (or
+/// the order of draws within a stream) changes every seeded run, so they
+/// are part of the reproducibility contract.
+inline constexpr uint64_t kStreamPois = 1;
+inline constexpr uint64_t kStreamMobility = 2;
+inline constexpr uint64_t kStreamArrivals = 3;
+inline constexpr uint64_t kStreamQueryParams = 4;
+
+/// Builds the configured mobility model over `world`: per-host streams are
+/// derived from `(seed, kStreamMobility)`, speeds are scaled per the
+/// paper-geometry rules. Both engines and the workload generator construct
+/// identical fleets through this factory.
+std::unique_ptr<MobilityModel> MakeMobilityModel(const SimConfig& config,
+                                                 const geom::Rect& world);
+
+/// Samples the full query workload of a run: Poisson arrival times over
+/// [0, warmup + duration), the querying host and query type per event (from
+/// the arrivals stream), and the per-event parameters — k for kNN events,
+/// the query window for window events — from the *querying host's* own
+/// parameter stream. Events are returned in time order. Deterministic given
+/// the config; independent of engine and thread count.
+std::vector<QueryEvent> GenerateWorkload(const SimConfig& config,
+                                         const geom::Rect& world);
+
+}  // namespace lbsq::sim
+
+#endif  // LBSQ_SIM_WORKLOAD_H_

@@ -21,11 +21,23 @@ TEST(HilbertCurveTest, Order1Layout) {
 }
 
 TEST(HilbertCurveTest, RoundTripSmallOrders) {
+  // Exhaustive in both directions: index -> xy -> index over every index,
+  // and xy -> index -> xy over every cell of the grid, for orders 1-6
+  // (4..4096 cells). Together they prove the mapping is a bijection at
+  // these orders, with no reliance on sampling.
   for (int order = 1; order <= 6; ++order) {
     const uint64_t cells = 1ull << (2 * order);
     for (uint64_t d = 0; d < cells; ++d) {
       const CellXY cell = IndexToXy(order, d);
       EXPECT_EQ(XyToIndex(order, cell), d) << "order " << order;
+    }
+    const uint32_t side = 1u << order;
+    for (uint32_t x = 0; x < side; ++x) {
+      for (uint32_t y = 0; y < side; ++y) {
+        const CellXY cell{x, y};
+        EXPECT_EQ(IndexToXy(order, XyToIndex(order, cell)), cell)
+            << "order " << order << " cell (" << x << "," << y << ")";
+      }
     }
   }
 }
@@ -79,10 +91,19 @@ TEST(MortonCurveTest, KnownSmallLayout) {
 }
 
 TEST(MortonCurveTest, RoundTrip) {
+  // Exhaustive in both directions at orders 1-6 (see the Hilbert twin).
   for (int order = 1; order <= 6; ++order) {
     const uint64_t cells = 1ull << (2 * order);
     for (uint64_t d = 0; d < cells; ++d) {
       EXPECT_EQ(MortonXyToIndex(order, MortonIndexToXy(order, d)), d);
+    }
+    const uint32_t side = 1u << order;
+    for (uint32_t x = 0; x < side; ++x) {
+      for (uint32_t y = 0; y < side; ++y) {
+        const CellXY cell{x, y};
+        EXPECT_EQ(MortonIndexToXy(order, MortonXyToIndex(order, cell)), cell)
+            << "order " << order << " cell (" << x << "," << y << ")";
+      }
     }
   }
 }

@@ -4,15 +4,13 @@
 
 #include <cmath>
 
-#include "common/rng.h"
-
 namespace lbsq::sim {
 namespace {
 
 const geom::Rect kWorld{0.0, 0.0, 4.0, 4.0};
 
 TEST(ManhattanMobilityTest, PositionsStayInWorld) {
-  ManhattanGridModel model(kWorld, 20, 0.25, 0.3, 0.8, Rng(1));
+  ManhattanGridModel model(kWorld, 20, 0.25, 0.3, 0.8, 1);
   for (double t = 0.0; t < 60.0; t += 0.17) {
     for (int64_t h = 0; h < 20; ++h) {
       const geom::Point p = model.Position(h, t);
@@ -25,7 +23,7 @@ TEST(ManhattanMobilityTest, PositionsStayInWorld) {
 }
 
 TEST(ManhattanMobilityTest, PositionsSnapToStreets) {
-  ManhattanGridModel model(kWorld, 15, 0.25, 0.3, 0.8, Rng(2));
+  ManhattanGridModel model(kWorld, 15, 0.25, 0.3, 0.8, 2);
   const double block = model.block();
   for (double t = 0.0; t < 30.0; t += 0.31) {
     for (int64_t h = 0; h < 15; ++h) {
@@ -42,7 +40,7 @@ TEST(ManhattanMobilityTest, PositionsSnapToStreets) {
 }
 
 TEST(ManhattanMobilityTest, HeadingIsAxisAligned) {
-  ManhattanGridModel model(kWorld, 10, 0.25, 0.3, 0.8, Rng(3));
+  ManhattanGridModel model(kWorld, 10, 0.25, 0.3, 0.8, 3);
   for (int64_t h = 0; h < 10; ++h) {
     model.Position(h, 5.0);
     const geom::Point dir = model.Heading(h);
@@ -52,7 +50,7 @@ TEST(ManhattanMobilityTest, HeadingIsAxisAligned) {
 }
 
 TEST(ManhattanMobilityTest, SpeedBounded) {
-  ManhattanGridModel model(kWorld, 8, 0.3, 0.6, 1.6, Rng(4));
+  ManhattanGridModel model(kWorld, 8, 0.3, 0.6, 1.6, 4);
   std::vector<geom::Point> prev(8);
   for (int64_t h = 0; h < 8; ++h) prev[static_cast<size_t>(h)] = model.Position(h, 0.0);
   const double dt = 0.01;
@@ -68,8 +66,8 @@ TEST(ManhattanMobilityTest, SpeedBounded) {
 }
 
 TEST(ManhattanMobilityTest, Deterministic) {
-  ManhattanGridModel a(kWorld, 6, 0.25, 0.3, 0.8, Rng(42));
-  ManhattanGridModel b(kWorld, 6, 0.25, 0.3, 0.8, Rng(42));
+  ManhattanGridModel a(kWorld, 6, 0.25, 0.3, 0.8, 42);
+  ManhattanGridModel b(kWorld, 6, 0.25, 0.3, 0.8, 42);
   for (double t = 0.0; t < 20.0; t += 0.7) {
     for (int64_t h = 0; h < 6; ++h) {
       EXPECT_EQ(a.Position(h, t), b.Position(h, t));
@@ -78,7 +76,7 @@ TEST(ManhattanMobilityTest, Deterministic) {
 }
 
 TEST(ManhattanMobilityTest, HostsTraverseTheGrid) {
-  ManhattanGridModel model(kWorld, 5, 0.25, 0.5, 1.0, Rng(5));
+  ManhattanGridModel model(kWorld, 5, 0.25, 0.5, 1.0, 5);
   for (int64_t h = 0; h < 5; ++h) {
     const geom::Point start = model.Position(h, 0.0);
     double max_travel = 0.0;
@@ -92,7 +90,7 @@ TEST(ManhattanMobilityTest, HostsTraverseTheGrid) {
 
 TEST(ManhattanMobilityTest, TinyBlockClampedToGrid) {
   // Requested block bigger than half the world: clamped so a grid exists.
-  ManhattanGridModel model(kWorld, 3, 10.0, 0.3, 0.8, Rng(6));
+  ManhattanGridModel model(kWorld, 3, 10.0, 0.3, 0.8, 6);
   EXPECT_LE(model.block(), 2.0);
   for (int64_t h = 0; h < 3; ++h) {
     EXPECT_TRUE(kWorld.Contains(model.Position(h, 7.0)));

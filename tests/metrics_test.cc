@@ -37,6 +37,54 @@ TEST(MetricsTest, MeanLatencyCountsPeerHitsAsZero) {
   EXPECT_DOUBLE_EQ(m.MeanLatencyAllQueries(), 75.0);
 }
 
+SimMetrics SampleMetrics(int offset) {
+  SimMetrics m;
+  m.queries = 10 + offset;
+  m.solved_verified = 4;
+  m.solved_approximate = 2 + offset;
+  m.solved_broadcast = 4;
+  m.peers_per_query.Add(3.0 + offset);
+  m.peers_per_query.Add(5.0);
+  m.broadcast_latency.Add(120.0);
+  m.baseline_latency.Add(140.0 + offset);
+  m.residual_fraction.Add(0.25);
+  return m;
+}
+
+TEST(MetricsTest, EqualityComparesEveryAccumulator) {
+  EXPECT_EQ(SampleMetrics(0), SampleMetrics(0));
+  EXPECT_FALSE(SampleMetrics(0) == SampleMetrics(1));
+  // A single extra observation in one stat breaks equality.
+  SimMetrics a = SampleMetrics(0);
+  SimMetrics b = SampleMetrics(0);
+  b.buckets_skipped.Add(1.0);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(MetricsTest, MergeMatchesSequentialAccumulation) {
+  // Counters and counts merge exactly; moments merge up to rounding (the
+  // reason the parallel engine folds in event order instead — see Merge docs).
+  SimMetrics a = SampleMetrics(0);
+  const SimMetrics b = SampleMetrics(3);
+  a.Merge(b);
+  EXPECT_EQ(a.queries, 23);
+  EXPECT_EQ(a.solved_verified, 8);
+  EXPECT_EQ(a.solved_approximate, 7);
+  EXPECT_EQ(a.peers_per_query.count(), 4);
+  EXPECT_NEAR(a.peers_per_query.mean(), (3.0 + 5.0 + 6.0 + 5.0) / 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(a.broadcast_latency.sum(), 240.0);
+  EXPECT_DOUBLE_EQ(a.baseline_latency.max(), 143.0);
+}
+
+TEST(MetricsTest, MergeWithEmptyIsIdentity) {
+  SimMetrics a = SampleMetrics(0);
+  a.Merge(SimMetrics{});
+  EXPECT_EQ(a, SampleMetrics(0));
+  SimMetrics empty;
+  empty.Merge(SampleMetrics(0));
+  EXPECT_EQ(empty, SampleMetrics(0));
+}
+
 TEST(MetricsTest, ToStringMentionsKeyNumbers) {
   SimMetrics m;
   m.queries = 7;

@@ -4,15 +4,13 @@
 
 #include <cmath>
 
-#include "common/rng.h"
-
 namespace lbsq::sim {
 namespace {
 
 const geom::Rect kWorld{0.0, 0.0, 10.0, 10.0};
 
 TEST(MobilityTest, PositionsStayInWorld) {
-  RandomWaypointModel model(kWorld, 20, 0.5, 1.0, Rng(1));
+  RandomWaypointModel model(kWorld, 20, 0.5, 1.0, 1);
   for (double t = 0.0; t < 100.0; t += 0.37) {
     for (int64_t h = 0; h < 20; ++h) {
       const geom::Point p = model.Position(h, t);
@@ -22,7 +20,7 @@ TEST(MobilityTest, PositionsStayInWorld) {
 }
 
 TEST(MobilityTest, MovementRespectsSpeedBounds) {
-  RandomWaypointModel model(kWorld, 10, 0.5, 1.0, Rng(2));
+  RandomWaypointModel model(kWorld, 10, 0.5, 1.0, 2);
   std::vector<geom::Point> prev(10);
   for (int64_t h = 0; h < 10; ++h) prev[static_cast<size_t>(h)] = model.Position(h, 0.0);
   const double dt = 0.01;
@@ -39,7 +37,7 @@ TEST(MobilityTest, MovementRespectsSpeedBounds) {
 }
 
 TEST(MobilityTest, HostsActuallyMove) {
-  RandomWaypointModel model(kWorld, 5, 0.5, 1.0, Rng(3));
+  RandomWaypointModel model(kWorld, 5, 0.5, 1.0, 3);
   for (int64_t h = 0; h < 5; ++h) {
     const geom::Point a = model.Position(h, 0.0);
     const geom::Point b = model.Position(h, 5.0);
@@ -48,7 +46,7 @@ TEST(MobilityTest, HostsActuallyMove) {
 }
 
 TEST(MobilityTest, HeadingIsUnitVector) {
-  RandomWaypointModel model(kWorld, 8, 0.5, 1.0, Rng(4));
+  RandomWaypointModel model(kWorld, 8, 0.5, 1.0, 4);
   for (int64_t h = 0; h < 8; ++h) {
     model.Position(h, 3.0);
     const geom::Point dir = model.Heading(h);
@@ -57,8 +55,8 @@ TEST(MobilityTest, HeadingIsUnitVector) {
 }
 
 TEST(MobilityTest, DeterministicAcrossInstances) {
-  RandomWaypointModel a(kWorld, 6, 0.5, 1.0, Rng(77));
-  RandomWaypointModel b(kWorld, 6, 0.5, 1.0, Rng(77));
+  RandomWaypointModel a(kWorld, 6, 0.5, 1.0, 77);
+  RandomWaypointModel b(kWorld, 6, 0.5, 1.0, 77);
   for (double t = 0.0; t < 30.0; t += 1.3) {
     for (int64_t h = 0; h < 6; ++h) {
       EXPECT_EQ(a.Position(h, t), b.Position(h, t));
@@ -67,7 +65,7 @@ TEST(MobilityTest, DeterministicAcrossInstances) {
 }
 
 TEST(MobilityTest, LongHorizonAdvancesManyLegs) {
-  RandomWaypointModel model(kWorld, 3, 1.0, 2.0, Rng(5));
+  RandomWaypointModel model(kWorld, 3, 1.0, 2.0, 5);
   // 10000 minutes at ~1.5 world-units/minute crosses the world many times.
   for (int64_t h = 0; h < 3; ++h) {
     const geom::Point p = model.Position(h, 10000.0);
@@ -76,7 +74,7 @@ TEST(MobilityTest, LongHorizonAdvancesManyLegs) {
 }
 
 TEST(MobilityTest, HeadingPointsTowardDestination) {
-  RandomWaypointModel model(kWorld, 10, 0.5, 1.0, Rng(6));
+  RandomWaypointModel model(kWorld, 10, 0.5, 1.0, 6);
   for (int64_t h = 0; h < 10; ++h) {
     const geom::Point p0 = model.Position(h, 0.0);
     const geom::Point dir = model.Heading(h);

@@ -10,13 +10,20 @@
 //   lbsq_sim --params=riverside --tx=100          # sparse set, 100 m radios
 //   lbsq_sim --query=window --paper-window-geometry
 //   lbsq_sim --mobility=manhattan --hops=2 --seed=9
+//   lbsq_sim --threads=8                          # parallel engine, 8 workers
+//
+// --threads selects the epoch-based parallel engine, which is bitwise
+// deterministic across thread counts: --threads=8 prints exactly the
+// numbers --threads=1 does, only faster.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "sim/config.h"
+#include "sim/parallel_simulator.h"
 #include "sim/simulator.h"
 
 namespace {
@@ -45,6 +52,11 @@ void PrintUsage() {
       "  --check                          oracle-check every answer (slow)\n"
       "  --save-trace=<path>              record the workload to a file\n"
       "  --replay-trace=<path>            replay a recorded workload\n"
+      "  --threads=<n>                    worker threads; any n > 1 selects\n"
+      "                                   the parallel engine, whose metrics\n"
+      "                                   are bitwise identical at every n\n"
+      "  --epoch=<events>                 events per parallel epoch (32);\n"
+      "                                   1 = sequential-engine semantics\n"
       "  --seed=<n>                       RNG seed (1)\n");
 }
 
@@ -153,6 +165,18 @@ int main(int argc, char** argv) {
       config.record_trace = true;
     } else if (ParseFlag(arg, "--replay-trace", &value)) {
       replay_trace_path = value;
+    } else if (ParseFlag(arg, "--threads", &value)) {
+      config.threads = std::atoi(value.c_str());
+      if (config.threads < 1) {
+        std::fprintf(stderr, "--threads must be >= 1\n");
+        return 2;
+      }
+    } else if (ParseFlag(arg, "--epoch", &value)) {
+      config.events_per_epoch = std::atoi(value.c_str());
+      if (config.events_per_epoch < 1) {
+        std::fprintf(stderr, "--epoch must be >= 1\n");
+        return 2;
+      }
     } else if (ParseFlag(arg, "--seed", &value)) {
       config.seed = static_cast<uint64_t>(std::atoll(value.c_str()));
     } else if (std::strcmp(arg, "--help") == 0 ||
@@ -175,12 +199,17 @@ int main(int argc, char** argv) {
               static_cast<long long>(config.ScaledMhCount()),
               static_cast<long long>(config.ScaledPoiCount()),
               config.ScaledQueriesPerMin());
-  std::printf("tx range      : %.0f m; CSize %d; k %.0f; window %.0f%%\n\n",
+  std::printf("tx range      : %.0f m; CSize %d; k %.0f; window %.0f%%\n",
               config.params.tx_range_m, config.params.csize,
               config.params.knn_k, config.params.window_pct);
+  std::printf("engine        : %d thread%s, %d events/epoch "
+              "(metrics independent of thread count)\n\n",
+              config.threads, config.threads == 1 ? "" : "s",
+              config.events_per_epoch);
 
-  sim::Simulator simulator(config);
+  sim::ParallelSimulator simulator(config);
   sim::SimMetrics m;
+  const auto start = std::chrono::steady_clock::now();
   if (!replay_trace_path.empty()) {
     std::vector<sim::QueryEvent> events;
     if (!sim::LoadTrace(replay_trace_path, &events)) {
@@ -202,7 +231,12 @@ int main(int argc, char** argv) {
                   save_trace_path.c_str());
     }
   }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
 
+  std::printf("wall time               : %.2f s (%.0f queries/s)\n", seconds,
+              seconds > 0.0 ? static_cast<double>(m.queries) / seconds : 0.0);
   std::printf("measured queries        : %lld\n",
               static_cast<long long>(m.queries));
   std::printf("resolved by sharing     : %.1f%% verified, %.1f%% approximate\n",
