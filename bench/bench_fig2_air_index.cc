@@ -12,7 +12,7 @@
 #include "broadcast/system.h"
 #include "common/rng.h"
 #include "common/stats.h"
-#include "core/sbnn.h"
+#include "core/query_engine.h"
 #include "onair/onair_knn.h"
 #include "onair/onair_window.h"
 #include "spatial/generators.h"
@@ -24,7 +24,6 @@ int main() {
   // The full-scale LA City POI count: 2750 objects on the air.
   std::vector<spatial::Poi> pois =
       spatial::GenerateUniformPois(&rng, world, 2750);
-  const double density = 2750.0 / world.area();
 
   std::printf("=== Fig. 2 / §2.1: the (1, m) broadcast organization ===\n");
   std::printf("(2750 POIs, %d per bucket; 5-NN and 3%%-window queries, 500 "
@@ -96,6 +95,11 @@ int main() {
   broadcast::BroadcastParams params;
   params.bucket_capacity = 4;  // finer packets let the lower bound excuse some
   broadcast::BroadcastSystem server(pois, world, params);
+  core::QueryEngine::Options engine_options;
+  engine_options.sbnn.k = 10;
+  engine_options.sbnn.accept_approximate = false;
+  engine_options.sbnn.tighten_with_index_bound = true;
+  const core::QueryEngine engine(server, world, engine_options);
   for (double side : {0.0, 0.4, 0.8, 1.2, 1.6}) {
     RunningStat latency, buckets, skipped;
     Rng qrng(11);
@@ -112,12 +116,12 @@ int main() {
         }
         peers.push_back(core::PeerData{{vr}});
       }
-      core::SbnnOptions options;
-      options.k = 10;
-      options.accept_approximate = false;
-      options.tighten_with_index_bound = true;
-      const auto outcome =
-          core::RunSbnn(q, options, peers, density, server, now);
+      core::QueryRequest request;
+      request.kind = core::QueryKind::kKnn;
+      request.position = q;
+      request.slot = now;
+      request.peers = std::move(peers);
+      const core::SbnnOutcome outcome = std::move(*engine.Execute(request).knn);
       if (outcome.resolved_by != core::ResolvedBy::kBroadcast) continue;
       latency.Add(static_cast<double>(outcome.stats.access_latency));
       buckets.Add(static_cast<double>(outcome.stats.buckets_read));

@@ -8,7 +8,8 @@ namespace lbsq::broadcast {
 
 AccessStats RetrieveBucketsLossy(const BroadcastSchedule& schedule, int64_t t,
                                  const std::vector<int64_t>& buckets,
-                                 double loss_prob, Rng* rng) {
+                                 double loss_prob, Rng* rng,
+                                 obs::TraceRecorder* trace) {
   LBSQ_CHECK(t >= 0);
   LBSQ_CHECK(loss_prob >= 0.0 && loss_prob < 1.0);
   LBSQ_CHECK(rng != nullptr);
@@ -17,23 +18,32 @@ AccessStats RetrieveBucketsLossy(const BroadcastSchedule& schedule, int64_t t,
   // Initial probe (assumed to succeed: only the next-index pointer is
   // needed, and it is carried by every bucket).
   stats.tuning_time += 1;
+  if (trace != nullptr) trace->Span("bcast.probe", t, t + 1);
 
   // Index search with per-segment retry: a lost segment means dozing until
   // the next replica.
   int64_t cursor = t + 1;
+  int64_t index_retries = 0;
+  const int64_t first_index_start = schedule.NextIndexSegmentStart(cursor);
   for (;;) {
     const int64_t index_start = schedule.NextIndexSegmentStart(cursor);
     cursor = index_start + schedule.index_buckets();
     stats.tuning_time += schedule.index_buckets();
     if (!rng->NextBool(loss_prob)) break;
+    ++index_retries;
   }
   const int64_t index_end = cursor;
+  if (trace != nullptr) {
+    trace->Span("bcast.index", first_index_start, index_end);
+    trace->Counter("bcast.index_retries", static_cast<double>(index_retries));
+  }
 
   // Data retrieval with per-bucket retries at subsequent cycle occurrences.
   std::vector<int64_t> needed = buckets;
   std::sort(needed.begin(), needed.end());
   needed.erase(std::unique(needed.begin(), needed.end()), needed.end());
   int64_t completion = index_end;
+  int64_t data_retries = 0;
   for (int64_t bucket : needed) {
     int64_t attempt_from = index_end;
     for (;;) {
@@ -43,19 +53,26 @@ AccessStats RetrieveBucketsLossy(const BroadcastSchedule& schedule, int64_t t,
         completion = std::max(completion, slot + 1);
         break;
       }
+      ++data_retries;
       attempt_from = slot + 1;
     }
   }
   stats.buckets_read = static_cast<int64_t>(needed.size());
   stats.access_latency = completion - t;
+  if (trace != nullptr) {
+    trace->Span("bcast.data", index_end, completion);
+    trace->Counter("bcast.data_retries", static_cast<double>(data_retries));
+  }
   return stats;
 }
 
 AccessStats RetrieveBuckets(const BroadcastSchedule& schedule, int64_t t,
                             const std::vector<int64_t>& buckets,
-                            int64_t index_read_buckets) {
+                            IndexReadMode index_mode,
+                            obs::TraceRecorder* trace) {
   LBSQ_CHECK(t >= 0);
-  if (index_read_buckets < 0) index_read_buckets = schedule.index_buckets();
+  const int64_t index_read_buckets = index_mode.BucketsToRead(schedule);
+  LBSQ_CHECK(index_read_buckets >= 0);
   LBSQ_CHECK(index_read_buckets <= schedule.index_buckets());
   AccessStats stats;
 
@@ -63,12 +80,14 @@ AccessStats RetrieveBuckets(const BroadcastSchedule& schedule, int64_t t,
   // bucket carries a pointer to the next index segment.
   stats.tuning_time += 1;
   const int64_t after_probe = t + 1;
+  if (trace != nullptr) trace->Span("bcast.probe", t, after_probe);
 
   // Step 2: index search. Read the needed part of the next index segment
   // (dozing between tree-path buckets when a hierarchical index is in use).
   const int64_t index_start = schedule.NextIndexSegmentStart(after_probe);
   const int64_t index_end = index_start + schedule.index_buckets();
   stats.tuning_time += index_read_buckets;
+  if (trace != nullptr) trace->Span("bcast.index", index_start, index_end);
 
   // Step 3: data retrieval.
   std::vector<int64_t> needed = buckets;
@@ -82,7 +101,17 @@ AccessStats RetrieveBuckets(const BroadcastSchedule& schedule, int64_t t,
   stats.tuning_time += static_cast<int64_t>(needed.size());
   stats.buckets_read = static_cast<int64_t>(needed.size());
   stats.access_latency = completion - t;
+  if (trace != nullptr) trace->Span("bcast.data", index_end, completion);
   return stats;
+}
+
+AccessStats RetrieveBuckets(const BroadcastSchedule& schedule, int64_t t,
+                            const std::vector<int64_t>& buckets,
+                            int64_t index_read_buckets) {
+  return RetrieveBuckets(schedule, t, buckets,
+                         index_read_buckets < 0
+                             ? IndexReadMode::FlatDirectory()
+                             : IndexReadMode::TreePaths(index_read_buckets));
 }
 
 }  // namespace lbsq::broadcast

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "broadcast/schedule.h"
+#include "common/observability.h"
 #include "common/rng.h"
 
 /// \file
@@ -36,22 +37,61 @@ struct AccessStats {
   }
 };
 
+/// How much of an index segment the client must read during the index-search
+/// step. Replaces the old `index_read_buckets` integer whose magic value -1
+/// meant "the whole segment".
+struct IndexReadMode {
+  enum class Kind {
+    /// Flat directory: the client reads the entire index segment.
+    kFlatDirectory,
+    /// Hierarchical air index: the client reads only the root-to-leaf path
+    /// buckets (`buckets` of them), dozing in between.
+    kTreePaths,
+  };
+
+  Kind kind = Kind::kFlatDirectory;
+  /// Index buckets actually read (kTreePaths only).
+  int64_t buckets = 0;
+
+  static IndexReadMode FlatDirectory() { return IndexReadMode{}; }
+  static IndexReadMode TreePaths(int64_t buckets) {
+    return IndexReadMode{Kind::kTreePaths, buckets};
+  }
+
+  /// Index buckets read under this mode for the given schedule.
+  int64_t BucketsToRead(const BroadcastSchedule& schedule) const {
+    return kind == Kind::kFlatDirectory ? schedule.index_buckets() : buckets;
+  }
+};
+
 /// Simulates retrieving `buckets` (data bucket ids, duplicates allowed)
 /// starting at slot `t`:
 ///  1. initial probe: listen to the current slot to learn the offset of the
 ///     next index segment (1 slot of tuning);
-///  2. index search: doze until the segment starts, then read
-///     `index_read_buckets` of it — the whole segment for a flat directory
-///     (the default, -1), or just the root-to-leaf paths for a tree index
-///     (the client dozes between path buckets; data retrieval still begins
-///     at the end of the segment);
+///  2. index search: doze until the segment starts, then read the part of it
+///     `index_mode` prescribes — the whole segment for a flat directory (the
+///     default), or just the root-to-leaf paths for a tree index (the client
+///     dozes between path buckets; data retrieval still begins at the end of
+///     the segment);
 ///  3. data retrieval: doze between needed buckets, waking for each (1 slot
 ///     of tuning per distinct bucket).
 /// With an empty bucket set the client still pays steps 1-2 (it cannot know
 /// the set is empty without the index).
+///
+/// A non-null `trace` receives one span per protocol stage (`bcast.probe`,
+/// `bcast.index`, `bcast.data`, in slots).
 AccessStats RetrieveBuckets(const BroadcastSchedule& schedule, int64_t t,
                             const std::vector<int64_t>& buckets,
-                            int64_t index_read_buckets = -1);
+                            IndexReadMode index_mode = IndexReadMode{},
+                            obs::TraceRecorder* trace = nullptr);
+
+/// Deprecated shim for the pre-IndexReadMode signature: `index_read_buckets`
+/// of -1 means the flat directory, any other value means tree paths reading
+/// that many buckets. Will be removed one release after IndexReadMode.
+[[deprecated("pass an IndexReadMode instead of the -1 sentinel")]]
+AccessStats RetrieveBuckets(const BroadcastSchedule& schedule, int64_t t,
+                            const std::vector<int64_t>& buckets,
+                            int64_t index_read_buckets);
 
 /// RetrieveBuckets over an unreliable channel: every bucket reception (index
 /// and data alike) independently fails with probability `loss_prob` (fading,
@@ -59,9 +99,13 @@ AccessStats RetrieveBuckets(const BroadcastSchedule& schedule, int64_t t,
 /// retries at the bucket's next on-air occurrence. `loss_prob` in [0, 1);
 /// with 0 this is exactly RetrieveBuckets. Failed receptions still cost
 /// tuning time (the receiver was on).
+///
+/// A non-null `trace` receives the per-stage spans plus the
+/// `bcast.index_retries` / `bcast.data_retries` loss counters.
 AccessStats RetrieveBucketsLossy(const BroadcastSchedule& schedule, int64_t t,
                                  const std::vector<int64_t>& buckets,
-                                 double loss_prob, Rng* rng);
+                                 double loss_prob, Rng* rng,
+                                 obs::TraceRecorder* trace = nullptr);
 
 }  // namespace lbsq::broadcast
 

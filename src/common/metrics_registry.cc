@@ -1,0 +1,138 @@
+#include "common/metrics_registry.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/observability.h"
+
+namespace lbsq {
+
+namespace {
+
+// Renders a double as a JSON value (JSON has no inf/nan; an empty
+// histogram's +/-inf extremes render as null).
+std::string JsonNumber(double x) {
+  if (!std::isfinite(x)) return "null";
+  return obs::FormatDouble(x);
+}
+
+}  // namespace
+
+Histogram* MetricsRegistry::AddHistogram(const std::string& name, double lo,
+                                         double hi, int buckets) {
+  if (Histogram* existing = FindHistogram(name)) return existing;
+  histograms_.push_back(NamedHistogram{name, Histogram(lo, hi, buckets)});
+  return &histograms_.back().histogram;
+}
+
+Histogram* MetricsRegistry::FindHistogram(const std::string& name) {
+  for (NamedHistogram& entry : histograms_) {
+    if (entry.name == name) return &entry.histogram;
+  }
+  return nullptr;
+}
+
+const Histogram* MetricsRegistry::FindHistogram(const std::string& name) const {
+  for (const NamedHistogram& entry : histograms_) {
+    if (entry.name == name) return &entry.histogram;
+  }
+  return nullptr;
+}
+
+void MetricsRegistry::Observe(const std::string& name, double x) {
+  if (Histogram* histogram = FindHistogram(name)) histogram->Add(x);
+}
+
+void MetricsRegistry::IncrementCounter(const std::string& name,
+                                       int64_t delta) {
+  for (NamedCounter& entry : counters_) {
+    if (entry.name == name) {
+      entry.value += delta;
+      return;
+    }
+  }
+  counters_.push_back(NamedCounter{name, delta});
+}
+
+int64_t MetricsRegistry::counter(const std::string& name) const {
+  for (const NamedCounter& entry : counters_) {
+    if (entry.name == name) return entry.value;
+  }
+  return 0;
+}
+
+std::vector<std::string> MetricsRegistry::HistogramNames() const {
+  std::vector<std::string> names;
+  names.reserve(histograms_.size());
+  for (const NamedHistogram& entry : histograms_) names.push_back(entry.name);
+  return names;
+}
+
+std::string MetricsRegistry::ExportJson() const {
+  std::string out = "{\n  \"histograms\": {";
+  bool first = true;
+  for (const NamedHistogram& entry : histograms_) {
+    const Histogram& h = entry.histogram;
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + entry.name + "\": {";
+    out += "\"lo\": " + JsonNumber(h.lo());
+    out += ", \"hi\": " + JsonNumber(h.hi());
+    out += ", \"count\": " + std::to_string(h.total());
+    out += ", \"underflow\": " + std::to_string(h.underflow_count());
+    out += ", \"overflow\": " + std::to_string(h.overflow_count());
+    out += ", \"min\": " + JsonNumber(h.sample_min());
+    out += ", \"max\": " + JsonNumber(h.sample_max());
+    out += ", \"p50\": " + JsonNumber(h.P50());
+    out += ", \"p95\": " + JsonNumber(h.P95());
+    out += ", \"p99\": " + JsonNumber(h.P99());
+    out += ", \"buckets\": [";
+    for (int i = 0; i < h.num_buckets(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(h.bucket_count(i));
+    }
+    out += "]}";
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"counters\": {";
+  first = true;
+  for (const NamedCounter& entry : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + entry.name + "\": " + std::to_string(entry.value);
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::string MetricsRegistry::ExportCsv() const {
+  std::string out = "row,name,field1,field2,field3\n";
+  char line[160];
+  for (const NamedHistogram& entry : histograms_) {
+    const Histogram& h = entry.histogram;
+    const double width =
+        (h.hi() - h.lo()) / static_cast<double>(h.num_buckets());
+    for (int i = 0; i < h.num_buckets(); ++i) {
+      std::snprintf(line, sizeof(line), "histogram_bucket,%s,%s,%s,%lld\n",
+                    entry.name.c_str(),
+                    obs::FormatDouble(h.lo() + width * i).c_str(),
+                    obs::FormatDouble(h.lo() + width * (i + 1)).c_str(),
+                    static_cast<long long>(h.bucket_count(i)));
+      out += line;
+    }
+    std::snprintf(line, sizeof(line), "histogram_summary,%s,%lld,%s,%s\n",
+                  entry.name.c_str(), static_cast<long long>(h.total()),
+                  obs::FormatDouble(h.P50()).c_str(),
+                  obs::FormatDouble(h.P99()).c_str());
+    out += line;
+  }
+  for (const NamedCounter& entry : counters_) {
+    std::snprintf(line, sizeof(line), "counter,%s,%lld,,\n",
+                  entry.name.c_str(), static_cast<long long>(entry.value));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace lbsq

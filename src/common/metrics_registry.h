@@ -1,0 +1,76 @@
+#ifndef LBSQ_COMMON_METRICS_REGISTRY_H_
+#define LBSQ_COMMON_METRICS_REGISTRY_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+/// \file
+/// A named collection of histograms and counters, populated during a run and
+/// rendered by the JSON / CSV exporters. Registration order is preserved and
+/// determines export order, so export output is deterministic for a
+/// deterministic run. Observations into unregistered names are dropped —
+/// the driver chooses which distributions to pay for (`--hist=...`), and the
+/// instrumented code does not need to know the choice.
+///
+/// Not thread-safe by design: the simulation engines fold observations on a
+/// single thread in global event order (the same contract as SimMetrics).
+
+namespace lbsq {
+
+class MetricsRegistry {
+ public:
+  /// Registers (or re-fetches) a histogram. Re-registering an existing name
+  /// returns the existing histogram (its geometry wins). The pointer is
+  /// stable for the registry's lifetime.
+  Histogram* AddHistogram(const std::string& name, double lo, double hi,
+                          int buckets);
+
+  /// The histogram registered under `name`, or null.
+  Histogram* FindHistogram(const std::string& name);
+  const Histogram* FindHistogram(const std::string& name) const;
+
+  /// Adds an observation to the named histogram; silently dropped when the
+  /// name is not registered.
+  void Observe(const std::string& name, double x);
+
+  /// Increments the named counter, creating it at zero on first use.
+  void IncrementCounter(const std::string& name, int64_t delta = 1);
+
+  /// Current value of the named counter (0 when absent).
+  int64_t counter(const std::string& name) const;
+
+  /// Registered histogram names, in registration order.
+  std::vector<std::string> HistogramNames() const;
+
+  /// Renders every histogram (geometry, bucket counts, count/min/max and
+  /// p50/p95/p99) and counter as one JSON object.
+  std::string ExportJson() const;
+
+  /// Renders the same content as CSV: one `histogram_bucket` row per bucket,
+  /// one `histogram_summary` row per histogram, one `counter` row each.
+  std::string ExportCsv() const;
+
+ private:
+  struct NamedHistogram {
+    std::string name;
+    Histogram histogram;
+  };
+  struct NamedCounter {
+    std::string name;
+    int64_t value = 0;
+  };
+
+  // Insertion-ordered; lookups are linear scans over a handful of entries
+  // (the per-observation cost is a few string compares). Deques keep the
+  // pointers AddHistogram hands out stable across later registrations.
+  std::deque<NamedHistogram> histograms_;
+  std::deque<NamedCounter> counters_;
+};
+
+}  // namespace lbsq
+
+#endif  // LBSQ_COMMON_METRICS_REGISTRY_H_

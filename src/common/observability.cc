@@ -1,0 +1,56 @@
+#include "common/observability.h"
+
+#include <cstdio>
+
+namespace lbsq::obs {
+
+std::string FormatDouble(double x) {
+  char buffer[40];
+  // Shortest representation that round-trips: try increasing precision and
+  // keep the first that parses back to the same bits.
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, x);
+    double parsed = 0.0;
+    std::sscanf(buffer, "%lf", &parsed);
+    if (parsed == x) break;
+  }
+  return buffer;
+}
+
+void TraceSink::Append(const TraceRecorder& recorder) {
+  char buffer[192];
+  for (const TraceEvent& event : recorder.events()) {
+    if (event.kind == TraceEvent::Kind::kSpan) {
+      std::snprintf(buffer, sizeof(buffer),
+                    "{\"q\":%lld,\"host\":%lld,\"type\":\"%s\","
+                    "\"kind\":\"span\",\"name\":\"%s\","
+                    "\"begin\":%lld,\"end\":%lld}\n",
+                    static_cast<long long>(recorder.query_id()),
+                    static_cast<long long>(recorder.host()),
+                    recorder.query_type(), event.name,
+                    static_cast<long long>(event.begin),
+                    static_cast<long long>(event.end));
+      jsonl_ += buffer;
+    } else {
+      std::snprintf(buffer, sizeof(buffer),
+                    "{\"q\":%lld,\"host\":%lld,\"type\":\"%s\","
+                    "\"kind\":\"counter\",\"name\":\"%s\",\"value\":%s}\n",
+                    static_cast<long long>(recorder.query_id()),
+                    static_cast<long long>(recorder.host()),
+                    recorder.query_type(), event.name,
+                    FormatDouble(event.value).c_str());
+      jsonl_ += buffer;
+    }
+    ++event_count_;
+  }
+}
+
+bool TraceSink::WriteFile(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const size_t written = std::fwrite(jsonl_.data(), 1, jsonl_.size(), file);
+  const bool closed = std::fclose(file) == 0;
+  return written == jsonl_.size() && closed;
+}
+
+}  // namespace lbsq::obs

@@ -1,0 +1,132 @@
+#ifndef LBSQ_COMMON_OBSERVABILITY_H_
+#define LBSQ_COMMON_OBSERVABILITY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file
+/// Query-level tracing. A `TraceRecorder` collects span and counter events
+/// for one query execution; a `TraceSink` folds recorders — in global event
+/// order — into a JSON-lines document. All recording is keyed to *simulated*
+/// time (broadcast slots), never wall-clock time, so trace output is a pure
+/// function of the configuration and seed: the parallel simulation engine
+/// produces byte-identical trace files at any thread count.
+///
+/// Threading model: a recorder is thread-private (each worker records into
+/// the recorder of the event it owns; no locks, no sharing), and the sink is
+/// only ever appended to by the fold thread. Recording costs one branch when
+/// no recorder is attached, and compiles out entirely under
+/// `-DLBSQ_DISABLE_OBSERVABILITY=ON` (the `LBSQ_NO_OBSERVABILITY` macro),
+/// leaving the instrumented hot paths bit-identical to uninstrumented code.
+
+namespace lbsq::obs {
+
+/// True when tracing support is compiled in. Under LBSQ_NO_OBSERVABILITY the
+/// recording methods are empty inline stubs and every recorder stays empty.
+inline constexpr bool kObservabilityCompiledIn =
+#ifdef LBSQ_NO_OBSERVABILITY
+    false;
+#else
+    true;
+#endif
+
+/// One recorded event. Spans carry a [begin, end) interval in broadcast
+/// slots; counters carry a value. Names are string literals with static
+/// storage duration (the recorder stores the pointer, not a copy).
+struct TraceEvent {
+  enum class Kind { kSpan, kCounter };
+  Kind kind = Kind::kCounter;
+  const char* name = "";
+  /// Span interval in slots (kSpan only).
+  int64_t begin = 0;
+  int64_t end = 0;
+  /// Counter value (kCounter only).
+  double value = 0.0;
+
+  friend bool operator==(const TraceEvent& a, const TraceEvent& b) {
+    return a.kind == b.kind && std::string(a.name) == b.name &&
+           a.begin == b.begin && a.end == b.end && a.value == b.value;
+  }
+};
+
+/// Per-query event collector. Create (or Reset) one per query execution and
+/// pass it down the query path; a null recorder pointer disables recording
+/// at every instrumentation site.
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+
+  /// Rebinds the recorder to a new query and discards prior events.
+  /// `query_type` must be a string literal ("knn" / "window").
+  void Reset(int64_t query_id, int64_t host, const char* query_type) {
+    query_id_ = query_id;
+    host_ = host;
+    query_type_ = query_type;
+    events_.clear();
+  }
+
+  /// Records a span covering slots [begin, end).
+  void Span(const char* name, int64_t begin, int64_t end) {
+#ifdef LBSQ_NO_OBSERVABILITY
+    (void)name;
+    (void)begin;
+    (void)end;
+#else
+    events_.push_back(
+        TraceEvent{TraceEvent::Kind::kSpan, name, begin, end, 0.0});
+#endif
+  }
+
+  /// Records a counter observation.
+  void Counter(const char* name, double value) {
+#ifdef LBSQ_NO_OBSERVABILITY
+    (void)name;
+    (void)value;
+#else
+    events_.push_back(
+        TraceEvent{TraceEvent::Kind::kCounter, name, 0, 0, value});
+#endif
+  }
+
+  int64_t query_id() const { return query_id_; }
+  int64_t host() const { return host_; }
+  const char* query_type() const { return query_type_; }
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+ private:
+  int64_t query_id_ = 0;
+  int64_t host_ = 0;
+  const char* query_type_ = "";
+  std::vector<TraceEvent> events_;
+};
+
+/// Run-level trace accumulator. Appending a recorder serializes its events
+/// as JSON lines, so the document's bytes are determined purely by the
+/// append order — the fold contract the simulation engines uphold.
+class TraceSink {
+ public:
+  /// Serializes and appends every event of `recorder`.
+  void Append(const TraceRecorder& recorder);
+
+  /// Total events appended so far.
+  int64_t event_count() const { return event_count_; }
+  /// The JSON-lines document built so far (one event per line).
+  const std::string& jsonl() const { return jsonl_; }
+
+  /// Writes the document to `path`; false on I/O failure.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  std::string jsonl_;
+  int64_t event_count_ = 0;
+};
+
+/// Formats a double so the text round-trips exactly (shortest form first,
+/// widening to 17 significant digits when needed). Shared by the trace and
+/// metrics exporters so equal values always render as equal bytes.
+std::string FormatDouble(double x);
+
+}  // namespace lbsq::obs
+
+#endif  // LBSQ_COMMON_OBSERVABILITY_H_

@@ -54,17 +54,26 @@ Histogram::Histogram(double lo, double hi, int buckets) : lo_(lo), hi_(hi) {
 void Histogram::Add(double x) {
   const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
   int64_t idx = static_cast<int64_t>(std::floor((x - lo_) / width));
+  if (x < lo_) ++underflow_;
+  if (x >= hi_) ++overflow_;
   idx = std::clamp<int64_t>(idx, 0, static_cast<int64_t>(counts_.size()) - 1);
   ++counts_[static_cast<size_t>(idx)];
   ++total_;
+  sample_min_ = std::min(sample_min_, x);
+  sample_max_ = std::max(sample_max_, x);
 }
 
 double Histogram::Percentile(double p) const {
   LBSQ_CHECK(p >= 0.0 && p <= 100.0);
   if (total_ == 0) return lo_;
+  // The extremes are tracked exactly; buckets cannot do better (and the
+  // overflow bucket in particular knows nothing about its tail).
+  if (p == 0.0) return sample_min_;
+  if (p == 100.0) return sample_max_;
   const double target = p / 100.0 * static_cast<double>(total_);
   const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
   double cumulative = 0.0;
+  double estimate = hi_;
   for (size_t i = 0; i < counts_.size(); ++i) {
     const double next = cumulative + static_cast<double>(counts_[i]);
     if (next >= target) {
@@ -72,11 +81,26 @@ double Histogram::Percentile(double p) const {
           counts_[i] == 0
               ? 0.0
               : (target - cumulative) / static_cast<double>(counts_[i]);
-      return lo_ + (static_cast<double>(i) + frac) * width;
+      estimate = lo_ + (static_cast<double>(i) + frac) * width;
+      break;
     }
     cumulative = next;
   }
-  return hi_;
+  // A bucket only bounds its samples; the exact extremes bound them tighter
+  // (a single observation reports itself, and clamped overflow samples never
+  // push a percentile past the true maximum).
+  return std::clamp(estimate, sample_min_, sample_max_);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  LBSQ_CHECK(lo_ == other.lo_ && hi_ == other.hi_);
+  LBSQ_CHECK(counts_.size() == other.counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+  overflow_ += other.overflow_;
+  underflow_ += other.underflow_;
+  sample_min_ = std::min(sample_min_, other.sample_min_);
+  sample_max_ = std::max(sample_max_, other.sample_max_);
 }
 
 std::string Histogram::ToString() const {

@@ -52,7 +52,9 @@ class RunningStat {
 };
 
 /// Fixed-bucket histogram over [lo, hi); out-of-range samples clamp to the
-/// first/last bucket. Used to report latency distributions.
+/// first/last bucket (the last bucket doubles as the overflow bucket), and
+/// the exact sample extremes are tracked alongside so the tail is never
+/// silently truncated. Used to report latency distributions.
 class Histogram {
  public:
   /// Creates `buckets` equal-width buckets spanning [lo, hi). Requires
@@ -68,10 +70,43 @@ class Histogram {
   int num_buckets() const { return static_cast<int>(counts_.size()); }
   /// Total observations.
   int64_t total() const { return total_; }
+  /// Lower / upper bound of the bucketed range.
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  /// Exact smallest / largest observation (+inf / -inf when empty) — in
+  /// particular, `sample_max()` reports the true tail even when samples
+  /// landed in the overflow bucket.
+  double sample_min() const { return sample_min_; }
+  double sample_max() const { return sample_max_; }
+  /// Observations at or above `hi` (they were clamped into the last bucket).
+  int64_t overflow_count() const { return overflow_; }
+  /// Observations below `lo` (clamped into the first bucket).
+  int64_t underflow_count() const { return underflow_; }
 
   /// Approximate p-th percentile (p in [0, 100]) by linear interpolation
-  /// within the containing bucket. Returns `lo` when empty.
+  /// within the containing bucket, clamped to the exact sample extremes (so
+  /// a single sample reports itself, and no percentile exceeds the true
+  /// max). p = 0 and p = 100 report the exact sample min / max — in
+  /// particular the true overflow tail. Returns `lo` when empty.
   double Percentile(double p) const;
+
+  /// Headline distribution summary.
+  double P50() const { return Percentile(50.0); }
+  double P95() const { return Percentile(95.0); }
+  double P99() const { return Percentile(99.0); }
+
+  /// Folds another histogram with identical geometry (same lo/hi/buckets)
+  /// into this one. Bucket counts are integers, so merging is exact and
+  /// order-independent.
+  void Merge(const Histogram& other);
+
+  /// Bitwise state equality.
+  friend bool operator==(const Histogram& a, const Histogram& b) {
+    return a.lo_ == b.lo_ && a.hi_ == b.hi_ && a.counts_ == b.counts_ &&
+           a.total_ == b.total_ && a.overflow_ == b.overflow_ &&
+           a.underflow_ == b.underflow_ && a.sample_min_ == b.sample_min_ &&
+           a.sample_max_ == b.sample_max_;
+  }
 
   /// Multi-line ASCII rendering for logs.
   std::string ToString() const;
@@ -81,6 +116,10 @@ class Histogram {
   double hi_;
   std::vector<int64_t> counts_;
   int64_t total_ = 0;
+  int64_t overflow_ = 0;
+  int64_t underflow_ = 0;
+  double sample_min_ = 1.0 / 0.0 * 1.0;  // +inf
+  double sample_max_ = -(1.0 / 0.0);     // -inf
 };
 
 }  // namespace lbsq

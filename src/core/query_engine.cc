@@ -1,0 +1,49 @@
+#include "core/query_engine.h"
+
+#include "common/check.h"
+
+namespace lbsq::core {
+
+bool QueryOutcome::ResolvedByPeers() const {
+  if (kind == QueryKind::kKnn) {
+    return knn->resolved_by != ResolvedBy::kBroadcast;
+  }
+  return window->resolved_by_peers;
+}
+
+const broadcast::AccessStats& QueryOutcome::Stats() const {
+  return kind == QueryKind::kKnn ? knn->stats : window->stats;
+}
+
+VerifiedRegion& QueryOutcome::Cacheable() {
+  return kind == QueryKind::kKnn ? knn->cacheable : window->cacheable;
+}
+
+const VerifiedRegion& QueryOutcome::Cacheable() const {
+  return kind == QueryKind::kKnn ? knn->cacheable : window->cacheable;
+}
+
+QueryEngine::QueryEngine(const broadcast::BroadcastSystem& system,
+                         const geom::Rect& world, const Options& options)
+    : system_(system), world_(world), options_(options) {
+  options_.Validate();
+  LBSQ_CHECK(world.area() > 0.0);
+  poi_density_ = static_cast<double>(system.pois().size()) / world.area();
+}
+
+QueryOutcome QueryEngine::Execute(const QueryRequest& request) const {
+  QueryOutcome outcome;
+  outcome.kind = request.kind;
+  if (request.kind == QueryKind::kKnn) {
+    SbnnOptions sbnn = options_.sbnn;
+    if (request.k > 0) sbnn.k = request.k;
+    outcome.knn = RunSbnn(request.position, sbnn, request.peers, poi_density_,
+                          system_, request.slot, request.trace);
+  } else {
+    outcome.window = RunSbwq(request.window, options_.sbwq, request.peers,
+                             system_, request.slot, request.trace);
+  }
+  return outcome;
+}
+
+}  // namespace lbsq::core

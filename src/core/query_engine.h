@@ -1,0 +1,104 @@
+#ifndef LBSQ_CORE_QUERY_ENGINE_H_
+#define LBSQ_CORE_QUERY_ENGINE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "broadcast/system.h"
+#include "common/observability.h"
+#include "core/sbnn.h"
+#include "core/sbwq.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+
+/// \file
+/// The unified query entry point. `QueryEngine` wraps the SBNN / SBWQ free
+/// functions behind one `Execute(QueryRequest) -> QueryOutcome` call, so
+/// option plumbing, peer-data handling, Lemma 3.2 density derivation, and
+/// trace attachment live in one place instead of being repeated by every
+/// driver (the simulators, the benches, the examples). The engine is
+/// immutable after construction and shares no mutable state across calls —
+/// `Execute` is safe to invoke concurrently from the parallel simulation
+/// engine's worker threads.
+
+namespace lbsq::core {
+
+/// Which query algorithm a request runs.
+enum class QueryKind { kKnn, kWindow };
+
+/// One query, self-contained: parameters, the peer snapshot to share from,
+/// and the (optional) trace recorder that receives the per-stage breakdown.
+struct QueryRequest {
+  QueryKind kind = QueryKind::kKnn;
+  /// kNN: the query point and the number of neighbors (0 = the engine's
+  /// configured default k).
+  geom::Point position;
+  int k = 0;
+  /// Window queries: the query window.
+  geom::Rect window;
+  /// The broadcast slot at which the query is issued.
+  int64_t slot = 0;
+  /// Shared data gathered from peers in transmission range.
+  std::vector<PeerData> peers;
+  /// Receives span/counter events for this query; null disables tracing.
+  obs::TraceRecorder* trace = nullptr;
+};
+
+/// The result of one Execute call: exactly one of the two outcome kinds is
+/// populated; the accessors below expose the fields common to both.
+struct QueryOutcome {
+  QueryKind kind = QueryKind::kKnn;
+  std::optional<SbnnOutcome> knn;
+  std::optional<SbwqOutcome> window;
+
+  /// True when peers alone answered the query (verified or approximate kNN,
+  /// or a fully covered window) — zero broadcast access.
+  bool ResolvedByPeers() const;
+  /// Broadcast cost (all zero when resolved by peers).
+  const broadcast::AccessStats& Stats() const;
+  /// The verified knowledge the query produced, ready for cache insertion.
+  VerifiedRegion& Cacheable();
+  const VerifiedRegion& Cacheable() const;
+};
+
+/// Facade over RunSbnn / RunSbwq bound to one broadcast system.
+class QueryEngine {
+ public:
+  struct Options {
+    SbnnOptions sbnn;
+    SbwqOptions sbwq;
+
+    /// Validates both nested option sets.
+    void Validate() const {
+      sbnn.Validate();
+      sbwq.Validate();
+    }
+  };
+
+  /// Binds the engine to `system` broadcasting over `world`. The Lemma 3.2
+  /// POI density is derived here, once. Validates `options` (aborts on
+  /// out-of-range values).
+  QueryEngine(const broadcast::BroadcastSystem& system,
+              const geom::Rect& world, const Options& options);
+
+  /// Executes one query. Thread-safe: reads only immutable engine state and
+  /// the request.
+  QueryOutcome Execute(const QueryRequest& request) const;
+
+  const broadcast::BroadcastSystem& system() const { return system_; }
+  const Options& options() const { return options_; }
+  const geom::Rect& world() const { return world_; }
+  /// Server POIs per square mile (parameterizes Lemma 3.2).
+  double poi_density() const { return poi_density_; }
+
+ private:
+  const broadcast::BroadcastSystem& system_;
+  geom::Rect world_;
+  Options options_;
+  double poi_density_;
+};
+
+}  // namespace lbsq::core
+
+#endif  // LBSQ_CORE_QUERY_ENGINE_H_

@@ -49,18 +49,35 @@ VerifiedRegion CacheableFromVerifiedPrefix(geom::Point q,
 
 }  // namespace
 
+void SbnnOptions::Validate() const {
+  LBSQ_CHECK(k >= 1);
+  LBSQ_CHECK(min_correctness >= 0.0 && min_correctness <= 1.0);
+  LBSQ_CHECK(prefetch_radius_factor >= 1.0);
+}
+
 SbnnOutcome RunSbnn(geom::Point q, const SbnnOptions& options,
                     const std::vector<PeerData>& peers, double poi_density,
-                    const broadcast::BroadcastSystem& system, int64_t now) {
-  LBSQ_CHECK(options.k >= 1);
+                    const broadcast::BroadcastSystem& system, int64_t now,
+                    obs::TraceRecorder* trace) {
+  options.Validate();
   SbnnOutcome outcome(options.k);
   outcome.nnv = NearestNeighborVerify(q, options.k, peers, poi_density);
   const ResultHeap& heap = outcome.nnv.heap;
+  if (trace != nullptr) {
+    // NNV is pure computation: the span is instantaneous in broadcast time;
+    // its cost shows in the counters.
+    trace->Span("sbnn.nnv", now, now);
+    trace->Counter("sbnn.candidates",
+                   static_cast<double>(outcome.nnv.candidate_count));
+    trace->Counter("sbnn.verified",
+                   static_cast<double>(heap.verified_count()));
+  }
 
   if (heap.fully_verified()) {
     outcome.resolved_by = ResolvedBy::kPeersVerified;
     outcome.neighbors = HeapToNeighbors(heap);
     outcome.cacheable = CacheableFromVerifiedPrefix(q, heap);
+    if (trace != nullptr) trace->Counter("sbnn.peers_verified", 1.0);
     return outcome;
   }
   if (options.accept_approximate && heap.full() &&
@@ -68,6 +85,7 @@ SbnnOutcome RunSbnn(geom::Point q, const SbnnOptions& options,
     outcome.resolved_by = ResolvedBy::kPeersApproximate;
     outcome.neighbors = HeapToNeighbors(heap);
     outcome.cacheable = CacheableFromVerifiedPrefix(q, heap);
+    if (trace != nullptr) trace->Counter("sbnn.approx_accept", 1.0);
     return outcome;
   }
 
@@ -91,7 +109,6 @@ SbnnOutcome RunSbnn(geom::Point q, const SbnnOptions& options,
       radius = std::min(radius, *upper);
     }
   }
-  LBSQ_CHECK(options.prefetch_radius_factor >= 1.0);
   radius *= options.prefetch_radius_factor;
   std::vector<int64_t> needed =
       onair::BucketsForCircle(system, geom::Circle{q, radius});
@@ -116,13 +133,19 @@ SbnnOutcome RunSbnn(geom::Point q, const SbnnOptions& options,
   }
 
   outcome.buckets = needed;
-  int64_t index_read = -1;  // flat directory: whole segment
+  broadcast::IndexReadMode index_mode =
+      broadcast::IndexReadMode::FlatDirectory();
   if (system.tree_index() != nullptr) {
-    index_read = system.IndexReadBuckets(
-        system.grid().CoverRect(geom::Circle{q, radius}.Mbr()));
+    index_mode = broadcast::IndexReadMode::TreePaths(system.IndexReadBuckets(
+        system.grid().CoverRect(geom::Circle{q, radius}.Mbr())));
   }
   outcome.stats = broadcast::RetrieveBuckets(system.schedule(), now, needed,
-                                             index_read);
+                                             index_mode, trace);
+  if (trace != nullptr) {
+    trace->Span("sbnn.fallback", now, now + outcome.stats.access_latency);
+    trace->Counter("sbnn.buckets_skipped",
+                   static_cast<double>(outcome.buckets_skipped));
+  }
 
   // Assemble the exact answer from the downloaded buckets plus everything
   // the peers supplied (which covers any packets the filter skipped).

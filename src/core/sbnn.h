@@ -6,6 +6,7 @@
 
 #include "broadcast/client_protocol.h"
 #include "broadcast/system.h"
+#include "common/observability.h"
 #include "core/nnv.h"
 #include "core/verified_region.h"
 #include "geom/point.h"
@@ -51,6 +52,11 @@ struct SbnnOptions {
   /// cache exactly the size of the k-NN disc is exhausted by the first
   /// position change).
   double prefetch_radius_factor = 1.0;
+
+  /// Aborts (LBSQ_CHECK) unless every field is in its legal range: k >= 1,
+  /// min_correctness in [0, 1], prefetch_radius_factor >= 1. Called at every
+  /// public entry point that consumes these options.
+  void Validate() const;
 };
 
 /// How a query was ultimately resolved.
@@ -91,9 +97,16 @@ struct SbnnOutcome {
 /// Executes SBNN for query point `q` at slot `now` against the data shared
 /// by `peers`, falling back to `system`'s broadcast channel when sharing
 /// cannot fulfill the query. `poi_density` parameterizes Lemma 3.2.
+///
+/// A non-null `trace` receives the per-stage breakdown: an `sbnn.nnv` span
+/// with candidate/verified counters, the resolution marker
+/// (`sbnn.peers_verified`, `sbnn.approx_accept`, or an `sbnn.fallback` span
+/// covering the broadcast access), the protocol-stage spans of
+/// RetrieveBuckets, and the `sbnn.buckets_skipped` filter counter.
 SbnnOutcome RunSbnn(geom::Point q, const SbnnOptions& options,
                     const std::vector<PeerData>& peers, double poi_density,
-                    const broadcast::BroadcastSystem& system, int64_t now);
+                    const broadcast::BroadcastSystem& system, int64_t now,
+                    obs::TraceRecorder* trace = nullptr);
 
 }  // namespace lbsq::core
 

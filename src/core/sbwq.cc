@@ -6,9 +6,16 @@
 
 namespace lbsq::core {
 
+void SbwqOptions::Validate() const {
+  LBSQ_CHECK(retrieval == onair::WindowRetrieval::kSingleSpan ||
+             retrieval == onair::WindowRetrieval::kPartitionedRanges);
+}
+
 SbwqOutcome RunSbwq(const geom::Rect& window, const SbwqOptions& options,
                     const std::vector<PeerData>& peers,
-                    const broadcast::BroadcastSystem& system, int64_t now) {
+                    const broadcast::BroadcastSystem& system, int64_t now,
+                    obs::TraceRecorder* trace) {
+  options.Validate();
   LBSQ_CHECK(!window.empty());
   SbwqOutcome outcome;
 
@@ -31,10 +38,17 @@ SbwqOutcome RunSbwq(const geom::Rect& window, const SbwqOptions& options,
   }
   outcome.residual_fraction =
       window.area() > 0.0 ? residual_area / window.area() : 0.0;
+  if (trace != nullptr) {
+    // MVR merge and subtraction are pure computation (instantaneous in
+    // broadcast time); the counter carries the coverage outcome.
+    trace->Span("sbwq.mvr", now, now);
+    trace->Counter("sbwq.residual_fraction", outcome.residual_fraction);
+  }
 
   if (outcome.residual_windows.empty()) {
     // w lies inside the MVR: the pooled data is complete for w.
     outcome.resolved_by_peers = true;
+    if (trace != nullptr) trace->Counter("sbwq.peers_resolved", 1.0);
   } else {
     // Solve the residual window(s) on air. Without window reduction the
     // baseline retrieves the whole original window.
@@ -51,7 +65,8 @@ SbwqOutcome RunSbwq(const geom::Rect& window, const SbwqOptions& options,
     std::sort(needed.begin(), needed.end());
     needed.erase(std::unique(needed.begin(), needed.end()), needed.end());
     outcome.buckets = needed;
-    int64_t index_read = -1;  // flat directory: whole segment
+    broadcast::IndexReadMode index_mode =
+        broadcast::IndexReadMode::FlatDirectory();
     if (system.tree_index() != nullptr) {
       std::vector<hilbert::IndexRange> lookups;
       if (options.use_window_reduction) {
@@ -62,10 +77,14 @@ SbwqOutcome RunSbwq(const geom::Rect& window, const SbwqOptions& options,
       } else {
         lookups = system.grid().CoverRect(window);
       }
-      index_read = system.IndexReadBuckets(lookups);
+      index_mode =
+          broadcast::IndexReadMode::TreePaths(system.IndexReadBuckets(lookups));
     }
     outcome.stats = broadcast::RetrieveBuckets(system.schedule(), now, needed,
-                                               index_read);
+                                               index_mode, trace);
+    if (trace != nullptr) {
+      trace->Span("sbwq.fallback", now, now + outcome.stats.access_latency);
+    }
     for (const spatial::Poi& poi : system.CollectPois(needed)) {
       if (window.Contains(poi.pos)) pool.push_back(poi);
     }

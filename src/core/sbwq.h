@@ -6,6 +6,7 @@
 
 #include "broadcast/client_protocol.h"
 #include "broadcast/system.h"
+#include "common/observability.h"
 #include "core/verified_region.h"
 #include "geom/rect.h"
 #include "geom/rect_region.h"
@@ -28,6 +29,10 @@ struct SbwqOptions {
   /// Enables window reduction (w'); when false the fallback retrieves the
   /// full window like the baseline.
   bool use_window_reduction = true;
+
+  /// Aborts (LBSQ_CHECK) unless every field is in its legal range. Called at
+  /// every public entry point that consumes these options.
+  void Validate() const;
 };
 
 /// Outcome of one SBWQ execution.
@@ -56,9 +61,15 @@ struct SbwqOutcome {
 /// Executes SBWQ for `window` at slot `now` against the data shared by
 /// `peers`, falling back to `system`'s broadcast channel for residual
 /// windows.
+///
+/// A non-null `trace` receives an `sbwq.mvr` span with the residual-fraction
+/// counter, the peer-resolution marker (`sbwq.peers_resolved`) or an
+/// `sbwq.fallback` span covering the broadcast access, and the
+/// protocol-stage spans of RetrieveBuckets.
 SbwqOutcome RunSbwq(const geom::Rect& window, const SbwqOptions& options,
                     const std::vector<PeerData>& peers,
-                    const broadcast::BroadcastSystem& system, int64_t now);
+                    const broadcast::BroadcastSystem& system, int64_t now,
+                    obs::TraceRecorder* trace = nullptr);
 
 }  // namespace lbsq::core
 

@@ -38,13 +38,13 @@ OnAirKnnResult OnAirKnn(const broadcast::BroadcastSystem& system,
 
   // Pass 2 (data retrieval): download the span covering the circle's MBR.
   result.buckets = BucketsForCircle(system, result.search_circle);
-  int64_t index_read = -1;  // flat directory: whole segment
+  broadcast::IndexReadMode index_mode = broadcast::IndexReadMode::FlatDirectory();
   if (system.tree_index() != nullptr) {
-    index_read = system.IndexReadBuckets(
-        system.grid().CoverRect(result.search_circle.Mbr()));
+    index_mode = broadcast::IndexReadMode::TreePaths(system.IndexReadBuckets(
+        system.grid().CoverRect(result.search_circle.Mbr())));
   }
   result.stats = broadcast::RetrieveBuckets(system.schedule(), now,
-                                            result.buckets, index_read);
+                                            result.buckets, index_mode);
   const std::vector<spatial::Poi> received = system.CollectPois(result.buckets);
   result.neighbors = spatial::BruteForceKnn(received, q, k);
   return result;

@@ -21,13 +21,13 @@ OnAirWindowResult OnAirWindow(const broadcast::BroadcastSystem& system,
                               WindowRetrieval retrieval) {
   OnAirWindowResult result;
   result.buckets = BucketsForWindow(system, window, retrieval);
-  int64_t index_read = -1;  // flat directory: whole segment
+  broadcast::IndexReadMode index_mode = broadcast::IndexReadMode::FlatDirectory();
   if (system.tree_index() != nullptr) {
-    index_read =
-        system.IndexReadBuckets(system.grid().CoverRect(window));
+    index_mode = broadcast::IndexReadMode::TreePaths(
+        system.IndexReadBuckets(system.grid().CoverRect(window)));
   }
   result.stats = broadcast::RetrieveBuckets(system.schedule(), now,
-                                            result.buckets, index_read);
+                                            result.buckets, index_mode);
   for (const spatial::Poi& poi : system.CollectPois(result.buckets)) {
     if (window.Contains(poi.pos)) result.pois.push_back(poi);
   }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
+
 namespace lbsq::sim {
 
 namespace {
@@ -46,6 +48,25 @@ ParameterSet RiversideCounty() {
   p.mh_number = 9700;
   p.query_per_min = 650;
   return p;
+}
+
+void SimConfig::Validate() const {
+  LBSQ_CHECK(world_side_mi > 0.0);
+  LBSQ_CHECK(warmup_min >= 0.0);
+  LBSQ_CHECK(duration_min > 0.0);
+  LBSQ_CHECK(speed_min_mph > 0.0 && speed_max_mph >= speed_min_mph);
+  LBSQ_CHECK(street_block_mi > 0.0);
+  LBSQ_CHECK(p2p_hops >= 1);
+  LBSQ_CHECK(mixed_window_fraction >= 0.0 && mixed_window_fraction <= 1.0);
+  LBSQ_CHECK(prefetch_radius_factor >= 1.0);
+  LBSQ_CHECK(max_regions_per_host >= 1);
+  LBSQ_CHECK(slots_per_second > 0.0);
+  LBSQ_CHECK(min_correctness >= 0.0 && min_correctness <= 1.0);
+  LBSQ_CHECK(threads >= 1);
+  LBSQ_CHECK(events_per_epoch >= 1);
+  LBSQ_CHECK(params.csize >= 1);
+  LBSQ_CHECK(params.tx_range_m > 0.0);
+  LBSQ_CHECK(params.knn_k >= 1.0);
 }
 
 double SimConfig::Scale() const {

@@ -167,6 +167,14 @@ struct SimConfig {
 
   uint64_t seed = 1;
 
+  /// Aborts (LBSQ_CHECK) unless the configuration is internally consistent:
+  /// positive world/duration, warmup >= 0, threads/epoch/hops >= 1,
+  /// min_correctness and mixed_window_fraction in [0, 1],
+  /// prefetch_radius_factor >= 1, positive slot rate and cache capacities.
+  /// Called by both simulation engines at construction — the one choke point
+  /// replacing the ad-hoc checks that used to be scattered across them.
+  void Validate() const;
+
   /// Area scale factor relative to the paper's 400 sq mi.
   double Scale() const;
   /// Host/POI counts and query rate scaled to the configured world.

@@ -20,17 +20,15 @@ ParallelSimulator::ParallelSimulator(const SimConfig& config)
     : config_(config),
       world_{0.0, 0.0, config.world_side_mi, config.world_side_mi},
       tx_range_mi_(config.params.tx_range_m * kMilesPerMeter) {
-  LBSQ_CHECK(config.world_side_mi > 0.0);
-  LBSQ_CHECK(config.warmup_min >= 0.0);
-  LBSQ_CHECK(config.duration_min > 0.0);
-  LBSQ_CHECK(config.threads >= 1);
-  LBSQ_CHECK(config.events_per_epoch >= 1);
+  config.Validate();
 
   Rng poi_rng(DeriveStreamSeed(config.seed, kStreamPois));
   std::vector<spatial::Poi> pois = spatial::GenerateUniformPois(
       &poi_rng, world_, config.ScaledPoiCount());
   system_ = std::make_unique<broadcast::BroadcastSystem>(
       std::move(pois), world_, config.broadcast);
+  engine_ = std::make_unique<core::QueryEngine>(
+      *system_, world_, EngineOptionsFromConfig(config));
 
   mobility_proto_ = MakeMobilityModel(config, world_);
   const int64_t hosts = mobility_proto_->num_hosts();
@@ -54,6 +52,12 @@ ParallelSimulator::ParallelSimulator(const SimConfig& config)
 
 ParallelSimulator::~ParallelSimulator() = default;
 
+void ParallelSimulator::SetObserver(obs::TraceSink* trace_sink,
+                                    MetricsRegistry* registry) {
+  trace_sink_ = trace_sink;
+  registry_ = registry;
+}
+
 void ParallelSimulator::CheckCacheInvariant(int64_t host) const {
   for (const core::VerifiedRegion& vr :
        caches_[static_cast<size_t>(host)].entries()) {
@@ -74,7 +78,7 @@ void ParallelSimulator::CheckCacheInvariant(int64_t host) const {
 }
 
 ParallelSimulator::EventResult ParallelSimulator::ExecuteEvent(
-    Worker* worker, const QueryEvent& event) {
+    Worker* worker, const QueryEvent& event, int64_t query_id) {
   // Advance every host in the worker's private fleet replica and refresh
   // its peer index. Each worker visits its events in time order, so its
   // replica only ever moves forward.
@@ -95,20 +99,31 @@ ParallelSimulator::EventResult ParallelSimulator::ExecuteEvent(
       &peers);
   result.measured = event.time_min >= config_.warmup_min;
 
+  // Record into the event's private slot; the fold serializes in event
+  // order, so the trace bytes match the sequential engine's exactly.
+  obs::TraceRecorder* trace = nullptr;
+  if (result.measured && trace_sink_ != nullptr) {
+    result.trace.Reset(query_id, event.host,
+                       event.type == QueryType::kKnn ? "knn" : "window");
+    result.traced = true;
+    trace = &result.trace;
+  }
+
   const int64_t slot = static_cast<int64_t>(
       event.time_min * config_.slots_per_second * 60.0);
   if (event.type == QueryType::kKnn) {
-    KnnQueryResult knn = ExecuteKnnQuery(config_, *system_, world_, pos,
-                                         event.k, slot, peers,
-                                         result.measured);
+    KnnQueryResult knn =
+        ExecuteKnnQuery(config_, *engine_, pos, event.k, slot,
+                        std::move(peers), result.measured, trace);
     caches_[static_cast<size_t>(event.host)].Insert(
         std::move(knn.outcome.cacheable), pos, pos,
         worker->mobility->Heading(event.host));
     if (config_.check_cache_invariant) CheckCacheInvariant(event.host);
     result.knn = std::move(knn);
   } else {
-    WindowQueryResult window = ExecuteWindowQuery(
-        config_, *system_, event.window, slot, peers, result.measured);
+    WindowQueryResult window =
+        ExecuteWindowQuery(config_, *engine_, event.window, slot,
+                           std::move(peers), result.measured, trace);
     caches_[static_cast<size_t>(event.host)].Insert(
         std::move(window.outcome.cacheable), event.window.center(), pos,
         worker->mobility->Heading(event.host));
@@ -143,7 +158,8 @@ SimMetrics ParallelSimulator::Execute(const std::vector<QueryEvent>& events) {
         // Shard by querying host so each cache has exactly one writer, and
         // receives its inserts in event order no matter the thread count.
         if (event.host % workers != w) continue;
-        results[i - begin] = ExecuteEvent(&worker, event);
+        results[i - begin] =
+            ExecuteEvent(&worker, event, static_cast<int64_t>(i));
       }
     };
     if (pool_) {
@@ -153,13 +169,21 @@ SimMetrics ParallelSimulator::Execute(const std::vector<QueryEvent>& events) {
     }
 
     // Fold per-event results in global event order on this thread. Every
-    // accumulator sees the exact Add sequence the sequential engine would
-    // produce, so the result is bitwise independent of the thread count.
+    // accumulator — SimMetrics, the registry, and the trace sink — sees
+    // the exact sequence the sequential engine would produce, so the
+    // result is bitwise independent of the thread count.
     for (const EventResult& result : results) {
       if (!result.measured) continue;
       metrics.peers_per_query.Add(result.peer_count);
-      if (result.knn) AccumulateKnn(*result.knn, &metrics);
-      if (result.window) AccumulateWindow(*result.window, &metrics);
+      if (registry_ != nullptr) {
+        registry_->Observe("peers_per_query",
+                           static_cast<double>(result.peer_count));
+      }
+      if (result.knn) AccumulateKnn(*result.knn, &metrics, registry_);
+      if (result.window) AccumulateWindow(*result.window, &metrics, registry_);
+      if (result.traced && trace_sink_ != nullptr) {
+        trace_sink_->Append(result.trace);
+      }
     }
   }
   return metrics;

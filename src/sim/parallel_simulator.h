@@ -6,8 +6,11 @@
 #include <vector>
 
 #include "broadcast/system.h"
+#include "common/metrics_registry.h"
+#include "common/observability.h"
 #include "common/thread_pool.h"
 #include "core/peer_cache.h"
+#include "core/query_engine.h"
 #include "sim/config.h"
 #include "sim/metrics.h"
 #include "sim/mobility.h"
@@ -53,6 +56,13 @@ class ParallelSimulator {
   ParallelSimulator(const ParallelSimulator&) = delete;
   ParallelSimulator& operator=(const ParallelSimulator&) = delete;
 
+  /// Attaches run-level observability (either may be null). Workers record
+  /// each measured query's events into the event's private result slot; the
+  /// epoch fold appends them to `trace_sink` — and feeds `registry` — in
+  /// global event order, so the output bytes are independent of the thread
+  /// count. Call before Run().
+  void SetObserver(obs::TraceSink* trace_sink, MetricsRegistry* registry);
+
   /// Generates the workload for the configured seed and executes it with
   /// `config.threads` workers. Returns post-warm-up metrics.
   SimMetrics Run();
@@ -70,6 +80,8 @@ class ParallelSimulator {
   const geom::Rect& world() const { return world_; }
   /// Host caches (for inspection in tests).
   const std::vector<core::PeerCache>& caches() const { return caches_; }
+  /// The query engine every event goes through.
+  const core::QueryEngine& engine() const { return *engine_; }
 
  private:
   /// Everything a worker thread owns privately: its fleet replica, its
@@ -91,11 +103,17 @@ class ParallelSimulator {
     int peer_count = 0;
     std::optional<KnnQueryResult> knn;
     std::optional<WindowQueryResult> window;
+    /// Span/counter events of this query (only populated when a trace sink
+    /// is attached and the event is measured); appended at the fold.
+    obs::TraceRecorder trace;
+    bool traced = false;
   };
 
-  /// Executes one event on `worker` (runs on a worker thread). Reads the
-  /// epoch snapshot; writes only caches_[event.host] and the returned slot.
-  EventResult ExecuteEvent(Worker* worker, const QueryEvent& event);
+  /// Executes one event on `worker` (runs on a worker thread). `query_id`
+  /// is the event's global workload index (the trace key). Reads the epoch
+  /// snapshot; writes only caches_[event.host] and the returned slot.
+  EventResult ExecuteEvent(Worker* worker, const QueryEvent& event,
+                           int64_t query_id);
 
   /// Validates the cache completeness invariant of `host` against the full
   /// POI set (check_cache_invariant mode). Brute force instead of the
@@ -108,6 +126,7 @@ class ParallelSimulator {
   SimConfig config_;
   geom::Rect world_;
   std::unique_ptr<broadcast::BroadcastSystem> system_;
+  std::unique_ptr<core::QueryEngine> engine_;
   std::unique_ptr<MobilityModel> mobility_proto_;
   std::vector<core::PeerCache> caches_;
   /// Shareable cache content of every host as of the last epoch barrier.
@@ -116,6 +135,8 @@ class ParallelSimulator {
   std::unique_ptr<ThreadPool> pool_;  // null when threads == 1
   std::vector<QueryEvent> trace_;
   double tx_range_mi_;
+  obs::TraceSink* trace_sink_ = nullptr;
+  MetricsRegistry* registry_ = nullptr;
 };
 
 }  // namespace lbsq::sim

@@ -1,6 +1,7 @@
 #include "sim/query_exec.h"
 
 #include <cmath>
+#include <utility>
 
 #include "common/check.h"
 #include "onair/onair_knn.h"
@@ -9,29 +10,40 @@
 
 namespace lbsq::sim {
 
+core::QueryEngine::Options EngineOptionsFromConfig(const SimConfig& config) {
+  core::QueryEngine::Options options;
+  options.sbnn.k = std::max(1, static_cast<int>(config.params.knn_k));
+  options.sbnn.accept_approximate = config.accept_approximate;
+  options.sbnn.min_correctness = config.min_correctness;
+  options.sbnn.use_filtering = config.use_filtering;
+  options.sbnn.tighten_with_index_bound = config.tighten_with_index_bound;
+  options.sbnn.prefetch_radius_factor = config.prefetch_radius_factor;
+  options.sbwq.retrieval = config.retrieval;
+  options.sbwq.use_window_reduction = config.use_window_reduction;
+  return options;
+}
+
 KnnQueryResult ExecuteKnnQuery(const SimConfig& config,
-                               const broadcast::BroadcastSystem& system,
-                               const geom::Rect& world, geom::Point pos, int k,
-                               int64_t slot,
-                               const std::vector<core::PeerData>& peers,
-                               bool measured) {
-  core::SbnnOptions options;
-  options.k = k;
-  options.accept_approximate = config.accept_approximate;
-  options.min_correctness = config.min_correctness;
-  options.use_filtering = config.use_filtering;
-  options.tighten_with_index_bound = config.tighten_with_index_bound;
-  options.prefetch_radius_factor = config.prefetch_radius_factor;
-  const double poi_density =
-      static_cast<double>(system.pois().size()) / world.area();
+                               const core::QueryEngine& engine,
+                               geom::Point pos, int k, int64_t slot,
+                               std::vector<core::PeerData> peers,
+                               bool measured, obs::TraceRecorder* trace) {
+  const int k_eff = k > 0 ? k : engine.options().sbnn.k;
+
+  core::QueryRequest request;
+  request.kind = core::QueryKind::kKnn;
+  request.position = pos;
+  request.k = k_eff;
+  request.slot = slot;
+  request.peers = std::move(peers);
+  request.trace = trace;
 
   KnnQueryResult result;
-  result.outcome = core::RunSbnn(pos, options, peers, poi_density, system,
-                                 slot);
+  result.outcome = std::move(*engine.Execute(request).knn);
 
   // Correctness accounting against the brute-force oracle (every query).
   const std::vector<spatial::PoiDistance> truth =
-      spatial::BruteForceKnn(system.pois(), pos, options.k);
+      spatial::BruteForceKnn(engine.system().pois(), pos, k_eff);
   bool exact = truth.size() == result.outcome.neighbors.size();
   for (size_t i = 0; exact && i < truth.size(); ++i) {
     // Compare distances (ids can differ under exact ties).
@@ -47,7 +59,7 @@ KnnQueryResult ExecuteKnnQuery(const SimConfig& config,
   if (measured) {
     // What the pure on-air baseline would have cost for this query.
     const onair::OnAirKnnResult baseline =
-        onair::OnAirKnn(system, pos, options.k, slot);
+        onair::OnAirKnn(engine.system(), pos, k_eff, slot);
     result.baseline_latency = baseline.stats.access_latency;
     result.baseline_tuning = baseline.stats.tuning_time;
   }
@@ -55,35 +67,39 @@ KnnQueryResult ExecuteKnnQuery(const SimConfig& config,
 }
 
 WindowQueryResult ExecuteWindowQuery(const SimConfig& config,
-                                     const broadcast::BroadcastSystem& system,
+                                     const core::QueryEngine& engine,
                                      const geom::Rect& window, int64_t slot,
-                                     const std::vector<core::PeerData>& peers,
-                                     bool measured) {
-  core::SbwqOptions options;
-  options.retrieval = config.retrieval;
-  options.use_window_reduction = config.use_window_reduction;
+                                     std::vector<core::PeerData> peers,
+                                     bool measured, obs::TraceRecorder* trace) {
+  core::QueryRequest request;
+  request.kind = core::QueryKind::kWindow;
+  request.window = window;
+  request.slot = slot;
+  request.peers = std::move(peers);
+  request.trace = trace;
 
   WindowQueryResult result;
-  result.outcome = core::RunSbwq(window, options, peers, system, slot);
+  result.outcome = std::move(*engine.Execute(request).window);
 
   // Correctness accounting against the brute-force oracle (every query).
   const std::vector<spatial::Poi> truth =
-      spatial::BruteForceWindow(system.pois(), window);
+      spatial::BruteForceWindow(engine.system().pois(), window);
   result.exact = truth == result.outcome.pois;
   if (config.check_answers) {
     LBSQ_CHECK(result.exact);
   }
 
   if (measured) {
-    const onair::OnAirWindowResult baseline =
-        onair::OnAirWindow(system, window, slot, config.retrieval);
+    const onair::OnAirWindowResult baseline = onair::OnAirWindow(
+        engine.system(), window, slot, config.retrieval);
     result.baseline_latency = baseline.stats.access_latency;
     result.baseline_tuning = baseline.stats.tuning_time;
   }
   return result;
 }
 
-void AccumulateKnn(const KnnQueryResult& result, SimMetrics* metrics) {
+void AccumulateKnn(const KnnQueryResult& result, SimMetrics* metrics,
+                   MetricsRegistry* registry) {
   const core::SbnnOutcome& outcome = result.outcome;
   ++metrics->queries;
   metrics->verified_per_query.Add(outcome.nnv.heap.verified_count());
@@ -113,9 +129,39 @@ void AccumulateKnn(const KnnQueryResult& result, SimMetrics* metrics) {
   }
   metrics->baseline_latency.Add(static_cast<double>(result.baseline_latency));
   metrics->baseline_tuning.Add(static_cast<double>(result.baseline_tuning));
+
+  if (registry != nullptr) {
+    registry->IncrementCounter("queries");
+    const bool broadcast =
+        outcome.resolved_by == core::ResolvedBy::kBroadcast;
+    registry->IncrementCounter(
+        outcome.resolved_by == core::ResolvedBy::kPeersVerified
+            ? "solved_verified"
+            : outcome.resolved_by == core::ResolvedBy::kPeersApproximate
+                  ? "solved_approximate"
+                  : "solved_broadcast");
+    if (broadcast) {
+      registry->Observe("access_latency",
+                        static_cast<double>(outcome.stats.access_latency));
+      registry->Observe("tuning_time",
+                        static_cast<double>(outcome.stats.tuning_time));
+      registry->Observe("buckets_read",
+                        static_cast<double>(outcome.stats.buckets_read));
+      registry->Observe("buckets_skipped",
+                        static_cast<double>(outcome.buckets_skipped));
+    }
+    // Peer hits count as zero-latency — the distribution behind the paper's
+    // headline mean (MeanLatencyAllQueries).
+    registry->Observe(
+        "access_latency_all",
+        broadcast ? static_cast<double>(outcome.stats.access_latency) : 0.0);
+    registry->Observe("baseline_latency",
+                      static_cast<double>(result.baseline_latency));
+  }
 }
 
-void AccumulateWindow(const WindowQueryResult& result, SimMetrics* metrics) {
+void AccumulateWindow(const WindowQueryResult& result, SimMetrics* metrics,
+                      MetricsRegistry* registry) {
   const core::SbwqOutcome& outcome = result.outcome;
   ++metrics->queries;
   if (!result.exact) ++metrics->answer_errors;
@@ -132,6 +178,28 @@ void AccumulateWindow(const WindowQueryResult& result, SimMetrics* metrics) {
   }
   metrics->baseline_latency.Add(static_cast<double>(result.baseline_latency));
   metrics->baseline_tuning.Add(static_cast<double>(result.baseline_tuning));
+
+  if (registry != nullptr) {
+    registry->IncrementCounter("queries");
+    registry->IncrementCounter(outcome.resolved_by_peers ? "solved_verified"
+                                                         : "solved_broadcast");
+    registry->Observe("residual_fraction", outcome.residual_fraction);
+    if (!outcome.resolved_by_peers) {
+      registry->Observe("access_latency",
+                        static_cast<double>(outcome.stats.access_latency));
+      registry->Observe("tuning_time",
+                        static_cast<double>(outcome.stats.tuning_time));
+      registry->Observe("buckets_read",
+                        static_cast<double>(outcome.stats.buckets_read));
+    }
+    registry->Observe(
+        "access_latency_all",
+        outcome.resolved_by_peers
+            ? 0.0
+            : static_cast<double>(outcome.stats.access_latency));
+    registry->Observe("baseline_latency",
+                      static_cast<double>(result.baseline_latency));
+  }
 }
 
 int GatherPeers(const spatial::GridIndex& peer_index,

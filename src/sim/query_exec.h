@@ -5,9 +5,9 @@
 #include <functional>
 #include <vector>
 
-#include "broadcast/system.h"
-#include "core/sbnn.h"
-#include "core/sbwq.h"
+#include "common/metrics_registry.h"
+#include "common/observability.h"
+#include "core/query_engine.h"
 #include "sim/config.h"
 #include "sim/metrics.h"
 #include "spatial/grid_index.h"
@@ -15,13 +15,18 @@
 /// \file
 /// Single-query execution and metric accounting shared by the sequential
 /// and the parallel simulation engines. Each function is a pure computation
-/// over immutable inputs (the broadcast system, a peer snapshot, positions),
+/// over immutable inputs (the query engine, a peer snapshot, positions),
 /// so the parallel engine can call them from worker threads without locks;
 /// the accumulate functions perform the metric updates in one fixed order,
 /// so folding per-event results in event order yields bitwise-identical
-/// `SimMetrics` regardless of how events were partitioned across threads.
+/// `SimMetrics` — and byte-identical trace output — regardless of how
+/// events were partitioned across threads.
 
 namespace lbsq::sim {
+
+/// The QueryEngine options a SimConfig prescribes (the one translation
+/// point between simulation knobs and core query options).
+core::QueryEngine::Options EngineOptionsFromConfig(const SimConfig& config);
 
 /// Result of one kNN query: the SBNN outcome, its oracle verdict, and the
 /// pure on-air baseline cost (computed only for measured queries).
@@ -45,30 +50,38 @@ struct WindowQueryResult {
   int64_t baseline_tuning = 0;
 };
 
-/// Runs SBNN for one query, checks it against the brute-force oracle
-/// (aborting via LBSQ_CHECK under `config.check_answers` for exact-path
-/// answers), and — when `measured` — prices the pure on-air baseline.
+/// Runs SBNN through `engine` for one query, checks it against the
+/// brute-force oracle (aborting via LBSQ_CHECK under `config.check_answers`
+/// for exact-path answers), and — when `measured` — prices the pure on-air
+/// baseline. A non-null `trace` receives the query's span/counter events.
 /// Thread-safe: reads only immutable state.
 KnnQueryResult ExecuteKnnQuery(const SimConfig& config,
-                               const broadcast::BroadcastSystem& system,
-                               const geom::Rect& world, geom::Point pos, int k,
-                               int64_t slot,
-                               const std::vector<core::PeerData>& peers,
-                               bool measured);
+                               const core::QueryEngine& engine,
+                               geom::Point pos, int k, int64_t slot,
+                               std::vector<core::PeerData> peers,
+                               bool measured,
+                               obs::TraceRecorder* trace = nullptr);
 
 /// Window-query counterpart of ExecuteKnnQuery.
 WindowQueryResult ExecuteWindowQuery(const SimConfig& config,
-                                     const broadcast::BroadcastSystem& system,
+                                     const core::QueryEngine& engine,
                                      const geom::Rect& window, int64_t slot,
-                                     const std::vector<core::PeerData>& peers,
-                                     bool measured);
+                                     std::vector<core::PeerData> peers,
+                                     bool measured,
+                                     obs::TraceRecorder* trace = nullptr);
 
 /// Records a measured kNN query into `metrics` (counters, resolved-by
-/// breakdown, latency/tuning accumulators) in the canonical order.
-void AccumulateKnn(const KnnQueryResult& result, SimMetrics* metrics);
+/// breakdown, latency/tuning accumulators) in the canonical order. A
+/// non-null `registry` additionally receives histogram observations
+/// (`access_latency`, `tuning_time`, `access_latency_all`, `buckets_read`,
+/// `buckets_skipped`, `baseline_latency`) and the resolved-by counters.
+void AccumulateKnn(const KnnQueryResult& result, SimMetrics* metrics,
+                   MetricsRegistry* registry = nullptr);
 
-/// Records a measured window query into `metrics` (see AccumulateKnn).
-void AccumulateWindow(const WindowQueryResult& result, SimMetrics* metrics);
+/// Records a measured window query into `metrics` (see AccumulateKnn; the
+/// window-specific histogram is `residual_fraction`).
+void AccumulateWindow(const WindowQueryResult& result, SimMetrics* metrics,
+                      MetricsRegistry* registry = nullptr);
 
 /// Breadth-first flood over the radio connectivity graph from `querier` up
 /// to `hops` (1 = the paper's single-hop sharing), collecting the non-empty

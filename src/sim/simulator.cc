@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/check.h"
 #include "sim/query_exec.h"
@@ -18,9 +19,7 @@ Simulator::Simulator(const SimConfig& config)
                   std::max(config.params.tx_range_m * kMilesPerMeter,
                            config.world_side_mi / 256.0)),
       tx_range_mi_(config.params.tx_range_m * kMilesPerMeter) {
-  LBSQ_CHECK(config.world_side_mi > 0.0);
-  LBSQ_CHECK(config.warmup_min >= 0.0);
-  LBSQ_CHECK(config.duration_min > 0.0);
+  config.Validate();
 
   Rng poi_rng(DeriveStreamSeed(config.seed, kStreamPois));
   std::vector<spatial::Poi> pois = spatial::GenerateUniformPois(
@@ -28,6 +27,8 @@ Simulator::Simulator(const SimConfig& config)
   server_index_.InsertAll(pois);
   system_ = std::make_unique<broadcast::BroadcastSystem>(
       std::move(pois), world_, config.broadcast);
+  engine_ = std::make_unique<core::QueryEngine>(
+      *system_, world_, EngineOptionsFromConfig(config));
 
   mobility_ = MakeMobilityModel(config, world_);
   const int64_t hosts = mobility_->num_hosts();
@@ -37,6 +38,12 @@ Simulator::Simulator(const SimConfig& config)
                          config.cache_policy);
   }
   positions_.resize(static_cast<size_t>(hosts));
+}
+
+void Simulator::SetObserver(obs::TraceSink* trace_sink,
+                            MetricsRegistry* registry) {
+  trace_sink_ = trace_sink;
+  registry_ = registry;
 }
 
 void Simulator::CheckCacheInvariant(int64_t host) const {
@@ -58,7 +65,8 @@ void Simulator::CheckCacheInvariant(int64_t host) const {
   }
 }
 
-void Simulator::ExecuteEvent(const QueryEvent& event, SimMetrics* metrics) {
+void Simulator::ExecuteEvent(const QueryEvent& event, int64_t query_id,
+                             SimMetrics* metrics) {
   const int64_t hosts = mobility_->num_hosts();
   // Advance every host and refresh the peer index. O(hosts) per query
   // event; positions between events are irrelevant to the metrics.
@@ -74,36 +82,54 @@ void Simulator::ExecuteEvent(const QueryEvent& event, SimMetrics* metrics) {
       [this](int64_t id) { return caches_[static_cast<size_t>(id)].Share(); },
       &peers);
   const bool measured = event.time_min >= config_.warmup_min;
-  if (measured) metrics->peers_per_query.Add(peer_count);
+  if (measured) {
+    metrics->peers_per_query.Add(peer_count);
+    if (registry_ != nullptr) {
+      registry_->Observe("peers_per_query", static_cast<double>(peer_count));
+    }
+  }
+
+  // Record a trace only for measured queries that someone will read;
+  // unmeasured (warm-up) queries never reach the sink, so recording them
+  // would only cost time.
+  obs::TraceRecorder* trace = nullptr;
+  if (measured && trace_sink_ != nullptr) {
+    recorder_.Reset(query_id, event.host, event.type == QueryType::kKnn
+                                              ? "knn"
+                                              : "window");
+    trace = &recorder_;
+  }
 
   const int64_t slot = static_cast<int64_t>(
       event.time_min * config_.slots_per_second * 60.0);
   if (event.type == QueryType::kKnn) {
-    KnnQueryResult result = ExecuteKnnQuery(config_, *system_, world_, pos,
-                                            event.k, slot, peers, measured);
+    KnnQueryResult result =
+        ExecuteKnnQuery(config_, *engine_, pos, event.k, slot,
+                        std::move(peers), measured, trace);
     caches_[static_cast<size_t>(event.host)].Insert(
         std::move(result.outcome.cacheable), pos, pos,
         mobility_->Heading(event.host));
     if (config_.check_cache_invariant) CheckCacheInvariant(event.host);
-    if (measured) AccumulateKnn(result, metrics);
+    if (measured) AccumulateKnn(result, metrics, registry_);
   } else {
-    WindowQueryResult result = ExecuteWindowQuery(config_, *system_,
-                                                  event.window, slot, peers,
-                                                  measured);
+    WindowQueryResult result =
+        ExecuteWindowQuery(config_, *engine_, event.window, slot,
+                           std::move(peers), measured, trace);
     caches_[static_cast<size_t>(event.host)].Insert(
         std::move(result.outcome.cacheable), event.window.center(), pos,
         mobility_->Heading(event.host));
     if (config_.check_cache_invariant) CheckCacheInvariant(event.host);
-    if (measured) AccumulateWindow(result, metrics);
+    if (measured) AccumulateWindow(result, metrics, registry_);
   }
+  if (trace != nullptr) trace_sink_->Append(*trace);
 }
 
 SimMetrics Simulator::Run() {
   trace_.clear();
   std::vector<QueryEvent> events = GenerateWorkload(config_, world_);
   SimMetrics metrics;
-  for (const QueryEvent& event : events) {
-    ExecuteEvent(event, &metrics);
+  for (size_t i = 0; i < events.size(); ++i) {
+    ExecuteEvent(events[i], static_cast<int64_t>(i), &metrics);
   }
   if (config_.record_trace) trace_ = std::move(events);
   return metrics;
@@ -111,9 +137,9 @@ SimMetrics Simulator::Run() {
 
 SimMetrics Simulator::Replay(const std::vector<QueryEvent>& events) {
   SimMetrics metrics;
-  for (const QueryEvent& event : events) {
-    LBSQ_CHECK(event.host >= 0 && event.host < mobility_->num_hosts());
-    ExecuteEvent(event, &metrics);
+  for (size_t i = 0; i < events.size(); ++i) {
+    LBSQ_CHECK(events[i].host >= 0 && events[i].host < mobility_->num_hosts());
+    ExecuteEvent(events[i], static_cast<int64_t>(i), &metrics);
   }
   return metrics;
 }

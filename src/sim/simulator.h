@@ -5,10 +5,11 @@
 #include <vector>
 
 #include "broadcast/system.h"
+#include "common/metrics_registry.h"
+#include "common/observability.h"
 #include "common/rng.h"
 #include "core/peer_cache.h"
-#include "core/sbnn.h"
-#include "core/sbwq.h"
+#include "core/query_engine.h"
 #include "sim/config.h"
 #include "sim/metrics.h"
 #include "sim/mobility.h"
@@ -41,6 +42,12 @@ class Simulator {
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
+  /// Attaches run-level observability (may be null to disable either part):
+  /// `trace_sink` receives every measured query's span/counter events in
+  /// global event order; `registry` receives histogram observations and
+  /// resolved-by counters for every measured query. Call before Run().
+  void SetObserver(obs::TraceSink* trace_sink, MetricsRegistry* registry);
+
   /// Executes the configured run and returns post-warm-up metrics.
   SimMetrics Run();
 
@@ -59,11 +66,15 @@ class Simulator {
   const geom::Rect& world() const { return world_; }
   /// Host caches (for inspection in tests).
   const std::vector<core::PeerCache>& caches() const { return caches_; }
+  /// The query engine every event goes through.
+  const core::QueryEngine& engine() const { return *engine_; }
 
  private:
   /// Positions every host at time `t`, refreshes the peer index, gathers
-  /// the querier's peers, and dispatches the event.
-  void ExecuteEvent(const QueryEvent& event, SimMetrics* metrics);
+  /// the querier's peers, and dispatches the event. `query_id` is the
+  /// event's global workload index (the trace key).
+  void ExecuteEvent(const QueryEvent& event, int64_t query_id,
+                    SimMetrics* metrics);
 
   /// Validates the cache completeness invariant of `host` against the
   /// server database (check_cache_invariant mode).
@@ -72,6 +83,7 @@ class Simulator {
   SimConfig config_;
   geom::Rect world_;
   std::unique_ptr<broadcast::BroadcastSystem> system_;
+  std::unique_ptr<core::QueryEngine> engine_;
   spatial::RTree server_index_;
   std::unique_ptr<MobilityModel> mobility_;
   std::vector<core::PeerCache> caches_;
@@ -79,6 +91,9 @@ class Simulator {
   std::vector<geom::Point> positions_;
   std::vector<QueryEvent> trace_;
   double tx_range_mi_;
+  obs::TraceSink* trace_sink_ = nullptr;
+  MetricsRegistry* registry_ = nullptr;
+  obs::TraceRecorder recorder_;
 };
 
 }  // namespace lbsq::sim

@@ -146,5 +146,38 @@ TEST(ClientProtocolTest, AccumulateAddsFields) {
   EXPECT_EQ(a.buckets_read, 3);
 }
 
+TEST(ClientProtocolTest, IndexReadModeBucketsToRead) {
+  BroadcastSchedule s(50, 4, 2);
+  EXPECT_EQ(IndexReadMode::FlatDirectory().BucketsToRead(s),
+            s.index_buckets());
+  EXPECT_EQ(IndexReadMode::TreePaths(3).BucketsToRead(s), 3);
+}
+
+// The one-release compatibility shim: the old -1 sentinel must keep meaning
+// "read the whole flat directory", and a non-negative count must behave as
+// TreePaths. Delete together with the shim.
+TEST(ClientProtocolTest, DeprecatedSentinelShimMatchesIndexReadMode) {
+  BroadcastSchedule s(50, 4, 2);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const AccessStats old_flat =
+      RetrieveBuckets(s, 7, {3, 19}, static_cast<int64_t>(-1));
+  const AccessStats old_tree =
+      RetrieveBuckets(s, 7, {3, 19}, static_cast<int64_t>(2));
+#pragma GCC diagnostic pop
+  const AccessStats new_flat =
+      RetrieveBuckets(s, 7, {3, 19}, IndexReadMode::FlatDirectory());
+  const AccessStats new_tree =
+      RetrieveBuckets(s, 7, {3, 19}, IndexReadMode::TreePaths(2));
+  EXPECT_EQ(old_flat.access_latency, new_flat.access_latency);
+  EXPECT_EQ(old_flat.tuning_time, new_flat.tuning_time);
+  EXPECT_EQ(old_flat.buckets_read, new_flat.buckets_read);
+  EXPECT_EQ(old_tree.access_latency, new_tree.access_latency);
+  EXPECT_EQ(old_tree.tuning_time, new_tree.tuning_time);
+  EXPECT_EQ(old_tree.buckets_read, new_tree.buckets_read);
+  // The tree path reads fewer index buckets than the full directory.
+  EXPECT_LT(new_tree.tuning_time, new_flat.tuning_time);
+}
+
 }  // namespace
 }  // namespace lbsq::broadcast

@@ -79,5 +79,32 @@ TEST(ConfigTest, MetersToMiles) {
   EXPECT_NEAR(200.0 * kMilesPerMeter, 0.1243, 0.0001);
 }
 
+TEST(ConfigTest, ValidateAcceptsDefaults) {
+  SimConfig config;
+  config.Validate();  // must not abort
+}
+
+TEST(ConfigTest, ValidateRejectsBadKnobs) {
+  SimConfig zero_world;
+  zero_world.world_side_mi = 0.0;
+  EXPECT_DEATH(zero_world.Validate(), "LBSQ_CHECK");
+
+  SimConfig zero_threads;
+  zero_threads.threads = 0;
+  EXPECT_DEATH(zero_threads.Validate(), "LBSQ_CHECK");
+
+  SimConfig bad_fraction;
+  bad_fraction.mixed_window_fraction = 1.5;
+  EXPECT_DEATH(bad_fraction.Validate(), "LBSQ_CHECK");
+
+  SimConfig bad_correctness;
+  bad_correctness.min_correctness = -0.1;
+  EXPECT_DEATH(bad_correctness.Validate(), "LBSQ_CHECK");
+
+  SimConfig negative_duration;
+  negative_duration.duration_min = -5.0;
+  EXPECT_DEATH(negative_duration.Validate(), "LBSQ_CHECK");
+}
+
 }  // namespace
 }  // namespace lbsq::sim

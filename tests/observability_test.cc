@@ -1,0 +1,258 @@
+#include "common/observability.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/metrics_registry.h"
+#include "common/stats.h"
+#include "sim/config.h"
+#include "sim/parallel_simulator.h"
+#include "sim/simulator.h"
+
+namespace lbsq {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Histogram percentile edge cases.
+
+TEST(HistogramTest, EmptyReportsLowerBound) {
+  Histogram h(0.0, 100.0, 10);
+  EXPECT_EQ(h.total(), 0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.P99(), 0.0);
+}
+
+TEST(HistogramTest, SingleSampleReportsItselfAtEveryPercentile) {
+  Histogram h(0.0, 100.0, 10);
+  h.Add(37.5);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 37.5);
+  EXPECT_DOUBLE_EQ(h.P50(), 37.5);
+  EXPECT_DOUBLE_EQ(h.P99(), 37.5);
+  EXPECT_DOUBLE_EQ(h.Percentile(100.0), 37.5);
+}
+
+TEST(HistogramTest, AllEqualSamplesCollapseToTheValue) {
+  Histogram h(0.0, 100.0, 10);
+  for (int i = 0; i < 1000; ++i) h.Add(42.0);
+  EXPECT_DOUBLE_EQ(h.P50(), 42.0);
+  EXPECT_DOUBLE_EQ(h.P95(), 42.0);
+  EXPECT_DOUBLE_EQ(h.P99(), 42.0);
+  EXPECT_DOUBLE_EQ(h.sample_min(), 42.0);
+  EXPECT_DOUBLE_EQ(h.sample_max(), 42.0);
+}
+
+TEST(HistogramTest, OverflowSamplesClampToExactMax) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(5.0);
+  h.Add(250.0);  // beyond hi: lands in the last bucket
+  h.Add(975.0);  // beyond hi: lands in the last bucket
+  EXPECT_EQ(h.overflow_count(), 2);
+  EXPECT_EQ(h.bucket_count(9), 2);
+  // Percentiles never exceed the true maximum even though the bucket
+  // boundary (10.0) is far below it.
+  EXPECT_DOUBLE_EQ(h.Percentile(100.0), 975.0);
+  EXPECT_LE(h.P50(), 975.0);
+  EXPECT_DOUBLE_EQ(h.sample_max(), 975.0);
+}
+
+TEST(HistogramTest, UnderflowSamplesClampToExactMin) {
+  Histogram h(10.0, 20.0, 5);
+  h.Add(-3.0);
+  h.Add(15.0);
+  EXPECT_EQ(h.underflow_count(), 1);
+  EXPECT_EQ(h.bucket_count(0), 1);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), -3.0);
+  EXPECT_DOUBLE_EQ(h.sample_min(), -3.0);
+}
+
+TEST(HistogramTest, MergeMatchesSingleStreamExactly) {
+  Histogram a(0.0, 50.0, 25), b(0.0, 50.0, 25), all(0.0, 50.0, 25);
+  for (int i = 0; i < 200; ++i) {
+    const double x = static_cast<double>((i * 37) % 60);  // some overflow
+    (i % 2 == 0 ? a : b).Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a, all);
+}
+
+TEST(HistogramTest, MergeRejectsMismatchedGeometry) {
+  Histogram a(0.0, 50.0, 25);
+  Histogram b(0.0, 50.0, 10);
+  EXPECT_DEATH(a.Merge(b), "LBSQ_CHECK");
+}
+
+// ---------------------------------------------------------------------------
+// FormatDouble: shortest representation that round-trips.
+
+TEST(FormatDoubleTest, IntegersAndShortFractions) {
+  EXPECT_EQ(obs::FormatDouble(0.0), "0");
+  EXPECT_EQ(obs::FormatDouble(14.0), "14");
+  EXPECT_EQ(obs::FormatDouble(0.1), "0.1");
+  EXPECT_EQ(obs::FormatDouble(-2.5), "-2.5");
+}
+
+TEST(FormatDoubleTest, RoundTripsExactly) {
+  for (const double x : {1.0 / 3.0, 0.1 + 0.2, 1e-300, 123456.789}) {
+    double parsed = 0.0;
+    ASSERT_EQ(std::sscanf(obs::FormatDouble(x).c_str(), "%lf", &parsed), 1);
+    EXPECT_EQ(parsed, x);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TraceRecorder + TraceSink.
+
+TEST(TraceTest, RecorderCapturesSpansAndCounters) {
+  if (!obs::kObservabilityCompiledIn) GTEST_SKIP();
+  obs::TraceRecorder r;
+  r.Reset(7, 42, "knn");
+  r.Span("phase.a", 10, 25);
+  r.Counter("hits", 3.0);
+  ASSERT_EQ(r.events().size(), 2u);
+  EXPECT_EQ(r.events()[0].kind, obs::TraceEvent::Kind::kSpan);
+  EXPECT_EQ(r.events()[0].begin, 10);
+  EXPECT_EQ(r.events()[0].end, 25);
+  EXPECT_EQ(r.events()[1].kind, obs::TraceEvent::Kind::kCounter);
+  EXPECT_DOUBLE_EQ(r.events()[1].value, 3.0);
+
+  r.Reset(8, 42, "knn");  // Reset clears prior events
+  EXPECT_TRUE(r.events().empty());
+}
+
+TEST(TraceTest, SinkSerializesJsonlInAppendOrder) {
+  if (!obs::kObservabilityCompiledIn) GTEST_SKIP();
+  obs::TraceRecorder r;
+  r.Reset(3, 11, "window");
+  r.Span("bcast.data", 100, 140);
+  r.Counter("bcast.data_retries", 2.0);
+  obs::TraceSink sink;
+  sink.Append(r);
+  EXPECT_EQ(sink.event_count(), 2);
+  EXPECT_EQ(sink.jsonl(),
+            "{\"q\":3,\"host\":11,\"type\":\"window\",\"kind\":\"span\","
+            "\"name\":\"bcast.data\",\"begin\":100,\"end\":140}\n"
+            "{\"q\":3,\"host\":11,\"type\":\"window\",\"kind\":\"counter\","
+            "\"name\":\"bcast.data_retries\",\"value\":2}\n");
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry.
+
+TEST(MetricsRegistryTest, ReRegisteringReturnsTheSameHistogram) {
+  MetricsRegistry registry;
+  Histogram* first = registry.AddHistogram("lat", 0.0, 10.0, 5);
+  Histogram* again = registry.AddHistogram("lat", 0.0, 99.0, 7);
+  EXPECT_EQ(first, again);
+  EXPECT_EQ(first->num_buckets(), 5);
+}
+
+TEST(MetricsRegistryTest, ObserveUnregisteredNameIsDropped) {
+  MetricsRegistry registry;
+  registry.Observe("nobody_home", 1.0);
+  EXPECT_EQ(registry.FindHistogram("nobody_home"), nullptr);
+  EXPECT_TRUE(registry.HistogramNames().empty());
+}
+
+TEST(MetricsRegistryTest, CountersAccumulate) {
+  MetricsRegistry registry;
+  registry.IncrementCounter("queries");
+  registry.IncrementCounter("queries");
+  registry.IncrementCounter("queries", 3);
+  EXPECT_EQ(registry.counter("queries"), 5);
+  EXPECT_EQ(registry.counter("never_touched"), 0);
+}
+
+TEST(MetricsRegistryTest, JsonExportContainsSummaryFields) {
+  MetricsRegistry registry;
+  registry.AddHistogram("lat", 0.0, 10.0, 2);
+  registry.Observe("lat", 4.0);
+  registry.IncrementCounter("queries");
+  const std::string json = registry.ExportJson();
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"lat\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"queries\": 1"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, CsvExportHasHeaderAndRows) {
+  MetricsRegistry registry;
+  registry.AddHistogram("lat", 0.0, 10.0, 2);
+  registry.Observe("lat", 4.0);
+  registry.IncrementCounter("queries", 2);
+  const std::string csv = registry.ExportCsv();
+  EXPECT_EQ(csv.rfind("row,name,field1,field2,field3\n", 0), 0u);
+  EXPECT_NE(csv.find("histogram_bucket,lat,0,5,1\n"), std::string::npos);
+  EXPECT_NE(csv.find("counter,queries,2"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end determinism: the trace and registry exports are a pure
+// function of config + seed, independent of the thread count and engine.
+
+sim::SimConfig TraceConfig(sim::QueryType type) {
+  sim::SimConfig config;
+  config.params = sim::LosAngelesCity();
+  config.query_type = type;
+  config.world_side_mi = 1.0;
+  config.warmup_min = 6.0;
+  config.duration_min = 6.0;
+  config.seed = 13;
+  return config;
+}
+
+struct Observed {
+  std::string jsonl;
+  std::string metrics_json;
+};
+
+Observed RunObserved(sim::SimConfig config, int threads, int epoch = 32) {
+  config.threads = threads;
+  config.events_per_epoch = epoch;
+  sim::ParallelSimulator simulator(config);
+  obs::TraceSink sink;
+  MetricsRegistry registry;
+  registry.AddHistogram("access_latency", 0.0, 4096.0, 64);
+  registry.AddHistogram("tuning_time", 0.0, 1024.0, 64);
+  simulator.SetObserver(&sink, &registry);
+  simulator.Run();
+  return Observed{sink.jsonl(), registry.ExportJson()};
+}
+
+TEST(TraceDeterminismTest, ByteIdenticalAcrossThreadCounts) {
+  const sim::SimConfig config = TraceConfig(sim::QueryType::kKnn);
+  const Observed one = RunObserved(config, 1);
+  // With recording compiled out the trace is empty (and trivially
+  // identical); the registry equality below still bites.
+  if (obs::kObservabilityCompiledIn) EXPECT_FALSE(one.jsonl.empty());
+  const Observed two = RunObserved(config, 2);
+  const Observed eight = RunObserved(config, 8);
+  EXPECT_EQ(one.jsonl, two.jsonl);
+  EXPECT_EQ(one.jsonl, eight.jsonl);
+  EXPECT_EQ(one.metrics_json, two.metrics_json);
+  EXPECT_EQ(one.metrics_json, eight.metrics_json);
+}
+
+TEST(TraceDeterminismTest, SequentialEngineMatchesParallelAtEpochOne) {
+  const sim::SimConfig config = TraceConfig(sim::QueryType::kWindow);
+
+  sim::Simulator sequential(config);
+  obs::TraceSink seq_sink;
+  MetricsRegistry seq_registry;
+  seq_registry.AddHistogram("access_latency", 0.0, 4096.0, 64);
+  seq_registry.AddHistogram("tuning_time", 0.0, 1024.0, 64);
+  sequential.SetObserver(&seq_sink, &seq_registry);
+  sequential.Run();
+
+  const Observed parallel = RunObserved(config, 4, /*epoch=*/1);
+  if (obs::kObservabilityCompiledIn) EXPECT_FALSE(seq_sink.jsonl().empty());
+  EXPECT_EQ(seq_sink.jsonl(), parallel.jsonl);
+  EXPECT_EQ(seq_registry.ExportJson(), parallel.metrics_json);
+}
+
+}  // namespace
+}  // namespace lbsq

@@ -21,7 +21,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "common/metrics_registry.h"
+#include "common/observability.h"
 #include "sim/config.h"
 #include "sim/parallel_simulator.h"
 #include "sim/simulator.h"
@@ -29,6 +32,69 @@
 namespace {
 
 using namespace lbsq;
+
+/// Distributions the simulation can record (--hist accepts any subset).
+constexpr const char* kKnownHistograms[] = {
+    "access_latency", "tuning_time",       "access_latency_all",
+    "buckets_read",   "buckets_skipped",   "baseline_latency",
+    "residual_fraction", "peers_per_query",
+};
+
+/// Splits a comma-separated --hist value into names, rejecting unknowns.
+bool ParseHistogramList(const std::string& value,
+                        std::vector<std::string>* names) {
+  size_t begin = 0;
+  while (begin <= value.size()) {
+    size_t end = value.find(',', begin);
+    if (end == std::string::npos) end = value.size();
+    const std::string name = value.substr(begin, end - begin);
+    if (!name.empty()) {
+      bool known = false;
+      for (const char* candidate : kKnownHistograms) {
+        if (name == candidate) known = true;
+      }
+      if (!known) {
+        std::fprintf(stderr, "unknown histogram '%s'; known names:",
+                     name.c_str());
+        for (const char* candidate : kKnownHistograms) {
+          std::fprintf(stderr, " %s", candidate);
+        }
+        std::fprintf(stderr, "\n");
+        return false;
+      }
+      names->push_back(name);
+    }
+    begin = end + 1;
+  }
+  return true;
+}
+
+/// Registers `name` with a bucket range sized from the broadcast cycle
+/// (latency-like metrics live in [0, cycle]; fractions in [0, 1]).
+void RegisterHistogram(MetricsRegistry* registry, const std::string& name,
+                       int64_t cycle_length) {
+  const double cycle = static_cast<double>(cycle_length);
+  if (name == "residual_fraction") {
+    registry->AddHistogram(name, 0.0, 1.0, 50);
+  } else if (name == "peers_per_query") {
+    registry->AddHistogram(name, 0.0, 256.0, 64);
+  } else if (name == "access_latency" || name == "access_latency_all" ||
+             name == "baseline_latency") {
+    // Access latency can exceed one cycle (miss the index, wait for the
+    // next); anything beyond two lands in the overflow bucket.
+    registry->AddHistogram(name, 0.0, 2.0 * cycle, 64);
+  } else {
+    registry->AddHistogram(name, 0.0, cycle, 64);
+  }
+}
+
+bool WriteTextFile(const std::string& path, const std::string& content) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return false;
+  const size_t written = std::fwrite(content.data(), 1, content.size(), file);
+  const bool closed = std::fclose(file) == 0;
+  return written == content.size() && closed;
+}
 
 void PrintUsage() {
   std::printf(
@@ -46,12 +112,19 @@ void PrintUsage() {
       "  --policy=sound|collective        cache overflow policy (sound)\n"
       "  --paper-window-geometry          hold the paper's absolute window\n"
       "                                   geometry in scaled worlds\n"
-      "  --no-filtering                   disable \xc2\xa73.3.3 data filtering\n"
+      "  --no-filtering                   disable \xc2\xa7" "3.3.3 data filtering\n"
       "  --no-approximate                 reject approximate kNN answers\n"
       "  --index=flat|tree                air-index organization (flat)\n"
       "  --check                          oracle-check every answer (slow)\n"
       "  --save-trace=<path>              record the workload to a file\n"
       "  --replay-trace=<path>            replay a recorded workload\n"
+      "  --trace=<path>                   write per-query span/counter\n"
+      "                                   events as JSONL (byte-identical\n"
+      "                                   at every thread count)\n"
+      "  --metrics=<path>                 write run metrics; .csv suffix\n"
+      "                                   selects CSV, anything else JSON\n"
+      "  --hist=<name,...>                distributions to record\n"
+      "                                   (access_latency,tuning_time)\n"
       "  --threads=<n>                    worker threads; any n > 1 selects\n"
       "                                   the parallel engine, whose metrics\n"
       "                                   are bitwise identical at every n\n"
@@ -84,6 +157,9 @@ int main(int argc, char** argv) {
   config.duration_min = 30.0;
   std::string save_trace_path;
   std::string replay_trace_path;
+  std::string trace_path;
+  std::string metrics_path;
+  std::string hist_value = "access_latency,tuning_time";
 
   for (int i = 1; i < argc; ++i) {
     std::string value;
@@ -165,6 +241,12 @@ int main(int argc, char** argv) {
       config.record_trace = true;
     } else if (ParseFlag(arg, "--replay-trace", &value)) {
       replay_trace_path = value;
+    } else if (ParseFlag(arg, "--trace", &value)) {
+      trace_path = value;
+    } else if (ParseFlag(arg, "--metrics", &value)) {
+      metrics_path = value;
+    } else if (ParseFlag(arg, "--hist", &value)) {
+      hist_value = value;
     } else if (ParseFlag(arg, "--threads", &value)) {
       config.threads = std::atoi(value.c_str());
       if (config.threads < 1) {
@@ -207,7 +289,24 @@ int main(int argc, char** argv) {
               config.threads, config.threads == 1 ? "" : "s",
               config.events_per_epoch);
 
+  std::vector<std::string> hist_names;
+  if (!ParseHistogramList(hist_value, &hist_names)) return 2;
+
   sim::ParallelSimulator simulator(config);
+
+  obs::TraceSink trace_sink;
+  MetricsRegistry registry;
+  if (!metrics_path.empty()) {
+    const int64_t cycle = simulator.system().schedule().cycle_length();
+    for (const std::string& name : hist_names) {
+      RegisterHistogram(&registry, name, cycle);
+    }
+  }
+  if (!trace_path.empty() || !metrics_path.empty()) {
+    simulator.SetObserver(trace_path.empty() ? nullptr : &trace_sink,
+                          metrics_path.empty() ? nullptr : &registry);
+  }
+
   sim::SimMetrics m;
   const auto start = std::chrono::steady_clock::now();
   if (!replay_trace_path.empty()) {
@@ -256,6 +355,36 @@ int main(int argc, char** argv) {
   if (config.query_type == sim::QueryType::kWindow) {
     std::printf("residual window fraction: %.1f%%\n",
                 m.residual_fraction.mean() * 100.0);
+  }
+
+  if (!trace_path.empty()) {
+    if (!trace_sink.WriteFile(trace_path)) {
+      std::fprintf(stderr, "failed to write trace '%s'\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf("query trace             : %lld events -> %s\n",
+                static_cast<long long>(trace_sink.event_count()),
+                trace_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    const bool csv =
+        metrics_path.size() >= 4 &&
+        metrics_path.compare(metrics_path.size() - 4, 4, ".csv") == 0;
+    if (!WriteTextFile(metrics_path,
+                       csv ? registry.ExportCsv() : registry.ExportJson())) {
+      std::fprintf(stderr, "failed to write metrics '%s'\n",
+                   metrics_path.c_str());
+      return 1;
+    }
+    std::printf("metrics (%s)           : %s\n", csv ? "csv " : "json",
+                metrics_path.c_str());
+    for (const std::string& name : registry.HistogramNames()) {
+      const Histogram* h = registry.FindHistogram(name);
+      std::printf("  %-22s: n=%lld p50=%.1f p95=%.1f p99=%.1f max=%.1f\n",
+                  name.c_str(), static_cast<long long>(h->total()), h->P50(),
+                  h->P95(), h->P99(),
+                  h->total() > 0 ? h->sample_max() : 0.0);
+    }
   }
   return 0;
 }
