@@ -105,13 +105,4 @@ AccessStats RetrieveBuckets(const BroadcastSchedule& schedule, int64_t t,
   return stats;
 }
 
-AccessStats RetrieveBuckets(const BroadcastSchedule& schedule, int64_t t,
-                            const std::vector<int64_t>& buckets,
-                            int64_t index_read_buckets) {
-  return RetrieveBuckets(schedule, t, buckets,
-                         index_read_buckets < 0
-                             ? IndexReadMode::FlatDirectory()
-                             : IndexReadMode::TreePaths(index_read_buckets));
-}
-
 }  // namespace lbsq::broadcast

@@ -85,14 +85,6 @@ AccessStats RetrieveBuckets(const BroadcastSchedule& schedule, int64_t t,
                             IndexReadMode index_mode = IndexReadMode{},
                             obs::TraceRecorder* trace = nullptr);
 
-/// Deprecated shim for the pre-IndexReadMode signature: `index_read_buckets`
-/// of -1 means the flat directory, any other value means tree paths reading
-/// that many buckets. Will be removed one release after IndexReadMode.
-[[deprecated("pass an IndexReadMode instead of the -1 sentinel")]]
-AccessStats RetrieveBuckets(const BroadcastSchedule& schedule, int64_t t,
-                            const std::vector<int64_t>& buckets,
-                            int64_t index_read_buckets);
-
 /// RetrieveBuckets over an unreliable channel: every bucket reception (index
 /// and data alike) independently fails with probability `loss_prob` (fading,
 /// collisions — wireless broadcast has no retransmission), and the client

@@ -1,5 +1,6 @@
 #include "broadcast/wire.h"
 
+#include <array>
 #include <cstring>
 
 namespace lbsq::broadcast {
@@ -172,6 +173,67 @@ bool DecodeIndexSegment(const uint8_t* data, size_t size,
     out->push_back(entry);
   }
   return reader.ok() && reader.remaining() == 0;
+}
+
+uint32_t Crc32(const uint8_t* data, size_t size) {
+  // Table-driven reflected CRC-32; the table is built once on first use.
+  static const auto table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1) != 0 ? (crc >> 1) ^ 0xEDB88320u : crc >> 1;
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void AppendCrc32(std::vector<uint8_t>* buffer) {
+  const uint32_t crc = Crc32(buffer->data(), buffer->size());
+  for (int i = 0; i < 4; ++i) {
+    buffer->push_back(static_cast<uint8_t>(crc >> (8 * i)));
+  }
+}
+
+bool VerifyCrc32(const uint8_t* data, size_t size) {
+  if (size < 4) return false;
+  const size_t payload = size - 4;
+  uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored |= static_cast<uint32_t>(data[payload + i]) << (8 * i);
+  }
+  return Crc32(data, payload) == stored;
+}
+
+std::vector<uint8_t> EncodeBucketFramed(const DataBucket& bucket) {
+  std::vector<uint8_t> frame = EncodeBucket(bucket);
+  AppendCrc32(&frame);
+  return frame;
+}
+
+bool DecodeBucketFramed(const uint8_t* data, size_t size, DataBucket* out) {
+  if (!VerifyCrc32(data, size)) return false;
+  return DecodeBucket(data, size - 4, out);
+}
+
+std::vector<uint8_t> EncodeIndexSegmentFramed(
+    const std::vector<AirIndex::Entry>& entries) {
+  std::vector<uint8_t> frame = EncodeIndexSegment(entries);
+  AppendCrc32(&frame);
+  return frame;
+}
+
+bool DecodeIndexSegmentFramed(const uint8_t* data, size_t size,
+                              std::vector<AirIndex::Entry>* out) {
+  if (!VerifyCrc32(data, size)) return false;
+  return DecodeIndexSegment(data, size - 4, out);
 }
 
 int64_t BucketWireSize(const DataBucket& bucket) {

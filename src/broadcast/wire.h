@@ -23,6 +23,12 @@
 ///              | entry_count * (varint hilbert | varint bucket)
 /// Varints are LEB128 (7 bits per byte). Decoders are bounds-checked and
 /// reject bad magic, bad version, truncation, and trailing garbage.
+///
+/// Framed variants append a CRC-32 trailer (4 bytes, little-endian) so the
+/// receiver can detect corruption in transit:
+///   frame := payload | u32le crc32(payload)
+/// A framed decode first verifies the trailer, then parses the payload; any
+/// bit flip anywhere in the frame is rejected (up to CRC collision odds).
 
 namespace lbsq::broadcast {
 
@@ -86,6 +92,33 @@ bool DecodeIndexSegment(const uint8_t* data, size_t size,
 
 /// Wire size of a bucket in bytes (without encoding it).
 int64_t BucketWireSize(const DataBucket& bucket);
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320, init/final 0xFFFFFFFF)
+/// over `size` bytes. Crc32(nullptr, 0) == 0.
+uint32_t Crc32(const uint8_t* data, size_t size);
+
+/// Appends the little-endian CRC-32 of the current buffer contents.
+void AppendCrc32(std::vector<uint8_t>* buffer);
+
+/// True when `data` ends with a CRC-32 trailer matching the bytes before it.
+/// Requires size >= 4; the payload is data[0 .. size-4).
+bool VerifyCrc32(const uint8_t* data, size_t size);
+
+/// EncodeBucket plus the CRC-32 trailer.
+std::vector<uint8_t> EncodeBucketFramed(const DataBucket& bucket);
+
+/// Verifies the trailer, then parses the payload. Returns false on a CRC
+/// mismatch (corruption) or any malformed payload.
+bool DecodeBucketFramed(const uint8_t* data, size_t size, DataBucket* out);
+
+/// EncodeIndexSegment plus the CRC-32 trailer.
+std::vector<uint8_t> EncodeIndexSegmentFramed(
+    const std::vector<AirIndex::Entry>& entries);
+
+/// Framed counterpart of DecodeIndexSegment; same error contract as
+/// DecodeBucketFramed.
+bool DecodeIndexSegmentFramed(const uint8_t* data, size_t size,
+                              std::vector<AirIndex::Entry>* out);
 
 }  // namespace lbsq::broadcast
 

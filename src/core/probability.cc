@@ -18,7 +18,11 @@ double SurpassingRatio(double unverified_distance,
                        double last_verified_distance) {
   LBSQ_CHECK(unverified_distance >= 0.0);
   if (last_verified_distance <= 0.0) {
-    return std::numeric_limits<double>::infinity();
+    // 0/0: the unverified candidate sits exactly at the verified frontier
+    // (both on the query point) — no extra travel, ratio 1, not infinity.
+    return unverified_distance <= 0.0
+               ? 1.0
+               : std::numeric_limits<double>::infinity();
   }
   return unverified_distance / last_verified_distance;
 }

@@ -17,9 +17,12 @@ double CorrectnessProbability(double lambda, double area);
 
 /// Surpassing ratio r'/r of an unverified POI at distance
 /// `unverified_distance` relative to the last verified POI at distance
-/// `last_verified_distance` (> 0). The worst-case extra travel distance for
+/// `last_verified_distance`. The worst-case extra travel distance for
 /// a user who takes the unverified POI as their i-th NN is approximately
 /// last_verified_distance * (ratio - 1) (the paper's Table 2 example).
+/// Edge cases: with no verified frontier (last_verified_distance == 0) the
+/// ratio is +inf — unless the unverified POI is also at distance 0, where
+/// the extra travel is zero and the ratio is 1.
 double SurpassingRatio(double unverified_distance,
                        double last_verified_distance);
 

@@ -1,6 +1,10 @@
 #include "core/query_engine.h"
 
+#include <utility>
+
 #include "common/check.h"
+#include "fault/faulty_channel.h"
+#include "fault/peer_screen.h"
 
 namespace lbsq::core {
 
@@ -23,6 +27,10 @@ const VerifiedRegion& QueryOutcome::Cacheable() const {
   return kind == QueryKind::kKnn ? knn->cacheable : window->cacheable;
 }
 
+bool QueryOutcome::Degraded() const {
+  return kind == QueryKind::kKnn ? knn->degraded : window->degraded;
+}
+
 QueryEngine::QueryEngine(const broadcast::BroadcastSystem& system,
                          const geom::Rect& world, const Options& options)
     : system_(system), world_(world), options_(options) {
@@ -34,14 +42,41 @@ QueryEngine::QueryEngine(const broadcast::BroadcastSystem& system,
 QueryOutcome QueryEngine::Execute(const QueryRequest& request) const {
   QueryOutcome outcome;
   outcome.kind = request.kind;
+
+  // Fault plumbing. When the engine's FaultConfig is disabled this block
+  // compiles down to two null/empty locals and the call below is the exact
+  // pre-fault path — bit-identical results and traces.
+  const fault::FaultConfig& fault = options_.fault;
+  fault::ChannelSession* session = nullptr;
+  std::optional<fault::ChannelSession> session_storage;
+  if (fault.enabled() && fault.channel.enabled()) {
+    session_storage.emplace(
+        fault.channel, fault.policy,
+        fault::ChannelStreamSeed(fault.seed, request.fault_stream));
+    session = &*session_storage;
+  }
+  const std::vector<PeerData>* peers = &request.peers;
+  std::vector<PeerData> screened;
+  if (fault.enabled() && fault.screen_peers) {
+    screened = request.peers;
+    const fault::ScreenResult screen =
+        fault::ScreenPeerData(world_, &screened);
+    outcome.regions_rejected = screen.regions_rejected;
+    if (request.trace != nullptr && screen.regions_rejected > 0) {
+      request.trace->Counter("fault.regions_rejected",
+                             static_cast<double>(screen.regions_rejected));
+    }
+    peers = &screened;
+  }
+
   if (request.kind == QueryKind::kKnn) {
     SbnnOptions sbnn = options_.sbnn;
     if (request.k > 0) sbnn.k = request.k;
-    outcome.knn = RunSbnn(request.position, sbnn, request.peers, poi_density_,
-                          system_, request.slot, request.trace);
+    outcome.knn = RunSbnn(request.position, sbnn, *peers, poi_density_,
+                          system_, request.slot, request.trace, session);
   } else {
-    outcome.window = RunSbwq(request.window, options_.sbwq, request.peers,
-                             system_, request.slot, request.trace);
+    outcome.window = RunSbwq(request.window, options_.sbwq, *peers, system_,
+                             request.slot, request.trace, session);
   }
   return outcome;
 }

@@ -9,6 +9,7 @@
 #include "common/observability.h"
 #include "core/sbnn.h"
 #include "core/sbwq.h"
+#include "fault/fault_model.h"
 #include "geom/point.h"
 #include "geom/rect.h"
 
@@ -43,6 +44,11 @@ struct QueryRequest {
   std::vector<PeerData> peers;
   /// Receives span/counter events for this query; null disables tracing.
   obs::TraceRecorder* trace = nullptr;
+  /// Fault-injection stream id for this query (typically the global query
+  /// id): with faults enabled, the channel fault schedule is a pure function
+  /// of (FaultConfig, this id) — independent of threads and other queries.
+  /// Ignored when the engine's FaultConfig is disabled.
+  uint64_t fault_stream = 0;
 };
 
 /// The result of one Execute call: exactly one of the two outcome kinds is
@@ -51,6 +57,9 @@ struct QueryOutcome {
   QueryKind kind = QueryKind::kKnn;
   std::optional<SbnnOutcome> knn;
   std::optional<SbwqOutcome> window;
+  /// Peer regions the defensive screen rejected before the query ran (0
+  /// unless screening is enabled).
+  int64_t regions_rejected = 0;
 
   /// True when peers alone answered the query (verified or approximate kNN,
   /// or a fully covered window) — zero broadcast access.
@@ -60,6 +69,9 @@ struct QueryOutcome {
   /// The verified knowledge the query produced, ready for cache insertion.
   VerifiedRegion& Cacheable();
   const VerifiedRegion& Cacheable() const;
+  /// True when a faulty channel left the answer best-effort (see the
+  /// `degraded` field of the per-kind outcomes).
+  bool Degraded() const;
 };
 
 /// Facade over RunSbnn / RunSbwq bound to one broadcast system.
@@ -68,11 +80,15 @@ class QueryEngine {
   struct Options {
     SbnnOptions sbnn;
     SbwqOptions sbwq;
+    /// Fault injection and resilience policy. Disabled by default; when
+    /// disabled the engine takes the exact pre-fault code path.
+    fault::FaultConfig fault;
 
-    /// Validates both nested option sets.
+    /// Validates all nested option sets.
     void Validate() const {
       sbnn.Validate();
       sbwq.Validate();
+      fault.Validate();
     }
   };
 

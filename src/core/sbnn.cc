@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "fault/faulty_channel.h"
 #include "geom/circle.h"
 #include "onair/onair_knn.h"
 
@@ -58,7 +59,7 @@ void SbnnOptions::Validate() const {
 SbnnOutcome RunSbnn(geom::Point q, const SbnnOptions& options,
                     const std::vector<PeerData>& peers, double poi_density,
                     const broadcast::BroadcastSystem& system, int64_t now,
-                    obs::TraceRecorder* trace) {
+                    obs::TraceRecorder* trace, fault::ChannelSession* faults) {
   options.Validate();
   SbnnOutcome outcome(options.k);
   outcome.nnv = NearestNeighborVerify(q, options.k, peers, poi_density);
@@ -139,8 +140,23 @@ SbnnOutcome RunSbnn(geom::Point q, const SbnnOptions& options,
     index_mode = broadcast::IndexReadMode::TreePaths(system.IndexReadBuckets(
         system.grid().CoverRect(geom::Circle{q, radius}.Mbr())));
   }
-  outcome.stats = broadcast::RetrieveBuckets(system.schedule(), now, needed,
-                                             index_mode, trace);
+  std::vector<int64_t> retrieved = needed;
+  if (faults != nullptr && faults->channel_enabled()) {
+    fault::FaultyRetrievalResult r =
+        faults->Retrieve(system.schedule(), now, needed, index_mode, trace);
+    outcome.stats = r.stats;
+    outcome.fault_losses = r.losses;
+    outcome.fault_corruptions = r.corruptions;
+    outcome.fault_deadline_hit = r.deadline_hit;
+    if (!r.complete()) {
+      outcome.degraded = true;
+      outcome.failed_buckets = std::move(r.failed);
+    }
+    retrieved = std::move(r.received);
+  } else {
+    outcome.stats = broadcast::RetrieveBuckets(system.schedule(), now, needed,
+                                               index_mode, trace);
+  }
   if (trace != nullptr) {
     trace->Span("sbnn.fallback", now, now + outcome.stats.access_latency);
     trace->Counter("sbnn.buckets_skipped",
@@ -149,7 +165,7 @@ SbnnOutcome RunSbnn(geom::Point q, const SbnnOptions& options,
 
   // Assemble the exact answer from the downloaded buckets plus everything
   // the peers supplied (which covers any packets the filter skipped).
-  std::vector<spatial::Poi> known_pois = system.CollectPois(needed);
+  std::vector<spatial::Poi> known_pois = system.CollectPois(retrieved);
   for (const spatial::PoiDistance& c : outcome.nnv.candidates) {
     known_pois.push_back(c.poi);
   }
@@ -163,11 +179,14 @@ SbnnOutcome RunSbnn(geom::Point q, const SbnnOptions& options,
 
   // Every cell intersecting the search MBR is covered by a bucket that was
   // either downloaded or skipped-as-peer-known, so the client now has
-  // complete knowledge of the MBR.
-  outcome.cacheable.region = geom::Circle{q, radius}.Mbr();
-  for (const spatial::Poi& poi : known_pois) {
-    if (outcome.cacheable.region.Contains(poi.pos)) {
-      outcome.cacheable.pois.push_back(poi);
+  // complete knowledge of the MBR. A degraded retrieval breaks that chain:
+  // the cacheable region stays empty — never cache unverified knowledge.
+  if (!outcome.degraded) {
+    outcome.cacheable.region = geom::Circle{q, radius}.Mbr();
+    for (const spatial::Poi& poi : known_pois) {
+      if (outcome.cacheable.region.Contains(poi.pos)) {
+        outcome.cacheable.pois.push_back(poi);
+      }
     }
   }
   return outcome;

@@ -22,6 +22,10 @@
 /// shrinks the search circle, and the lower-bound circle C_i excuses every
 /// packet it fully covers.
 
+namespace lbsq::fault {
+class ChannelSession;
+}  // namespace lbsq::fault
+
 namespace lbsq::core {
 
 /// User-facing SBNN knobs.
@@ -90,6 +94,17 @@ struct SbnnOutcome {
   /// broadcast answers it is the search MBR, whose content is fully known
   /// from downloaded buckets plus peer data covering skipped packets.
   VerifiedRegion cacheable;
+  /// True when a faulty channel prevented complete retrieval: the answer is
+  /// best-effort (assembled from received buckets and peer data only) and
+  /// `cacheable` is empty — a degraded query never claims verified
+  /// knowledge it does not have.
+  bool degraded = false;
+  /// Buckets given up on (retry budget or deadline exhausted).
+  std::vector<int64_t> failed_buckets;
+  /// Channel accounting for this query (zero without fault injection).
+  int64_t fault_losses = 0;
+  int64_t fault_corruptions = 0;
+  bool fault_deadline_hit = false;
 
   explicit SbnnOutcome(int k) : nnv(k) {}
 };
@@ -103,10 +118,16 @@ struct SbnnOutcome {
 /// (`sbnn.peers_verified`, `sbnn.approx_accept`, or an `sbnn.fallback` span
 /// covering the broadcast access), the protocol-stage spans of
 /// RetrieveBuckets, and the `sbnn.buckets_skipped` filter counter.
+///
+/// A non-null `faults` with an enabled channel routes the fallback retrieval
+/// through the faulty channel; buckets that could not be retrieved mark the
+/// outcome `degraded` (see SbnnOutcome). A null or disabled session takes
+/// the fault-free path, bit-identical to the five-argument overload.
 SbnnOutcome RunSbnn(geom::Point q, const SbnnOptions& options,
                     const std::vector<PeerData>& peers, double poi_density,
                     const broadcast::BroadcastSystem& system, int64_t now,
-                    obs::TraceRecorder* trace = nullptr);
+                    obs::TraceRecorder* trace = nullptr,
+                    fault::ChannelSession* faults = nullptr);
 
 }  // namespace lbsq::core
 

@@ -1,8 +1,10 @@
 #include "core/sbwq.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/check.h"
+#include "fault/faulty_channel.h"
 
 namespace lbsq::core {
 
@@ -14,7 +16,7 @@ void SbwqOptions::Validate() const {
 SbwqOutcome RunSbwq(const geom::Rect& window, const SbwqOptions& options,
                     const std::vector<PeerData>& peers,
                     const broadcast::BroadcastSystem& system, int64_t now,
-                    obs::TraceRecorder* trace) {
+                    obs::TraceRecorder* trace, fault::ChannelSession* faults) {
   options.Validate();
   LBSQ_CHECK(!window.empty());
   SbwqOutcome outcome;
@@ -80,12 +82,27 @@ SbwqOutcome RunSbwq(const geom::Rect& window, const SbwqOptions& options,
       index_mode =
           broadcast::IndexReadMode::TreePaths(system.IndexReadBuckets(lookups));
     }
-    outcome.stats = broadcast::RetrieveBuckets(system.schedule(), now, needed,
-                                               index_mode, trace);
+    std::vector<int64_t> retrieved = needed;
+    if (faults != nullptr && faults->channel_enabled()) {
+      fault::FaultyRetrievalResult r =
+          faults->Retrieve(system.schedule(), now, needed, index_mode, trace);
+      outcome.stats = r.stats;
+      outcome.fault_losses = r.losses;
+      outcome.fault_corruptions = r.corruptions;
+      outcome.fault_deadline_hit = r.deadline_hit;
+      if (!r.complete()) {
+        outcome.degraded = true;
+        outcome.failed_buckets = std::move(r.failed);
+      }
+      retrieved = std::move(r.received);
+    } else {
+      outcome.stats = broadcast::RetrieveBuckets(system.schedule(), now,
+                                                 needed, index_mode, trace);
+    }
     if (trace != nullptr) {
       trace->Span("sbwq.fallback", now, now + outcome.stats.access_latency);
     }
-    for (const spatial::Poi& poi : system.CollectPois(needed)) {
+    for (const spatial::Poi& poi : system.CollectPois(retrieved)) {
       if (window.Contains(poi.pos)) pool.push_back(poi);
     }
   }
@@ -96,8 +113,12 @@ SbwqOutcome RunSbwq(const geom::Rect& window, const SbwqOptions& options,
             });
   pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
   outcome.pois = std::move(pool);
-  // Both resolution paths end with complete knowledge of the window.
-  outcome.cacheable = VerifiedRegion{window, outcome.pois};
+  // Both resolution paths end with complete knowledge of the window — except
+  // when the retrieval degraded, in which case caching the window would
+  // poison the peer network with a false completeness claim.
+  if (!outcome.degraded) {
+    outcome.cacheable = VerifiedRegion{window, outcome.pois};
+  }
   return outcome;
 }
 

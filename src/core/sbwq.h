@@ -20,6 +20,10 @@
 /// broadcast access. Otherwise the residual window(s) w' = w \ MVR shrink
 /// the on-air search range.
 
+namespace lbsq::fault {
+class ChannelSession;
+}  // namespace lbsq::fault
+
 namespace lbsq::core {
 
 /// SBWQ knobs.
@@ -53,9 +57,20 @@ struct SbwqOutcome {
   broadcast::AccessStats stats;
   /// Buckets downloaded on fallback.
   std::vector<int64_t> buckets;
-  /// The verified knowledge this query produced (always the full window:
-  /// both resolution paths end with complete knowledge of w).
+  /// The verified knowledge this query produced (the full window: both
+  /// resolution paths end with complete knowledge of w — unless the query
+  /// degraded, in which case this is empty).
   VerifiedRegion cacheable;
+  /// True when a faulty channel prevented complete retrieval: `pois` is
+  /// best-effort (received buckets plus peer data only) and `cacheable` is
+  /// empty — a degraded query never claims verified knowledge it lacks.
+  bool degraded = false;
+  /// Buckets given up on (retry budget or deadline exhausted).
+  std::vector<int64_t> failed_buckets;
+  /// Channel accounting for this query (zero without fault injection).
+  int64_t fault_losses = 0;
+  int64_t fault_corruptions = 0;
+  bool fault_deadline_hit = false;
 };
 
 /// Executes SBWQ for `window` at slot `now` against the data shared by
@@ -66,10 +81,16 @@ struct SbwqOutcome {
 /// counter, the peer-resolution marker (`sbwq.peers_resolved`) or an
 /// `sbwq.fallback` span covering the broadcast access, and the
 /// protocol-stage spans of RetrieveBuckets.
+///
+/// A non-null `faults` with an enabled channel routes the fallback retrieval
+/// through the faulty channel; buckets that could not be retrieved mark the
+/// outcome `degraded` (see SbwqOutcome). A null or disabled session takes
+/// the fault-free path, bit-identical to the five-argument overload.
 SbwqOutcome RunSbwq(const geom::Rect& window, const SbwqOptions& options,
                     const std::vector<PeerData>& peers,
                     const broadcast::BroadcastSystem& system, int64_t now,
-                    obs::TraceRecorder* trace = nullptr);
+                    obs::TraceRecorder* trace = nullptr,
+                    fault::ChannelSession* faults = nullptr);
 
 }  // namespace lbsq::core
 

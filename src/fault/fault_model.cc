@@ -1,0 +1,75 @@
+#include "fault/fault_model.h"
+
+#include "common/check.h"
+
+namespace lbsq::fault {
+
+namespace {
+
+// Sub-stream tags under FaultConfig::seed. Part of the reproducibility
+// contract (changing them changes every seeded fault schedule).
+constexpr uint64_t kChannelDomain = 0x11;
+constexpr uint64_t kPeerDomain = 0x22;
+
+void CheckProbability(double p) { LBSQ_CHECK(p >= 0.0 && p <= 1.0); }
+
+}  // namespace
+
+double ChannelFaultConfig::SteadyStateLossRate() const {
+  switch (model) {
+    case LossModel::kNone:
+      return 0.0;
+    case LossModel::kIid:
+      return loss_prob;
+    case LossModel::kGilbertElliott: {
+      const double denom = p_good_to_bad + p_bad_to_good;
+      if (denom <= 0.0) return loss_good;  // chain never leaves Good
+      const double frac_bad = p_good_to_bad / denom;
+      return (1.0 - frac_bad) * loss_good + frac_bad * loss_bad;
+    }
+  }
+  return 0.0;
+}
+
+void ChannelFaultConfig::Validate() const {
+  LBSQ_CHECK(loss_prob >= 0.0 && loss_prob < 1.0);
+  CheckProbability(p_good_to_bad);
+  CheckProbability(p_bad_to_good);
+  LBSQ_CHECK(loss_good >= 0.0 && loss_good < 1.0);
+  LBSQ_CHECK(loss_bad >= 0.0 && loss_bad < 1.0);
+  LBSQ_CHECK(corruption_prob >= 0.0 && corruption_prob < 1.0);
+}
+
+bool GilbertElliottChannel::NextLost(Rng* rng) {
+  // Transition first, then sample the loss in the new state: a fade that
+  // begins on this slot already affects this reception.
+  if (bad_) {
+    if (rng->NextBool(config_.p_bad_to_good)) bad_ = false;
+  } else {
+    if (rng->NextBool(config_.p_good_to_bad)) bad_ = true;
+  }
+  return rng->NextBool(bad_ ? config_.loss_bad : config_.loss_good);
+}
+
+void PeerFaultConfig::Validate() const {
+  CheckProbability(stale_prob);
+  CheckProbability(truncate_prob);
+  CheckProbability(flip_prob);
+  LBSQ_CHECK(stale_drift >= 0.0);
+}
+
+void FaultPolicy::Validate() const {
+  LBSQ_CHECK(max_retries_per_bucket >= 0);
+  LBSQ_CHECK(deadline_slots >= 0);
+}
+
+uint64_t ChannelStreamSeed(uint64_t fault_seed, uint64_t query_id) {
+  return DeriveStreamSeed(DeriveStreamSeed(fault_seed, kChannelDomain),
+                          query_id);
+}
+
+uint64_t PeerStreamSeed(uint64_t fault_seed, uint64_t query_id) {
+  return DeriveStreamSeed(DeriveStreamSeed(fault_seed, kPeerDomain), query_id);
+}
+
+}  // namespace lbsq::fault

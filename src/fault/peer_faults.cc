@@ -1,0 +1,64 @@
+#include "fault/peer_faults.h"
+
+#include <utility>
+
+namespace lbsq::fault {
+
+namespace {
+
+// Stale snapshot: every POI drifted since the peer cached it.
+void MakeStale(const PeerFaultConfig& config, Rng* rng,
+               core::VerifiedRegion* vr) {
+  for (spatial::Poi& poi : vr->pois) {
+    poi.pos.x += rng->Uniform(-config.stale_drift, config.stale_drift);
+    poi.pos.y += rng->Uniform(-config.stale_drift, config.stale_drift);
+  }
+}
+
+// Truncation: drop every other POI but keep claiming the full region — the
+// completeness violation Lemma 3.1 cannot survive.
+void Truncate(core::VerifiedRegion* vr) {
+  std::vector<spatial::Poi> kept;
+  kept.reserve(vr->pois.size() / 2 + 1);
+  for (size_t i = 0; i < vr->pois.size(); i += 2) {
+    kept.push_back(vr->pois[i]);
+  }
+  vr->pois = std::move(kept);
+}
+
+// Transposed coordinates: the classic (x, y) / (y, x) serialization bug.
+void FlipCoordinates(core::VerifiedRegion* vr) {
+  for (spatial::Poi& poi : vr->pois) {
+    std::swap(poi.pos.x, poi.pos.y);
+  }
+}
+
+}  // namespace
+
+PeerFaultStats CorruptPeerData(const PeerFaultConfig& config, Rng* rng,
+                               std::vector<core::PeerData>* peers) {
+  PeerFaultStats stats;
+  if (!config.enabled()) return stats;
+  for (core::PeerData& peer : *peers) {
+    for (core::VerifiedRegion& vr : peer.regions) {
+      // Fixed draw order per region keeps the schedule reproducible even
+      // when some probabilities are zero.
+      const bool stale = rng->NextBool(config.stale_prob);
+      const bool truncate = rng->NextBool(config.truncate_prob);
+      const bool flip = rng->NextBool(config.flip_prob);
+      if (stale) {
+        MakeStale(config, rng, &vr);
+        ++stats.regions_stale;
+      } else if (truncate && vr.pois.size() > 1) {
+        Truncate(&vr);
+        ++stats.regions_truncated;
+      } else if (flip) {
+        FlipCoordinates(&vr);
+        ++stats.regions_flipped;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace lbsq::fault

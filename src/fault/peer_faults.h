@@ -1,0 +1,39 @@
+#ifndef LBSQ_FAULT_PEER_FAULTS_H_
+#define LBSQ_FAULT_PEER_FAULTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/verified_region.h"
+#include "fault/fault_model.h"
+
+/// \file
+/// Peer-cache fault injection: perturbs the `PeerData` a querier gathered,
+/// simulating peers whose shared caches are stale, truncated, or corrupted
+/// in transit. Injection happens on the querier's copy — the peer's own
+/// cache is untouched, exactly like a corruption on the P2P link.
+
+namespace lbsq::fault {
+
+/// Accounting of one injection pass.
+struct PeerFaultStats {
+  int64_t regions_stale = 0;
+  int64_t regions_truncated = 0;
+  int64_t regions_flipped = 0;
+
+  int64_t total() const {
+    return regions_stale + regions_truncated + regions_flipped;
+  }
+};
+
+/// Applies `config` to every shared region in `peers`, drawing from `rng`
+/// (one Bernoulli draw per fault class per region, in a fixed order, so the
+/// outcome is a pure function of the rng stream). At most one fault class
+/// fires per region (stale, then truncate, then flip take precedence).
+PeerFaultStats CorruptPeerData(const PeerFaultConfig& config, Rng* rng,
+                               std::vector<core::PeerData>* peers);
+
+}  // namespace lbsq::fault
+
+#endif  // LBSQ_FAULT_PEER_FAULTS_H_

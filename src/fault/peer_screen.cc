@@ -1,0 +1,153 @@
+#include "fault/peer_screen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <utility>
+
+namespace lbsq::fault {
+
+namespace {
+
+// Flat handle on one shared region plus a sorted (id -> poi index) lookup.
+struct RegionRef {
+  size_t peer = 0;
+  size_t index = 0;
+  const core::VerifiedRegion* vr = nullptr;
+  std::vector<std::pair<int64_t, size_t>> by_id;  // sorted by id
+
+  const spatial::Poi* Find(int64_t id) const {
+    auto it = std::lower_bound(
+        by_id.begin(), by_id.end(), std::make_pair(id, size_t{0}),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    if (it == by_id.end() || it->first != id) return nullptr;
+    return &vr->pois[it->second];
+  }
+};
+
+bool Finite(geom::Point p) {
+  return std::isfinite(p.x) && std::isfinite(p.y);
+}
+
+// Local sanity: coordinates finite, every listed POI inside the world.
+// (Honest POIs are copies of server objects, which always lie in the world;
+// the *region* may legitimately overhang the world boundary — SBNN caches
+// squares centered on near-border queries — so it is not world-checked.)
+bool LocallySane(const geom::Rect& world, const core::VerifiedRegion& vr) {
+  if (!std::isfinite(vr.region.x1) || !std::isfinite(vr.region.y1) ||
+      !std::isfinite(vr.region.x2) || !std::isfinite(vr.region.y2)) {
+    return false;
+  }
+  for (const spatial::Poi& poi : vr.pois) {
+    if (poi.id < 0 || !Finite(poi.pos) || !world.Contains(poi.pos)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+ScreenResult ScreenPeerData(const geom::Rect& world,
+                            std::vector<core::PeerData>* peers) {
+  ScreenResult result;
+
+  std::vector<RegionRef> regions;
+  for (size_t p = 0; p < peers->size(); ++p) {
+    const core::PeerData& peer = (*peers)[p];
+    for (size_t r = 0; r < peer.regions.size(); ++r) {
+      RegionRef ref;
+      ref.peer = p;
+      ref.index = r;
+      ref.vr = &peer.regions[r];
+      ref.by_id.reserve(ref.vr->pois.size());
+      for (size_t i = 0; i < ref.vr->pois.size(); ++i) {
+        ref.by_id.emplace_back(ref.vr->pois[i].id, i);
+      }
+      std::sort(ref.by_id.begin(), ref.by_id.end());
+      regions.push_back(std::move(ref));
+    }
+  }
+
+  std::vector<bool> rejected(regions.size(), false);
+  for (size_t a = 0; a < regions.size(); ++a) {
+    if (!LocallySane(world, *regions[a].vr)) rejected[a] = true;
+  }
+
+  // Cross-checks. Honest regions all mirror the one server database, so any
+  // disagreement implicates at least one corrupt side; since the screen
+  // cannot tell which, it conservatively drops both. Already-rejected
+  // regions still participate as witnesses: their POIs may be genuine even
+  // when the region as a whole is untrustworthy, but they can no longer
+  // condemn others, so checks only run between not-yet-rejected pairs.
+  for (size_t a = 0; a < regions.size(); ++a) {
+    if (rejected[a]) continue;
+    for (size_t b = a + 1; b < regions.size(); ++b) {
+      if (rejected[b]) continue;
+      if (regions[a].peer == regions[b].peer &&
+          regions[a].index == regions[b].index) {
+        continue;
+      }
+      bool conflict = false;
+      // Direction A -> B: every POI A claims that lies inside B's region
+      // must appear in B's list at the identical position; the same id at a
+      // different position is equally a conflict.
+      for (const spatial::Poi& poi : regions[a].vr->pois) {
+        const spatial::Poi* other = regions[b].Find(poi.id);
+        if (other != nullptr) {
+          if (!(other->pos == poi.pos)) {
+            conflict = true;
+            break;
+          }
+        } else if (regions[b].vr->region.Contains(poi.pos)) {
+          conflict = true;  // B's completeness claim is violated
+          break;
+        }
+      }
+      // Direction B -> A.
+      if (!conflict) {
+        for (const spatial::Poi& poi : regions[b].vr->pois) {
+          if (regions[a].vr->region.Contains(poi.pos) &&
+              regions[a].Find(poi.id) == nullptr) {
+            conflict = true;
+            break;
+          }
+        }
+      }
+      if (conflict) {
+        rejected[a] = true;
+        rejected[b] = true;
+        break;  // a is gone; move on to the next region
+      }
+    }
+  }
+
+  // Rebuild the peer list without the rejected regions.
+  std::vector<std::vector<bool>> keep(peers->size());
+  for (size_t p = 0; p < peers->size(); ++p) {
+    keep[p].assign((*peers)[p].regions.size(), true);
+  }
+  for (size_t i = 0; i < regions.size(); ++i) {
+    if (rejected[i]) {
+      keep[regions[i].peer][regions[i].index] = false;
+      ++result.regions_rejected;
+    } else {
+      ++result.regions_kept;
+    }
+  }
+  if (result.regions_rejected == 0) return result;
+
+  std::vector<core::PeerData> survivors;
+  survivors.reserve(peers->size());
+  for (size_t p = 0; p < peers->size(); ++p) {
+    core::PeerData out;
+    for (size_t r = 0; r < (*peers)[p].regions.size(); ++r) {
+      if (keep[p][r]) out.regions.push_back(std::move((*peers)[p].regions[r]));
+    }
+    if (!out.empty()) survivors.push_back(std::move(out));
+  }
+  *peers = std::move(survivors);
+  return result;
+}
+
+}  // namespace lbsq::fault

@@ -1,0 +1,49 @@
+#ifndef LBSQ_FAULT_PEER_SCREEN_H_
+#define LBSQ_FAULT_PEER_SCREEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/verified_region.h"
+#include "geom/rect.h"
+
+/// \file
+/// Defensive screening of shared peer data. NNV (Lemma 3.1) is only sound
+/// when every shared region satisfies the completeness invariant — every
+/// server POI inside the region is listed. A querier cannot prove that
+/// invariant locally, but it can *cross-check* peers against each other
+/// using the same invariant: any genuine POI claimed by one peer that falls
+/// inside another peer's verified region must appear in that region's list,
+/// with an identical position. Honest peers (whose entries all derive from
+/// the one true server database) can never disagree, so every conflict
+/// implicates at least one corrupt region — the screen conservatively drops
+/// both sides and lets the query fall back to the on-air path for whatever
+/// knowledge it lost. Graceful degradation: fewer peer hits, never an
+/// unsound "verified" answer built on data a consistent peer contradicted.
+
+namespace lbsq::fault {
+
+/// Accounting of one screening pass.
+struct ScreenResult {
+  /// Regions dropped (failed a local sanity check or a cross-check).
+  int64_t regions_rejected = 0;
+  /// Regions that survived.
+  int64_t regions_kept = 0;
+};
+
+/// Screens `peers` in place:
+///  1. local sanity: region and POI coordinates must be finite and every
+///     listed POI must lie inside `world` (server objects always do);
+///  2. position consistency: the same POI id claimed at two different
+///     positions implicates both claiming regions;
+///  3. completeness cross-check: a POI claimed by region A that lies inside
+///     region B's rectangle but is missing from B's list implicates both.
+/// Rejected regions are removed; peers left with no regions are dropped.
+/// Deterministic (no randomness) and conservative: on a conflict between an
+/// honest and a corrupt region, both go.
+ScreenResult ScreenPeerData(const geom::Rect& world,
+                            std::vector<core::PeerData>* peers);
+
+}  // namespace lbsq::fault
+
+#endif  // LBSQ_FAULT_PEER_SCREEN_H_

@@ -52,11 +52,19 @@ double CircularTriangleArea(Point p1, Point p2, double r) {
     const Point q = at(t);
     return SectorArea(p1, q, r) + 0.5 * Cross(q, p2);
   }
-  // Both endpoints outside: the chord contributes only when both roots fall
-  // strictly inside the parameter range.
-  if (t_lo > 0.0 && t_hi < 1.0 && t_lo < t_hi) {
-    const Point q1 = at(t_lo);
-    const Point q2 = at(t_hi);
+  // Both endpoints outside: the chord contributes over the part of the root
+  // interval [t_lo, t_hi] that overlaps the segment's parameter range. The
+  // clamped-interval rule also covers endpoints sitting numerically ON the
+  // circle (classified outside by the r2 test while the quadratic puts a
+  // root at t ~ 0 or ~ 1, possibly just out of range): clamping yields the
+  // true entry/exit points, and the adjacent sector degenerates to zero. A
+  // strict interior test (t_lo > 0 && t_hi < 1) would drop the entire
+  // circular-segment area in those corner-exact configurations.
+  const double u_lo = std::clamp(t_lo, 0.0, 1.0);
+  const double u_hi = std::clamp(t_hi, 0.0, 1.0);
+  if (u_hi - u_lo > 1e-12) {
+    const Point q1 = at(u_lo);
+    const Point q2 = at(u_hi);
     return SectorArea(p1, q1, r) + 0.5 * Cross(q1, q2) + SectorArea(q2, p2, r);
   }
   return SectorArea(p1, p2, r);

@@ -67,6 +67,7 @@ void SimConfig::Validate() const {
   LBSQ_CHECK(params.csize >= 1);
   LBSQ_CHECK(params.tx_range_m > 0.0);
   LBSQ_CHECK(params.knn_k >= 1.0);
+  fault.Validate();
 }
 
 double SimConfig::Scale() const {

@@ -6,6 +6,7 @@
 
 #include "broadcast/system.h"
 #include "core/peer_cache.h"
+#include "fault/fault_model.h"
 #include "onair/onair_window.h"
 
 /// \file
@@ -157,6 +158,13 @@ struct SimConfig {
   /// When true, the simulator records every query event it samples;
   /// retrieve with Simulator::trace() and replay with Simulator::Replay().
   bool record_trace = false;
+
+  /// Fault injection: channel loss/corruption, peer data corruption, and
+  /// the retry/deadline resilience policy. Disabled by default — a disabled
+  /// config yields output byte-identical to the pre-fault simulator. The
+  /// fault schedule is keyed per query id, so results stay bitwise
+  /// deterministic across `threads`.
+  fault::FaultConfig fault;
 
   /// When true, the simulator validates every cache entry against the
   /// server database after each insertion (slow; for tests).

@@ -35,6 +35,11 @@ void SimMetrics::Merge(const SimMetrics& other) {
   solved_broadcast += other.solved_broadcast;
   answer_errors += other.answer_errors;
   approx_exact += other.approx_exact;
+  degraded_queries += other.degraded_queries;
+  fault_losses += other.fault_losses;
+  fault_corruptions += other.fault_corruptions;
+  fault_deadline_hits += other.fault_deadline_hits;
+  regions_rejected += other.regions_rejected;
   peers_per_query.Merge(other.peers_per_query);
   broadcast_latency.Merge(other.broadcast_latency);
   broadcast_tuning.Merge(other.broadcast_tuning);
@@ -52,6 +57,11 @@ bool operator==(const SimMetrics& a, const SimMetrics& b) {
          a.solved_broadcast == b.solved_broadcast &&
          a.answer_errors == b.answer_errors &&
          a.approx_exact == b.approx_exact &&
+         a.degraded_queries == b.degraded_queries &&
+         a.fault_losses == b.fault_losses &&
+         a.fault_corruptions == b.fault_corruptions &&
+         a.fault_deadline_hits == b.fault_deadline_hits &&
+         a.regions_rejected == b.regions_rejected &&
          a.peers_per_query == b.peers_per_query &&
          a.broadcast_latency == b.broadcast_latency &&
          a.broadcast_tuning == b.broadcast_tuning &&

@@ -32,6 +32,20 @@ struct SimMetrics {
   /// Approximate kNN answers that happened to equal the oracle's top-k.
   int64_t approx_exact = 0;
 
+  /// Fault-injection accounting (all zero when faults are disabled).
+  /// Queries whose retrieval could not complete within the retry budget /
+  /// deadline; their answers are best-effort and excluded from
+  /// answer_errors.
+  int64_t degraded_queries = 0;
+  /// Receptions lost to the channel across all measured queries.
+  int64_t fault_losses = 0;
+  /// Receptions discarded for failing the CRC check.
+  int64_t fault_corruptions = 0;
+  /// Queries whose retrieval was cut short by the slot deadline.
+  int64_t fault_deadline_hits = 0;
+  /// Peer regions rejected by the defensive cross-check screen.
+  int64_t regions_rejected = 0;
+
   /// Peers within range per query.
   RunningStat peers_per_query;
   /// Access latency / tuning time (slots) of queries that used the channel.

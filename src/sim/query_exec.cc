@@ -4,11 +4,27 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/rng.h"
+#include "fault/peer_faults.h"
 #include "onair/onair_knn.h"
 #include "onair/onair_window.h"
 #include "spatial/generators.h"
 
 namespace lbsq::sim {
+
+namespace {
+
+// Applies the configured peer-data corruption on the querier's copy of the
+// gathered peer data, drawing from the query's own fault stream.
+void MaybeCorruptPeers(const core::QueryEngine& engine, int64_t query_id,
+                       std::vector<core::PeerData>* peers) {
+  const fault::FaultConfig& fault = engine.options().fault;
+  if (!fault.enabled() || !fault.peer.enabled()) return;
+  Rng rng(fault::PeerStreamSeed(fault.seed, static_cast<uint64_t>(query_id)));
+  fault::CorruptPeerData(fault.peer, &rng, peers);
+}
+
+}  // namespace
 
 core::QueryEngine::Options EngineOptionsFromConfig(const SimConfig& config) {
   core::QueryEngine::Options options;
@@ -20,6 +36,7 @@ core::QueryEngine::Options EngineOptionsFromConfig(const SimConfig& config) {
   options.sbnn.prefetch_radius_factor = config.prefetch_radius_factor;
   options.sbwq.retrieval = config.retrieval;
   options.sbwq.use_window_reduction = config.use_window_reduction;
+  options.fault = config.fault;
   return options;
 }
 
@@ -27,8 +44,10 @@ KnnQueryResult ExecuteKnnQuery(const SimConfig& config,
                                const core::QueryEngine& engine,
                                geom::Point pos, int k, int64_t slot,
                                std::vector<core::PeerData> peers,
-                               bool measured, obs::TraceRecorder* trace) {
+                               bool measured, int64_t query_id,
+                               obs::TraceRecorder* trace) {
   const int k_eff = k > 0 ? k : engine.options().sbnn.k;
+  MaybeCorruptPeers(engine, query_id, &peers);
 
   core::QueryRequest request;
   request.kind = core::QueryKind::kKnn;
@@ -37,9 +56,12 @@ KnnQueryResult ExecuteKnnQuery(const SimConfig& config,
   request.slot = slot;
   request.peers = std::move(peers);
   request.trace = trace;
+  request.fault_stream = static_cast<uint64_t>(query_id);
 
   KnnQueryResult result;
-  result.outcome = std::move(*engine.Execute(request).knn);
+  core::QueryOutcome executed = engine.Execute(request);
+  result.outcome = std::move(*executed.knn);
+  result.regions_rejected = executed.regions_rejected;
 
   // Correctness accounting against the brute-force oracle (every query).
   const std::vector<spatial::PoiDistance> truth =
@@ -52,7 +74,7 @@ KnnQueryResult ExecuteKnnQuery(const SimConfig& config,
   }
   result.exact = exact;
   if (result.outcome.resolved_by != core::ResolvedBy::kPeersApproximate &&
-      config.check_answers) {
+      config.check_answers && !config.fault.enabled()) {
     LBSQ_CHECK(exact);
   }
 
@@ -70,22 +92,28 @@ WindowQueryResult ExecuteWindowQuery(const SimConfig& config,
                                      const core::QueryEngine& engine,
                                      const geom::Rect& window, int64_t slot,
                                      std::vector<core::PeerData> peers,
-                                     bool measured, obs::TraceRecorder* trace) {
+                                     bool measured, int64_t query_id,
+                                     obs::TraceRecorder* trace) {
+  MaybeCorruptPeers(engine, query_id, &peers);
+
   core::QueryRequest request;
   request.kind = core::QueryKind::kWindow;
   request.window = window;
   request.slot = slot;
   request.peers = std::move(peers);
   request.trace = trace;
+  request.fault_stream = static_cast<uint64_t>(query_id);
 
   WindowQueryResult result;
-  result.outcome = std::move(*engine.Execute(request).window);
+  core::QueryOutcome executed = engine.Execute(request);
+  result.outcome = std::move(*executed.window);
+  result.regions_rejected = executed.regions_rejected;
 
   // Correctness accounting against the brute-force oracle (every query).
   const std::vector<spatial::Poi> truth =
       spatial::BruteForceWindow(engine.system().pois(), window);
   result.exact = truth == result.outcome.pois;
-  if (config.check_answers) {
+  if (config.check_answers && !config.fault.enabled()) {
     LBSQ_CHECK(result.exact);
   }
 
@@ -105,7 +133,9 @@ void AccumulateKnn(const KnnQueryResult& result, SimMetrics* metrics,
   metrics->verified_per_query.Add(outcome.nnv.heap.verified_count());
   if (outcome.resolved_by == core::ResolvedBy::kPeersApproximate) {
     if (result.exact) ++metrics->approx_exact;
-  } else if (!result.exact) {
+  } else if (!result.exact && !outcome.degraded) {
+    // Degraded queries are best-effort by contract; counting them as answer
+    // errors would conflate channel failures with soundness bugs.
     ++metrics->answer_errors;
   }
   switch (outcome.resolved_by) {
@@ -129,6 +159,11 @@ void AccumulateKnn(const KnnQueryResult& result, SimMetrics* metrics,
   }
   metrics->baseline_latency.Add(static_cast<double>(result.baseline_latency));
   metrics->baseline_tuning.Add(static_cast<double>(result.baseline_tuning));
+  if (outcome.degraded) ++metrics->degraded_queries;
+  metrics->fault_losses += outcome.fault_losses;
+  metrics->fault_corruptions += outcome.fault_corruptions;
+  if (outcome.fault_deadline_hit) ++metrics->fault_deadline_hits;
+  metrics->regions_rejected += result.regions_rejected;
 
   if (registry != nullptr) {
     registry->IncrementCounter("queries");
@@ -157,6 +192,22 @@ void AccumulateKnn(const KnnQueryResult& result, SimMetrics* metrics,
         broadcast ? static_cast<double>(outcome.stats.access_latency) : 0.0);
     registry->Observe("baseline_latency",
                       static_cast<double>(result.baseline_latency));
+    // Fault counters only materialize on fault activity, so the registry's
+    // exported metrics stay identical when injection is disabled.
+    if (outcome.degraded) registry->IncrementCounter("degraded_queries");
+    if (outcome.fault_losses > 0) {
+      registry->IncrementCounter("fault_losses", outcome.fault_losses);
+    }
+    if (outcome.fault_corruptions > 0) {
+      registry->IncrementCounter("fault_corruptions",
+                                 outcome.fault_corruptions);
+    }
+    if (outcome.fault_deadline_hit) {
+      registry->IncrementCounter("fault_deadline_hits");
+    }
+    if (result.regions_rejected > 0) {
+      registry->IncrementCounter("regions_rejected", result.regions_rejected);
+    }
   }
 }
 
@@ -164,7 +215,7 @@ void AccumulateWindow(const WindowQueryResult& result, SimMetrics* metrics,
                       MetricsRegistry* registry) {
   const core::SbwqOutcome& outcome = result.outcome;
   ++metrics->queries;
-  if (!result.exact) ++metrics->answer_errors;
+  if (!result.exact && !outcome.degraded) ++metrics->answer_errors;
   metrics->residual_fraction.Add(outcome.residual_fraction);
   if (outcome.resolved_by_peers) {
     ++metrics->solved_verified;
@@ -178,6 +229,11 @@ void AccumulateWindow(const WindowQueryResult& result, SimMetrics* metrics,
   }
   metrics->baseline_latency.Add(static_cast<double>(result.baseline_latency));
   metrics->baseline_tuning.Add(static_cast<double>(result.baseline_tuning));
+  if (outcome.degraded) ++metrics->degraded_queries;
+  metrics->fault_losses += outcome.fault_losses;
+  metrics->fault_corruptions += outcome.fault_corruptions;
+  if (outcome.fault_deadline_hit) ++metrics->fault_deadline_hits;
+  metrics->regions_rejected += result.regions_rejected;
 
   if (registry != nullptr) {
     registry->IncrementCounter("queries");
@@ -199,6 +255,20 @@ void AccumulateWindow(const WindowQueryResult& result, SimMetrics* metrics,
             : static_cast<double>(outcome.stats.access_latency));
     registry->Observe("baseline_latency",
                       static_cast<double>(result.baseline_latency));
+    if (outcome.degraded) registry->IncrementCounter("degraded_queries");
+    if (outcome.fault_losses > 0) {
+      registry->IncrementCounter("fault_losses", outcome.fault_losses);
+    }
+    if (outcome.fault_corruptions > 0) {
+      registry->IncrementCounter("fault_corruptions",
+                                 outcome.fault_corruptions);
+    }
+    if (outcome.fault_deadline_hit) {
+      registry->IncrementCounter("fault_deadline_hits");
+    }
+    if (result.regions_rejected > 0) {
+      registry->IncrementCounter("regions_rejected", result.regions_rejected);
+    }
   }
 }
 

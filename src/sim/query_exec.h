@@ -36,6 +36,8 @@ struct KnnQueryResult {
   bool exact = false;
   int64_t baseline_latency = 0;
   int64_t baseline_tuning = 0;
+  /// Peer regions the defensive screen rejected (0 unless screening on).
+  int64_t regions_rejected = 0;
 
   /// The placeholder outcome needs a valid heap capacity (>= 1); it is
   /// overwritten by ExecuteKnnQuery before anyone reads it.
@@ -48,18 +50,24 @@ struct WindowQueryResult {
   bool exact = false;
   int64_t baseline_latency = 0;
   int64_t baseline_tuning = 0;
+  /// Peer regions the defensive screen rejected (0 unless screening on).
+  int64_t regions_rejected = 0;
 };
 
 /// Runs SBNN through `engine` for one query, checks it against the
 /// brute-force oracle (aborting via LBSQ_CHECK under `config.check_answers`
-/// for exact-path answers), and — when `measured` — prices the pure on-air
-/// baseline. A non-null `trace` receives the query's span/counter events.
-/// Thread-safe: reads only immutable state.
+/// for exact-path answers; the check is waived while fault injection is
+/// enabled, since degraded or peer-corrupted answers may legitimately
+/// differ), and — when `measured` — prices the pure on-air baseline. A
+/// non-null `trace` receives the query's span/counter events.
+/// `query_id` is the global event index: it keys the per-query fault
+/// streams (peer corruption and channel schedule), making fault outcomes
+/// independent of thread count. Thread-safe: reads only immutable state.
 KnnQueryResult ExecuteKnnQuery(const SimConfig& config,
                                const core::QueryEngine& engine,
                                geom::Point pos, int k, int64_t slot,
                                std::vector<core::PeerData> peers,
-                               bool measured,
+                               bool measured, int64_t query_id = 0,
                                obs::TraceRecorder* trace = nullptr);
 
 /// Window-query counterpart of ExecuteKnnQuery.
@@ -67,7 +75,7 @@ WindowQueryResult ExecuteWindowQuery(const SimConfig& config,
                                      const core::QueryEngine& engine,
                                      const geom::Rect& window, int64_t slot,
                                      std::vector<core::PeerData> peers,
-                                     bool measured,
+                                     bool measured, int64_t query_id = 0,
                                      obs::TraceRecorder* trace = nullptr);
 
 /// Records a measured kNN query into `metrics` (counters, resolved-by

@@ -92,6 +92,69 @@ TEST(DiscRectAreaTest, KnownCircularSegment) {
   EXPECT_NEAR(DiscRectIntersectionArea(c, r), expected, 1e-9);
 }
 
+TEST(DiscRectAreaTest, TangentFromOutsideIsZero) {
+  // Rect edge exactly tangent to the disc from outside: the chord interval
+  // degenerates to a point and no area may be counted.
+  const Circle c{{0.0, 2.0}, 1.0};
+  EXPECT_NEAR(DiscRectIntersectionArea(c, Rect{-3.0, 0.0, 3.0, 1.0}), 0.0,
+              1e-9);
+  // Corner exactly touching the circle, rect otherwise outside.
+  EXPECT_NEAR(DiscRectIntersectionArea(Circle{{0.0, 0.0}, 1.0},
+                                       Rect{1.0, 1.0, 4.0, 4.0}),
+              0.0, 1e-9);
+}
+
+TEST(DiscRectAreaTest, TangentFromInsideKeepsFullDisc) {
+  // Rect contains the disc with one edge exactly tangent: area is the whole
+  // disc, not the disc minus a spurious degenerate segment.
+  const Circle c{{0.0, 0.0}, 1.0};
+  const Rect r{-3.0, -1.0, 3.0, 4.0};  // bottom edge tangent at (0, -1)
+  EXPECT_NEAR(DiscRectIntersectionArea(c, r), M_PI, 1e-9);
+}
+
+TEST(DiscRectAreaTest, DoubleChordBand) {
+  // Rect |y| <= 1/2 slices two chords off the unit disc (both edge endpoints
+  // strictly outside): band area = sqrt(3)/2 + pi/3.
+  const Circle c{{0.0, 0.0}, 1.0};
+  const Rect r{-2.0, -0.5, 2.0, 0.5};
+  EXPECT_NEAR(DiscRectIntersectionArea(c, r),
+              std::sqrt(3.0) / 2.0 + M_PI / 3.0, 1e-9);
+}
+
+TEST(DiscRectAreaTest, CornerExactlyOnCircleKeepsSegment) {
+  // Corner (3, 4) lies exactly on the radius-5 circle; the rect occupies the
+  // x >= 3 half plane below y = 4, so the intersection is the full circular
+  // segment x >= 3 (the y = 4 edge only touches at the corner). A strict
+  // interior-root test used to drop this segment when a chord endpoint sat
+  // numerically on the circle.
+  const Circle c{{0.0, 0.0}, 5.0};
+  const Rect r{3.0, -10.0, 20.0, 4.0};
+  const double expected = 25.0 * std::acos(0.6) - 12.0;
+  EXPECT_NEAR(DiscRectIntersectionArea(c, r), expected, 1e-9);
+}
+
+TEST(DiscRectAreaTest, CornerOnBoundaryMatchesMonteCarlo) {
+  // Adversarial sweep for the corner-exact chord rule: one rect corner is
+  // placed exactly on the circle (floating point lands it a few ulp inside
+  // or outside at random), which used to lose the adjacent segment area.
+  Rng rng(7701);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Circle c{{rng.Uniform(-1.0, 1.0), rng.Uniform(-1.0, 1.0)},
+                   rng.Uniform(0.5, 2.0)};
+    const double phi = rng.Uniform(0.0, 2.0 * M_PI);
+    const Point corner{c.center.x + c.radius * std::cos(phi),
+                       c.center.y + c.radius * std::sin(phi)};
+    const Rect r = Rect::FromCorners(
+        corner, {corner.x + rng.Uniform(0.5, 3.0) * (rng.NextBool(0.5) ? 1 : -1),
+                 corner.y + rng.Uniform(0.5, 3.0) * (rng.NextBool(0.5) ? 1 : -1)});
+    const double exact = DiscRectIntersectionArea(c, r);
+    const double mc = MonteCarloArea(c, r, 200000, 4000 + trial);
+    const double sigma = r.area() / std::sqrt(200000.0);
+    EXPECT_NEAR(exact, mc, 4.0 * sigma + 1e-6)
+        << "trial " << trial << " phi=" << phi;
+  }
+}
+
 TEST(DiscRectAreaTest, MatchesMonteCarloOnRandomConfigurations) {
   Rng rng(2024);
   for (int trial = 0; trial < 30; ++trial) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "broadcast/schedule.h"
 
 namespace lbsq::broadcast {
@@ -153,30 +155,62 @@ TEST(ClientProtocolTest, IndexReadModeBucketsToRead) {
   EXPECT_EQ(IndexReadMode::TreePaths(3).BucketsToRead(s), 3);
 }
 
-// The one-release compatibility shim: the old -1 sentinel must keep meaning
-// "read the whole flat directory", and a non-negative count must behave as
-// TreePaths. Delete together with the shim.
-TEST(ClientProtocolTest, DeprecatedSentinelShimMatchesIndexReadMode) {
-  BroadcastSchedule s(50, 4, 2);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const AccessStats old_flat =
-      RetrieveBuckets(s, 7, {3, 19}, static_cast<int64_t>(-1));
-  const AccessStats old_tree =
-      RetrieveBuckets(s, 7, {3, 19}, static_cast<int64_t>(2));
-#pragma GCC diagnostic pop
-  const AccessStats new_flat =
-      RetrieveBuckets(s, 7, {3, 19}, IndexReadMode::FlatDirectory());
-  const AccessStats new_tree =
-      RetrieveBuckets(s, 7, {3, 19}, IndexReadMode::TreePaths(2));
-  EXPECT_EQ(old_flat.access_latency, new_flat.access_latency);
-  EXPECT_EQ(old_flat.tuning_time, new_flat.tuning_time);
-  EXPECT_EQ(old_flat.buckets_read, new_flat.buckets_read);
-  EXPECT_EQ(old_tree.access_latency, new_tree.access_latency);
-  EXPECT_EQ(old_tree.tuning_time, new_tree.tuning_time);
-  EXPECT_EQ(old_tree.buckets_read, new_tree.buckets_read);
-  // The tree path reads fewer index buckets than the full directory.
-  EXPECT_LT(new_tree.tuning_time, new_flat.tuning_time);
+TEST(LossyChannelTest, RetryStatisticsMatchLossProbAcrossSeeds) {
+  // Over many independent seeds, the extra tuning attempts (retries) per
+  // reception should match the geometric-retry expectation p / (1 - p).
+  // Every reception is Bernoulli(p): one index segment + two data buckets
+  // per retrieval, so expected retries per retrieval = 3 p / (1 - p).
+  BroadcastSchedule s(50, 1, 1);
+  for (double p : {0.1, 0.25, 0.5}) {
+    const AccessStats reliable = RetrieveBuckets(s, 0, {10, 40});
+    double total_retries = 0.0;
+    const double seeds = 3000.0;
+    for (uint64_t seed = 1; seed <= 3000; ++seed) {
+      Rng rng(seed);
+      const AccessStats lossy = RetrieveBucketsLossy(s, 0, {10, 40}, p, &rng);
+      total_retries +=
+          static_cast<double>(lossy.tuning_time - reliable.tuning_time);
+    }
+    const double mean_retries = total_retries / seeds;
+    const double expected = 3.0 * p / (1.0 - p);
+    // Var of one geometric retry count is p/(1-p)^2; 3 per trial, so the
+    // standard error over `seeds` trials allows a generous 5-sigma band.
+    const double sigma =
+        std::sqrt(3.0 * p / ((1.0 - p) * (1.0 - p)) / seeds);
+    EXPECT_NEAR(mean_retries, expected, 5.0 * sigma) << "p=" << p;
+  }
+}
+
+TEST(LossyChannelTest, ZeroLossTraceMatchesReliableSpans) {
+  // With loss_prob = 0 the lossy path must walk the identical schedule: same
+  // stats and the same protocol spans, with both retry counters at zero.
+  BroadcastSchedule s(40, 3, 4);
+  for (int64_t t : {0L, 9L, 57L}) {
+    obs::TraceRecorder reliable_trace;
+    obs::TraceRecorder lossy_trace;
+    Rng rng(11);
+    const AccessStats reliable =
+        RetrieveBuckets(s, t, {2, 15, 33}, IndexReadMode{}, &reliable_trace);
+    const AccessStats lossy =
+        RetrieveBucketsLossy(s, t, {2, 15, 33}, 0.0, &rng, &lossy_trace);
+    EXPECT_EQ(reliable.access_latency, lossy.access_latency);
+    EXPECT_EQ(reliable.tuning_time, lossy.tuning_time);
+    EXPECT_EQ(reliable.buckets_read, lossy.buckets_read);
+    // The lossy trace adds the two retry counters; its spans must be
+    // identical to the reliable ones.
+    std::vector<obs::TraceEvent> lossy_spans;
+    for (const obs::TraceEvent& e : lossy_trace.events()) {
+      if (e.kind == obs::TraceEvent::Kind::kSpan) {
+        lossy_spans.push_back(e);
+      } else {
+        EXPECT_EQ(e.value, 0.0) << e.name;
+      }
+    }
+    ASSERT_EQ(lossy_spans.size(), reliable_trace.events().size());
+    for (size_t i = 0; i < lossy_spans.size(); ++i) {
+      EXPECT_EQ(lossy_spans[i], reliable_trace.events()[i]);
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,168 @@
+#include "fault/fault_model.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace lbsq::fault {
+namespace {
+
+TEST(ChannelFaultConfigTest, EnabledPredicate) {
+  ChannelFaultConfig config;
+  EXPECT_FALSE(config.enabled());
+  config.loss_prob = 0.1;  // ignored while model is kNone
+  EXPECT_FALSE(config.enabled());
+  config.model = LossModel::kIid;
+  EXPECT_TRUE(config.enabled());
+  config.loss_prob = 0.0;
+  EXPECT_FALSE(config.enabled());
+  config.model = LossModel::kGilbertElliott;
+  EXPECT_TRUE(config.enabled());
+  config.model = LossModel::kNone;
+  config.corruption_prob = 0.01;
+  EXPECT_TRUE(config.enabled());
+}
+
+TEST(ChannelFaultConfigTest, SteadyStateLossRate) {
+  ChannelFaultConfig config;
+  EXPECT_DOUBLE_EQ(config.SteadyStateLossRate(), 0.0);
+
+  config.model = LossModel::kIid;
+  config.loss_prob = 0.17;
+  EXPECT_DOUBLE_EQ(config.SteadyStateLossRate(), 0.17);
+
+  config.model = LossModel::kGilbertElliott;
+  config.p_good_to_bad = 0.02;
+  config.p_bad_to_good = 0.08;
+  config.loss_good = 0.0;
+  config.loss_bad = 0.5;
+  // Stationary bad fraction = 0.02 / 0.10 = 0.2 -> rate 0.2 * 0.5.
+  EXPECT_DOUBLE_EQ(config.SteadyStateLossRate(), 0.1);
+
+  // Degenerate chain that never leaves Good.
+  config.p_good_to_bad = 0.0;
+  config.p_bad_to_good = 0.0;
+  config.loss_good = 0.05;
+  EXPECT_DOUBLE_EQ(config.SteadyStateLossRate(), 0.05);
+}
+
+TEST(ChannelFaultConfigTest, ValidateRejectsOutOfRange) {
+  ChannelFaultConfig config;
+  config.Validate();  // defaults are legal
+  config.loss_prob = 1.0;  // must be < 1 (loss_prob == 1 never terminates)
+  EXPECT_DEATH(config.Validate(), "LBSQ_CHECK");
+  config.loss_prob = 0.0;
+  config.p_good_to_bad = -0.1;
+  EXPECT_DEATH(config.Validate(), "LBSQ_CHECK");
+  config.p_good_to_bad = 0.0;
+  config.corruption_prob = 2.0;
+  EXPECT_DEATH(config.Validate(), "LBSQ_CHECK");
+}
+
+TEST(PeerFaultConfigTest, ValidateAndEnabled) {
+  PeerFaultConfig config;
+  config.Validate();
+  EXPECT_FALSE(config.enabled());
+  config.stale_prob = 0.3;
+  EXPECT_TRUE(config.enabled());
+  config.stale_drift = -1.0;
+  EXPECT_DEATH(config.Validate(), "LBSQ_CHECK");
+}
+
+TEST(FaultPolicyTest, ValidateRejectsNegatives) {
+  FaultPolicy policy;
+  policy.Validate();
+  policy.max_retries_per_bucket = -1;
+  EXPECT_DEATH(policy.Validate(), "LBSQ_CHECK");
+  policy.max_retries_per_bucket = 0;
+  policy.deadline_slots = -5;
+  EXPECT_DEATH(policy.Validate(), "LBSQ_CHECK");
+}
+
+TEST(GilbertElliottChannelTest, DeterministicGivenSeed) {
+  ChannelFaultConfig config;
+  config.model = LossModel::kGilbertElliott;
+  config.p_good_to_bad = 0.05;
+  config.p_bad_to_good = 0.2;
+  config.loss_bad = 0.7;
+
+  GilbertElliottChannel a(config);
+  GilbertElliottChannel b(config);
+  Rng rng_a(42);
+  Rng rng_b(42);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_EQ(a.NextLost(&rng_a), b.NextLost(&rng_b)) << "slot " << i;
+    ASSERT_EQ(a.bad(), b.bad());
+  }
+}
+
+TEST(GilbertElliottChannelTest, EmpiricalLossMatchesSteadyState) {
+  ChannelFaultConfig config;
+  config.model = LossModel::kGilbertElliott;
+  config.p_good_to_bad = 0.03;
+  config.p_bad_to_good = 0.12;
+  config.loss_good = 0.01;
+  config.loss_bad = 0.8;
+
+  GilbertElliottChannel channel(config);
+  Rng rng(7);
+  const int slots = 400000;
+  int lost = 0;
+  for (int i = 0; i < slots; ++i) {
+    if (channel.NextLost(&rng)) ++lost;
+  }
+  EXPECT_NEAR(static_cast<double>(lost) / slots,
+              config.SteadyStateLossRate(), 0.01);
+}
+
+TEST(GilbertElliottChannelTest, LossesAreBursty) {
+  // Under burst fading, P(loss | previous loss) must exceed the marginal
+  // loss rate — the property the iid model lacks.
+  ChannelFaultConfig config;
+  config.model = LossModel::kGilbertElliott;
+  config.p_good_to_bad = 0.02;
+  config.p_bad_to_good = 0.1;
+  config.loss_good = 0.0;
+  config.loss_bad = 0.9;
+
+  GilbertElliottChannel channel(config);
+  Rng rng(11);
+  const int slots = 200000;
+  int losses = 0, pairs = 0, loss_after_loss = 0;
+  bool prev = false;
+  for (int i = 0; i < slots; ++i) {
+    const bool lost = channel.NextLost(&rng);
+    if (lost) ++losses;
+    if (prev) {
+      ++pairs;
+      if (lost) ++loss_after_loss;
+    }
+    prev = lost;
+  }
+  const double marginal = static_cast<double>(losses) / slots;
+  const double conditional = static_cast<double>(loss_after_loss) / pairs;
+  EXPECT_GT(conditional, 2.0 * marginal);
+}
+
+TEST(StreamSeedTest, StreamsAreDistinctAndStable) {
+  // Same inputs -> same seed (reproducibility), different query ids or
+  // domains -> different seeds (independence).
+  EXPECT_EQ(ChannelStreamSeed(1, 5), ChannelStreamSeed(1, 5));
+  EXPECT_EQ(PeerStreamSeed(1, 5), PeerStreamSeed(1, 5));
+  EXPECT_NE(ChannelStreamSeed(1, 5), PeerStreamSeed(1, 5));
+
+  std::set<uint64_t> seen;
+  for (uint64_t seed : {1ull, 2ull, 99ull}) {
+    for (uint64_t query = 0; query < 50; ++query) {
+      seen.insert(ChannelStreamSeed(seed, query));
+      seen.insert(PeerStreamSeed(seed, query));
+    }
+  }
+  EXPECT_EQ(seen.size(), 3u * 50u * 2u);
+}
+
+}  // namespace
+}  // namespace lbsq::fault

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "fault/fault_model.h"
+#include "sim/config.h"
+#include "sim/metrics.h"
+#include "sim/parallel_simulator.h"
+#include "sim/simulator.h"
+
+// End-to-end contracts of the fault-injection subsystem:
+//  1. Disabled faults change nothing: a SimConfig with a default FaultConfig
+//     produces metrics identical to one that never heard of faults.
+//  2. Thread-count invariance survives injection: fault schedules are keyed
+//     by query id, so metrics (including fault counters) are bitwise equal
+//     at any thread count.
+//  3. Graceful degradation: heavy burst loss + corruption never crashes and
+//     never manufactures wrong "exact" answers — channel-only faults with an
+//     unlimited retry budget stay exact, and bounded budgets surface
+//     degraded queries instead of errors.
+
+namespace lbsq::sim {
+namespace {
+
+SimConfig SmallConfig(QueryType type) {
+  SimConfig config;
+  config.params = LosAngelesCity();
+  config.query_type = type;
+  config.world_side_mi = 1.0;
+  config.warmup_min = 8.0;
+  config.duration_min = 8.0;
+  config.seed = 7;
+  return config;
+}
+
+fault::ChannelFaultConfig HeavyBurst() {
+  fault::ChannelFaultConfig channel;
+  channel.model = fault::LossModel::kGilbertElliott;
+  // Stationary bad fraction 0.3, mean burst length 10 slots, 80% loss in
+  // the bad state: ~24% of receptions lost in bursts.
+  channel.p_bad_to_good = 0.1;
+  channel.p_good_to_bad = 0.3 / 0.7 * 0.1;
+  channel.loss_bad = 0.8;
+  channel.corruption_prob = 0.05;
+  return channel;
+}
+
+SimMetrics RunWithThreads(SimConfig config, int threads) {
+  config.threads = threads;
+  ParallelSimulator sim(config);
+  return sim.Run();
+}
+
+TEST(FaultResilienceTest, DefaultFaultConfigIsInert) {
+  // The seed metrics contract: merely carrying a (disabled) FaultConfig in
+  // SimConfig must not perturb a single counter.
+  const SimConfig config = SmallConfig(QueryType::kMixed);
+  EXPECT_FALSE(config.fault.enabled());
+  Simulator sim(config);
+  const SimMetrics metrics = sim.Run();
+  EXPECT_GT(metrics.queries, 50);
+  EXPECT_EQ(metrics.degraded_queries, 0);
+  EXPECT_EQ(metrics.fault_losses, 0);
+  EXPECT_EQ(metrics.fault_corruptions, 0);
+  EXPECT_EQ(metrics.fault_deadline_hits, 0);
+  EXPECT_EQ(metrics.regions_rejected, 0);
+}
+
+TEST(FaultResilienceTest, FaultScheduleIsThreadCountInvariant) {
+  SimConfig config = SmallConfig(QueryType::kMixed);
+  config.fault.channel = HeavyBurst();
+  config.fault.peer.stale_prob = 0.05;
+  config.fault.peer.truncate_prob = 0.05;
+  config.fault.screen_peers = true;
+  config.fault.policy.deadline_slots = 4000;
+  const SimMetrics one = RunWithThreads(config, 1);
+  EXPECT_GT(one.queries, 50);
+  EXPECT_GT(one.fault_losses, 0);
+  EXPECT_EQ(one, RunWithThreads(config, 2));
+  EXPECT_EQ(one, RunWithThreads(config, 8));
+}
+
+TEST(FaultResilienceTest, UnlimitedRetriesStayExactUnderChannelFaults) {
+  // Channel faults only delay when the client may retry forever: every
+  // query still completes with the correct answer (no degradation, no
+  // errors), it just pays latency and tuning for the losses.
+  SimConfig config = SmallConfig(QueryType::kKnn);
+  config.fault.channel = HeavyBurst();
+  config.fault.policy.max_retries_per_bucket = 1000000;
+  config.fault.policy.deadline_slots = 0;  // unlimited
+
+  SimConfig baseline = config;
+  baseline.fault = fault::FaultConfig{};
+
+  Simulator sim(config);
+  const SimMetrics faulty = sim.Run();
+  Simulator base_sim(baseline);
+  const SimMetrics base = base_sim.Run();
+
+  EXPECT_EQ(faulty.queries, base.queries);
+  EXPECT_EQ(faulty.answer_errors, 0);
+  EXPECT_EQ(faulty.degraded_queries, 0);
+  EXPECT_GT(faulty.fault_losses, 0);
+  EXPECT_GT(faulty.fault_corruptions, 0);
+  // Losses cost air time: mean access latency can only grow.
+  EXPECT_GE(faulty.MeanLatencyAllQueries(), base.MeanLatencyAllQueries());
+}
+
+TEST(FaultResilienceTest, BoundedRetriesDegradeGracefully) {
+  // 30% burst loss + 5% corruption with a tight retry budget: some queries
+  // must give up, and they are reported as degraded — never as silent wrong
+  // answers (channel faults cannot corrupt content, only availability, so
+  // answer_errors stays zero).
+  SimConfig config = SmallConfig(QueryType::kMixed);
+  config.fault.channel = HeavyBurst();
+  config.fault.policy.max_retries_per_bucket = 1;
+  config.fault.policy.deadline_slots = 2000;
+
+  Simulator sim(config);
+  const SimMetrics metrics = sim.Run();
+  EXPECT_GT(metrics.queries, 50);
+  EXPECT_GT(metrics.degraded_queries, 0);
+  EXPECT_LT(metrics.degraded_queries, metrics.queries);
+  EXPECT_EQ(metrics.answer_errors, 0);
+}
+
+TEST(FaultResilienceTest, ScreeningRejectsFaultyPeerRegions) {
+  // With peer corruption on and screening enabled, the screen must fire;
+  // honest traffic (no injection) must sail through with zero rejections.
+  SimConfig faulty = SmallConfig(QueryType::kKnn);
+  faulty.fault.peer.stale_prob = 0.2;
+  faulty.fault.peer.truncate_prob = 0.2;
+  faulty.fault.screen_peers = true;
+  Simulator faulty_sim(faulty);
+  const SimMetrics corrupted = faulty_sim.Run();
+  EXPECT_GT(corrupted.regions_rejected, 0);
+
+  SimConfig honest = SmallConfig(QueryType::kKnn);
+  honest.fault.screen_peers = true;  // defense on, injection off
+  Simulator honest_sim(honest);
+  const SimMetrics clean = honest_sim.Run();
+  EXPECT_EQ(clean.regions_rejected, 0);
+  EXPECT_EQ(clean.answer_errors, 0);
+}
+
+TEST(FaultResilienceTest, SequentialAndParallelAgreeUnderFaults) {
+  SimConfig config = SmallConfig(QueryType::kKnn);
+  config.fault.channel = HeavyBurst();
+  config.fault.policy.deadline_slots = 4000;
+  config.events_per_epoch = 1;
+  Simulator sequential(config);
+  const SimMetrics expected = sequential.Run();
+  EXPECT_EQ(expected, RunWithThreads(config, 4));
+}
+
+}  // namespace
+}  // namespace lbsq::sim

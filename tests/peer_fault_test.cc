@@ -1,0 +1,213 @@
+#include "fault/peer_faults.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/verified_region.h"
+#include "fault/peer_screen.h"
+#include "geom/rect.h"
+
+namespace lbsq::fault {
+namespace {
+
+using core::PeerData;
+using core::VerifiedRegion;
+using spatial::Poi;
+
+const geom::Rect kWorld{0.0, 0.0, 10.0, 10.0};
+
+VerifiedRegion MakeRegion(geom::Rect rect, std::vector<Poi> pois) {
+  VerifiedRegion vr;
+  vr.region = rect;
+  vr.pois = std::move(pois);
+  return vr;
+}
+
+std::vector<PeerData> SamplePeers() {
+  // Two peers, three regions, all consistent with one underlying POI set:
+  // every POI inside an overlapping region's rect is listed there at the
+  // identical position (honest peers can never disagree).
+  std::vector<PeerData> peers(2);
+  peers[0].regions.push_back(MakeRegion(
+      {1.0, 1.0, 4.0, 4.0},
+      {{1, {1.5, 1.5}}, {2, {3.0, 3.5}}, {3, {2.5, 3.0}}, {4, {3.5, 1.5}}}));
+  peers[0].regions.push_back(
+      MakeRegion({5.0, 5.0, 7.0, 7.0}, {{7, {6.0, 6.0}}, {8, {6.5, 5.5}}}));
+  peers[1].regions.push_back(MakeRegion(
+      {2.0, 2.0, 6.0, 6.0},
+      {{2, {3.0, 3.5}}, {3, {2.5, 3.0}}, {7, {6.0, 6.0}}, {9, {4.0, 5.0}}}));
+  return peers;
+}
+
+PeerFaultConfig AllFaults() {
+  PeerFaultConfig config;
+  config.stale_prob = 0.3;
+  config.truncate_prob = 0.3;
+  config.flip_prob = 0.3;
+  return config;
+}
+
+TEST(CorruptPeerDataTest, DisabledConfigIsIdentity) {
+  std::vector<PeerData> peers = SamplePeers();
+  const std::vector<PeerData> before = peers;
+  Rng rng(1);
+  const PeerFaultStats stats = CorruptPeerData(PeerFaultConfig{}, &rng, &peers);
+  EXPECT_EQ(stats.total(), 0);
+  ASSERT_EQ(peers.size(), before.size());
+  for (size_t p = 0; p < peers.size(); ++p) {
+    ASSERT_EQ(peers[p].regions.size(), before[p].regions.size());
+    for (size_t r = 0; r < peers[p].regions.size(); ++r) {
+      EXPECT_EQ(peers[p].regions[r].pois, before[p].regions[r].pois);
+    }
+  }
+}
+
+TEST(CorruptPeerDataTest, DeterministicGivenSeed) {
+  std::vector<PeerData> a = SamplePeers();
+  std::vector<PeerData> b = SamplePeers();
+  Rng rng_a(42);
+  Rng rng_b(42);
+  const PeerFaultStats sa = CorruptPeerData(AllFaults(), &rng_a, &a);
+  const PeerFaultStats sb = CorruptPeerData(AllFaults(), &rng_b, &b);
+  EXPECT_EQ(sa.regions_stale, sb.regions_stale);
+  EXPECT_EQ(sa.regions_truncated, sb.regions_truncated);
+  EXPECT_EQ(sa.regions_flipped, sb.regions_flipped);
+  for (size_t p = 0; p < a.size(); ++p) {
+    for (size_t r = 0; r < a[p].regions.size(); ++r) {
+      EXPECT_EQ(a[p].regions[r].pois, b[p].regions[r].pois);
+    }
+  }
+}
+
+TEST(CorruptPeerDataTest, StaleDriftIsBounded) {
+  PeerFaultConfig config;
+  config.stale_prob = 1.0;
+  config.stale_drift = 0.05;
+  std::vector<PeerData> peers = SamplePeers();
+  const std::vector<PeerData> before = peers;
+  Rng rng(7);
+  const PeerFaultStats stats = CorruptPeerData(config, &rng, &peers);
+  EXPECT_EQ(stats.regions_stale, 3);
+  for (size_t p = 0; p < peers.size(); ++p) {
+    for (size_t r = 0; r < peers[p].regions.size(); ++r) {
+      const auto& now = peers[p].regions[r].pois;
+      const auto& was = before[p].regions[r].pois;
+      ASSERT_EQ(now.size(), was.size());
+      for (size_t i = 0; i < now.size(); ++i) {
+        EXPECT_EQ(now[i].id, was[i].id);
+        EXPECT_LE(std::abs(now[i].pos.x - was[i].pos.x), 0.05);
+        EXPECT_LE(std::abs(now[i].pos.y - was[i].pos.y), 0.05);
+      }
+    }
+  }
+}
+
+TEST(CorruptPeerDataTest, TruncateDropsEveryOtherPoi) {
+  PeerFaultConfig config;
+  config.truncate_prob = 1.0;
+  std::vector<PeerData> peers(1);
+  peers[0].regions.push_back(MakeRegion(
+      {1.0, 1.0, 4.0, 4.0},
+      {{1, {2.0, 2.0}}, {2, {3.0, 3.5}}, {3, {2.5, 3.0}}, {4, {3.5, 1.5}}}));
+  // Single-POI region: never truncated (nothing to hide).
+  peers[0].regions.push_back(
+      MakeRegion({5.0, 5.0, 7.0, 7.0}, {{7, {6.0, 6.0}}}));
+  Rng rng(3);
+  const PeerFaultStats stats = CorruptPeerData(config, &rng, &peers);
+  EXPECT_EQ(stats.regions_truncated, 1);
+  EXPECT_EQ(peers[0].regions[0].pois.size(), 2u);  // kept indices 0 and 2
+  EXPECT_EQ(peers[0].regions[0].pois[0].id, 1);
+  EXPECT_EQ(peers[0].regions[0].pois[1].id, 3);
+  EXPECT_EQ(peers[0].regions[1].pois.size(), 1u);
+  // The region rectangle is still the full (now-lying) claim.
+  EXPECT_EQ(peers[0].regions[0].region, (geom::Rect{1.0, 1.0, 4.0, 4.0}));
+}
+
+TEST(CorruptPeerDataTest, FlipTransposesCoordinates) {
+  PeerFaultConfig config;
+  config.flip_prob = 1.0;
+  std::vector<PeerData> peers(1);
+  peers[0].regions.push_back(
+      MakeRegion({1.0, 1.0, 4.0, 4.0}, {{1, {2.0, 3.0}}}));
+  Rng rng(5);
+  CorruptPeerData(config, &rng, &peers);
+  EXPECT_EQ(peers[0].regions[0].pois[0].pos, (geom::Point{3.0, 2.0}));
+}
+
+TEST(ScreenPeerDataTest, HonestDataPassesUntouched) {
+  std::vector<PeerData> peers = SamplePeers();
+  const ScreenResult result = ScreenPeerData(kWorld, &peers);
+  EXPECT_EQ(result.regions_rejected, 0);
+  EXPECT_EQ(result.regions_kept, 3);
+  ASSERT_EQ(peers.size(), 2u);
+  EXPECT_EQ(peers[0].regions.size(), 2u);
+  EXPECT_EQ(peers[1].regions.size(), 1u);
+}
+
+TEST(ScreenPeerDataTest, TruncatedRegionCaughtByOverlappingHonestPeer) {
+  // Peer 1's region claims the rect that contains POI 2 at (3.0, 3.5) but
+  // does not list it; honest peer 0 does. Both overlapping regions go.
+  std::vector<PeerData> peers(2);
+  peers[0].regions.push_back(MakeRegion(
+      {1.0, 1.0, 4.0, 4.0}, {{1, {2.0, 2.0}}, {2, {3.0, 3.5}}}));
+  peers[1].regions.push_back(
+      MakeRegion({2.0, 2.0, 6.0, 6.0}, {{9, {4.0, 5.0}}}));  // omits POI 2
+  const ScreenResult result = ScreenPeerData(kWorld, &peers);
+  EXPECT_EQ(result.regions_rejected, 2);
+  EXPECT_EQ(result.regions_kept, 0);
+  EXPECT_TRUE(peers.empty());
+}
+
+TEST(ScreenPeerDataTest, PositionMismatchRejectsBothClaimants) {
+  // Same POI id at two positions (e.g. one copy is stale): both regions are
+  // implicated; an unrelated consistent region survives.
+  std::vector<PeerData> peers(3);
+  peers[0].regions.push_back(
+      MakeRegion({1.0, 1.0, 4.0, 4.0}, {{1, {2.0, 2.0}}}));
+  peers[1].regions.push_back(
+      MakeRegion({1.5, 1.5, 4.5, 4.5}, {{1, {2.0, 2.1}}}));  // drifted copy
+  peers[2].regions.push_back(
+      MakeRegion({6.0, 6.0, 9.0, 9.0}, {{5, {7.0, 7.0}}}));
+  const ScreenResult result = ScreenPeerData(kWorld, &peers);
+  EXPECT_EQ(result.regions_rejected, 2);
+  EXPECT_EQ(result.regions_kept, 1);
+  ASSERT_EQ(peers.size(), 1u);
+  EXPECT_EQ(peers[0].regions[0].pois[0].id, 5);
+}
+
+TEST(ScreenPeerDataTest, LocalSanityRejectsOutOfWorldAndNonFinite) {
+  std::vector<PeerData> peers(1);
+  peers[0].regions.push_back(
+      MakeRegion({1.0, 1.0, 4.0, 4.0}, {{1, {20.0, 2.0}}}));  // outside world
+  peers[0].regions.push_back(MakeRegion(
+      {5.0, 5.0, 7.0, 7.0},
+      {{2, {std::numeric_limits<double>::quiet_NaN(), 6.0}}}));
+  peers[0].regions.push_back(
+      MakeRegion({7.0, 7.0, 9.0, 9.0}, {{3, {8.0, 8.0}}}));
+  const ScreenResult result = ScreenPeerData(kWorld, &peers);
+  EXPECT_EQ(result.regions_rejected, 2);
+  EXPECT_EQ(result.regions_kept, 1);
+  ASSERT_EQ(peers.size(), 1u);
+  ASSERT_EQ(peers[0].regions.size(), 1u);
+  EXPECT_EQ(peers[0].regions[0].pois[0].id, 3);
+}
+
+TEST(ScreenPeerDataTest, FlippedCoordinatesCaughtByConsistencyCheck) {
+  // A flipped copy of POI 1 lands at (3.5, 2.0) inside the honest region
+  // that lists it at (2.0, 3.5): position mismatch, both rejected.
+  std::vector<PeerData> peers(2);
+  peers[0].regions.push_back(
+      MakeRegion({1.0, 1.0, 4.0, 4.0}, {{1, {2.0, 3.5}}}));
+  peers[1].regions.push_back(
+      MakeRegion({1.0, 1.0, 4.0, 4.0}, {{1, {3.5, 2.0}}}));
+  const ScreenResult result = ScreenPeerData(kWorld, &peers);
+  EXPECT_EQ(result.regions_rejected, 2);
+  EXPECT_TRUE(peers.empty());
+}
+
+}  // namespace
+}  // namespace lbsq::fault

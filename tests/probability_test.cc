@@ -59,6 +59,17 @@ TEST(SurpassingRatioTest, NoVerifiedNeighborIsInfinite) {
   EXPECT_TRUE(std::isinf(SurpassingRatio(4.0, 0.0)));
 }
 
+TEST(SurpassingRatioTest, ZeroOverZeroIsOne) {
+  // Regression: an unverified candidate coincident with the query point while
+  // the verified frontier is also at distance 0 means zero extra travel — the
+  // ratio is 1, not 0/0 = inf (which made downstream extra-travel estimates
+  // blow up for co-located POIs).
+  EXPECT_DOUBLE_EQ(SurpassingRatio(0.0, 0.0), 1.0);
+  // Still infinite when the candidate is strictly farther than the (empty)
+  // frontier.
+  EXPECT_TRUE(std::isinf(SurpassingRatio(1e-9, 0.0)));
+}
+
 TEST(KthNeighborDistanceCdfTest, IsAValidCdf) {
   const double lambda = 2.0;
   for (int k : {1, 3, 8}) {

@@ -180,5 +180,75 @@ TEST(WireFuzzTest, MutatedValidBucketsNeverCrash) {
   }
 }
 
+TEST(WireCrcTest, KnownVectors) {
+  // IEEE 802.3 check value: CRC-32 of "123456789" is 0xCBF43926.
+  const uint8_t check[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(Crc32(check, sizeof(check)), 0xCBF43926u);
+  EXPECT_EQ(Crc32(nullptr, 0), 0u);
+}
+
+TEST(WireCrcTest, AppendAndVerifyRoundTrip) {
+  std::vector<uint8_t> buf = {0xde, 0xad, 0xbe, 0xef};
+  AppendCrc32(&buf);
+  ASSERT_EQ(buf.size(), 8u);
+  EXPECT_TRUE(VerifyCrc32(buf.data(), buf.size()));
+  // An empty payload frames to just its (zero) CRC and still verifies.
+  std::vector<uint8_t> empty;
+  AppendCrc32(&empty);
+  ASSERT_EQ(empty.size(), 4u);
+  EXPECT_TRUE(VerifyCrc32(empty.data(), empty.size()));
+}
+
+TEST(WireCrcTest, AnySingleBitFlipIsDetected) {
+  std::vector<uint8_t> buf = {1, 2, 3, 4, 5, 6, 7, 8};
+  AppendCrc32(&buf);
+  for (size_t byte = 0; byte < buf.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto flipped = buf;
+      flipped[byte] ^= static_cast<uint8_t>(1u << bit);
+      EXPECT_FALSE(VerifyCrc32(flipped.data(), flipped.size()))
+          << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(WireFramedTest, BucketRoundTripAndCorruptionRejected) {
+  const DataBucket bucket = SampleBucket(17);
+  const auto framed = EncodeBucketFramed(bucket);
+  const auto plain = EncodeBucket(bucket);
+  ASSERT_EQ(framed.size(), plain.size() + 4);
+  DataBucket decoded;
+  ASSERT_TRUE(DecodeBucketFramed(framed.data(), framed.size(), &decoded));
+  EXPECT_EQ(decoded.id, bucket.id);
+  ASSERT_EQ(decoded.pois.size(), bucket.pois.size());
+
+  Rng rng(5);
+  for (int trial = 0; trial < 500; ++trial) {
+    auto mutated = framed;
+    const size_t where = rng.NextBelow(mutated.size());
+    const uint8_t mask = static_cast<uint8_t>(1 + rng.NextBelow(255));
+    mutated[where] ^= mask;
+    DataBucket out;
+    EXPECT_FALSE(DecodeBucketFramed(mutated.data(), mutated.size(), &out))
+        << "flip at byte " << where;
+  }
+  // Truncated below the trailer size is rejected, not read out of bounds.
+  EXPECT_FALSE(DecodeBucketFramed(framed.data(), 3, &decoded));
+}
+
+TEST(WireFramedTest, IndexSegmentRoundTripAndCorruptionRejected) {
+  const std::vector<AirIndex::Entry> entries = {{5, 0}, {9, 1}, {40, 2}};
+  const auto framed = EncodeIndexSegmentFramed(entries);
+  std::vector<AirIndex::Entry> decoded;
+  ASSERT_TRUE(
+      DecodeIndexSegmentFramed(framed.data(), framed.size(), &decoded));
+  ASSERT_EQ(decoded.size(), entries.size());
+
+  auto mutated = framed;
+  mutated[framed.size() / 2] ^= 0x10;
+  EXPECT_FALSE(
+      DecodeIndexSegmentFramed(mutated.data(), mutated.size(), &decoded));
+}
+
 }  // namespace
 }  // namespace lbsq::broadcast

@@ -130,7 +130,23 @@ void PrintUsage() {
       "                                   are bitwise identical at every n\n"
       "  --epoch=<events>                 events per parallel epoch (32);\n"
       "                                   1 = sequential-engine semantics\n"
-      "  --seed=<n>                       RNG seed (1)\n");
+      "  --seed=<n>                       RNG seed (1)\n"
+      "fault injection (all off by default; off = byte-identical output):\n"
+      "  --fault-loss=<p>                 iid reception loss probability\n"
+      "  --fault-burst-loss=<p>           Gilbert-Elliott bad-state loss\n"
+      "                                   probability (selects burst model)\n"
+      "  --fault-burst-len=<slots>        mean burst length (10)\n"
+      "  --fault-burst-frac=<f>           long-run fraction of slots spent\n"
+      "                                   in the bad state (0.1)\n"
+      "  --fault-corrupt=<p>              CRC-detected corruption probability\n"
+      "  --fault-retries=<n>              per-bucket retry budget (32)\n"
+      "  --fault-deadline=<slots>         per-query deadline (0 = unlimited)\n"
+      "  --fault-peer-stale=<p>           stale shared-region probability\n"
+      "  --fault-peer-truncate=<p>        truncated shared-region probability\n"
+      "  --fault-peer-flip=<p>            coordinate-flip probability\n"
+      "  --fault-screen                   cross-check and reject inconsistent\n"
+      "                                   peer regions before each query\n"
+      "  --fault-seed=<n>                 fault stream seed (1)\n");
 }
 
 bool ParseFlag(const char* arg, const char* name, std::string* value) {
@@ -160,6 +176,9 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string metrics_path;
   std::string hist_value = "access_latency,tuning_time";
+  bool burst = false;
+  double burst_len = 10.0;
+  double burst_frac = 0.1;
 
   for (int i = 1; i < argc; ++i) {
     std::string value;
@@ -259,6 +278,34 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--epoch must be >= 1\n");
         return 2;
       }
+    } else if (ParseFlag(arg, "--fault-loss", &value)) {
+      config.fault.channel.model = fault::LossModel::kIid;
+      config.fault.channel.loss_prob = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "--fault-burst-loss", &value)) {
+      burst = true;
+      config.fault.channel.loss_bad = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "--fault-burst-len", &value)) {
+      burst = true;
+      burst_len = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "--fault-burst-frac", &value)) {
+      burst = true;
+      burst_frac = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "--fault-corrupt", &value)) {
+      config.fault.channel.corruption_prob = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "--fault-retries", &value)) {
+      config.fault.policy.max_retries_per_bucket = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "--fault-deadline", &value)) {
+      config.fault.policy.deadline_slots = std::atoll(value.c_str());
+    } else if (ParseFlag(arg, "--fault-peer-stale", &value)) {
+      config.fault.peer.stale_prob = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "--fault-peer-truncate", &value)) {
+      config.fault.peer.truncate_prob = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "--fault-peer-flip", &value)) {
+      config.fault.peer.flip_prob = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "--fault-screen", &value)) {
+      config.fault.screen_peers = true;
+    } else if (ParseFlag(arg, "--fault-seed", &value)) {
+      config.fault.seed = static_cast<uint64_t>(std::atoll(value.c_str()));
     } else if (ParseFlag(arg, "--seed", &value)) {
       config.seed = static_cast<uint64_t>(std::atoll(value.c_str()));
     } else if (std::strcmp(arg, "--help") == 0 ||
@@ -270,6 +317,19 @@ int main(int argc, char** argv) {
       PrintUsage();
       return 2;
     }
+  }
+
+  if (burst) {
+    if (burst_len < 1.0 || burst_frac <= 0.0 || burst_frac >= 1.0) {
+      std::fprintf(stderr,
+                   "--fault-burst-len must be >= 1 and --fault-burst-frac "
+                   "in (0, 1)\n");
+      return 2;
+    }
+    config.fault.channel.model = fault::LossModel::kGilbertElliott;
+    config.fault.channel.p_bad_to_good = 1.0 / burst_len;
+    config.fault.channel.p_good_to_bad =
+        burst_frac / (1.0 - burst_frac) / burst_len;
   }
 
   std::printf("parameter set : %s\n", config.params.name.c_str());
@@ -284,6 +344,25 @@ int main(int argc, char** argv) {
   std::printf("tx range      : %.0f m; CSize %d; k %.0f; window %.0f%%\n",
               config.params.tx_range_m, config.params.csize,
               config.params.knn_k, config.params.window_pct);
+  if (config.fault.enabled()) {
+    std::printf(
+        "faults        : %s loss=%.1f%% corrupt=%.1f%%; retries=%d "
+        "deadline=%lld\n"
+        "                peer stale/truncate/flip=%.0f%%/%.0f%%/%.0f%% "
+        "screen=%s fault-seed=%llu\n",
+        config.fault.channel.model == fault::LossModel::kGilbertElliott
+            ? "burst"
+            : "iid",
+        config.fault.channel.SteadyStateLossRate() * 100.0,
+        config.fault.channel.corruption_prob * 100.0,
+        config.fault.policy.max_retries_per_bucket,
+        static_cast<long long>(config.fault.policy.deadline_slots),
+        config.fault.peer.stale_prob * 100.0,
+        config.fault.peer.truncate_prob * 100.0,
+        config.fault.peer.flip_prob * 100.0,
+        config.fault.screen_peers ? "on" : "off",
+        static_cast<unsigned long long>(config.fault.seed));
+  }
   std::printf("engine        : %d thread%s, %d events/epoch "
               "(metrics independent of thread count)\n\n",
               config.threads, config.threads == 1 ? "" : "s",
@@ -355,6 +434,21 @@ int main(int argc, char** argv) {
   if (config.query_type == sim::QueryType::kWindow) {
     std::printf("residual window fraction: %.1f%%\n",
                 m.residual_fraction.mean() * 100.0);
+  }
+  if (config.fault.enabled()) {
+    std::printf("degraded queries        : %lld (%.2f%% of measured)\n",
+                static_cast<long long>(m.degraded_queries),
+                m.queries > 0 ? 100.0 * static_cast<double>(m.degraded_queries) /
+                                    static_cast<double>(m.queries)
+                              : 0.0);
+    std::printf("channel losses          : %lld receptions\n",
+                static_cast<long long>(m.fault_losses));
+    std::printf("corrupted receptions    : %lld (CRC rejects)\n",
+                static_cast<long long>(m.fault_corruptions));
+    std::printf("deadline hits           : %lld queries\n",
+                static_cast<long long>(m.fault_deadline_hits));
+    std::printf("peer regions rejected   : %lld\n",
+                static_cast<long long>(m.regions_rejected));
   }
 
   if (!trace_path.empty()) {
