@@ -1,0 +1,94 @@
+#include "alloc_counter.h"
+
+#ifdef LBSQ_COUNT_ALLOCS
+
+#include <execinfo.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace lbsq::bench {
+namespace {
+
+std::atomic<uint64_t> g_allocs{0};
+
+void* Allocate(std::size_t size) {
+  if (lbsq::bench::g_alloc_trap) lbsq::bench::AllocTrapHit();
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* AllocateNothrow(std::size_t size) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  return std::malloc(size);
+}
+
+void* AllocateAligned(std::size_t size, std::size_t alignment) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  if (alignment < sizeof(void*)) alignment = sizeof(void*);
+  void* p = nullptr;
+  if (posix_memalign(&p, alignment, size) != 0) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+bool g_alloc_trap = false;
+void AllocTrapHit() {
+  g_alloc_trap = false;
+  void* frames[16];
+  const int n = backtrace(frames, 16);
+  backtrace_symbols_fd(frames, n, 2);
+  const char sep[] = "====\n";
+  (void)!write(2, sep, sizeof(sep) - 1);
+  g_alloc_trap = true;
+}
+
+uint64_t AllocCount() { return g_allocs.load(std::memory_order_relaxed); }
+
+}  // namespace lbsq::bench
+
+void* operator new(std::size_t size) { return lbsq::bench::Allocate(size); }
+void* operator new[](std::size_t size) { return lbsq::bench::Allocate(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return lbsq::bench::AllocateNothrow(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return lbsq::bench::AllocateNothrow(size);
+}
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  return lbsq::bench::AllocateAligned(size,
+                                      static_cast<std::size_t>(alignment));
+}
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  return lbsq::bench::AllocateAligned(size,
+                                      static_cast<std::size_t>(alignment));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+#endif  // LBSQ_COUNT_ALLOCS

@@ -1,0 +1,30 @@
+#ifndef LBSQ_BENCH_ALLOC_COUNTER_H_
+#define LBSQ_BENCH_ALLOC_COUNTER_H_
+
+#include <cstdint>
+
+/// \file
+/// Heap-allocation counter for the zero-allocation benchmarks. When a bench
+/// target compiles alloc_counter.cc with LBSQ_COUNT_ALLOCS defined, the
+/// global operator new / operator delete are replaced with counting
+/// versions and `AllocCount()` reads the running total. The counter is
+/// compiled out under LBSQ_SANITIZE builds: sanitizers interpose the global
+/// allocation operators themselves, and a second replacement would fight
+/// theirs.
+
+namespace lbsq::bench {
+
+#ifdef LBSQ_COUNT_ALLOCS
+inline constexpr bool kAllocCountingEnabled = true;
+/// Total global operator new invocations since process start.
+uint64_t AllocCount();
+extern bool g_alloc_trap;
+void AllocTrapHit();
+#else
+inline constexpr bool kAllocCountingEnabled = false;
+inline uint64_t AllocCount() { return 0; }
+#endif
+
+}  // namespace lbsq::bench
+
+#endif  // LBSQ_BENCH_ALLOC_COUNTER_H_

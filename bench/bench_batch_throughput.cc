@@ -1,0 +1,360 @@
+// Throughput and allocation behavior of the batched query path.
+//
+// Runs the default Table 3 workload (Los Angeles City: 2750 POIs over a
+// 20 x 20 mi world, k = 5, 3% windows) through the two QueryEngine
+// execution modes:
+//
+//   per-query : the convenience `Execute(request)` — transient buffers.
+//   batch     : `ExecuteBatch` through one warm `QueryWorkspace` — scratch
+//               reuse plus the broadcast-cycle memo shared across queries.
+//
+// Verifies the two modes are field-for-field identical, measures best-of-R
+// throughput for each, and (when built with LBSQ_COUNT_ALLOCS, the default
+// outside sanitizer builds) asserts the batch path performs ZERO heap
+// allocations per query once the workspace is warm.
+//
+// Writes the results to BENCH_core.json (see --out). With --baseline=<file>
+// it instead compares the measured batch speedup against the checked-in
+// baseline's and exits 1 when it regressed by more than --max-regression
+// (default 0.25). The speedup ratio — not absolute qps — is compared, so
+// the check is meaningful across machines of different speeds.
+//
+// Run:  ./build/bench/bench_batch_throughput [--out=BENCH_core.json]
+//       ./build/bench/bench_batch_throughput --baseline=BENCH_core.json
+// Env:  LBSQ_BENCH_FAST=1  - smaller batch for smoke testing.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "alloc_counter.h"
+#include "broadcast/system.h"
+#include "common/rng.h"
+#include "core/query_engine.h"
+#include "core/query_workspace.h"
+#include "geom/rect.h"
+#include "spatial/generators.h"
+
+namespace lbsq::bench {
+namespace {
+
+constexpr double kWorldSide = 20.0;    // Table 3: 20 x 20 mi service area
+constexpr int kPoiNumber = 2750;       // Table 3: Los Angeles City
+constexpr int kKnnK = 5;               // Table 3: default k
+constexpr double kWindowPct = 3.0;     // Table 3: window = 3% of the world
+
+bool FastMode() {
+  const char* fast = std::getenv("LBSQ_BENCH_FAST");
+  return fast != nullptr && fast[0] == '1';
+}
+
+// The Table 3 query mix with the spatial locality the memo exploits:
+// clients cluster around hot spots (a few dozen per world), so co-located
+// queries within a broadcast cycle repeat the same cover rectangles.
+std::vector<core::QueryRequest> MakeWorkload(
+    const broadcast::BroadcastSystem& system, int n, uint64_t seed) {
+  Rng rng(seed);
+  const int64_t cycle = system.schedule().cycle_length();
+  const double window_side =
+      kWorldSide * std::sqrt(kWindowPct / 100.0);  // 3% of the world's area
+
+  std::vector<geom::Point> hotspots;
+  for (int c = 0; c < 24; ++c) {
+    hotspots.push_back({rng.Uniform(2.0, kWorldSide - 2.0),
+                        rng.Uniform(2.0, kWorldSide - 2.0)});
+  }
+
+  std::vector<core::QueryRequest> requests;
+  requests.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const geom::Point& hub = hotspots[rng.NextBelow(hotspots.size())];
+    const geom::Point q{hub.x + rng.Uniform(-1.0, 1.0),
+                        hub.y + rng.Uniform(-1.0, 1.0)};
+    core::QueryRequest r;
+    if (rng.NextBool(0.7)) {
+      r.kind = core::QueryKind::kKnn;
+      r.position = q;
+      r.k = kKnnK;
+    } else {
+      r.kind = core::QueryKind::kWindow;
+      r.window = geom::Rect::CenteredSquare(q, window_side);
+    }
+    r.slot = static_cast<int64_t>(
+        rng.NextBelow(static_cast<uint64_t>(cycle)));
+    if (rng.NextBool(0.3)) {
+      core::VerifiedRegion vr;
+      vr.region = geom::Rect::CenteredSquare(q, rng.Uniform(0.8, 2.0));
+      for (const spatial::Poi& p : system.pois()) {
+        if (vr.region.Contains(p.pos)) vr.pois.push_back(p);
+      }
+      r.peers.push_back(core::PeerData{{vr}});
+    }
+    r.fault_stream = static_cast<uint64_t>(i);
+    requests.push_back(std::move(r));
+  }
+  return requests;
+}
+
+bool CommonEq(const core::QueryResultCommon& a,
+              const core::QueryResultCommon& b) {
+  return a.stats.access_latency == b.stats.access_latency &&
+         a.stats.tuning_time == b.stats.tuning_time &&
+         a.stats.buckets_read == b.stats.buckets_read &&
+         a.buckets == b.buckets && a.cacheable.region == b.cacheable.region &&
+         a.cacheable.pois == b.cacheable.pois && a.degraded == b.degraded;
+}
+
+// Mode-identity check: the batch answer must be bit-identical to the
+// per-query answer (the contract bench numbers are meaningless without).
+bool OutcomeEq(const core::QueryOutcome& a, const core::QueryOutcome& b) {
+  if (a.kind != b.kind) return false;
+  if (a.kind == core::QueryKind::kKnn) {
+    if (!a.knn.has_value() || !b.knn.has_value()) return false;
+    const core::SbnnOutcome& x = *a.knn;
+    const core::SbnnOutcome& y = *b.knn;
+    if (!CommonEq(x, y) || x.resolved_by != y.resolved_by ||
+        x.neighbors.size() != y.neighbors.size()) {
+      return false;
+    }
+    for (size_t i = 0; i < x.neighbors.size(); ++i) {
+      if (!(x.neighbors[i].poi == y.neighbors[i].poi) ||
+          x.neighbors[i].distance != y.neighbors[i].distance) {
+        return false;
+      }
+    }
+    return true;
+  }
+  if (!a.window.has_value() || !b.window.has_value()) return false;
+  const core::SbwqOutcome& x = *a.window;
+  const core::SbwqOutcome& y = *b.window;
+  return CommonEq(x, y) && x.resolved_by_peers == y.resolved_by_peers &&
+         x.pois == y.pois;
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct BenchResult {
+  int n_queries = 0;
+  double per_query_qps = 0.0;
+  double batch_qps = 0.0;
+  double speedup = 0.0;
+  double steady_state_allocs_per_query = 0.0;
+  size_t memo_size = 0;
+};
+
+BenchResult RunBench() {
+  const geom::Rect world{0.0, 0.0, kWorldSide, kWorldSide};
+  Rng rng(7);
+  broadcast::BroadcastSystem system(
+      spatial::GenerateUniformPois(&rng, world, kPoiNumber), world,
+      broadcast::BroadcastParams{});
+  const core::QueryEngine engine(system, world, core::QueryEngine::Options{});
+
+  BenchResult result;
+  result.n_queries = FastMode() ? 400 : 2000;
+  const std::vector<core::QueryRequest> requests =
+      MakeWorkload(system, result.n_queries, /*seed=*/13);
+
+  // Identity first: every batch outcome must match its per-query twin.
+  std::vector<core::QueryOutcome> reference;
+  reference.reserve(requests.size());
+  for (const core::QueryRequest& r : requests) {
+    reference.push_back(engine.Execute(r));
+  }
+  core::QueryWorkspace workspace;
+  {
+    const std::span<const core::QueryOutcome> batch =
+        engine.ExecuteBatch(requests, workspace);
+    for (size_t i = 0; i < requests.size(); ++i) {
+      if (!OutcomeEq(reference[i], batch[i])) {
+        std::fprintf(stderr,
+                     "FATAL: batch outcome %zu differs from per-query "
+                     "Execute\n",
+                     i);
+        std::exit(1);
+      }
+    }
+  }
+  result.memo_size = workspace.memo_size();
+
+  // Steady state: the workspace is warm after the identity pass; one more
+  // full batch must not touch the heap at all.
+  const uint64_t allocs_before = AllocCount();
+  engine.ExecuteBatch(requests, workspace);
+  const uint64_t allocs_after = AllocCount();
+  result.steady_state_allocs_per_query =
+      static_cast<double>(allocs_after - allocs_before) /
+      static_cast<double>(requests.size());
+
+#ifdef LBSQ_COUNT_ALLOCS
+  // LBSQ_DBG=1: instead of benchmarking, print a backtrace (to stderr) for
+  // every allocation a warm batch performs, then exit — the fastest way to
+  // locate a zero-allocation regression. Symbolize with
+  // `addr2line -e <binary> -f -C <offsets>`.
+  if (std::getenv("LBSQ_DBG") != nullptr) {
+    g_alloc_trap = true;
+    engine.ExecuteBatch(std::span<const core::QueryRequest>(
+                            requests.data(),
+                            std::min<size_t>(requests.size(), 50)),
+                        workspace);
+    g_alloc_trap = false;
+    std::exit(0);
+  }
+#endif
+
+  // Throughput, best of R runs per mode (interleaved so thermal / frequency
+  // drift hits both modes alike).
+  const int repetitions = FastMode() ? 3 : 5;
+  double best_per_query = 1e300;
+  double best_batch = 1e300;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    auto start = std::chrono::steady_clock::now();
+    for (const core::QueryRequest& r : requests) {
+      const core::QueryOutcome out = engine.Execute(r);
+      (void)out;
+    }
+    const double per_query_s = SecondsSince(start);
+    if (per_query_s < best_per_query) best_per_query = per_query_s;
+
+    start = std::chrono::steady_clock::now();
+    engine.ExecuteBatch(requests, workspace);
+    const double batch_s = SecondsSince(start);
+    if (batch_s < best_batch) best_batch = batch_s;
+  }
+  result.per_query_qps = static_cast<double>(result.n_queries) /
+                         best_per_query;
+  result.batch_qps = static_cast<double>(result.n_queries) / best_batch;
+  result.speedup = result.batch_qps / result.per_query_qps;
+  return result;
+}
+
+void WriteJson(const BenchResult& r, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "FATAL: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"bench_batch_throughput\",\n"
+               "  \"workload\": {\n"
+               "    \"parameter_set\": \"Los Angeles City\",\n"
+               "    \"poi_number\": %d,\n"
+               "    \"world_side_mi\": %.1f,\n"
+               "    \"knn_k\": %d,\n"
+               "    \"window_pct\": %.1f,\n"
+               "    \"n_queries\": %d\n"
+               "  },\n"
+               "  \"per_query_qps\": %.1f,\n"
+               "  \"batch_qps\": %.1f,\n"
+               "  \"speedup\": %.4f,\n"
+               "  \"steady_state_allocs_per_query\": %.4f,\n"
+               "  \"alloc_counting\": %s,\n"
+               "  \"memo_size\": %zu\n"
+               "}\n",
+               kPoiNumber, kWorldSide, kKnnK, kWindowPct, r.n_queries,
+               r.per_query_qps, r.batch_qps, r.speedup,
+               r.steady_state_allocs_per_query,
+               kAllocCountingEnabled ? "true" : "false", r.memo_size);
+  std::fclose(f);
+}
+
+// Pulls `"key": <number>` out of a flat JSON file. Enough for our own
+// output format; no external JSON dependency.
+bool ReadJsonNumber(const std::string& path, const std::string& key,
+                    double* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  const std::string needle = "\"" + key + "\":";
+  const size_t pos = text.find(needle);
+  if (pos == std::string::npos) return false;
+  *out = std::strtod(text.c_str() + pos + needle.size(), nullptr);
+  return true;
+}
+
+}  // namespace
+}  // namespace lbsq::bench
+
+int main(int argc, char** argv) {
+  using namespace lbsq::bench;
+
+  std::string out_path = "BENCH_core.json";
+  std::string baseline_path;
+  double max_regression = 0.25;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(11);
+    } else if (arg.rfind("--max-regression=", 0) == 0) {
+      max_regression = std::strtod(arg.c_str() + 17, nullptr);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--out=FILE] [--baseline=FILE] "
+                   "[--max-regression=FRAC]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const BenchResult r = RunBench();
+  std::printf("batched query execution, Table 3 LA City workload "
+              "(%d queries%s):\n",
+              r.n_queries, FastMode() ? ", fast mode" : "");
+  std::printf("  per-query Execute : %10.1f queries/s\n", r.per_query_qps);
+  std::printf("  ExecuteBatch      : %10.1f queries/s\n", r.batch_qps);
+  std::printf("  speedup           : %10.2fx\n", r.speedup);
+  std::printf("  steady-state allocations/query: %.4f%s\n",
+              r.steady_state_allocs_per_query,
+              kAllocCountingEnabled ? "" : " (counting compiled out)");
+  std::printf("  cycle memo entries: %zu\n", r.memo_size);
+
+  if (kAllocCountingEnabled && r.steady_state_allocs_per_query != 0.0) {
+    std::fprintf(stderr,
+                 "FAIL: steady-state batch execution allocated (%.4f "
+                 "allocations/query, expected 0)\n",
+                 r.steady_state_allocs_per_query);
+    return 1;
+  }
+
+  if (!baseline_path.empty()) {
+    double baseline_speedup = 0.0;
+    if (!ReadJsonNumber(baseline_path, "speedup", &baseline_speedup) ||
+        baseline_speedup <= 0.0) {
+      std::fprintf(stderr, "FAIL: no usable \"speedup\" in baseline %s\n",
+                   baseline_path.c_str());
+      return 1;
+    }
+    const double floor = baseline_speedup * (1.0 - max_regression);
+    std::printf("  baseline speedup  : %10.2fx (floor %.2fx at %.0f%% "
+                "tolerance)\n",
+                baseline_speedup, floor, max_regression * 100.0);
+    if (r.speedup < floor) {
+      std::fprintf(stderr,
+                   "FAIL: batch speedup %.2fx regressed more than %.0f%% "
+                   "below baseline %.2fx\n",
+                   r.speedup, max_regression * 100.0, baseline_speedup);
+      return 1;
+    }
+    std::printf("  perf check        : OK\n");
+    return 0;
+  }
+
+  WriteJson(r, out_path);
+  std::printf("  wrote %s\n", out_path.c_str());
+  return 0;
+}

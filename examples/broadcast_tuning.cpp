@@ -10,7 +10,8 @@
 #include "broadcast/system.h"
 #include "common/rng.h"
 #include "common/stats.h"
-#include "core/sbnn.h"
+#include "core/query_engine.h"
+#include "core/query_workspace.h"
 #include "onair/onair_knn.h"
 #include "spatial/generators.h"
 
@@ -49,6 +50,18 @@ int main() {
   broadcast::BroadcastParams params;
   params.bucket_capacity = 4;  // finer packets make the filter visible
   broadcast::BroadcastSystem server(pois, world, params);
+  core::QueryEngine::Options filtered_options;
+  filtered_options.sbnn.k = 10;
+  filtered_options.sbnn.accept_approximate = false;
+  filtered_options.sbnn.use_filtering = true;
+  filtered_options.poi_density_override = density;
+  core::QueryEngine::Options plain_options = filtered_options;
+  plain_options.sbnn.use_filtering = false;
+  const core::QueryEngine filtered_engine(server, world, filtered_options);
+  const core::QueryEngine plain_engine(server, world, plain_options);
+  // One workspace per engine: 300 queries reuse the same scratch buffers.
+  core::QueryWorkspace filtered_ws, plain_ws;
+  core::QueryOutcome filtered_out, plain_out;
   RunningStat lat_filtered, lat_plain, buckets_filtered, buckets_plain;
   RunningStat skipped;
   Rng qrng(42);
@@ -64,15 +77,16 @@ int main() {
     for (const spatial::Poi& p : server.pois()) {
       if (vr.region.Contains(p.pos)) vr.pois.push_back(p);
     }
-    const std::vector<core::PeerData> peers = {core::PeerData{{vr}}};
-    core::SbnnOptions options;
-    options.k = 10;
-    options.accept_approximate = false;
-    options.use_filtering = true;
-    const auto filtered =
-        core::RunSbnn(q, options, peers, density, server, now);
-    options.use_filtering = false;
-    const auto plain = core::RunSbnn(q, options, peers, density, server, now);
+    std::vector<core::PeerData> peers = {core::PeerData{{vr}}};
+    core::QueryRequest request;
+    request.kind = core::QueryKind::kKnn;
+    request.position = q;
+    request.slot = now;
+    request.peers = std::move(peers);
+    filtered_engine.Execute(request, filtered_ws, &filtered_out);
+    plain_engine.Execute(request, plain_ws, &plain_out);
+    const core::SbnnOutcome& filtered = *filtered_out.knn;
+    const core::SbnnOutcome& plain = *plain_out.knn;
     if (filtered.resolved_by == core::ResolvedBy::kBroadcast) {
       lat_filtered.Add(static_cast<double>(filtered.stats.access_latency));
       buckets_filtered.Add(static_cast<double>(filtered.stats.buckets_read));

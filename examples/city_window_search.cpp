@@ -11,11 +11,12 @@
 // Run:  ./build/examples/city_window_search
 
 #include <cstdio>
+#include <utility>
 #include <vector>
 
 #include "broadcast/system.h"
 #include "common/rng.h"
-#include "core/sbwq.h"
+#include "core/query_engine.h"
 #include "onair/onair_window.h"
 #include "spatial/generators.h"
 
@@ -69,22 +70,32 @@ int main() {
       verified(geom::Rect{2.5, 4.5, 4.5, 6.5}),
   };
 
+  const core::QueryEngine engine(server, city, {});
+  auto sbwq = [&engine, &peers](const geom::Rect& window) {
+    core::QueryRequest request;
+    request.kind = core::QueryKind::kWindow;
+    request.window = window;
+    request.peers = peers;
+    core::QueryOutcome outcome = engine.Execute(request);
+    return std::move(*outcome.window);
+  };
+
   // Case 1: the query window is inside the pedestrians' joint knowledge.
   const geom::Rect covered{3.2, 3.8, 4.8, 5.2};
   Report("window fully covered",
-         core::RunSbwq(covered, {}, peers, server, /*now=*/0),
+         sbwq(covered),
          onair::OnAirWindow(server, covered, 0));
 
   // Case 2: the window pokes out of the verified area on the east side.
   const geom::Rect partial{3.5, 3.5, 6.8, 5.0};
   Report("window partially covered",
-         core::RunSbwq(partial, {}, peers, server, 0),
+         sbwq(partial),
          onair::OnAirWindow(server, partial, 0));
 
   // Case 3: nobody nearby knows the waterfront.
   const geom::Rect cold{0.5, 6.5, 2.5, 7.8};
   Report("cold window (no coverage)",
-         core::RunSbwq(cold, {}, peers, server, 0),
+         sbwq(cold),
          onair::OnAirWindow(server, cold, 0));
 
   // The partition refinement alone (no sharing) vs single span, for scale.

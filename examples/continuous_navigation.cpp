@@ -13,6 +13,7 @@
 #include "broadcast/system.h"
 #include "common/rng.h"
 #include "core/continuous_knn.h"
+#include "core/query_engine.h"
 #include "spatial/generators.h"
 
 int main() {
@@ -25,10 +26,12 @@ int main() {
   const double density = 120.0 / world.area();
   broadcast::BroadcastSystem server(stations, world, {});
 
-  core::SbnnOptions options;
-  options.k = 3;
-  options.accept_approximate = false;
-  options.prefetch_radius_factor = 2.0;  // cache headroom around refreshes
+  core::QueryEngine::Options options;
+  options.sbnn.k = 3;
+  options.sbnn.accept_approximate = false;
+  options.sbnn.prefetch_radius_factor = 2.0;  // headroom around refreshes
+  options.poi_density_override = density;
+  const core::QueryEngine engine(server, world, options);
 
   // One companion vehicle a lane over shares a corridor of knowledge.
   core::VerifiedRegion corridor;
@@ -38,7 +41,7 @@ int main() {
   }
   const std::vector<core::PeerData> peers = {core::PeerData{{corridor}}};
 
-  core::ContinuousKnn navigator(options, density);
+  core::ContinuousKnn navigator(engine);
   core::PeerCache cache(50);
 
   std::printf("mile | source          | nearest station (miles away)\n");
@@ -46,7 +49,7 @@ int main() {
   int refreshes = 0;
   for (double x = 1.0; x <= 19.0; x += 0.5) {
     const geom::Point pos{x, 10.0};
-    const auto update = navigator.Tick(pos, &cache, peers, server, slot);
+    const auto update = navigator.Tick(pos, &cache, peers, slot);
     slot += update.stats.access_latency + 25;
     const char* source = update.from_own_cache ? "own cache (free)"
                          : update.resolved_by ==

@@ -18,7 +18,8 @@
 #include "broadcast/system.h"
 #include "common/rng.h"
 #include "core/peer_cache.h"
-#include "core/sbnn.h"
+#include "core/query_engine.h"
+#include "core/query_workspace.h"
 #include "onair/onair_knn.h"
 #include "spatial/generators.h"
 
@@ -47,9 +48,14 @@ int main() {
 
   std::printf("minute | resolved by          | latency (slots) | baseline "
               "latency | miles driven while waiting (baseline)\n");
-  core::SbnnOptions options;
-  options.k = 3;
-  options.min_correctness = 0.5;
+  core::QueryEngine::Options options;
+  options.sbnn.k = 3;
+  options.sbnn.min_correctness = 0.5;
+  options.poi_density_override = density;
+  const core::QueryEngine engine(server, world, options);
+  // One workspace for the whole drive: every query reuses its scratch.
+  core::QueryWorkspace workspace;
+  core::QueryOutcome executed;
 
   int peer_hits = 0;
   for (int minute = 1; minute <= 18; ++minute) {
@@ -65,16 +71,24 @@ int main() {
       const geom::Point pos{me.x + lane_offset[i] * 10.0,
                             10.0 + lane_offset[i]};
       if (rng.NextBool(0.3)) {
-        const core::SbnnOutcome own = core::RunSbnn(
-            pos, options, {}, density, server, slot - 100);
-        caches[i].Insert(own.cacheable, pos, pos, {1.0, 0.0});
+        core::QueryRequest refresh;
+        refresh.kind = core::QueryKind::kKnn;
+        refresh.position = pos;
+        refresh.slot = slot - 100;
+        engine.Execute(refresh, workspace, &executed);
+        caches[i].Insert(executed.knn->cacheable, pos, pos, {1.0, 0.0});
       }
       const core::PeerData data = caches[i].Share();
       if (!data.empty()) peers.push_back(data);
     }
 
-    const core::SbnnOutcome outcome =
-        core::RunSbnn(me, options, peers, density, server, slot);
+    core::QueryRequest request;
+    request.kind = core::QueryKind::kKnn;
+    request.position = me;
+    request.slot = slot;
+    request.peers = std::move(peers);
+    engine.Execute(request, workspace, &executed);
+    const core::SbnnOutcome& outcome = *executed.knn;
     const onair::OnAirKnnResult baseline =
         onair::OnAirKnn(server, me, 3, slot);
 

@@ -11,7 +11,7 @@
 
 #include "broadcast/system.h"
 #include "common/rng.h"
-#include "core/sbnn.h"
+#include "core/query_engine.h"
 #include "onair/onair_knn.h"
 #include "spatial/generators.h"
 
@@ -47,12 +47,19 @@ int main() {
   const std::vector<core::PeerData> peers = {
       core::PeerData{{peer_knowledge}}};
 
-  // 4) SBNN: verify the peer's candidates with Lemma 3.1 before trusting
-  //    them. Fully verified answers cost zero broadcast access.
-  core::SbnnOptions options;
-  options.k = 3;
-  const core::SbnnOutcome shared =
-      core::RunSbnn(me, options, peers, poi_density, server, /*now=*/0);
+  // 4) SBNN through the query engine: verify the peer's candidates with
+  //    Lemma 3.1 before trusting them. Fully verified answers cost zero
+  //    broadcast access.
+  core::QueryEngine::Options options;
+  options.sbnn.k = 3;
+  options.poi_density_override = poi_density;
+  const core::QueryEngine engine(server, world, options);
+  core::QueryRequest request;
+  request.kind = core::QueryKind::kKnn;
+  request.position = me;
+  request.peers = peers;
+  const core::QueryOutcome outcome = engine.Execute(request);
+  const core::SbnnOutcome& shared = *outcome.knn;
   const char* how =
       shared.resolved_by == core::ResolvedBy::kPeersVerified
           ? "peers (verified)"

@@ -36,11 +36,18 @@ int64_t AirIndex::SizeInBuckets() const {
 }
 
 double AirIndex::KthDistanceUpperBound(geom::Point q, int k) const {
+  std::vector<double> distances;
+  return KthDistanceUpperBound(q, k, &distances);
+}
+
+double AirIndex::KthDistanceUpperBound(geom::Point q, int k,
+                                       std::vector<double>* scratch) const {
   LBSQ_CHECK(k >= 1);
   if (static_cast<int>(entries_.size()) < k) {
     return std::numeric_limits<double>::infinity();
   }
-  std::vector<double> distances;
+  std::vector<double>& distances = *scratch;
+  distances.clear();
   distances.reserve(entries_.size());
   for (const Entry& e : entries_) {
     distances.push_back(

@@ -44,6 +44,11 @@ class AirIndex {
   /// the index holds fewer than k entries.
   double KthDistanceUpperBound(geom::Point q, int k) const;
 
+  /// KthDistanceUpperBound using `*scratch` for the distance selection
+  /// buffer (cleared and refilled; capacity is reused across calls).
+  double KthDistanceUpperBound(geom::Point q, int k,
+                               std::vector<double>* scratch) const;
+
   /// Ids of the buckets whose Hilbert range intersects [lo, hi], ascending.
   std::vector<int64_t> BucketsForSpan(uint64_t lo, uint64_t hi) const;
 

@@ -6,6 +6,21 @@
 
 namespace lbsq::broadcast {
 
+namespace {
+
+// True when `buckets` is already sorted with no adjacent duplicates, in
+// which case the retrieval loops can walk the caller's vector directly
+// instead of copying it. The query engine always passes canonical lists,
+// so the copy below is cold-path only.
+bool IsSortedUnique(const std::vector<int64_t>& buckets) {
+  for (size_t i = 1; i < buckets.size(); ++i) {
+    if (buckets[i - 1] >= buckets[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 AccessStats RetrieveBucketsLossy(const BroadcastSchedule& schedule, int64_t t,
                                  const std::vector<int64_t>& buckets,
                                  double loss_prob, Rng* rng,
@@ -39,12 +54,18 @@ AccessStats RetrieveBucketsLossy(const BroadcastSchedule& schedule, int64_t t,
   }
 
   // Data retrieval with per-bucket retries at subsequent cycle occurrences.
-  std::vector<int64_t> needed = buckets;
-  std::sort(needed.begin(), needed.end());
-  needed.erase(std::unique(needed.begin(), needed.end()), needed.end());
+  std::vector<int64_t> canonical;
+  const std::vector<int64_t>* needed = &buckets;
+  if (!IsSortedUnique(buckets)) {
+    canonical = buckets;
+    std::sort(canonical.begin(), canonical.end());
+    canonical.erase(std::unique(canonical.begin(), canonical.end()),
+                    canonical.end());
+    needed = &canonical;
+  }
   int64_t completion = index_end;
   int64_t data_retries = 0;
-  for (int64_t bucket : needed) {
+  for (int64_t bucket : *needed) {
     int64_t attempt_from = index_end;
     for (;;) {
       const int64_t slot = schedule.NextBucketSlot(attempt_from, bucket);
@@ -57,7 +78,7 @@ AccessStats RetrieveBucketsLossy(const BroadcastSchedule& schedule, int64_t t,
       attempt_from = slot + 1;
     }
   }
-  stats.buckets_read = static_cast<int64_t>(needed.size());
+  stats.buckets_read = static_cast<int64_t>(needed->size());
   stats.access_latency = completion - t;
   if (trace != nullptr) {
     trace->Span("bcast.data", index_end, completion);
@@ -90,16 +111,22 @@ AccessStats RetrieveBuckets(const BroadcastSchedule& schedule, int64_t t,
   if (trace != nullptr) trace->Span("bcast.index", index_start, index_end);
 
   // Step 3: data retrieval.
-  std::vector<int64_t> needed = buckets;
-  std::sort(needed.begin(), needed.end());
-  needed.erase(std::unique(needed.begin(), needed.end()), needed.end());
+  std::vector<int64_t> canonical;
+  const std::vector<int64_t>* needed = &buckets;
+  if (!IsSortedUnique(buckets)) {
+    canonical = buckets;
+    std::sort(canonical.begin(), canonical.end());
+    canonical.erase(std::unique(canonical.begin(), canonical.end()),
+                    canonical.end());
+    needed = &canonical;
+  }
   int64_t completion = index_end;
-  for (int64_t bucket : needed) {
+  for (int64_t bucket : *needed) {
     completion =
         std::max(completion, schedule.NextBucketSlot(index_end, bucket) + 1);
   }
-  stats.tuning_time += static_cast<int64_t>(needed.size());
-  stats.buckets_read = static_cast<int64_t>(needed.size());
+  stats.tuning_time += static_cast<int64_t>(needed->size());
+  stats.buckets_read = static_cast<int64_t>(needed->size());
   stats.access_latency = completion - t;
   if (trace != nullptr) trace->Span("bcast.data", index_end, completion);
   return stats;

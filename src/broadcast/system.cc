@@ -45,17 +45,23 @@ int64_t BroadcastSystem::IndexReadBuckets(
 std::vector<spatial::Poi> BroadcastSystem::CollectPois(
     const std::vector<int64_t>& bucket_ids) const {
   std::vector<spatial::Poi> out;
+  CollectPois(bucket_ids, &out);
+  return out;
+}
+
+void BroadcastSystem::CollectPois(const std::vector<int64_t>& bucket_ids,
+                                  std::vector<spatial::Poi>* out) const {
+  out->clear();
   for (int64_t id : bucket_ids) {
     LBSQ_CHECK(id >= 0 && id < static_cast<int64_t>(buckets_.size()));
     const DataBucket& bucket = buckets_[static_cast<size_t>(id)];
-    out.insert(out.end(), bucket.pois.begin(), bucket.pois.end());
+    out->insert(out->end(), bucket.pois.begin(), bucket.pois.end());
   }
-  std::sort(out.begin(), out.end(),
+  std::sort(out->begin(), out->end(),
             [](const spatial::Poi& a, const spatial::Poi& b) {
               return a.id < b.id;
             });
-  out.erase(std::unique(out.begin(), out.end()), out.end());
-  return out;
+  out->erase(std::unique(out->begin(), out->end()), out->end());
 }
 
 }  // namespace lbsq::broadcast

@@ -87,6 +87,11 @@ class BroadcastSystem {
   std::vector<spatial::Poi> CollectPois(
       const std::vector<int64_t>& bucket_ids) const;
 
+  /// Allocation-free variant: clears and fills `*out` (same content as the
+  /// returning overload; capacity is reused).
+  void CollectPois(const std::vector<int64_t>& bucket_ids,
+                   std::vector<spatial::Poi>* out) const;
+
  private:
   /// Index segment size under the configured organization.
   int64_t IndexSegmentBuckets() const;

@@ -5,28 +5,29 @@
 
 namespace lbsq::core {
 
-ContinuousKnn::ContinuousKnn(const SbnnOptions& options, double poi_density)
-    : options_(options), poi_density_(poi_density) {
-  LBSQ_CHECK(options.k >= 1);
-  LBSQ_CHECK(poi_density >= 0.0);
+ContinuousKnn::ContinuousKnn(const QueryEngine& engine)
+    : engine_(engine), self_check_(engine.options().sbnn.k) {
+  request_.kind = QueryKind::kKnn;
 }
 
-ContinuousKnn::Update ContinuousKnn::Tick(
-    geom::Point pos, PeerCache* cache, const std::vector<PeerData>& peers,
-    const broadcast::BroadcastSystem& system, int64_t now) {
+ContinuousKnn::Update ContinuousKnn::Tick(geom::Point pos, PeerCache* cache,
+                                          const std::vector<PeerData>& peers,
+                                          int64_t now) {
   LBSQ_CHECK(cache != nullptr);
   ++ticks_;
   Update update;
 
   // Step 1: can the host's own knowledge still verify the full answer?
-  const PeerData own = cache->Share();
-  if (!own.empty()) {
-    const NnvResult self_check =
-        NearestNeighborVerify(pos, options_.k, {own}, poi_density_);
-    if (self_check.heap.fully_verified()) {
+  const int k = engine_.options().sbnn.k;
+  own_.clear();
+  own_.push_back(cache->Share());
+  if (!own_.front().empty()) {
+    NearestNeighborVerify(pos, k, own_, engine_.poi_density(), &nnv_pool_,
+                          &self_check_, &workspace_.region_scratch);
+    if (self_check_.heap.fully_verified()) {
       ++own_cache_hits_;
       update.from_own_cache = true;
-      for (const HeapEntry& e : self_check.heap.entries()) {
+      for (const HeapEntry& e : self_check_.heap.entries()) {
         update.neighbors.push_back(spatial::PoiDistance{e.poi, e.distance});
       }
       return update;
@@ -34,10 +35,15 @@ ContinuousKnn::Update ContinuousKnn::Tick(
   }
 
   // Step 2: full SBNN over own cache + radio peers, refreshing the cache.
-  std::vector<PeerData> all = peers;
-  if (!own.empty()) all.push_back(own);
-  SbnnOutcome outcome =
-      RunSbnn(pos, options_, all, poi_density_, system, now);
+  // The own snapshot goes last, preserving the MVR merge order of the
+  // original free-function pipeline.
+  request_.peers.clear();
+  request_.peers.insert(request_.peers.end(), peers.begin(), peers.end());
+  if (!own_.front().empty()) request_.peers.push_back(std::move(own_.front()));
+  request_.position = pos;
+  request_.slot = now;
+  engine_.Execute(request_, workspace_, &outcome_);
+  SbnnOutcome& outcome = *outcome_.knn;
   update.neighbors = std::move(outcome.neighbors);
   update.resolved_by = outcome.resolved_by;
   update.stats = outcome.stats;

@@ -4,8 +4,10 @@
 #include <cstdint>
 #include <vector>
 
-#include "broadcast/system.h"
+#include "core/nnv.h"
 #include "core/peer_cache.h"
+#include "core/query_engine.h"
+#include "core/query_workspace.h"
 #include "core/sbnn.h"
 #include "geom/point.h"
 #include "spatial/poi.h"
@@ -18,18 +20,20 @@
 /// verification against the host's *own* cache: while the host remains deep
 /// inside previously verified territory, updates cost nothing. Only when
 /// its knowledge no longer covers the k-NN disc does the update fall back
-/// to the full SBNN pipeline (peers, then broadcast), and the result of
-/// that refresh is inserted back into the cache, typically buying many more
-/// free updates.
+/// to the full SBNN pipeline (peers, then broadcast) through the bound
+/// `QueryEngine`, and the result of that refresh is inserted back into the
+/// cache, typically buying many more free updates.
 
 namespace lbsq::core {
 
-/// Driver for a continuous k-nearest-neighbor query.
+/// Driver for a continuous k-nearest-neighbor query. Owns a private
+/// `QueryWorkspace`, so successive ticks recycle all query scratch.
 class ContinuousKnn {
  public:
-  /// Continuous query for `options.k` neighbors; `poi_density` parameterizes
-  /// Lemma 3.2 exactly as in RunSbnn.
-  ContinuousKnn(const SbnnOptions& options, double poi_density);
+  /// Continuous query bound to `engine`; k, approximation policy, and the
+  /// Lemma 3.2 density all come from the engine's options. `engine` must
+  /// outlive this object.
+  explicit ContinuousKnn(const QueryEngine& engine);
 
   /// Result of one position update.
   struct Update {
@@ -49,8 +53,7 @@ class ContinuousKnn {
   /// host's own query cache (consulted first, refreshed on fallback);
   /// `peers` is whatever the radio currently reaches.
   Update Tick(geom::Point pos, PeerCache* cache,
-              const std::vector<PeerData>& peers,
-              const broadcast::BroadcastSystem& system, int64_t now);
+              const std::vector<PeerData>& peers, int64_t now);
 
   /// Updates served entirely from the host's own cache so far.
   int64_t own_cache_hits() const { return own_cache_hits_; }
@@ -58,8 +61,13 @@ class ContinuousKnn {
   int64_t ticks() const { return ticks_; }
 
  private:
-  SbnnOptions options_;
-  double poi_density_;
+  const QueryEngine& engine_;
+  QueryWorkspace workspace_;
+  QueryOutcome outcome_;
+  QueryRequest request_;
+  NnvResult self_check_;
+  std::vector<spatial::Poi> nnv_pool_;
+  std::vector<PeerData> own_;
   int64_t own_cache_hits_ = 0;
   int64_t ticks_ = 0;
 };

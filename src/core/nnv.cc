@@ -12,63 +12,78 @@ namespace lbsq::core {
 NnvResult NearestNeighborVerify(geom::Point q, int k,
                                 const std::vector<PeerData>& peers,
                                 double poi_density) {
+  NnvResult result(k);
+  std::vector<spatial::Poi> pool;
+  NearestNeighborVerify(q, k, peers, poi_density, &pool, &result);
+  return result;
+}
+
+void NearestNeighborVerify(geom::Point q, int k,
+                           const std::vector<PeerData>& peers,
+                           double poi_density,
+                           std::vector<spatial::Poi>* pool,
+                           NnvResult* result,
+                           geom::RectRegionScratch* geom_scratch) {
   LBSQ_CHECK(k >= 1);
   LBSQ_CHECK(poi_density >= 0.0);
-  NnvResult result(k);
+  LBSQ_CHECK(pool != nullptr);
+  LBSQ_CHECK(result != nullptr);
+  geom::RectRegionScratch local_scratch;
+  geom::RectRegionScratch& scratch =
+      geom_scratch != nullptr ? *geom_scratch : local_scratch;
+  result->Reset(k);
 
   // Merge the peers' verified regions into the MVR and pool their POIs.
-  std::vector<spatial::Poi> pool;
+  pool->clear();
   for (const PeerData& peer : peers) {
     for (const VerifiedRegion& vr : peer.regions) {
-      result.mvr.Add(vr.region);
-      pool.insert(pool.end(), vr.pois.begin(), vr.pois.end());
+      result->mvr.Add(vr.region, &scratch);
+      pool->insert(pool->end(), vr.pois.begin(), vr.pois.end());
     }
   }
   // Deduplicate by id (multiple peers may cache the same object).
-  std::sort(pool.begin(), pool.end(),
+  std::sort(pool->begin(), pool->end(),
             [](const spatial::Poi& a, const spatial::Poi& b) {
               return a.id < b.id;
             });
-  pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
-  result.candidate_count = static_cast<int>(pool.size());
+  pool->erase(std::unique(pool->begin(), pool->end()), pool->end());
+  result->candidate_count = static_cast<int>(pool->size());
 
   // Sort candidates by distance to q (deterministic ties).
-  std::vector<spatial::PoiDistance> candidates;
-  candidates.reserve(pool.size());
-  for (const spatial::Poi& poi : pool) {
-    candidates.push_back(spatial::PoiDistance{poi, geom::Distance(poi.pos, q)});
+  result->candidates.reserve(pool->size());
+  for (const spatial::Poi& poi : *pool) {
+    result->candidates.push_back(
+        spatial::PoiDistance{poi, geom::Distance(poi.pos, q)});
   }
-  std::sort(candidates.begin(), candidates.end());
-  result.candidates = candidates;
+  std::sort(result->candidates.begin(), result->candidates.end());
 
   // ||q, e_s||: every object strictly within this distance of q lies inside
   // the MVR and is therefore in the pool (Lemma 3.1's precondition).
-  result.boundary_distance = result.mvr.BoundaryDistance(q);
+  result->boundary_distance = result->mvr.BoundaryDistance(q, &scratch);
 
   // Fill the heap: candidates no farther than the boundary distance are
   // verified top-v NNs; the rest stay unverified until the heap is full.
-  for (const spatial::PoiDistance& candidate : candidates) {
-    if (result.heap.full()) break;
+  for (const spatial::PoiDistance& candidate : result->candidates) {
+    if (result->heap.full()) break;
     HeapEntry entry;
     entry.poi = candidate.poi;
     entry.distance = candidate.distance;
-    entry.verified = candidate.distance <= result.boundary_distance;
-    result.heap.Push(entry);
+    entry.verified = candidate.distance <= result->boundary_distance;
+    result->heap.Push(entry);
   }
 
   // Annotate unverified entries with correctness probability (Lemma 3.2)
   // and surpassing ratio.
-  const auto lower = result.heap.LowerBound();
+  const auto lower = result->heap.LowerBound();
   const double last_verified =
       lower.has_value() ? *lower : 0.0;  // 0 -> infinite surpassing ratio
-  for (HeapEntry& entry : *result.heap.mutable_entries()) {
+  for (HeapEntry& entry : *result->heap.mutable_entries()) {
     if (entry.verified) continue;
     const geom::Circle disc{q, entry.distance};
-    const double uncovered = result.mvr.DiscUncoveredArea(disc);
+    const double uncovered = result->mvr.DiscUncoveredArea(disc);
     entry.correctness = CorrectnessProbability(poi_density, uncovered);
     entry.surpassing_ratio = SurpassingRatio(entry.distance, last_verified);
   }
-  return result;
 }
 
 }  // namespace lbsq::core

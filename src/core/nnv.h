@@ -39,6 +39,16 @@ struct NnvResult {
   std::vector<spatial::PoiDistance> candidates;
 
   explicit NnvResult(int k) : heap(k) {}
+
+  /// Back to the freshly-constructed state for a query of `k` neighbors,
+  /// keeping all vector capacity (the batch execution path reuses results).
+  void Reset(int k) {
+    heap.Reset(k);
+    mvr.Clear();
+    boundary_distance = 0.0;
+    candidate_count = 0;
+    candidates.clear();
+  }
 };
 
 /// Runs NNV for query point `q` requesting `k` neighbors over the data
@@ -47,6 +57,17 @@ struct NnvResult {
 NnvResult NearestNeighborVerify(geom::Point q, int k,
                                 const std::vector<PeerData>& peers,
                                 double poi_density);
+
+/// Allocation-free variant: writes into `result` (Reset internally) using
+/// `pool` as candidate-merge scratch and `geom_scratch` (when non-null) for
+/// the MVR geometry kernels. Bit-identical to the value-returning overload;
+/// at steady state (warm capacities) it performs no heap allocations.
+void NearestNeighborVerify(geom::Point q, int k,
+                           const std::vector<PeerData>& peers,
+                           double poi_density,
+                           std::vector<spatial::Poi>* pool,
+                           NnvResult* result,
+                           geom::RectRegionScratch* geom_scratch = nullptr);
 
 }  // namespace lbsq::core
 

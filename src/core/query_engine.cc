@@ -1,8 +1,11 @@
 #include "core/query_engine.h"
 
+#include <optional>
 #include <utility>
 
 #include "common/check.h"
+#include "core/query_internal.h"
+#include "core/query_workspace.h"
 #include "fault/faulty_channel.h"
 #include "fault/peer_screen.h"
 
@@ -15,20 +18,15 @@ bool QueryOutcome::ResolvedByPeers() const {
   return window->resolved_by_peers;
 }
 
-const broadcast::AccessStats& QueryOutcome::Stats() const {
-  return kind == QueryKind::kKnn ? knn->stats : window->stats;
+QueryResultCommon& QueryOutcome::Common() {
+  return kind == QueryKind::kKnn ? static_cast<QueryResultCommon&>(*knn)
+                                 : static_cast<QueryResultCommon&>(*window);
 }
 
-VerifiedRegion& QueryOutcome::Cacheable() {
-  return kind == QueryKind::kKnn ? knn->cacheable : window->cacheable;
-}
-
-const VerifiedRegion& QueryOutcome::Cacheable() const {
-  return kind == QueryKind::kKnn ? knn->cacheable : window->cacheable;
-}
-
-bool QueryOutcome::Degraded() const {
-  return kind == QueryKind::kKnn ? knn->degraded : window->degraded;
+const QueryResultCommon& QueryOutcome::Common() const {
+  return kind == QueryKind::kKnn
+             ? static_cast<const QueryResultCommon&>(*knn)
+             : static_cast<const QueryResultCommon&>(*window);
 }
 
 QueryEngine::QueryEngine(const broadcast::BroadcastSystem& system,
@@ -36,12 +34,29 @@ QueryEngine::QueryEngine(const broadcast::BroadcastSystem& system,
     : system_(system), world_(world), options_(options) {
   options_.Validate();
   LBSQ_CHECK(world.area() > 0.0);
-  poi_density_ = static_cast<double>(system.pois().size()) / world.area();
+  poi_density_ =
+      options_.poi_density_override >= 0.0
+          ? options_.poi_density_override
+          : static_cast<double>(system.pois().size()) / world.area();
 }
 
 QueryOutcome QueryEngine::Execute(const QueryRequest& request) const {
+  QueryWorkspace workspace;
   QueryOutcome outcome;
-  outcome.kind = request.kind;
+  Execute(request, workspace, &outcome);
+  return outcome;
+}
+
+void QueryEngine::Execute(const QueryRequest& request,
+                          QueryWorkspace& workspace,
+                          QueryOutcome* outcome) const {
+  LBSQ_CHECK(outcome != nullptr);
+  // Scope the workspace memo to this system and broadcast cycle; within a
+  // cycle, co-located queries share cover and index lookups.
+  workspace.Prepare(system_,
+                    request.slot / system_.schedule().cycle_length());
+  outcome->kind = request.kind;
+  outcome->regions_rejected = 0;
 
   // Fault plumbing. When the engine's FaultConfig is disabled this block
   // compiles down to two null/empty locals and the call below is the exact
@@ -56,29 +71,45 @@ QueryOutcome QueryEngine::Execute(const QueryRequest& request) const {
     session = &*session_storage;
   }
   const std::vector<PeerData>* peers = &request.peers;
-  std::vector<PeerData> screened;
   if (fault.enabled() && fault.screen_peers) {
-    screened = request.peers;
+    workspace.screened = request.peers;
     const fault::ScreenResult screen =
-        fault::ScreenPeerData(world_, &screened);
-    outcome.regions_rejected = screen.regions_rejected;
+        fault::ScreenPeerData(world_, &workspace.screened);
+    outcome->regions_rejected = screen.regions_rejected;
     if (request.trace != nullptr && screen.regions_rejected > 0) {
       request.trace->Counter("fault.regions_rejected",
                              static_cast<double>(screen.regions_rejected));
     }
-    peers = &screened;
+    peers = &workspace.screened;
   }
 
   if (request.kind == QueryKind::kKnn) {
     SbnnOptions sbnn = options_.sbnn;
     if (request.k > 0) sbnn.k = request.k;
-    outcome.knn = RunSbnn(request.position, sbnn, *peers, poi_density_,
-                          system_, request.slot, request.trace, session);
+    outcome->window.reset();
+    if (!outcome->knn.has_value()) outcome->knn.emplace(sbnn.k);
+    internal::RunSbnn(request.position, sbnn, *peers, poi_density_, system_,
+                      request.slot, request.trace, session, workspace,
+                      &*outcome->knn);
   } else {
-    outcome.window = RunSbwq(request.window, options_.sbwq, *peers, system_,
-                             request.slot, request.trace, session);
+    outcome->knn.reset();
+    if (!outcome->window.has_value()) outcome->window.emplace();
+    internal::RunSbwq(request.window, options_.sbwq, *peers, system_,
+                      request.slot, request.trace, session, workspace,
+                      &*outcome->window);
   }
-  return outcome;
+}
+
+std::span<const QueryOutcome> QueryEngine::ExecuteBatch(
+    std::span<const QueryRequest> requests, QueryWorkspace& workspace) const {
+  std::vector<QueryOutcome>& arena = workspace.outcome_arena();
+  // Grow-only: the arena keeps the largest batch's storage so later batches
+  // recycle every inner buffer.
+  if (arena.size() < requests.size()) arena.resize(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    Execute(requests[i], workspace, &arena[i]);
+  }
+  return std::span<const QueryOutcome>(arena.data(), requests.size());
 }
 
 }  // namespace lbsq::core

@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "broadcast/system.h"
 #include "common/observability.h"
+#include "core/query_result.h"
 #include "core/sbnn.h"
 #include "core/sbwq.h"
 #include "fault/fault_model.h"
@@ -14,16 +16,28 @@
 #include "geom/rect.h"
 
 /// \file
-/// The unified query entry point. `QueryEngine` wraps the SBNN / SBWQ free
-/// functions behind one `Execute(QueryRequest) -> QueryOutcome` call, so
-/// option plumbing, peer-data handling, Lemma 3.2 density derivation, and
-/// trace attachment live in one place instead of being repeated by every
-/// driver (the simulators, the benches, the examples). The engine is
-/// immutable after construction and shares no mutable state across calls —
-/// `Execute` is safe to invoke concurrently from the parallel simulation
-/// engine's worker threads.
+/// The unified query entry point. `QueryEngine` is the single way to run
+/// SBNN / SBWQ (the former free functions are internal now): option
+/// plumbing, peer-data handling, Lemma 3.2 density derivation, fault
+/// plumbing, and trace attachment live in one place instead of being
+/// repeated by every driver (the simulators, the benches, the examples).
+/// The engine is immutable after construction and shares no mutable state
+/// across calls — `Execute` is safe to invoke concurrently from the
+/// parallel simulation engine's worker threads, each with its own
+/// `QueryWorkspace`.
+///
+/// Two execution modes, bit-identical in output:
+///  - `Execute(request)` — convenience; allocates transient buffers.
+///  - `Execute(request, workspace, outcome)` / `ExecuteBatch(requests,
+///    workspace)` — the steady-state path: all scratch comes from the
+///    caller's `QueryWorkspace`, outcomes recycle their storage, and the
+///    workspace's broadcast-cycle memo shares cover/index work between
+///    co-located queries. Zero heap allocations per query once capacities
+///    are warm (fault-free path; bench_batch_throughput verifies).
 
 namespace lbsq::core {
+
+class QueryWorkspace;
 
 /// Which query algorithm a request runs.
 enum class QueryKind { kKnn, kWindow };
@@ -64,17 +78,22 @@ struct QueryOutcome {
   /// True when peers alone answered the query (verified or approximate kNN,
   /// or a fully covered window) — zero broadcast access.
   bool ResolvedByPeers() const;
+  /// The fields shared by both query kinds (stats, buckets, cacheable
+  /// region, degradation bookkeeping) — one branch here, none for callers.
+  QueryResultCommon& Common();
+  const QueryResultCommon& Common() const;
   /// Broadcast cost (all zero when resolved by peers).
-  const broadcast::AccessStats& Stats() const;
+  const broadcast::AccessStats& Stats() const { return Common().stats; }
   /// The verified knowledge the query produced, ready for cache insertion.
-  VerifiedRegion& Cacheable();
-  const VerifiedRegion& Cacheable() const;
+  VerifiedRegion& Cacheable() { return Common().cacheable; }
+  const VerifiedRegion& Cacheable() const { return Common().cacheable; }
   /// True when a faulty channel left the answer best-effort (see the
-  /// `degraded` field of the per-kind outcomes).
-  bool Degraded() const;
+  /// `degraded` field of QueryResultCommon).
+  bool Degraded() const { return Common().degraded; }
 };
 
-/// Facade over RunSbnn / RunSbwq bound to one broadcast system.
+/// Facade over the SBNN / SBWQ implementations bound to one broadcast
+/// system.
 class QueryEngine {
  public:
   struct Options {
@@ -83,6 +102,11 @@ class QueryEngine {
     /// Fault injection and resilience policy. Disabled by default; when
     /// disabled the engine takes the exact pre-fault code path.
     fault::FaultConfig fault;
+    /// Overrides the Lemma 3.2 POI density the engine derives from
+    /// system/world (negative = derive). Tests and analysis tools use this
+    /// to parameterize the correctness model independently of the actual
+    /// POI count.
+    double poi_density_override = -1.0;
 
     /// Validates all nested option sets.
     void Validate() const {
@@ -99,8 +123,25 @@ class QueryEngine {
               const geom::Rect& world, const Options& options);
 
   /// Executes one query. Thread-safe: reads only immutable engine state and
-  /// the request.
+  /// the request. Convenience form — uses a throwaway workspace.
   QueryOutcome Execute(const QueryRequest& request) const;
+
+  /// Allocation-free form: all scratch comes from `workspace` (one per
+  /// thread), `*outcome` is reset in place and refilled (its buffers are
+  /// recycled). Bit-identical to the convenience form for any prior
+  /// workspace/outcome state.
+  void Execute(const QueryRequest& request, QueryWorkspace& workspace,
+               QueryOutcome* outcome) const;
+
+  /// Executes `requests` in order through `workspace`, reusing its
+  /// broadcast-cycle memo across the batch (co-located queries share cover
+  /// and index lookups). Returns a view into the workspace's outcome arena,
+  /// valid until the next ExecuteBatch on the same workspace; outcome i
+  /// corresponds to request i and is bit-identical to
+  /// `Execute(requests[i])`.
+  std::span<const QueryOutcome> ExecuteBatch(
+      std::span<const QueryRequest> requests,
+      QueryWorkspace& workspace) const;
 
   const broadcast::BroadcastSystem& system() const { return system_; }
   const Options& options() const { return options_; }

@@ -1,0 +1,91 @@
+#include "core/query_workspace.h"
+
+#include "common/check.h"
+
+namespace lbsq::core {
+
+void QueryWorkspace::Prepare(const broadcast::BroadcastSystem& system,
+                             int64_t cycle) {
+  const void* tag = &system;
+  // The POI count guards (weakly) against a different system reusing the
+  // same address after destruction; workspaces are meant to be scoped to
+  // one engine/thread, this catches accidental cross-system reuse.
+  if (tag != system_tag_ || system.pois().size() != system_pois_ ||
+      cycle != cycle_) {
+    memo_.clear();
+    system_tag_ = tag;
+    system_pois_ = system.pois().size();
+    cycle_ = cycle;
+  }
+}
+
+CoverEntry& QueryWorkspace::Cover(const broadcast::BroadcastSystem& system,
+                                  const geom::Rect& rect) {
+  const hilbert::HilbertGrid& grid = system.grid();
+  const geom::Rect clamped = rect.Intersection(grid.world());
+  CoverKey key;
+  if (clamped.empty()) {
+    key.outside_world = true;
+  } else {
+    // CoverRect is a pure function of the two corner cells of the clamped
+    // rectangle, so they are the whole memo key.
+    const hilbert::CellXY lo = grid.CellOf({clamped.x1, clamped.y1});
+    const hilbert::CellXY hi = grid.CellOf({clamped.x2, clamped.y2});
+    key.x1 = lo.x;
+    key.y1 = lo.y;
+    key.x2 = hi.x;
+    key.y2 = hi.y;
+  }
+  auto [it, inserted] = memo_.try_emplace(key);
+  if (inserted) it->second.ranges = grid.CoverRect(rect);
+  return it->second;
+}
+
+const std::vector<int64_t>& QueryWorkspace::SpanBuckets(
+    const broadcast::BroadcastSystem& system, CoverEntry* entry) {
+  LBSQ_CHECK(!entry->ranges.empty());
+  if (!entry->have_span) {
+    entry->span_buckets = system.index().BucketsForSpan(
+        entry->ranges.front().lo, entry->ranges.back().hi);
+    entry->have_span = true;
+  }
+  return entry->span_buckets;
+}
+
+const std::vector<int64_t>& QueryWorkspace::RangeBuckets(
+    const broadcast::BroadcastSystem& system, CoverEntry* entry) {
+  LBSQ_CHECK(!entry->ranges.empty());
+  if (!entry->have_ranges) {
+    entry->range_buckets = system.index().BucketsForRanges(entry->ranges);
+    entry->have_ranges = true;
+  }
+  return entry->range_buckets;
+}
+
+const std::vector<spatial::Poi>& QueryWorkspace::SpanPois(
+    const broadcast::BroadcastSystem& system, CoverEntry* entry) {
+  if (!entry->have_span_pois) {
+    system.CollectPois(SpanBuckets(system, entry), &entry->span_pois);
+    entry->have_span_pois = true;
+  }
+  return entry->span_pois;
+}
+
+const std::vector<spatial::Poi>& QueryWorkspace::RangePois(
+    const broadcast::BroadcastSystem& system, CoverEntry* entry) {
+  if (!entry->have_range_pois) {
+    system.CollectPois(RangeBuckets(system, entry), &entry->range_pois);
+    entry->have_range_pois = true;
+  }
+  return entry->range_pois;
+}
+
+int64_t QueryWorkspace::TreeReadBuckets(
+    const broadcast::BroadcastSystem& system, CoverEntry* entry) {
+  if (entry->tree_read_buckets < 0) {
+    entry->tree_read_buckets = system.IndexReadBuckets(entry->ranges);
+  }
+  return entry->tree_read_buckets;
+}
+
+}  // namespace lbsq::core

@@ -6,6 +6,12 @@ namespace lbsq::core {
 
 ResultHeap::ResultHeap(int k) : k_(k) { LBSQ_CHECK(k >= 1); }
 
+void ResultHeap::Reset(int k) {
+  LBSQ_CHECK(k >= 1);
+  k_ = k;
+  entries_.clear();
+}
+
 int ResultHeap::verified_count() const {
   int count = 0;
   for (const HeapEntry& e : entries_) {

@@ -52,6 +52,10 @@ class ResultHeap {
   /// Heap for a query requesting `k` >= 1 neighbors.
   explicit ResultHeap(int k);
 
+  /// Empties the heap and retargets it to `k` >= 1 neighbors, keeping the
+  /// entry storage (the batch execution path reuses heaps across queries).
+  void Reset(int k);
+
   /// Requested result size.
   int k() const { return k_; }
   /// Current entries, ascending by distance.

@@ -4,22 +4,31 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "core/query_internal.h"
 #include "fault/faulty_channel.h"
 #include "geom/circle.h"
 #include "onair/onair_knn.h"
 
 namespace lbsq::core {
 
+void SbnnOptions::Validate() const {
+  LBSQ_CHECK(k >= 1);
+  LBSQ_CHECK(min_correctness >= 0.0 && min_correctness <= 1.0);
+  LBSQ_CHECK(prefetch_radius_factor >= 1.0);
+}
+
+namespace internal {
+
 namespace {
 
 // Converts heap entries into the result representation.
-std::vector<spatial::PoiDistance> HeapToNeighbors(const ResultHeap& heap) {
-  std::vector<spatial::PoiDistance> out;
-  out.reserve(heap.entries().size());
+void HeapToNeighbors(const ResultHeap& heap,
+                     std::vector<spatial::PoiDistance>* out) {
+  out->clear();
+  out->reserve(heap.entries().size());
   for (const HeapEntry& e : heap.entries()) {
-    out.push_back(spatial::PoiDistance{e.poi, e.distance});
+    out->push_back(spatial::PoiDistance{e.poi, e.distance});
   }
-  return out;
 }
 
 // True when every unverified entry clears the correctness threshold.
@@ -33,36 +42,33 @@ bool ApproximateAcceptable(const ResultHeap& heap, double min_correctness) {
 // The square inscribed in the disc of the last verified entry: every server
 // POI inside it is among the verified prefix, so the pair (square, verified
 // POIs inside it) satisfies the cache completeness invariant.
-VerifiedRegion CacheableFromVerifiedPrefix(geom::Point q,
-                                           const ResultHeap& heap) {
-  VerifiedRegion vr;
+void CacheableFromVerifiedPrefix(geom::Point q, const ResultHeap& heap,
+                                 VerifiedRegion* vr) {
+  vr->Clear();
   const auto lower = heap.LowerBound();
-  if (!lower.has_value() || *lower <= 0.0) return vr;
+  if (!lower.has_value() || *lower <= 0.0) return;
   // Shrink a hair below the inscribed square so distance ties with POIs that
   // did not fit in the heap (and square-corner contacts) stay outside.
-  vr.region = geom::Rect::CenteredSquare(
+  vr->region = geom::Rect::CenteredSquare(
       q, *lower / std::sqrt(2.0) * (1.0 - 1e-9));
+  vr->pois.reserve(heap.entries().size());
   for (const HeapEntry& e : heap.entries()) {
-    if (e.verified && vr.region.Contains(e.poi.pos)) vr.pois.push_back(e.poi);
+    if (e.verified && vr->region.Contains(e.poi.pos)) vr->pois.push_back(e.poi);
   }
-  return vr;
 }
 
 }  // namespace
 
-void SbnnOptions::Validate() const {
-  LBSQ_CHECK(k >= 1);
-  LBSQ_CHECK(min_correctness >= 0.0 && min_correctness <= 1.0);
-  LBSQ_CHECK(prefetch_radius_factor >= 1.0);
-}
-
-SbnnOutcome RunSbnn(geom::Point q, const SbnnOptions& options,
-                    const std::vector<PeerData>& peers, double poi_density,
-                    const broadcast::BroadcastSystem& system, int64_t now,
-                    obs::TraceRecorder* trace, fault::ChannelSession* faults) {
+void RunSbnn(geom::Point q, const SbnnOptions& options,
+             const std::vector<PeerData>& peers, double poi_density,
+             const broadcast::BroadcastSystem& system, int64_t now,
+             obs::TraceRecorder* trace, fault::ChannelSession* faults,
+             QueryWorkspace& ws, SbnnOutcome* out) {
   options.Validate();
-  SbnnOutcome outcome(options.k);
-  outcome.nnv = NearestNeighborVerify(q, options.k, peers, poi_density);
+  SbnnOutcome& outcome = *out;
+  outcome.Reset(options.k);
+  NearestNeighborVerify(q, options.k, peers, poi_density, &ws.nnv_pool,
+                        &outcome.nnv, &ws.region_scratch);
   const ResultHeap& heap = outcome.nnv.heap;
   if (trace != nullptr) {
     // NNV is pure computation: the span is instantaneous in broadcast time;
@@ -76,18 +82,18 @@ SbnnOutcome RunSbnn(geom::Point q, const SbnnOptions& options,
 
   if (heap.fully_verified()) {
     outcome.resolved_by = ResolvedBy::kPeersVerified;
-    outcome.neighbors = HeapToNeighbors(heap);
-    outcome.cacheable = CacheableFromVerifiedPrefix(q, heap);
+    HeapToNeighbors(heap, &outcome.neighbors);
+    CacheableFromVerifiedPrefix(q, heap, &outcome.cacheable);
     if (trace != nullptr) trace->Counter("sbnn.peers_verified", 1.0);
-    return outcome;
+    return;
   }
   if (options.accept_approximate && heap.full() &&
       ApproximateAcceptable(heap, options.min_correctness)) {
     outcome.resolved_by = ResolvedBy::kPeersApproximate;
-    outcome.neighbors = HeapToNeighbors(heap);
-    outcome.cacheable = CacheableFromVerifiedPrefix(q, heap);
+    HeapToNeighbors(heap, &outcome.neighbors);
+    CacheableFromVerifiedPrefix(q, heap, &outcome.cacheable);
     if (trace != nullptr) trace->Counter("sbnn.approx_accept", 1.0);
-    return outcome;
+    return;
   }
 
   // Broadcast fallback with §3.3.3 data filtering.
@@ -102,7 +108,8 @@ SbnnOutcome RunSbnn(geom::Point q, const SbnnOptions& options,
       !options.tighten_with_index_bound) {
     radius = *upper;
   } else {
-    radius = system.index().KthDistanceUpperBound(q, options.k);
+    radius = system.index().KthDistanceUpperBound(q, options.k,
+                                                  &ws.index_distances);
     if (!std::isfinite(radius)) {
       radius = system.grid().world().MaxDistance(q);
     }
@@ -111,8 +118,17 @@ SbnnOutcome RunSbnn(geom::Point q, const SbnnOptions& options,
     }
   }
   radius *= options.prefetch_radius_factor;
-  std::vector<int64_t> needed =
-      onair::BucketsForCircle(system, geom::Circle{q, radius});
+
+  // Same bucket set onair::BucketsForCircle computes, but the cover and the
+  // span lookup come from the cycle memo: co-located queries whose search
+  // MBRs clamp to the same grid cells share the work.
+  const geom::Rect search_mbr = geom::Circle{q, radius}.Mbr();
+  CoverEntry& cover = ws.Cover(system, search_mbr);
+  ws.needed.clear();
+  if (!cover.ranges.empty()) {
+    const std::vector<int64_t>& span = ws.SpanBuckets(system, &cover);
+    ws.needed.assign(span.begin(), span.end());
+  }
 
   // Search lower bound: packets fully covered by the circle C_i of radius
   // d_v (the last verified entry) hold only objects the peers already
@@ -120,30 +136,31 @@ SbnnOutcome RunSbnn(geom::Point q, const SbnnOptions& options,
   const auto lower = heap.LowerBound();
   if (options.use_filtering && lower.has_value()) {
     const geom::Circle known{q, *lower};
-    std::vector<int64_t> kept;
-    for (int64_t id : needed) {
+    ws.kept.clear();
+    for (int64_t id : ws.needed) {
       const broadcast::DataBucket& bucket =
           system.buckets()[static_cast<size_t>(id)];
       if (known.ContainsRect(bucket.mbr)) {
         ++outcome.buckets_skipped;
       } else {
-        kept.push_back(id);
+        ws.kept.push_back(id);
       }
     }
-    needed.swap(kept);
+    ws.needed.swap(ws.kept);
   }
 
-  outcome.buckets = needed;
+  outcome.buckets.assign(ws.needed.begin(), ws.needed.end());
   broadcast::IndexReadMode index_mode =
       broadcast::IndexReadMode::FlatDirectory();
   if (system.tree_index() != nullptr) {
-    index_mode = broadcast::IndexReadMode::TreePaths(system.IndexReadBuckets(
-        system.grid().CoverRect(geom::Circle{q, radius}.Mbr())));
+    index_mode =
+        broadcast::IndexReadMode::TreePaths(ws.TreeReadBuckets(system, &cover));
   }
-  std::vector<int64_t> retrieved = needed;
+  const std::vector<int64_t>* retrieved = &ws.needed;
+  bool complete_span = false;
   if (faults != nullptr && faults->channel_enabled()) {
     fault::FaultyRetrievalResult r =
-        faults->Retrieve(system.schedule(), now, needed, index_mode, trace);
+        faults->Retrieve(system.schedule(), now, ws.needed, index_mode, trace);
     outcome.stats = r.stats;
     outcome.fault_losses = r.losses;
     outcome.fault_corruptions = r.corruptions;
@@ -152,10 +169,14 @@ SbnnOutcome RunSbnn(geom::Point q, const SbnnOptions& options,
       outcome.degraded = true;
       outcome.failed_buckets = std::move(r.failed);
     }
-    retrieved = std::move(r.received);
+    ws.retrieved = std::move(r.received);
+    retrieved = &ws.retrieved;
   } else {
-    outcome.stats = broadcast::RetrieveBuckets(system.schedule(), now, needed,
-                                               index_mode, trace);
+    outcome.stats = broadcast::RetrieveBuckets(system.schedule(), now,
+                                               ws.needed, index_mode, trace);
+    // With no filter removals the retrieved set IS the memoized span, so
+    // its collected content can come from the memo too.
+    complete_span = outcome.buckets_skipped == 0 && !cover.ranges.empty();
   }
   if (trace != nullptr) {
     trace->Span("sbnn.fallback", now, now + outcome.stats.access_latency);
@@ -165,31 +186,42 @@ SbnnOutcome RunSbnn(geom::Point q, const SbnnOptions& options,
 
   // Assemble the exact answer from the downloaded buckets plus everything
   // the peers supplied (which covers any packets the filter skipped).
-  std::vector<spatial::Poi> known_pois = system.CollectPois(retrieved);
-  for (const spatial::PoiDistance& c : outcome.nnv.candidates) {
-    known_pois.push_back(c.poi);
+  if (complete_span) {
+    const std::vector<spatial::Poi>& memo = ws.SpanPois(system, &cover);
+    ws.known_pois.assign(memo.begin(), memo.end());
+  } else {
+    system.CollectPois(*retrieved, &ws.known_pois);
   }
-  std::sort(known_pois.begin(), known_pois.end(),
+  for (const spatial::PoiDistance& c : outcome.nnv.candidates) {
+    ws.known_pois.push_back(c.poi);
+  }
+  std::sort(ws.known_pois.begin(), ws.known_pois.end(),
             [](const spatial::Poi& a, const spatial::Poi& b) {
               return a.id < b.id;
             });
-  known_pois.erase(std::unique(known_pois.begin(), known_pois.end()),
-                   known_pois.end());
-  outcome.neighbors = spatial::BruteForceKnn(known_pois, q, options.k);
+  ws.known_pois.erase(
+      std::unique(ws.known_pois.begin(), ws.known_pois.end()),
+      ws.known_pois.end());
+  spatial::BruteForceKnn(ws.known_pois, q, options.k, &outcome.neighbors);
 
   // Every cell intersecting the search MBR is covered by a bucket that was
   // either downloaded or skipped-as-peer-known, so the client now has
   // complete knowledge of the MBR. A degraded retrieval breaks that chain:
   // the cacheable region stays empty — never cache unverified knowledge.
   if (!outcome.degraded) {
-    outcome.cacheable.region = geom::Circle{q, radius}.Mbr();
-    for (const spatial::Poi& poi : known_pois) {
+    outcome.cacheable.region = search_mbr;
+    size_t contained = 0;
+    for (const spatial::Poi& poi : ws.known_pois) {
+      if (outcome.cacheable.region.Contains(poi.pos)) ++contained;
+    }
+    outcome.cacheable.pois.reserve(contained);
+    for (const spatial::Poi& poi : ws.known_pois) {
       if (outcome.cacheable.region.Contains(poi.pos)) {
         outcome.cacheable.pois.push_back(poi);
       }
     }
   }
-  return outcome;
 }
 
+}  // namespace internal
 }  // namespace lbsq::core

@@ -8,6 +8,7 @@
 #include "broadcast/system.h"
 #include "common/observability.h"
 #include "core/nnv.h"
+#include "core/query_result.h"
 #include "core/verified_region.h"
 #include "geom/point.h"
 #include "spatial/poi.h"
@@ -21,10 +22,9 @@
 /// broadcast channel with the §3.3.3 data filtering: the heap's upper bound
 /// shrinks the search circle, and the lower-bound circle C_i excuses every
 /// packet it fully covers.
-
-namespace lbsq::fault {
-class ChannelSession;
-}  // namespace lbsq::fault
+///
+/// Execution goes through `core::QueryEngine` (`Execute` / `ExecuteBatch`);
+/// the former free function `RunSbnn` is internal to the engine now.
 
 namespace lbsq::core {
 
@@ -73,61 +73,34 @@ enum class ResolvedBy {
   kBroadcast,
 };
 
-/// Outcome of one SBNN execution.
-struct SbnnOutcome {
+/// Outcome of one SBNN execution. The cost/degradation/cacheable fields
+/// shared with SBWQ live in the QueryResultCommon base; for peer-verified
+/// answers `cacheable` is the axis-aligned square inscribed in the disc of
+/// the last verified neighbor, for broadcast answers it is the search MBR,
+/// whose content is fully known from downloaded buckets plus peer data
+/// covering skipped packets.
+struct SbnnOutcome : QueryResultCommon {
   ResolvedBy resolved_by = ResolvedBy::kBroadcast;
   /// The answer, ascending by distance. Exact unless kPeersApproximate, in
   /// which case unverified members carry their correctness in `nnv.heap`.
   std::vector<spatial::PoiDistance> neighbors;
   /// Diagnostics: the NNV result this outcome was derived from.
   NnvResult nnv;
-  /// Broadcast cost (all zero for peer-resolved queries).
-  broadcast::AccessStats stats;
-  /// Buckets downloaded on fallback.
-  std::vector<int64_t> buckets;
   /// Buckets the lower-bound circle C_i excused from download.
   int64_t buckets_skipped = 0;
-  /// The verified knowledge this query produced, ready for insertion into
-  /// the querier's own cache (empty region when the query yielded no
-  /// complete coverage). For peer-verified answers this is the axis-aligned
-  /// square inscribed in the disc of the last verified neighbor; for
-  /// broadcast answers it is the search MBR, whose content is fully known
-  /// from downloaded buckets plus peer data covering skipped packets.
-  VerifiedRegion cacheable;
-  /// True when a faulty channel prevented complete retrieval: the answer is
-  /// best-effort (assembled from received buckets and peer data only) and
-  /// `cacheable` is empty — a degraded query never claims verified
-  /// knowledge it does not have.
-  bool degraded = false;
-  /// Buckets given up on (retry budget or deadline exhausted).
-  std::vector<int64_t> failed_buckets;
-  /// Channel accounting for this query (zero without fault injection).
-  int64_t fault_losses = 0;
-  int64_t fault_corruptions = 0;
-  bool fault_deadline_hit = false;
 
   explicit SbnnOutcome(int k) : nnv(k) {}
-};
 
-/// Executes SBNN for query point `q` at slot `now` against the data shared
-/// by `peers`, falling back to `system`'s broadcast channel when sharing
-/// cannot fulfill the query. `poi_density` parameterizes Lemma 3.2.
-///
-/// A non-null `trace` receives the per-stage breakdown: an `sbnn.nnv` span
-/// with candidate/verified counters, the resolution marker
-/// (`sbnn.peers_verified`, `sbnn.approx_accept`, or an `sbnn.fallback` span
-/// covering the broadcast access), the protocol-stage spans of
-/// RetrieveBuckets, and the `sbnn.buckets_skipped` filter counter.
-///
-/// A non-null `faults` with an enabled channel routes the fallback retrieval
-/// through the faulty channel; buckets that could not be retrieved mark the
-/// outcome `degraded` (see SbnnOutcome). A null or disabled session takes
-/// the fault-free path, bit-identical to the five-argument overload.
-SbnnOutcome RunSbnn(geom::Point q, const SbnnOptions& options,
-                    const std::vector<PeerData>& peers, double poi_density,
-                    const broadcast::BroadcastSystem& system, int64_t now,
-                    obs::TraceRecorder* trace = nullptr,
-                    fault::ChannelSession* faults = nullptr);
+  /// Back to the freshly-constructed state for a query of `k` neighbors,
+  /// keeping all vector capacity (the batch execution path reuses outcomes).
+  void Reset(int k) {
+    ResetCommon();
+    resolved_by = ResolvedBy::kBroadcast;
+    neighbors.clear();
+    nnv.Reset(k);
+    buckets_skipped = 0;
+  }
+};
 
 }  // namespace lbsq::core
 

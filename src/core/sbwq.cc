@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "core/query_internal.h"
 #include "fault/faulty_channel.h"
 
 namespace lbsq::core {
@@ -13,19 +14,24 @@ void SbwqOptions::Validate() const {
              retrieval == onair::WindowRetrieval::kPartitionedRanges);
 }
 
-SbwqOutcome RunSbwq(const geom::Rect& window, const SbwqOptions& options,
-                    const std::vector<PeerData>& peers,
-                    const broadcast::BroadcastSystem& system, int64_t now,
-                    obs::TraceRecorder* trace, fault::ChannelSession* faults) {
+namespace internal {
+
+void RunSbwq(const geom::Rect& window, const SbwqOptions& options,
+             const std::vector<PeerData>& peers,
+             const broadcast::BroadcastSystem& system, int64_t now,
+             obs::TraceRecorder* trace, fault::ChannelSession* faults,
+             QueryWorkspace& ws, SbwqOutcome* out) {
   options.Validate();
   LBSQ_CHECK(!window.empty());
-  SbwqOutcome outcome;
+  SbwqOutcome& outcome = *out;
+  outcome.Reset();
 
-  // Merge peer verified regions and pool the shared POIs that overlap w.
-  std::vector<spatial::Poi> pool;
+  // Merge peer verified regions and pool the shared POIs that overlap w
+  // (the pool is assembled directly in the outcome's poi storage).
+  std::vector<spatial::Poi>& pool = outcome.pois;
   for (const PeerData& peer : peers) {
     for (const VerifiedRegion& vr : peer.regions) {
-      outcome.mvr.Add(vr.region);
+      outcome.mvr.Add(vr.region, &ws.region_scratch);
       for (const spatial::Poi& poi : vr.pois) {
         if (window.Contains(poi.pos)) pool.push_back(poi);
       }
@@ -33,7 +39,8 @@ SbwqOutcome RunSbwq(const geom::Rect& window, const SbwqOptions& options,
   }
 
   // Residual windows w' = w \ MVR.
-  outcome.mvr.SubtractFrom(window, &outcome.residual_windows);
+  outcome.mvr.SubtractFrom(window, &outcome.residual_windows,
+                           &ws.region_scratch);
   double residual_area = 0.0;
   for (const geom::Rect& r : outcome.residual_windows) {
     residual_area += r.area();
@@ -53,39 +60,61 @@ SbwqOutcome RunSbwq(const geom::Rect& window, const SbwqOptions& options,
     if (trace != nullptr) trace->Counter("sbwq.peers_resolved", 1.0);
   } else {
     // Solve the residual window(s) on air. Without window reduction the
-    // baseline retrieves the whole original window.
-    std::vector<int64_t> needed;
+    // baseline retrieves the whole original window. Covers and the bucket
+    // lookups derived from them come from the cycle memo.
+    const bool single_span =
+        options.retrieval == onair::WindowRetrieval::kSingleSpan;
+    ws.needed.clear();
+    // Set when exactly one cover fed `needed`: its lookup is already sorted
+    // and unique, so the memoized bucket content applies verbatim.
+    CoverEntry* sole_cover = nullptr;
     if (options.use_window_reduction) {
       for (const geom::Rect& residual : outcome.residual_windows) {
-        const std::vector<int64_t> part =
-            onair::BucketsForWindow(system, residual, options.retrieval);
-        needed.insert(needed.end(), part.begin(), part.end());
+        CoverEntry& cover = ws.Cover(system, residual);
+        if (outcome.residual_windows.size() == 1) sole_cover = &cover;
+        if (cover.ranges.empty()) continue;
+        const std::vector<int64_t>& part = single_span
+                                               ? ws.SpanBuckets(system, &cover)
+                                               : ws.RangeBuckets(system, &cover);
+        ws.needed.insert(ws.needed.end(), part.begin(), part.end());
       }
     } else {
-      needed = onair::BucketsForWindow(system, window, options.retrieval);
+      CoverEntry& cover = ws.Cover(system, window);
+      sole_cover = &cover;
+      if (!cover.ranges.empty()) {
+        const std::vector<int64_t>& part = single_span
+                                               ? ws.SpanBuckets(system, &cover)
+                                               : ws.RangeBuckets(system, &cover);
+        ws.needed.insert(ws.needed.end(), part.begin(), part.end());
+      }
     }
-    std::sort(needed.begin(), needed.end());
-    needed.erase(std::unique(needed.begin(), needed.end()), needed.end());
-    outcome.buckets = needed;
+    std::sort(ws.needed.begin(), ws.needed.end());
+    ws.needed.erase(std::unique(ws.needed.begin(), ws.needed.end()),
+                    ws.needed.end());
+    outcome.buckets.assign(ws.needed.begin(), ws.needed.end());
     broadcast::IndexReadMode index_mode =
         broadcast::IndexReadMode::FlatDirectory();
     if (system.tree_index() != nullptr) {
-      std::vector<hilbert::IndexRange> lookups;
-      if (options.use_window_reduction) {
-        for (const geom::Rect& residual : outcome.residual_windows) {
-          const auto part = system.grid().CoverRect(residual);
-          lookups.insert(lookups.end(), part.begin(), part.end());
-        }
+      if (sole_cover != nullptr) {
+        index_mode = broadcast::IndexReadMode::TreePaths(
+            ws.TreeReadBuckets(system, sole_cover));
       } else {
-        lookups = system.grid().CoverRect(window);
+        ws.lookups.clear();
+        for (const geom::Rect& residual : outcome.residual_windows) {
+          const std::vector<hilbert::IndexRange>& part =
+              ws.Cover(system, residual).ranges;
+          ws.lookups.insert(ws.lookups.end(), part.begin(), part.end());
+        }
+        index_mode = broadcast::IndexReadMode::TreePaths(
+            system.IndexReadBuckets(ws.lookups));
       }
-      index_mode =
-          broadcast::IndexReadMode::TreePaths(system.IndexReadBuckets(lookups));
     }
-    std::vector<int64_t> retrieved = needed;
+    const std::vector<int64_t>* retrieved = &ws.needed;
+    bool complete_cover = false;
     if (faults != nullptr && faults->channel_enabled()) {
       fault::FaultyRetrievalResult r =
-          faults->Retrieve(system.schedule(), now, needed, index_mode, trace);
+          faults->Retrieve(system.schedule(), now, ws.needed, index_mode,
+                           trace);
       outcome.stats = r.stats;
       outcome.fault_losses = r.losses;
       outcome.fault_corruptions = r.corruptions;
@@ -94,16 +123,28 @@ SbwqOutcome RunSbwq(const geom::Rect& window, const SbwqOptions& options,
         outcome.degraded = true;
         outcome.failed_buckets = std::move(r.failed);
       }
-      retrieved = std::move(r.received);
+      ws.retrieved = std::move(r.received);
+      retrieved = &ws.retrieved;
     } else {
       outcome.stats = broadcast::RetrieveBuckets(system.schedule(), now,
-                                                 needed, index_mode, trace);
+                                                 ws.needed, index_mode, trace);
+      complete_cover = sole_cover != nullptr && !sole_cover->ranges.empty();
     }
     if (trace != nullptr) {
       trace->Span("sbwq.fallback", now, now + outcome.stats.access_latency);
     }
-    for (const spatial::Poi& poi : system.CollectPois(retrieved)) {
-      if (window.Contains(poi.pos)) pool.push_back(poi);
+    if (complete_cover) {
+      const std::vector<spatial::Poi>& memo =
+          single_span ? ws.SpanPois(system, sole_cover)
+                      : ws.RangePois(system, sole_cover);
+      for (const spatial::Poi& poi : memo) {
+        if (window.Contains(poi.pos)) pool.push_back(poi);
+      }
+    } else {
+      system.CollectPois(*retrieved, &ws.known_pois);
+      for (const spatial::Poi& poi : ws.known_pois) {
+        if (window.Contains(poi.pos)) pool.push_back(poi);
+      }
     }
   }
 
@@ -112,14 +153,14 @@ SbwqOutcome RunSbwq(const geom::Rect& window, const SbwqOptions& options,
               return a.id < b.id;
             });
   pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
-  outcome.pois = std::move(pool);
   // Both resolution paths end with complete knowledge of the window — except
   // when the retrieval degraded, in which case caching the window would
   // poison the peer network with a false completeness claim.
   if (!outcome.degraded) {
-    outcome.cacheable = VerifiedRegion{window, outcome.pois};
+    outcome.cacheable.region = window;
+    outcome.cacheable.pois = outcome.pois;
   }
-  return outcome;
 }
 
+}  // namespace internal
 }  // namespace lbsq::core

@@ -7,6 +7,7 @@
 #include "broadcast/client_protocol.h"
 #include "broadcast/system.h"
 #include "common/observability.h"
+#include "core/query_result.h"
 #include "core/verified_region.h"
 #include "geom/rect.h"
 #include "geom/rect_region.h"
@@ -19,10 +20,9 @@
 /// entirely inside the MVR the query is answered from shared data with zero
 /// broadcast access. Otherwise the residual window(s) w' = w \ MVR shrink
 /// the on-air search range.
-
-namespace lbsq::fault {
-class ChannelSession;
-}  // namespace lbsq::fault
+///
+/// Execution goes through `core::QueryEngine` (`Execute` / `ExecuteBatch`);
+/// the former free function `RunSbwq` is internal to the engine now.
 
 namespace lbsq::core {
 
@@ -39,8 +39,11 @@ struct SbwqOptions {
   void Validate() const;
 };
 
-/// Outcome of one SBWQ execution.
-struct SbwqOutcome {
+/// Outcome of one SBWQ execution. The cost/degradation/cacheable fields
+/// shared with SBNN live in the QueryResultCommon base; `cacheable` is the
+/// full window here (both resolution paths end with complete knowledge of
+/// w — unless the query degraded, in which case it is empty).
+struct SbwqOutcome : QueryResultCommon {
   /// True when peers alone answered the query (w inside MVR).
   bool resolved_by_peers = false;
   /// Exactly the POIs inside the window, sorted by id.
@@ -53,44 +56,18 @@ struct SbwqOutcome {
   /// Fraction of the window's area NOT covered by the MVR (0 when resolved
   /// by peers; 1 with no useful peer data).
   double residual_fraction = 1.0;
-  /// Broadcast cost (all zero for peer-resolved queries).
-  broadcast::AccessStats stats;
-  /// Buckets downloaded on fallback.
-  std::vector<int64_t> buckets;
-  /// The verified knowledge this query produced (the full window: both
-  /// resolution paths end with complete knowledge of w — unless the query
-  /// degraded, in which case this is empty).
-  VerifiedRegion cacheable;
-  /// True when a faulty channel prevented complete retrieval: `pois` is
-  /// best-effort (received buckets plus peer data only) and `cacheable` is
-  /// empty — a degraded query never claims verified knowledge it lacks.
-  bool degraded = false;
-  /// Buckets given up on (retry budget or deadline exhausted).
-  std::vector<int64_t> failed_buckets;
-  /// Channel accounting for this query (zero without fault injection).
-  int64_t fault_losses = 0;
-  int64_t fault_corruptions = 0;
-  bool fault_deadline_hit = false;
-};
 
-/// Executes SBWQ for `window` at slot `now` against the data shared by
-/// `peers`, falling back to `system`'s broadcast channel for residual
-/// windows.
-///
-/// A non-null `trace` receives an `sbwq.mvr` span with the residual-fraction
-/// counter, the peer-resolution marker (`sbwq.peers_resolved`) or an
-/// `sbwq.fallback` span covering the broadcast access, and the
-/// protocol-stage spans of RetrieveBuckets.
-///
-/// A non-null `faults` with an enabled channel routes the fallback retrieval
-/// through the faulty channel; buckets that could not be retrieved mark the
-/// outcome `degraded` (see SbwqOutcome). A null or disabled session takes
-/// the fault-free path, bit-identical to the five-argument overload.
-SbwqOutcome RunSbwq(const geom::Rect& window, const SbwqOptions& options,
-                    const std::vector<PeerData>& peers,
-                    const broadcast::BroadcastSystem& system, int64_t now,
-                    obs::TraceRecorder* trace = nullptr,
-                    fault::ChannelSession* faults = nullptr);
+  /// Back to the freshly-constructed state, keeping all vector capacity
+  /// (the batch execution path reuses outcomes).
+  void Reset() {
+    ResetCommon();
+    resolved_by_peers = false;
+    pois.clear();
+    mvr.Clear();
+    residual_windows.clear();
+    residual_fraction = 1.0;
+  }
+};
 
 }  // namespace lbsq::core
 

@@ -22,6 +22,13 @@ namespace lbsq::core {
 struct VerifiedRegion {
   geom::Rect region;
   std::vector<spatial::Poi> pois;
+
+  /// Back to the default (empty-region) state, keeping `pois` capacity so
+  /// reused outcome storage does not reallocate.
+  void Clear() {
+    region = geom::Rect{};
+    pois.clear();
+  }
 };
 
 /// Everything a peer returns to a querying host: all of its cache entries.

@@ -26,9 +26,16 @@ void SubtractIntervals(double lo, double hi,
 }  // namespace
 
 void RectRegion::Add(const Rect& r) {
+  RectRegionScratch scratch;
+  Add(r, &scratch);
+}
+
+void RectRegion::Add(const Rect& r, RectRegionScratch* scratch) {
   if (r.empty() || r.area() == 0.0) return;
-  std::vector<Rect> remainder = {r};
-  std::vector<Rect> next;
+  std::vector<Rect>& remainder = scratch->remainder;
+  std::vector<Rect>& next = scratch->next;
+  remainder.clear();
+  remainder.push_back(r);
   for (const Rect& piece : pieces_) {
     next.clear();
     for (const Rect& part : remainder) SubtractRect(part, piece, &next);
@@ -68,9 +75,16 @@ bool RectRegion::ContainsDisc(const Circle& disc) const {
 }
 
 std::vector<Segment> RectRegion::BoundarySegments() const {
-  std::vector<Segment> boundary;
-  std::vector<std::pair<double, double>> covered;
-  std::vector<std::pair<double, double>> open;
+  RectRegionScratch scratch;
+  BoundarySegments(&scratch);
+  return std::move(scratch.boundary);
+}
+
+void RectRegion::BoundarySegments(RectRegionScratch* scratch) const {
+  std::vector<Segment>& boundary = scratch->boundary;
+  std::vector<std::pair<double, double>>& covered = scratch->covered;
+  std::vector<std::pair<double, double>>& open = scratch->open;
+  boundary.clear();
   for (const Rect& p : pieces_) {
     // Top side (y == p.y2): covered where a piece sits immediately above.
     covered.clear();
@@ -121,13 +135,19 @@ std::vector<Segment> RectRegion::BoundarySegments() const {
       boundary.push_back({{p.x1, lo}, {p.x1, hi}});
     }
   }
-  return boundary;
 }
 
 double RectRegion::BoundaryDistance(Point p) const {
+  RectRegionScratch scratch;
+  return BoundaryDistance(p, &scratch);
+}
+
+double RectRegion::BoundaryDistance(Point p,
+                                    RectRegionScratch* scratch) const {
   if (!Contains(p)) return 0.0;
+  BoundarySegments(scratch);
   double best = std::numeric_limits<double>::infinity();
-  for (const Segment& s : BoundarySegments()) {
+  for (const Segment& s : scratch->boundary) {
     best = std::min(best, s.DistanceTo(p));
   }
   return std::isinf(best) ? 0.0 : best;
@@ -141,9 +161,17 @@ double RectRegion::DiscCoveredArea(const Circle& disc) const {
 }
 
 void RectRegion::SubtractFrom(const Rect& r, std::vector<Rect>* out) const {
+  RectRegionScratch scratch;
+  SubtractFrom(r, out, &scratch);
+}
+
+void RectRegion::SubtractFrom(const Rect& r, std::vector<Rect>* out,
+                              RectRegionScratch* scratch) const {
   if (r.empty() || r.area() == 0.0) return;
-  std::vector<Rect> remainder = {r};
-  std::vector<Rect> next;
+  std::vector<Rect>& remainder = scratch->remainder;
+  std::vector<Rect>& next = scratch->next;
+  remainder.clear();
+  remainder.push_back(r);
   for (const Rect& piece : pieces_) {
     next.clear();
     for (const Rect& part : remainder) SubtractRect(part, piece, &next);

@@ -18,6 +18,19 @@
 
 namespace lbsq::geom {
 
+/// Reusable scratch buffers for RectRegion operations. The geometry kernels
+/// (Add, SubtractFrom, BoundarySegments, BoundaryDistance) need transient
+/// vectors; the scratch-taking overloads below draw them from here instead
+/// of the heap, so a caller that keeps one scratch per thread (e.g. the
+/// query engine's QueryWorkspace) runs them allocation-free at steady state.
+struct RectRegionScratch {
+  std::vector<Rect> remainder;
+  std::vector<Rect> next;
+  std::vector<Segment> boundary;
+  std::vector<std::pair<double, double>> covered;
+  std::vector<std::pair<double, double>> open;
+};
+
 /// A (closed) region of the plane formed by a union of axis-aligned
 /// rectangles, stored as an interior-disjoint decomposition.
 class RectRegion {
@@ -31,6 +44,9 @@ class RectRegion {
   /// decomposition only splits along coordinates already present, so no
   /// floating-point arithmetic is introduced (coordinates are copied).
   void Add(const Rect& r);
+
+  /// Add drawing its transient buffers from `*scratch`.
+  void Add(const Rect& r, RectRegionScratch* scratch);
 
   /// Unions every rectangle of `other` into this region.
   void Merge(const RectRegion& other);
@@ -63,10 +79,17 @@ class RectRegion {
   /// are omitted.
   std::vector<Segment> BoundarySegments() const;
 
+  /// BoundarySegments appending to `scratch->boundary` (cleared first) and
+  /// drawing interval buffers from `*scratch`.
+  void BoundarySegments(RectRegionScratch* scratch) const;
+
   /// Distance from `p` to the nearest boundary point of the region
   /// (the ||q, e_s|| of the paper's NNV algorithm). Returns 0 when `p` is
   /// outside the region or the region is empty.
   double BoundaryDistance(Point p) const;
+
+  /// BoundaryDistance drawing its transient buffers from `*scratch`.
+  double BoundaryDistance(Point p, RectRegionScratch* scratch) const;
 
   /// Exact area of the part of `disc` covered by the region.
   double DiscCoveredArea(const Circle& disc) const;
@@ -80,6 +103,10 @@ class RectRegion {
   /// Computes `r` minus this region as interior-disjoint rectangles appended
   /// to `*out` (the residual query windows w' of the SBWQ algorithm).
   void SubtractFrom(const Rect& r, std::vector<Rect>* out) const;
+
+  /// SubtractFrom drawing its transient buffers from `*scratch`.
+  void SubtractFrom(const Rect& r, std::vector<Rect>* out,
+                    RectRegionScratch* scratch) const;
 
   /// The MBR of the whole region (empty rect when the region is empty).
   Rect BoundingBox() const;

@@ -114,7 +114,8 @@ ParallelSimulator::EventResult ParallelSimulator::ExecuteEvent(
   if (event.type == QueryType::kKnn) {
     KnnQueryResult knn =
         ExecuteKnnQuery(config_, *engine_, pos, event.k, slot,
-                        std::move(peers), result.measured, query_id, trace);
+                        std::move(peers), result.measured, query_id, trace,
+                        &worker->workspace);
     caches_[static_cast<size_t>(event.host)].Insert(
         std::move(knn.outcome.cacheable), pos, pos,
         worker->mobility->Heading(event.host));
@@ -124,7 +125,7 @@ ParallelSimulator::EventResult ParallelSimulator::ExecuteEvent(
     WindowQueryResult window =
         ExecuteWindowQuery(config_, *engine_, event.window, slot,
                            std::move(peers), result.measured, query_id,
-                           trace);
+                           trace, &worker->workspace);
     caches_[static_cast<size_t>(event.host)].Insert(
         std::move(window.outcome.cacheable), event.window.center(), pos,
         worker->mobility->Heading(event.host));

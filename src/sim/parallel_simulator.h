@@ -11,6 +11,7 @@
 #include "common/thread_pool.h"
 #include "core/peer_cache.h"
 #include "core/query_engine.h"
+#include "core/query_workspace.h"
 #include "sim/config.h"
 #include "sim/metrics.h"
 #include "sim/mobility.h"
@@ -91,6 +92,9 @@ class ParallelSimulator {
     std::unique_ptr<MobilityModel> mobility;
     std::vector<geom::Point> positions;
     spatial::GridIndex peer_index;
+    /// Per-thread query scratch + broadcast-cycle cover memo; reused by
+    /// every event this worker executes.
+    core::QueryWorkspace workspace;
 
     Worker(const MobilityModel& proto, const geom::Rect& world,
            double cell_size);

@@ -24,6 +24,45 @@ void MaybeCorruptPeers(const core::QueryEngine& engine, int64_t query_id,
   fault::CorruptPeerData(fault.peer, &rng, peers);
 }
 
+// The kind-independent tail of the SimMetrics update (baselines, fault and
+// screening bookkeeping), in the canonical order — called after the
+// kind-specific accumulators so the overall update sequence is unchanged.
+void AccumulateCommonMetrics(const core::QueryResultCommon& common,
+                             int64_t baseline_latency, int64_t baseline_tuning,
+                             int64_t regions_rejected, SimMetrics* metrics) {
+  metrics->baseline_latency.Add(static_cast<double>(baseline_latency));
+  metrics->baseline_tuning.Add(static_cast<double>(baseline_tuning));
+  if (common.degraded) ++metrics->degraded_queries;
+  metrics->fault_losses += common.fault_losses;
+  metrics->fault_corruptions += common.fault_corruptions;
+  if (common.fault_deadline_hit) ++metrics->fault_deadline_hits;
+  metrics->regions_rejected += regions_rejected;
+}
+
+// Registry counterpart of AccumulateCommonMetrics. Fault counters only
+// materialize on fault activity, so the registry's exported metrics stay
+// identical when injection is disabled.
+void AccumulateCommonRegistry(const core::QueryResultCommon& common,
+                              int64_t baseline_latency,
+                              int64_t regions_rejected,
+                              MetricsRegistry* registry) {
+  registry->Observe("baseline_latency",
+                    static_cast<double>(baseline_latency));
+  if (common.degraded) registry->IncrementCounter("degraded_queries");
+  if (common.fault_losses > 0) {
+    registry->IncrementCounter("fault_losses", common.fault_losses);
+  }
+  if (common.fault_corruptions > 0) {
+    registry->IncrementCounter("fault_corruptions", common.fault_corruptions);
+  }
+  if (common.fault_deadline_hit) {
+    registry->IncrementCounter("fault_deadline_hits");
+  }
+  if (regions_rejected > 0) {
+    registry->IncrementCounter("regions_rejected", regions_rejected);
+  }
+}
+
 }  // namespace
 
 core::QueryEngine::Options EngineOptionsFromConfig(const SimConfig& config) {
@@ -45,7 +84,8 @@ KnnQueryResult ExecuteKnnQuery(const SimConfig& config,
                                geom::Point pos, int k, int64_t slot,
                                std::vector<core::PeerData> peers,
                                bool measured, int64_t query_id,
-                               obs::TraceRecorder* trace) {
+                               obs::TraceRecorder* trace,
+                               core::QueryWorkspace* workspace) {
   const int k_eff = k > 0 ? k : engine.options().sbnn.k;
   MaybeCorruptPeers(engine, query_id, &peers);
 
@@ -59,7 +99,12 @@ KnnQueryResult ExecuteKnnQuery(const SimConfig& config,
   request.fault_stream = static_cast<uint64_t>(query_id);
 
   KnnQueryResult result;
-  core::QueryOutcome executed = engine.Execute(request);
+  core::QueryOutcome executed;
+  if (workspace != nullptr) {
+    engine.Execute(request, *workspace, &executed);
+  } else {
+    executed = engine.Execute(request);
+  }
   result.outcome = std::move(*executed.knn);
   result.regions_rejected = executed.regions_rejected;
 
@@ -93,7 +138,8 @@ WindowQueryResult ExecuteWindowQuery(const SimConfig& config,
                                      const geom::Rect& window, int64_t slot,
                                      std::vector<core::PeerData> peers,
                                      bool measured, int64_t query_id,
-                                     obs::TraceRecorder* trace) {
+                                     obs::TraceRecorder* trace,
+                                     core::QueryWorkspace* workspace) {
   MaybeCorruptPeers(engine, query_id, &peers);
 
   core::QueryRequest request;
@@ -105,7 +151,12 @@ WindowQueryResult ExecuteWindowQuery(const SimConfig& config,
   request.fault_stream = static_cast<uint64_t>(query_id);
 
   WindowQueryResult result;
-  core::QueryOutcome executed = engine.Execute(request);
+  core::QueryOutcome executed;
+  if (workspace != nullptr) {
+    engine.Execute(request, *workspace, &executed);
+  } else {
+    executed = engine.Execute(request);
+  }
   result.outcome = std::move(*executed.window);
   result.regions_rejected = executed.regions_rejected;
 
@@ -157,13 +208,9 @@ void AccumulateKnn(const KnnQueryResult& result, SimMetrics* metrics,
           static_cast<double>(outcome.buckets_skipped));
       break;
   }
-  metrics->baseline_latency.Add(static_cast<double>(result.baseline_latency));
-  metrics->baseline_tuning.Add(static_cast<double>(result.baseline_tuning));
-  if (outcome.degraded) ++metrics->degraded_queries;
-  metrics->fault_losses += outcome.fault_losses;
-  metrics->fault_corruptions += outcome.fault_corruptions;
-  if (outcome.fault_deadline_hit) ++metrics->fault_deadline_hits;
-  metrics->regions_rejected += result.regions_rejected;
+  AccumulateCommonMetrics(outcome, result.baseline_latency,
+                          result.baseline_tuning, result.regions_rejected,
+                          metrics);
 
   if (registry != nullptr) {
     registry->IncrementCounter("queries");
@@ -190,24 +237,8 @@ void AccumulateKnn(const KnnQueryResult& result, SimMetrics* metrics,
     registry->Observe(
         "access_latency_all",
         broadcast ? static_cast<double>(outcome.stats.access_latency) : 0.0);
-    registry->Observe("baseline_latency",
-                      static_cast<double>(result.baseline_latency));
-    // Fault counters only materialize on fault activity, so the registry's
-    // exported metrics stay identical when injection is disabled.
-    if (outcome.degraded) registry->IncrementCounter("degraded_queries");
-    if (outcome.fault_losses > 0) {
-      registry->IncrementCounter("fault_losses", outcome.fault_losses);
-    }
-    if (outcome.fault_corruptions > 0) {
-      registry->IncrementCounter("fault_corruptions",
-                                 outcome.fault_corruptions);
-    }
-    if (outcome.fault_deadline_hit) {
-      registry->IncrementCounter("fault_deadline_hits");
-    }
-    if (result.regions_rejected > 0) {
-      registry->IncrementCounter("regions_rejected", result.regions_rejected);
-    }
+    AccumulateCommonRegistry(outcome, result.baseline_latency,
+                             result.regions_rejected, registry);
   }
 }
 
@@ -227,13 +258,9 @@ void AccumulateWindow(const WindowQueryResult& result, SimMetrics* metrics,
         static_cast<double>(outcome.stats.tuning_time));
     metrics->buckets_read.Add(static_cast<double>(outcome.stats.buckets_read));
   }
-  metrics->baseline_latency.Add(static_cast<double>(result.baseline_latency));
-  metrics->baseline_tuning.Add(static_cast<double>(result.baseline_tuning));
-  if (outcome.degraded) ++metrics->degraded_queries;
-  metrics->fault_losses += outcome.fault_losses;
-  metrics->fault_corruptions += outcome.fault_corruptions;
-  if (outcome.fault_deadline_hit) ++metrics->fault_deadline_hits;
-  metrics->regions_rejected += result.regions_rejected;
+  AccumulateCommonMetrics(outcome, result.baseline_latency,
+                          result.baseline_tuning, result.regions_rejected,
+                          metrics);
 
   if (registry != nullptr) {
     registry->IncrementCounter("queries");
@@ -253,22 +280,8 @@ void AccumulateWindow(const WindowQueryResult& result, SimMetrics* metrics,
         outcome.resolved_by_peers
             ? 0.0
             : static_cast<double>(outcome.stats.access_latency));
-    registry->Observe("baseline_latency",
-                      static_cast<double>(result.baseline_latency));
-    if (outcome.degraded) registry->IncrementCounter("degraded_queries");
-    if (outcome.fault_losses > 0) {
-      registry->IncrementCounter("fault_losses", outcome.fault_losses);
-    }
-    if (outcome.fault_corruptions > 0) {
-      registry->IncrementCounter("fault_corruptions",
-                                 outcome.fault_corruptions);
-    }
-    if (outcome.fault_deadline_hit) {
-      registry->IncrementCounter("fault_deadline_hits");
-    }
-    if (result.regions_rejected > 0) {
-      registry->IncrementCounter("regions_rejected", result.regions_rejected);
-    }
+    AccumulateCommonRegistry(outcome, result.baseline_latency,
+                             result.regions_rejected, registry);
   }
 }
 

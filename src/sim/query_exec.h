@@ -8,6 +8,7 @@
 #include "common/metrics_registry.h"
 #include "common/observability.h"
 #include "core/query_engine.h"
+#include "core/query_workspace.h"
 #include "sim/config.h"
 #include "sim/metrics.h"
 #include "spatial/grid_index.h"
@@ -62,13 +63,17 @@ struct WindowQueryResult {
 /// non-null `trace` receives the query's span/counter events.
 /// `query_id` is the global event index: it keys the per-query fault
 /// streams (peer corruption and channel schedule), making fault outcomes
-/// independent of thread count. Thread-safe: reads only immutable state.
+/// independent of thread count. Thread-safe: reads only immutable state
+/// plus the caller's own `workspace` — pass one per worker thread to reuse
+/// query scratch and the broadcast-cycle cover memo across events (null
+/// falls back to transient buffers; results are bit-identical either way).
 KnnQueryResult ExecuteKnnQuery(const SimConfig& config,
                                const core::QueryEngine& engine,
                                geom::Point pos, int k, int64_t slot,
                                std::vector<core::PeerData> peers,
                                bool measured, int64_t query_id = 0,
-                               obs::TraceRecorder* trace = nullptr);
+                               obs::TraceRecorder* trace = nullptr,
+                               core::QueryWorkspace* workspace = nullptr);
 
 /// Window-query counterpart of ExecuteKnnQuery.
 WindowQueryResult ExecuteWindowQuery(const SimConfig& config,
@@ -76,7 +81,8 @@ WindowQueryResult ExecuteWindowQuery(const SimConfig& config,
                                      const geom::Rect& window, int64_t slot,
                                      std::vector<core::PeerData> peers,
                                      bool measured, int64_t query_id = 0,
-                                     obs::TraceRecorder* trace = nullptr);
+                                     obs::TraceRecorder* trace = nullptr,
+                                     core::QueryWorkspace* workspace = nullptr);
 
 /// Records a measured kNN query into `metrics` (counters, resolved-by
 /// breakdown, latency/tuning accumulators) in the canonical order. A

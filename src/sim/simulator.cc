@@ -105,7 +105,8 @@ void Simulator::ExecuteEvent(const QueryEvent& event, int64_t query_id,
   if (event.type == QueryType::kKnn) {
     KnnQueryResult result =
         ExecuteKnnQuery(config_, *engine_, pos, event.k, slot,
-                        std::move(peers), measured, query_id, trace);
+                        std::move(peers), measured, query_id, trace,
+                        &workspace_);
     caches_[static_cast<size_t>(event.host)].Insert(
         std::move(result.outcome.cacheable), pos, pos,
         mobility_->Heading(event.host));
@@ -114,7 +115,8 @@ void Simulator::ExecuteEvent(const QueryEvent& event, int64_t query_id,
   } else {
     WindowQueryResult result =
         ExecuteWindowQuery(config_, *engine_, event.window, slot,
-                           std::move(peers), measured, query_id, trace);
+                           std::move(peers), measured, query_id, trace,
+                           &workspace_);
     caches_[static_cast<size_t>(event.host)].Insert(
         std::move(result.outcome.cacheable), event.window.center(), pos,
         mobility_->Heading(event.host));

@@ -10,6 +10,7 @@
 #include "common/rng.h"
 #include "core/peer_cache.h"
 #include "core/query_engine.h"
+#include "core/query_workspace.h"
 #include "sim/config.h"
 #include "sim/metrics.h"
 #include "sim/mobility.h"
@@ -94,6 +95,9 @@ class Simulator {
   obs::TraceSink* trace_sink_ = nullptr;
   MetricsRegistry* registry_ = nullptr;
   obs::TraceRecorder recorder_;
+  /// Reused query scratch + broadcast-cycle cover memo for every event this
+  /// (single-threaded) engine executes.
+  core::QueryWorkspace workspace_;
 };
 
 }  // namespace lbsq::sim

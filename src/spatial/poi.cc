@@ -9,15 +9,21 @@ namespace lbsq::spatial {
 std::vector<PoiDistance> BruteForceKnn(const std::vector<Poi>& pois,
                                        geom::Point q, int k) {
   std::vector<PoiDistance> all;
-  all.reserve(pois.size());
-  for (const Poi& p : pois) {
-    all.push_back(PoiDistance{p, geom::Distance(p.pos, q)});
-  }
-  const size_t take = std::min<size_t>(static_cast<size_t>(k), all.size());
-  std::partial_sort(all.begin(), all.begin() + static_cast<long>(take),
-                    all.end());
-  all.resize(take);
+  BruteForceKnn(pois, q, k, &all);
   return all;
+}
+
+void BruteForceKnn(const std::vector<Poi>& pois, geom::Point q, int k,
+                   std::vector<PoiDistance>* out) {
+  out->clear();
+  out->reserve(pois.size());
+  for (const Poi& p : pois) {
+    out->push_back(PoiDistance{p, geom::Distance(p.pos, q)});
+  }
+  const size_t take = std::min<size_t>(static_cast<size_t>(k), out->size());
+  std::partial_sort(out->begin(), out->begin() + static_cast<long>(take),
+                    out->end());
+  out->resize(take);
 }
 
 std::vector<Poi> BruteForceWindow(const std::vector<Poi>& pois,

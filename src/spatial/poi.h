@@ -42,6 +42,13 @@ struct PoiDistance {
 std::vector<PoiDistance> BruteForceKnn(const std::vector<Poi>& pois,
                                        geom::Point q, int k);
 
+/// Allocation-free variant: `*out` doubles as the distance-computation
+/// arena (cleared, filled with all candidates, partially sorted, truncated
+/// to min(k, n)). Same result as the returning overload; capacity is
+/// reused.
+void BruteForceKnn(const std::vector<Poi>& pois, geom::Point q, int k,
+                   std::vector<PoiDistance>* out);
+
 /// Brute-force window query oracle; results sorted by id.
 std::vector<Poi> BruteForceWindow(const std::vector<Poi>& pois,
                                   const geom::Rect& window);

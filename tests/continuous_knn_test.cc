@@ -7,6 +7,7 @@
 
 #include "broadcast/system.h"
 #include "common/rng.h"
+#include "core/query_engine.h"
 #include "spatial/generators.h"
 
 namespace lbsq::core {
@@ -37,11 +38,18 @@ SbnnOptions ExactOptions(int k) {
   return options;
 }
 
+QueryEngine::Options EngineOptions(int k) {
+  QueryEngine::Options options;
+  options.sbnn = ExactOptions(k);
+  return options;
+}
+
 TEST(ContinuousKnnTest, FirstTickFallsBack) {
   Fixture f(300);
-  ContinuousKnn query(ExactOptions(3), f.poi_density);
+  const QueryEngine engine(*f.system, kWorld, EngineOptions(3));
+  ContinuousKnn query(engine);
   PeerCache cache(50);
-  const auto update = query.Tick({10.0, 10.0}, &cache, {}, *f.system, 0);
+  const auto update = query.Tick({10.0, 10.0}, &cache, {}, 0);
   EXPECT_FALSE(update.from_own_cache);
   EXPECT_EQ(update.resolved_by, ResolvedBy::kBroadcast);
   EXPECT_EQ(query.own_cache_hits(), 0);
@@ -50,13 +58,14 @@ TEST(ContinuousKnnTest, FirstTickFallsBack) {
 
 TEST(ContinuousKnnTest, SmallStepsServedFromOwnCache) {
   Fixture f(300);
-  ContinuousKnn query(ExactOptions(3), f.poi_density);
+  const QueryEngine engine(*f.system, kWorld, EngineOptions(3));
+  ContinuousKnn query(engine);
   PeerCache cache(50);
-  query.Tick({10.0, 10.0}, &cache, {}, *f.system, 0);  // warms the cache
+  query.Tick({10.0, 10.0}, &cache, {}, 0);  // warms the cache
   // Tiny steps around the refresh point stay inside the verified MBR.
   for (int i = 1; i <= 5; ++i) {
     const geom::Point pos{10.0 + 0.01 * i, 10.0};
-    const auto update = query.Tick(pos, &cache, {}, *f.system, i * 10);
+    const auto update = query.Tick(pos, &cache, {}, i * 10);
     EXPECT_TRUE(update.from_own_cache) << "step " << i;
     EXPECT_EQ(update.stats.access_latency, 0);
   }
@@ -65,12 +74,13 @@ TEST(ContinuousKnnTest, SmallStepsServedFromOwnCache) {
 
 TEST(ContinuousKnnTest, AnswersAlwaysExactAlongADrive) {
   Fixture f(400);
-  ContinuousKnn query(ExactOptions(4), f.poi_density);
+  const QueryEngine engine(*f.system, kWorld, EngineOptions(4));
+  ContinuousKnn query(engine);
   PeerCache cache(50);
   int64_t slot = 0;
   for (double x = 2.0; x <= 18.0; x += 0.25) {
     const geom::Point pos{x, 10.0};
-    const auto update = query.Tick(pos, &cache, {}, *f.system, slot);
+    const auto update = query.Tick(pos, &cache, {}, slot);
     slot += update.stats.access_latency + 10;
     const auto truth = spatial::BruteForceKnn(f.system->pois(), pos, 4);
     ASSERT_EQ(update.neighbors.size(), truth.size());
@@ -95,12 +105,12 @@ TEST(ContinuousKnnTest, PeersReduceBroadcastRefreshes) {
   const std::vector<PeerData> peers = {PeerData{{corridor}}};
 
   auto drive = [&f](const std::vector<PeerData>& available) {
-    ContinuousKnn query(ExactOptions(3), f.poi_density);
+    const QueryEngine engine(*f.system, kWorld, EngineOptions(3));
+    ContinuousKnn query(engine);
     PeerCache cache(50);
     int64_t broadcast_refreshes = 0;
     for (double x = 2.0; x <= 18.0; x += 0.5) {
-      const auto update =
-          query.Tick({x, 10.0}, &cache, available, *f.system, 0);
+      const auto update = query.Tick({x, 10.0}, &cache, available, 0);
       if (!update.from_own_cache &&
           update.resolved_by == ResolvedBy::kBroadcast) {
         ++broadcast_refreshes;
@@ -113,11 +123,12 @@ TEST(ContinuousKnnTest, PeersReduceBroadcastRefreshes) {
 
 TEST(ContinuousKnnTest, ZeroCapacityCacheAlwaysFallsBack) {
   Fixture f(200);
-  ContinuousKnn query(ExactOptions(2), f.poi_density);
+  const QueryEngine engine(*f.system, kWorld, EngineOptions(2));
+  ContinuousKnn query(engine);
   PeerCache cache(0);
   for (int i = 0; i < 5; ++i) {
     const auto update =
-        query.Tick({10.0 + i * 0.1, 10.0}, &cache, {}, *f.system, i);
+        query.Tick({10.0 + i * 0.1, 10.0}, &cache, {}, i);
     EXPECT_FALSE(update.from_own_cache);
   }
   EXPECT_EQ(query.own_cache_hits(), 0);

@@ -5,6 +5,7 @@
 
 #include "broadcast/system.h"
 #include "common/rng.h"
+#include "engine_shim.h"
 #include "core/sbnn.h"
 #include "core/sbwq.h"
 #include "onair/onair_knn.h"

@@ -1,0 +1,62 @@
+#ifndef LBSQ_TESTS_ENGINE_SHIM_H_
+#define LBSQ_TESTS_ENGINE_SHIM_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "broadcast/system.h"
+#include "core/query_engine.h"
+#include "core/sbnn.h"
+#include "core/sbwq.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+
+/// \file
+/// Test-only replacements for the retired free functions `core::RunSbnn` /
+/// `core::RunSbwq`. The production entry point is `core::QueryEngine`; the
+/// algorithm tests, however, are phrased as single direct calls with an
+/// explicit POI density, so this shim keeps their call sites unchanged by
+/// routing each call through a one-shot engine (the engine's
+/// `poi_density_override` carries the test's density verbatim).
+
+namespace lbsq::core {
+
+inline SbnnOutcome RunSbnn(geom::Point q, const SbnnOptions& options,
+                           const std::vector<PeerData>& peers,
+                           double poi_density,
+                           const broadcast::BroadcastSystem& system,
+                           int64_t now) {
+  QueryEngine::Options engine_options;
+  engine_options.sbnn = options;
+  engine_options.poi_density_override = poi_density;
+  const QueryEngine engine(system, system.grid().world(), engine_options);
+  QueryRequest request;
+  request.kind = QueryKind::kKnn;
+  request.position = q;
+  request.slot = now;
+  request.peers = peers;
+  QueryOutcome outcome = engine.Execute(request);
+  return std::move(*outcome.knn);
+}
+
+inline SbwqOutcome RunSbwq(const geom::Rect& window,
+                           const SbwqOptions& options,
+                           const std::vector<PeerData>& peers,
+                           const broadcast::BroadcastSystem& system,
+                           int64_t now) {
+  QueryEngine::Options engine_options;
+  engine_options.sbwq = options;
+  const QueryEngine engine(system, system.grid().world(), engine_options);
+  QueryRequest request;
+  request.kind = QueryKind::kWindow;
+  request.window = window;
+  request.slot = now;
+  request.peers = peers;
+  QueryOutcome outcome = engine.Execute(request);
+  return std::move(*outcome.window);
+}
+
+}  // namespace lbsq::core
+
+#endif  // LBSQ_TESTS_ENGINE_SHIM_H_

@@ -9,6 +9,7 @@
 #include "core/peer_cache.h"
 #include "core/sbnn.h"
 #include "core/sbwq.h"
+#include "engine_shim.h"
 #include "spatial/generators.h"
 
 /// Degenerate and adversarial configurations: peers with nothing useful,

@@ -8,6 +8,7 @@
 
 #include "broadcast/system.h"
 #include "common/rng.h"
+#include "engine_shim.h"
 #include "core/nnv.h"
 #include "core/peer_cache.h"
 #include "core/sbnn.h"

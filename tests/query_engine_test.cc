@@ -3,10 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "broadcast/system.h"
 #include "common/rng.h"
+#include "core/query_workspace.h"
 #include "spatial/generators.h"
 
 namespace lbsq::core {
@@ -38,7 +40,7 @@ struct Fixture {
   }
 };
 
-TEST(QueryEngineTest, KnnMatchesDirectRunSbnn) {
+TEST(QueryEngineTest, KnnExecutionModesMatch) {
   Fixture f(300);
   QueryEngine::Options options;
   options.sbnn.k = 5;
@@ -57,18 +59,30 @@ TEST(QueryEngineTest, KnnMatchesDirectRunSbnn) {
   ASSERT_EQ(outcome.kind, QueryKind::kKnn);
   ASSERT_TRUE(outcome.knn.has_value());
 
-  const SbnnOutcome direct = RunSbnn({10.0, 10.0}, options.sbnn, peers,
-                                     f.poi_density, *f.system, 17);
-  EXPECT_EQ(outcome.knn->resolved_by, direct.resolved_by);
-  EXPECT_EQ(outcome.knn->stats.access_latency, direct.stats.access_latency);
-  EXPECT_EQ(outcome.knn->stats.tuning_time, direct.stats.tuning_time);
-  ASSERT_EQ(outcome.knn->neighbors.size(), direct.neighbors.size());
-  for (size_t i = 0; i < direct.neighbors.size(); ++i) {
-    EXPECT_EQ(outcome.knn->neighbors[i].poi.id, direct.neighbors[i].poi.id);
+  // The workspace form and a single-element batch must agree with the
+  // convenience form exactly.
+  QueryWorkspace workspace;
+  QueryOutcome reused;
+  engine.Execute(request, workspace, &reused);
+  ASSERT_TRUE(reused.knn.has_value());
+  const std::span<const QueryOutcome> batch =
+      engine.ExecuteBatch(std::span<const QueryRequest>(&request, 1),
+                          workspace);
+  ASSERT_EQ(batch.size(), 1u);
+  const QueryOutcome* const knn_modes[] = {&reused, &batch[0]};
+  for (const QueryOutcome* other : knn_modes) {
+    const SbnnOutcome& direct = *other->knn;
+    EXPECT_EQ(outcome.knn->resolved_by, direct.resolved_by);
+    EXPECT_EQ(outcome.knn->stats.access_latency, direct.stats.access_latency);
+    EXPECT_EQ(outcome.knn->stats.tuning_time, direct.stats.tuning_time);
+    ASSERT_EQ(outcome.knn->neighbors.size(), direct.neighbors.size());
+    for (size_t i = 0; i < direct.neighbors.size(); ++i) {
+      EXPECT_EQ(outcome.knn->neighbors[i].poi.id, direct.neighbors[i].poi.id);
+    }
+    EXPECT_EQ(outcome.ResolvedByPeers(),
+              direct.resolved_by != ResolvedBy::kBroadcast);
+    EXPECT_EQ(outcome.Stats().access_latency, direct.stats.access_latency);
   }
-  EXPECT_EQ(outcome.ResolvedByPeers(),
-            direct.resolved_by != ResolvedBy::kBroadcast);
-  EXPECT_EQ(outcome.Stats().access_latency, direct.stats.access_latency);
 }
 
 TEST(QueryEngineTest, ZeroKFallsBackToConfiguredDefault) {
@@ -86,7 +100,7 @@ TEST(QueryEngineTest, ZeroKFallsBackToConfiguredDefault) {
   EXPECT_EQ(outcome.knn->neighbors.size(), 7u);
 }
 
-TEST(QueryEngineTest, WindowMatchesDirectRunSbwq) {
+TEST(QueryEngineTest, WindowExecutionModesMatch) {
   Fixture f(300);
   const QueryEngine engine(*f.system, kWorld, QueryEngine::Options{});
 
@@ -98,15 +112,30 @@ TEST(QueryEngineTest, WindowMatchesDirectRunSbwq) {
   const QueryOutcome outcome = engine.Execute(request);
   ASSERT_EQ(outcome.kind, QueryKind::kWindow);
   ASSERT_TRUE(outcome.window.has_value());
+  // The window answer matches the oracle (the engine is the only public
+  // entry point, so this doubles as the algorithm-level sanity check).
+  const std::vector<spatial::Poi> truth =
+      spatial::BruteForceWindow(f.system->pois(), window);
+  EXPECT_EQ(outcome.window->pois, truth);
 
-  const SbwqOutcome direct =
-      RunSbwq(window, SbwqOptions{}, {}, *f.system, 5);
-  EXPECT_EQ(outcome.window->resolved_by_peers, direct.resolved_by_peers);
-  EXPECT_EQ(outcome.window->stats.access_latency,
-            direct.stats.access_latency);
-  ASSERT_EQ(outcome.window->pois.size(), direct.pois.size());
-  for (size_t i = 0; i < direct.pois.size(); ++i) {
-    EXPECT_EQ(outcome.window->pois[i].id, direct.pois[i].id);
+  QueryWorkspace workspace;
+  QueryOutcome reused;
+  engine.Execute(request, workspace, &reused);
+  ASSERT_TRUE(reused.window.has_value());
+  const std::span<const QueryOutcome> batch =
+      engine.ExecuteBatch(std::span<const QueryRequest>(&request, 1),
+                          workspace);
+  ASSERT_EQ(batch.size(), 1u);
+  const QueryOutcome* const window_modes[] = {&reused, &batch[0]};
+  for (const QueryOutcome* other : window_modes) {
+    const SbwqOutcome& direct = *other->window;
+    EXPECT_EQ(outcome.window->resolved_by_peers, direct.resolved_by_peers);
+    EXPECT_EQ(outcome.window->stats.access_latency,
+              direct.stats.access_latency);
+    ASSERT_EQ(outcome.window->pois.size(), direct.pois.size());
+    for (size_t i = 0; i < direct.pois.size(); ++i) {
+      EXPECT_EQ(outcome.window->pois[i].id, direct.pois[i].id);
+    }
   }
 }
 

@@ -7,6 +7,7 @@
 
 #include "broadcast/system.h"
 #include "common/rng.h"
+#include "engine_shim.h"
 #include "spatial/generators.h"
 
 namespace lbsq::core {
