@@ -37,6 +37,8 @@
 #include "core/query_engine.h"
 #include "core/query_workspace.h"
 #include "geom/rect.h"
+#include "kernels/dispatch.h"
+#include "kernels/kernels.h"
 #include "spatial/generators.h"
 
 namespace lbsq::bench {
@@ -141,6 +143,13 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+struct KernelRow {
+  const char* name;  // JSON key stem: kernel_<name>_{scalar_ns,active_ns,speedup}
+  double scalar_ns_per_element = 0.0;
+  double active_ns_per_element = 0.0;
+  double speedup = 0.0;  // scalar_ns / active_ns — hardware-comparable ratio
+};
+
 struct BenchResult {
   int n_queries = 0;
   double per_query_qps = 0.0;
@@ -148,7 +157,79 @@ struct BenchResult {
   double speedup = 0.0;
   double steady_state_allocs_per_query = 0.0;
   size_t memo_size = 0;
+  std::vector<KernelRow> kernels;
 };
+
+// ns/element over the Table 3 slab size, best of 3 timed blocks.
+template <typename Fn>
+double MeasureKernelNs(size_t n, int block_reps, Fn&& fn) {
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < block_reps; ++i) fn();
+    const double s = SecondsSince(start);
+    if (s < best) best = s;
+  }
+  return best * 1e9 / (static_cast<double>(n) * block_reps);
+}
+
+// Kernel-level throughput at the scalar tier vs the active dispatch tier,
+// on a slab the size of the Table 3 database. The scalar/active ratio is
+// what the baseline gate compares: like the batch speedup, it is a ratio of
+// two timings on the same machine, so it transfers across hardware.
+std::vector<KernelRow> RunKernelBench() {
+  constexpr size_t kN = static_cast<size_t>(kPoiNumber);
+  const int block_reps = FastMode() ? 50 : 400;
+  Rng rng(23);
+  std::vector<double> xs, ys, dist(kN);
+  std::vector<int64_t> ids;
+  std::vector<uint32_t> idx(kN);
+  for (size_t i = 0; i < kN; ++i) {
+    xs.push_back(rng.Uniform(0.0, kWorldSide));
+    ys.push_back(rng.Uniform(0.0, kWorldSide));
+    ids.push_back(static_cast<int64_t>(i));
+  }
+  kernels::internal::DistanceBatchScalar(xs.data(), ys.data(), kN,
+                                         kWorldSide / 2, kWorldSide / 2,
+                                         dist.data());
+  const kernels::KernelOps* scalar =
+      &kernels::OpsForTier(kernels::SimdTier::kScalar);
+  const kernels::KernelOps* active = &kernels::Ops();
+  std::vector<int64_t> radius_out;
+  radius_out.reserve(kN);
+
+  std::vector<KernelRow> rows;
+  const auto row = [&](const char* name, auto&& fn) {
+    KernelRow r;
+    r.name = name;
+    const kernels::KernelOps* ops = scalar;
+    r.scalar_ns_per_element = MeasureKernelNs(kN, block_reps,
+                                              [&] { fn(*ops); });
+    ops = active;
+    r.active_ns_per_element = MeasureKernelNs(kN, block_reps,
+                                              [&] { fn(*ops); });
+    r.speedup = r.scalar_ns_per_element / r.active_ns_per_element;
+    rows.push_back(r);
+  };
+  row("distance_batch", [&](const kernels::KernelOps& ops) {
+    ops.distance_batch(xs.data(), ys.data(), kN, kWorldSide / 2,
+                       kWorldSide / 2, dist.data());
+  });
+  row("radius_select", [&](const kernels::KernelOps& ops) {
+    radius_out.clear();
+    ops.append_ids_within_radius(xs.data(), ys.data(), ids.data(), kN,
+                                 kWorldSide / 2, kWorldSide / 2, 3.0 * 3.0,
+                                 &radius_out);
+  });
+  row("window_mask", [&](const kernels::KernelOps& ops) {
+    ops.select_in_window(xs.data(), ys.data(), kN, 8.0, 8.0, 12.0, 12.0,
+                         idx.data());
+  });
+  row("k_select", [&](const kernels::KernelOps& ops) {
+    ops.k_smallest(dist.data(), ids.data(), kN, kKnnK, idx.data());
+  });
+  return rows;
+}
 
 BenchResult RunBench() {
   const geom::Rect world{0.0, 0.0, kWorldSide, kWorldSide};
@@ -233,6 +314,7 @@ BenchResult RunBench() {
                          best_per_query;
   result.batch_qps = static_cast<double>(result.n_queries) / best_batch;
   result.speedup = result.batch_qps / result.per_query_qps;
+  result.kernels = RunKernelBench();
   return result;
 }
 
@@ -258,12 +340,25 @@ void WriteJson(const BenchResult& r, const std::string& path) {
                "  \"speedup\": %.4f,\n"
                "  \"steady_state_allocs_per_query\": %.4f,\n"
                "  \"alloc_counting\": %s,\n"
-               "  \"memo_size\": %zu\n"
-               "}\n",
+               "  \"memo_size\": %zu,\n"
+               "  \"simd_tier\": \"%s\",\n"
+               "  \"simd_tier_id\": %d",
                kPoiNumber, kWorldSide, kKnnK, kWindowPct, r.n_queries,
                r.per_query_qps, r.batch_qps, r.speedup,
                r.steady_state_allocs_per_query,
-               kAllocCountingEnabled ? "true" : "false", r.memo_size);
+               kAllocCountingEnabled ? "true" : "false", r.memo_size,
+               kernels::TierName(kernels::ActiveTier()),
+               static_cast<int>(kernels::ActiveTier()));
+  for (const KernelRow& k : r.kernels) {
+    std::fprintf(f,
+                 ",\n"
+                 "  \"kernel_%s_scalar_ns\": %.4f,\n"
+                 "  \"kernel_%s_active_ns\": %.4f,\n"
+                 "  \"kernel_%s_speedup\": %.4f",
+                 k.name, k.scalar_ns_per_element, k.name,
+                 k.active_ns_per_element, k.name, k.speedup);
+  }
+  std::fprintf(f, "\n}\n");
   std::fclose(f);
 }
 
@@ -322,6 +417,15 @@ int main(int argc, char** argv) {
               r.steady_state_allocs_per_query,
               kAllocCountingEnabled ? "" : " (counting compiled out)");
   std::printf("  cycle memo entries: %zu\n", r.memo_size);
+  std::printf("  SIMD dispatch tier: %s\n",
+              lbsq::kernels::TierName(lbsq::kernels::ActiveTier()));
+  for (const KernelRow& k : r.kernels) {
+    std::printf("  kernel %-14s: %7.3f ns/elem scalar, %7.3f ns/elem %s "
+                "(%.2fx)\n",
+                k.name, k.scalar_ns_per_element, k.active_ns_per_element,
+                lbsq::kernels::TierName(lbsq::kernels::ActiveTier()),
+                k.speedup);
+  }
 
   if (kAllocCountingEnabled && r.steady_state_allocs_per_query != 0.0) {
     std::fprintf(stderr,
@@ -349,6 +453,39 @@ int main(int argc, char** argv) {
                    "below baseline %.2fx\n",
                    r.speedup, max_regression * 100.0, baseline_speedup);
       return 1;
+    }
+    // Kernel gates: scalar/active ratios, compared only when the baseline
+    // ran at the same dispatch tier (on a lesser CPU the ratio is expected
+    // to differ; absolute ns are machine-specific so they are never gated).
+    double baseline_tier = -1.0;
+    const bool same_tier =
+        ReadJsonNumber(baseline_path, "simd_tier_id", &baseline_tier) &&
+        static_cast<int>(baseline_tier) ==
+            static_cast<int>(lbsq::kernels::ActiveTier());
+    if (!same_tier) {
+      std::printf("  kernel checks     : skipped (baseline tier differs "
+                  "from active tier %s)\n",
+                  lbsq::kernels::TierName(lbsq::kernels::ActiveTier()));
+    } else {
+      for (const KernelRow& k : r.kernels) {
+        double base = 0.0;
+        const std::string key = std::string("kernel_") + k.name + "_speedup";
+        if (!ReadJsonNumber(baseline_path, key, &base) || base <= 0.0) {
+          std::fprintf(stderr, "FAIL: no usable \"%s\" in baseline %s\n",
+                       key.c_str(), baseline_path.c_str());
+          return 1;
+        }
+        const double kernel_floor = base * (1.0 - max_regression);
+        if (k.speedup < kernel_floor) {
+          std::fprintf(stderr,
+                       "FAIL: kernel %s speedup %.2fx regressed more than "
+                       "%.0f%% below baseline %.2fx\n",
+                       k.name, k.speedup, max_regression * 100.0, base);
+          return 1;
+        }
+      }
+      std::printf("  kernel checks     : OK (%zu kernels)\n",
+                  r.kernels.size());
     }
     std::printf("  perf check        : OK\n");
     return 0;

@@ -14,6 +14,8 @@
 #include "core/nnv.h"
 #include "geom/rect_region.h"
 #include "hilbert/hilbert.h"
+#include "kernels/dispatch.h"
+#include "kernels/kernels.h"
 #include "onair/onair_window.h"
 #include "spatial/generators.h"
 #include "spatial/quadtree.h"
@@ -203,6 +205,102 @@ void BM_NnvByPeerCount(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_NnvByPeerCount)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+// --- SIMD kernels, per dispatch tier (Arg 0 = scalar, 1 = sse2, 2 = avx2).
+// Items processed = slab elements, so the report's items/s inverts to
+// ns/element at each tier. Tiers the CPU lacks are skipped.
+
+constexpr size_t kSlabN = 2750;  // Table 3 LA City database size
+
+struct KernelFixture {
+  std::vector<double> xs, ys, dist;
+  std::vector<int64_t> ids;
+  std::vector<uint32_t> idx;
+  KernelFixture() {
+    Rng rng(21);
+    xs.reserve(kSlabN), ys.reserve(kSlabN), ids.reserve(kSlabN);
+    for (size_t i = 0; i < kSlabN; ++i) {
+      xs.push_back(rng.Uniform(0.0, 100.0));
+      ys.push_back(rng.Uniform(0.0, 100.0));
+      ids.push_back(static_cast<int64_t>(i));
+    }
+    dist.resize(kSlabN);
+    idx.resize(kSlabN);
+    kernels::internal::DistanceBatchScalar(xs.data(), ys.data(), kSlabN, 50.0,
+                                           50.0, dist.data());
+  }
+};
+
+bool SkipUnlessRunnable(benchmark::State& state, kernels::SimdTier tier) {
+  if (kernels::TierIsRunnable(tier)) return false;
+  state.SkipWithError("tier not runnable on this CPU");
+  return true;
+}
+
+void BM_KernelDistanceBatch(benchmark::State& state) {
+  const auto tier = static_cast<kernels::SimdTier>(state.range(0));
+  if (SkipUnlessRunnable(state, tier)) return;
+  const kernels::KernelOps& ops = kernels::OpsForTier(tier);
+  KernelFixture fx;
+  for (auto _ : state) {
+    ops.distance_batch(fx.xs.data(), fx.ys.data(), kSlabN, 50.0, 50.0,
+                       fx.dist.data());
+    benchmark::DoNotOptimize(fx.dist.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kSlabN));
+  state.SetLabel(kernels::TierName(tier));
+}
+BENCHMARK(BM_KernelDistanceBatch)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_KernelRadiusSelect(benchmark::State& state) {
+  const auto tier = static_cast<kernels::SimdTier>(state.range(0));
+  if (SkipUnlessRunnable(state, tier)) return;
+  const kernels::KernelOps& ops = kernels::OpsForTier(tier);
+  KernelFixture fx;
+  std::vector<int64_t> out;
+  for (auto _ : state) {
+    out.clear();
+    ops.append_ids_within_radius(fx.xs.data(), fx.ys.data(), fx.ids.data(),
+                                 kSlabN, 50.0, 50.0, 15.0 * 15.0, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kSlabN));
+  state.SetLabel(kernels::TierName(tier));
+}
+BENCHMARK(BM_KernelRadiusSelect)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_KernelWindowMask(benchmark::State& state) {
+  const auto tier = static_cast<kernels::SimdTier>(state.range(0));
+  if (SkipUnlessRunnable(state, tier)) return;
+  const kernels::KernelOps& ops = kernels::OpsForTier(tier);
+  KernelFixture fx;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ops.select_in_window(fx.xs.data(), fx.ys.data(), kSlabN, 40.0, 40.0,
+                             60.0, 60.0, fx.idx.data()));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kSlabN));
+  state.SetLabel(kernels::TierName(tier));
+}
+BENCHMARK(BM_KernelWindowMask)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_KernelKSelect(benchmark::State& state) {
+  const auto tier = static_cast<kernels::SimdTier>(state.range(0));
+  if (SkipUnlessRunnable(state, tier)) return;
+  const kernels::KernelOps& ops = kernels::OpsForTier(tier);
+  KernelFixture fx;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops.k_smallest(fx.dist.data(), fx.ids.data(),
+                                            kSlabN, 5, fx.idx.data()));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kSlabN));
+  state.SetLabel(kernels::TierName(tier));
+}
+BENCHMARK(BM_KernelKSelect)->Arg(0)->Arg(1)->Arg(2);
 
 // Ablation: single-span vs partitioned window retrieval volumes.
 void BM_WindowRetrieval(benchmark::State& state) {

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "kernels/kernels.h"
 
 namespace lbsq::broadcast {
 
@@ -27,6 +28,18 @@ AirIndex::AirIndex(const std::vector<DataBucket>& buckets,
   for (size_t i = 1; i < bucket_ranges_.size(); ++i) {
     LBSQ_CHECK(bucket_ranges_[i - 1].lo <= bucket_ranges_[i].lo);
   }
+  center_xs_.reserve(entries_.size());
+  center_ys_.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    const geom::Point center = grid.CellRect(e.hilbert).center();
+    center_xs_.push_back(center.x);
+    center_ys_.push_back(center.y);
+  }
+  if (!entries_.empty()) {
+    const geom::Rect cell = grid.CellRect(entries_.front().hilbert);
+    half_cell_diagonal_ = 0.5 * std::sqrt(cell.width() * cell.width() +
+                                          cell.height() * cell.height());
+  }
 }
 
 int64_t AirIndex::SizeInBuckets() const {
@@ -47,19 +60,12 @@ double AirIndex::KthDistanceUpperBound(geom::Point q, int k,
     return std::numeric_limits<double>::infinity();
   }
   std::vector<double>& distances = *scratch;
-  distances.clear();
-  distances.reserve(entries_.size());
-  for (const Entry& e : entries_) {
-    distances.push_back(
-        geom::Distance(grid_->CellRect(e.hilbert).center(), q));
-  }
+  distances.resize(entries_.size());
+  kernels::DistanceBatch(center_xs_.data(), center_ys_.data(),
+                         entries_.size(), q.x, q.y, distances.data());
   std::nth_element(distances.begin(), distances.begin() + (k - 1),
                    distances.end());
-  const geom::Rect cell = grid_->CellRect(entries_.front().hilbert);
-  const double half_diagonal =
-      0.5 * std::sqrt(cell.width() * cell.width() +
-                      cell.height() * cell.height());
-  return distances[static_cast<size_t>(k - 1)] + half_diagonal;
+  return distances[static_cast<size_t>(k - 1)] + half_cell_diagonal_;
 }
 
 std::vector<int64_t> AirIndex::BucketsForSpan(uint64_t lo, uint64_t hi) const {

@@ -64,6 +64,12 @@ class AirIndex {
   std::vector<Entry> entries_;
   // Per bucket: [hilbert_lo, hilbert_hi], ascending by bucket id.
   std::vector<hilbert::IndexRange> bucket_ranges_;
+  // Entry cell centers, transposed entry-for-entry into SoA columns at build
+  // time so KthDistanceUpperBound is one distance-batch kernel pass instead
+  // of a Hilbert decode per entry per query.
+  std::vector<double> center_xs_;
+  std::vector<double> center_ys_;
+  double half_cell_diagonal_ = 0.0;
 };
 
 }  // namespace lbsq::broadcast

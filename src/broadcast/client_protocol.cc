@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "kernels/kernels.h"
 
 namespace lbsq::broadcast {
 
@@ -10,13 +11,11 @@ namespace {
 
 // True when `buckets` is already sorted with no adjacent duplicates, in
 // which case the retrieval loops can walk the caller's vector directly
-// instead of copying it. The query engine always passes canonical lists,
-// so the copy below is cold-path only.
+// instead of copying it. The query engine always passes canonical lists, so
+// this vectorized scan is the common case and the copy below is cold-path
+// only.
 bool IsSortedUnique(const std::vector<int64_t>& buckets) {
-  for (size_t i = 1; i < buckets.size(); ++i) {
-    if (buckets[i - 1] >= buckets[i]) return false;
-  }
-  return true;
+  return kernels::IsSortedUniqueI64(buckets.data(), buckets.size());
 }
 
 }  // namespace

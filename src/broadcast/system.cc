@@ -1,8 +1,10 @@
 #include "broadcast/system.h"
 
 #include <algorithm>
+#include <cstddef>
 
 #include "common/check.h"
+#include "kernels/kernels.h"
 
 namespace lbsq::broadcast {
 
@@ -30,7 +32,22 @@ BroadcastSystem::BroadcastSystem(std::vector<spatial::Poi> pois,
                             index_.entries(), params.index_entries_per_bucket)
                       : nullptr),
       schedule_(static_cast<int64_t>(buckets_.size()), IndexSegmentBuckets(),
-                ClampM(params.m, static_cast<int64_t>(buckets_.size()))) {}
+                ClampM(params.m, static_cast<int64_t>(buckets_.size()))) {
+  sorted_start_.reserve(buckets_.size() + 1);
+  sorted_start_.push_back(0);
+  sorted_pois_.reserve(pois_.size());
+  for (const DataBucket& bucket : buckets_) {
+    sorted_pois_.insert(sorted_pois_.end(), bucket.pois.begin(),
+                        bucket.pois.end());
+    std::sort(sorted_pois_.begin() +
+                  static_cast<ptrdiff_t>(sorted_start_.back()),
+              sorted_pois_.end(),
+              [](const spatial::Poi& a, const spatial::Poi& b) {
+                return a.id < b.id;
+              });
+    sorted_start_.push_back(sorted_pois_.size());
+  }
+}
 
 int64_t BroadcastSystem::IndexSegmentBuckets() const {
   return tree_index_ ? tree_index_->SizeInBuckets() : index_.SizeInBuckets();
@@ -52,16 +69,58 @@ std::vector<spatial::Poi> BroadcastSystem::CollectPois(
 void BroadcastSystem::CollectPois(const std::vector<int64_t>& bucket_ids,
                                   std::vector<spatial::Poi>* out) const {
   out->clear();
-  for (int64_t id : bucket_ids) {
-    LBSQ_CHECK(id >= 0 && id < static_cast<int64_t>(buckets_.size()));
-    const DataBucket& bucket = buckets_[static_cast<size_t>(id)];
-    out->insert(out->end(), bucket.pois.begin(), bucket.pois.end());
+  // Buckets partition the database and each bucket's run in sorted_pois_ is
+  // id-sorted, so the id-sorted deduplicated output is a k-way merge of the
+  // runs named by the (canonicalized) bucket list — no per-call sort. The
+  // merge state is thread-local so the call stays allocation-free once the
+  // scratch has grown to its steady-state size.
+  struct Cursor {
+    const spatial::Poi* cur;
+    const spatial::Poi* end;
+  };
+  static thread_local std::vector<Cursor> runs;
+  static thread_local std::vector<int64_t> canonical;
+  const int64_t* ids = bucket_ids.data();
+  size_t num_ids = bucket_ids.size();
+  if (!kernels::IsSortedUniqueI64(ids, num_ids)) {
+    canonical.assign(bucket_ids.begin(), bucket_ids.end());
+    std::sort(canonical.begin(), canonical.end());
+    canonical.erase(std::unique(canonical.begin(), canonical.end()),
+                    canonical.end());
+    ids = canonical.data();
+    num_ids = canonical.size();
   }
-  std::sort(out->begin(), out->end(),
-            [](const spatial::Poi& a, const spatial::Poi& b) {
-              return a.id < b.id;
-            });
-  out->erase(std::unique(out->begin(), out->end()), out->end());
+  runs.clear();
+  size_t total = 0;
+  for (size_t i = 0; i < num_ids; ++i) {
+    const int64_t id = ids[i];
+    LBSQ_CHECK(id >= 0 && id < static_cast<int64_t>(buckets_.size()));
+    const spatial::Poi* lo = sorted_pois_.data() + sorted_start_[id];
+    const spatial::Poi* hi = sorted_pois_.data() + sorted_start_[id + 1];
+    if (lo != hi) {
+      runs.push_back(Cursor{lo, hi});
+      total += static_cast<size_t>(hi - lo);
+    }
+  }
+  out->reserve(total);
+  if (runs.size() == 1) {
+    out->assign(runs.front().cur, runs.front().end);
+    return;
+  }
+  const auto later = [](const Cursor& a, const Cursor& b) {
+    return a.cur->id > b.cur->id;
+  };
+  std::make_heap(runs.begin(), runs.end(), later);
+  while (!runs.empty()) {
+    std::pop_heap(runs.begin(), runs.end(), later);
+    Cursor& c = runs.back();
+    out->push_back(*c.cur++);
+    if (c.cur == c.end) {
+      runs.pop_back();
+    } else {
+      std::push_heap(runs.begin(), runs.end(), later);
+    }
+  }
 }
 
 }  // namespace lbsq::broadcast

@@ -103,6 +103,12 @@ class BroadcastSystem {
   AirIndex index_;
   std::unique_ptr<TreeAirIndex> tree_index_;
   BroadcastSchedule schedule_;
+  // Each bucket's POIs re-sorted by id, concatenated in bucket order (CSR:
+  // bucket b's run is [sorted_start_[b], sorted_start_[b + 1])). Buckets
+  // partition the database, so CollectPois is a k-way merge of these runs
+  // instead of a sort per call.
+  std::vector<spatial::Poi> sorted_pois_;
+  std::vector<size_t> sorted_start_;
 };
 
 }  // namespace lbsq::broadcast

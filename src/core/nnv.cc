@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "core/probability.h"
 #include "geom/circle.h"
+#include "kernels/kernels.h"
 
 namespace lbsq::core {
 
@@ -23,7 +24,8 @@ void NearestNeighborVerify(geom::Point q, int k,
                            double poi_density,
                            std::vector<spatial::Poi>* pool,
                            NnvResult* result,
-                           geom::RectRegionScratch* geom_scratch) {
+                           geom::RectRegionScratch* geom_scratch,
+                           kernels::SlabScratch* slab_scratch) {
   LBSQ_CHECK(k >= 1);
   LBSQ_CHECK(poi_density >= 0.0);
   LBSQ_CHECK(pool != nullptr);
@@ -31,6 +33,9 @@ void NearestNeighborVerify(geom::Point q, int k,
   geom::RectRegionScratch local_scratch;
   geom::RectRegionScratch& scratch =
       geom_scratch != nullptr ? *geom_scratch : local_scratch;
+  kernels::SlabScratch local_slab;
+  kernels::SlabScratch& slab =
+      slab_scratch != nullptr ? *slab_scratch : local_slab;
   result->Reset(k);
 
   // Merge the peers' verified regions into the MVR and pool their POIs.
@@ -49,11 +54,17 @@ void NearestNeighborVerify(geom::Point q, int k,
   pool->erase(std::unique(pool->begin(), pool->end()), pool->end());
   result->candidate_count = static_cast<int>(pool->size());
 
-  // Sort candidates by distance to q (deterministic ties).
-  result->candidates.reserve(pool->size());
-  for (const spatial::Poi& poi : *pool) {
-    result->candidates.push_back(
-        spatial::PoiDistance{poi, geom::Distance(poi.pos, q)});
+  // Sort candidates by distance to q (deterministic ties). Distances come
+  // from the SIMD batch kernel over the pool's SoA transpose — bit-identical
+  // to per-element geom::Distance at every dispatch tier.
+  const size_t pool_size = pool->size();
+  slab.slab.Assign(pool->data(), pool_size);
+  double* dist = slab.DistFor(pool_size);
+  kernels::DistanceBatch(slab.slab.xs(), slab.slab.ys(), pool_size, q.x, q.y,
+                         dist);
+  result->candidates.reserve(pool_size);
+  for (size_t i = 0; i < pool_size; ++i) {
+    result->candidates.push_back(spatial::PoiDistance{(*pool)[i], dist[i]});
   }
   std::sort(result->candidates.begin(), result->candidates.end());
 

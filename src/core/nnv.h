@@ -7,6 +7,7 @@
 #include "core/verified_region.h"
 #include "geom/point.h"
 #include "geom/rect_region.h"
+#include "kernels/poi_slab.h"
 
 /// \file
 /// Nearest Neighbor Verification — Algorithm 1 of the paper, the core of the
@@ -59,15 +60,18 @@ NnvResult NearestNeighborVerify(geom::Point q, int k,
                                 double poi_density);
 
 /// Allocation-free variant: writes into `result` (Reset internally) using
-/// `pool` as candidate-merge scratch and `geom_scratch` (when non-null) for
-/// the MVR geometry kernels. Bit-identical to the value-returning overload;
-/// at steady state (warm capacities) it performs no heap allocations.
+/// `pool` as candidate-merge scratch, `geom_scratch` (when non-null) for
+/// the MVR geometry kernels, and `slab_scratch` (when non-null) for the
+/// SIMD candidate-distance batch. Bit-identical to the value-returning
+/// overload; at steady state (warm capacities) it performs no heap
+/// allocations.
 void NearestNeighborVerify(geom::Point q, int k,
                            const std::vector<PeerData>& peers,
                            double poi_density,
                            std::vector<spatial::Poi>* pool,
                            NnvResult* result,
-                           geom::RectRegionScratch* geom_scratch = nullptr);
+                           geom::RectRegionScratch* geom_scratch = nullptr,
+                           kernels::SlabScratch* slab_scratch = nullptr);
 
 }  // namespace lbsq::core
 

@@ -12,6 +12,7 @@
 #include "geom/rect.h"
 #include "geom/rect_region.h"
 #include "hilbert/hilbert.h"
+#include "kernels/poi_slab.h"
 #include "spatial/poi.h"
 
 /// \file
@@ -79,6 +80,11 @@ struct CoverEntry {
   /// CollectPois(span_buckets) / CollectPois(range_buckets).
   std::vector<spatial::Poi> span_pois;
   std::vector<spatial::Poi> range_pois;
+  /// SoA transposes of span_pois / range_pois, built alongside them: the
+  /// SBWQ residual-window filter streams the memoized bucket content through
+  /// the SIMD window-mask kernel without a per-query transpose.
+  kernels::PoiSlab span_slab;
+  kernels::PoiSlab range_slab;
   /// IndexReadBuckets(ranges) under a hierarchical air index (-1 = not yet
   /// computed).
   int64_t tree_read_buckets = -1;
@@ -160,6 +166,9 @@ class QueryWorkspace {
   geom::RectRegionScratch region_scratch;
   /// Distance selection buffer for AirIndex::KthDistanceUpperBound.
   std::vector<double> index_distances;
+  /// SoA slab + distance/index buffers for the SIMD hot-loop kernels
+  /// (BruteForceKnn, NNV candidate distances, window selections).
+  kernels::SlabScratch slab;
 
  private:
   std::unordered_map<CoverKey, CoverEntry, CoverKeyHash> memo_;

@@ -7,6 +7,7 @@
 #include "core/query_internal.h"
 #include "fault/faulty_channel.h"
 #include "geom/circle.h"
+#include "kernels/kernels.h"
 #include "onair/onair_knn.h"
 
 namespace lbsq::core {
@@ -68,7 +69,7 @@ void RunSbnn(geom::Point q, const SbnnOptions& options,
   SbnnOutcome& outcome = *out;
   outcome.Reset(options.k);
   NearestNeighborVerify(q, options.k, peers, poi_density, &ws.nnv_pool,
-                        &outcome.nnv, &ws.region_scratch);
+                        &outcome.nnv, &ws.region_scratch, &ws.slab);
   const ResultHeap& heap = outcome.nnv.heap;
   if (trace != nullptr) {
     // NNV is pure computation: the span is instantaneous in broadcast time;
@@ -192,17 +193,23 @@ void RunSbnn(geom::Point q, const SbnnOptions& options,
   } else {
     system.CollectPois(*retrieved, &ws.known_pois);
   }
-  for (const spatial::PoiDistance& c : outcome.nnv.candidates) {
-    ws.known_pois.push_back(c.poi);
+  // Both CollectPois and the memoized span content are already sorted by id
+  // and deduplicated, so the canonicalizing sort is only needed when peer
+  // candidates were actually merged in.
+  if (!outcome.nnv.candidates.empty()) {
+    for (const spatial::PoiDistance& c : outcome.nnv.candidates) {
+      ws.known_pois.push_back(c.poi);
+    }
+    std::sort(ws.known_pois.begin(), ws.known_pois.end(),
+              [](const spatial::Poi& a, const spatial::Poi& b) {
+                return a.id < b.id;
+              });
+    ws.known_pois.erase(
+        std::unique(ws.known_pois.begin(), ws.known_pois.end()),
+        ws.known_pois.end());
   }
-  std::sort(ws.known_pois.begin(), ws.known_pois.end(),
-            [](const spatial::Poi& a, const spatial::Poi& b) {
-              return a.id < b.id;
-            });
-  ws.known_pois.erase(
-      std::unique(ws.known_pois.begin(), ws.known_pois.end()),
-      ws.known_pois.end());
-  spatial::BruteForceKnn(ws.known_pois, q, options.k, &outcome.neighbors);
+  spatial::BruteForceKnn(ws.known_pois, q, options.k, &ws.slab,
+                         &outcome.neighbors);
 
   // Every cell intersecting the search MBR is covered by a bucket that was
   // either downloaded or skipped-as-peer-known, so the client now has
@@ -210,15 +217,16 @@ void RunSbnn(geom::Point q, const SbnnOptions& options,
   // the cacheable region stays empty — never cache unverified knowledge.
   if (!outcome.degraded) {
     outcome.cacheable.region = search_mbr;
-    size_t contained = 0;
-    for (const spatial::Poi& poi : ws.known_pois) {
-      if (outcome.cacheable.region.Contains(poi.pos)) ++contained;
-    }
+    // BruteForceKnn left ws.slab.slab holding the SoA transpose of
+    // known_pois; one window-mask pass sizes and selects the contained set.
+    const size_t n = ws.known_pois.size();
+    uint32_t* idx = ws.slab.IdxFor(n);
+    const size_t contained = kernels::SelectInWindow(
+        ws.slab.slab.xs(), ws.slab.slab.ys(), n, search_mbr.x1, search_mbr.y1,
+        search_mbr.x2, search_mbr.y2, idx);
     outcome.cacheable.pois.reserve(contained);
-    for (const spatial::Poi& poi : ws.known_pois) {
-      if (outcome.cacheable.region.Contains(poi.pos)) {
-        outcome.cacheable.pois.push_back(poi);
-      }
+    for (size_t j = 0; j < contained; ++j) {
+      outcome.cacheable.pois.push_back(ws.known_pois[idx[j]]);
     }
   }
 }

@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "core/query_internal.h"
 #include "fault/faulty_channel.h"
+#include "kernels/kernels.h"
 
 namespace lbsq::core {
 
@@ -27,16 +28,27 @@ void RunSbwq(const geom::Rect& window, const SbwqOptions& options,
   outcome.Reset();
 
   // Merge peer verified regions and pool the shared POIs that overlap w
-  // (the pool is assembled directly in the outcome's poi storage).
+  // (the pool is assembled directly in the outcome's poi storage; the
+  // containment scan runs through the SIMD window-mask kernel).
   std::vector<spatial::Poi>& pool = outcome.pois;
   for (const PeerData& peer : peers) {
     for (const VerifiedRegion& vr : peer.regions) {
       outcome.mvr.Add(vr.region, &ws.region_scratch);
-      for (const spatial::Poi& poi : vr.pois) {
-        if (window.Contains(poi.pos)) pool.push_back(poi);
-      }
+      const size_t n = vr.pois.size();
+      ws.slab.slab.Assign(vr.pois.data(), n);
+      uint32_t* idx = ws.slab.IdxFor(n);
+      const size_t m =
+          kernels::SelectInWindow(ws.slab.slab.xs(), ws.slab.slab.ys(), n,
+                                  window.x1, window.y1, window.x2, window.y2,
+                                  idx);
+      for (size_t j = 0; j < m; ++j) pool.push_back(vr.pois[idx[j]]);
     }
   }
+  // Everything pooled from here on comes from CollectPois or the cycle memo
+  // — already sorted by id and deduplicated, with selections preserving that
+  // order — so the canonicalizing sort below is only needed when the peers
+  // contributed.
+  const size_t peer_pool_size = pool.size();
 
   // Residual windows w' = w \ MVR.
   outcome.mvr.SubtractFrom(window, &outcome.residual_windows,
@@ -134,25 +146,39 @@ void RunSbwq(const geom::Rect& window, const SbwqOptions& options,
       trace->Span("sbwq.fallback", now, now + outcome.stats.access_latency);
     }
     if (complete_cover) {
+      // The memoized bucket content carries its own SoA transpose: the
+      // residual-window filter is a single kernel pass, no per-query
+      // transpose.
       const std::vector<spatial::Poi>& memo =
           single_span ? ws.SpanPois(system, sole_cover)
                       : ws.RangePois(system, sole_cover);
-      for (const spatial::Poi& poi : memo) {
-        if (window.Contains(poi.pos)) pool.push_back(poi);
-      }
+      const kernels::PoiSlab& mslab =
+          single_span ? sole_cover->span_slab : sole_cover->range_slab;
+      uint32_t* idx = ws.slab.IdxFor(mslab.size());
+      const size_t m = kernels::SelectInWindow(
+          mslab.xs(), mslab.ys(), mslab.size(), window.x1, window.y1,
+          window.x2, window.y2, idx);
+      for (size_t j = 0; j < m; ++j) pool.push_back(memo[idx[j]]);
     } else {
       system.CollectPois(*retrieved, &ws.known_pois);
-      for (const spatial::Poi& poi : ws.known_pois) {
-        if (window.Contains(poi.pos)) pool.push_back(poi);
-      }
+      const size_t n = ws.known_pois.size();
+      ws.slab.slab.Assign(ws.known_pois.data(), n);
+      uint32_t* idx = ws.slab.IdxFor(n);
+      const size_t m =
+          kernels::SelectInWindow(ws.slab.slab.xs(), ws.slab.slab.ys(), n,
+                                  window.x1, window.y1, window.x2, window.y2,
+                                  idx);
+      for (size_t j = 0; j < m; ++j) pool.push_back(ws.known_pois[idx[j]]);
     }
   }
 
-  std::sort(pool.begin(), pool.end(),
-            [](const spatial::Poi& a, const spatial::Poi& b) {
-              return a.id < b.id;
-            });
-  pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
+  if (peer_pool_size > 0) {
+    std::sort(pool.begin(), pool.end(),
+              [](const spatial::Poi& a, const spatial::Poi& b) {
+                return a.id < b.id;
+              });
+    pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
+  }
   // Both resolution paths end with complete knowledge of the window — except
   // when the retrieval degraded, in which case caching the window would
   // poison the peer network with a false completeness claim.

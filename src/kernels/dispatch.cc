@@ -1,0 +1,131 @@
+#include "kernels/dispatch.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "kernels/kernels.h"
+
+namespace lbsq::kernels {
+
+namespace {
+
+// Resolved once (first Ops()/ActiveTier() call); SetActiveTier overrides.
+// Atomics keep concurrent first-use and reads TSan-clean.
+std::atomic<int> g_tier{-1};
+std::atomic<const KernelOps*> g_ops{nullptr};
+std::once_flag g_resolve_once;
+
+void Resolve() {
+  SimdTier tier = MaxSupportedTier();
+  const char* env = std::getenv("LBSQ_SIMD");
+  if (env != nullptr && env[0] != '\0') {
+    SimdTier parsed = SimdTier::kScalar;
+    bool is_auto = false;
+    if (!ParseTier(env, &parsed, &is_auto)) {
+      std::fprintf(stderr,
+                   "lbsq: unknown LBSQ_SIMD value '%s' "
+                   "(want scalar|sse2|avx2|auto); using auto (%s)\n",
+                   env, TierName(tier));
+    } else if (!is_auto) {
+      if (TierIsRunnable(parsed)) {
+        tier = parsed;
+      } else {
+        std::fprintf(stderr,
+                     "lbsq: LBSQ_SIMD=%s is not runnable on this CPU; "
+                     "using auto (%s)\n",
+                     env, TierName(tier));
+      }
+    }
+  }
+  g_ops.store(&OpsForTier(tier), std::memory_order_release);
+  g_tier.store(static_cast<int>(tier), std::memory_order_release);
+}
+
+void EnsureResolved() { std::call_once(g_resolve_once, Resolve); }
+
+}  // namespace
+
+const char* TierName(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar:
+      return "scalar";
+    case SimdTier::kSse2:
+      return "sse2";
+    case SimdTier::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+SimdTier MaxSupportedTier() {
+#if LBSQ_KERNELS_X86 && defined(__GNUC__)
+  if (__builtin_cpu_supports("avx2")) return SimdTier::kAvx2;
+  if (__builtin_cpu_supports("sse2")) return SimdTier::kSse2;
+#endif
+  return SimdTier::kScalar;
+}
+
+bool TierIsRunnable(SimdTier tier) {
+  return static_cast<int>(tier) <= static_cast<int>(MaxSupportedTier());
+}
+
+bool ParseTier(const char* text, SimdTier* tier, bool* is_auto) {
+  *is_auto = false;
+  if (std::strcmp(text, "auto") == 0) {
+    *is_auto = true;
+    return true;
+  }
+  if (std::strcmp(text, "scalar") == 0) {
+    *tier = SimdTier::kScalar;
+    return true;
+  }
+  if (std::strcmp(text, "sse2") == 0) {
+    *tier = SimdTier::kSse2;
+    return true;
+  }
+  if (std::strcmp(text, "avx2") == 0) {
+    *tier = SimdTier::kAvx2;
+    return true;
+  }
+  return false;
+}
+
+SimdTier ActiveTier() {
+  EnsureResolved();
+  return static_cast<SimdTier>(g_tier.load(std::memory_order_acquire));
+}
+
+bool SetActiveTier(SimdTier tier) {
+  EnsureResolved();
+  if (!TierIsRunnable(tier)) return false;
+  g_ops.store(&OpsForTier(tier), std::memory_order_release);
+  g_tier.store(static_cast<int>(tier), std::memory_order_release);
+  return true;
+}
+
+const KernelOps& Ops() {
+  const KernelOps* ops = g_ops.load(std::memory_order_acquire);
+  if (ops == nullptr) {
+    EnsureResolved();
+    ops = g_ops.load(std::memory_order_acquire);
+  }
+  return *ops;
+}
+
+const KernelOps& OpsForTier(SimdTier tier) {
+  if (!TierIsRunnable(tier)) return internal::kScalarOps;
+  switch (tier) {
+    case SimdTier::kScalar:
+      return internal::kScalarOps;
+    case SimdTier::kSse2:
+      return internal::kSse2Ops;
+    case SimdTier::kAvx2:
+      return internal::kAvx2Ops;
+  }
+  return internal::kScalarOps;
+}
+
+}  // namespace lbsq::kernels

@@ -1,0 +1,52 @@
+#ifndef LBSQ_KERNELS_DISPATCH_H_
+#define LBSQ_KERNELS_DISPATCH_H_
+
+/// \file
+/// Runtime SIMD dispatch for the query hot-loop kernels. The instruction-set
+/// tier is resolved once at startup: `LBSQ_SIMD=scalar|sse2|avx2|auto`
+/// (default auto) intersected with what CPUID reports. Every kernel is
+/// written so its result is bit-identical to the scalar reference at every
+/// tier — per-element `dx*dx + dy*dy` with no FMA contraction and no
+/// reassociated reductions, and IEEE-correctly-rounded `sqrt` — so the tier
+/// changes throughput, never content.
+
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__) || \
+    defined(_M_IX86)
+#define LBSQ_KERNELS_X86 1
+#else
+#define LBSQ_KERNELS_X86 0
+#endif
+
+namespace lbsq::kernels {
+
+/// Instruction-set tiers, ordered by capability. On non-x86 builds only
+/// kScalar exists; the others alias the scalar implementation.
+enum class SimdTier { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+/// "scalar", "sse2", "avx2".
+const char* TierName(SimdTier tier);
+
+/// Highest tier this CPU can execute (CPUID probe; kScalar off x86).
+SimdTier MaxSupportedTier();
+
+/// True when `tier`'s implementation was compiled in AND the CPU supports
+/// it. Scalar is always runnable.
+bool TierIsRunnable(SimdTier tier);
+
+/// Parses an LBSQ_SIMD value. "auto" sets `*is_auto`; otherwise `*tier`.
+/// Returns false for anything else.
+bool ParseTier(const char* text, SimdTier* tier, bool* is_auto);
+
+/// The tier the kernel table currently dispatches to. First use resolves
+/// LBSQ_SIMD (an unknown value or a tier the CPU lacks falls back to auto
+/// with a warning on stderr).
+SimdTier ActiveTier();
+
+/// Forces the active tier (tests and benchmarks). Returns false — leaving
+/// the table unchanged — when the tier is not runnable on this machine.
+/// Not meant to be called concurrently with kernel execution.
+bool SetActiveTier(SimdTier tier);
+
+}  // namespace lbsq::kernels
+
+#endif  // LBSQ_KERNELS_DISPATCH_H_

@@ -1,0 +1,95 @@
+#ifndef LBSQ_KERNELS_POI_SLAB_H_
+#define LBSQ_KERNELS_POI_SLAB_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+/// \file
+/// Structure-of-arrays point storage for the SIMD kernels (kernels.h). A
+/// slab holds parallel `ids[] / xs[] / ys[]` arrays so the distance,
+/// radius-select, and window-mask kernels stream contiguous doubles instead
+/// of striding over `Poi` structs. Capacity is grow-only: Clear/Assign never
+/// release memory, so a slab owned by a warm `QueryWorkspace` keeps the
+/// batched query path at zero steady-state allocations.
+
+namespace lbsq::kernels {
+
+/// Grow-only SoA point store. Not thread-safe; one per worker.
+class PoiSlab {
+ public:
+  void Clear() {
+    ids_.clear();
+    xs_.clear();
+    ys_.clear();
+  }
+
+  void Reserve(size_t n) {
+    ids_.reserve(n);
+    xs_.reserve(n);
+    ys_.reserve(n);
+  }
+
+  void PushBack(int64_t id, double x, double y) {
+    ids_.push_back(id);
+    xs_.push_back(x);
+    ys_.push_back(y);
+  }
+
+  /// Replaces the content with the transpose of `n` array-of-structs records
+  /// exposing `.id` and `.pos.{x, y}` (spatial::Poi or anything shaped like
+  /// it — templated so this layer stays below spatial in the dependency
+  /// order).
+  template <class P>
+  void Assign(const P* p, size_t n) {
+    ids_.resize(n);
+    xs_.resize(n);
+    ys_.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      ids_[i] = p[i].id;
+      xs_[i] = p[i].pos.x;
+      ys_[i] = p[i].pos.y;
+    }
+  }
+
+  size_t size() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
+
+  const int64_t* ids() const { return ids_.data(); }
+  const double* xs() const { return xs_.data(); }
+  const double* ys() const { return ys_.data(); }
+
+  int64_t id(size_t i) const { return ids_[i]; }
+  double x(size_t i) const { return xs_[i]; }
+  double y(size_t i) const { return ys_[i]; }
+
+ private:
+  std::vector<int64_t> ids_;
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+};
+
+/// The scratch bundle a slab-kernel call site needs: the slab itself plus a
+/// distance array and a selection-index array, all grow-only. One lives in
+/// `core::QueryWorkspace`; transient callers make their own.
+struct SlabScratch {
+  PoiSlab slab;
+  std::vector<double> dist;
+  std::vector<uint32_t> idx;
+
+  /// Distance buffer of at least n elements (grow-only).
+  double* DistFor(size_t n) {
+    if (dist.size() < n) dist.resize(n);
+    return dist.data();
+  }
+
+  /// Index buffer of at least n elements (grow-only).
+  uint32_t* IdxFor(size_t n) {
+    if (idx.size() < n) idx.resize(n);
+    return idx.data();
+  }
+};
+
+}  // namespace lbsq::kernels
+
+#endif  // LBSQ_KERNELS_POI_SLAB_H_

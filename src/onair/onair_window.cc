@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "kernels/kernels.h"
+#include "kernels/poi_slab.h"
+
 namespace lbsq::onair {
 
 std::vector<int64_t> BucketsForWindow(const broadcast::BroadcastSystem& system,
@@ -28,9 +31,15 @@ OnAirWindowResult OnAirWindow(const broadcast::BroadcastSystem& system,
   }
   result.stats = broadcast::RetrieveBuckets(system.schedule(), now,
                                             result.buckets, index_mode);
-  for (const spatial::Poi& poi : system.CollectPois(result.buckets)) {
-    if (window.Contains(poi.pos)) result.pois.push_back(poi);
-  }
+  const std::vector<spatial::Poi> received = system.CollectPois(result.buckets);
+  kernels::SlabScratch scratch;
+  scratch.slab.Assign(received.data(), received.size());
+  uint32_t* idx = scratch.IdxFor(received.size());
+  const size_t m = kernels::SelectInWindow(
+      scratch.slab.xs(), scratch.slab.ys(), received.size(), window.x1,
+      window.y1, window.x2, window.y2, idx);
+  result.pois.reserve(m);
+  for (size_t j = 0; j < m; ++j) result.pois.push_back(received[idx[j]]);
   return result;
 }
 

@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "fault/peer_faults.h"
+#include "kernels/poi_slab.h"
 #include "onair/onair_knn.h"
 #include "onair/onair_window.h"
 #include "spatial/generators.h"
@@ -109,8 +110,15 @@ KnnQueryResult ExecuteKnnQuery(const SimConfig& config,
   result.regions_rejected = executed.regions_rejected;
 
   // Correctness accounting against the brute-force oracle (every query).
-  const std::vector<spatial::PoiDistance> truth =
-      spatial::BruteForceKnn(engine.system().pois(), pos, k_eff);
+  // With a per-worker workspace the oracle's distance scan over the full
+  // POI set runs through that worker's slab kernels, allocation-free.
+  std::vector<spatial::PoiDistance> truth;
+  if (workspace != nullptr) {
+    spatial::BruteForceKnn(engine.system().pois(), pos, k_eff,
+                           &workspace->slab, &truth);
+  } else {
+    spatial::BruteForceKnn(engine.system().pois(), pos, k_eff, &truth);
+  }
   bool exact = truth.size() == result.outcome.neighbors.size();
   for (size_t i = 0; exact && i < truth.size(); ++i) {
     // Compare distances (ids can differ under exact ties).
@@ -161,8 +169,15 @@ WindowQueryResult ExecuteWindowQuery(const SimConfig& config,
   result.regions_rejected = executed.regions_rejected;
 
   // Correctness accounting against the brute-force oracle (every query).
-  const std::vector<spatial::Poi> truth =
-      spatial::BruteForceWindow(engine.system().pois(), window);
+  std::vector<spatial::Poi> truth;
+  if (workspace != nullptr) {
+    spatial::BruteForceWindow(engine.system().pois(), window,
+                              &workspace->slab, &truth);
+  } else {
+    kernels::SlabScratch scratch;
+    spatial::BruteForceWindow(engine.system().pois(), window, &scratch,
+                              &truth);
+  }
   result.exact = truth == result.outcome.pois;
   if (config.check_answers && !config.fault.enabled()) {
     LBSQ_CHECK(result.exact);

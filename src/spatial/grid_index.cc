@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "kernels/kernels.h"
 
 namespace lbsq::spatial {
 
@@ -17,7 +18,8 @@ GridIndex::GridIndex(const geom::Rect& world, double cell_size)
   cell_h_ = std::max(cell_size, min_cell_h);
   nx_ = std::max(1, static_cast<int>(std::ceil(world.width() / cell_w_)));
   ny_ = std::max(1, static_cast<int>(std::ceil(world.height() / cell_h_)));
-  buckets_.resize(static_cast<size_t>(nx_) * static_cast<size_t>(ny_));
+  cell_start_.assign(
+      static_cast<size_t>(nx_) * static_cast<size_t>(ny_) + 1, 0);
 }
 
 int GridIndex::CellIndex(geom::Point p) const {
@@ -29,11 +31,29 @@ int GridIndex::CellIndex(geom::Point p) const {
 }
 
 void GridIndex::Rebuild(const std::vector<geom::Point>& positions) {
-  for (auto& bucket : buckets_) bucket.clear();
   positions_ = positions;
-  for (size_t i = 0; i < positions_.size(); ++i) {
-    buckets_[static_cast<size_t>(CellIndex(positions_[i]))].push_back(
-        static_cast<int64_t>(i));
+  const size_t n = positions_.size();
+  const size_t ncells =
+      static_cast<size_t>(nx_) * static_cast<size_t>(ny_);
+  // Counting sort into the CSR slab: count, prefix-sum, scatter. Scatter in
+  // ascending id order keeps each cell's items in insertion order, exactly
+  // the per-bucket order the old vector-of-vectors layout produced.
+  cell_start_.assign(ncells + 1, 0);
+  for (const geom::Point& p : positions_) {
+    ++cell_start_[static_cast<size_t>(CellIndex(p)) + 1];
+  }
+  for (size_t c = 0; c < ncells; ++c) cell_start_[c + 1] += cell_start_[c];
+  ids_.resize(n);
+  xs_.resize(n);
+  ys_.resize(n);
+  cell_cursor_.assign(cell_start_.begin(), cell_start_.end() - 1);
+  for (size_t i = 0; i < n; ++i) {
+    const geom::Point p = positions_[i];
+    const size_t slot = static_cast<size_t>(
+        cell_cursor_[static_cast<size_t>(CellIndex(p))]++);
+    ids_[slot] = static_cast<int64_t>(i);
+    xs_[slot] = p.x;
+    ys_[slot] = p.y;
   }
 }
 
@@ -48,15 +68,26 @@ void GridIndex::QueryDisc(geom::Point center, double radius,
   cx_hi = std::clamp(cx_hi, 0, nx_ - 1);
   cy_lo = std::clamp(cy_lo, 0, ny_ - 1);
   cy_hi = std::clamp(cy_hi, 0, ny_ - 1);
+  // The cells of one row are adjacent in the CSR slab, so each row is one
+  // contiguous [lo, hi) scan. First pass sizes the output exactly from the
+  // bucket populations; second streams the rows through the radius kernel.
+  size_t candidates = 0;
   for (int cy = cy_lo; cy <= cy_hi; ++cy) {
-    for (int cx = cx_lo; cx <= cx_hi; ++cx) {
-      for (int64_t id : buckets_[static_cast<size_t>(cy * nx_ + cx)]) {
-        if (geom::DistanceSquared(positions_[static_cast<size_t>(id)],
-                                  center) <= r2) {
-          out->push_back(id);
-        }
-      }
-    }
+    const size_t row = static_cast<size_t>(cy) * static_cast<size_t>(nx_);
+    candidates += static_cast<size_t>(
+        cell_start_[row + static_cast<size_t>(cx_hi) + 1] -
+        cell_start_[row + static_cast<size_t>(cx_lo)]);
+  }
+  out->reserve(out->size() + candidates);
+  for (int cy = cy_lo; cy <= cy_hi; ++cy) {
+    const size_t row = static_cast<size_t>(cy) * static_cast<size_t>(nx_);
+    const size_t lo = static_cast<size_t>(
+        cell_start_[row + static_cast<size_t>(cx_lo)]);
+    const size_t hi = static_cast<size_t>(
+        cell_start_[row + static_cast<size_t>(cx_hi) + 1]);
+    kernels::AppendIdsWithinRadius(xs_.data() + lo, ys_.data() + lo,
+                                   ids_.data() + lo, hi - lo, center.x,
+                                   center.y, r2, out);
   }
 }
 

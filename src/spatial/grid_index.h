@@ -15,7 +15,10 @@
 namespace lbsq::spatial {
 
 /// Bucketed uniform grid. Rebuild() is O(n); QueryDisc() touches only the
-/// buckets overlapping the disc's MBR.
+/// buckets overlapping the disc's MBR. Storage is a CSR-style slab: one
+/// contiguous structure-of-arrays block (`ids/xs/ys`) ordered by cell with a
+/// per-cell offset table, so a disc query streams each row of overlapped
+/// cells through the SIMD radius-select kernel in a single contiguous scan.
 class GridIndex {
  public:
   /// Grid over `world` with roughly `cell_size`-sized square cells. The cell
@@ -26,7 +29,9 @@ class GridIndex {
   void Rebuild(const std::vector<geom::Point>& positions);
 
   /// Appends the ids of all items within distance `radius` of `center`
-  /// (closed ball, torus wrap disabled) to `*out`.
+  /// (closed ball, torus wrap disabled) to `*out`. `*out` is reserved up
+  /// front from the overlapped buckets' exact population, so the appends
+  /// never reallocate beyond that bound.
   void QueryDisc(geom::Point center, double radius,
                  std::vector<int64_t>* out) const;
 
@@ -47,7 +52,15 @@ class GridIndex {
   double cell_w_;
   double cell_h_;
   std::vector<geom::Point> positions_;
-  std::vector<std::vector<int64_t>> buckets_;
+  /// CSR offsets: cell c's items live at slab positions
+  /// [cell_start_[c], cell_start_[c + 1]), in insertion (ascending id)
+  /// order. cell_cursor_ is Rebuild's scatter scratch (grow-only).
+  std::vector<int64_t> cell_start_;
+  std::vector<int64_t> cell_cursor_;
+  /// The SoA slab, ordered by cell.
+  std::vector<int64_t> ids_;
+  std::vector<double> xs_;
+  std::vector<double> ys_;
 };
 
 }  // namespace lbsq::spatial

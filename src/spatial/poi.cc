@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "geom/rect.h"
+#include "kernels/kernels.h"
 
 namespace lbsq::spatial {
 
@@ -14,27 +15,51 @@ std::vector<PoiDistance> BruteForceKnn(const std::vector<Poi>& pois,
 }
 
 void BruteForceKnn(const std::vector<Poi>& pois, geom::Point q, int k,
+                   kernels::SlabScratch* scratch,
                    std::vector<PoiDistance>* out) {
+  const size_t n = pois.size();
+  scratch->slab.Assign(pois.data(), n);
+  double* dist = scratch->DistFor(n);
+  kernels::DistanceBatch(scratch->slab.xs(), scratch->slab.ys(), n, q.x, q.y,
+                         dist);
+  const size_t take = std::min<size_t>(static_cast<size_t>(k), n);
+  uint32_t* idx = scratch->IdxFor(take);
+  const size_t got =
+      kernels::KSmallest(dist, scratch->slab.ids(), n, take, idx);
   out->clear();
-  out->reserve(pois.size());
-  for (const Poi& p : pois) {
-    out->push_back(PoiDistance{p, geom::Distance(p.pos, q)});
+  out->reserve(got);
+  for (size_t j = 0; j < got; ++j) {
+    out->push_back(PoiDistance{pois[idx[j]], dist[idx[j]]});
   }
-  const size_t take = std::min<size_t>(static_cast<size_t>(k), out->size());
-  std::partial_sort(out->begin(), out->begin() + static_cast<long>(take),
-                    out->end());
-  out->resize(take);
+}
+
+void BruteForceKnn(const std::vector<Poi>& pois, geom::Point q, int k,
+                   std::vector<PoiDistance>* out) {
+  kernels::SlabScratch scratch;
+  BruteForceKnn(pois, q, k, &scratch, out);
 }
 
 std::vector<Poi> BruteForceWindow(const std::vector<Poi>& pois,
                                   const geom::Rect& window) {
+  kernels::SlabScratch scratch;
   std::vector<Poi> result;
-  for (const Poi& p : pois) {
-    if (window.Contains(p.pos)) result.push_back(p);
-  }
-  std::sort(result.begin(), result.end(),
-            [](const Poi& a, const Poi& b) { return a.id < b.id; });
+  BruteForceWindow(pois, window, &scratch, &result);
   return result;
+}
+
+void BruteForceWindow(const std::vector<Poi>& pois, const geom::Rect& window,
+                      kernels::SlabScratch* scratch, std::vector<Poi>* out) {
+  const size_t n = pois.size();
+  scratch->slab.Assign(pois.data(), n);
+  uint32_t* idx = scratch->IdxFor(n);
+  const size_t m =
+      kernels::SelectInWindow(scratch->slab.xs(), scratch->slab.ys(), n,
+                              window.x1, window.y1, window.x2, window.y2, idx);
+  out->clear();
+  out->reserve(m);
+  for (size_t j = 0; j < m; ++j) out->push_back(pois[idx[j]]);
+  std::sort(out->begin(), out->end(),
+            [](const Poi& a, const Poi& b) { return a.id < b.id; });
 }
 
 }  // namespace lbsq::spatial

@@ -6,6 +6,7 @@
 
 #include "geom/point.h"
 #include "geom/rect.h"
+#include "kernels/poi_slab.h"
 
 /// \file
 /// Point of interest. Following the paper's notation, an object identifier
@@ -42,16 +43,27 @@ struct PoiDistance {
 std::vector<PoiDistance> BruteForceKnn(const std::vector<Poi>& pois,
                                        geom::Point q, int k);
 
-/// Allocation-free variant: `*out` doubles as the distance-computation
-/// arena (cleared, filled with all candidates, partially sorted, truncated
-/// to min(k, n)). Same result as the returning overload; capacity is
-/// reused.
+/// Allocation-free variant through the SoA slab kernels: `*scratch` holds
+/// the transpose of `pois` plus the distance/selection buffers (all
+/// grow-only), `*out` receives the min(k, n) results. After the call
+/// `scratch->slab` still holds the transpose of `pois` — callers may reuse
+/// it for follow-up selections over the same set.
+void BruteForceKnn(const std::vector<Poi>& pois, geom::Point q, int k,
+                   kernels::SlabScratch* scratch,
+                   std::vector<PoiDistance>* out);
+
+/// Transient-scratch convenience overload; same result, capacity of `*out`
+/// is reused.
 void BruteForceKnn(const std::vector<Poi>& pois, geom::Point q, int k,
                    std::vector<PoiDistance>* out);
 
 /// Brute-force window query oracle; results sorted by id.
 std::vector<Poi> BruteForceWindow(const std::vector<Poi>& pois,
                                   const geom::Rect& window);
+
+/// Allocation-free variant (see the kNN overload for the scratch contract).
+void BruteForceWindow(const std::vector<Poi>& pois, const geom::Rect& window,
+                      kernels::SlabScratch* scratch, std::vector<Poi>* out);
 
 }  // namespace lbsq::spatial
 
