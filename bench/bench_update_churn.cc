@@ -1,0 +1,230 @@
+// Query throughput and allocation behavior under dynamic-world churn.
+//
+// Runs the Table 3 Los Angeles City workload (2750 POIs, 20 x 20 mi,
+// k = 5, 3% windows, 30% of queries carrying peer data) through a
+// DynamicQueryEngine while a WorldVersioner applies insert/delete/move
+// batches at a swept interval:
+//
+//   off      : zero updates — the static baseline.
+//   sparse   : one batch per 100 queries.
+//   heavy    : one batch per 25 queries.
+//
+// For each setting it reports queries/s (epoch rebuilds included), epochs
+// published, and the peer-region revalidation counts. When built with
+// LBSQ_COUNT_ALLOCS (the default outside sanitizer builds) it also counts
+// heap allocations per steady-state query and exits 1 unless that count is
+// ZERO: churn must not cost the query path its zero-allocation property.
+//
+// "Steady state" is per epoch: an epoch publication rebinds the workspace
+// memo (covers of the old world are gone with the old system), so each
+// inter-update chunk of the workload runs twice — once uncounted to warm
+// the fresh memo and the outcome buffers, then measured. The marginal cost
+// of a query on a warm epoch must be allocation-free; the warm-up work is
+// charged to the epoch switch, exactly like the rebuild itself.
+//
+// Run:  ./build/bench/bench_update_churn
+// Env:  LBSQ_BENCH_FAST=1  - smaller workload for smoke testing.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "alloc_counter.h"
+#include "broadcast/system.h"
+#include "common/rng.h"
+#include "core/query_engine.h"
+#include "core/query_workspace.h"
+#include "dynamic/dynamic_engine.h"
+#include "dynamic/world_versioner.h"
+#include "geom/rect.h"
+#include "sim/config.h"
+#include "sim/update_workload.h"
+#include "spatial/generators.h"
+
+namespace lbsq::bench {
+namespace {
+
+constexpr double kWorldSide = 20.0;  // Table 3: 20 x 20 mi service area
+constexpr int kPoiNumber = 2750;     // Table 3: Los Angeles City
+constexpr int kKnnK = 5;             // Table 3: default k
+constexpr double kWindowPct = 3.0;   // Table 3: window = 3% of the world
+
+bool FastMode() {
+  const char* fast = std::getenv("LBSQ_BENCH_FAST");
+  return fast != nullptr && fast[0] == '1';
+}
+
+std::vector<core::QueryRequest> MakeWorkload(
+    const broadcast::BroadcastSystem& system, int n, uint64_t seed) {
+  Rng rng(seed);
+  const int64_t cycle = system.schedule().cycle_length();
+  const double window_side = kWorldSide * std::sqrt(kWindowPct / 100.0);
+
+  std::vector<geom::Point> hotspots;
+  for (int c = 0; c < 24; ++c) {
+    hotspots.push_back({rng.Uniform(2.0, kWorldSide - 2.0),
+                        rng.Uniform(2.0, kWorldSide - 2.0)});
+  }
+
+  std::vector<core::QueryRequest> requests;
+  requests.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const geom::Point& hub = hotspots[rng.NextBelow(hotspots.size())];
+    const geom::Point q{hub.x + rng.Uniform(-1.0, 1.0),
+                       hub.y + rng.Uniform(-1.0, 1.0)};
+    core::QueryRequest r;
+    if (rng.NextBool(0.7)) {
+      r.kind = core::QueryKind::kKnn;
+      r.position = q;
+      r.k = kKnnK;
+    } else {
+      r.kind = core::QueryKind::kWindow;
+      r.window = geom::Rect::CenteredSquare(q, window_side);
+    }
+    r.slot = static_cast<int64_t>(rng.NextBelow(static_cast<uint64_t>(cycle)));
+    if (rng.NextBool(0.3)) {
+      // Epoch-0 peer data: under churn these regions age and exercise the
+      // revalidate-or-reject path on every execution.
+      core::VerifiedRegion vr;
+      vr.region = geom::Rect::CenteredSquare(q, rng.Uniform(0.8, 2.0));
+      for (const spatial::Poi& p : system.pois()) {
+        if (vr.region.Contains(p.pos)) vr.pois.push_back(p);
+      }
+      r.peers.push_back(core::PeerData{{vr}});
+    }
+    r.fault_stream = static_cast<uint64_t>(i);
+    requests.push_back(std::move(r));
+  }
+  return requests;
+}
+
+struct ChurnRow {
+  const char* name;
+  int interval;  // queries per update batch; 0 = updates off
+  double qps = 0.0;
+  uint64_t epochs = 0;
+  int64_t revalidated = 0;
+  int64_t rejected = 0;
+  int64_t steady_allocs = 0;
+  int64_t steady_queries = 0;
+};
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// One run over the workload on a fresh versioner, chunked at the update
+// interval: apply the batch (timed — rebuilds are part of the churn cost),
+// warm the fresh epoch's memo with an uncounted pass over the chunk, then
+// execute the chunk measured.
+ChurnRow RunChurn(const char* name, int interval,
+                  const std::vector<spatial::Poi>& pois,
+                  const std::vector<core::QueryRequest>& requests) {
+  const geom::Rect world{0.0, 0.0, kWorldSide, kWorldSide};
+  dynamic::WorldVersioner versioner(pois, world, broadcast::BroadcastParams{},
+                                    core::QueryEngine::Options{});
+  dynamic::DynamicQueryEngine engine(versioner);
+  const int64_t base_insert_id = sim::FirstInsertId(pois);
+  sim::UpdateWorkloadConfig update_config;
+  update_config.interval_events = interval;
+
+  core::QueryWorkspace workspace;
+  // Per-request outcome storage, warmed by the warm sub-pass so each
+  // measured execution recycles the inner buffers of its own twin.
+  std::vector<core::QueryOutcome> outcomes(requests.size());
+  // The engine mutates peers during revalidation, so both sub-passes get
+  // their own pre-built mutable copy (allocated here, outside the counted
+  // region).
+  std::vector<core::QueryRequest> warm_requests = requests;
+  std::vector<core::QueryRequest> measured_requests = requests;
+
+  ChurnRow row;
+  row.name = name;
+  row.interval = interval;
+  dynamic::RevalidationStats stats;
+  double seconds = 0.0;
+  uint64_t batch_index = 0;
+
+  const size_t n = requests.size();
+  for (size_t begin = 0; begin < n;) {
+    size_t end = n;
+    if (interval > 0) {
+      const size_t step = static_cast<size_t>(interval);
+      end = std::min(n, (begin / step + 1) * step);
+      if (begin > 0 && begin % step == 0) {
+        ++batch_index;
+        const auto start = std::chrono::steady_clock::now();
+        versioner.Apply(sim::GenerateUpdateBatch(
+            update_config, /*seed=*/29, batch_index,
+            versioner.Current()->pois, world, base_insert_id));
+        seconds += SecondsSince(start);
+      }
+    }
+    for (size_t i = begin; i < end; ++i) {
+      engine.Execute(&warm_requests[i], workspace, &outcomes[i]);
+    }
+    const auto start = std::chrono::steady_clock::now();
+    for (size_t i = begin; i < end; ++i) {
+      const uint64_t before = AllocCount();
+      engine.Execute(&measured_requests[i], workspace, &outcomes[i], &stats);
+      row.steady_allocs += static_cast<int64_t>(AllocCount() - before);
+      ++row.steady_queries;
+    }
+    seconds += SecondsSince(start);
+    begin = end;
+  }
+
+  row.qps = static_cast<double>(n) / seconds;
+  row.revalidated = stats.revalidated;
+  row.rejected = stats.rejected;
+  row.epochs = versioner.latest_epoch();
+  return row;
+}
+
+int Run() {
+  const geom::Rect world{0.0, 0.0, kWorldSide, kWorldSide};
+  Rng rng(7);
+  const std::vector<spatial::Poi> pois =
+      spatial::GenerateUniformPois(&rng, world, kPoiNumber);
+  broadcast::BroadcastSystem system(pois, world, broadcast::BroadcastParams{});
+  const int n = FastMode() ? 300 : 1500;
+  const std::vector<core::QueryRequest> requests =
+      MakeWorkload(system, n, /*seed=*/13);
+
+  std::printf("update churn bench: %d queries, %d POIs, alloc counting %s\n",
+              n, kPoiNumber, kAllocCountingEnabled ? "on" : "off");
+  std::printf("%-8s %10s %8s %12s %10s %16s\n", "churn", "qps", "epochs",
+              "revalidated", "rejected", "allocs/query");
+
+  bool ok = true;
+  for (const auto& [name, interval] :
+       {std::pair<const char*, int>{"off", 0}, {"sparse", 100},
+        {"heavy", 25}}) {
+    const ChurnRow row = RunChurn(name, interval, pois, requests);
+    const double allocs_per_query =
+        row.steady_queries > 0
+            ? static_cast<double>(row.steady_allocs) / row.steady_queries
+            : 0.0;
+    std::printf("%-8s %10.0f %8llu %12lld %10lld %16.4f\n", row.name, row.qps,
+                static_cast<unsigned long long>(row.epochs),
+                static_cast<long long>(row.revalidated),
+                static_cast<long long>(row.rejected), allocs_per_query);
+    if (kAllocCountingEnabled && row.steady_allocs != 0) {
+      std::fprintf(stderr,
+                   "FATAL: %s churn performed %lld steady-state allocations "
+                   "over %lld queries (expected 0)\n",
+                   row.name, static_cast<long long>(row.steady_allocs),
+                   static_cast<long long>(row.steady_queries));
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace lbsq::bench
+
+int main() { return lbsq::bench::Run(); }

@@ -19,6 +19,10 @@ namespace lbsq::broadcast {
 /// file (0-based); one bucket occupies one slot on the air.
 struct DataBucket {
   int64_t id = 0;
+  /// World epoch this bucket was built from (0 = the initial static world).
+  /// Stamped by BroadcastSystem; rides the wire in v2 frames so receivers
+  /// can tell broadcast cycles of different epochs apart.
+  uint64_t epoch = 0;
   /// Hilbert index of the first/last contained POI (inclusive).
   uint64_t hilbert_lo = 0;
   uint64_t hilbert_hi = 0;

@@ -5,8 +5,12 @@
 namespace lbsq::broadcast {
 
 BroadcastSchedule::BroadcastSchedule(int64_t num_data_buckets,
-                                     int64_t index_buckets, int m)
-    : num_data_(num_data_buckets), index_len_(index_buckets), m_(m) {
+                                     int64_t index_buckets, int m,
+                                     uint64_t epoch)
+    : num_data_(num_data_buckets),
+      index_len_(index_buckets),
+      m_(m),
+      epoch_(epoch) {
   LBSQ_CHECK(num_data_ >= 1);
   LBSQ_CHECK(index_len_ >= 1);
   LBSQ_CHECK(m_ >= 1);

@@ -18,11 +18,15 @@ class BroadcastSchedule {
  public:
   /// A cycle carrying `num_data_buckets` data buckets, an index of
   /// `index_buckets` buckets replicated `m` times. Requires all >= 1 and
-  /// m <= num_data_buckets.
-  BroadcastSchedule(int64_t num_data_buckets, int64_t index_buckets, int m);
+  /// m <= num_data_buckets. `epoch` labels the world version the cycle
+  /// carries (0 = the initial static world); it does not affect the layout.
+  BroadcastSchedule(int64_t num_data_buckets, int64_t index_buckets, int m,
+                    uint64_t epoch = 0);
 
   /// Number of data buckets per cycle.
   int64_t num_data_buckets() const { return num_data_; }
+  /// World epoch the cycle carries (layout-neutral label).
+  uint64_t epoch() const { return epoch_; }
   /// Size of one index segment in buckets.
   int64_t index_buckets() const { return index_len_; }
   /// Index replication factor.
@@ -57,6 +61,7 @@ class BroadcastSchedule {
   int64_t index_len_;
   int m_;
   int64_t cycle_;
+  uint64_t epoch_;
 };
 
 }  // namespace lbsq::broadcast

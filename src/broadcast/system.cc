@@ -32,7 +32,9 @@ BroadcastSystem::BroadcastSystem(std::vector<spatial::Poi> pois,
                             index_.entries(), params.index_entries_per_bucket)
                       : nullptr),
       schedule_(static_cast<int64_t>(buckets_.size()), IndexSegmentBuckets(),
-                ClampM(params.m, static_cast<int64_t>(buckets_.size()))) {
+                ClampM(params.m, static_cast<int64_t>(buckets_.size())),
+                params.epoch) {
+  for (DataBucket& bucket : buckets_) bucket.epoch = params_.epoch;
   sorted_start_.reserve(buckets_.size() + 1);
   sorted_start_.push_back(0);
   sorted_pois_.reserve(pois_.size());

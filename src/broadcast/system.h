@@ -48,6 +48,10 @@ struct BroadcastParams {
   hilbert::CurveKind curve = hilbert::CurveKind::kHilbert;
   /// Air-index organization (see IndexKind).
   IndexKind index_kind = IndexKind::kFlat;
+  /// World epoch this channel broadcasts (0 = the initial static world).
+  /// Set by the dynamic-world versioner when it publishes a rebuilt cycle;
+  /// stamped into every data bucket and onto the wire (v2 frames).
+  uint64_t epoch = 0;
 };
 
 /// Immutable server state for one broadcast channel.
@@ -72,6 +76,8 @@ class BroadcastSystem {
   const BroadcastSchedule& schedule() const { return schedule_; }
   /// The parameters the channel was built with.
   const BroadcastParams& params() const { return params_; }
+  /// The world epoch this channel broadcasts (see BroadcastParams::epoch).
+  uint64_t epoch() const { return params_.epoch; }
 
   /// The hierarchical index (null under IndexKind::kFlat).
   const TreeAirIndex* tree_index() const { return tree_index_.get(); }

@@ -36,6 +36,31 @@ bool CheckMagic(ByteReader* reader, const uint8_t magic[4]) {
   return reader->ok();
 }
 
+// Emits the version byte and, for a non-zero epoch, the v2 epoch varint.
+// Epoch 0 stays on the legacy v1 layout byte for byte.
+void PutVersionAndEpoch(ByteWriter* writer, uint64_t epoch) {
+  if (epoch == 0) {
+    writer->PutU8(kWireVersion);
+  } else {
+    writer->PutU8(kWireVersionEpoch);
+    writer->PutVarint(epoch);
+  }
+}
+
+// Reads the version byte and the v2 epoch field. Rejects unknown versions
+// and the non-canonical v2-with-epoch-0 encoding.
+bool GetVersionAndEpoch(ByteReader* reader, uint64_t* epoch) {
+  const uint8_t version = reader->GetU8();
+  if (!reader->ok()) return false;
+  if (version == kWireVersion) {
+    *epoch = 0;
+    return true;
+  }
+  if (version != kWireVersionEpoch) return false;
+  *epoch = reader->GetVarint();
+  return reader->ok() && *epoch != 0;
+}
+
 }  // namespace
 
 void ByteWriter::PutVarint(uint64_t value) {
@@ -99,7 +124,7 @@ double ByteReader::GetDouble() {
 std::vector<uint8_t> EncodeBucket(const DataBucket& bucket) {
   ByteWriter writer;
   PutMagic(&writer, kBucketMagic);
-  writer.PutU8(kWireVersion);
+  PutVersionAndEpoch(&writer, bucket.epoch);
   writer.PutVarint(IdToWire(bucket.id));
   writer.PutVarint(bucket.hilbert_lo);
   writer.PutVarint(bucket.hilbert_hi);
@@ -119,7 +144,7 @@ std::vector<uint8_t> EncodeBucket(const DataBucket& bucket) {
 bool DecodeBucket(const uint8_t* data, size_t size, DataBucket* out) {
   ByteReader reader(data, size);
   if (!CheckMagic(&reader, kBucketMagic)) return false;
-  if (reader.GetU8() != kWireVersion) return false;
+  if (!GetVersionAndEpoch(&reader, &out->epoch)) return false;
   out->id = IdFromWire(reader.GetVarint());
   out->hilbert_lo = reader.GetVarint();
   out->hilbert_hi = reader.GetVarint();
@@ -145,9 +170,14 @@ bool DecodeBucket(const uint8_t* data, size_t size, DataBucket* out) {
 
 std::vector<uint8_t> EncodeIndexSegment(
     const std::vector<AirIndex::Entry>& entries) {
+  return EncodeIndexSegment(entries, 0);
+}
+
+std::vector<uint8_t> EncodeIndexSegment(
+    const std::vector<AirIndex::Entry>& entries, uint64_t epoch) {
   ByteWriter writer;
   PutMagic(&writer, kIndexMagic);
-  writer.PutU8(kWireVersion);
+  PutVersionAndEpoch(&writer, epoch);
   writer.PutVarint(entries.size());
   for (const AirIndex::Entry& entry : entries) {
     writer.PutVarint(entry.hilbert);
@@ -158,9 +188,15 @@ std::vector<uint8_t> EncodeIndexSegment(
 
 bool DecodeIndexSegment(const uint8_t* data, size_t size,
                         std::vector<AirIndex::Entry>* out) {
+  uint64_t epoch = 0;
+  return DecodeIndexSegment(data, size, out, &epoch);
+}
+
+bool DecodeIndexSegment(const uint8_t* data, size_t size,
+                        std::vector<AirIndex::Entry>* out, uint64_t* epoch) {
   ByteReader reader(data, size);
   if (!CheckMagic(&reader, kIndexMagic)) return false;
-  if (reader.GetU8() != kWireVersion) return false;
+  if (!GetVersionAndEpoch(&reader, epoch)) return false;
   const uint64_t count = reader.GetVarint();
   if (!reader.ok()) return false;
   if (count > reader.remaining()) return false;  // >= 2 bytes per entry
@@ -225,19 +261,32 @@ bool DecodeBucketFramed(const uint8_t* data, size_t size, DataBucket* out) {
 
 std::vector<uint8_t> EncodeIndexSegmentFramed(
     const std::vector<AirIndex::Entry>& entries) {
-  std::vector<uint8_t> frame = EncodeIndexSegment(entries);
+  return EncodeIndexSegmentFramed(entries, 0);
+}
+
+std::vector<uint8_t> EncodeIndexSegmentFramed(
+    const std::vector<AirIndex::Entry>& entries, uint64_t epoch) {
+  std::vector<uint8_t> frame = EncodeIndexSegment(entries, epoch);
   AppendCrc32(&frame);
   return frame;
 }
 
 bool DecodeIndexSegmentFramed(const uint8_t* data, size_t size,
                               std::vector<AirIndex::Entry>* out) {
+  uint64_t epoch = 0;
+  return DecodeIndexSegmentFramed(data, size, out, &epoch);
+}
+
+bool DecodeIndexSegmentFramed(const uint8_t* data, size_t size,
+                              std::vector<AirIndex::Entry>* out,
+                              uint64_t* epoch) {
   if (!VerifyCrc32(data, size)) return false;
-  return DecodeIndexSegment(data, size - 4, out);
+  return DecodeIndexSegment(data, size - 4, out, epoch);
 }
 
 int64_t BucketWireSize(const DataBucket& bucket) {
   int64_t size = 4 + 1;  // magic + version
+  if (bucket.epoch != 0) size += VarintSize(bucket.epoch);
   size += VarintSize(IdToWire(bucket.id));
   size += VarintSize(bucket.hilbert_lo);
   size += VarintSize(bucket.hilbert_hi);

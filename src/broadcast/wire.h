@@ -15,14 +15,22 @@
 /// downstream users a concrete, versioned serialization.
 ///
 /// Layout (little-endian):
-///   bucket  := magic 'LBQB' | u8 version | varint id
+///   bucket  := magic 'LBQB' | u8 version | [varint epoch] | varint id
 ///              | varint hilbert_lo | varint hilbert_hi
 ///              | f64 mbr.x1 y1 x2 y2 | varint poi_count
 ///              | poi_count * (varint id | f64 x | f64 y)
-///   segment := magic 'LBQI' | u8 version | varint entry_count
+///   segment := magic 'LBQI' | u8 version | [varint epoch]
+///              | varint entry_count
 ///              | entry_count * (varint hilbert | varint bucket)
 /// Varints are LEB128 (7 bits per byte). Decoders are bounds-checked and
 /// reject bad magic, bad version, truncation, and trailing garbage.
+///
+/// Versioning: v1 frames carry no epoch field and decode as epoch 0 (the
+/// initial static world); v2 frames carry the epoch varint right after the
+/// version byte. Encoders emit v1 whenever the epoch is 0 — so a static
+/// world produces bytes identical to the pre-dynamic format — and decoders
+/// reject a v2 frame whose epoch is 0 (non-canonical: it must be v1),
+/// keeping encode/decode a bijection.
 ///
 /// Framed variants append a CRC-32 trailer (4 bytes, little-endian) so the
 /// receiver can detect corruption in transit:
@@ -32,8 +40,10 @@
 
 namespace lbsq::broadcast {
 
-/// Current wire version.
+/// Legacy (epoch-free) wire version; still emitted for epoch-0 frames.
 inline constexpr uint8_t kWireVersion = 1;
+/// Epoch-carrying wire version (see the versioning note above).
+inline constexpr uint8_t kWireVersionEpoch = 2;
 
 /// Append-only byte buffer with the primitive encoders.
 class ByteWriter {
@@ -75,20 +85,29 @@ class ByteReader {
   bool ok_ = true;
 };
 
-/// Serializes one data bucket.
+/// Serializes one data bucket (v1 when bucket.epoch == 0, v2 otherwise).
 std::vector<uint8_t> EncodeBucket(const DataBucket& bucket);
 
 /// Parses a data bucket; returns false (leaving *out unspecified) on any
-/// malformed input. The entire buffer must be consumed.
+/// malformed input. The entire buffer must be consumed. Accepts v1 (legacy,
+/// out->epoch = 0) and v2 frames.
 bool DecodeBucket(const uint8_t* data, size_t size, DataBucket* out);
 
-/// Serializes an index segment (a slice of the directory).
+/// Serializes an index segment (a slice of the directory) for epoch 0.
 std::vector<uint8_t> EncodeIndexSegment(
     const std::vector<AirIndex::Entry>& entries);
+
+/// Epoch-tagged index segment (v1 when epoch == 0, v2 otherwise).
+std::vector<uint8_t> EncodeIndexSegment(
+    const std::vector<AirIndex::Entry>& entries, uint64_t epoch);
 
 /// Parses an index segment; same error contract as DecodeBucket.
 bool DecodeIndexSegment(const uint8_t* data, size_t size,
                         std::vector<AirIndex::Entry>* out);
+
+/// As above, also reporting the segment's epoch (0 for legacy v1 frames).
+bool DecodeIndexSegment(const uint8_t* data, size_t size,
+                        std::vector<AirIndex::Entry>* out, uint64_t* epoch);
 
 /// Wire size of a bucket in bytes (without encoding it).
 int64_t BucketWireSize(const DataBucket& bucket);
@@ -115,10 +134,19 @@ bool DecodeBucketFramed(const uint8_t* data, size_t size, DataBucket* out);
 std::vector<uint8_t> EncodeIndexSegmentFramed(
     const std::vector<AirIndex::Entry>& entries);
 
+/// Epoch-tagged framed index segment.
+std::vector<uint8_t> EncodeIndexSegmentFramed(
+    const std::vector<AirIndex::Entry>& entries, uint64_t epoch);
+
 /// Framed counterpart of DecodeIndexSegment; same error contract as
 /// DecodeBucketFramed.
 bool DecodeIndexSegmentFramed(const uint8_t* data, size_t size,
                               std::vector<AirIndex::Entry>* out);
+
+/// As above, also reporting the segment's epoch (0 for legacy v1 frames).
+bool DecodeIndexSegmentFramed(const uint8_t* data, size_t size,
+                              std::vector<AirIndex::Entry>* out,
+                              uint64_t* epoch);
 
 }  // namespace lbsq::broadcast
 

@@ -98,6 +98,10 @@ void QueryEngine::Execute(const QueryRequest& request,
                       request.slot, request.trace, session, workspace,
                       &*outcome->window);
   }
+  // The produced knowledge is complete with respect to this system's world
+  // epoch; tag it so cross-epoch consumers can revalidate (epoch 0 — the
+  // static world — leaves the default tag in place).
+  outcome->Cacheable().epoch = system_.epoch();
 }
 
 std::span<const QueryOutcome> QueryEngine::ExecuteBatch(

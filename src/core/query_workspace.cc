@@ -7,14 +7,17 @@ namespace lbsq::core {
 void QueryWorkspace::Prepare(const broadcast::BroadcastSystem& system,
                              int64_t cycle) {
   const void* tag = &system;
-  // The POI count guards (weakly) against a different system reusing the
-  // same address after destruction; workspaces are meant to be scoped to
-  // one engine/thread, this catches accidental cross-system reuse.
+  // The POI count and world epoch guard against a different system reusing
+  // the same address after destruction (the epoch-publish path of the
+  // dynamic world frees the old system and can allocate the new one at the
+  // recycled address); workspaces are meant to be scoped to one
+  // engine/thread, this catches accidental cross-system reuse too.
   if (tag != system_tag_ || system.pois().size() != system_pois_ ||
-      cycle != cycle_) {
+      system.epoch() != system_epoch_ || cycle != cycle_) {
     memo_.clear();
     system_tag_ = tag;
     system_pois_ = system.pois().size();
+    system_epoch_ = system.epoch();
     cycle_ = cycle;
   }
 }

@@ -105,11 +105,17 @@ class QueryWorkspace {
   QueryWorkspace(QueryWorkspace&&) = default;
   QueryWorkspace& operator=(QueryWorkspace&&) = default;
 
-  /// Binds the memo to (`system`, broadcast `cycle`): a change of either
-  /// clears it (covers never go stale — the system is immutable — so the
-  /// cycle scope only bounds memo memory to one cycle's query locality).
+  /// Binds the memo to (`system`, its world epoch, broadcast `cycle`): a
+  /// change of any clears it (covers never go stale — each epoch's system is
+  /// immutable — so the cycle scope only bounds memo memory to one cycle's
+  /// query locality). The epoch guard makes the binding safe under the
+  /// dynamic world: a new epoch's system allocated at a recycled address
+  /// (the ABA hazard of the pointer tag) still invalidates the memo.
   /// Called by the engine at the top of every Execute.
   void Prepare(const broadcast::BroadcastSystem& system, int64_t cycle);
+
+  /// The world epoch the memo is currently bound to.
+  uint64_t pinned_epoch() const { return system_epoch_; }
 
   /// The memoized cover of `rect` (computed on first sight of its cell
   /// key). The returned reference stays valid until the next Prepare that
@@ -174,6 +180,7 @@ class QueryWorkspace {
   std::unordered_map<CoverKey, CoverEntry, CoverKeyHash> memo_;
   const void* system_tag_ = nullptr;
   size_t system_pois_ = 0;
+  uint64_t system_epoch_ = 0;
   int64_t cycle_ = -1;
   std::vector<QueryOutcome> outcomes_;
 };

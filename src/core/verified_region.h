@@ -1,6 +1,7 @@
 #ifndef LBSQ_CORE_VERIFIED_REGION_H_
 #define LBSQ_CORE_VERIFIED_REGION_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "geom/rect.h"
@@ -22,12 +23,18 @@ namespace lbsq::core {
 struct VerifiedRegion {
   geom::Rect region;
   std::vector<spatial::Poi> pois;
+  /// The world epoch this knowledge was verified against (0 = the initial
+  /// static world). Completeness holds with respect to the POI database of
+  /// that epoch only; consumers on a different epoch must revalidate the
+  /// region against the update log or reject it as stale (src/dynamic/).
+  uint64_t epoch = 0;
 
   /// Back to the default (empty-region) state, keeping `pois` capacity so
   /// reused outcome storage does not reallocate.
   void Clear() {
     region = geom::Rect{};
     pois.clear();
+    epoch = 0;
   }
 };
 

@@ -1,0 +1,57 @@
+#include "dynamic/dynamic_engine.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace lbsq::dynamic {
+
+RevalidationStats RevalidatePeerData(const WorldVersioner& versioner,
+                                     uint64_t pinned_epoch,
+                                     core::PeerData* peer) {
+  RevalidationStats stats;
+  auto stale = [&](core::VerifiedRegion& vr) {
+    if (vr.epoch == pinned_epoch) return false;
+    const uint64_t lo = std::min(vr.epoch, pinned_epoch);
+    const uint64_t hi = std::max(vr.epoch, pinned_epoch);
+    if (versioner.RegionDirty(vr.region, lo, hi)) {
+      ++stats.rejected;
+      return true;
+    }
+    vr.epoch = pinned_epoch;
+    ++stats.revalidated;
+    return false;
+  };
+  std::erase_if(peer->regions, stale);
+  return stats;
+}
+
+RevalidationStats RevalidatePeerData(const WorldVersioner& versioner,
+                                     uint64_t pinned_epoch,
+                                     std::vector<core::PeerData>* peers) {
+  RevalidationStats stats;
+  for (core::PeerData& peer : *peers) {
+    const RevalidationStats one =
+        RevalidatePeerData(versioner, pinned_epoch, &peer);
+    stats.revalidated += one.revalidated;
+    stats.rejected += one.rejected;
+  }
+  return stats;
+}
+
+std::shared_ptr<const WorldEpoch> DynamicQueryEngine::Execute(
+    core::QueryRequest* request, core::QueryWorkspace& workspace,
+    core::QueryOutcome* outcome, RevalidationStats* stats) const {
+  LBSQ_CHECK(request != nullptr && outcome != nullptr);
+  std::shared_ptr<const WorldEpoch> pinned = versioner_.Current();
+  const RevalidationStats pass =
+      RevalidatePeerData(versioner_, pinned->id, &request->peers);
+  if (stats != nullptr) {
+    stats->revalidated += pass.revalidated;
+    stats->rejected += pass.rejected;
+  }
+  pinned->engine->Execute(*request, workspace, outcome);
+  return pinned;
+}
+
+}  // namespace lbsq::dynamic

@@ -1,0 +1,86 @@
+#include "dynamic/update_log.h"
+
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace lbsq::dynamic {
+
+int64_t ApplyUpdates(std::vector<PoiUpdate>* updates,
+                     std::vector<spatial::Poi>* pois) {
+  LBSQ_CHECK(updates != nullptr && pois != nullptr);
+  std::unordered_map<int64_t, size_t> index;
+  index.reserve(pois->size());
+  for (size_t i = 0; i < pois->size(); ++i) index.emplace((*pois)[i].id, i);
+
+  // Deletes are recorded as tombstones and compacted in one pass at the end
+  // so earlier updates never shift the indices later ones resolved.
+  std::vector<bool> dead(pois->size(), false);
+  size_t kept_updates = 0;
+  for (PoiUpdate& update : *updates) {
+    const auto it = index.find(update.id);
+    const bool live = it != index.end() && !dead[it->second];
+    bool applied = false;
+    switch (update.kind) {
+      case PoiUpdate::Kind::kInsert:
+        if (live) break;  // id already taken
+        index[update.id] = pois->size();
+        dead.push_back(false);
+        pois->push_back(spatial::Poi{update.id, update.pos});
+        applied = true;
+        break;
+      case PoiUpdate::Kind::kDelete:
+        if (!live) break;
+        update.old_pos = (*pois)[it->second].pos;
+        dead[it->second] = true;
+        applied = true;
+        break;
+      case PoiUpdate::Kind::kMove:
+        if (!live) break;
+        update.old_pos = (*pois)[it->second].pos;
+        (*pois)[it->second].pos = update.pos;
+        applied = true;
+        break;
+    }
+    if (applied) (*updates)[kept_updates++] = update;
+  }
+  updates->resize(kept_updates);
+  size_t keep = 0;
+  for (size_t i = 0; i < pois->size(); ++i) {
+    if (!dead[i]) (*pois)[keep++] = (*pois)[i];
+  }
+  pois->resize(keep);
+  return static_cast<int64_t>(kept_updates);
+}
+
+void UpdateLog::Append(UpdateBatch batch) {
+  LBSQ_CHECK(batch.epoch == latest_epoch() + 1);
+  batches_.push_back(std::move(batch));
+}
+
+bool UpdateLog::RegionDirtyBetween(const geom::Rect& rect,
+                                   uint64_t from_exclusive,
+                                   uint64_t to_inclusive) const {
+  for (const UpdateBatch& batch : batches_) {
+    if (batch.epoch <= from_exclusive) continue;
+    if (batch.epoch > to_inclusive) break;  // batches are epoch-ordered
+    for (const PoiUpdate& update : batch.updates) {
+      switch (update.kind) {
+        case PoiUpdate::Kind::kInsert:
+          if (rect.Contains(update.pos)) return true;
+          break;
+        case PoiUpdate::Kind::kDelete:
+          if (rect.Contains(update.old_pos)) return true;
+          break;
+        case PoiUpdate::Kind::kMove:
+          if (rect.Contains(update.old_pos) || rect.Contains(update.pos)) {
+            return true;
+          }
+          break;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace lbsq::dynamic

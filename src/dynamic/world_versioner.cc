@@ -1,0 +1,150 @@
+#include "dynamic/world_versioner.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace lbsq::dynamic {
+
+namespace {
+
+std::shared_ptr<const WorldEpoch> MakeEpoch(
+    uint64_t id, std::vector<spatial::Poi> pois, const geom::Rect& world,
+    broadcast::BroadcastParams params,
+    const core::QueryEngine::Options& options) {
+  auto epoch = std::make_shared<WorldEpoch>();
+  epoch->id = id;
+  epoch->pois = std::move(pois);
+  params.epoch = id;
+  epoch->system = std::make_unique<broadcast::BroadcastSystem>(
+      epoch->pois, world, params);
+  epoch->engine =
+      std::make_unique<core::QueryEngine>(*epoch->system, world, options);
+  return epoch;
+}
+
+}  // namespace
+
+WorldVersioner::WorldVersioner(std::vector<spatial::Poi> initial,
+                               const geom::Rect& world,
+                               const broadcast::BroadcastParams& params,
+                               const core::QueryEngine::Options& options,
+                               bool retain_history)
+    : world_(world),
+      params_(params),
+      options_(options),
+      retain_history_(retain_history) {
+  current_ = MakeEpoch(0, std::move(initial), world_, params_, options_);
+  if (retain_history_) history_.push_back(current_);
+}
+
+WorldVersioner::~WorldVersioner() { StopBuilder(); }
+
+std::shared_ptr<const WorldEpoch> WorldVersioner::Current() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return current_;
+}
+
+std::shared_ptr<const WorldEpoch> WorldVersioner::EpochAt(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  if (current_ && current_->id == id) return current_;
+  if (id < history_.size()) return history_[static_cast<size_t>(id)];
+  return nullptr;
+}
+
+uint64_t WorldVersioner::latest_epoch() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return current_->id;
+}
+
+std::shared_ptr<const WorldEpoch> WorldVersioner::BuildNext(
+    const WorldEpoch& base, std::vector<PoiUpdate>* updates) const {
+  std::vector<spatial::Poi> pois = base.pois;
+  ApplyUpdates(updates, &pois);
+  return MakeEpoch(base.id + 1, std::move(pois), world_, params_, options_);
+}
+
+void WorldVersioner::Publish(std::shared_ptr<const WorldEpoch> next,
+                             UpdateBatch batch, int64_t applied) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  LBSQ_CHECK(next->id == current_->id + 1);
+  current_ = std::move(next);
+  if (retain_history_) history_.push_back(current_);
+  log_.Append(std::move(batch));
+  updates_applied_ += applied;
+  published_cv_.notify_all();
+}
+
+uint64_t WorldVersioner::Apply(std::vector<PoiUpdate> updates) {
+  // Serializes producers; the pinned-reader path (Current / Execute) never
+  // takes this lock, so queries keep running while the rebuild is in flight.
+  std::lock_guard<std::mutex> build_lock(build_mutex_);
+  const std::shared_ptr<const WorldEpoch> base = Current();
+  std::shared_ptr<const WorldEpoch> next = BuildNext(*base, &updates);
+  const int64_t applied = static_cast<int64_t>(updates.size());
+  UpdateBatch batch{next->id, std::move(updates)};
+  const uint64_t id = next->id;
+  Publish(std::move(next), std::move(batch), applied);
+  return id;
+}
+
+bool WorldVersioner::RegionDirty(const geom::Rect& rect,
+                                 uint64_t from_exclusive,
+                                 uint64_t to_inclusive) const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return log_.RegionDirtyBetween(rect, from_exclusive, to_inclusive);
+}
+
+int64_t WorldVersioner::updates_applied() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return updates_applied_;
+}
+
+void WorldVersioner::StartBuilder() {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  if (builder_.joinable()) return;
+  stop_builder_ = false;
+  builder_ = std::thread([this] { BuilderLoop(); });
+}
+
+void WorldVersioner::StopBuilder() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (!builder_.joinable()) return;
+    stop_builder_ = true;
+    queue_cv_.notify_all();
+  }
+  builder_.join();
+  builder_ = std::thread();
+}
+
+void WorldVersioner::EnqueueBatch(std::vector<PoiUpdate> updates) {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  LBSQ_CHECK(builder_.joinable());
+  queue_.push_back(std::move(updates));
+  queue_cv_.notify_all();
+}
+
+void WorldVersioner::WaitForEpoch(uint64_t id) const {
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  published_cv_.wait(lock, [this, id] { return current_->id >= id; });
+}
+
+void WorldVersioner::BuilderLoop() {
+  for (;;) {
+    std::vector<PoiUpdate> updates;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock,
+                     [this] { return stop_builder_ || !queue_.empty(); });
+      // Drain the remaining queue even when stopping, so StopBuilder is a
+      // clean flush and WaitForEpoch callers are never stranded.
+      if (queue_.empty()) return;
+      updates = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    Apply(std::move(updates));
+  }
+}
+
+}  // namespace lbsq::dynamic

@@ -1,0 +1,140 @@
+#ifndef LBSQ_DYNAMIC_WORLD_VERSIONER_H_
+#define LBSQ_DYNAMIC_WORLD_VERSIONER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "broadcast/system.h"
+#include "core/query_engine.h"
+#include "dynamic/update_log.h"
+#include "geom/rect.h"
+#include "spatial/poi.h"
+
+/// \file
+/// Epoch versioning of the broadcast world (MVCC-lite, in the spirit of
+/// memtx snapshot reads): the POI database is mutable through
+/// insert/delete/move batches, but every published *epoch* — the POI
+/// snapshot plus the `(1, m)` broadcast system and query engine built from
+/// it — is immutable forever. Queries pin the epoch they start on via a
+/// shared_ptr and execute against a frozen, consistent world no matter how
+/// many batches land meanwhile; an epoch's storage is reclaimed when the
+/// last pin drops (unless history retention is on).
+///
+/// Rebuilds are incremental at the data-file level: a batch is applied to
+/// the previous epoch's POI snapshot in one linear merge pass (O(n + b))
+/// that preserves generation order, and bucketization/air-index
+/// construction runs over the result. The rebuild can run synchronously
+/// (`Apply`, the deterministic path the simulators drive) or on the
+/// builder thread (`StartBuilder` + `EnqueueBatch`), which publishes new
+/// epochs while query threads keep executing against their pins — the
+/// concurrency contract tests/dynamic_world_test.cc holds under TSan.
+
+namespace lbsq::dynamic {
+
+/// One immutable published world version. `pois` is the ground truth the
+/// per-epoch oracles evaluate against (generation order, exactly like the
+/// static world's database); `system`/`engine` are the broadcast channel
+/// and query facade built from it, with `system->epoch() == id`.
+struct WorldEpoch {
+  uint64_t id = 0;
+  std::vector<spatial::Poi> pois;
+  std::unique_ptr<broadcast::BroadcastSystem> system;
+  std::unique_ptr<core::QueryEngine> engine;
+};
+
+/// Accepts update batches and publishes epochs. Thread-safe: `Current`,
+/// `RegionDirty`, and the wait/observer accessors may be called from any
+/// thread concurrently with a rebuild. Producers must be serialized —
+/// either call `Apply` from one thread at a time, or run the builder
+/// thread and feed it through `EnqueueBatch` (do not mix the two).
+class WorldVersioner {
+ public:
+  /// Builds and publishes epoch 0 from `initial` (passed through to the
+  /// BroadcastSystem verbatim — a zero-update versioner is indistinguishable
+  /// from constructing the system/engine directly). `retain_history` keeps
+  /// every published epoch alive for `EpochAt` (per-epoch oracles and cache
+  /// invariant checks); off, superseded epochs die with their last pin.
+  WorldVersioner(std::vector<spatial::Poi> initial, const geom::Rect& world,
+                 const broadcast::BroadcastParams& params,
+                 const core::QueryEngine::Options& options,
+                 bool retain_history = false);
+
+  /// Stops the builder thread if running.
+  ~WorldVersioner();
+
+  WorldVersioner(const WorldVersioner&) = delete;
+  WorldVersioner& operator=(const WorldVersioner&) = delete;
+
+  /// Pins and returns the newest published epoch.
+  std::shared_ptr<const WorldEpoch> Current() const;
+
+  /// The retained epoch `id` (requires retain_history or id == current);
+  /// null when it was not retained.
+  std::shared_ptr<const WorldEpoch> EpochAt(uint64_t id) const;
+
+  /// Id of the newest published epoch.
+  uint64_t latest_epoch() const;
+
+  /// Applies one batch synchronously: merges it into the previous snapshot,
+  /// rebuilds the broadcast system and engine, publishes the next epoch,
+  /// and appends the applied batch to the log. Returns the new epoch id.
+  uint64_t Apply(std::vector<PoiUpdate> updates);
+
+  /// UpdateLog::RegionDirtyBetween under the versioner's lock.
+  bool RegionDirty(const geom::Rect& rect, uint64_t from_exclusive,
+                   uint64_t to_inclusive) const;
+
+  /// Updates applied across all published epochs (skipped-invalid excluded).
+  int64_t updates_applied() const;
+
+  /// Starts the builder thread (idempotent).
+  void StartBuilder();
+  /// Drains the queue, then stops and joins the builder (idempotent).
+  void StopBuilder();
+  /// Hands a batch to the builder thread (requires StartBuilder).
+  void EnqueueBatch(std::vector<PoiUpdate> updates);
+  /// Blocks until epoch `id` (or newer) is published.
+  void WaitForEpoch(uint64_t id) const;
+
+ private:
+  /// Builds the epoch succeeding `base` with `updates` applied. Pure; runs
+  /// outside state_mutex_ so pinned readers never wait on a rebuild.
+  std::shared_ptr<const WorldEpoch> BuildNext(const WorldEpoch& base,
+                                              std::vector<PoiUpdate>* updates)
+      const;
+
+  /// Publishes `next`, logging `batch` (state_mutex_ taken inside).
+  void Publish(std::shared_ptr<const WorldEpoch> next, UpdateBatch batch,
+               int64_t applied);
+
+  void BuilderLoop();
+
+  geom::Rect world_;
+  broadcast::BroadcastParams params_;
+  core::QueryEngine::Options options_;
+  bool retain_history_;
+
+  mutable std::mutex state_mutex_;
+  mutable std::condition_variable published_cv_;
+  std::shared_ptr<const WorldEpoch> current_;
+  std::vector<std::shared_ptr<const WorldEpoch>> history_;
+  UpdateLog log_;
+  int64_t updates_applied_ = 0;
+
+  // Producer side: serializes Apply against the builder thread's rebuilds.
+  std::mutex build_mutex_;
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<std::vector<PoiUpdate>> queue_;
+  bool stop_builder_ = false;
+  std::thread builder_;
+};
+
+}  // namespace lbsq::dynamic
+
+#endif  // LBSQ_DYNAMIC_WORLD_VERSIONER_H_

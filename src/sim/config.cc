@@ -50,6 +50,17 @@ ParameterSet RiversideCounty() {
   return p;
 }
 
+void UpdateWorkloadConfig::Validate() const {
+  LBSQ_CHECK(interval_events >= 0);
+  LBSQ_CHECK(inserts_per_batch >= 0);
+  LBSQ_CHECK(deletes_per_batch >= 0);
+  LBSQ_CHECK(moves_per_batch >= 0);
+  LBSQ_CHECK(move_radius_mi >= 0.0);
+  if (enabled()) {
+    LBSQ_CHECK(inserts_per_batch + deletes_per_batch + moves_per_batch > 0);
+  }
+}
+
 void SimConfig::Validate() const {
   LBSQ_CHECK(world_side_mi > 0.0);
   LBSQ_CHECK(warmup_min >= 0.0);
@@ -68,6 +79,7 @@ void SimConfig::Validate() const {
   LBSQ_CHECK(params.tx_range_m > 0.0);
   LBSQ_CHECK(params.knn_k >= 1.0);
   fault.Validate();
+  updates.Validate();
 }
 
 double SimConfig::Scale() const {

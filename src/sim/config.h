@@ -74,6 +74,28 @@ enum class MobilityType {
   kManhattanGrid,
 };
 
+/// Dynamic-world update workload: periodic batches of POI inserts, deletes,
+/// and moves applied to the live dataset while queries run. Batches are a
+/// pure function of (seed, batch index, previous epoch snapshot), so the
+/// resulting epoch sequence — and every downstream metric — is bitwise
+/// deterministic across thread counts. Disabled (interval_events == 0) the
+/// simulator's output is byte-identical to the static engine.
+struct UpdateWorkloadConfig {
+  /// Apply one batch every this many query events (0 = updates off).
+  int interval_events = 0;
+  /// Per-batch operation counts.
+  int inserts_per_batch = 2;
+  int deletes_per_batch = 1;
+  int moves_per_batch = 2;
+  /// Maximum per-axis displacement of a moved POI, miles (clamped to the
+  /// world rectangle).
+  double move_radius_mi = 0.25;
+
+  bool enabled() const { return interval_events > 0; }
+  /// Aborts unless counts are sane; called from SimConfig::Validate.
+  void Validate() const;
+};
+
 /// A full simulation configuration.
 struct SimConfig {
   ParameterSet params = LosAngelesCity();
@@ -165,6 +187,10 @@ struct SimConfig {
   /// fault schedule is keyed per query id, so results stay bitwise
   /// deterministic across `threads`.
   fault::FaultConfig fault;
+
+  /// Dynamic-world POI churn. Disabled by default — a disabled config yields
+  /// output byte-identical to the static-world simulator.
+  UpdateWorkloadConfig updates;
 
   /// When true, the simulator validates every cache entry against the
   /// server database after each insertion (slow; for tests).

@@ -40,6 +40,10 @@ void SimMetrics::Merge(const SimMetrics& other) {
   fault_corruptions += other.fault_corruptions;
   fault_deadline_hits += other.fault_deadline_hits;
   regions_rejected += other.regions_rejected;
+  updates_applied += other.updates_applied;
+  epochs_published += other.epochs_published;
+  regions_revalidated += other.regions_revalidated;
+  regions_stale_rejected += other.regions_stale_rejected;
   peers_per_query.Merge(other.peers_per_query);
   broadcast_latency.Merge(other.broadcast_latency);
   broadcast_tuning.Merge(other.broadcast_tuning);
@@ -62,6 +66,10 @@ bool operator==(const SimMetrics& a, const SimMetrics& b) {
          a.fault_corruptions == b.fault_corruptions &&
          a.fault_deadline_hits == b.fault_deadline_hits &&
          a.regions_rejected == b.regions_rejected &&
+         a.updates_applied == b.updates_applied &&
+         a.epochs_published == b.epochs_published &&
+         a.regions_revalidated == b.regions_revalidated &&
+         a.regions_stale_rejected == b.regions_stale_rejected &&
          a.peers_per_query == b.peers_per_query &&
          a.broadcast_latency == b.broadcast_latency &&
          a.broadcast_tuning == b.broadcast_tuning &&

@@ -46,6 +46,16 @@ struct SimMetrics {
   /// Peer regions rejected by the defensive cross-check screen.
   int64_t regions_rejected = 0;
 
+  /// Dynamic-world accounting (all zero when updates are disabled).
+  /// POI insert/delete/move operations applied during the measured window.
+  int64_t updates_applied = 0;
+  /// Epochs published during the measured window.
+  int64_t epochs_published = 0;
+  /// Cross-epoch peer regions proven still complete and retagged.
+  int64_t regions_revalidated = 0;
+  /// Cross-epoch peer regions rejected because an update touched them.
+  int64_t regions_stale_rejected = 0;
+
   /// Peers within range per query.
   RunningStat peers_per_query;
   /// Access latency / tuning time (slots) of queries that used the channel.

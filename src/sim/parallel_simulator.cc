@@ -5,6 +5,8 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "dynamic/dynamic_engine.h"
+#include "sim/update_workload.h"
 #include "sim/workload.h"
 #include "spatial/generators.h"
 
@@ -25,10 +27,13 @@ ParallelSimulator::ParallelSimulator(const SimConfig& config)
   Rng poi_rng(DeriveStreamSeed(config.seed, kStreamPois));
   std::vector<spatial::Poi> pois = spatial::GenerateUniformPois(
       &poi_rng, world_, config.ScaledPoiCount());
-  system_ = std::make_unique<broadcast::BroadcastSystem>(
-      std::move(pois), world_, config.broadcast);
-  engine_ = std::make_unique<core::QueryEngine>(
-      *system_, world_, EngineOptionsFromConfig(config));
+  base_insert_id_ = FirstInsertId(pois);
+  const bool retain_history =
+      config.updates.enabled() && config.check_cache_invariant;
+  versioner_ = std::make_unique<dynamic::WorldVersioner>(
+      std::move(pois), world_, config.broadcast,
+      EngineOptionsFromConfig(config), retain_history);
+  current_ = versioner_->Current();
 
   mobility_proto_ = MakeMobilityModel(config, world_);
   const int64_t hosts = mobility_proto_->num_hosts();
@@ -61,8 +66,14 @@ void ParallelSimulator::SetObserver(obs::TraceSink* trace_sink,
 void ParallelSimulator::CheckCacheInvariant(int64_t host) const {
   for (const core::VerifiedRegion& vr :
        caches_[static_cast<size_t>(host)].entries()) {
+    // Completeness is epoch-relative: validate against the POI database of
+    // the epoch the entry was verified on (== the current epoch when
+    // updates are off).
+    const std::shared_ptr<const dynamic::WorldEpoch> epoch =
+        config_.updates.enabled() ? versioner_->EpochAt(vr.epoch) : current_;
+    LBSQ_CHECK(epoch != nullptr);
     const std::vector<spatial::Poi> truth =
-        spatial::BruteForceWindow(system_->pois(), vr.region);
+        spatial::BruteForceWindow(epoch->pois, vr.region);
     // Every server POI inside the region must be cached.
     for (const spatial::Poi& poi : truth) {
       const bool present =
@@ -97,6 +108,15 @@ ParallelSimulator::EventResult ParallelSimulator::ExecuteEvent(
       config_.p2p_hops,
       [this](int64_t id) { return snapshot_[static_cast<size_t>(id)]; },
       &peers);
+  if (config_.updates.enabled()) {
+    // The pinned epoch is immutable while workers run (chunk boundaries
+    // are clamped to update boundaries), so this decision depends only on
+    // the region's epoch tag and the update log — never the thread count.
+    const dynamic::RevalidationStats revalidation =
+        dynamic::RevalidatePeerData(*versioner_, current_->id, &peers);
+    result.regions_revalidated = revalidation.revalidated;
+    result.regions_stale_rejected = revalidation.rejected;
+  }
   result.measured = event.time_min >= config_.warmup_min;
 
   // Record into the event's private slot; the fold serializes in event
@@ -113,7 +133,7 @@ ParallelSimulator::EventResult ParallelSimulator::ExecuteEvent(
       event.time_min * config_.slots_per_second * 60.0);
   if (event.type == QueryType::kKnn) {
     KnnQueryResult knn =
-        ExecuteKnnQuery(config_, *engine_, pos, event.k, slot,
+        ExecuteKnnQuery(config_, *current_->engine, pos, event.k, slot,
                         std::move(peers), result.measured, query_id, trace,
                         &worker->workspace);
     caches_[static_cast<size_t>(event.host)].Insert(
@@ -123,7 +143,7 @@ ParallelSimulator::EventResult ParallelSimulator::ExecuteEvent(
     result.knn = std::move(knn);
   } else {
     WindowQueryResult window =
-        ExecuteWindowQuery(config_, *engine_, event.window, slot,
+        ExecuteWindowQuery(config_, *current_->engine, event.window, slot,
                            std::move(peers), result.measured, query_id,
                            trace, &worker->workspace);
     caches_[static_cast<size_t>(event.host)].Insert(
@@ -135,6 +155,29 @@ ParallelSimulator::EventResult ParallelSimulator::ExecuteEvent(
   return result;
 }
 
+void ParallelSimulator::MaybeApplyUpdates(size_t event_index,
+                                          double event_time_min,
+                                          SimMetrics* metrics) {
+  if (!config_.updates.enabled()) return;
+  const size_t interval =
+      static_cast<size_t>(config_.updates.interval_events);
+  if (event_index == 0 || event_index % interval != 0) return;
+  // Identical to the sequential engine: batch k = index / interval produces
+  // epoch k from the epoch-(k-1) snapshot, purely from (config, seed, k).
+  const uint64_t k = event_index / interval;
+  std::vector<dynamic::PoiUpdate> batch =
+      GenerateUpdateBatch(config_.updates, config_.seed, k, current_->pois,
+                          world_, base_insert_id_);
+  const int64_t before = versioner_->updates_applied();
+  const uint64_t published = versioner_->Apply(std::move(batch));
+  LBSQ_CHECK(published == k);
+  current_ = versioner_->Current();
+  if (event_time_min >= config_.warmup_min) {
+    metrics->epochs_published += 1;
+    metrics->updates_applied += versioner_->updates_applied() - before;
+  }
+}
+
 SimMetrics ParallelSimulator::Execute(const std::vector<QueryEvent>& events) {
   SimMetrics metrics;
   const int64_t hosts = mobility_proto_->num_hosts();
@@ -142,8 +185,17 @@ SimMetrics ParallelSimulator::Execute(const std::vector<QueryEvent>& events) {
   const int64_t workers = static_cast<int64_t>(workers_.size());
   std::vector<EventResult> results;
 
-  for (size_t begin = 0; begin < events.size(); begin += epoch) {
-    const size_t end = std::min(events.size(), begin + epoch);
+  for (size_t begin = 0; begin < events.size();) {
+    size_t end = std::min(events.size(), begin + epoch);
+    if (config_.updates.enabled()) {
+      // Cut chunks at update boundaries — boundaries depend only on the
+      // config, so chunking (and therefore every snapshot) is identical at
+      // any thread count — and apply the batch due at this boundary.
+      const size_t interval =
+          static_cast<size_t>(config_.updates.interval_events);
+      end = std::min(end, (begin / interval + 1) * interval);
+      MaybeApplyUpdates(begin, events[begin].time_min, &metrics);
+    }
 
     // Epoch barrier: freeze every host's shareable data. Workers read the
     // snapshot lock-free for the rest of the epoch.
@@ -176,6 +228,8 @@ SimMetrics ParallelSimulator::Execute(const std::vector<QueryEvent>& events) {
     // result is bitwise independent of the thread count.
     for (const EventResult& result : results) {
       if (!result.measured) continue;
+      metrics.regions_revalidated += result.regions_revalidated;
+      metrics.regions_stale_rejected += result.regions_stale_rejected;
       metrics.peers_per_query.Add(result.peer_count);
       if (registry_ != nullptr) {
         registry_->Observe("peers_per_query",
@@ -187,6 +241,7 @@ SimMetrics ParallelSimulator::Execute(const std::vector<QueryEvent>& events) {
         trace_sink_->Append(result.trace);
       }
     }
+    begin = end;
   }
   return metrics;
 }
@@ -200,6 +255,9 @@ SimMetrics ParallelSimulator::Run() {
 }
 
 SimMetrics ParallelSimulator::Replay(const std::vector<QueryEvent>& events) {
+  // Update batches are keyed by event index; replaying a dynamic run on an
+  // already-advanced world cannot reproduce the recording.
+  if (config_.updates.enabled()) LBSQ_CHECK(versioner_->latest_epoch() == 0);
   for (const QueryEvent& event : events) {
     LBSQ_CHECK(event.host >= 0 &&
                event.host < mobility_proto_->num_hosts());

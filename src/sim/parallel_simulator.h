@@ -12,6 +12,7 @@
 #include "core/peer_cache.h"
 #include "core/query_engine.h"
 #include "core/query_workspace.h"
+#include "dynamic/world_versioner.h"
 #include "sim/config.h"
 #include "sim/metrics.h"
 #include "sim/mobility.h"
@@ -75,14 +76,19 @@ class ParallelSimulator {
   /// Events recorded by the last Run() under record_trace.
   const std::vector<QueryEvent>& trace() const { return trace_; }
 
-  /// The broadcast channel (valid after construction).
-  const broadcast::BroadcastSystem& system() const { return *system_; }
+  /// The broadcast channel of the currently pinned epoch (epoch 0 — the
+  /// full static world — unless updates are enabled and have fired).
+  const broadcast::BroadcastSystem& system() const {
+    return *current_->system;
+  }
   /// The simulated world rectangle.
   const geom::Rect& world() const { return world_; }
   /// Host caches (for inspection in tests).
   const std::vector<core::PeerCache>& caches() const { return caches_; }
-  /// The query engine every event goes through.
-  const core::QueryEngine& engine() const { return *engine_; }
+  /// The query engine of the currently pinned epoch.
+  const core::QueryEngine& engine() const { return *current_->engine; }
+  /// The epoch store (epoch 0 only when updates are disabled).
+  const dynamic::WorldVersioner& versioner() const { return *versioner_; }
 
  private:
   /// Everything a worker thread owns privately: its fleet replica, its
@@ -105,6 +111,10 @@ class ParallelSimulator {
   struct EventResult {
     bool measured = false;
     int peer_count = 0;
+    /// Cross-epoch revalidation counts of this event's gathered peer data
+    /// (zero unless updates are enabled); folded in event order.
+    int64_t regions_revalidated = 0;
+    int64_t regions_stale_rejected = 0;
     std::optional<KnnQueryResult> knn;
     std::optional<WindowQueryResult> window;
     /// Span/counter events of this query (only populated when a trace sink
@@ -122,15 +132,28 @@ class ParallelSimulator {
   /// Validates the cache completeness invariant of `host` against the full
   /// POI set (check_cache_invariant mode). Brute force instead of the
   /// R-tree: the tree's node-access counter is mutable state that worker
-  /// threads must not share.
+  /// threads must not share. Under churn each entry is checked against the
+  /// snapshot of its own epoch.
   void CheckCacheInvariant(int64_t host) const;
+
+  /// Applies the deterministic update batch due before event `event_index`
+  /// (a no-op unless updates are enabled and the index is a nonzero
+  /// multiple of the interval) and re-pins the published epoch. Called only
+  /// between chunks — chunk boundaries are clamped to update boundaries, so
+  /// the pinned epoch is immutable while workers run.
+  void MaybeApplyUpdates(size_t event_index, double event_time_min,
+                         SimMetrics* metrics);
 
   SimMetrics Execute(const std::vector<QueryEvent>& events);
 
   SimConfig config_;
   geom::Rect world_;
-  std::unique_ptr<broadcast::BroadcastSystem> system_;
-  std::unique_ptr<core::QueryEngine> engine_;
+  std::unique_ptr<dynamic::WorldVersioner> versioner_;
+  /// The pinned epoch every event of the current chunk executes against;
+  /// re-pinned at update boundaries (always between chunks).
+  std::shared_ptr<const dynamic::WorldEpoch> current_;
+  /// First id handed to inserted POIs (fixed at construction).
+  int64_t base_insert_id_ = 0;
   std::unique_ptr<MobilityModel> mobility_proto_;
   std::vector<core::PeerCache> caches_;
   /// Shareable cache content of every host as of the last epoch barrier.

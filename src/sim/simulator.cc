@@ -5,7 +5,9 @@
 #include <utility>
 
 #include "common/check.h"
+#include "dynamic/dynamic_engine.h"
 #include "sim/query_exec.h"
+#include "sim/update_workload.h"
 #include "sim/workload.h"
 #include "spatial/generators.h"
 
@@ -25,10 +27,16 @@ Simulator::Simulator(const SimConfig& config)
   std::vector<spatial::Poi> pois = spatial::GenerateUniformPois(
       &poi_rng, world_, config.ScaledPoiCount());
   server_index_.InsertAll(pois);
-  system_ = std::make_unique<broadcast::BroadcastSystem>(
-      std::move(pois), world_, config.broadcast);
-  engine_ = std::make_unique<core::QueryEngine>(
-      *system_, world_, EngineOptionsFromConfig(config));
+  base_insert_id_ = FirstInsertId(pois);
+  // Under churn the cache invariant is epoch-relative, so the invariant
+  // checker needs every historical snapshot; otherwise epochs are reclaimed
+  // as soon as the last query unpins them.
+  const bool retain_history =
+      config.updates.enabled() && config.check_cache_invariant;
+  versioner_ = std::make_unique<dynamic::WorldVersioner>(
+      std::move(pois), world_, config.broadcast,
+      EngineOptionsFromConfig(config), retain_history);
+  current_ = versioner_->Current();
 
   mobility_ = MakeMobilityModel(config, world_);
   const int64_t hosts = mobility_->num_hosts();
@@ -49,8 +57,19 @@ void Simulator::SetObserver(obs::TraceSink* trace_sink,
 void Simulator::CheckCacheInvariant(int64_t host) const {
   for (const core::VerifiedRegion& vr :
        caches_[static_cast<size_t>(host)].entries()) {
-    const std::vector<spatial::Poi> truth =
-        server_index_.WindowQuery(vr.region);
+    std::vector<spatial::Poi> truth;
+    if (config_.updates.enabled()) {
+      // Completeness is an epoch-relative guarantee: validate each entry
+      // against the POI database of the epoch it was verified on.
+      const std::shared_ptr<const dynamic::WorldEpoch> epoch =
+          versioner_->EpochAt(vr.epoch);
+      LBSQ_CHECK(epoch != nullptr);
+      for (const spatial::Poi& poi : epoch->pois) {
+        if (vr.region.Contains(poi.pos)) truth.push_back(poi);
+      }
+    } else {
+      truth = server_index_.WindowQuery(vr.region);
+    }
     // Every server POI inside the region must be cached.
     for (const spatial::Poi& poi : truth) {
       const bool present =
@@ -81,6 +100,16 @@ void Simulator::ExecuteEvent(const QueryEvent& event, int64_t query_id,
       peer_index_, positions_, event.host, tx_range_mi_, config_.p2p_hops,
       [this](int64_t id) { return caches_[static_cast<size_t>(id)].Share(); },
       &peers);
+  if (config_.updates.enabled()) {
+    // Gathered peer regions may predate the pinned epoch; keep only those
+    // whose completeness survives the separating update batches.
+    const dynamic::RevalidationStats revalidation =
+        dynamic::RevalidatePeerData(*versioner_, current_->id, &peers);
+    if (event.time_min >= config_.warmup_min) {
+      metrics->regions_revalidated += revalidation.revalidated;
+      metrics->regions_stale_rejected += revalidation.rejected;
+    }
+  }
   const bool measured = event.time_min >= config_.warmup_min;
   if (measured) {
     metrics->peers_per_query.Add(peer_count);
@@ -104,7 +133,7 @@ void Simulator::ExecuteEvent(const QueryEvent& event, int64_t query_id,
       event.time_min * config_.slots_per_second * 60.0);
   if (event.type == QueryType::kKnn) {
     KnnQueryResult result =
-        ExecuteKnnQuery(config_, *engine_, pos, event.k, slot,
+        ExecuteKnnQuery(config_, *current_->engine, pos, event.k, slot,
                         std::move(peers), measured, query_id, trace,
                         &workspace_);
     caches_[static_cast<size_t>(event.host)].Insert(
@@ -114,7 +143,7 @@ void Simulator::ExecuteEvent(const QueryEvent& event, int64_t query_id,
     if (measured) AccumulateKnn(result, metrics, registry_);
   } else {
     WindowQueryResult result =
-        ExecuteWindowQuery(config_, *engine_, event.window, slot,
+        ExecuteWindowQuery(config_, *current_->engine, event.window, slot,
                            std::move(peers), measured, query_id, trace,
                            &workspace_);
     caches_[static_cast<size_t>(event.host)].Insert(
@@ -126,11 +155,35 @@ void Simulator::ExecuteEvent(const QueryEvent& event, int64_t query_id,
   if (trace != nullptr) trace_sink_->Append(*trace);
 }
 
+void Simulator::MaybeApplyUpdates(size_t event_index, double event_time_min,
+                                  SimMetrics* metrics) {
+  if (!config_.updates.enabled()) return;
+  const size_t interval =
+      static_cast<size_t>(config_.updates.interval_events);
+  if (event_index == 0 || event_index % interval != 0) return;
+  // Batch k (1-based) produces epoch k; k is the event index divided by the
+  // interval, so the epoch sequence depends only on (config, seed, index) —
+  // never on engine or thread count.
+  const uint64_t k = event_index / interval;
+  std::vector<dynamic::PoiUpdate> batch =
+      GenerateUpdateBatch(config_.updates, config_.seed, k, current_->pois,
+                          world_, base_insert_id_);
+  const int64_t before = versioner_->updates_applied();
+  const uint64_t published = versioner_->Apply(std::move(batch));
+  LBSQ_CHECK(published == k);
+  current_ = versioner_->Current();
+  if (event_time_min >= config_.warmup_min) {
+    metrics->epochs_published += 1;
+    metrics->updates_applied += versioner_->updates_applied() - before;
+  }
+}
+
 SimMetrics Simulator::Run() {
   trace_.clear();
   std::vector<QueryEvent> events = GenerateWorkload(config_, world_);
   SimMetrics metrics;
   for (size_t i = 0; i < events.size(); ++i) {
+    MaybeApplyUpdates(i, events[i].time_min, &metrics);
     ExecuteEvent(events[i], static_cast<int64_t>(i), &metrics);
   }
   if (config_.record_trace) trace_ = std::move(events);
@@ -138,9 +191,13 @@ SimMetrics Simulator::Run() {
 }
 
 SimMetrics Simulator::Replay(const std::vector<QueryEvent>& events) {
+  // Update batches are keyed by event index; replaying a dynamic run on an
+  // already-advanced world cannot reproduce the recording.
+  if (config_.updates.enabled()) LBSQ_CHECK(versioner_->latest_epoch() == 0);
   SimMetrics metrics;
   for (size_t i = 0; i < events.size(); ++i) {
     LBSQ_CHECK(events[i].host >= 0 && events[i].host < mobility_->num_hosts());
+    MaybeApplyUpdates(i, events[i].time_min, &metrics);
     ExecuteEvent(events[i], static_cast<int64_t>(i), &metrics);
   }
   return metrics;

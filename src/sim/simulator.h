@@ -11,6 +11,7 @@
 #include "core/peer_cache.h"
 #include "core/query_engine.h"
 #include "core/query_workspace.h"
+#include "dynamic/world_versioner.h"
 #include "sim/config.h"
 #include "sim/metrics.h"
 #include "sim/mobility.h"
@@ -55,20 +56,28 @@ class Simulator {
   /// Replays a recorded workload (typically from a prior Run() with
   /// record_trace set on a simulator with the same configuration and seed;
   /// mobility and the POI set are reconstructed from the seed, so a replay
-  /// of a recording reproduces its metrics exactly).
+  /// of a recording reproduces its metrics exactly). With updates enabled
+  /// the replay must start from a *fresh* simulator (epoch 0): update
+  /// batches regenerate from the event index, so a pre-advanced world would
+  /// diverge from the recording.
   SimMetrics Replay(const std::vector<QueryEvent>& events);
 
   /// Events recorded by the last Run() under record_trace.
   const std::vector<QueryEvent>& trace() const { return trace_; }
 
-  /// The broadcast channel (valid after construction).
-  const broadcast::BroadcastSystem& system() const { return *system_; }
+  /// The broadcast channel of the currently pinned epoch (epoch 0 — the
+  /// full static world — unless updates are enabled and have fired).
+  const broadcast::BroadcastSystem& system() const {
+    return *current_->system;
+  }
   /// The simulated world rectangle.
   const geom::Rect& world() const { return world_; }
   /// Host caches (for inspection in tests).
   const std::vector<core::PeerCache>& caches() const { return caches_; }
-  /// The query engine every event goes through.
-  const core::QueryEngine& engine() const { return *engine_; }
+  /// The query engine of the currently pinned epoch.
+  const core::QueryEngine& engine() const { return *current_->engine; }
+  /// The epoch store (epoch 0 only when updates are disabled).
+  const dynamic::WorldVersioner& versioner() const { return *versioner_; }
 
  private:
   /// Positions every host at time `t`, refreshes the peer index, gathers
@@ -77,14 +86,26 @@ class Simulator {
   void ExecuteEvent(const QueryEvent& event, int64_t query_id,
                     SimMetrics* metrics);
 
+  /// Applies the deterministic update batch due before event `event_index`
+  /// (a no-op unless updates are enabled and the index is a nonzero
+  /// multiple of the configured interval) and re-pins the published epoch.
+  void MaybeApplyUpdates(size_t event_index, double event_time_min,
+                         SimMetrics* metrics);
+
   /// Validates the cache completeness invariant of `host` against the
-  /// server database (check_cache_invariant mode).
+  /// server database (check_cache_invariant mode). Under churn each entry
+  /// is checked against the snapshot of its *own* epoch — completeness is
+  /// an epoch-relative guarantee.
   void CheckCacheInvariant(int64_t host) const;
 
   SimConfig config_;
   geom::Rect world_;
-  std::unique_ptr<broadcast::BroadcastSystem> system_;
-  std::unique_ptr<core::QueryEngine> engine_;
+  std::unique_ptr<dynamic::WorldVersioner> versioner_;
+  /// The pinned epoch every event executes against; re-pinned after each
+  /// update batch.
+  std::shared_ptr<const dynamic::WorldEpoch> current_;
+  /// First id handed to inserted POIs (fixed at construction).
+  int64_t base_insert_id_ = 0;
   spatial::RTree server_index_;
   std::unique_ptr<MobilityModel> mobility_;
   std::vector<core::PeerCache> caches_;

@@ -1,0 +1,85 @@
+#include "sim/update_workload.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "sim/workload.h"
+
+namespace lbsq::sim {
+
+namespace {
+
+double ClampTo(double v, double lo, double hi) {
+  return std::min(std::max(v, lo), hi);
+}
+
+}  // namespace
+
+int64_t FirstInsertId(const std::vector<spatial::Poi>& initial) {
+  int64_t max_id = -1;
+  for (const spatial::Poi& poi : initial) max_id = std::max(max_id, poi.id);
+  return max_id + 1;
+}
+
+std::vector<dynamic::PoiUpdate> GenerateUpdateBatch(
+    const UpdateWorkloadConfig& config, uint64_t seed, uint64_t batch_index,
+    const std::vector<spatial::Poi>& snapshot, const geom::Rect& world,
+    int64_t base_insert_id) {
+  Rng rng(DeriveStreamSeed(DeriveStreamSeed(seed, kStreamUpdates),
+                           batch_index));
+  std::vector<dynamic::PoiUpdate> updates;
+  updates.reserve(static_cast<size_t>(config.deletes_per_batch) +
+                  config.moves_per_batch + config.inserts_per_batch);
+
+  // Victims for deletes and moves, drawn without replacement so a batch
+  // never issues two operations against the same POI. Draw order (deletes
+  // first, then moves) is part of the reproducibility contract.
+  const size_t wanted = static_cast<size_t>(config.deletes_per_batch) +
+                        static_cast<size_t>(config.moves_per_batch);
+  std::vector<size_t> victims;
+  if (wanted > 0 && !snapshot.empty()) {
+    std::vector<size_t> pool(snapshot.size());
+    for (size_t i = 0; i < pool.size(); ++i) pool[i] = i;
+    const size_t take = std::min(wanted, pool.size());
+    victims.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      const size_t j = i + static_cast<size_t>(rng.NextBelow(pool.size() - i));
+      std::swap(pool[i], pool[j]);
+      victims.push_back(pool[i]);
+    }
+  }
+
+  size_t next_victim = 0;
+  for (int i = 0; i < config.deletes_per_batch; ++i) {
+    if (next_victim >= victims.size()) break;
+    const spatial::Poi& poi = snapshot[victims[next_victim++]];
+    dynamic::PoiUpdate u;
+    u.kind = dynamic::PoiUpdate::Kind::kDelete;
+    u.id = poi.id;
+    updates.push_back(u);
+  }
+  for (int i = 0; i < config.moves_per_batch; ++i) {
+    if (next_victim >= victims.size()) break;
+    const spatial::Poi& poi = snapshot[victims[next_victim++]];
+    dynamic::PoiUpdate u;
+    u.kind = dynamic::PoiUpdate::Kind::kMove;
+    u.id = poi.id;
+    const double r = config.move_radius_mi;
+    u.pos.x = ClampTo(poi.pos.x + rng.Uniform(-r, r), world.x1, world.x2);
+    u.pos.y = ClampTo(poi.pos.y + rng.Uniform(-r, r), world.y1, world.y2);
+    updates.push_back(u);
+  }
+  for (int i = 0; i < config.inserts_per_batch; ++i) {
+    dynamic::PoiUpdate u;
+    u.kind = dynamic::PoiUpdate::Kind::kInsert;
+    u.id = base_insert_id +
+           static_cast<int64_t>(batch_index - 1) * config.inserts_per_batch +
+           i;
+    u.pos.x = rng.Uniform(world.x1, world.x2);
+    u.pos.y = rng.Uniform(world.y1, world.y2);
+    updates.push_back(u);
+  }
+  return updates;
+}
+
+}  // namespace lbsq::sim

@@ -1,0 +1,44 @@
+#ifndef LBSQ_SIM_UPDATE_WORKLOAD_H_
+#define LBSQ_SIM_UPDATE_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dynamic/update_log.h"
+#include "geom/rect.h"
+#include "sim/config.h"
+#include "spatial/poi.h"
+
+/// \file
+/// Deterministic POI-churn generation for the dynamic-world simulators.
+/// Batch k is a pure function of (config, seed, k, the epoch-(k-1) POI
+/// snapshot): victims are drawn from the snapshot by index, insert
+/// identifiers are computed statelessly from the batch index, and all
+/// randomness comes from the per-batch sub-stream
+/// DeriveStreamSeed(DeriveStreamSeed(seed, kStreamUpdates), k). Both
+/// engines therefore generate identical update sequences — and identical
+/// epoch worlds — regardless of thread count.
+
+namespace lbsq::sim {
+
+/// First identifier handed to inserted POIs: one past the largest initial
+/// id (0 for an empty world). Insert j of batch k (1-based batches) gets
+/// `FirstInsertId(initial) + (k - 1) * inserts_per_batch + j`, so ids never
+/// collide and never depend on how many earlier inserts survived deletion.
+int64_t FirstInsertId(const std::vector<spatial::Poi>& initial);
+
+/// Generates update batch `batch_index` (1-based; batch k produces epoch k)
+/// against `snapshot`, the epoch-(k-1) POI database. Deletes and moves pick
+/// victims uniformly from the snapshot without replacement (a batch never
+/// deletes and moves the same POI); inserts are placed uniformly in
+/// `world`; moves displace each axis by a uniform offset in
+/// [-move_radius_mi, +move_radius_mi], clamped to `world`. `base_insert_id`
+/// is FirstInsertId of the *initial* database, fixed for the whole run.
+std::vector<dynamic::PoiUpdate> GenerateUpdateBatch(
+    const UpdateWorkloadConfig& config, uint64_t seed, uint64_t batch_index,
+    const std::vector<spatial::Poi>& snapshot, const geom::Rect& world,
+    int64_t base_insert_id);
+
+}  // namespace lbsq::sim
+
+#endif  // LBSQ_SIM_UPDATE_WORKLOAD_H_

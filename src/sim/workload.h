@@ -28,6 +28,7 @@ inline constexpr uint64_t kStreamPois = 1;
 inline constexpr uint64_t kStreamMobility = 2;
 inline constexpr uint64_t kStreamArrivals = 3;
 inline constexpr uint64_t kStreamQueryParams = 4;
+inline constexpr uint64_t kStreamUpdates = 5;
 
 /// Builds the configured mobility model over `world`: per-host streams are
 /// derived from `(seed, kStreamMobility)`, speeds are scaled per the

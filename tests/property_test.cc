@@ -6,13 +6,18 @@
 #include <tuple>
 #include <vector>
 
+#include <unordered_set>
+
 #include "broadcast/system.h"
 #include "common/rng.h"
 #include "engine_shim.h"
 #include "core/nnv.h"
 #include "core/peer_cache.h"
+#include "core/query_engine.h"
+#include "core/query_workspace.h"
 #include "core/sbnn.h"
 #include "core/sbwq.h"
+#include "dynamic/world_versioner.h"
 #include "geom/rect_region.h"
 #include "spatial/generators.h"
 
@@ -434,6 +439,132 @@ TEST_P(CacheChurnProperty, InvariantSurvivesChurn) {
 
 INSTANTIATE_TEST_SUITE_P(Capacities, CacheChurnProperty,
                          ::testing::Values(1, 5, 20, 100));
+
+// --- Snapshot isolation under randomized update/query interleavings --------
+
+// 1000 randomized interleavings of POI update batches and epoch-pinned
+// queries. The property of MVCC-lite snapshot isolation: a query pinned to
+// epoch e sees exactly the epoch-e POI database — it never observes a POI
+// deleted at or before e, never misses one inserted at or before e, and its
+// kNN / window answers equal the brute-force oracle over the epoch-e
+// snapshot, regardless of how many later epochs exist by the time it runs.
+TEST(DynamicWorldProperty, PinnedQueriesMatchTheirEpochSnapshot) {
+  Rng rng(20260808);
+  const geom::Rect world{0.0, 0.0, 10.0, 10.0};
+  int64_t steps_total = 0;
+  int64_t deleted_checks = 0;
+  int64_t inserted_checks = 0;
+  for (int config = 0; config < 50; ++config) {
+    const int n_pois = static_cast<int>(rng.UniformInt(20, 120));
+    std::vector<Poi> initial = spatial::GenerateUniformPois(&rng, world,
+                                                            n_pois);
+    broadcast::BroadcastParams params;
+    params.bucket_capacity = static_cast<int>(rng.UniformInt(2, 16));
+    params.m = static_cast<int>(rng.UniformInt(1, 4));
+    core::QueryEngine::Options options;
+    options.sbnn.accept_approximate = false;
+    dynamic::WorldVersioner versioner(initial, world, params, options,
+                                      /*retain_history=*/true);
+    int64_t next_id = 1000000;  // disjoint from generated ids
+
+    // Cumulative-by-epoch bookkeeping: ids deleted at or before epoch e,
+    // POIs inserted at or before epoch e (and not re-deleted by then).
+    std::vector<std::unordered_set<int64_t>> deleted_by{{}};
+    std::vector<std::vector<Poi>> inserted_by{{}};
+
+    core::QueryWorkspace workspace;
+    core::QueryOutcome outcome;
+    for (int step = 0; step < 20; ++step) {
+      ++steps_total;
+      if (rng.NextBool(0.4)) {
+        // Apply a random update batch -> publish the next epoch.
+        const std::vector<Poi>& live = versioner.Current()->pois;
+        std::vector<dynamic::PoiUpdate> batch;
+        deleted_by.push_back(deleted_by.back());
+        inserted_by.push_back(inserted_by.back());
+        const int n_ops = static_cast<int>(rng.UniformInt(1, 6));
+        for (int op = 0; op < n_ops; ++op) {
+          const double kind = rng.NextDouble();
+          dynamic::PoiUpdate u;
+          if (kind < 0.4 && !live.empty()) {
+            u.kind = dynamic::PoiUpdate::Kind::kDelete;
+            u.id = live[rng.NextBelow(live.size())].id;
+            deleted_by.back().insert(u.id);
+            std::erase_if(inserted_by.back(),
+                          [&u](const Poi& p) { return p.id == u.id; });
+          } else if (kind < 0.7 && !live.empty()) {
+            u.kind = dynamic::PoiUpdate::Kind::kMove;
+            u.id = live[rng.NextBelow(live.size())].id;
+            u.pos = {rng.Uniform(0.0, 10.0), rng.Uniform(0.0, 10.0)};
+            std::erase_if(inserted_by.back(),
+                          [&u](const Poi& p) { return p.id == u.id; });
+          } else {
+            u.kind = dynamic::PoiUpdate::Kind::kInsert;
+            u.id = next_id++;
+            u.pos = {rng.Uniform(0.0, 10.0), rng.Uniform(0.0, 10.0)};
+            inserted_by.back().push_back(Poi{u.id, u.pos});
+          }
+          batch.push_back(u);
+        }
+        versioner.Apply(std::move(batch));
+        ASSERT_EQ(versioner.latest_epoch() + 1, deleted_by.size());
+      }
+
+      // Pin a (possibly historical) epoch and query it.
+      const uint64_t e = static_cast<uint64_t>(
+          rng.UniformInt(0, static_cast<int64_t>(versioner.latest_epoch())));
+      const std::shared_ptr<const dynamic::WorldEpoch> epoch =
+          versioner.EpochAt(e);
+      ASSERT_NE(epoch, nullptr);
+
+      core::QueryRequest knn;
+      knn.kind = core::QueryKind::kKnn;
+      knn.position = {rng.Uniform(0.0, 10.0), rng.Uniform(0.0, 10.0)};
+      knn.k = static_cast<int>(rng.UniformInt(1, 8));
+      knn.slot = step * 5;
+      epoch->engine->Execute(knn, workspace, &outcome);
+      const auto truth =
+          spatial::BruteForceKnn(epoch->pois, knn.position, knn.k);
+      ASSERT_EQ(outcome.knn->neighbors.size(), truth.size());
+      for (size_t i = 0; i < truth.size(); ++i) {
+        EXPECT_EQ(outcome.knn->neighbors[i].poi.id, truth[i].poi.id)
+            << "config " << config << " step " << step << " epoch " << e;
+        // Never observe a POI deleted at or before the pinned epoch.
+        EXPECT_FALSE(deleted_by[e].contains(outcome.knn->neighbors[i].poi.id));
+        ++deleted_checks;
+      }
+
+      core::QueryRequest win;
+      win.kind = core::QueryKind::kWindow;
+      const geom::Point a{rng.Uniform(0.0, 7.0), rng.Uniform(0.0, 7.0)};
+      win.window = {a.x, a.y, a.x + rng.Uniform(0.5, 3.0),
+                    a.y + rng.Uniform(0.5, 3.0)};
+      win.slot = step * 5;
+      epoch->engine->Execute(win, workspace, &outcome);
+      EXPECT_EQ(outcome.window->pois,
+                spatial::BruteForceWindow(epoch->pois, win.window))
+          << "config " << config << " step " << step << " epoch " << e;
+      for (const Poi& p : outcome.window->pois) {
+        EXPECT_FALSE(deleted_by[e].contains(p.id));
+        ++deleted_checks;
+      }
+      // Never miss a POI inserted at or before the pinned epoch.
+      for (const Poi& p : inserted_by[e]) {
+        if (!win.window.Contains(p.pos)) continue;
+        EXPECT_TRUE(std::any_of(
+            outcome.window->pois.begin(), outcome.window->pois.end(),
+            [&p](const Poi& q) { return q.id == p.id; }))
+            << "config " << config << " step " << step << " epoch " << e;
+        ++inserted_checks;
+      }
+    }
+  }
+  EXPECT_EQ(steps_total, 1000);
+  // The sweep must actually exercise the staleness hazards, not vacuously
+  // pass.
+  EXPECT_GT(deleted_checks, 500);
+  EXPECT_GT(inserted_checks, 50);
+}
 
 }  // namespace
 }  // namespace lbsq

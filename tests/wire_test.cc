@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/rng.h"
 #include "hilbert/hilbert.h"
 #include "spatial/generators.h"
@@ -88,9 +90,12 @@ TEST(WireBucketTest, RejectsBadMagic) {
 }
 
 TEST(WireBucketTest, RejectsBadVersion) {
+  // 0x7f is no valid version (v1 legacy, v2 epoch-tagged are the only ones).
   auto bytes = EncodeBucket(SampleBucket(3));
-  bytes[4] = kWireVersion + 1;
+  bytes[4] = 0x7f;
   DataBucket decoded;
+  EXPECT_FALSE(DecodeBucket(bytes.data(), bytes.size(), &decoded));
+  bytes[4] = 0;
   EXPECT_FALSE(DecodeBucket(bytes.data(), bytes.size(), &decoded));
 }
 
@@ -234,6 +239,113 @@ TEST(WireFramedTest, BucketRoundTripAndCorruptionRejected) {
   }
   // Truncated below the trailer size is rejected, not read out of bounds.
   EXPECT_FALSE(DecodeBucketFramed(framed.data(), 3, &decoded));
+}
+
+// --- Epoch-tagged (v2) frames ----------------------------------------------
+
+TEST(WireEpochTest, BucketEpochRoundTrips) {
+  for (uint64_t epoch : {1ull, 127ull, 128ull, 1ull << 40}) {
+    DataBucket bucket = SampleBucket(9);
+    bucket.epoch = epoch;
+    const auto bytes = EncodeBucket(bucket);
+    EXPECT_EQ(bytes[4], kWireVersionEpoch);
+    DataBucket decoded;
+    ASSERT_TRUE(DecodeBucket(bytes.data(), bytes.size(), &decoded));
+    EXPECT_EQ(decoded.epoch, epoch);
+    EXPECT_EQ(decoded.id, bucket.id);
+    ASSERT_EQ(decoded.pois.size(), bucket.pois.size());
+    EXPECT_EQ(BucketWireSize(bucket), static_cast<int64_t>(bytes.size()));
+  }
+}
+
+TEST(WireEpochTest, EpochZeroEncodesToExactLegacyBytes) {
+  // The updates-off contract at the byte level: an epoch-0 bucket is
+  // indistinguishable from one encoded before epochs existed, and legacy v1
+  // frames decode with epoch 0.
+  DataBucket bucket = SampleBucket(11);
+  bucket.epoch = 3;
+  const auto v2 = EncodeBucket(bucket);
+  bucket.epoch = 0;
+  const auto v1 = EncodeBucket(bucket);
+  EXPECT_EQ(v1[4], kWireVersion);
+  // The v2 frame is the v1 frame with the epoch varint spliced in after the
+  // version byte.
+  ASSERT_EQ(v2.size(), v1.size() + 1);
+  EXPECT_TRUE(std::equal(v1.begin() + 5, v1.end(), v2.begin() + 6));
+  DataBucket decoded;
+  decoded.epoch = 99;  // must be reset by the legacy decode path
+  ASSERT_TRUE(DecodeBucket(v1.data(), v1.size(), &decoded));
+  EXPECT_EQ(decoded.epoch, 0u);
+}
+
+TEST(WireEpochTest, RejectsNonCanonicalV2EpochZero) {
+  // A v2 frame whose epoch is 0 must have been encoded as v1; accepting it
+  // would make two byte strings decode to the same bucket.
+  DataBucket bucket = SampleBucket(6);
+  bucket.epoch = 1;
+  auto bytes = EncodeBucket(bucket);
+  ASSERT_EQ(bytes[4], kWireVersionEpoch);
+  ASSERT_EQ(bytes[5], 0x01);  // single-byte epoch varint
+  bytes[5] = 0x00;
+  DataBucket decoded;
+  EXPECT_FALSE(DecodeBucket(bytes.data(), bytes.size(), &decoded));
+}
+
+TEST(WireEpochTest, RejectsEveryTruncationOfV2Frames) {
+  // Includes every prefix ending inside the multi-byte epoch varint.
+  DataBucket bucket = SampleBucket(5);
+  bucket.epoch = 1ull << 40;
+  const auto bytes = EncodeBucket(bucket);
+  DataBucket decoded;
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_FALSE(DecodeBucket(bytes.data(), cut, &decoded))
+        << "accepted truncation at " << cut;
+  }
+}
+
+TEST(WireEpochTest, IndexSegmentEpochRoundTrips) {
+  const std::vector<AirIndex::Entry> entries = {{5, 0}, {9, 1}, {40, 2}};
+  const auto bytes = EncodeIndexSegment(entries, 12);
+  EXPECT_EQ(bytes[4], kWireVersionEpoch);
+  std::vector<AirIndex::Entry> decoded;
+  uint64_t epoch = 0;
+  ASSERT_TRUE(DecodeIndexSegment(bytes.data(), bytes.size(), &decoded, &epoch));
+  EXPECT_EQ(epoch, 12u);
+  ASSERT_EQ(decoded.size(), entries.size());
+  // The epoch-less decode overload accepts v2 frames too.
+  ASSERT_TRUE(DecodeIndexSegment(bytes.data(), bytes.size(), &decoded));
+
+  // Epoch 0 is byte-identical to the legacy single-argument encoder, and
+  // legacy frames report epoch 0.
+  const auto legacy = EncodeIndexSegment(entries);
+  EXPECT_EQ(EncodeIndexSegment(entries, 0), legacy);
+  epoch = 99;
+  ASSERT_TRUE(
+      DecodeIndexSegment(legacy.data(), legacy.size(), &decoded, &epoch));
+  EXPECT_EQ(epoch, 0u);
+}
+
+TEST(WireEpochTest, FramedVariantsCarryTheEpoch) {
+  DataBucket bucket = SampleBucket(8);
+  bucket.epoch = 21;
+  const auto framed = EncodeBucketFramed(bucket);
+  DataBucket decoded;
+  ASSERT_TRUE(DecodeBucketFramed(framed.data(), framed.size(), &decoded));
+  EXPECT_EQ(decoded.epoch, 21u);
+
+  const std::vector<AirIndex::Entry> entries = {{3, 0}, {7, 1}};
+  const auto seg = EncodeIndexSegmentFramed(entries, 21);
+  std::vector<AirIndex::Entry> out;
+  uint64_t epoch = 0;
+  ASSERT_TRUE(DecodeIndexSegmentFramed(seg.data(), seg.size(), &out, &epoch));
+  EXPECT_EQ(epoch, 21u);
+  ASSERT_EQ(out.size(), entries.size());
+
+  // Corrupting the epoch varint trips the CRC.
+  auto mutated = seg;
+  mutated[5] ^= 0x02;
+  EXPECT_FALSE(
+      DecodeIndexSegmentFramed(mutated.data(), mutated.size(), &out, &epoch));
 }
 
 TEST(WireFramedTest, IndexSegmentRoundTripAndCorruptionRejected) {

@@ -146,7 +146,15 @@ void PrintUsage() {
       "  --fault-peer-flip=<p>            coordinate-flip probability\n"
       "  --fault-screen                   cross-check and reject inconsistent\n"
       "                                   peer regions before each query\n"
-      "  --fault-seed=<n>                 fault stream seed (1)\n");
+      "  --fault-seed=<n>                 fault stream seed (1)\n"
+      "\n"
+      "dynamic world (off by default; off = byte-identical output):\n"
+      "  --update-interval-events=<n>     apply a POI update batch every n\n"
+      "                                   query events (0 = static world)\n"
+      "  --update-inserts=<n>             POI inserts per batch (2)\n"
+      "  --update-deletes=<n>             POI deletes per batch (1)\n"
+      "  --update-moves=<n>               POI moves per batch (2)\n"
+      "  --update-move-radius=<mi>        max per-axis move distance (0.25)\n");
 }
 
 bool ParseFlag(const char* arg, const char* name, std::string* value) {
@@ -306,6 +314,16 @@ int main(int argc, char** argv) {
       config.fault.screen_peers = true;
     } else if (ParseFlag(arg, "--fault-seed", &value)) {
       config.fault.seed = static_cast<uint64_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(arg, "--update-interval-events", &value)) {
+      config.updates.interval_events = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "--update-inserts", &value)) {
+      config.updates.inserts_per_batch = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "--update-deletes", &value)) {
+      config.updates.deletes_per_batch = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "--update-moves", &value)) {
+      config.updates.moves_per_batch = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "--update-move-radius", &value)) {
+      config.updates.move_radius_mi = std::atof(value.c_str());
     } else if (ParseFlag(arg, "--seed", &value)) {
       config.seed = static_cast<uint64_t>(std::atoll(value.c_str()));
     } else if (std::strcmp(arg, "--help") == 0 ||
@@ -362,6 +380,14 @@ int main(int argc, char** argv) {
         config.fault.peer.flip_prob * 100.0,
         config.fault.screen_peers ? "on" : "off",
         static_cast<unsigned long long>(config.fault.seed));
+  }
+  if (config.updates.enabled()) {
+    std::printf(
+        "updates       : batch every %d events "
+        "(%d inserts, %d deletes, %d moves; move radius %.2f mi)\n",
+        config.updates.interval_events, config.updates.inserts_per_batch,
+        config.updates.deletes_per_batch, config.updates.moves_per_batch,
+        config.updates.move_radius_mi);
   }
   std::printf("engine        : %d thread%s, %d events/epoch "
               "(metrics independent of thread count)\n\n",
@@ -449,6 +475,14 @@ int main(int argc, char** argv) {
                 static_cast<long long>(m.fault_deadline_hits));
     std::printf("peer regions rejected   : %lld\n",
                 static_cast<long long>(m.regions_rejected));
+  }
+  if (config.updates.enabled()) {
+    std::printf("updates applied         : %lld (%lld epochs)\n",
+                static_cast<long long>(m.updates_applied),
+                static_cast<long long>(m.epochs_published));
+    std::printf("peer regions revalidated: %lld (%lld rejected stale)\n",
+                static_cast<long long>(m.regions_revalidated),
+                static_cast<long long>(m.regions_stale_rejected));
   }
 
   if (!trace_path.empty()) {
