@@ -54,10 +54,19 @@ bool FastMode() {
   return fast != nullptr && fast[0] == '1';
 }
 
+// Requests plus the storage their peer spans view. The spans are bound only
+// after every backing vector is final (`peer_storage` is sized up front and
+// never reallocates), and the struct keeps the storage alive for as long as
+// the requests are in use.
+struct Workload {
+  std::vector<core::QueryRequest> requests;
+  std::vector<std::vector<core::PeerData>> peer_storage;
+};
+
 // The Table 3 query mix with the spatial locality the memo exploits:
 // clients cluster around hot spots (a few dozen per world), so co-located
 // queries within a broadcast cycle repeat the same cover rectangles.
-std::vector<core::QueryRequest> MakeWorkload(
+Workload MakeWorkload(
     const broadcast::BroadcastSystem& system, int n, uint64_t seed) {
   Rng rng(seed);
   const int64_t cycle = system.schedule().cycle_length();
@@ -70,8 +79,9 @@ std::vector<core::QueryRequest> MakeWorkload(
                         rng.Uniform(2.0, kWorldSide - 2.0)});
   }
 
-  std::vector<core::QueryRequest> requests;
-  requests.reserve(static_cast<size_t>(n));
+  Workload workload;
+  workload.requests.reserve(static_cast<size_t>(n));
+  workload.peer_storage.resize(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
     const geom::Point& hub = hotspots[rng.NextBelow(hotspots.size())];
     const geom::Point q{hub.x + rng.Uniform(-1.0, 1.0),
@@ -93,12 +103,17 @@ std::vector<core::QueryRequest> MakeWorkload(
       for (const spatial::Poi& p : system.pois()) {
         if (vr.region.Contains(p.pos)) vr.pois.push_back(p);
       }
-      r.peers.push_back(core::PeerData{{vr}});
+      workload.peer_storage[static_cast<size_t>(i)].push_back(
+          core::PeerData{{vr}});
     }
     r.fault_stream = static_cast<uint64_t>(i);
-    requests.push_back(std::move(r));
+    workload.requests.push_back(std::move(r));
   }
-  return requests;
+  for (int i = 0; i < n; ++i) {
+    workload.requests[static_cast<size_t>(i)].peers =
+        workload.peer_storage[static_cast<size_t>(i)];
+  }
+  return workload;
 }
 
 bool CommonEq(const core::QueryResultCommon& a,
@@ -237,12 +252,13 @@ BenchResult RunBench() {
   broadcast::BroadcastSystem system(
       spatial::GenerateUniformPois(&rng, world, kPoiNumber), world,
       broadcast::BroadcastParams{});
-  const core::QueryEngine engine(system, world, core::QueryEngine::Options{});
+  const core::QueryEngine engine(system, world, core::EngineOptions{});
 
   BenchResult result;
   result.n_queries = FastMode() ? 400 : 2000;
-  const std::vector<core::QueryRequest> requests =
-      MakeWorkload(system, result.n_queries, /*seed=*/13);
+  const Workload workload = MakeWorkload(system, result.n_queries,
+                                         /*seed=*/13);
+  const std::vector<core::QueryRequest>& requests = workload.requests;
 
   // Identity first: every batch outcome must match its per-query twin.
   std::vector<core::QueryOutcome> reference;

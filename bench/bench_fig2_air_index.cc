@@ -95,7 +95,7 @@ int main() {
   broadcast::BroadcastParams params;
   params.bucket_capacity = 4;  // finer packets let the lower bound excuse some
   broadcast::BroadcastSystem server(pois, world, params);
-  core::QueryEngine::Options engine_options;
+  core::EngineOptions engine_options;
   engine_options.sbnn.k = 10;
   engine_options.sbnn.accept_approximate = false;
   engine_options.sbnn.tighten_with_index_bound = true;
@@ -120,7 +120,7 @@ int main() {
       request.kind = core::QueryKind::kKnn;
       request.position = q;
       request.slot = now;
-      request.peers = std::move(peers);
+      request.peers = peers;
       const core::SbnnOutcome outcome = std::move(*engine.Execute(request).knn);
       if (outcome.resolved_by != core::ResolvedBy::kBroadcast) continue;
       latency.Add(static_cast<double>(outcome.stats.access_latency));

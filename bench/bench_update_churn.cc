@@ -55,7 +55,16 @@ bool FastMode() {
   return fast != nullptr && fast[0] == '1';
 }
 
-std::vector<core::QueryRequest> MakeWorkload(
+// The requests plus the per-request peer snapshots. Requests carry no peer
+// span: dynamic execution takes a mutable snapshot per call (revalidation
+// edits it in place), so each measurement pass clones `peers` and hands its
+// clone's element to Execute alongside the shared request.
+struct ChurnWorkload {
+  std::vector<core::QueryRequest> requests;
+  std::vector<std::vector<core::PeerData>> peers;
+};
+
+ChurnWorkload MakeWorkload(
     const broadcast::BroadcastSystem& system, int n, uint64_t seed) {
   Rng rng(seed);
   const int64_t cycle = system.schedule().cycle_length();
@@ -67,8 +76,9 @@ std::vector<core::QueryRequest> MakeWorkload(
                         rng.Uniform(2.0, kWorldSide - 2.0)});
   }
 
-  std::vector<core::QueryRequest> requests;
-  requests.reserve(static_cast<size_t>(n));
+  ChurnWorkload workload;
+  workload.requests.reserve(static_cast<size_t>(n));
+  workload.peers.resize(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
     const geom::Point& hub = hotspots[rng.NextBelow(hotspots.size())];
     const geom::Point q{hub.x + rng.Uniform(-1.0, 1.0),
@@ -91,12 +101,12 @@ std::vector<core::QueryRequest> MakeWorkload(
       for (const spatial::Poi& p : system.pois()) {
         if (vr.region.Contains(p.pos)) vr.pois.push_back(p);
       }
-      r.peers.push_back(core::PeerData{{vr}});
+      workload.peers[static_cast<size_t>(i)].push_back(core::PeerData{{vr}});
     }
     r.fault_stream = static_cast<uint64_t>(i);
-    requests.push_back(std::move(r));
+    workload.requests.push_back(std::move(r));
   }
-  return requests;
+  return workload;
 }
 
 struct ChurnRow {
@@ -122,10 +132,11 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
 // execute the chunk measured.
 ChurnRow RunChurn(const char* name, int interval,
                   const std::vector<spatial::Poi>& pois,
-                  const std::vector<core::QueryRequest>& requests) {
+                  const ChurnWorkload& workload) {
+  const std::vector<core::QueryRequest>& requests = workload.requests;
   const geom::Rect world{0.0, 0.0, kWorldSide, kWorldSide};
   dynamic::WorldVersioner versioner(pois, world, broadcast::BroadcastParams{},
-                                    core::QueryEngine::Options{});
+                                    core::EngineOptions{});
   dynamic::DynamicQueryEngine engine(versioner);
   const int64_t base_insert_id = sim::FirstInsertId(pois);
   sim::UpdateWorkloadConfig update_config;
@@ -135,11 +146,11 @@ ChurnRow RunChurn(const char* name, int interval,
   // Per-request outcome storage, warmed by the warm sub-pass so each
   // measured execution recycles the inner buffers of its own twin.
   std::vector<core::QueryOutcome> outcomes(requests.size());
-  // The engine mutates peers during revalidation, so both sub-passes get
+  // Revalidation edits the peer snapshot in place, so both sub-passes get
   // their own pre-built mutable copy (allocated here, outside the counted
   // region).
-  std::vector<core::QueryRequest> warm_requests = requests;
-  std::vector<core::QueryRequest> measured_requests = requests;
+  std::vector<std::vector<core::PeerData>> warm_peers = workload.peers;
+  std::vector<std::vector<core::PeerData>> measured_peers = workload.peers;
 
   ChurnRow row;
   row.name = name;
@@ -164,12 +175,13 @@ ChurnRow RunChurn(const char* name, int interval,
       }
     }
     for (size_t i = begin; i < end; ++i) {
-      engine.Execute(&warm_requests[i], workspace, &outcomes[i]);
+      engine.Execute(requests[i], &warm_peers[i], workspace, &outcomes[i]);
     }
     const auto start = std::chrono::steady_clock::now();
     for (size_t i = begin; i < end; ++i) {
       const uint64_t before = AllocCount();
-      engine.Execute(&measured_requests[i], workspace, &outcomes[i], &stats);
+      engine.Execute(requests[i], &measured_peers[i], workspace, &outcomes[i],
+                     &stats);
       row.steady_allocs += static_cast<int64_t>(AllocCount() - before);
       ++row.steady_queries;
     }
@@ -191,8 +203,7 @@ int Run() {
       spatial::GenerateUniformPois(&rng, world, kPoiNumber);
   broadcast::BroadcastSystem system(pois, world, broadcast::BroadcastParams{});
   const int n = FastMode() ? 300 : 1500;
-  const std::vector<core::QueryRequest> requests =
-      MakeWorkload(system, n, /*seed=*/13);
+  const ChurnWorkload workload = MakeWorkload(system, n, /*seed=*/13);
 
   std::printf("update churn bench: %d queries, %d POIs, alloc counting %s\n",
               n, kPoiNumber, kAllocCountingEnabled ? "on" : "off");
@@ -203,7 +214,7 @@ int Run() {
   for (const auto& [name, interval] :
        {std::pair<const char*, int>{"off", 0}, {"sparse", 100},
         {"heavy", 25}}) {
-    const ChurnRow row = RunChurn(name, interval, pois, requests);
+    const ChurnRow row = RunChurn(name, interval, pois, workload);
     const double allocs_per_query =
         row.steady_queries > 0
             ? static_cast<double>(row.steady_allocs) / row.steady_queries

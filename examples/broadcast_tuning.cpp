@@ -50,12 +50,12 @@ int main() {
   broadcast::BroadcastParams params;
   params.bucket_capacity = 4;  // finer packets make the filter visible
   broadcast::BroadcastSystem server(pois, world, params);
-  core::QueryEngine::Options filtered_options;
+  core::EngineOptions filtered_options;
   filtered_options.sbnn.k = 10;
   filtered_options.sbnn.accept_approximate = false;
   filtered_options.sbnn.use_filtering = true;
   filtered_options.poi_density_override = density;
-  core::QueryEngine::Options plain_options = filtered_options;
+  core::EngineOptions plain_options = filtered_options;
   plain_options.sbnn.use_filtering = false;
   const core::QueryEngine filtered_engine(server, world, filtered_options);
   const core::QueryEngine plain_engine(server, world, plain_options);
@@ -77,12 +77,12 @@ int main() {
     for (const spatial::Poi& p : server.pois()) {
       if (vr.region.Contains(p.pos)) vr.pois.push_back(p);
     }
-    std::vector<core::PeerData> peers = {core::PeerData{{vr}}};
+    const std::vector<core::PeerData> peers = {core::PeerData{{vr}}};
     core::QueryRequest request;
     request.kind = core::QueryKind::kKnn;
     request.position = q;
     request.slot = now;
-    request.peers = std::move(peers);
+    request.peers = peers;
     filtered_engine.Execute(request, filtered_ws, &filtered_out);
     plain_engine.Execute(request, plain_ws, &plain_out);
     const core::SbnnOutcome& filtered = *filtered_out.knn;

@@ -26,7 +26,7 @@ int main() {
   const double density = 120.0 / world.area();
   broadcast::BroadcastSystem server(stations, world, {});
 
-  core::QueryEngine::Options options;
+  core::EngineOptions options;
   options.sbnn.k = 3;
   options.sbnn.accept_approximate = false;
   options.sbnn.prefetch_radius_factor = 2.0;  // headroom around refreshes

@@ -48,7 +48,7 @@ int main() {
 
   std::printf("minute | resolved by          | latency (slots) | baseline "
               "latency | miles driven while waiting (baseline)\n");
-  core::QueryEngine::Options options;
+  core::EngineOptions options;
   options.sbnn.k = 3;
   options.sbnn.min_correctness = 0.5;
   options.poi_density_override = density;
@@ -86,7 +86,7 @@ int main() {
     request.kind = core::QueryKind::kKnn;
     request.position = me;
     request.slot = slot;
-    request.peers = std::move(peers);
+    request.peers = peers;
     engine.Execute(request, workspace, &executed);
     const core::SbnnOutcome& outcome = *executed.knn;
     const onair::OnAirKnnResult baseline =

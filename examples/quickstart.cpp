@@ -50,7 +50,7 @@ int main() {
   // 4) SBNN through the query engine: verify the peer's candidates with
   //    Lemma 3.1 before trusting them. Fully verified answers cost zero
   //    broadcast access.
-  core::QueryEngine::Options options;
+  core::EngineOptions options;
   options.sbnn.k = 3;
   options.poi_density_override = poi_density;
   const core::QueryEngine engine(server, world, options);

@@ -36,10 +36,12 @@ ContinuousKnn::Update ContinuousKnn::Tick(geom::Point pos, PeerCache* cache,
 
   // Step 2: full SBNN over own cache + radio peers, refreshing the cache.
   // The own snapshot goes last, preserving the MVR merge order of the
-  // original free-function pipeline.
-  request_.peers.clear();
-  request_.peers.insert(request_.peers.end(), peers.begin(), peers.end());
-  if (!own_.front().empty()) request_.peers.push_back(std::move(own_.front()));
+  // original free-function pipeline. peer_buffer_ backs the request's span
+  // and outlives the Execute call.
+  peer_buffer_.clear();
+  peer_buffer_.insert(peer_buffer_.end(), peers.begin(), peers.end());
+  if (!own_.front().empty()) peer_buffer_.push_back(std::move(own_.front()));
+  request_.peers = peer_buffer_;
   request_.position = pos;
   request_.slot = now;
   engine_.Execute(request_, workspace_, &outcome_);

@@ -68,6 +68,9 @@ class ContinuousKnn {
   NnvResult self_check_;
   std::vector<spatial::Poi> nnv_pool_;
   std::vector<PeerData> own_;
+  /// Backing storage for request_.peers (the request holds a non-owning
+  /// span): radio peers followed by the host's own cache snapshot.
+  std::vector<PeerData> peer_buffer_;
   int64_t own_cache_hits_ = 0;
   int64_t ticks_ = 0;
 };

@@ -11,7 +11,7 @@
 namespace lbsq::core {
 
 NnvResult NearestNeighborVerify(geom::Point q, int k,
-                                const std::vector<PeerData>& peers,
+                                std::span<const PeerData> peers,
                                 double poi_density) {
   NnvResult result(k);
   std::vector<spatial::Poi> pool;
@@ -20,7 +20,7 @@ NnvResult NearestNeighborVerify(geom::Point q, int k,
 }
 
 void NearestNeighborVerify(geom::Point q, int k,
-                           const std::vector<PeerData>& peers,
+                           std::span<const PeerData> peers,
                            double poi_density,
                            std::vector<spatial::Poi>* pool,
                            NnvResult* result,

@@ -1,6 +1,7 @@
 #ifndef LBSQ_CORE_NNV_H_
 #define LBSQ_CORE_NNV_H_
 
+#include <span>
 #include <vector>
 
 #include "core/result_heap.h"
@@ -56,8 +57,18 @@ struct NnvResult {
 /// shared by `peers`. `poi_density` (objects per square unit) parameterizes
 /// the Lemma 3.2 correctness probabilities of unverified entries.
 NnvResult NearestNeighborVerify(geom::Point q, int k,
-                                const std::vector<PeerData>& peers,
+                                std::span<const PeerData> peers,
                                 double poi_density);
+
+/// Braced-list convenience: `NearestNeighborVerify(q, k, {peer}, d)` — a
+/// braced initializer cannot deduce to `std::span` on its own.
+inline NnvResult NearestNeighborVerify(geom::Point q, int k,
+                                       std::initializer_list<PeerData> peers,
+                                       double poi_density) {
+  return NearestNeighborVerify(
+      q, k, std::span<const PeerData>(peers.begin(), peers.size()),
+      poi_density);
+}
 
 /// Allocation-free variant: writes into `result` (Reset internally) using
 /// `pool` as candidate-merge scratch, `geom_scratch` (when non-null) for
@@ -66,7 +77,7 @@ NnvResult NearestNeighborVerify(geom::Point q, int k,
 /// overload; at steady state (warm capacities) it performs no heap
 /// allocations.
 void NearestNeighborVerify(geom::Point q, int k,
-                           const std::vector<PeerData>& peers,
+                           std::span<const PeerData> peers,
                            double poi_density,
                            std::vector<spatial::Poi>* pool,
                            NnvResult* result,

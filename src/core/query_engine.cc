@@ -11,6 +11,18 @@
 
 namespace lbsq::core {
 
+void QueryRequest::Validate() const {
+  if (kind == QueryKind::kKnn) {
+    // A set window on a kNN request would be silently ignored — reject it.
+    LBSQ_CHECK(window.empty());
+  } else {
+    // k (and the query position) belong to kNN; a window request carrying
+    // them is malformed.
+    LBSQ_CHECK(k == 0);
+    LBSQ_CHECK(!window.empty());
+  }
+}
+
 bool QueryOutcome::ResolvedByPeers() const {
   if (kind == QueryKind::kKnn) {
     return knn->resolved_by != ResolvedBy::kBroadcast;
@@ -30,7 +42,8 @@ const QueryResultCommon& QueryOutcome::Common() const {
 }
 
 QueryEngine::QueryEngine(const broadcast::BroadcastSystem& system,
-                         const geom::Rect& world, const Options& options)
+                         const geom::Rect& world,
+                         const EngineOptions& options)
     : system_(system), world_(world), options_(options) {
   options_.Validate();
   LBSQ_CHECK(world.area() > 0.0);
@@ -51,6 +64,7 @@ void QueryEngine::Execute(const QueryRequest& request,
                           QueryWorkspace& workspace,
                           QueryOutcome* outcome) const {
   LBSQ_CHECK(outcome != nullptr);
+  request.Validate();
   // Scope the workspace memo to this system and broadcast cycle; within a
   // cycle, co-located queries share cover and index lookups.
   workspace.Prepare(system_,
@@ -70,9 +84,9 @@ void QueryEngine::Execute(const QueryRequest& request,
         fault::ChannelStreamSeed(fault.seed, request.fault_stream));
     session = &*session_storage;
   }
-  const std::vector<PeerData>* peers = &request.peers;
+  std::span<const PeerData> peers = request.peers;
   if (fault.enabled() && fault.screen_peers) {
-    workspace.screened = request.peers;
+    workspace.screened.assign(request.peers.begin(), request.peers.end());
     const fault::ScreenResult screen =
         fault::ScreenPeerData(world_, &workspace.screened);
     outcome->regions_rejected = screen.regions_rejected;
@@ -80,7 +94,7 @@ void QueryEngine::Execute(const QueryRequest& request,
       request.trace->Counter("fault.regions_rejected",
                              static_cast<double>(screen.regions_rejected));
     }
-    peers = &workspace.screened;
+    peers = workspace.screened;
   }
 
   if (request.kind == QueryKind::kKnn) {
@@ -88,13 +102,13 @@ void QueryEngine::Execute(const QueryRequest& request,
     if (request.k > 0) sbnn.k = request.k;
     outcome->window.reset();
     if (!outcome->knn.has_value()) outcome->knn.emplace(sbnn.k);
-    internal::RunSbnn(request.position, sbnn, *peers, poi_density_, system_,
+    internal::RunSbnn(request.position, sbnn, peers, poi_density_, system_,
                       request.slot, request.trace, session, workspace,
                       &*outcome->knn);
   } else {
     outcome->knn.reset();
     if (!outcome->window.has_value()) outcome->window.emplace();
-    internal::RunSbwq(request.window, options_.sbwq, *peers, system_,
+    internal::RunSbwq(request.window, options_.sbwq, peers, system_,
                       request.slot, request.trace, session, workspace,
                       &*outcome->window);
   }

@@ -44,6 +44,16 @@ enum class QueryKind { kKnn, kWindow };
 
 /// One query, self-contained: parameters, the peer snapshot to share from,
 /// and the (optional) trace recorder that receives the per-stage breakdown.
+///
+/// Lifetime rules: `peers` is a non-owning view. The PeerData it refers to
+/// must stay alive and unmodified from the moment the request is built
+/// until the Execute / ExecuteBatch call that consumes it returns — the
+/// engine reads the span during the call and never retains it afterwards.
+/// For ExecuteBatch this means every request's backing peer storage must
+/// outlive the whole batch call; appending to a vector whose elements back
+/// earlier requests' spans invalidates them, so batch builders must
+/// finalize the backing storage before binding spans (or use a container
+/// with stable element addresses).
 struct QueryRequest {
   QueryKind kind = QueryKind::kKnn;
   /// kNN: the query point and the number of neighbors (0 = the engine's
@@ -54,8 +64,9 @@ struct QueryRequest {
   geom::Rect window;
   /// The broadcast slot at which the query is issued.
   int64_t slot = 0;
-  /// Shared data gathered from peers in transmission range.
-  std::vector<PeerData> peers;
+  /// Shared data gathered from peers in transmission range (non-owning —
+  /// see the lifetime rules above).
+  std::span<const PeerData> peers;
   /// Receives span/counter events for this query; null disables tracing.
   obs::TraceRecorder* trace = nullptr;
   /// Fault-injection stream id for this query (typically the global query
@@ -63,6 +74,13 @@ struct QueryRequest {
   /// of (FaultConfig, this id) — independent of threads and other queries.
   /// Ignored when the engine's FaultConfig is disabled.
   uint64_t fault_stream = 0;
+
+  /// Kind-safety: aborts (LBSQ_CHECK) when the fields of the *other* query
+  /// kind are set — a window on a kKnn request, or k / a position-dependent
+  /// field on a kWindow request — so a malformed request fails loudly
+  /// instead of having half its parameters silently ignored. Every
+  /// Execute / ExecuteBatch call validates its request(s).
+  void Validate() const;
 };
 
 /// The result of one Execute call: exactly one of the two outcome kinds is
@@ -92,35 +110,48 @@ struct QueryOutcome {
   bool Degraded() const { return Common().degraded; }
 };
 
+/// The one validated option set shared by every engine — the single
+/// `QueryEngine` and the multi-shard `ShardedQueryEngine` alike. Hoisted
+/// out of `QueryEngine` so a sharded deployment configures exactly one
+/// struct instead of N divergent per-shard copies: the POI density (the
+/// Lemma 3.2 correctness model) and the fault policy are *global* facts
+/// about the deployment, not per-channel ones.
+struct EngineOptions {
+  SbnnOptions sbnn;
+  SbwqOptions sbwq;
+  /// Fault injection and resilience policy. Disabled by default; when
+  /// disabled the engine takes the exact pre-fault code path.
+  fault::FaultConfig fault;
+  /// Overrides the Lemma 3.2 POI density the engine derives from
+  /// system/world (negative = derive). Tests and analysis tools use this
+  /// to parameterize the correctness model independently of the actual
+  /// POI count. A sharded engine pins the *global* density (all POIs over
+  /// the whole world) here for every shard, so peer-resolution decisions
+  /// are identical at any shard count.
+  double poi_density_override = -1.0;
+
+  /// Validates all nested option sets.
+  void Validate() const {
+    sbnn.Validate();
+    sbwq.Validate();
+    fault.Validate();
+  }
+};
+
 /// Facade over the SBNN / SBWQ implementations bound to one broadcast
 /// system.
 class QueryEngine {
  public:
-  struct Options {
-    SbnnOptions sbnn;
-    SbwqOptions sbwq;
-    /// Fault injection and resilience policy. Disabled by default; when
-    /// disabled the engine takes the exact pre-fault code path.
-    fault::FaultConfig fault;
-    /// Overrides the Lemma 3.2 POI density the engine derives from
-    /// system/world (negative = derive). Tests and analysis tools use this
-    /// to parameterize the correctness model independently of the actual
-    /// POI count.
-    double poi_density_override = -1.0;
-
-    /// Validates all nested option sets.
-    void Validate() const {
-      sbnn.Validate();
-      sbwq.Validate();
-      fault.Validate();
-    }
-  };
+  /// Deprecated alias for the hoisted `core::EngineOptions` — kept for one
+  /// release so external callers migrate at leisure; new code should name
+  /// `EngineOptions` directly.
+  using Options = EngineOptions;
 
   /// Binds the engine to `system` broadcasting over `world`. The Lemma 3.2
   /// POI density is derived here, once. Validates `options` (aborts on
   /// out-of-range values).
   QueryEngine(const broadcast::BroadcastSystem& system,
-              const geom::Rect& world, const Options& options);
+              const geom::Rect& world, const EngineOptions& options);
 
   /// Executes one query. Thread-safe: reads only immutable engine state and
   /// the request. Convenience form — uses a throwaway workspace.
@@ -144,7 +175,7 @@ class QueryEngine {
       QueryWorkspace& workspace) const;
 
   const broadcast::BroadcastSystem& system() const { return system_; }
-  const Options& options() const { return options_; }
+  const EngineOptions& options() const { return options_; }
   const geom::Rect& world() const { return world_; }
   /// Server POIs per square mile (parameterizes Lemma 3.2).
   double poi_density() const { return poi_density_; }
@@ -152,7 +183,7 @@ class QueryEngine {
  private:
   const broadcast::BroadcastSystem& system_;
   geom::Rect world_;
-  Options options_;
+  EngineOptions options_;
   double poi_density_;
 };
 

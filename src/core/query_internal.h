@@ -2,6 +2,7 @@
 #define LBSQ_CORE_QUERY_INTERNAL_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "broadcast/system.h"
@@ -32,14 +33,14 @@ namespace lbsq::core::internal {
 /// Prepare()d for `system`). Bit-identical to the pre-workspace free
 /// function for any workspace state.
 void RunSbnn(geom::Point q, const SbnnOptions& options,
-             const std::vector<PeerData>& peers, double poi_density,
+             std::span<const PeerData> peers, double poi_density,
              const broadcast::BroadcastSystem& system, int64_t now,
              obs::TraceRecorder* trace, fault::ChannelSession* faults,
              QueryWorkspace& workspace, SbnnOutcome* outcome);
 
 /// Algorithm 3 (SBWQ); same contract as RunSbnn above.
 void RunSbwq(const geom::Rect& window, const SbwqOptions& options,
-             const std::vector<PeerData>& peers,
+             std::span<const PeerData> peers,
              const broadcast::BroadcastSystem& system, int64_t now,
              obs::TraceRecorder* trace, fault::ChannelSession* faults,
              QueryWorkspace& workspace, SbwqOutcome* outcome);

@@ -61,7 +61,7 @@ void CacheableFromVerifiedPrefix(geom::Point q, const ResultHeap& heap,
 }  // namespace
 
 void RunSbnn(geom::Point q, const SbnnOptions& options,
-             const std::vector<PeerData>& peers, double poi_density,
+             std::span<const PeerData> peers, double poi_density,
              const broadcast::BroadcastSystem& system, int64_t now,
              obs::TraceRecorder* trace, fault::ChannelSession* faults,
              QueryWorkspace& ws, SbnnOutcome* out) {

@@ -18,7 +18,7 @@ void SbwqOptions::Validate() const {
 namespace internal {
 
 void RunSbwq(const geom::Rect& window, const SbwqOptions& options,
-             const std::vector<PeerData>& peers,
+             std::span<const PeerData> peers,
              const broadcast::BroadcastSystem& system, int64_t now,
              obs::TraceRecorder* trace, fault::ChannelSession* faults,
              QueryWorkspace& ws, SbwqOutcome* out) {

@@ -6,51 +6,48 @@
 
 namespace lbsq::dynamic {
 
+namespace {
+
+auto VersionerDirty(const WorldVersioner& versioner) {
+  return [&versioner](const geom::Rect& rect, uint64_t lo, uint64_t hi) {
+    return versioner.RegionDirty(rect, lo, hi);
+  };
+}
+
+}  // namespace
+
 RevalidationStats RevalidatePeerData(const WorldVersioner& versioner,
                                      uint64_t pinned_epoch,
                                      core::PeerData* peer) {
-  RevalidationStats stats;
-  auto stale = [&](core::VerifiedRegion& vr) {
-    if (vr.epoch == pinned_epoch) return false;
-    const uint64_t lo = std::min(vr.epoch, pinned_epoch);
-    const uint64_t hi = std::max(vr.epoch, pinned_epoch);
-    if (versioner.RegionDirty(vr.region, lo, hi)) {
-      ++stats.rejected;
-      return true;
-    }
-    vr.epoch = pinned_epoch;
-    ++stats.revalidated;
-    return false;
-  };
-  std::erase_if(peer->regions, stale);
-  return stats;
+  return RevalidatePeerDataWith(VersionerDirty(versioner), pinned_epoch, peer);
 }
 
 RevalidationStats RevalidatePeerData(const WorldVersioner& versioner,
                                      uint64_t pinned_epoch,
                                      std::vector<core::PeerData>* peers) {
-  RevalidationStats stats;
-  for (core::PeerData& peer : *peers) {
-    const RevalidationStats one =
-        RevalidatePeerData(versioner, pinned_epoch, &peer);
-    stats.revalidated += one.revalidated;
-    stats.rejected += one.rejected;
-  }
-  return stats;
+  return RevalidatePeerDataWith(VersionerDirty(versioner), pinned_epoch,
+                                peers);
 }
 
 std::shared_ptr<const WorldEpoch> DynamicQueryEngine::Execute(
-    core::QueryRequest* request, core::QueryWorkspace& workspace,
-    core::QueryOutcome* outcome, RevalidationStats* stats) const {
-  LBSQ_CHECK(request != nullptr && outcome != nullptr);
+    const core::QueryRequest& request, std::vector<core::PeerData>* peers,
+    core::QueryWorkspace& workspace, core::QueryOutcome* outcome,
+    RevalidationStats* stats) const {
+  LBSQ_CHECK(outcome != nullptr);
+  // Peer knowledge must ride in through `peers` so revalidation can edit it.
+  LBSQ_CHECK(request.peers.empty());
   std::shared_ptr<const WorldEpoch> pinned = versioner_.Current();
-  const RevalidationStats pass =
-      RevalidatePeerData(versioner_, pinned->id, &request->peers);
-  if (stats != nullptr) {
-    stats->revalidated += pass.revalidated;
-    stats->rejected += pass.rejected;
+  core::QueryRequest exec = request;
+  if (peers != nullptr) {
+    const RevalidationStats pass =
+        RevalidatePeerData(versioner_, pinned->id, peers);
+    if (stats != nullptr) {
+      stats->revalidated += pass.revalidated;
+      stats->rejected += pass.rejected;
+    }
+    exec.peers = *peers;
   }
-  pinned->engine->Execute(*request, workspace, outcome);
+  pinned->engine->Execute(exec, workspace, outcome);
   return pinned;
 }
 

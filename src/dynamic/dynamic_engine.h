@@ -1,6 +1,7 @@
 #ifndef LBSQ_DYNAMIC_DYNAMIC_ENGINE_H_
 #define LBSQ_DYNAMIC_DYNAMIC_ENGINE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -44,6 +45,45 @@ RevalidationStats RevalidatePeerData(const WorldVersioner& versioner,
                                      uint64_t pinned_epoch,
                                      core::PeerData* peer);
 
+/// The revalidation core, parameterized over the dirtiness oracle so every
+/// versioned world (single-channel WorldVersioner, multi-shard ShardedWorld)
+/// shares one stale-region policy. `dirty(rect, from_exclusive,
+/// to_inclusive)` must mirror UpdateLog::RegionDirtyBetween semantics.
+template <typename DirtyFn>
+RevalidationStats RevalidatePeerDataWith(const DirtyFn& dirty,
+                                         uint64_t pinned_epoch,
+                                         core::PeerData* peer) {
+  RevalidationStats stats;
+  auto stale = [&](core::VerifiedRegion& vr) {
+    if (vr.epoch == pinned_epoch) return false;
+    const uint64_t lo = std::min(vr.epoch, pinned_epoch);
+    const uint64_t hi = std::max(vr.epoch, pinned_epoch);
+    if (dirty(vr.region, lo, hi)) {
+      ++stats.rejected;
+      return true;
+    }
+    vr.epoch = pinned_epoch;
+    ++stats.revalidated;
+    return false;
+  };
+  std::erase_if(peer->regions, stale);
+  return stats;
+}
+
+template <typename DirtyFn>
+RevalidationStats RevalidatePeerDataWith(const DirtyFn& dirty,
+                                         uint64_t pinned_epoch,
+                                         std::vector<core::PeerData>* peers) {
+  RevalidationStats stats;
+  for (core::PeerData& peer : *peers) {
+    const RevalidationStats one =
+        RevalidatePeerDataWith(dirty, pinned_epoch, &peer);
+    stats.revalidated += one.revalidated;
+    stats.rejected += one.rejected;
+  }
+  return stats;
+}
+
 /// Query facade over a WorldVersioner (the dynamic-world counterpart of
 /// core::QueryEngine). Stateless between calls and thread-safe: any number
 /// of threads may Execute concurrently, each with its own workspace.
@@ -56,13 +96,24 @@ class DynamicQueryEngine {
   /// QueryEngine directly, e.g. to oracle-check against epoch->pois).
   std::shared_ptr<const WorldEpoch> Pin() const { return versioner_.Current(); }
 
-  /// Pins the current epoch, revalidates `request->peers` against it, and
-  /// executes the request on the pinned epoch's engine through `workspace`
-  /// (whose memo re-binds automatically on an epoch change). Returns the
-  /// pinned epoch — the world the outcome is consistent with; its `pois`
-  /// are the oracle snapshot for this answer. A non-null `stats`
+  /// Pins the current epoch, revalidates `peers` against it, and executes
+  /// the request on the pinned epoch's engine through `workspace` (whose
+  /// memo re-binds automatically on an epoch change).
+  ///
+  /// `peers` is the host's own mutable peer-knowledge snapshot — the one
+  /// place dynamic execution edits: regions invalidated by the separating
+  /// update batches are erased in place (the host discards knowledge it now
+  /// knows is stale), and the query runs with the survivors as its peer
+  /// span. May be null for a peerless query. `request.peers` must be empty;
+  /// the span is bound here, after revalidation, so it can never dangle or
+  /// reference pre-revalidation state. No per-query heap allocation: the
+  /// in-place erase only releases memory.
+  ///
+  /// Returns the pinned epoch — the world the outcome is consistent with;
+  /// its `pois` are the oracle snapshot for this answer. A non-null `stats`
   /// accumulates the revalidation counts.
-  std::shared_ptr<const WorldEpoch> Execute(core::QueryRequest* request,
+  std::shared_ptr<const WorldEpoch> Execute(const core::QueryRequest& request,
+                                            std::vector<core::PeerData>* peers,
                                             core::QueryWorkspace& workspace,
                                             core::QueryOutcome* outcome,
                                             RevalidationStats* stats =

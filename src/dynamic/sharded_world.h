@@ -1,0 +1,132 @@
+#ifndef LBSQ_DYNAMIC_SHARDED_WORLD_H_
+#define LBSQ_DYNAMIC_SHARDED_WORLD_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "broadcast/system.h"
+#include "core/query_engine.h"
+#include "core/sharded_query_engine.h"
+#include "dynamic/dynamic_engine.h"
+#include "dynamic/update_log.h"
+#include "geom/rect.h"
+#include "spatial/poi.h"
+
+/// \file
+/// Epoch versioning of the *sharded* broadcast deployment — the dynamic
+/// counterpart of `core::ShardedQueryEngine`, mirroring `WorldVersioner`'s
+/// contract at metro scale. One global update stream advances one global
+/// epoch sequence (the same `ApplyUpdates` merge as the unsharded world, on
+/// the same global POI mirror, so the epoch ids, the applied-batch
+/// filtering, and the update log are identical at any shard count), but
+/// each batch rebuilds only the shards it touches: an update lands on the
+/// shard(s) owning its old and new positions, and every other shard's
+/// broadcast system is shared, untouched, with the previous epoch. A
+/// thousand-batch churn over a metro deployment rebuilds each small dirty
+/// slice instead of re-bucketizing the whole world N times.
+///
+/// The shard map is fixed at construction (from the initial occupancy):
+/// repartitioning on churn would invalidate every channel at once and break
+/// the clean-shard sharing that makes incremental publication cheap.
+/// Occupancy drift under sustained one-sided churn is the operator's cue to
+/// re-deploy, not the versioner's to rebalance silently.
+
+namespace lbsq::dynamic {
+
+/// One immutable published version of the sharded world.
+struct ShardedEpoch {
+  uint64_t id = 0;
+  /// Global POI mirror in generation order — the oracle snapshot this
+  /// epoch's answers are exact against (same content, same order, as the
+  /// unsharded WorldEpoch's `pois` after the same batches).
+  std::vector<spatial::Poi> pois;
+  /// The multi-shard engine. Shards the publishing batch left untouched
+  /// share their BroadcastSystem with the previous epoch; dirty shards
+  /// carry freshly built ones stamped with this epoch's id.
+  std::unique_ptr<core::ShardedQueryEngine> engine;
+  /// The shards rebuilt to publish this epoch (all non-empty shards for
+  /// epoch 0; the batch's dirty set afterwards). Diagnostics and tests.
+  std::vector<int> rebuilt_shards;
+};
+
+/// Accepts update batches and publishes sharded epochs. Thread-safe on the
+/// reader side (`Current`, `RegionDirty`, `Execute` from any thread);
+/// producers must serialize their `Apply` calls.
+class ShardedWorld {
+ public:
+  /// Builds and publishes epoch 0: partitions `initial` by occupancy into
+  /// `num_shards` Hilbert ranges and builds every shard channel (see the
+  /// ShardedQueryEngine constructor). A 1-shard ShardedWorld publishes
+  /// byte-identical systems to an unsharded WorldVersioner fed the same
+  /// batches.
+  ShardedWorld(std::vector<spatial::Poi> initial, const geom::Rect& world,
+               const broadcast::BroadcastParams& params,
+               const core::EngineOptions& options, int num_shards);
+
+  ShardedWorld(const ShardedWorld&) = delete;
+  ShardedWorld& operator=(const ShardedWorld&) = delete;
+
+  /// Pins and returns the newest published epoch.
+  std::shared_ptr<const ShardedEpoch> Current() const;
+
+  /// Id of the newest published epoch.
+  uint64_t latest_epoch() const;
+
+  /// Applies one batch synchronously: merges it into the global mirror
+  /// (identical epoch sequence to the unsharded world), rebuilds the dirty
+  /// shards only, publishes the next epoch, and logs the applied batch.
+  /// Returns the new epoch id.
+  uint64_t Apply(std::vector<PoiUpdate> updates);
+
+  /// UpdateLog::RegionDirtyBetween over the global log (same answers as the
+  /// unsharded versioner's — the log is shard-agnostic).
+  bool RegionDirty(const geom::Rect& rect, uint64_t from_exclusive,
+                   uint64_t to_inclusive) const;
+
+  /// Updates applied across all published epochs (skipped-invalid excluded).
+  int64_t updates_applied() const;
+
+  /// Cumulative count of shard rebuilds across all Apply calls — the
+  /// incremental-publication win is `epochs * num_shards` minus this.
+  int64_t shards_rebuilt() const;
+
+  int num_shards() const { return num_shards_; }
+  const geom::Rect& world() const { return world_; }
+
+  /// Pins the current epoch, revalidates `peers` against the global update
+  /// log, and executes the request on the pinned epoch's sharded engine.
+  /// Same contract as DynamicQueryEngine::Execute (peers edited in place,
+  /// `request.peers` must be empty, no per-query heap allocation); the
+  /// outcome's cacheable is stamped with the *global* pinned epoch, so
+  /// cached knowledge revalidates against the shard-agnostic log no matter
+  /// which shards produced it.
+  std::shared_ptr<const ShardedEpoch> Execute(
+      const core::QueryRequest& request, std::vector<core::PeerData>* peers,
+      core::ShardedQueryWorkspace& workspace, core::QueryOutcome* outcome,
+      RevalidationStats* stats = nullptr) const;
+
+ private:
+  /// The shard owning position `p` under the fixed map.
+  int ShardOf(const core::ShardedQueryEngine& engine, geom::Point p) const;
+
+  geom::Rect world_;
+  broadcast::BroadcastParams params_;
+  core::EngineOptions options_;
+  int num_shards_ = 1;
+
+  mutable std::mutex state_mutex_;
+  std::shared_ptr<const ShardedEpoch> current_;
+  UpdateLog log_;
+  int64_t updates_applied_ = 0;
+  int64_t shards_rebuilt_ = 0;
+
+  // Serializes producers, like WorldVersioner's build lock: readers never
+  // take it, so queries keep running while a rebuild is in flight.
+  std::mutex build_mutex_;
+};
+
+}  // namespace lbsq::dynamic
+
+#endif  // LBSQ_DYNAMIC_SHARDED_WORLD_H_

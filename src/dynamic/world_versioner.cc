@@ -11,7 +11,7 @@ namespace {
 std::shared_ptr<const WorldEpoch> MakeEpoch(
     uint64_t id, std::vector<spatial::Poi> pois, const geom::Rect& world,
     broadcast::BroadcastParams params,
-    const core::QueryEngine::Options& options) {
+    const core::EngineOptions& options) {
   auto epoch = std::make_shared<WorldEpoch>();
   epoch->id = id;
   epoch->pois = std::move(pois);
@@ -28,7 +28,7 @@ std::shared_ptr<const WorldEpoch> MakeEpoch(
 WorldVersioner::WorldVersioner(std::vector<spatial::Poi> initial,
                                const geom::Rect& world,
                                const broadcast::BroadcastParams& params,
-                               const core::QueryEngine::Options& options,
+                               const core::EngineOptions& options,
                                bool retain_history)
     : world_(world),
       params_(params),

@@ -61,7 +61,7 @@ class WorldVersioner {
   /// invariant checks); off, superseded epochs die with their last pin.
   WorldVersioner(std::vector<spatial::Poi> initial, const geom::Rect& world,
                  const broadcast::BroadcastParams& params,
-                 const core::QueryEngine::Options& options,
+                 const core::EngineOptions& options,
                  bool retain_history = false);
 
   /// Stops the builder thread if running.
@@ -116,7 +116,7 @@ class WorldVersioner {
 
   geom::Rect world_;
   broadcast::BroadcastParams params_;
-  core::QueryEngine::Options options_;
+  core::EngineOptions options_;
   bool retain_history_;
 
   mutable std::mutex state_mutex_;

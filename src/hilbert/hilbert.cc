@@ -120,11 +120,22 @@ geom::Rect HilbertGrid::CellRect(CellXY cell) const {
 
 std::vector<IndexRange> HilbertGrid::CoverRect(const geom::Rect& query) const {
   std::vector<IndexRange> ranges;
+  std::vector<uint64_t> scratch;
+  CoverRect(query, &scratch, &ranges);
+  return ranges;
+}
+
+void HilbertGrid::CoverRect(const geom::Rect& query,
+                            std::vector<uint64_t>* scratch,
+                            std::vector<IndexRange>* out) const {
+  LBSQ_CHECK(scratch != nullptr && out != nullptr);
+  out->clear();
   const geom::Rect q = query.Intersection(world_);
-  if (q.empty()) return ranges;
+  if (q.empty()) return;
   const CellXY lo = CellOf({q.x1, q.y1});
   const CellXY hi = CellOf({q.x2, q.y2});
-  std::vector<uint64_t> indexes;
+  std::vector<uint64_t>& indexes = *scratch;
+  indexes.clear();
   indexes.reserve(static_cast<size_t>(hi.x - lo.x + 1) * (hi.y - lo.y + 1));
   for (uint32_t y = lo.y; y <= hi.y; ++y) {
     for (uint32_t x = lo.x; x <= hi.x; ++x) {
@@ -133,13 +144,12 @@ std::vector<IndexRange> HilbertGrid::CoverRect(const geom::Rect& query) const {
   }
   std::sort(indexes.begin(), indexes.end());
   for (uint64_t idx : indexes) {
-    if (!ranges.empty() && ranges.back().hi + 1 == idx) {
-      ranges.back().hi = idx;
+    if (!out->empty() && out->back().hi + 1 == idx) {
+      out->back().hi = idx;
     } else {
-      ranges.push_back(IndexRange{idx, idx});
+      out->push_back(IndexRange{idx, idx});
     }
   }
-  return ranges;
 }
 
 }  // namespace lbsq::hilbert

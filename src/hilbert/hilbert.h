@@ -99,6 +99,12 @@ class HilbertGrid {
   /// the returned ranges.
   std::vector<IndexRange> CoverRect(const geom::Rect& query) const;
 
+  /// Allocation-free variant: clears and fills `*out` (same content as the
+  /// returning overload), using `*scratch` for the cell-index sort. Both
+  /// vectors keep their capacity across calls.
+  void CoverRect(const geom::Rect& query, std::vector<uint64_t>* scratch,
+                 std::vector<IndexRange>* out) const;
+
  private:
   geom::Rect world_;
   int order_;

@@ -1,0 +1,90 @@
+#include "hilbert/partition.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace lbsq::hilbert {
+
+ShardMap::ShardMap(uint64_t num_cells) : num_cells_(num_cells) {
+  LBSQ_CHECK(num_cells >= 1);
+  bounds_.push_back(num_cells);
+}
+
+ShardMap::ShardMap(uint64_t num_cells, std::vector<uint64_t> bounds)
+    : num_cells_(num_cells), bounds_(std::move(bounds)) {
+  LBSQ_CHECK(num_cells >= 1);
+  LBSQ_CHECK(!bounds_.empty());
+  LBSQ_CHECK(bounds_.back() == num_cells_);
+  for (size_t s = 0; s < bounds_.size(); ++s) {
+    const uint64_t lo = s == 0 ? 0 : bounds_[s - 1];
+    LBSQ_CHECK(bounds_[s] > lo);  // every shard owns at least one cell
+  }
+}
+
+IndexRange ShardMap::RangeOf(int shard) const {
+  LBSQ_CHECK(shard >= 0 && shard < num_shards());
+  const size_t s = static_cast<size_t>(shard);
+  IndexRange range;
+  range.lo = s == 0 ? 0 : bounds_[s - 1];
+  range.hi = bounds_[s] - 1;
+  return range;
+}
+
+int ShardMap::ShardOfIndex(uint64_t index) const {
+  LBSQ_CHECK(index < num_cells_);
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), index);
+  return static_cast<int>(it - bounds_.begin());
+}
+
+void ShardMap::ShardsTouching(std::span<const IndexRange> cover,
+                              std::vector<int>* out) const {
+  LBSQ_CHECK(out != nullptr);
+  out->clear();
+  // Both lists are sorted ascending, so one forward sweep suffices; the
+  // dedup falls out of only appending shards greater than the last.
+  for (const IndexRange& range : cover) {
+    const int first = ShardOfIndex(range.lo);
+    const int last = ShardOfIndex(range.hi);
+    for (int s = first; s <= last; ++s) {
+      if (out->empty() || out->back() < s) out->push_back(s);
+    }
+  }
+}
+
+ShardMap PartitionByOccupancy(const HilbertGrid& grid,
+                              std::span<const geom::Point> positions,
+                              int num_shards) {
+  LBSQ_CHECK(num_shards >= 1);
+  const uint64_t num_cells = grid.num_cells();
+  LBSQ_CHECK(static_cast<uint64_t>(num_shards) <= num_cells);
+  if (num_shards == 1) return ShardMap(num_cells);
+
+  std::vector<uint64_t> indexes;
+  indexes.reserve(positions.size());
+  for (const geom::Point& p : positions) indexes.push_back(grid.IndexOf(p));
+  std::sort(indexes.begin(), indexes.end());
+
+  const uint64_t n = indexes.size();
+  const uint64_t shards = static_cast<uint64_t>(num_shards);
+  std::vector<uint64_t> bounds;
+  bounds.reserve(shards);
+  uint64_t prev = 0;  // exclusive upper bound of the previous shard
+  for (uint64_t s = 1; s < shards; ++s) {
+    // Cut at the rank quantile; the POIs at the cut's cell go to the shard
+    // above it (the cut is their cell index, an exclusive upper bound for
+    // shard s-1), so cell-mates never straddle the cut.
+    uint64_t cut = n == 0 ? s * num_cells / shards : indexes[s * n / shards];
+    // Keep every shard at least one cell wide: the remaining shards need
+    // (shards - s) cells above the cut and the finished ones end at `prev`.
+    cut = std::max(cut, prev + 1);
+    cut = std::min(cut, num_cells - (shards - s));
+    bounds.push_back(cut);
+    prev = cut;
+  }
+  bounds.push_back(num_cells);
+  return ShardMap(num_cells, std::move(bounds));
+}
+
+}  // namespace lbsq::hilbert

@@ -1,0 +1,75 @@
+#ifndef LBSQ_HILBERT_PARTITION_H_
+#define LBSQ_HILBERT_PARTITION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/point.h"
+#include "hilbert/hilbert.h"
+
+/// \file
+/// Contiguous Hilbert-range sharding. A ShardMap cuts the curve domain
+/// [0, 4^order) into N contiguous, non-overlapping, domain-covering index
+/// ranges — one broadcast shard per range. Because the Hilbert curve
+/// preserves locality, a contiguous curve range is a compact blob of world
+/// space, so a spatial query touches few shards and the per-shard broadcast
+/// channels stay independent.
+///
+/// Shard assignment is a pure function of the POI's position and the cut
+/// points: POIs mapping to the same curve cell always share a shard, and
+/// iterating POIs in input order per shard preserves the input order — the
+/// 1-shard partition reproduces the unsharded POI list byte-for-byte.
+
+namespace lbsq::hilbert {
+
+/// An immutable partition of the curve domain into contiguous shard ranges.
+class ShardMap {
+ public:
+  /// The identity partition: one shard covering [0, num_cells).
+  explicit ShardMap(uint64_t num_cells);
+
+  /// Partition from explicit exclusive upper bounds per shard, ascending,
+  /// with `bounds.back() == num_cells` (shard s covers
+  /// [bounds[s-1], bounds[s])). Checked.
+  ShardMap(uint64_t num_cells, std::vector<uint64_t> bounds);
+
+  int num_shards() const { return static_cast<int>(bounds_.size()); }
+  uint64_t num_cells() const { return num_cells_; }
+
+  /// Inclusive curve-index range of `shard`.
+  IndexRange RangeOf(int shard) const;
+
+  /// The shard owning curve index `index` (index < num_cells).
+  int ShardOfIndex(uint64_t index) const;
+
+  /// Appends to `out` — sorted ascending, deduplicated — every shard whose
+  /// range intersects any of `cover` (e.g. HilbertGrid::CoverRect output;
+  /// the ranges must be sorted ascending). `out` is cleared first; no
+  /// allocation once its capacity covers the shard count.
+  void ShardsTouching(std::span<const IndexRange> cover,
+                      std::vector<int>* out) const;
+
+  friend bool operator==(const ShardMap& a, const ShardMap& b) {
+    return a.num_cells_ == b.num_cells_ && a.bounds_ == b.bounds_;
+  }
+
+ private:
+  uint64_t num_cells_ = 0;
+  /// Ascending exclusive upper bounds, one per shard; back() == num_cells_.
+  std::vector<uint64_t> bounds_;
+};
+
+/// Builds a load-balanced contiguous partition for `num_shards` shards:
+/// sorts the positions' curve indexes and cuts at the rank quantiles
+/// i * n / N, snapping every cut to a curve-cell boundary so POIs in the
+/// same cell never straddle shards. The ranges always cover the whole
+/// domain; a shard may own zero POIs (tiny workloads, large N). With
+/// `num_shards == 1` this is the identity partition.
+ShardMap PartitionByOccupancy(const HilbertGrid& grid,
+                              std::span<const geom::Point> positions,
+                              int num_shards);
+
+}  // namespace lbsq::hilbert
+
+#endif  // LBSQ_HILBERT_PARTITION_H_

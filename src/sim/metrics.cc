@@ -9,7 +9,17 @@ double Pct(int64_t part, int64_t total) {
   return total == 0 ? 0.0 : 100.0 * static_cast<double>(part) /
                                 static_cast<double>(total);
 }
+
+constexpr uint64_t kFnvBasis = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
 }  // namespace
+
+uint64_t DigestFold(uint64_t acc, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    acc = (acc ^ ((value >> (8 * i)) & 0xff)) * kFnvPrime;
+  }
+  return acc;
+}
 
 double SimMetrics::PctVerified() const { return Pct(solved_verified, queries); }
 double SimMetrics::PctApproximate() const {
@@ -44,6 +54,14 @@ void SimMetrics::Merge(const SimMetrics& other) {
   epochs_published += other.epochs_published;
   regions_revalidated += other.regions_revalidated;
   regions_stale_rejected += other.regions_stale_rejected;
+  // Digest merge keeps an untouched accumulator as the identity (the
+  // event-order fold of the parallel engine relies on merging empty slots
+  // being a no-op); otherwise the right-hand digest is folded in whole.
+  if (other.answer_digest != kFnvBasis) {
+    answer_digest = answer_digest == kFnvBasis
+                        ? other.answer_digest
+                        : DigestFold(answer_digest, other.answer_digest);
+  }
   peers_per_query.Merge(other.peers_per_query);
   broadcast_latency.Merge(other.broadcast_latency);
   broadcast_tuning.Merge(other.broadcast_tuning);
@@ -70,6 +88,7 @@ bool operator==(const SimMetrics& a, const SimMetrics& b) {
          a.epochs_published == b.epochs_published &&
          a.regions_revalidated == b.regions_revalidated &&
          a.regions_stale_rejected == b.regions_stale_rejected &&
+         a.answer_digest == b.answer_digest &&
          a.peers_per_query == b.peers_per_query &&
          a.broadcast_latency == b.broadcast_latency &&
          a.broadcast_tuning == b.broadcast_tuning &&

@@ -13,6 +13,11 @@
 
 namespace lbsq::sim {
 
+/// One FNV-1a step over the 8 bytes of `value` (little-endian order).
+/// Exposed so the accumulate functions in query_exec can fold answers into
+/// SimMetrics::answer_digest with the exact same primitive Merge uses.
+uint64_t DigestFold(uint64_t acc, uint64_t value);
+
 /// Aggregated results of one simulation run (post-warm-up queries only).
 struct SimMetrics {
   /// Total measured queries.
@@ -55,6 +60,14 @@ struct SimMetrics {
   int64_t regions_revalidated = 0;
   /// Cross-epoch peer regions rejected because an update touched them.
   int64_t regions_stale_rejected = 0;
+
+  /// Order-sensitive FNV-1a fold over every measured answer (POI ids and
+  /// distance bit patterns, in the canonical sorted answer order, folded in
+  /// event order). Two runs that return the same answers to the same queries
+  /// in the same order share a digest; a single flipped id or distance bit
+  /// changes it. This is the shard-invariance witness: with approximate
+  /// kNN acceptance disabled, the digest is identical at any shard count.
+  uint64_t answer_digest = 1469598103934665603ull;  // FNV-1a offset basis
 
   /// Peers within range per query.
   RunningStat peers_per_query;

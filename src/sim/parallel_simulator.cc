@@ -28,12 +28,19 @@ ParallelSimulator::ParallelSimulator(const SimConfig& config)
   std::vector<spatial::Poi> pois = spatial::GenerateUniformPois(
       &poi_rng, world_, config.ScaledPoiCount());
   base_insert_id_ = FirstInsertId(pois);
-  const bool retain_history =
-      config.updates.enabled() && config.check_cache_invariant;
-  versioner_ = std::make_unique<dynamic::WorldVersioner>(
-      std::move(pois), world_, config.broadcast,
-      EngineOptionsFromConfig(config), retain_history);
-  current_ = versioner_->Current();
+  if (config.shards > 1) {
+    sharded_world_ = std::make_unique<dynamic::ShardedWorld>(
+        std::move(pois), world_, config.broadcast,
+        EngineOptionsFromConfig(config), config.shards);
+    sharded_current_ = sharded_world_->Current();
+  } else {
+    const bool retain_history =
+        config.updates.enabled() && config.check_cache_invariant;
+    versioner_ = std::make_unique<dynamic::WorldVersioner>(
+        std::move(pois), world_, config.broadcast,
+        EngineOptionsFromConfig(config), retain_history);
+    current_ = versioner_->Current();
+  }
 
   mobility_proto_ = MakeMobilityModel(config, world_);
   const int64_t hosts = mobility_proto_->num_hosts();
@@ -68,12 +75,19 @@ void ParallelSimulator::CheckCacheInvariant(int64_t host) const {
        caches_[static_cast<size_t>(host)].entries()) {
     // Completeness is epoch-relative: validate against the POI database of
     // the epoch the entry was verified on (== the current epoch when
-    // updates are off).
-    const std::shared_ptr<const dynamic::WorldEpoch> epoch =
-        config_.updates.enabled() ? versioner_->EpochAt(vr.epoch) : current_;
-    LBSQ_CHECK(epoch != nullptr);
+    // updates are off; the sharded static world only ever has epoch 0).
+    std::shared_ptr<const dynamic::WorldEpoch> epoch;
+    const std::vector<spatial::Poi>* db = nullptr;
+    if (config_.shards > 1) {
+      db = &sharded_current_->pois;
+    } else {
+      epoch =
+          config_.updates.enabled() ? versioner_->EpochAt(vr.epoch) : current_;
+      LBSQ_CHECK(epoch != nullptr);
+      db = &epoch->pois;
+    }
     const std::vector<spatial::Poi> truth =
-        spatial::BruteForceWindow(epoch->pois, vr.region);
+        spatial::BruteForceWindow(*db, vr.region);
     // Every server POI inside the region must be cached.
     for (const spatial::Poi& poi : truth) {
       const bool present =
@@ -112,8 +126,17 @@ ParallelSimulator::EventResult ParallelSimulator::ExecuteEvent(
     // The pinned epoch is immutable while workers run (chunk boundaries
     // are clamped to update boundaries), so this decision depends only on
     // the region's epoch tag and the update log — never the thread count.
-    const dynamic::RevalidationStats revalidation =
-        dynamic::RevalidatePeerData(*versioner_, current_->id, &peers);
+    dynamic::RevalidationStats revalidation;
+    if (config_.shards > 1) {
+      auto dirty = [this](const geom::Rect& rect, uint64_t lo, uint64_t hi) {
+        return sharded_world_->RegionDirty(rect, lo, hi);
+      };
+      revalidation = dynamic::RevalidatePeerDataWith(
+          dirty, sharded_current_->id, &peers);
+    } else {
+      revalidation =
+          dynamic::RevalidatePeerData(*versioner_, current_->id, &peers);
+    }
     result.regions_revalidated = revalidation.revalidated;
     result.regions_stale_rejected = revalidation.rejected;
   }
@@ -131,11 +154,20 @@ ParallelSimulator::EventResult ParallelSimulator::ExecuteEvent(
 
   const int64_t slot = static_cast<int64_t>(
       event.time_min * config_.slots_per_second * 60.0);
+  const bool sharded = config_.shards > 1;
   if (event.type == QueryType::kKnn) {
     KnnQueryResult knn =
-        ExecuteKnnQuery(config_, *current_->engine, pos, event.k, slot,
-                        std::move(peers), result.measured, query_id, trace,
-                        &worker->workspace);
+        sharded ? ExecuteKnnQuery(config_, *sharded_current_->engine,
+                                  sharded_current_->pois, pos, event.k, slot,
+                                  std::move(peers), result.measured, query_id,
+                                  trace, worker->sharded_workspace)
+                : ExecuteKnnQuery(config_, *current_->engine, pos, event.k,
+                                  slot, std::move(peers), result.measured,
+                                  query_id, trace, &worker->workspace);
+    // Clean shards still carry the epoch stamp of their last rebuild; what
+    // this query verified is consistent with the pinned *global* epoch,
+    // which is what peer revalidation consults.
+    if (sharded) knn.outcome.cacheable.epoch = sharded_current_->id;
     caches_[static_cast<size_t>(event.host)].Insert(
         std::move(knn.outcome.cacheable), pos, pos,
         worker->mobility->Heading(event.host));
@@ -143,9 +175,15 @@ ParallelSimulator::EventResult ParallelSimulator::ExecuteEvent(
     result.knn = std::move(knn);
   } else {
     WindowQueryResult window =
-        ExecuteWindowQuery(config_, *current_->engine, event.window, slot,
-                           std::move(peers), result.measured, query_id,
-                           trace, &worker->workspace);
+        sharded ? ExecuteWindowQuery(config_, *sharded_current_->engine,
+                                     sharded_current_->pois, event.window,
+                                     slot, std::move(peers), result.measured,
+                                     query_id, trace,
+                                     worker->sharded_workspace)
+                : ExecuteWindowQuery(config_, *current_->engine, event.window,
+                                     slot, std::move(peers), result.measured,
+                                     query_id, trace, &worker->workspace);
+    if (sharded) window.outcome.cacheable.epoch = sharded_current_->id;
     caches_[static_cast<size_t>(event.host)].Insert(
         std::move(window.outcome.cacheable), event.window.center(), pos,
         worker->mobility->Heading(event.host));
@@ -165,6 +203,20 @@ void ParallelSimulator::MaybeApplyUpdates(size_t event_index,
   // Identical to the sequential engine: batch k = index / interval produces
   // epoch k from the epoch-(k-1) snapshot, purely from (config, seed, k).
   const uint64_t k = event_index / interval;
+  if (config_.shards > 1) {
+    std::vector<dynamic::PoiUpdate> batch =
+        GenerateUpdateBatch(config_.updates, config_.seed, k,
+                            sharded_current_->pois, world_, base_insert_id_);
+    const int64_t before = sharded_world_->updates_applied();
+    const uint64_t published = sharded_world_->Apply(std::move(batch));
+    LBSQ_CHECK(published == k);
+    sharded_current_ = sharded_world_->Current();
+    if (event_time_min >= config_.warmup_min) {
+      metrics->epochs_published += 1;
+      metrics->updates_applied += sharded_world_->updates_applied() - before;
+    }
+    return;
+  }
   std::vector<dynamic::PoiUpdate> batch =
       GenerateUpdateBatch(config_.updates, config_.seed, k, current_->pois,
                           world_, base_insert_id_);
@@ -257,7 +309,10 @@ SimMetrics ParallelSimulator::Run() {
 SimMetrics ParallelSimulator::Replay(const std::vector<QueryEvent>& events) {
   // Update batches are keyed by event index; replaying a dynamic run on an
   // already-advanced world cannot reproduce the recording.
-  if (config_.updates.enabled()) LBSQ_CHECK(versioner_->latest_epoch() == 0);
+  if (config_.updates.enabled()) {
+    LBSQ_CHECK((config_.shards > 1 ? sharded_world_->latest_epoch()
+                                   : versioner_->latest_epoch()) == 0);
+  }
   for (const QueryEvent& event : events) {
     LBSQ_CHECK(event.host >= 0 &&
                event.host < mobility_proto_->num_hosts());

@@ -12,6 +12,8 @@
 #include "core/peer_cache.h"
 #include "core/query_engine.h"
 #include "core/query_workspace.h"
+#include "core/sharded_query_engine.h"
+#include "dynamic/sharded_world.h"
 #include "dynamic/world_versioner.h"
 #include "sim/config.h"
 #include "sim/metrics.h"
@@ -78,6 +80,7 @@ class ParallelSimulator {
 
   /// The broadcast channel of the currently pinned epoch (epoch 0 — the
   /// full static world — unless updates are enabled and have fired).
+  /// Single-channel deployments only (config.shards == 1).
   const broadcast::BroadcastSystem& system() const {
     return *current_->system;
   }
@@ -85,10 +88,15 @@ class ParallelSimulator {
   const geom::Rect& world() const { return world_; }
   /// Host caches (for inspection in tests).
   const std::vector<core::PeerCache>& caches() const { return caches_; }
-  /// The query engine of the currently pinned epoch.
+  /// The query engine of the currently pinned epoch (shards == 1 only).
   const core::QueryEngine& engine() const { return *current_->engine; }
-  /// The epoch store (epoch 0 only when updates are disabled).
+  /// The epoch store (epoch 0 only when updates are disabled); shards == 1
+  /// only.
   const dynamic::WorldVersioner& versioner() const { return *versioner_; }
+  /// The sharded world (null unless config.shards > 1).
+  const dynamic::ShardedWorld* sharded_world() const {
+    return sharded_world_.get();
+  }
 
  private:
   /// Everything a worker thread owns privately: its fleet replica, its
@@ -99,8 +107,11 @@ class ParallelSimulator {
     std::vector<geom::Point> positions;
     spatial::GridIndex peer_index;
     /// Per-thread query scratch + broadcast-cycle cover memo; reused by
-    /// every event this worker executes.
+    /// every event this worker executes. `workspace` serves the
+    /// single-channel deployment, `sharded_workspace` the multi-shard one
+    /// (only the configured deployment's scratch ever grows).
     core::QueryWorkspace workspace;
+    core::ShardedQueryWorkspace sharded_workspace;
 
     Worker(const MobilityModel& proto, const geom::Rect& world,
            double cell_size);
@@ -148,10 +159,16 @@ class ParallelSimulator {
 
   SimConfig config_;
   geom::Rect world_;
+  /// Single-channel deployment (config.shards == 1): the epoch store and
+  /// the pinned epoch every event of the current chunk executes against
+  /// (re-pinned at update boundaries — always between chunks). Null at
+  /// shards > 1.
   std::unique_ptr<dynamic::WorldVersioner> versioner_;
-  /// The pinned epoch every event of the current chunk executes against;
-  /// re-pinned at update boundaries (always between chunks).
   std::shared_ptr<const dynamic::WorldEpoch> current_;
+  /// Sharded deployment (config.shards > 1): the sharded epoch store and
+  /// its pinned epoch, with the same re-pin discipline. Null at shards == 1.
+  std::unique_ptr<dynamic::ShardedWorld> sharded_world_;
+  std::shared_ptr<const dynamic::ShardedEpoch> sharded_current_;
   /// First id handed to inserted POIs (fixed at construction).
   int64_t base_insert_id_ = 0;
   std::unique_ptr<MobilityModel> mobility_proto_;

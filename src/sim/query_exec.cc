@@ -1,5 +1,6 @@
 #include "sim/query_exec.h"
 
+#include <bit>
 #include <cmath>
 #include <utility>
 
@@ -66,8 +67,8 @@ void AccumulateCommonRegistry(const core::QueryResultCommon& common,
 
 }  // namespace
 
-core::QueryEngine::Options EngineOptionsFromConfig(const SimConfig& config) {
-  core::QueryEngine::Options options;
+core::EngineOptions EngineOptionsFromConfig(const SimConfig& config) {
+  core::EngineOptions options;
   options.sbnn.k = std::max(1, static_cast<int>(config.params.knn_k));
   options.sbnn.accept_approximate = config.accept_approximate;
   options.sbnn.min_correctness = config.min_correctness;
@@ -95,7 +96,9 @@ KnnQueryResult ExecuteKnnQuery(const SimConfig& config,
   request.position = pos;
   request.k = k_eff;
   request.slot = slot;
-  request.peers = std::move(peers);
+  // `peers` (taken by value) backs the request's span for the duration of
+  // the Execute call.
+  request.peers = peers;
   request.trace = trace;
   request.fault_stream = static_cast<uint64_t>(query_id);
 
@@ -154,7 +157,7 @@ WindowQueryResult ExecuteWindowQuery(const SimConfig& config,
   request.kind = core::QueryKind::kWindow;
   request.window = window;
   request.slot = slot;
-  request.peers = std::move(peers);
+  request.peers = peers;
   request.trace = trace;
   request.fault_stream = static_cast<uint64_t>(query_id);
 
@@ -192,10 +195,119 @@ WindowQueryResult ExecuteWindowQuery(const SimConfig& config,
   return result;
 }
 
+KnnQueryResult ExecuteKnnQuery(const SimConfig& config,
+                               const core::ShardedQueryEngine& engine,
+                               const std::vector<spatial::Poi>& oracle_pois,
+                               geom::Point pos, int k, int64_t slot,
+                               std::vector<core::PeerData> peers, bool measured,
+                               int64_t query_id, obs::TraceRecorder* trace,
+                               core::ShardedQueryWorkspace& workspace) {
+  const int k_eff = k > 0 ? k : engine.options().sbnn.k;
+  // No peer corruption: fault injection is structurally disallowed at
+  // N > 1 (SimConfig::Validate), and a 1-shard sharded run must stay
+  // byte-identical to the unsharded engine — which it is, since with fault
+  // disabled MaybeCorruptPeers is a no-op there too.
+
+  core::QueryRequest request;
+  request.kind = core::QueryKind::kKnn;
+  request.position = pos;
+  request.k = k_eff;
+  request.slot = slot;
+  request.peers = peers;
+  request.trace = trace;
+  request.fault_stream = static_cast<uint64_t>(query_id);
+
+  KnnQueryResult result;
+  core::QueryOutcome executed;
+  engine.Execute(request, workspace, &executed);
+  result.outcome = std::move(*executed.knn);
+  result.regions_rejected = executed.regions_rejected;
+
+  // Correctness accounting against the brute-force oracle over the global
+  // POI set (the sharded engine holds it only in per-shard pieces).
+  std::vector<spatial::PoiDistance> truth;
+  spatial::BruteForceKnn(oracle_pois, pos, k_eff, &truth);
+  bool exact = truth.size() == result.outcome.neighbors.size();
+  for (size_t i = 0; exact && i < truth.size(); ++i) {
+    exact = std::abs(truth[i].distance -
+                     result.outcome.neighbors[i].distance) < 1e-9;
+  }
+  result.exact = exact;
+  if (result.outcome.resolved_by != core::ResolvedBy::kPeersApproximate &&
+      config.check_answers) {
+    LBSQ_CHECK(exact);
+  }
+
+  if (measured) {
+    // The baseline is the same deployment queried peerlessly: the
+    // multi-channel on-air cost, merged under the latency = max /
+    // tuning = sum conventions.
+    core::QueryRequest baseline = request;
+    baseline.peers = {};
+    baseline.trace = nullptr;
+    core::QueryOutcome priced;
+    engine.Execute(baseline, workspace, &priced);
+    result.baseline_latency = priced.knn->stats.access_latency;
+    result.baseline_tuning = priced.knn->stats.tuning_time;
+  }
+  return result;
+}
+
+WindowQueryResult ExecuteWindowQuery(
+    const SimConfig& config, const core::ShardedQueryEngine& engine,
+    const std::vector<spatial::Poi>& oracle_pois, const geom::Rect& window,
+    int64_t slot, std::vector<core::PeerData> peers, bool measured,
+    int64_t query_id, obs::TraceRecorder* trace,
+    core::ShardedQueryWorkspace& workspace) {
+  core::QueryRequest request;
+  request.kind = core::QueryKind::kWindow;
+  request.window = window;
+  request.slot = slot;
+  request.peers = peers;
+  request.trace = trace;
+  request.fault_stream = static_cast<uint64_t>(query_id);
+
+  WindowQueryResult result;
+  core::QueryOutcome executed;
+  engine.Execute(request, workspace, &executed);
+  result.outcome = std::move(*executed.window);
+  result.regions_rejected = executed.regions_rejected;
+
+  std::vector<spatial::Poi> truth;
+  kernels::SlabScratch scratch;
+  spatial::BruteForceWindow(oracle_pois, window, &scratch, &truth);
+  result.exact = truth == result.outcome.pois;
+  if (config.check_answers) {
+    LBSQ_CHECK(result.exact);
+  }
+
+  if (measured) {
+    core::QueryRequest baseline = request;
+    baseline.peers = {};
+    baseline.trace = nullptr;
+    core::QueryOutcome priced;
+    engine.Execute(baseline, workspace, &priced);
+    result.baseline_latency = priced.window->stats.access_latency;
+    result.baseline_tuning = priced.window->stats.tuning_time;
+  }
+  return result;
+}
+
 void AccumulateKnn(const KnnQueryResult& result, SimMetrics* metrics,
                    MetricsRegistry* registry) {
   const core::SbnnOutcome& outcome = result.outcome;
   ++metrics->queries;
+  // Answer digest: ids + distance bit patterns in the canonical sorted
+  // answer order, terminated by the answer size (so adjacent answers cannot
+  // alias). Folded here — in event order — it witnesses shard-count
+  // invariance of the answer plane.
+  uint64_t digest = metrics->answer_digest;
+  for (const spatial::PoiDistance& n : outcome.neighbors) {
+    digest = DigestFold(digest, static_cast<uint64_t>(n.poi.id));
+    digest = DigestFold(digest, std::bit_cast<uint64_t>(n.distance));
+  }
+  metrics->answer_digest =
+      DigestFold(digest, static_cast<uint64_t>(outcome.neighbors.size()));
   metrics->verified_per_query.Add(outcome.nnv.heap.verified_count());
   if (outcome.resolved_by == core::ResolvedBy::kPeersApproximate) {
     if (result.exact) ++metrics->approx_exact;
@@ -261,6 +373,13 @@ void AccumulateWindow(const WindowQueryResult& result, SimMetrics* metrics,
                       MetricsRegistry* registry) {
   const core::SbwqOutcome& outcome = result.outcome;
   ++metrics->queries;
+  // See AccumulateKnn — window answers are id sets in canonical id order.
+  uint64_t digest = metrics->answer_digest;
+  for (const spatial::Poi& p : outcome.pois) {
+    digest = DigestFold(digest, static_cast<uint64_t>(p.id));
+  }
+  metrics->answer_digest =
+      DigestFold(digest, static_cast<uint64_t>(outcome.pois.size()));
   if (!result.exact && !outcome.degraded) ++metrics->answer_errors;
   metrics->residual_fraction.Add(outcome.residual_fraction);
   if (outcome.resolved_by_peers) {

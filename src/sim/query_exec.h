@@ -9,6 +9,7 @@
 #include "common/observability.h"
 #include "core/query_engine.h"
 #include "core/query_workspace.h"
+#include "core/sharded_query_engine.h"
 #include "sim/config.h"
 #include "sim/metrics.h"
 #include "spatial/grid_index.h"
@@ -25,9 +26,9 @@
 
 namespace lbsq::sim {
 
-/// The QueryEngine options a SimConfig prescribes (the one translation
-/// point between simulation knobs and core query options).
-core::QueryEngine::Options EngineOptionsFromConfig(const SimConfig& config);
+/// The engine options a SimConfig prescribes (the one translation point
+/// between simulation knobs and core query options).
+core::EngineOptions EngineOptionsFromConfig(const SimConfig& config);
 
 /// Result of one kNN query: the SBNN outcome, its oracle verdict, and the
 /// pure on-air baseline cost (computed only for measured queries).
@@ -83,6 +84,32 @@ WindowQueryResult ExecuteWindowQuery(const SimConfig& config,
                                      bool measured, int64_t query_id = 0,
                                      obs::TraceRecorder* trace = nullptr,
                                      core::QueryWorkspace* workspace = nullptr);
+
+/// Sharded-deployment counterpart of ExecuteKnnQuery (config.shards > 1):
+/// the query runs through the multi-shard engine and its merged outcome is
+/// checked against a brute-force oracle over `oracle_pois` — the *global*
+/// POI set of the pinned epoch, which the sharded engine does not hold in
+/// one place. The baseline is a peerless re-execution on the same sharded
+/// deployment (the multi-channel on-air cost, with the merged latency = max
+/// / tuning = sum conventions), priced only for measured queries. Fault
+/// injection is structurally off at N > 1, so unlike the single-channel
+/// path no peer corruption is applied. Thread-safe under one `workspace`
+/// per worker.
+KnnQueryResult ExecuteKnnQuery(const SimConfig& config,
+                               const core::ShardedQueryEngine& engine,
+                               const std::vector<spatial::Poi>& oracle_pois,
+                               geom::Point pos, int k, int64_t slot,
+                               std::vector<core::PeerData> peers, bool measured,
+                               int64_t query_id, obs::TraceRecorder* trace,
+                               core::ShardedQueryWorkspace& workspace);
+
+/// Sharded-deployment counterpart of ExecuteWindowQuery.
+WindowQueryResult ExecuteWindowQuery(
+    const SimConfig& config, const core::ShardedQueryEngine& engine,
+    const std::vector<spatial::Poi>& oracle_pois, const geom::Rect& window,
+    int64_t slot, std::vector<core::PeerData> peers, bool measured,
+    int64_t query_id, obs::TraceRecorder* trace,
+    core::ShardedQueryWorkspace& workspace);
 
 /// Records a measured kNN query into `metrics` (counters, resolved-by
 /// breakdown, latency/tuning accumulators) in the canonical order. A

@@ -28,15 +28,22 @@ Simulator::Simulator(const SimConfig& config)
       &poi_rng, world_, config.ScaledPoiCount());
   server_index_.InsertAll(pois);
   base_insert_id_ = FirstInsertId(pois);
-  // Under churn the cache invariant is epoch-relative, so the invariant
-  // checker needs every historical snapshot; otherwise epochs are reclaimed
-  // as soon as the last query unpins them.
-  const bool retain_history =
-      config.updates.enabled() && config.check_cache_invariant;
-  versioner_ = std::make_unique<dynamic::WorldVersioner>(
-      std::move(pois), world_, config.broadcast,
-      EngineOptionsFromConfig(config), retain_history);
-  current_ = versioner_->Current();
+  if (config.shards > 1) {
+    sharded_world_ = std::make_unique<dynamic::ShardedWorld>(
+        std::move(pois), world_, config.broadcast,
+        EngineOptionsFromConfig(config), config.shards);
+    sharded_current_ = sharded_world_->Current();
+  } else {
+    // Under churn the cache invariant is epoch-relative, so the invariant
+    // checker needs every historical snapshot; otherwise epochs are
+    // reclaimed as soon as the last query unpins them.
+    const bool retain_history =
+        config.updates.enabled() && config.check_cache_invariant;
+    versioner_ = std::make_unique<dynamic::WorldVersioner>(
+        std::move(pois), world_, config.broadcast,
+        EngineOptionsFromConfig(config), retain_history);
+    current_ = versioner_->Current();
+  }
 
   mobility_ = MakeMobilityModel(config, world_);
   const int64_t hosts = mobility_->num_hosts();
@@ -102,9 +109,20 @@ void Simulator::ExecuteEvent(const QueryEvent& event, int64_t query_id,
       &peers);
   if (config_.updates.enabled()) {
     // Gathered peer regions may predate the pinned epoch; keep only those
-    // whose completeness survives the separating update batches.
-    const dynamic::RevalidationStats revalidation =
-        dynamic::RevalidatePeerData(*versioner_, current_->id, &peers);
+    // whose completeness survives the separating update batches. Both
+    // deployments run the same per-region decision procedure against their
+    // (identical) global update logs.
+    dynamic::RevalidationStats revalidation;
+    if (config_.shards > 1) {
+      auto dirty = [this](const geom::Rect& rect, uint64_t lo, uint64_t hi) {
+        return sharded_world_->RegionDirty(rect, lo, hi);
+      };
+      revalidation = dynamic::RevalidatePeerDataWith(
+          dirty, sharded_current_->id, &peers);
+    } else {
+      revalidation =
+          dynamic::RevalidatePeerData(*versioner_, current_->id, &peers);
+    }
     if (event.time_min >= config_.warmup_min) {
       metrics->regions_revalidated += revalidation.revalidated;
       metrics->regions_stale_rejected += revalidation.rejected;
@@ -131,11 +149,20 @@ void Simulator::ExecuteEvent(const QueryEvent& event, int64_t query_id,
 
   const int64_t slot = static_cast<int64_t>(
       event.time_min * config_.slots_per_second * 60.0);
+  const bool sharded = config_.shards > 1;
   if (event.type == QueryType::kKnn) {
     KnnQueryResult result =
-        ExecuteKnnQuery(config_, *current_->engine, pos, event.k, slot,
-                        std::move(peers), measured, query_id, trace,
-                        &workspace_);
+        sharded ? ExecuteKnnQuery(config_, *sharded_current_->engine,
+                                  sharded_current_->pois, pos, event.k, slot,
+                                  std::move(peers), measured, query_id, trace,
+                                  sharded_workspace_)
+                : ExecuteKnnQuery(config_, *current_->engine, pos, event.k,
+                                  slot, std::move(peers), measured, query_id,
+                                  trace, &workspace_);
+    // Clean shards still carry the epoch stamp of their last rebuild; what
+    // this query verified is consistent with the pinned *global* epoch,
+    // which is what peer revalidation consults.
+    if (sharded) result.outcome.cacheable.epoch = sharded_current_->id;
     caches_[static_cast<size_t>(event.host)].Insert(
         std::move(result.outcome.cacheable), pos, pos,
         mobility_->Heading(event.host));
@@ -143,9 +170,14 @@ void Simulator::ExecuteEvent(const QueryEvent& event, int64_t query_id,
     if (measured) AccumulateKnn(result, metrics, registry_);
   } else {
     WindowQueryResult result =
-        ExecuteWindowQuery(config_, *current_->engine, event.window, slot,
-                           std::move(peers), measured, query_id, trace,
-                           &workspace_);
+        sharded ? ExecuteWindowQuery(config_, *sharded_current_->engine,
+                                     sharded_current_->pois, event.window,
+                                     slot, std::move(peers), measured,
+                                     query_id, trace, sharded_workspace_)
+                : ExecuteWindowQuery(config_, *current_->engine, event.window,
+                                     slot, std::move(peers), measured,
+                                     query_id, trace, &workspace_);
+    if (sharded) result.outcome.cacheable.epoch = sharded_current_->id;
     caches_[static_cast<size_t>(event.host)].Insert(
         std::move(result.outcome.cacheable), event.window.center(), pos,
         mobility_->Heading(event.host));
@@ -163,8 +195,24 @@ void Simulator::MaybeApplyUpdates(size_t event_index, double event_time_min,
   if (event_index == 0 || event_index % interval != 0) return;
   // Batch k (1-based) produces epoch k; k is the event index divided by the
   // interval, so the epoch sequence depends only on (config, seed, index) —
-  // never on engine or thread count.
+  // never on engine, shard, or thread count. The sharded world's global POI
+  // mirror matches the unsharded epoch's POI set exactly, so both
+  // deployments generate identical batches.
   const uint64_t k = event_index / interval;
+  if (config_.shards > 1) {
+    std::vector<dynamic::PoiUpdate> batch =
+        GenerateUpdateBatch(config_.updates, config_.seed, k,
+                            sharded_current_->pois, world_, base_insert_id_);
+    const int64_t before = sharded_world_->updates_applied();
+    const uint64_t published = sharded_world_->Apply(std::move(batch));
+    LBSQ_CHECK(published == k);
+    sharded_current_ = sharded_world_->Current();
+    if (event_time_min >= config_.warmup_min) {
+      metrics->epochs_published += 1;
+      metrics->updates_applied += sharded_world_->updates_applied() - before;
+    }
+    return;
+  }
   std::vector<dynamic::PoiUpdate> batch =
       GenerateUpdateBatch(config_.updates, config_.seed, k, current_->pois,
                           world_, base_insert_id_);
@@ -193,7 +241,10 @@ SimMetrics Simulator::Run() {
 SimMetrics Simulator::Replay(const std::vector<QueryEvent>& events) {
   // Update batches are keyed by event index; replaying a dynamic run on an
   // already-advanced world cannot reproduce the recording.
-  if (config_.updates.enabled()) LBSQ_CHECK(versioner_->latest_epoch() == 0);
+  if (config_.updates.enabled()) {
+    LBSQ_CHECK((config_.shards > 1 ? sharded_world_->latest_epoch()
+                                   : versioner_->latest_epoch()) == 0);
+  }
   SimMetrics metrics;
   for (size_t i = 0; i < events.size(); ++i) {
     LBSQ_CHECK(events[i].host >= 0 && events[i].host < mobility_->num_hosts());

@@ -11,6 +11,8 @@
 #include "core/peer_cache.h"
 #include "core/query_engine.h"
 #include "core/query_workspace.h"
+#include "core/sharded_query_engine.h"
+#include "dynamic/sharded_world.h"
 #include "dynamic/world_versioner.h"
 #include "sim/config.h"
 #include "sim/metrics.h"
@@ -67,6 +69,7 @@ class Simulator {
 
   /// The broadcast channel of the currently pinned epoch (epoch 0 — the
   /// full static world — unless updates are enabled and have fired).
+  /// Single-channel deployments only (config.shards == 1).
   const broadcast::BroadcastSystem& system() const {
     return *current_->system;
   }
@@ -74,10 +77,15 @@ class Simulator {
   const geom::Rect& world() const { return world_; }
   /// Host caches (for inspection in tests).
   const std::vector<core::PeerCache>& caches() const { return caches_; }
-  /// The query engine of the currently pinned epoch.
+  /// The query engine of the currently pinned epoch (shards == 1 only).
   const core::QueryEngine& engine() const { return *current_->engine; }
-  /// The epoch store (epoch 0 only when updates are disabled).
+  /// The epoch store (epoch 0 only when updates are disabled); shards == 1
+  /// only.
   const dynamic::WorldVersioner& versioner() const { return *versioner_; }
+  /// The sharded world (null unless config.shards > 1).
+  const dynamic::ShardedWorld* sharded_world() const {
+    return sharded_world_.get();
+  }
 
  private:
   /// Positions every host at time `t`, refreshes the peer index, gathers
@@ -100,10 +108,16 @@ class Simulator {
 
   SimConfig config_;
   geom::Rect world_;
+  /// Single-channel deployment (config.shards == 1): the epoch store and
+  /// the pinned epoch every event executes against (re-pinned after each
+  /// update batch). Null at shards > 1.
   std::unique_ptr<dynamic::WorldVersioner> versioner_;
-  /// The pinned epoch every event executes against; re-pinned after each
-  /// update batch.
   std::shared_ptr<const dynamic::WorldEpoch> current_;
+  /// Sharded deployment (config.shards > 1): the sharded epoch store, its
+  /// pinned epoch, and the multi-shard query scratch. Null at shards == 1.
+  std::unique_ptr<dynamic::ShardedWorld> sharded_world_;
+  std::shared_ptr<const dynamic::ShardedEpoch> sharded_current_;
+  core::ShardedQueryWorkspace sharded_workspace_;
   /// First id handed to inserted POIs (fixed at construction).
   int64_t base_insert_id_ = 0;
   spatial::RTree server_index_;

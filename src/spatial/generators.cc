@@ -1,6 +1,7 @@
 #include "spatial/generators.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.h"
 
@@ -49,6 +50,41 @@ std::vector<Poi> GenerateClusteredPois(Rng* rng, const geom::Rect& world,
       p.y = std::clamp(p.y, world.y1, world.y2);
       pois.push_back(Poi{next_id++, p});
     }
+  }
+  return pois;
+}
+
+std::vector<Poi> GenerateMetroPois(Rng* rng, const geom::Rect& world,
+                                   int64_t count, double clustered_fraction,
+                                   int num_clusters, double cluster_spread) {
+  LBSQ_CHECK(!world.empty());
+  LBSQ_CHECK(count >= 0);
+  LBSQ_CHECK(clustered_fraction >= 0.0 && clustered_fraction <= 1.0);
+  LBSQ_CHECK(num_clusters >= 0);
+  LBSQ_CHECK(cluster_spread >= 0.0);
+  const int64_t clustered_target = static_cast<int64_t>(
+      std::llround(static_cast<double>(count) * clustered_fraction));
+  std::vector<Poi> pois;
+  pois.reserve(static_cast<size_t>(count));
+  if (clustered_target > 0 && num_clusters > 0) {
+    // Trim the Poisson overshoot; any undershoot is made up by the uniform
+    // background below, so the total is exact either way.
+    const double mean_per_cluster =
+        static_cast<double>(clustered_target) / num_clusters;
+    std::vector<Poi> clustered = GenerateClusteredPois(
+        rng, world, num_clusters, mean_per_cluster, cluster_spread);
+    if (static_cast<int64_t>(clustered.size()) > clustered_target) {
+      clustered.resize(static_cast<size_t>(clustered_target));
+    }
+    pois.insert(pois.end(), clustered.begin(), clustered.end());
+  }
+  while (static_cast<int64_t>(pois.size()) < count) {
+    pois.push_back(Poi{0,
+                       {rng->Uniform(world.x1, world.x2),
+                        rng->Uniform(world.y1, world.y2)}});
+  }
+  for (size_t i = 0; i < pois.size(); ++i) {
+    pois[i].id = static_cast<int64_t>(i);
   }
   return pois;
 }

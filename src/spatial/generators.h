@@ -35,6 +35,18 @@ std::vector<Poi> GenerateClusteredPois(Rng* rng, const geom::Rect& world,
                                        int num_clusters,
                                        double mean_per_cluster, double spread);
 
+/// Metro-scale mix for the sharding experiments: exactly `count` POIs, a
+/// `clustered_fraction` of them drawn from a Neyman-Scott process
+/// (`num_clusters` downtown cores, spread = `cluster_spread`) and the rest
+/// i.i.d. uniform background. The clustered portion's per-cluster mean is
+/// derived from the requested total, and the process is re-drawn from the
+/// same stream until the exact count is met (trim/top-up on the uniform
+/// tail), so the output size is deterministic. Ids are 0..count-1 in
+/// generation order.
+std::vector<Poi> GenerateMetroPois(Rng* rng, const geom::Rect& world,
+                                   int64_t count, double clustered_fraction,
+                                   int num_clusters, double cluster_spread);
+
 }  // namespace lbsq::spatial
 
 #endif  // LBSQ_SPATIAL_GENERATORS_H_

@@ -48,14 +48,22 @@ PeerData PeerWithRegion(const broadcast::BroadcastSystem& system,
   return PeerData{{vr}};
 }
 
+// A request batch plus the peer storage backing its requests' spans (the
+// requests hold non-owning views; the storage must outlive every Execute).
+struct RequestSet {
+  std::vector<QueryRequest> requests;
+  std::vector<std::vector<PeerData>> peer_storage;
+};
+
 // A randomized mixed workload: kNN and window queries, varying k, window
 // sizes, slots across several broadcast cycles, and peer knowledge.
-std::vector<QueryRequest> MakeRequests(
-    const broadcast::BroadcastSystem& system, int n, uint64_t seed) {
+RequestSet MakeRequests(const broadcast::BroadcastSystem& system, int n,
+                        uint64_t seed) {
   Rng rng(seed);
   const int64_t cycle = system.schedule().cycle_length();
-  std::vector<QueryRequest> requests;
-  requests.reserve(static_cast<size_t>(n));
+  RequestSet set;
+  set.requests.reserve(static_cast<size_t>(n));
+  set.peer_storage.resize(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
     QueryRequest r;
     const geom::Point q{rng.Uniform(0.0, 20.0), rng.Uniform(0.0, 20.0)};
@@ -70,13 +78,18 @@ std::vector<QueryRequest> MakeRequests(
     r.slot = static_cast<int64_t>(
         rng.NextBelow(static_cast<uint64_t>(3 * cycle)));
     if (rng.NextBool(0.6)) {
-      r.peers.push_back(PeerWithRegion(
+      set.peer_storage[static_cast<size_t>(i)].push_back(PeerWithRegion(
           system, geom::Rect::CenteredSquare(q, rng.Uniform(0.5, 2.0))));
     }
     r.fault_stream = static_cast<uint64_t>(i);
-    requests.push_back(std::move(r));
+    set.requests.push_back(std::move(r));
   }
-  return requests;
+  // Bind spans only after all storage is final (no more vector growth).
+  for (int i = 0; i < n; ++i) {
+    set.requests[static_cast<size_t>(i)].peers =
+        set.peer_storage[static_cast<size_t>(i)];
+  }
+  return set;
 }
 
 void ExpectCommonEq(const QueryResultCommon& a, const QueryResultCommon& b) {
@@ -146,8 +159,8 @@ void ExpectOutcomeEq(const QueryOutcome& a, const QueryOutcome& b) {
   }
 }
 
-QueryEngine::Options FaultyOptions() {
-  QueryEngine::Options options;
+EngineOptions FaultyOptions() {
+  EngineOptions options;
   options.fault.channel.model = fault::LossModel::kGilbertElliott;
   options.fault.channel.p_bad_to_good = 0.1;
   options.fault.channel.p_good_to_bad = 0.3 / 0.7 * 0.1;
@@ -159,9 +172,9 @@ QueryEngine::Options FaultyOptions() {
 
 TEST(BatchExecTest, BatchMatchesSequentialExecute) {
   Fixture f(600);
-  const QueryEngine engine(*f.system, kWorld, QueryEngine::Options{});
-  const std::vector<QueryRequest> requests =
-      MakeRequests(*f.system, 60, /*seed=*/11);
+  const QueryEngine engine(*f.system, kWorld, EngineOptions{});
+  const RequestSet set = MakeRequests(*f.system, 60, /*seed=*/11);
+  const std::vector<QueryRequest>& requests = set.requests;
 
   std::vector<QueryOutcome> sequential;
   for (const QueryRequest& r : requests) sequential.push_back(engine.Execute(r));
@@ -182,8 +195,8 @@ TEST(BatchExecTest, BatchMatchesSequentialExecute) {
 TEST(BatchExecTest, BatchMatchesSequentialUnderFaults) {
   Fixture f(600, /*seed=*/3);
   const QueryEngine engine(*f.system, kWorld, FaultyOptions());
-  const std::vector<QueryRequest> requests =
-      MakeRequests(*f.system, 50, /*seed=*/23);
+  const RequestSet set = MakeRequests(*f.system, 50, /*seed=*/23);
+  const std::vector<QueryRequest>& requests = set.requests;
 
   std::vector<QueryOutcome> sequential;
   for (const QueryRequest& r : requests) sequential.push_back(engine.Execute(r));
@@ -206,8 +219,9 @@ TEST(BatchExecTest, BatchMatchesSequentialUnderFaults) {
 TEST(BatchExecTest, TraceEventsIdenticalAcrossModes) {
   if (!obs::kObservabilityCompiledIn) GTEST_SKIP();
   Fixture f(600);
-  const QueryEngine engine(*f.system, kWorld, QueryEngine::Options{});
-  std::vector<QueryRequest> requests = MakeRequests(*f.system, 20, 31);
+  const QueryEngine engine(*f.system, kWorld, EngineOptions{});
+  RequestSet set = MakeRequests(*f.system, 20, 31);
+  std::vector<QueryRequest>& requests = set.requests;
 
   QueryWorkspace workspace;
   for (size_t i = 0; i < requests.size(); ++i) {
@@ -234,9 +248,9 @@ TEST(BatchExecTest, TraceEventsIdenticalAcrossModes) {
 
 TEST(BatchExecTest, ShardedWorkspacesMatchSingleThread) {
   Fixture f(600, /*seed=*/5);
-  const QueryEngine engine(*f.system, kWorld, QueryEngine::Options{});
-  const std::vector<QueryRequest> requests =
-      MakeRequests(*f.system, 64, /*seed=*/47);
+  const QueryEngine engine(*f.system, kWorld, EngineOptions{});
+  const RequestSet set = MakeRequests(*f.system, 64, /*seed=*/47);
+  const std::vector<QueryRequest>& requests = set.requests;
 
   QueryWorkspace single;
   const std::span<const QueryOutcome> reference =
@@ -264,9 +278,9 @@ TEST(BatchExecTest, ShardedWorkspacesMatchSingleThread) {
 
 TEST(BatchExecTest, WarmWorkspaceAndKindFlipsStayIdentical) {
   Fixture f(600, /*seed=*/9);
-  const QueryEngine engine(*f.system, kWorld, QueryEngine::Options{});
-  const std::vector<QueryRequest> mixed =
-      MakeRequests(*f.system, 40, /*seed=*/71);
+  const QueryEngine engine(*f.system, kWorld, EngineOptions{});
+  const RequestSet set = MakeRequests(*f.system, 40, /*seed=*/71);
+  const std::vector<QueryRequest>& mixed = set.requests;
 
   // Reference outcomes from the convenience path, once.
   std::vector<QueryOutcome> reference;

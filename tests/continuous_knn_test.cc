@@ -38,15 +38,15 @@ SbnnOptions ExactOptions(int k) {
   return options;
 }
 
-QueryEngine::Options EngineOptions(int k) {
-  QueryEngine::Options options;
+EngineOptions MakeEngineOptions(int k) {
+  EngineOptions options;
   options.sbnn = ExactOptions(k);
   return options;
 }
 
 TEST(ContinuousKnnTest, FirstTickFallsBack) {
   Fixture f(300);
-  const QueryEngine engine(*f.system, kWorld, EngineOptions(3));
+  const QueryEngine engine(*f.system, kWorld, MakeEngineOptions(3));
   ContinuousKnn query(engine);
   PeerCache cache(50);
   const auto update = query.Tick({10.0, 10.0}, &cache, {}, 0);
@@ -58,7 +58,7 @@ TEST(ContinuousKnnTest, FirstTickFallsBack) {
 
 TEST(ContinuousKnnTest, SmallStepsServedFromOwnCache) {
   Fixture f(300);
-  const QueryEngine engine(*f.system, kWorld, EngineOptions(3));
+  const QueryEngine engine(*f.system, kWorld, MakeEngineOptions(3));
   ContinuousKnn query(engine);
   PeerCache cache(50);
   query.Tick({10.0, 10.0}, &cache, {}, 0);  // warms the cache
@@ -74,7 +74,7 @@ TEST(ContinuousKnnTest, SmallStepsServedFromOwnCache) {
 
 TEST(ContinuousKnnTest, AnswersAlwaysExactAlongADrive) {
   Fixture f(400);
-  const QueryEngine engine(*f.system, kWorld, EngineOptions(4));
+  const QueryEngine engine(*f.system, kWorld, MakeEngineOptions(4));
   ContinuousKnn query(engine);
   PeerCache cache(50);
   int64_t slot = 0;
@@ -105,7 +105,7 @@ TEST(ContinuousKnnTest, PeersReduceBroadcastRefreshes) {
   const std::vector<PeerData> peers = {PeerData{{corridor}}};
 
   auto drive = [&f](const std::vector<PeerData>& available) {
-    const QueryEngine engine(*f.system, kWorld, EngineOptions(3));
+    const QueryEngine engine(*f.system, kWorld, MakeEngineOptions(3));
     ContinuousKnn query(engine);
     PeerCache cache(50);
     int64_t broadcast_refreshes = 0;
@@ -123,7 +123,7 @@ TEST(ContinuousKnnTest, PeersReduceBroadcastRefreshes) {
 
 TEST(ContinuousKnnTest, ZeroCapacityCacheAlwaysFallsBack) {
   Fixture f(200);
-  const QueryEngine engine(*f.system, kWorld, EngineOptions(2));
+  const QueryEngine engine(*f.system, kWorld, MakeEngineOptions(2));
   ContinuousKnn query(engine);
   PeerCache cache(0);
   for (int i = 0; i < 5; ++i) {

@@ -151,7 +151,7 @@ TEST_P(DifferentialTest, ZeroUpdateDynamicEngineMatchesStatic) {
   Rng rng(GetParam() * 41 + 3);
   const geom::Rect bounds{0.0, 0.0, 15.0, 15.0};
 
-  core::QueryEngine::Options options;
+  core::EngineOptions options;
   options.sbnn.accept_approximate = false;
   broadcast::BroadcastParams params;
   params.hilbert_order = 5;
@@ -186,12 +186,15 @@ TEST_P(DifferentialTest, ZeroUpdateDynamicEngineMatchesStatic) {
     }
     request.slot = trial * 7;
 
+    // The static engine reads `peers` through the request's span; the
+    // dynamic engine takes the same vector as its mutable snapshot (with
+    // zero updates, revalidation never edits it).
     request.peers = peers;
-    core::QueryRequest dyn_request = request;
     static_engine.Execute(request, static_ws, &static_out);
+    request.peers = {};
     dynamic::RevalidationStats stats;
     const std::shared_ptr<const dynamic::WorldEpoch> pinned =
-        dyn.Execute(&dyn_request, dyn_ws, &dyn_out, &stats);
+        dyn.Execute(request, &peers, dyn_ws, &dyn_out, &stats);
 
     EXPECT_EQ(pinned->id, 0u);
     // Revalidation with no updates never touches anything.

@@ -170,7 +170,7 @@ TEST(DynamicWorldChurnTest, QueriesStaySnapshotConsistentUnderLiveChurn) {
   std::vector<Poi> initial = spatial::GenerateUniformPois(&rng, world, 80);
   broadcast::BroadcastParams params;
   params.bucket_capacity = 8;
-  core::QueryEngine::Options options;
+  core::EngineOptions options;
   options.sbnn.accept_approximate = false;
   dynamic::WorldVersioner versioner(initial, world, params, options);
   dynamic::DynamicQueryEngine engine(versioner);
@@ -232,7 +232,7 @@ TEST(DynamicWorldChurnTest, QueriesStaySnapshotConsistentUnderLiveChurn) {
           request.window = {a.x, a.y, a.x + 2.0, a.y + 2.0};
         }
         const std::shared_ptr<const dynamic::WorldEpoch> pinned =
-            engine.Execute(&request, workspace, &outcome);
+            engine.Execute(request, /*peers=*/nullptr, workspace, &outcome);
         if (request.kind == core::QueryKind::kKnn) {
           const auto truth = spatial::BruteForceKnn(
               pinned->pois, request.position, request.k);

@@ -27,7 +27,7 @@ inline SbnnOutcome RunSbnn(geom::Point q, const SbnnOptions& options,
                            double poi_density,
                            const broadcast::BroadcastSystem& system,
                            int64_t now) {
-  QueryEngine::Options engine_options;
+  EngineOptions engine_options;
   engine_options.sbnn = options;
   engine_options.poi_density_override = poi_density;
   const QueryEngine engine(system, system.grid().world(), engine_options);
@@ -45,7 +45,7 @@ inline SbwqOutcome RunSbwq(const geom::Rect& window,
                            const std::vector<PeerData>& peers,
                            const broadcast::BroadcastSystem& system,
                            int64_t now) {
-  QueryEngine::Options engine_options;
+  EngineOptions engine_options;
   engine_options.sbwq = options;
   const QueryEngine engine(system, system.grid().world(), engine_options);
   QueryRequest request;

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "hilbert/hilbert.h"
+#include "hilbert/partition.h"
+
+/// The ShardMap contract: contiguous, non-overlapping, domain-covering curve
+/// ranges; ShardOfIndex/RangeOf consistency; sorted-dedup ShardsTouching;
+/// and the PartitionByOccupancy invariants (balance, cell-snapping, N == 1
+/// identity, legality of empty shards).
+
+namespace lbsq::hilbert {
+namespace {
+
+const geom::Rect kWorld{0.0, 0.0, 20.0, 20.0};
+
+TEST(ShardMapTest, IdentityPartition) {
+  const ShardMap map(64);
+  EXPECT_EQ(map.num_shards(), 1);
+  EXPECT_EQ(map.num_cells(), 64u);
+  EXPECT_EQ(map.RangeOf(0), (IndexRange{0, 63}));
+  EXPECT_EQ(map.ShardOfIndex(0), 0);
+  EXPECT_EQ(map.ShardOfIndex(63), 0);
+}
+
+TEST(ShardMapTest, ExplicitBoundsRanges) {
+  const ShardMap map(16, {4, 8, 16});
+  EXPECT_EQ(map.num_shards(), 3);
+  EXPECT_EQ(map.RangeOf(0), (IndexRange{0, 3}));
+  EXPECT_EQ(map.RangeOf(1), (IndexRange{4, 7}));
+  EXPECT_EQ(map.RangeOf(2), (IndexRange{8, 15}));
+  // Boundary cells land in the shard whose half-open range owns them.
+  EXPECT_EQ(map.ShardOfIndex(0), 0);
+  EXPECT_EQ(map.ShardOfIndex(3), 0);
+  EXPECT_EQ(map.ShardOfIndex(4), 1);
+  EXPECT_EQ(map.ShardOfIndex(7), 1);
+  EXPECT_EQ(map.ShardOfIndex(8), 2);
+  EXPECT_EQ(map.ShardOfIndex(15), 2);
+}
+
+TEST(ShardMapTest, RangesPartitionTheDomain) {
+  const ShardMap map(32, {5, 6, 20, 32});
+  uint64_t expected_lo = 0;
+  for (int s = 0; s < map.num_shards(); ++s) {
+    const IndexRange r = map.RangeOf(s);
+    EXPECT_EQ(r.lo, expected_lo);
+    EXPECT_GE(r.hi, r.lo);
+    for (uint64_t i = r.lo; i <= r.hi; ++i) {
+      EXPECT_EQ(map.ShardOfIndex(i), s);
+    }
+    expected_lo = r.hi + 1;
+  }
+  EXPECT_EQ(expected_lo, map.num_cells());
+}
+
+TEST(ShardMapTest, EqualityComparesCellsAndBounds) {
+  EXPECT_EQ(ShardMap(16, {4, 16}), ShardMap(16, {4, 16}));
+  EXPECT_FALSE(ShardMap(16, {4, 16}) == ShardMap(16, {8, 16}));
+  EXPECT_FALSE(ShardMap(16) == ShardMap(16, {4, 16}));
+}
+
+TEST(ShardMapTest, ShardsTouchingSortedDeduplicated) {
+  const ShardMap map(16, {4, 8, 12, 16});
+  std::vector<int> out{99};  // pre-filled: ShardsTouching must clear it
+
+  // One range inside one shard.
+  std::vector<IndexRange> cover{{1, 2}};
+  map.ShardsTouching(cover, &out);
+  EXPECT_EQ(out, (std::vector<int>{0}));
+
+  // A range straddling a seam hits both sides.
+  cover = {{3, 4}};
+  map.ShardsTouching(cover, &out);
+  EXPECT_EQ(out, (std::vector<int>{0, 1}));
+
+  // Disjoint cover fragments landing in the same shard dedup.
+  cover = {{0, 1}, {2, 3}, {5, 6}};
+  map.ShardsTouching(cover, &out);
+  EXPECT_EQ(out, (std::vector<int>{0, 1}));
+
+  // A range spanning every shard enumerates them all, ascending.
+  cover = {{0, 15}};
+  map.ShardsTouching(cover, &out);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3}));
+
+  // An empty cover touches nothing.
+  cover.clear();
+  map.ShardsTouching(cover, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(PartitionByOccupancyTest, SingleShardIsIdentity) {
+  const HilbertGrid grid(kWorld, 4);
+  Rng rng(7);
+  std::vector<geom::Point> positions;
+  for (int i = 0; i < 100; ++i) {
+    positions.push_back({rng.Uniform(0.0, 20.0), rng.Uniform(0.0, 20.0)});
+  }
+  EXPECT_EQ(PartitionByOccupancy(grid, positions, 1),
+            ShardMap(grid.num_cells()));
+}
+
+TEST(PartitionByOccupancyTest, CoversDomainAndBalancesOccupancy) {
+  const HilbertGrid grid(kWorld, 6);
+  Rng rng(11);
+  std::vector<geom::Point> positions;
+  for (int i = 0; i < 4000; ++i) {
+    positions.push_back({rng.Uniform(0.0, 20.0), rng.Uniform(0.0, 20.0)});
+  }
+  for (const int num_shards : {2, 3, 8, 16}) {
+    SCOPED_TRACE(num_shards);
+    const ShardMap map = PartitionByOccupancy(grid, positions, num_shards);
+    ASSERT_EQ(map.num_shards(), num_shards);
+    EXPECT_EQ(map.num_cells(), grid.num_cells());
+
+    // Ranges are contiguous and cover [0, num_cells).
+    uint64_t expected_lo = 0;
+    for (int s = 0; s < num_shards; ++s) {
+      const IndexRange r = map.RangeOf(s);
+      EXPECT_EQ(r.lo, expected_lo);
+      expected_lo = r.hi + 1;
+    }
+    EXPECT_EQ(expected_lo, grid.num_cells());
+
+    // Occupancy is within a cell's worth of the perfect quantile split:
+    // cuts snap to cell boundaries, so a shard can exceed n/N only by the
+    // population of the single cell straddling its cut.
+    std::vector<int64_t> occupancy(static_cast<size_t>(num_shards), 0);
+    std::vector<int64_t> cell_count(static_cast<size_t>(grid.num_cells()), 0);
+    for (const geom::Point& p : positions) {
+      ++occupancy[static_cast<size_t>(map.ShardOfIndex(grid.IndexOf(p)))];
+      ++cell_count[static_cast<size_t>(grid.IndexOf(p))];
+    }
+    const int64_t max_cell =
+        *std::max_element(cell_count.begin(), cell_count.end());
+    const int64_t ideal =
+        static_cast<int64_t>(positions.size()) / num_shards;
+    for (int s = 0; s < num_shards; ++s) {
+      EXPECT_LE(occupancy[static_cast<size_t>(s)], ideal + max_cell + 1);
+    }
+  }
+}
+
+TEST(PartitionByOccupancyTest, CellMatesNeverStraddleShards) {
+  const HilbertGrid grid(kWorld, 5);
+  // Heavy duplication: many points share exact positions (and so cells).
+  Rng rng(3);
+  std::vector<geom::Point> positions;
+  for (int i = 0; i < 50; ++i) {
+    const geom::Point p{rng.Uniform(0.0, 20.0), rng.Uniform(0.0, 20.0)};
+    const int copies = 1 + static_cast<int>(rng.NextBelow(40));
+    for (int c = 0; c < copies; ++c) positions.push_back(p);
+  }
+  for (const int num_shards : {2, 5, 13}) {
+    SCOPED_TRACE(num_shards);
+    const ShardMap map = PartitionByOccupancy(grid, positions, num_shards);
+    for (const geom::Point& p : positions) {
+      // Every point in a cell maps to the cell's one shard — the shard
+      // assignment factors through the curve index by construction, so it
+      // suffices that the cell's whole index range sits inside one shard.
+      const uint64_t index = grid.IndexOf(p);
+      EXPECT_EQ(map.ShardOfIndex(index),
+                map.ShardOfIndex(grid.ToIndex(grid.CellOf(p))));
+    }
+  }
+}
+
+TEST(PartitionByOccupancyTest, DegenerateWorkloadsStillCoverTheDomain) {
+  const HilbertGrid grid(kWorld, 3);
+  // All POIs in one cell: N-1 shards own zero POIs but every shard still
+  // owns at least one cell and the ranges still cover the domain.
+  std::vector<geom::Point> positions(100, geom::Point{1.0, 1.0});
+  const ShardMap map = PartitionByOccupancy(grid, positions, 8);
+  ASSERT_EQ(map.num_shards(), 8);
+  uint64_t expected_lo = 0;
+  for (int s = 0; s < 8; ++s) {
+    const IndexRange r = map.RangeOf(s);
+    EXPECT_EQ(r.lo, expected_lo);
+    EXPECT_GE(r.hi, r.lo);
+    expected_lo = r.hi + 1;
+  }
+  EXPECT_EQ(expected_lo, grid.num_cells());
+  const uint64_t hot = grid.IndexOf(positions[0]);
+  int populated = 0;
+  for (int s = 0; s < 8; ++s) {
+    const IndexRange r = map.RangeOf(s);
+    if (hot >= r.lo && hot <= r.hi) ++populated;
+  }
+  EXPECT_EQ(populated, 1);
+
+  // An empty position set degrades to an even cell split.
+  const ShardMap empty = PartitionByOccupancy(grid, {}, 4);
+  ASSERT_EQ(empty.num_shards(), 4);
+  EXPECT_EQ(empty.RangeOf(3).hi, grid.num_cells() - 1);
+}
+
+TEST(PartitionByOccupancyTest, RandomizedShardOfIndexMatchesRanges) {
+  const HilbertGrid grid(kWorld, 6);
+  Rng rng(29);
+  std::vector<geom::Point> positions;
+  for (int i = 0; i < 700; ++i) {
+    positions.push_back({rng.Uniform(0.0, 20.0), rng.Uniform(0.0, 20.0)});
+  }
+  const ShardMap map = PartitionByOccupancy(grid, positions, 7);
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t index = rng.NextBelow(grid.num_cells());
+    const int s = map.ShardOfIndex(index);
+    const IndexRange r = map.RangeOf(s);
+    EXPECT_GE(index, r.lo);
+    EXPECT_LE(index, r.hi);
+  }
+}
+
+}  // namespace
+}  // namespace lbsq::hilbert

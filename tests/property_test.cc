@@ -461,7 +461,7 @@ TEST(DynamicWorldProperty, PinnedQueriesMatchTheirEpochSnapshot) {
     broadcast::BroadcastParams params;
     params.bucket_capacity = static_cast<int>(rng.UniformInt(2, 16));
     params.m = static_cast<int>(rng.UniformInt(1, 4));
-    core::QueryEngine::Options options;
+    core::EngineOptions options;
     options.sbnn.accept_approximate = false;
     dynamic::WorldVersioner versioner(initial, world, params, options,
                                       /*retain_history=*/true);

@@ -42,7 +42,7 @@ struct Fixture {
 
 TEST(QueryEngineTest, KnnExecutionModesMatch) {
   Fixture f(300);
-  QueryEngine::Options options;
+  EngineOptions options;
   options.sbnn.k = 5;
   const QueryEngine engine(*f.system, kWorld, options);
   EXPECT_DOUBLE_EQ(engine.poi_density(), f.poi_density);
@@ -87,7 +87,7 @@ TEST(QueryEngineTest, KnnExecutionModesMatch) {
 
 TEST(QueryEngineTest, ZeroKFallsBackToConfiguredDefault) {
   Fixture f(200);
-  QueryEngine::Options options;
+  EngineOptions options;
   options.sbnn.k = 7;
   const QueryEngine engine(*f.system, kWorld, options);
 
@@ -102,7 +102,7 @@ TEST(QueryEngineTest, ZeroKFallsBackToConfiguredDefault) {
 
 TEST(QueryEngineTest, WindowExecutionModesMatch) {
   Fixture f(300);
-  const QueryEngine engine(*f.system, kWorld, QueryEngine::Options{});
+  const QueryEngine engine(*f.system, kWorld, EngineOptions{});
 
   const geom::Rect window{8.0, 8.0, 12.0, 12.0};
   QueryRequest request;
@@ -141,15 +141,15 @@ TEST(QueryEngineTest, WindowExecutionModesMatch) {
 
 TEST(QueryEngineTest, ValidateRejectsBadOptions) {
   Fixture f(50);
-  QueryEngine::Options bad_k;
+  EngineOptions bad_k;
   bad_k.sbnn.k = 0;
   EXPECT_DEATH(QueryEngine(*f.system, kWorld, bad_k), "LBSQ_CHECK");
 
-  QueryEngine::Options bad_correctness;
+  EngineOptions bad_correctness;
   bad_correctness.sbnn.min_correctness = 1.5;
   EXPECT_DEATH(QueryEngine(*f.system, kWorld, bad_correctness), "LBSQ_CHECK");
 
-  QueryEngine::Options bad_prefetch;
+  EngineOptions bad_prefetch;
   bad_prefetch.sbnn.prefetch_radius_factor = 0.5;
   EXPECT_DEATH(QueryEngine(*f.system, kWorld, bad_prefetch), "LBSQ_CHECK");
 }
@@ -157,7 +157,7 @@ TEST(QueryEngineTest, ValidateRejectsBadOptions) {
 TEST(QueryEngineTest, TraceRecordsBroadcastSpans) {
   if (!obs::kObservabilityCompiledIn) GTEST_SKIP();
   Fixture f(300);
-  QueryEngine::Options options;
+  EngineOptions options;
   options.sbnn.accept_approximate = false;
   const QueryEngine engine(*f.system, kWorld, options);
 

@@ -1,0 +1,238 @@
+// lbsq_metro_gen — metro-scale workload generator and sharding smoke driver.
+//
+// The paper's Table 3 worlds top out at a few thousand POIs — a single
+// broadcast channel carries them comfortably. This tool generates a
+// metropolitan-scale POI database (default one million points: downtown
+// clusters over a uniform background), partitions it into Hilbert-range
+// shards, and runs a mixed kNN/window query batch end-to-end through
+// core::ShardedQueryEngine, printing shard occupancy, per-channel cycle
+// lengths, and query throughput. It is the quickest way to see why the
+// sharded deployment exists: rerun with --shards=1 and watch the access
+// latency track the (enormous) single-channel cycle.
+//
+// Examples:
+//   lbsq_metro_gen                         # 1M POIs, 16 shards
+//   lbsq_metro_gen --pois=2000000 --shards=64
+//   lbsq_metro_gen --shards=1 --queries=200   # single-channel comparison
+//
+// The answer plane is shard-count invariant; tests/sharded_engine_test.cc
+// holds the engine to that bit-for-bit, and bench/bench_shard_scale.cc
+// gates the zero-allocation guarantee this driver relies on.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "broadcast/system.h"
+#include "common/rng.h"
+#include "core/query_engine.h"
+#include "core/sharded_query_engine.h"
+#include "geom/rect.h"
+#include "spatial/generators.h"
+
+namespace {
+
+using namespace lbsq;
+
+struct Options {
+  int64_t pois = 1'000'000;
+  int shards = 16;
+  double clustered_fraction = 0.6;
+  int clusters = 80;
+  double spread_mi = 0.5;
+  double world_side_mi = 40.0;
+  int hilbert_order = 9;
+  int queries = 20'000;
+  double knn_fraction = 0.7;
+  int k = 5;
+  double window_pct = 0.05;
+  uint64_t seed = 1;
+};
+
+void PrintUsage() {
+  std::printf(
+      "usage: lbsq_metro_gen [options]\n"
+      "  --pois=<n>            POI count (1000000)\n"
+      "  --shards=<n>          Hilbert-range shards / channels (16)\n"
+      "  --clustered-frac=<f>  fraction drawn from downtown clusters (0.6)\n"
+      "  --clusters=<n>        downtown cluster cores (80)\n"
+      "  --spread=<mi>         cluster standard deviation (0.5)\n"
+      "  --world=<mi>          world side (40)\n"
+      "  --order=<n>           Hilbert curve order (9)\n"
+      "  --queries=<n>         query batch size (20000)\n"
+      "  --knn-frac=<f>        kNN share of the mix (0.7)\n"
+      "  --k=<n>               kNN k (5)\n"
+      "  --window-pct=<p>      window area, %% of the world (0.05)\n"
+      "  --seed=<n>            RNG seed (1)\n");
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  if (arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    const char* arg = argv[i];
+    if (ParseFlag(arg, "--pois", &value)) {
+      opt.pois = std::atoll(value.c_str());
+    } else if (ParseFlag(arg, "--shards", &value)) {
+      opt.shards = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "--clustered-frac", &value)) {
+      opt.clustered_fraction = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "--clusters", &value)) {
+      opt.clusters = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "--spread", &value)) {
+      opt.spread_mi = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "--world", &value)) {
+      opt.world_side_mi = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "--order", &value)) {
+      opt.hilbert_order = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "--queries", &value)) {
+      opt.queries = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "--knn-frac", &value)) {
+      opt.knn_fraction = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "--k", &value)) {
+      opt.k = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "--window-pct", &value)) {
+      opt.window_pct = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "--seed", &value)) {
+      opt.seed = static_cast<uint64_t>(std::atoll(value.c_str()));
+    } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      PrintUsage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg);
+      PrintUsage();
+      return 2;
+    }
+  }
+  if (opt.pois < 1 || opt.shards < 1 || opt.queries < 1 || opt.k < 1 ||
+      opt.world_side_mi <= 0.0 || opt.hilbert_order < 1) {
+    std::fprintf(stderr, "invalid option values\n");
+    return 2;
+  }
+
+  const geom::Rect world{0.0, 0.0, opt.world_side_mi, opt.world_side_mi};
+
+  // 1. Generate the metro POI database.
+  double t0 = Now();
+  Rng rng(opt.seed);
+  std::vector<spatial::Poi> pois = spatial::GenerateMetroPois(
+      &rng, world, opt.pois, opt.clustered_fraction, opt.clusters,
+      opt.spread_mi);
+  const double gen_s = Now() - t0;
+  std::printf("generated      : %lld POIs (%.0f%% clustered over %d cores, "
+              "rest uniform) in %.2f s\n",
+              static_cast<long long>(pois.size()),
+              opt.clustered_fraction * 100.0, opt.clusters, gen_s);
+
+  // 2. Build the sharded deployment.
+  broadcast::BroadcastParams params;
+  params.hilbert_order = opt.hilbert_order;
+  core::EngineOptions options;
+  options.sbnn.k = opt.k;
+  t0 = Now();
+  core::ShardedQueryEngine engine(std::move(pois), world, params, options,
+                                  opt.shards);
+  const double build_s = Now() - t0;
+
+  size_t min_occ = SIZE_MAX, max_occ = 0;
+  int64_t min_cycle = INT64_MAX, max_cycle = 0;
+  int nonempty = 0;
+  for (int s = 0; s < engine.num_shards(); ++s) {
+    const broadcast::BroadcastSystem* sys = engine.shard_system(s);
+    if (sys == nullptr) continue;
+    ++nonempty;
+    min_occ = std::min(min_occ, engine.shard_poi_count(s));
+    max_occ = std::max(max_occ, engine.shard_poi_count(s));
+    const int64_t cycle = sys->schedule().cycle_length();
+    min_cycle = std::min(min_cycle, cycle);
+    max_cycle = std::max(max_cycle, cycle);
+  }
+  std::printf("sharded build  : %d shard%s (%d non-empty) in %.2f s\n",
+              engine.num_shards(), engine.num_shards() == 1 ? "" : "s",
+              nonempty, build_s);
+  std::printf("occupancy      : %zu..%zu POIs/shard (balanced Hilbert "
+              "ranges)\n", min_occ, max_occ);
+  std::printf("channel cycles : %lld..%lld slots\n",
+              static_cast<long long>(min_cycle),
+              static_cast<long long>(max_cycle));
+
+  // 3. A mixed peerless query batch around the cluster cores.
+  const double window_side =
+      opt.world_side_mi * std::sqrt(opt.window_pct / 100.0);
+  std::vector<core::QueryRequest> requests;
+  requests.reserve(static_cast<size_t>(opt.queries));
+  Rng qrng(opt.seed ^ 0x9e3779b97f4a7c15ull);
+  for (int i = 0; i < opt.queries; ++i) {
+    const geom::Point q{qrng.Uniform(world.x1, world.x2),
+                        qrng.Uniform(world.y1, world.y2)};
+    core::QueryRequest r;
+    if (qrng.NextBool(opt.knn_fraction)) {
+      r.kind = core::QueryKind::kKnn;
+      r.position = q;
+      r.k = opt.k;
+    } else {
+      r.kind = core::QueryKind::kWindow;
+      r.window = geom::Rect::CenteredSquare(q, window_side);
+    }
+    r.slot = static_cast<int64_t>(qrng.NextBelow(
+        static_cast<uint64_t>(std::max<int64_t>(1, max_cycle))));
+    requests.push_back(r);
+  }
+
+  // 4. Execute: one warm-up pass grows the workspace, the second measures.
+  core::ShardedQueryWorkspace workspace;
+  engine.ExecuteBatch(requests, workspace);
+  t0 = Now();
+  std::span<const core::QueryOutcome> outcomes =
+      engine.ExecuteBatch(requests, workspace);
+  const double run_s = Now() - t0;
+
+  double latency_sum = 0.0, tuning_sum = 0.0;
+  int64_t broadcast_queries = 0;
+  for (const core::QueryOutcome& outcome : outcomes) {
+    const core::QueryResultCommon& common =
+        outcome.knn ? static_cast<const core::QueryResultCommon&>(*outcome.knn)
+                    : *outcome.window;
+    if (common.stats.access_latency > 0) {
+      ++broadcast_queries;
+      latency_sum += static_cast<double>(common.stats.access_latency);
+      tuning_sum += static_cast<double>(common.stats.tuning_time);
+    }
+  }
+  std::printf("executed       : %d queries in %.2f s (%.0f queries/s, warm "
+              "workspace)\n", opt.queries, run_s,
+              run_s > 0.0 ? opt.queries / run_s : 0.0);
+  if (broadcast_queries > 0) {
+    std::printf("access latency : %.1f slots (avg over %lld channel queries; "
+                "max over queried channels per query)\n",
+                latency_sum / static_cast<double>(broadcast_queries),
+                static_cast<long long>(broadcast_queries));
+    std::printf("tuning time    : %.1f slots (avg; summed over queried "
+                "channels per query)\n",
+                tuning_sum / static_cast<double>(broadcast_queries));
+  }
+  return 0;
+}

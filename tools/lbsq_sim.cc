@@ -16,6 +16,7 @@
 // deterministic across thread counts: --threads=8 prints exactly the
 // numbers --threads=1 does, only faster.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -130,6 +131,11 @@ void PrintUsage() {
       "                                   are bitwise identical at every n\n"
       "  --epoch=<events>                 events per parallel epoch (32);\n"
       "                                   1 = sequential-engine semantics\n"
+      "  --shards=<n>                     Hilbert-range broadcast channels\n"
+      "                                   (1); exact answers are invariant\n"
+      "                                   across shard counts — pair with\n"
+      "                                   --no-approximate for an identical\n"
+      "                                   answer digest at any n\n"
       "  --seed=<n>                       RNG seed (1)\n"
       "fault injection (all off by default; off = byte-identical output):\n"
       "  --fault-loss=<p>                 iid reception loss probability\n"
@@ -286,6 +292,12 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--epoch must be >= 1\n");
         return 2;
       }
+    } else if (ParseFlag(arg, "--shards", &value)) {
+      config.shards = std::atoi(value.c_str());
+      if (config.shards < 1) {
+        std::fprintf(stderr, "--shards must be >= 1\n");
+        return 2;
+      }
     } else if (ParseFlag(arg, "--fault-loss", &value)) {
       config.fault.channel.model = fault::LossModel::kIid;
       config.fault.channel.loss_prob = std::atof(value.c_str());
@@ -389,6 +401,11 @@ int main(int argc, char** argv) {
         config.updates.deletes_per_batch, config.updates.moves_per_batch,
         config.updates.move_radius_mi);
   }
+  if (config.shards > 1) {
+    std::printf("shards        : %d Hilbert-range broadcast channels "
+                "(latency = max, tuning = sum over queried channels)\n",
+                config.shards);
+  }
   std::printf("engine        : %d thread%s, %d events/epoch "
               "(metrics independent of thread count)\n\n",
               config.threads, config.threads == 1 ? "" : "s",
@@ -402,7 +419,20 @@ int main(int argc, char** argv) {
   obs::TraceSink trace_sink;
   MetricsRegistry registry;
   if (!metrics_path.empty()) {
-    const int64_t cycle = simulator.system().schedule().cycle_length();
+    // Sharded deployments size latency buckets by the longest channel's
+    // cycle (the merged latency is a max over queried channels).
+    int64_t cycle = 0;
+    if (config.shards > 1) {
+      const auto epoch = simulator.sharded_world()->Current();
+      for (int s = 0; s < epoch->engine->num_shards(); ++s) {
+        const broadcast::BroadcastSystem* sys = epoch->engine->shard_system(s);
+        if (sys != nullptr) {
+          cycle = std::max(cycle, sys->schedule().cycle_length());
+        }
+      }
+    } else {
+      cycle = simulator.system().schedule().cycle_length();
+    }
     for (const std::string& name : hist_names) {
       RegisterHistogram(&registry, name, cycle);
     }
@@ -457,6 +487,8 @@ int main(int argc, char** argv) {
               m.baseline_latency.mean());
   std::printf("broadcast tuning        : %.1f slots (avg)\n",
               m.broadcast_tuning.mean());
+  std::printf("answer digest           : %016llx\n",
+              static_cast<unsigned long long>(m.answer_digest));
   if (config.query_type == sim::QueryType::kWindow) {
     std::printf("residual window fraction: %.1f%%\n",
                 m.residual_fraction.mean() * 100.0);
