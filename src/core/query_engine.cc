@@ -120,6 +120,10 @@ void QueryEngine::Execute(const QueryRequest& request,
 
 std::span<const QueryOutcome> QueryEngine::ExecuteBatch(
     std::span<const QueryRequest> requests, QueryWorkspace& workspace) const {
+  // Validate the whole batch up front: a malformed request mid-batch must
+  // fail before any arena slot is written, leaving the outcome arena (and
+  // the spans previous batches handed out) in a defined state.
+  for (const QueryRequest& request : requests) request.Validate();
   std::vector<QueryOutcome>& arena = workspace.outcome_arena();
   // Grow-only: the arena keeps the largest batch's storage so later batches
   // recycle every inner buffer.

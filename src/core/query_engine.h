@@ -142,11 +142,6 @@ struct EngineOptions {
 /// system.
 class QueryEngine {
  public:
-  /// Deprecated alias for the hoisted `core::EngineOptions` — kept for one
-  /// release so external callers migrate at leisure; new code should name
-  /// `EngineOptions` directly.
-  using Options = EngineOptions;
-
   /// Binds the engine to `system` broadcasting over `world`. The Lemma 3.2
   /// POI density is derived here, once. Validates `options` (aborts on
   /// out-of-range values).

@@ -140,6 +140,10 @@ QueryOutcome ShardedQueryEngine::Execute(const QueryRequest& request) const {
 std::span<const QueryOutcome> ShardedQueryEngine::ExecuteBatch(
     std::span<const QueryRequest> requests,
     ShardedQueryWorkspace& workspace) const {
+  // Validate the whole batch up front: a malformed request mid-batch must
+  // fail before any arena slot is written, leaving the outcome arena (and
+  // the spans previous batches handed out) in a defined state.
+  for (const QueryRequest& request : requests) request.Validate();
   std::vector<QueryOutcome>& arena = workspace.arena_;
   if (arena.size() < requests.size()) arena.resize(requests.size());
   for (size_t i = 0; i < requests.size(); ++i) {
@@ -173,6 +177,13 @@ void ShardedQueryEngine::ExecuteKnn(const QueryRequest& request,
   ws.merged_neighbors_.assign(home_neighbors.begin(), home_neighbors.end());
   broadcast::AccessStats stats = outcome->knn->stats;
   int64_t skipped = outcome->knn->buckets_skipped;
+  // Under partial epoch rebuilds (dynamic::ShardedWorld) clean shards keep
+  // the system of their last rebuild, so the shards contributing to this
+  // answer can carry divergent epoch stamps. The merged knowledge is only
+  // as fresh as the *oldest* contributing channel: stamping anything newer
+  // would let cross-epoch revalidation skip update batches that separate a
+  // stale contributor from the pinned world epoch.
+  uint64_t epoch = systems_[static_cast<size_t>(home)]->epoch();
 
   QueryRequest partial = request;
   partial.peers = {};        // peer knowledge was consumed by the home run
@@ -182,6 +193,7 @@ void ShardedQueryEngine::ExecuteKnn(const QueryRequest& request,
     if (s == home || engines_[si] == nullptr) continue;
     if (bounds_[si].MinDistance(request.position) > radius) continue;
     engines_[si]->Execute(partial, ws.Shard(si), &ws.partial_knn_);
+    epoch = std::min(epoch, systems_[si]->epoch());
     const SbnnOutcome& part = *ws.partial_knn_.knn;
     ws.merged_neighbors_.insert(ws.merged_neighbors_.end(),
                                 part.neighbors.begin(), part.neighbors.end());
@@ -233,8 +245,7 @@ void ShardedQueryEngine::ExecuteKnn(const QueryRequest& request,
       }
     }
   }
-  merged.cacheable.epoch =
-      systems_[static_cast<size_t>(home)]->epoch();
+  merged.cacheable.epoch = epoch;
 }
 
 void ShardedQueryEngine::ExecuteWindow(const QueryRequest& request,
@@ -263,6 +274,9 @@ void ShardedQueryEngine::ExecuteWindow(const QueryRequest& request,
   ws.merged_pois_.assign(outcome->window->pois.begin(),
                          outcome->window->pois.end());
   broadcast::AccessStats stats = outcome->window->stats;
+  // Same min-epoch rule as ExecuteKnn: the merged window knowledge is only
+  // as fresh as the oldest contributing channel.
+  uint64_t epoch = systems_[static_cast<size_t>(lead)]->epoch();
 
   QueryRequest partial = request;
   partial.trace = nullptr;  // the trace narrates the lead execution only
@@ -273,6 +287,7 @@ void ShardedQueryEngine::ExecuteWindow(const QueryRequest& request,
     // Peers ride along: each shard applies the MVR window reduction to its
     // own channel, so sharing shrinks every shard's retrieval.
     engines_[si]->Execute(partial, ws.Shard(si), &ws.partial_window_);
+    epoch = std::min(epoch, systems_[si]->epoch());
     const SbwqOutcome& part = *ws.partial_window_.window;
     ws.merged_pois_.insert(ws.merged_pois_.end(), part.pois.begin(),
                            part.pois.end());
@@ -308,7 +323,7 @@ void ShardedQueryEngine::ExecuteWindow(const QueryRequest& request,
   merged.cacheable.Clear();
   merged.cacheable.region = request.window;
   merged.cacheable.pois.assign(ws.merged_pois_.begin(), ws.merged_pois_.end());
-  merged.cacheable.epoch = systems_[static_cast<size_t>(lead)]->epoch();
+  merged.cacheable.epoch = epoch;
 }
 
 }  // namespace lbsq::core

@@ -60,6 +60,10 @@
 ///    answer (the axis-aligned square inscribed in the k-th neighbor's
 ///    disc), so cache evolution cannot observe the shard layout; with
 ///    fewer than k POIs in the whole world it stays empty.
+///  - The cacheable's epoch stamp is the *minimum* epoch over the shards
+///    that contributed to the answer: under `dynamic::ShardedWorld` partial
+///    rebuilds, clean shards share prior-epoch systems, and knowledge
+///    merged across divergent channels is only as fresh as the oldest one.
 ///  - `request.trace` is attached to the home (first) shard's execution
 ///    only; secondary partials run untraced.
 ///  - Fault injection is a single-channel concept: construction aborts

@@ -1,0 +1,202 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace lbsq::server {
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (fd_ < 0) return;
+  // Best-effort BYE so the server logs a clean close.
+  std::string ignored;
+  SendFrame(FrameType::kBye, {}, &ignored);
+  close(fd_);
+  fd_ = -1;
+}
+
+bool Client::Connect(uint16_t port, uint32_t min_version,
+                     uint32_t max_version, std::string* error) {
+  fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    *error = "socket() failed";
+    return false;
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    *error = "connect() failed";
+    close(fd_);
+    fd_ = -1;
+    return false;
+  }
+  const int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  HelloRequest hello;
+  hello.min_version = min_version;
+  hello.max_version = max_version;
+  if (!SendFrame(FrameType::kHello, EncodeHello(hello), error)) return false;
+  Frame frame;
+  bool closed = false;
+  if (!ReceiveFrame(&frame, &closed, error)) {
+    if (closed) *error = "server closed during HELLO";
+    return false;
+  }
+  if (frame.type == FrameType::kError) {
+    ErrorReply reply;
+    *error = DecodeErrorReply(frame.payload, &reply)
+                 ? "server rejected HELLO: " + reply.message
+                 : "server rejected HELLO";
+    return false;
+  }
+  if (frame.type != FrameType::kHelloAck ||
+      !DecodeHelloAck(frame.payload, &hello_)) {
+    *error = "malformed HELLO_ACK";
+    return false;
+  }
+  return true;
+}
+
+bool Client::SendFrame(FrameType type, const std::vector<uint8_t>& payload,
+                       std::string* error) {
+  if (fd_ < 0) {
+    *error = "not connected";
+    return false;
+  }
+  std::vector<uint8_t> wire;
+  AppendFrame(type, payload, &wire);
+  size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n = send(fd_, wire.data() + sent, wire.size() - sent,
+                           MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    *error = "send() failed";
+    return false;
+  }
+  return true;
+}
+
+bool Client::ReceiveFrame(Frame* frame, bool* closed, std::string* error) {
+  *closed = false;
+  for (;;) {
+    switch (assembler_.Next(frame)) {
+      case FrameAssembler::Result::kFrame:
+        return true;
+      case FrameAssembler::Result::kError:
+        *error = "framing error: " + assembler_.error();
+        return false;
+      case FrameAssembler::Result::kNeedMore:
+        break;
+    }
+    uint8_t buffer[65536];
+    const ssize_t n = recv(fd_, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      assembler_.Feed(buffer, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      *closed = true;
+      *error = "connection closed";
+      return false;
+    }
+    if (errno == EINTR) continue;
+    *error = "recv() failed";
+    return false;
+  }
+}
+
+bool Client::FetchIndex(uint32_t shard,
+                        std::vector<broadcast::AirIndex::Entry>* entries,
+                        uint64_t* epoch, std::string* error) {
+  IndexProbe probe;
+  probe.shard = shard;
+  if (!SendFrame(FrameType::kIndexProbe, EncodeIndexProbe(probe), error)) {
+    return false;
+  }
+  Frame frame;
+  bool closed = false;
+  if (!ReceiveFrame(&frame, &closed, error)) return false;
+  uint32_t got_shard = 0;
+  if (frame.type != FrameType::kIndexData ||
+      !DecodeIndexData(frame.payload, &got_shard, entries, epoch) ||
+      got_shard != shard) {
+    *error = "malformed INDEX_DATA";
+    return false;
+  }
+  return true;
+}
+
+bool Client::FetchBucket(uint32_t shard, uint64_t bucket,
+                         broadcast::DataBucket* out, std::string* error) {
+  BucketGet get;
+  get.shard = shard;
+  get.bucket = bucket;
+  if (!SendFrame(FrameType::kBucketGet, EncodeBucketGet(get), error)) {
+    return false;
+  }
+  Frame frame;
+  bool closed = false;
+  if (!ReceiveFrame(&frame, &closed, error)) return false;
+  uint32_t got_shard = 0;
+  if (frame.type != FrameType::kBucketData ||
+      !DecodeBucketData(frame.payload, &got_shard, out) ||
+      got_shard != shard) {
+    *error = "malformed BUCKET_DATA";
+    return false;
+  }
+  return true;
+}
+
+bool Client::SendQuery(const QueryCall& call, std::string* error) {
+  return SendFrame(FrameType::kQuery, EncodeQueryCall(call), error);
+}
+
+Client::Reply Client::Receive(QueryAnswer* answer, RetryAfter* retry,
+                              std::string* error) {
+  Frame frame;
+  bool closed = false;
+  if (!ReceiveFrame(&frame, &closed, error)) {
+    return closed ? Reply::kClosed : Reply::kError;
+  }
+  switch (frame.type) {
+    case FrameType::kAnswer:
+      if (!DecodeQueryAnswer(frame.payload, answer)) {
+        *error = "malformed ANSWER";
+        return Reply::kError;
+      }
+      return Reply::kAnswer;
+    case FrameType::kRetryAfter:
+      if (!DecodeRetryAfter(frame.payload, retry)) {
+        *error = "malformed RETRY_AFTER";
+        return Reply::kError;
+      }
+      return Reply::kRetryAfter;
+    case FrameType::kError: {
+      ErrorReply reply;
+      *error = DecodeErrorReply(frame.payload, &reply)
+                   ? "server error: " + reply.message
+                   : "server error";
+      return Reply::kError;
+    }
+    default:
+      *error = "unexpected frame type";
+      return Reply::kError;
+  }
+}
+
+}  // namespace lbsq::server

@@ -1,0 +1,74 @@
+#ifndef LBSQ_SERVER_CLIENT_H_
+#define LBSQ_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "broadcast/air_index.h"
+#include "broadcast/packet.h"
+#include "server/protocol.h"
+
+/// \file
+/// Blocking lbsq_server client: connect, negotiate, then issue the
+/// three-step access vocabulary (index probe, bucket retrieval, query) over
+/// one session. Queries may be pipelined — `SendQuery` does not wait — and
+/// answers are matched by the echoed request id. Used by `lbsq_load`, the
+/// end-to-end tests, and as the reference implementation of the protocol's
+/// client side.
+
+namespace lbsq::server {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to 127.0.0.1:`port` and performs HELLO with the given
+  /// version range. False (with *error) on connect, I/O, or negotiation
+  /// failure.
+  bool Connect(uint16_t port, uint32_t min_version, uint32_t max_version,
+               std::string* error);
+  /// The server's HELLO_ACK (valid after Connect).
+  const HelloAck& hello() const { return hello_; }
+
+  /// Step 1+2 of the access protocol: fetch one shard's air-index
+  /// directory.
+  bool FetchIndex(uint32_t shard,
+                  std::vector<broadcast::AirIndex::Entry>* entries,
+                  uint64_t* epoch, std::string* error);
+  /// Step 3: fetch one data bucket.
+  bool FetchBucket(uint32_t shard, uint64_t bucket,
+                   broadcast::DataBucket* out, std::string* error);
+
+  /// Sends one QUERY frame without waiting for the answer.
+  bool SendQuery(const QueryCall& call, std::string* error);
+
+  /// What the next server frame was.
+  enum class Reply { kAnswer, kRetryAfter, kClosed, kError };
+  /// Receives the next ANSWER or RETRY_AFTER (filling the matching
+  /// out-param). kClosed on clean server close; kError (with *error) on
+  /// I/O, framing, or an ERROR frame.
+  Reply Receive(QueryAnswer* answer, RetryAfter* retry, std::string* error);
+
+  /// Sends BYE and closes. Safe on a never-connected client.
+  void Close();
+
+ private:
+  bool SendFrame(FrameType type, const std::vector<uint8_t>& payload,
+                 std::string* error);
+  /// Blocks until one complete frame arrives. False on EOF/IO/framing
+  /// error (`*closed` distinguishes clean EOF at a frame boundary).
+  bool ReceiveFrame(Frame* frame, bool* closed, std::string* error);
+
+  int fd_ = -1;
+  FrameAssembler assembler_;
+  HelloAck hello_;
+};
+
+}  // namespace lbsq::server
+
+#endif  // LBSQ_SERVER_CLIENT_H_

@@ -1,0 +1,240 @@
+#include "server/load_gen.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/rect.h"
+#include "server/client.h"
+#include "sim/metrics.h"
+#include "sim/trace.h"
+#include "sim/workload.h"
+
+namespace lbsq::server {
+
+namespace {
+
+/// Nearest-rank percentile over a sorted sample (0 for an empty one).
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t rank = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+struct Pending {
+  size_t index = 0;
+  std::chrono::steady_clock::time_point sent;
+  QueryCall call;
+};
+
+}  // namespace
+
+LoadResult ReplayWorkload(const sim::SimConfig& config,
+                          const LoadOptions& options) {
+  LoadResult result;
+  const geom::Rect world{0.0, 0.0, config.world_side_mi,
+                         config.world_side_mi};
+  const std::vector<sim::QueryEvent> events =
+      sim::GenerateWorkload(config, world);
+  std::vector<sim::QueryEvent> measured;
+  measured.reserve(events.size());
+  for (const sim::QueryEvent& event : events) {
+    if (event.time_min >= config.warmup_min) measured.push_back(event);
+  }
+  const size_t total = measured.size();
+  result.queries = static_cast<int64_t>(total);
+  if (total == 0) {
+    result.ok = true;
+    result.digest = 1469598103934665603ull;  // FNV-1a offset basis
+    return result;
+  }
+
+  const int connections = std::max(1, options.connections);
+  const size_t pipeline = static_cast<size_t>(std::max(1, options.pipeline));
+  const size_t session_quota =
+      static_cast<size_t>(std::max(1, options.queries_per_session));
+
+  // Per-event answer fold values; threads write disjoint slots.
+  std::vector<std::vector<uint64_t>> folds(total);
+  std::vector<double> latencies_us;
+  std::mutex merge_mu;
+  std::atomic<int64_t> retries{0};
+  std::atomic<int64_t> sessions{0};
+  std::atomic<bool> failed{false};
+  std::string first_error;
+
+  auto fail = [&](const std::string& error) {
+    std::lock_guard<std::mutex> lock(merge_mu);
+    if (first_error.empty()) first_error = error;
+    failed.store(true, std::memory_order_release);
+  };
+
+  const auto start_time = std::chrono::steady_clock::now();
+
+  auto run_connection = [&](int thread_index) {
+    // Each connection owns a mobility model: its event subset is
+    // time-ordered (a subsequence of the time-ordered workload), so the
+    // per-host non-decreasing access contract holds per model.
+    const std::unique_ptr<sim::MobilityModel> mobility =
+        sim::MakeMobilityModel(config, world);
+    std::vector<double> local_latencies;
+    std::vector<size_t> mine;
+    for (size_t i = static_cast<size_t>(thread_index); i < total;
+         i += static_cast<size_t>(connections)) {
+      mine.push_back(i);
+    }
+
+    size_t at = 0;
+    while (at < mine.size() && !failed.load(std::memory_order_acquire)) {
+      const size_t chunk_end = std::min(mine.size(), at + session_quota);
+      Client client;
+      std::string error;
+      if (!client.Connect(options.port, options.min_version,
+                          options.max_version, &error)) {
+        fail(error);
+        return;
+      }
+      std::unordered_map<uint64_t, Pending> pending;
+      size_t next = at;
+      size_t completed = 0;
+      const size_t chunk_size = chunk_end - at;
+      while (completed < chunk_size) {
+        while (next < chunk_end && pending.size() < pipeline) {
+          const size_t index = mine[next];
+          const sim::QueryEvent& event = measured[index];
+          QueryCall call;
+          call.request_id = index;
+          call.slot = static_cast<int64_t>(event.time_min *
+                                           config.slots_per_second * 60.0);
+          if (event.type == sim::QueryType::kKnn) {
+            call.kind = core::QueryKind::kKnn;
+            call.position = mobility->Position(event.host, event.time_min);
+            call.k = event.k;
+          } else {
+            call.kind = core::QueryKind::kWindow;
+            call.window = event.window;
+          }
+          if (!client.SendQuery(call, &error)) {
+            fail(error);
+            return;
+          }
+          pending.emplace(
+              call.request_id,
+              Pending{index, std::chrono::steady_clock::now(), call});
+          ++next;
+        }
+
+        QueryAnswer answer;
+        RetryAfter retry;
+        switch (client.Receive(&answer, &retry, &error)) {
+          case Client::Reply::kAnswer: {
+            const auto it = pending.find(answer.request_id);
+            if (it == pending.end()) {
+              fail("unmatched answer request id");
+              return;
+            }
+            // The simulator's digest vocabulary: ids (+ distance bit
+            // patterns for kNN) in canonical answer order, terminated by
+            // the answer size.
+            std::vector<uint64_t>& fold = folds[it->second.index];
+            if (answer.kind == core::QueryKind::kKnn) {
+              for (size_t i = 0; i < answer.neighbor_ids.size(); ++i) {
+                fold.push_back(
+                    static_cast<uint64_t>(answer.neighbor_ids[i]));
+                fold.push_back(
+                    std::bit_cast<uint64_t>(answer.neighbor_distances[i]));
+              }
+              fold.push_back(answer.neighbor_ids.size());
+            } else {
+              for (const int64_t id : answer.poi_ids) {
+                fold.push_back(static_cast<uint64_t>(id));
+              }
+              fold.push_back(answer.poi_ids.size());
+            }
+            local_latencies.push_back(
+                std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - it->second.sent)
+                    .count());
+            pending.erase(it);
+            ++completed;
+            break;
+          }
+          case Client::Reply::kRetryAfter: {
+            retries.fetch_add(1, std::memory_order_relaxed);
+            const auto it = pending.find(retry.request_id);
+            if (it == pending.end()) {
+              fail("unmatched retry request id");
+              return;
+            }
+            if (!options.overload && retry.delay_ms > 0) {
+              std::this_thread::sleep_for(
+                  std::chrono::milliseconds(retry.delay_ms));
+            }
+            if (!client.SendQuery(it->second.call, &error)) {
+              fail(error);
+              return;
+            }
+            break;
+          }
+          default:
+            fail(error.empty() ? "receive failed" : error);
+            return;
+        }
+      }
+      client.Close();
+      sessions.fetch_add(1, std::memory_order_relaxed);
+      at = chunk_end;
+    }
+
+    std::lock_guard<std::mutex> lock(merge_mu);
+    latencies_us.insert(latencies_us.end(), local_latencies.begin(),
+                        local_latencies.end());
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(connections));
+  for (int t = 0; t < connections; ++t) {
+    threads.emplace_back(run_connection, t);
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  result.elapsed_s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start_time)
+                         .count();
+  result.retries_received = retries.load(std::memory_order_relaxed);
+  result.sessions = sessions.load(std::memory_order_relaxed);
+  if (failed.load(std::memory_order_acquire)) {
+    result.error = first_error;
+    return result;
+  }
+
+  // Fold in event order — the digest is order-sensitive and must chain
+  // exactly like the simulator's per-event accumulation.
+  uint64_t digest = 1469598103934665603ull;  // FNV-1a offset basis
+  for (const std::vector<uint64_t>& fold : folds) {
+    for (const uint64_t value : fold) digest = sim::DigestFold(digest, value);
+  }
+  result.digest = digest;
+
+  std::sort(latencies_us.begin(), latencies_us.end());
+  result.p50_us = Percentile(latencies_us, 0.50);
+  result.p95_us = Percentile(latencies_us, 0.95);
+  result.p99_us = Percentile(latencies_us, 0.99);
+  if (result.elapsed_s > 0.0) {
+    result.sessions_per_sec =
+        static_cast<double>(result.sessions) / result.elapsed_s;
+    result.queries_per_sec =
+        static_cast<double>(result.queries) / result.elapsed_s;
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace lbsq::server

@@ -1,0 +1,72 @@
+#ifndef LBSQ_SERVER_LOAD_GEN_H_
+#define LBSQ_SERVER_LOAD_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sim/config.h"
+
+/// \file
+/// Workload replay against a running lbsq_server: regenerates the
+/// simulator's deterministic query workload (same RNG streams, same
+/// mobility trajectories, same Poisson arrivals) from a `SimConfig`,
+/// replays the measured events over binary client sessions, and folds the
+/// answers with the simulator's digest primitive — so the resulting digest
+/// is directly diffable against `lbsq_sim --no-approximate` on the same
+/// config and seed. Shared by the `lbsq_load` tool and the in-process
+/// end-to-end tests.
+///
+/// Why the digest matches: with approximate kNN acceptance disabled every
+/// simulator answer is exact (equal to the brute-force oracle), making the
+/// measured answer stream a pure function of (config, seed) — independent
+/// of peer sharing, caching, and shard count. A peerless replay of the same
+/// events against a server over the same POI set therefore reproduces the
+/// digest bit-for-bit.
+
+namespace lbsq::server {
+
+struct LoadOptions {
+  uint16_t port = 0;
+  /// Concurrent client connections; measured events are dealt round-robin.
+  int connections = 1;
+  /// Outstanding pipelined queries per connection.
+  int pipeline = 16;
+  /// Queries per session: each connection re-handshakes after this many,
+  /// so sessions/sec measures the full hello→query→bye cycle.
+  int queries_per_session = 256;
+  /// Ignore RETRY_AFTER's suggested delay and resend immediately —
+  /// deliberately overrunning the server's budgets to exercise (and
+  /// measure) backpressure.
+  bool overload = false;
+  uint32_t min_version = 1;
+  uint32_t max_version = 2;
+};
+
+struct LoadResult {
+  bool ok = false;
+  std::string error;
+  /// The simulator-compatible answer digest over measured events, folded
+  /// in event order.
+  uint64_t digest = 0;
+  int64_t queries = 0;
+  int64_t retries_received = 0;
+  int64_t sessions = 0;
+  double elapsed_s = 0.0;
+  double sessions_per_sec = 0.0;
+  double queries_per_sec = 0.0;
+  /// Per-query round-trip latency percentiles, microseconds (including
+  /// any RETRY_AFTER round trips).
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+};
+
+/// Replays `config`'s measured workload against the server on
+/// `options.port`. Blocks until every measured event is answered (or a
+/// session fails).
+LoadResult ReplayWorkload(const sim::SimConfig& config,
+                          const LoadOptions& options);
+
+}  // namespace lbsq::server
+
+#endif  // LBSQ_SERVER_LOAD_GEN_H_

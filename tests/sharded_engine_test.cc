@@ -319,6 +319,165 @@ TEST(ShardedEngineTest, BatchMatchesSequentialExecute) {
   }
 }
 
+TEST(ShardedEngineTest, BatchValidationHoistedBeforeExecution) {
+  std::vector<spatial::Poi> pois = TestPois(300, /*seed=*/3);
+  const ShardedQueryEngine sharded(pois, kWorld, TestParams(),
+                                   EngineOptions{}, 4);
+  // A malformed request *mid-batch* (window request carrying a kNN k) must
+  // fail batch validation before any request executes or any arena slot is
+  // written — the whole batch is validated up front.
+  std::vector<QueryRequest> requests(3);
+  requests[0].kind = QueryKind::kKnn;
+  requests[0].position = {10.0, 10.0};
+  requests[0].k = 3;
+  requests[1].kind = QueryKind::kWindow;
+  requests[1].window = geom::Rect::CenteredSquare({5.0, 5.0}, 1.0);
+  requests[1].k = 3;  // malformed: k belongs to kNN requests
+  requests[2].kind = QueryKind::kKnn;
+  requests[2].position = {3.0, 3.0};
+  requests[2].k = 2;
+  ShardedQueryWorkspace ws;
+  EXPECT_DEATH(
+      sharded.ExecuteBatch(std::span<const QueryRequest>(requests), ws),
+      "k == 0");
+}
+
+// Rebuilds every shard's broadcast system with a hand-picked epoch stamp,
+// keeping the POI split and the shard map — the static-engine model of a
+// dynamic::ShardedWorld partial rebuild, where clean shards share
+// prior-epoch systems and contributing shards carry divergent epochs.
+ShardedQueryEngine WithShardEpochs(const ShardedQueryEngine& base,
+                                   const std::vector<uint64_t>& epochs) {
+  std::vector<std::shared_ptr<const broadcast::BroadcastSystem>> systems;
+  for (int s = 0; s < base.num_shards(); ++s) {
+    if (base.shard_system(s) == nullptr) {
+      systems.push_back(nullptr);
+      continue;
+    }
+    broadcast::BroadcastParams params = TestParams();
+    params.epoch = epochs[static_cast<size_t>(s)];
+    systems.push_back(std::make_shared<broadcast::BroadcastSystem>(
+        base.shard_system(s)->pois(), kWorld, params));
+  }
+  return ShardedQueryEngine(kWorld, TestParams(), EngineOptions{}, base.map(),
+                            std::move(systems));
+}
+
+TEST(ShardedEngineTest, MergedEpochStampIsMinOverContributingShards) {
+  std::vector<spatial::Poi> pois = TestPois(300, /*seed=*/11);
+  const ShardedQueryEngine base(pois, kWorld, TestParams(), EngineOptions{},
+                                3);
+  ASSERT_EQ(base.num_shards(), 3);
+  for (int s = 0; s < 3; ++s) ASSERT_NE(base.shard_system(s), nullptr);
+  // Shard s broadcasts epoch s: shard 0 is the oldest channel.
+  const ShardedQueryEngine engine =
+      WithShardEpochs(base, {0, 1, 2});
+
+  // A kNN homed on the *newest* shard with k larger than any one shard's
+  // POI count: the home answer cannot be complete, so every shard
+  // contributes and the merged knowledge is only as fresh as the oldest
+  // contributor. (The pre-fix code stamped the home epoch — here 2.)
+  geom::Point home_pos;
+  for (const spatial::Poi& p : pois) {
+    if (engine.map().ShardOfIndex(engine.routing_grid().IndexOf(p.pos)) == 2) {
+      home_pos = p.pos;
+      break;
+    }
+  }
+  QueryRequest knn;
+  knn.kind = QueryKind::kKnn;
+  knn.position = home_pos;
+  knn.k = static_cast<int>(pois.size());  // forces every shard to contribute
+  QueryOutcome outcome = engine.Execute(knn);
+  ASSERT_EQ(outcome.knn->resolved_by, ResolvedBy::kBroadcast);
+  EXPECT_EQ(outcome.Cacheable().epoch, 0u);
+
+  // A window covering the whole world touches every shard — same rule.
+  QueryRequest window;
+  window.kind = QueryKind::kWindow;
+  window.window = kWorld;
+  outcome = engine.Execute(window);
+  EXPECT_EQ(outcome.window->pois.size(), pois.size());
+  EXPECT_EQ(outcome.Cacheable().epoch, 0u);
+
+  // A query confined to one shard keeps that shard's own (newer) stamp:
+  // min over contributing shards, not min over all shards. Inset the cell
+  // rect so the closed-rect cover cannot brush adjacent cells.
+  const geom::Rect cell = engine.routing_grid().CellRect(
+      engine.routing_grid().IndexOf(home_pos));
+  const double inset_x = cell.width() / 4.0;
+  const double inset_y = cell.height() / 4.0;
+  QueryRequest local;
+  local.kind = QueryKind::kWindow;
+  local.window = geom::Rect{cell.x1 + inset_x, cell.y1 + inset_y,
+                            cell.x2 - inset_x, cell.y2 - inset_y};
+  outcome = engine.Execute(local);
+  EXPECT_EQ(outcome.Cacheable().epoch, 2u);
+}
+
+TEST(ShardedWorldTest, CleanHomeWithRebuiltContributorStampsMinEpoch) {
+  std::vector<spatial::Poi> initial = TestPois(600, /*seed=*/21);
+  dynamic::ShardedWorld world(initial, kWorld, TestParams(), EngineOptions{},
+                              4);
+  const auto base = world.Current();
+  const auto shard_of = [&base](geom::Point p) {
+    return base->engine->map().ShardOfIndex(
+        base->engine->routing_grid().IndexOf(p));
+  };
+
+  // Dirty exactly one shard (move one of its POIs within its own cell).
+  const int dirty = shard_of(initial[0].pos);
+  const geom::Rect cell = base->engine->routing_grid().CellRect(
+      base->engine->routing_grid().IndexOf(initial[0].pos));
+  dynamic::PoiUpdate u;
+  u.kind = dynamic::PoiUpdate::Kind::kMove;
+  u.id = initial[0].id;
+  u.pos = {(cell.x1 + cell.x2) / 2.0, (cell.y1 + cell.y2) / 2.0};
+  ASSERT_EQ(world.Apply({u}), 1u);
+  const auto next = world.Current();
+  ASSERT_EQ(next->rebuilt_shards, std::vector<int>{dirty});
+
+  // Home the query on a *clean* shard (epoch 0 system, shared with the base
+  // epoch) and force the rebuilt shard (epoch 1) to contribute via a large
+  // k. Engine-level execution — no world-level restamp — must report the
+  // minimum epoch over the contributors, here the clean home's 0.
+  geom::Point clean_pos;
+  bool found = false;
+  for (const spatial::Poi& p : next->pois) {
+    if (shard_of(p.pos) != dirty) {
+      clean_pos = p.pos;
+      found = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found);
+  QueryRequest knn;
+  knn.kind = QueryKind::kKnn;
+  knn.position = clean_pos;
+  knn.k = static_cast<int>(next->pois.size());
+  QueryOutcome outcome = next->engine->Execute(knn);
+  ASSERT_EQ(outcome.knn->resolved_by, ResolvedBy::kBroadcast);
+  EXPECT_EQ(outcome.Cacheable().epoch, 0u);
+
+  // Homed on the rebuilt shard with clean contributors — the pre-fix code
+  // stamped the home's 1 here, claiming knowledge fresher than the clean
+  // channels that supplied part of it.
+  geom::Point dirty_pos;
+  found = false;
+  for (const spatial::Poi& p : next->pois) {
+    if (shard_of(p.pos) == dirty) {
+      dirty_pos = p.pos;
+      found = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found);
+  knn.position = dirty_pos;
+  outcome = next->engine->Execute(knn);
+  ASSERT_EQ(outcome.knn->resolved_by, ResolvedBy::kBroadcast);
+  EXPECT_EQ(outcome.Cacheable().epoch, 0u);
+}
+
 // Deterministic hand-rolled churn: inserts into a hot rect, moves and
 // deletes of live POIs drawn from the evolving snapshot.
 std::vector<dynamic::PoiUpdate> MakeBatch(

@@ -1,0 +1,278 @@
+// lbsq_load: deterministic workload replay against a running lbsq_server.
+//
+// Regenerates the simulator's query workload (same RNG streams, same
+// mobility, same arrivals) from the flags, replays the measured events
+// over binary client sessions, and reports throughput (sessions/sec,
+// queries/sec), latency percentiles, and the simulator-compatible answer
+// digest — directly diffable against `lbsq_sim --no-approximate` with the
+// same dataset/workload flags and seed.
+//
+// Examples:
+//   lbsq_load --port=4750 --connections=4 --pipeline=16
+//   lbsq_load --port=4750 --expect-digest=5b3f... # digest gate
+//   lbsq_load --port=4750 --overload --min-retries=1  # backpressure gate
+//   lbsq_load --port=4750 --out=BENCH_server.json --baseline=...
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "server/load_gen.h"
+#include "sim/config.h"
+
+namespace {
+
+void PrintUsage() {
+  std::printf(
+      "lbsq_load: workload replay and load generator for lbsq_server\n"
+      "\n"
+      "Connection:\n"
+      "  --port=<n>                       server port (required)\n"
+      "  --connections=<n>                concurrent sessions (1)\n"
+      "  --pipeline=<n>                   outstanding queries/session (16)\n"
+      "  --session-queries=<n>            queries per session before "
+      "reconnect (256)\n"
+      "  --overload                       resend on RETRY_AFTER without "
+      "backoff\n"
+      "  --min-version=<n> --max-version=<n>  protocol range (1..2)\n"
+      "\n"
+      "Workload (must match the lbsq_server dataset flags):\n"
+      "  --params=la|suburbia|riverside   Table 3 parameter set (la)\n"
+      "  --query=knn|window|mixed         query type (knn)\n"
+      "  --world=<miles>                  world side (3.0)\n"
+      "  --warmup=<min> --duration=<min>  periods (45 / 30)\n"
+      "  --seed=<n>                       RNG seed (1)\n"
+      "  --k=<n>                          kNN k (parameter set default)\n"
+      "  --window-pct=<p>                 window size, %% of space\n"
+      "\n"
+      "Checks and reporting:\n"
+      "  --expect-digest=<hex>            fail unless the digest matches\n"
+      "  --min-retries=<n>                fail unless >= n RETRY_AFTER "
+      "frames arrived\n"
+      "  --out=<file>                     write BENCH_server.json-style "
+      "results\n"
+      "  --baseline=<file>                fail unless the digest equals the "
+      "baseline's\n");
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  if (arg[len] == '\0') {
+    *value = "";
+    return true;
+  }
+  if (arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+bool ReadJsonString(const std::string& path, const std::string& key,
+                    std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  const std::string needle = "\"" + key + "\": \"";
+  const size_t pos = text.find(needle);
+  if (pos == std::string::npos) return false;
+  const size_t start = pos + needle.size();
+  const size_t end = text.find('"', start);
+  if (end == std::string::npos) return false;
+  *out = text.substr(start, end - start);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lbsq;
+
+  sim::SimConfig config;
+  config.params = sim::LosAngelesCity();
+  config.world_side_mi = 3.0;
+  config.warmup_min = 45.0;
+  config.duration_min = 30.0;
+  server::LoadOptions options;
+  std::string expect_digest;
+  std::string out_path;
+  std::string baseline_path;
+  int64_t min_retries = -1;
+  bool have_port = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    const char* arg = argv[i];
+    if (ParseFlag(arg, "--help", &value)) {
+      PrintUsage();
+      return 0;
+    } else if (ParseFlag(arg, "--port", &value)) {
+      options.port = static_cast<uint16_t>(std::atoi(value.c_str()));
+      have_port = true;
+    } else if (ParseFlag(arg, "--connections", &value)) {
+      options.connections = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "--pipeline", &value)) {
+      options.pipeline = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "--session-queries", &value)) {
+      options.queries_per_session = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "--overload", &value)) {
+      options.overload = true;
+    } else if (ParseFlag(arg, "--min-version", &value)) {
+      options.min_version = static_cast<uint32_t>(std::atoi(value.c_str()));
+    } else if (ParseFlag(arg, "--max-version", &value)) {
+      options.max_version = static_cast<uint32_t>(std::atoi(value.c_str()));
+    } else if (ParseFlag(arg, "--params", &value)) {
+      if (value == "la") {
+        config.params = sim::LosAngelesCity();
+      } else if (value == "suburbia") {
+        config.params = sim::SyntheticSuburbia();
+      } else if (value == "riverside") {
+        config.params = sim::RiversideCounty();
+      } else {
+        std::fprintf(stderr, "unknown --params value: %s\n", value.c_str());
+        return 1;
+      }
+    } else if (ParseFlag(arg, "--query", &value)) {
+      if (value == "knn") {
+        config.query_type = sim::QueryType::kKnn;
+      } else if (value == "window") {
+        config.query_type = sim::QueryType::kWindow;
+      } else if (value == "mixed") {
+        config.query_type = sim::QueryType::kMixed;
+      } else {
+        std::fprintf(stderr, "unknown --query value: %s\n", value.c_str());
+        return 1;
+      }
+    } else if (ParseFlag(arg, "--world", &value)) {
+      config.world_side_mi = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "--warmup", &value)) {
+      config.warmup_min = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "--duration", &value)) {
+      config.duration_min = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "--seed", &value)) {
+      config.seed = static_cast<uint64_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(arg, "--k", &value)) {
+      config.params.knn_k = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "--window-pct", &value)) {
+      config.params.window_pct = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "--expect-digest", &value)) {
+      expect_digest = value;
+    } else if (ParseFlag(arg, "--min-retries", &value)) {
+      min_retries = std::atoll(value.c_str());
+    } else if (ParseFlag(arg, "--out", &value)) {
+      out_path = value;
+    } else if (ParseFlag(arg, "--baseline", &value)) {
+      baseline_path = value;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      PrintUsage();
+      return 1;
+    }
+  }
+  if (!have_port) {
+    std::fprintf(stderr, "FATAL: --port is required\n");
+    PrintUsage();
+    return 1;
+  }
+
+  const server::LoadResult result = server::ReplayWorkload(config, options);
+  if (!result.ok) {
+    std::fprintf(stderr, "FATAL: replay failed: %s\n", result.error.c_str());
+    return 1;
+  }
+
+  char digest_hex[17];
+  std::snprintf(digest_hex, sizeof(digest_hex), "%016" PRIx64, result.digest);
+  std::printf(
+      "queries                 : %lld\n"
+      "sessions                : %lld\n"
+      "elapsed                 : %.3f s\n"
+      "sessions/sec            : %.1f\n"
+      "queries/sec             : %.1f\n"
+      "latency p50/p95/p99     : %.1f / %.1f / %.1f us\n"
+      "retry-after received    : %lld\n"
+      "answer digest           : %s\n",
+      static_cast<long long>(result.queries),
+      static_cast<long long>(result.sessions), result.elapsed_s,
+      result.sessions_per_sec, result.queries_per_sec, result.p50_us,
+      result.p95_us, result.p99_us,
+      static_cast<long long>(result.retries_received), digest_hex);
+
+  bool failed = false;
+  if (!expect_digest.empty() && expect_digest != digest_hex) {
+    std::fprintf(stderr, "FAIL: digest %s != expected %s\n", digest_hex,
+                 expect_digest.c_str());
+    failed = true;
+  }
+  if (min_retries >= 0 && result.retries_received < min_retries) {
+    std::fprintf(stderr,
+                 "FAIL: %lld RETRY_AFTER frames received, expected >= %lld "
+                 "(backpressure not observed)\n",
+                 static_cast<long long>(result.retries_received),
+                 static_cast<long long>(min_retries));
+    failed = true;
+  }
+  if (!baseline_path.empty()) {
+    // The digest is the machine-independent field: equality vs the checked-
+    // in baseline is the gate. Throughput and latency are recorded for
+    // humans, never gated (they measure the CI machine, not the code).
+    std::string baseline_digest;
+    if (!ReadJsonString(baseline_path, "digest", &baseline_digest)) {
+      std::fprintf(stderr, "FAIL: no usable \"digest\" in baseline %s\n",
+                   baseline_path.c_str());
+      failed = true;
+    } else if (baseline_digest != digest_hex) {
+      std::fprintf(stderr, "FAIL: digest %s != baseline %s\n", digest_hex,
+                   baseline_digest.c_str());
+      failed = true;
+    } else {
+      std::printf("baseline digest match   : ok\n");
+    }
+  }
+
+  if (!out_path.empty()) {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "FATAL: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"bench\": \"lbsq_load\",\n"
+        "  \"workload\": {\n"
+        "    \"world_side_mi\": %.1f,\n"
+        "    \"warmup_min\": %.1f,\n"
+        "    \"duration_min\": %.1f,\n"
+        "    \"seed\": %llu,\n"
+        "    \"connections\": %d,\n"
+        "    \"pipeline\": %d\n"
+        "  },\n"
+        "  \"digest\": \"%s\",\n"
+        "  \"queries\": %lld,\n"
+        "  \"sessions\": %lld,\n"
+        "  \"sessions_per_sec\": %.1f,\n"
+        "  \"queries_per_sec\": %.1f,\n"
+        "  \"p50_us\": %.1f,\n"
+        "  \"p95_us\": %.1f,\n"
+        "  \"p99_us\": %.1f,\n"
+        "  \"retry_after_received\": %lld\n"
+        "}\n",
+        config.world_side_mi, config.warmup_min, config.duration_min,
+        static_cast<unsigned long long>(config.seed), options.connections,
+        options.pipeline, digest_hex, static_cast<long long>(result.queries),
+        static_cast<long long>(result.sessions), result.sessions_per_sec,
+        result.queries_per_sec, result.p50_us, result.p95_us, result.p99_us,
+        static_cast<long long>(result.retries_received));
+    std::fclose(f);
+    std::printf("results written to %s\n", out_path.c_str());
+  }
+
+  return failed ? 1 : 0;
+}

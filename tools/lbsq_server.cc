@@ -1,0 +1,197 @@
+// lbsq_server: standalone broadcast query server.
+//
+// Loads (or generates) a POI dataset, builds the — optionally sharded —
+// broadcast system, and serves the three-step access protocol over
+// length-prefixed binary client sessions (see src/server/protocol.h).
+// The POI set is generated with the simulator's deterministic RNG stream,
+// so `lbsq_load` replaying the same config's workload receives answers
+// whose digest matches `lbsq_sim --no-approximate` bit-for-bit.
+//
+// Examples:
+//   lbsq_server --port=4750 --shards=4 --workers=4
+//   lbsq_server --port=0 --run-seconds=60     # ephemeral port, timed run
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "common/metrics_registry.h"
+#include "common/rng.h"
+#include "core/sharded_query_engine.h"
+#include "server/server.h"
+#include "sim/config.h"
+#include "sim/query_exec.h"
+#include "sim/workload.h"
+#include "spatial/generators.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+void PrintUsage() {
+  std::printf(
+      "lbsq_server: broadcast query server over binary client sessions\n"
+      "\n"
+      "Deployment:\n"
+      "  --port=<n>                       TCP port on 127.0.0.1 (0 = "
+      "ephemeral; default 0)\n"
+      "  --workers=<n>                    query worker threads (2)\n"
+      "  --queue-capacity=<n>             bounded per-worker queue (256)\n"
+      "  --inflight-limit=<n>             per-session outstanding budget "
+      "(64)\n"
+      "  --retry-ms=<n>                   RETRY_AFTER suggested delay (10)\n"
+      "  --run-seconds=<n>                exit after n seconds (0 = until "
+      "SIGINT/SIGTERM)\n"
+      "\n"
+      "Dataset (must match the lbsq_load / lbsq_sim run to compare "
+      "digests):\n"
+      "  --params=la|suburbia|riverside   Table 3 parameter set (la)\n"
+      "  --world=<miles>                  world side (3.0)\n"
+      "  --seed=<n>                       RNG seed (1)\n"
+      "  --shards=<n>                     broadcast channels (1)\n"
+      "  --k=<n>                          default kNN k override\n"
+      "  --no-filtering                   disable the 3.3.3 data filter\n");
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  if (arg[len] == '\0') {
+    *value = "";
+    return true;
+  }
+  if (arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lbsq;
+
+  sim::SimConfig config;
+  config.params = sim::LosAngelesCity();
+  config.world_side_mi = 3.0;
+  server::ServerOptions options;
+  options.num_workers = 2;
+  int run_seconds = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    const char* arg = argv[i];
+    if (ParseFlag(arg, "--help", &value)) {
+      PrintUsage();
+      return 0;
+    } else if (ParseFlag(arg, "--port", &value)) {
+      options.port = static_cast<uint16_t>(std::atoi(value.c_str()));
+    } else if (ParseFlag(arg, "--workers", &value)) {
+      options.num_workers = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "--queue-capacity", &value)) {
+      options.worker_queue_capacity =
+          static_cast<size_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(arg, "--inflight-limit", &value)) {
+      options.session_inflight_limit =
+          static_cast<size_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(arg, "--retry-ms", &value)) {
+      options.retry_after_ms = static_cast<uint32_t>(std::atoi(value.c_str()));
+    } else if (ParseFlag(arg, "--run-seconds", &value)) {
+      run_seconds = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "--params", &value)) {
+      if (value == "la") {
+        config.params = sim::LosAngelesCity();
+      } else if (value == "suburbia") {
+        config.params = sim::SyntheticSuburbia();
+      } else if (value == "riverside") {
+        config.params = sim::RiversideCounty();
+      } else {
+        std::fprintf(stderr, "unknown --params value: %s\n", value.c_str());
+        return 1;
+      }
+    } else if (ParseFlag(arg, "--world", &value)) {
+      config.world_side_mi = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "--seed", &value)) {
+      config.seed = static_cast<uint64_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(arg, "--shards", &value)) {
+      config.shards = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "--k", &value)) {
+      config.params.knn_k = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "--no-filtering", &value)) {
+      config.use_filtering = false;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      PrintUsage();
+      return 1;
+    }
+  }
+
+  // The simulator's deterministic POI stream: same seed, same world, same
+  // POIs — the foundation of the lbsq_load digest check.
+  const geom::Rect world{0.0, 0.0, config.world_side_mi,
+                         config.world_side_mi};
+  Rng poi_rng(DeriveStreamSeed(config.seed, sim::kStreamPois));
+  std::vector<spatial::Poi> pois =
+      spatial::GenerateUniformPois(&poi_rng, world, config.ScaledPoiCount());
+  std::printf("dataset: %zu POIs, world %.1f mi, %d shard(s), seed %llu\n",
+              pois.size(), config.world_side_mi, config.shards,
+              static_cast<unsigned long long>(config.seed));
+
+  const core::ShardedQueryEngine engine(std::move(pois), world,
+                                        config.broadcast,
+                                        sim::EngineOptionsFromConfig(config),
+                                        config.shards);
+
+  server::Server server(engine, /*epoch=*/0, options);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "FATAL: %s\n", error.c_str());
+    return 1;
+  }
+  // Scripts parse this line (and need it before the first connect).
+  std::printf("lbsq_server listening on 127.0.0.1:%u\n",
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  const auto started = std::chrono::steady_clock::now();
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (run_seconds > 0 &&
+        std::chrono::steady_clock::now() - started >=
+            std::chrono::seconds(run_seconds)) {
+      break;
+    }
+  }
+
+  server.Stop();
+  const server::ServerCounters& counters = server.counters();
+  std::printf(
+      "sessions opened/closed  : %lld / %lld\n"
+      "frames in/out           : %lld / %lld\n"
+      "queries executed        : %lld\n"
+      "index probes            : %lld\n"
+      "buckets served          : %lld\n"
+      "retry-after sent        : %lld\n"
+      "protocol errors         : %lld\n",
+      static_cast<long long>(counters.sessions_opened.load()),
+      static_cast<long long>(counters.sessions_closed.load()),
+      static_cast<long long>(counters.frames_received.load()),
+      static_cast<long long>(counters.frames_sent.load()),
+      static_cast<long long>(counters.queries_executed.load()),
+      static_cast<long long>(counters.index_probes.load()),
+      static_cast<long long>(counters.buckets_served.load()),
+      static_cast<long long>(counters.retry_after_sent.load()),
+      static_cast<long long>(counters.protocol_errors.load()));
+
+  lbsq::MetricsRegistry registry;
+  server.ExportMetrics(&registry);
+  return 0;
+}
