@@ -19,8 +19,15 @@
 // (default 0.25). The speedup ratio — not absolute qps — is compared, so
 // the check is meaningful across machines of different speeds.
 //
+// With --via-store the engine under the bench is constructed through a
+// WriteStore / OpenFromStore roundtrip over the in-memory page backend
+// instead of directly from the POI list — the same baseline gate then also
+// covers the storage path (state identity guarantees the workload and
+// answers are unchanged; only construction differs).
+//
 // Run:  ./build/bench/bench_batch_throughput [--out=BENCH_core.json]
 //       ./build/bench/bench_batch_throughput --baseline=BENCH_core.json
+//       ./build/bench/bench_batch_throughput --via-store --baseline=...
 // Env:  LBSQ_BENCH_FAST=1  - smaller batch for smoke testing.
 
 #include <chrono>
@@ -40,6 +47,7 @@
 #include "kernels/dispatch.h"
 #include "kernels/kernels.h"
 #include "spatial/generators.h"
+#include "storage/system_builder.h"
 
 namespace lbsq::bench {
 namespace {
@@ -246,13 +254,33 @@ std::vector<KernelRow> RunKernelBench() {
   return rows;
 }
 
-BenchResult RunBench() {
+BenchResult RunBench(bool via_store) {
   const geom::Rect world{0.0, 0.0, kWorldSide, kWorldSide};
   Rng rng(7);
-  broadcast::BroadcastSystem system(
-      spatial::GenerateUniformPois(&rng, world, kPoiNumber), world,
-      broadcast::BroadcastParams{});
-  const core::QueryEngine engine(system, world, core::EngineOptions{});
+  const storage::SystemBuilder builder(world, broadcast::BroadcastParams{});
+  std::unique_ptr<core::ShardedQueryEngine> sharded = builder.BuildFromPois(
+      spatial::GenerateUniformPois(&rng, world, kPoiNumber));
+  storage::MemoryStorageManager page_store;
+  storage::BufferPool pool(&page_store, /*capacity=*/64);
+  if (via_store) {
+    // Persist into the in-memory page backend and reopen: the engine under
+    // the bench then decoded every POI, bucket, and index entry from pages
+    // through the buffer pool, so the baseline gate covers the store path.
+    // State identity makes the workload and the answers unchanged.
+    if (!builder.WriteStore(*sharded, &page_store)) {
+      std::fprintf(stderr, "FATAL: WriteStore to the memory backend failed\n");
+      std::exit(1);
+    }
+    storage::OpenStatus status = storage::OpenStatus::kOk;
+    sharded = builder.OpenFromStore(page_store, &pool, &status);
+    if (sharded == nullptr) {
+      std::fprintf(stderr, "FATAL: OpenFromStore failed: %s\n",
+                   storage::OpenStatusName(status));
+      std::exit(1);
+    }
+  }
+  const broadcast::BroadcastSystem& system = *sharded->shard_system(0);
+  const core::QueryEngine& engine = *sharded->shard_engine(0);
 
   BenchResult result;
   result.n_queries = FastMode() ? 400 : 2000;
@@ -405,6 +433,7 @@ int main(int argc, char** argv) {
   std::string out_path = "BENCH_core.json";
   std::string baseline_path;
   double max_regression = 0.25;
+  bool via_store = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--out=", 0) == 0) {
@@ -413,19 +442,22 @@ int main(int argc, char** argv) {
       baseline_path = arg.substr(11);
     } else if (arg.rfind("--max-regression=", 0) == 0) {
       max_regression = std::strtod(arg.c_str() + 17, nullptr);
+    } else if (arg == "--via-store") {
+      via_store = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--out=FILE] [--baseline=FILE] "
-                   "[--max-regression=FRAC]\n",
+                   "[--max-regression=FRAC] [--via-store]\n",
                    argv[0]);
       return 2;
     }
   }
 
-  const BenchResult r = RunBench();
+  const BenchResult r = RunBench(via_store);
   std::printf("batched query execution, Table 3 LA City workload "
-              "(%d queries%s):\n",
-              r.n_queries, FastMode() ? ", fast mode" : "");
+              "(%d queries%s%s):\n",
+              r.n_queries, FastMode() ? ", fast mode" : "",
+              via_store ? ", engine opened from page store" : "");
   std::printf("  per-query Execute : %10.1f queries/s\n", r.per_query_qps);
   std::printf("  ExecuteBatch      : %10.1f queries/s\n", r.batch_qps);
   std::printf("  speedup           : %10.2fx\n", r.speedup);

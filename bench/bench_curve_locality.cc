@@ -15,6 +15,7 @@
 #include "onair/onair_knn.h"
 #include "onair/onair_window.h"
 #include "spatial/generators.h"
+#include "storage/system_builder.h"
 
 namespace {
 
@@ -26,8 +27,10 @@ void MeasureQueries(hilbert::CurveKind curve) {
   Rng rng(1);
   broadcast::BroadcastParams params;
   params.curve = curve;
-  broadcast::BroadcastSystem server(
-      spatial::GenerateUniformPois(&rng, kWorld, 2750), kWorld, params);
+  const auto server_ptr =
+      storage::SystemBuilder(kWorld, params)
+          .BuildSystemFromPois(spatial::GenerateUniformPois(&rng, kWorld, 2750));
+  const broadcast::BroadcastSystem& server = *server_ptr;
   RunningStat knn_buckets, knn_latency, win_buckets, win_latency;
   RunningStat win_buckets_part;
   Rng qrng(7);

@@ -16,6 +16,7 @@
 #include "onair/onair_knn.h"
 #include "onair/onair_window.h"
 #include "spatial/generators.h"
+#include "storage/system_builder.h"
 
 int main() {
   using namespace lbsq;
@@ -35,7 +36,9 @@ int main() {
   for (int m : {1, 2, 4, 8, 16, 32}) {
     broadcast::BroadcastParams params;
     params.m = m;
-    broadcast::BroadcastSystem server(pois, world, params);
+    const auto server_ptr =
+        storage::SystemBuilder(world, params).BuildSystemFromPois(pois);
+    const broadcast::BroadcastSystem& server = *server_ptr;
     RunningStat knn_latency, knn_tuning, knn_energy, win_latency, win_tuning;
     Rng qrng(7);
     for (int i = 0; i < 500; ++i) {
@@ -68,7 +71,9 @@ int main() {
        {broadcast::IndexKind::kFlat, broadcast::IndexKind::kTree}) {
     broadcast::BroadcastParams kind_params;
     kind_params.index_kind = kind;
-    broadcast::BroadcastSystem server(pois, world, kind_params);
+    const auto server_ptr =
+        storage::SystemBuilder(world, kind_params).BuildSystemFromPois(pois);
+    const broadcast::BroadcastSystem& server = *server_ptr;
     RunningStat latency, tuning, energy;
     Rng qrng(9);
     for (int i = 0; i < 500; ++i) {
@@ -94,7 +99,9 @@ int main() {
               "skipped");
   broadcast::BroadcastParams params;
   params.bucket_capacity = 4;  // finer packets let the lower bound excuse some
-  broadcast::BroadcastSystem server(pois, world, params);
+  const auto server_ptr =
+      storage::SystemBuilder(world, params).BuildSystemFromPois(pois);
+  const broadcast::BroadcastSystem& server = *server_ptr;
   core::EngineOptions engine_options;
   engine_options.sbnn.k = 10;
   engine_options.sbnn.accept_approximate = false;

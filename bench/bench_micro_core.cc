@@ -18,6 +18,7 @@
 #include "kernels/kernels.h"
 #include "onair/onair_window.h"
 #include "spatial/generators.h"
+#include "storage/system_builder.h"
 #include "spatial/quadtree.h"
 #include "spatial/rstar_tree.h"
 #include "spatial/rtree.h"
@@ -307,8 +308,10 @@ void BM_WindowRetrieval(benchmark::State& state) {
   Rng rng(7);
   broadcast::BroadcastParams params;
   params.hilbert_order = 7;
-  broadcast::BroadcastSystem server(
-      spatial::GenerateUniformPois(&rng, kWorld, 5000), kWorld, params);
+  const auto server_ptr =
+      storage::SystemBuilder(kWorld, params)
+          .BuildSystemFromPois(spatial::GenerateUniformPois(&rng, kWorld, 5000));
+  const broadcast::BroadcastSystem& server = *server_ptr;
   const auto retrieval = static_cast<onair::WindowRetrieval>(state.range(0));
   int64_t buckets = 0;
   int64_t queries = 0;

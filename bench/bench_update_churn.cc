@@ -41,6 +41,7 @@
 #include "sim/config.h"
 #include "sim/update_workload.h"
 #include "spatial/generators.h"
+#include "storage/system_builder.h"
 
 namespace lbsq::bench {
 namespace {
@@ -201,7 +202,10 @@ int Run() {
   Rng rng(7);
   const std::vector<spatial::Poi> pois =
       spatial::GenerateUniformPois(&rng, world, kPoiNumber);
-  broadcast::BroadcastSystem system(pois, world, broadcast::BroadcastParams{});
+  const auto system_ptr =
+      storage::SystemBuilder(world, broadcast::BroadcastParams{})
+          .BuildSystemFromPois(pois);
+  const broadcast::BroadcastSystem& system = *system_ptr;
   const int n = FastMode() ? 300 : 1500;
   const ChurnWorkload workload = MakeWorkload(system, n, /*seed=*/13);
 

@@ -14,6 +14,7 @@
 #include "core/query_workspace.h"
 #include "onair/onair_knn.h"
 #include "spatial/generators.h"
+#include "storage/system_builder.h"
 
 int main() {
   using namespace lbsq;
@@ -29,7 +30,9 @@ int main() {
   for (int m : {1, 2, 4, 8, 16}) {
     broadcast::BroadcastParams params;
     params.m = m;
-    broadcast::BroadcastSystem server(pois, world, params);
+    const auto server_ptr =
+        storage::SystemBuilder(world, params).BuildSystemFromPois(pois);
+    const broadcast::BroadcastSystem& server = *server_ptr;
     RunningStat latency, tuning;
     Rng qrng(100 + static_cast<uint64_t>(m));
     for (int i = 0; i < 300; ++i) {
@@ -49,7 +52,9 @@ int main() {
               "k = 10):\n\n");
   broadcast::BroadcastParams params;
   params.bucket_capacity = 4;  // finer packets make the filter visible
-  broadcast::BroadcastSystem server(pois, world, params);
+  const auto server_ptr =
+      storage::SystemBuilder(world, params).BuildSystemFromPois(pois);
+  const broadcast::BroadcastSystem& server = *server_ptr;
   core::EngineOptions filtered_options;
   filtered_options.sbnn.k = 10;
   filtered_options.sbnn.accept_approximate = false;

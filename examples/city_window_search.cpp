@@ -19,6 +19,7 @@
 #include "core/query_engine.h"
 #include "onair/onair_window.h"
 #include "spatial/generators.h"
+#include "storage/system_builder.h"
 
 namespace {
 
@@ -52,7 +53,9 @@ int main() {
 
   broadcast::BroadcastParams params;
   params.hilbert_order = 6;
-  broadcast::BroadcastSystem server(restaurants, city, params);
+  const auto server_ptr =
+      storage::SystemBuilder(city, params).BuildSystemFromPois(restaurants);
+  const broadcast::BroadcastSystem& server = *server_ptr;
 
   // Three pedestrians around the convention center (4, 4) searched recently
   // and hold verified windows.

@@ -15,6 +15,7 @@
 #include "core/continuous_knn.h"
 #include "core/query_engine.h"
 #include "spatial/generators.h"
+#include "storage/system_builder.h"
 
 int main() {
   using namespace lbsq;
@@ -24,7 +25,9 @@ int main() {
   std::vector<spatial::Poi> stations =
       spatial::GenerateUniformPois(&rng, world, 120);
   const double density = 120.0 / world.area();
-  broadcast::BroadcastSystem server(stations, world, {});
+  const auto server_ptr =
+      storage::SystemBuilder(world, {}).BuildSystemFromPois(stations);
+  const broadcast::BroadcastSystem& server = *server_ptr;
 
   core::EngineOptions options;
   options.sbnn.k = 3;

@@ -22,6 +22,7 @@
 #include "core/query_workspace.h"
 #include "onair/onair_knn.h"
 #include "spatial/generators.h"
+#include "storage/system_builder.h"
 
 int main() {
   using namespace lbsq;
@@ -36,7 +37,9 @@ int main() {
 
   broadcast::BroadcastParams params;
   params.bucket_capacity = 4;  // hospital records are big
-  broadcast::BroadcastSystem server(hospitals, world, params);
+  const auto server_ptr =
+      storage::SystemBuilder(world, params).BuildSystemFromPois(hospitals);
+  const broadcast::BroadcastSystem& server = *server_ptr;
   const double slots_per_minute = 50.0 * 60.0;
 
   // Our motorist drives east along y = 10 at 60 mph; 8 companion vehicles

@@ -14,6 +14,7 @@
 #include "core/query_engine.h"
 #include "onair/onair_knn.h"
 #include "spatial/generators.h"
+#include "storage/system_builder.h"
 
 int main() {
   using namespace lbsq;
@@ -28,7 +29,9 @@ int main() {
   // 2) The wireless information server: Hilbert-ordered data buckets with a
   //    (1, m) air index, broadcast cyclically.
   broadcast::BroadcastParams params;  // defaults are sensible
-  broadcast::BroadcastSystem server(pois, world, params);
+  const auto server_ptr =
+      storage::SystemBuilder(world, params).BuildSystemFromPois(pois);
+  const broadcast::BroadcastSystem& server = *server_ptr;
   std::printf("broadcast cycle: %lld data buckets + %d x %lld index buckets\n",
               static_cast<long long>(server.buckets().size()),
               server.schedule().m(),

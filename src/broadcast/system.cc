@@ -34,6 +34,38 @@ BroadcastSystem::BroadcastSystem(std::vector<spatial::Poi> pois,
       schedule_(static_cast<int64_t>(buckets_.size()), IndexSegmentBuckets(),
                 ClampM(params.m, static_cast<int64_t>(buckets_.size())),
                 params.epoch) {
+  FinishConstruction();
+}
+
+BroadcastSystem::BroadcastSystem(std::vector<spatial::Poi> pois,
+                                 std::vector<DataBucket> buckets,
+                                 const geom::Rect& world,
+                                 const BroadcastParams& params)
+    : params_(params),
+      pois_(std::move(pois)),
+      grid_(world, params.hilbert_order, params.curve),
+      buckets_(std::move(buckets)),
+      index_(buckets_, grid_, params.index_entries_per_bucket),
+      tree_index_(params.index_kind == IndexKind::kTree
+                      ? std::make_unique<TreeAirIndex>(
+                            index_.entries(), params.index_entries_per_bucket)
+                      : nullptr),
+      schedule_(static_cast<int64_t>(buckets_.size()), IndexSegmentBuckets(),
+                ClampM(params.m, static_cast<int64_t>(buckets_.size())),
+                params.epoch) {
+  // The prebuilt data file must be a valid bucketization: ids equal to
+  // positions (the schedule and CollectPois address buckets by position) and
+  // the buckets together partition exactly the POI database.
+  size_t bucketized = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    LBSQ_CHECK_EQ(buckets_[i].id, static_cast<int64_t>(i));
+    bucketized += buckets_[i].pois.size();
+  }
+  LBSQ_CHECK_EQ(bucketized, pois_.size());
+  FinishConstruction();
+}
+
+void BroadcastSystem::FinishConstruction() {
   for (DataBucket& bucket : buckets_) bucket.epoch = params_.epoch;
   sorted_start_.reserve(buckets_.size() + 1);
   sorted_start_.push_back(0);

@@ -61,6 +61,16 @@ class BroadcastSystem {
   BroadcastSystem(std::vector<spatial::Poi> pois, const geom::Rect& world,
                   const BroadcastParams& params);
 
+  /// Reassembles the channel from a previously built data file (e.g. decoded
+  /// from a persisted store): `buckets` must be the exact bucketization the
+  /// primary constructor would produce for `pois` (ids equal to positions,
+  /// together partitioning the database). Skips the Hilbert sort and
+  /// bucketization — the dominant cold-start cost — and rebuilds the
+  /// deterministic derived state (air index, schedule, CSR runs).
+  BroadcastSystem(std::vector<spatial::Poi> pois,
+                  std::vector<DataBucket> buckets, const geom::Rect& world,
+                  const BroadcastParams& params);
+
   BroadcastSystem(const BroadcastSystem&) = delete;
   BroadcastSystem& operator=(const BroadcastSystem&) = delete;
 
@@ -101,6 +111,10 @@ class BroadcastSystem {
  private:
   /// Index segment size under the configured organization.
   int64_t IndexSegmentBuckets() const;
+
+  /// Shared constructor tail: stamps the epoch onto every bucket and builds
+  /// the id-sorted CSR runs backing CollectPois.
+  void FinishConstruction();
 
   BroadcastParams params_;
   std::vector<spatial::Poi> pois_;

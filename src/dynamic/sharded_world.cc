@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "storage/system_builder.h"
 
 namespace lbsq::dynamic {
 
@@ -95,8 +96,8 @@ uint64_t ShardedWorld::Apply(std::vector<PoiUpdate> updates) {
     }
     rebuilt.push_back(s);
     if (!shard_pois[si].empty()) {
-      systems[si] = std::make_shared<broadcast::BroadcastSystem>(
-          std::move(shard_pois[si]), world_, epoch_params);
+      systems[si] = storage::SystemBuilder(world_, epoch_params)
+                        .BuildSystemFromPois(std::move(shard_pois[si]));
     }
   }
 

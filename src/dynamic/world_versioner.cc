@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "storage/system_builder.h"
 
 namespace lbsq::dynamic {
 
@@ -16,8 +17,8 @@ std::shared_ptr<const WorldEpoch> MakeEpoch(
   epoch->id = id;
   epoch->pois = std::move(pois);
   params.epoch = id;
-  epoch->system = std::make_unique<broadcast::BroadcastSystem>(
-      epoch->pois, world, params);
+  epoch->system =
+      storage::SystemBuilder(world, params).BuildSystemFromPois(epoch->pois);
   epoch->engine =
       std::make_unique<core::QueryEngine>(*epoch->system, world, options);
   return epoch;

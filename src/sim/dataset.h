@@ -1,0 +1,76 @@
+#ifndef LBSQ_SIM_DATASET_H_
+#define LBSQ_SIM_DATASET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sim/config.h"
+
+/// \file
+/// The dataset/deployment identity shared by every tool. `lbsq_server`,
+/// `lbsq_sim`, `lbsq_store_build`, and `lbsq_load` must all agree on what
+/// the dataset *is* — the Table-3 parameter set, the world side, the POI
+/// seed, the shard count — for their digests to be comparable. DatasetSpec
+/// hoists those flags out of the per-tool parsers into one struct with one
+/// parser, one validator (the `EngineOptions::Validate()` pattern), and one
+/// digest that names the dataset in store headers.
+
+namespace lbsq::sim {
+
+/// The dataset/deployment knobs shared across tools. Field defaults match
+/// the tools' historical defaults (LA City at bench scale).
+struct DatasetSpec {
+  /// Table-3 parameter set; --tx/--csize/--k/--window-pct/--pois edit it in
+  /// flag order, exactly as the tools always did.
+  ParameterSet params = LosAngelesCity();
+  /// World side in miles (3.0; 20 = the paper's full scale).
+  double world_side_mi = 3.0;
+  /// POI-stream RNG seed.
+  uint64_t seed = 1;
+  /// Hilbert-range broadcast channels.
+  int shards = 1;
+  /// §3.3.3 data filtering (--no-filtering clears it).
+  bool use_filtering = true;
+
+  /// Aborts (LBSQ_CHECK) unless the spec is internally consistent:
+  /// positive world side and POI count, shards >= 1, k >= 1.
+  void Validate() const;
+
+  /// Copies the spec's fields into `*config`, leaving every non-dataset
+  /// knob (run lengths, mobility, faults, ...) untouched.
+  void ApplyTo(SimConfig* config) const;
+
+  /// POIs the spec's world actually holds (density-scaled).
+  int64_t ScaledPoiCount() const;
+
+  /// FNV-1a digest over everything that determines the generated POI set
+  /// and its sharded broadcast organization: parameter-set name, POI
+  /// count, world side, seed, shards. Stamped into store headers and
+  /// verified on open.
+  uint64_t Digest() const;
+};
+
+/// Result of offering one argv token to the dataset parser.
+enum class DatasetFlagResult {
+  /// Not a dataset flag — the tool's own parser should handle it.
+  kNotDatasetFlag,
+  /// Consumed into the spec.
+  kParsed,
+  /// A dataset flag with a bad value; `*error` describes it.
+  kError,
+};
+
+/// Parses one `--flag[=value]` token into `*spec`. Handles --params,
+/// --world, --seed, --shards, --pois, --k, --tx, --csize, --window-pct,
+/// --no-filtering. Tools call this first for each argv token and fall
+/// through to their own flags on kNotDatasetFlag.
+DatasetFlagResult ParseDatasetFlag(const char* arg, DatasetSpec* spec,
+                                   std::string* error);
+
+/// The usage block describing the shared dataset flags (embedded in each
+/// tool's --help output so the vocabulary is documented once).
+const char* DatasetFlagsHelp();
+
+}  // namespace lbsq::sim
+
+#endif  // LBSQ_SIM_DATASET_H_

@@ -1,0 +1,84 @@
+#include "storage/buffer_pool.h"
+
+#include "common/check.h"
+
+namespace lbsq::storage {
+
+BufferPool::BufferPool(const IStorageManager* store, size_t capacity)
+    : store_(store), frames_(capacity) {
+  LBSQ_CHECK(store != nullptr);
+  LBSQ_CHECK_GE(capacity, size_t{1});
+  page_to_frame_.reserve(capacity);
+}
+
+const uint8_t* BufferPool::Pin(int64_t page) {
+  LBSQ_CHECK(page >= 1 && page < store_->page_count());
+  const auto it = page_to_frame_.find(page);
+  if (it != page_to_frame_.end()) {
+    ++hits_;
+    Frame& frame = frames_[it->second];
+    ++frame.pins;
+    frame.referenced = true;
+    return frame.data.data();
+  }
+  ++misses_;
+  const size_t slot = FindVictim();
+  Frame& frame = frames_[slot];
+  if (frame.page != kInvalidPage) {
+    ++evictions_;
+    page_to_frame_.erase(frame.page);
+  }
+  frame.page = page;
+  frame.pins = 1;
+  frame.referenced = true;
+  frame.data.resize(store_->page_size());
+  store_->ReadPage(page, frame.data.data());
+  page_to_frame_.emplace(page, slot);
+  return frame.data.data();
+}
+
+void BufferPool::Unpin(int64_t page) {
+  const auto it = page_to_frame_.find(page);
+  LBSQ_CHECK(it != page_to_frame_.end());
+  Frame& frame = frames_[it->second];
+  LBSQ_CHECK_GT(frame.pins, 0);
+  --frame.pins;
+}
+
+size_t BufferPool::FindVictim() {
+  // Two full sweeps suffice: the first clears every reference bit the hand
+  // passes, so the second must find an unpinned frame — unless every frame
+  // is pinned, which is a caller bug.
+  const size_t limit = 2 * frames_.size() + 1;
+  for (size_t step = 0; step < limit; ++step) {
+    Frame& frame = frames_[clock_hand_];
+    const size_t slot = clock_hand_;
+    clock_hand_ = (clock_hand_ + 1) % frames_.size();
+    if (frame.page == kInvalidPage) return slot;
+    if (frame.pins > 0) continue;
+    if (frame.referenced) {
+      frame.referenced = false;
+      continue;
+    }
+    return slot;
+  }
+  LBSQ_CHECK(false && "BufferPool: all frames pinned");
+  return 0;
+}
+
+double BufferPool::HitRatio() const {
+  const uint64_t total = hits_ + misses_;
+  return total == 0 ? 0.0
+                    : static_cast<double>(hits_) / static_cast<double>(total);
+}
+
+void BufferPool::ExportMetrics(MetricsRegistry* registry) const {
+  registry->IncrementCounter("storage.pool_hits",
+                             static_cast<int64_t>(hits_));
+  registry->IncrementCounter("storage.pool_misses",
+                             static_cast<int64_t>(misses_));
+  registry->IncrementCounter("storage.pool_evictions",
+                             static_cast<int64_t>(evictions_));
+}
+
+}  // namespace lbsq::storage

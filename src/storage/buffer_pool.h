@@ -1,0 +1,78 @@
+#ifndef LBSQ_STORAGE_BUFFER_POOL_H_
+#define LBSQ_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/metrics_registry.h"
+#include "storage/storage_manager.h"
+
+/// \file
+/// A fixed-capacity read cache over an `IStorageManager`: `capacity` frames
+/// of one page each, replaced with the clock (second-chance) policy. Pinned
+/// pages are never evicted; pinning an all-pinned full pool is a
+/// programming error (LBSQ_CHECK). Hit / miss / eviction counters flow into
+/// the `MetricsRegistry` under `storage.*`.
+///
+/// The pool is read-only by design: the store is written once by the
+/// builder and served immutable thereafter (writes go straight to the
+/// storage manager), so there are no dirty frames and eviction never does
+/// I/O. Not thread-safe — each reader owns its pool, mirroring the
+/// per-thread `QueryWorkspace` discipline.
+
+namespace lbsq::storage {
+
+class BufferPool {
+ public:
+  /// A pool of `capacity` frames (>= 1) over `store`. The store must
+  /// outlive the pool.
+  BufferPool(const IStorageManager* store, size_t capacity);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns the frame holding `page`, faulting it in (and possibly
+  /// evicting an unpinned frame) on a miss. The frame stays valid — and
+  /// ineligible for eviction — until the matching Unpin. Pins nest.
+  const uint8_t* Pin(int64_t page);
+
+  /// Releases one pin on `page` (which must be pinned).
+  void Unpin(int64_t page);
+
+  size_t capacity() const { return frames_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+  /// Fraction of Pins served from the pool (0 when never used).
+  double HitRatio() const;
+
+  /// Folds the counters into `registry` as `storage.pool_hits`,
+  /// `storage.pool_misses`, `storage.pool_evictions`.
+  void ExportMetrics(MetricsRegistry* registry) const;
+
+ private:
+  struct Frame {
+    int64_t page = kInvalidPage;
+    int pins = 0;
+    /// The clock's second-chance bit, set on every Pin hit.
+    bool referenced = false;
+    std::vector<uint8_t> data;
+  };
+
+  /// Picks the frame to load into: an empty one, else the first unpinned
+  /// frame the clock hand reaches whose reference bit is clear.
+  size_t FindVictim();
+
+  const IStorageManager* store_;
+  std::vector<Frame> frames_;
+  std::unordered_map<int64_t, size_t> page_to_frame_;
+  size_t clock_hand_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace lbsq::storage
+
+#endif  // LBSQ_STORAGE_BUFFER_POOL_H_

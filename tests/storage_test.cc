@@ -1,0 +1,361 @@
+#include "storage/storage_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/metrics_registry.h"
+#include "common/rng.h"
+#include "storage/buffer_pool.h"
+
+namespace lbsq::storage {
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+/// A page filled with a recognizable per-page byte pattern.
+std::vector<uint8_t> PatternPage(size_t page_size, int64_t page) {
+  std::vector<uint8_t> data(page_size);
+  for (size_t i = 0; i < page_size; ++i) {
+    data[i] = static_cast<uint8_t>((static_cast<size_t>(page) * 131 + i) & 0xff);
+  }
+  return data;
+}
+
+TEST(MemoryStorageManagerTest, RoundTripAndFreeListReuse) {
+  MemoryStorageManager store(kMinPageSize);
+  EXPECT_EQ(store.page_size(), kMinPageSize);
+  EXPECT_EQ(store.page_count(), 1);  // page 0 = header
+
+  const int64_t a = store.AllocatePage();
+  const int64_t b = store.AllocatePage();
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 2);
+  store.WritePage(a, PatternPage(kMinPageSize, a).data());
+  store.WritePage(b, PatternPage(kMinPageSize, b).data());
+
+  std::vector<uint8_t> out(kMinPageSize);
+  store.ReadPage(a, out.data());
+  EXPECT_EQ(out, PatternPage(kMinPageSize, a));
+  store.ReadPage(b, out.data());
+  EXPECT_EQ(out, PatternPage(kMinPageSize, b));
+
+  // A freed page is reused before the store grows.
+  store.FreePage(a);
+  EXPECT_EQ(store.AllocatePage(), a);
+  EXPECT_EQ(store.page_count(), 3);
+  EXPECT_EQ(store.AllocatePage(), 3);
+}
+
+TEST(FileStorageManagerTest, CreateFlushReopenRoundTrip) {
+  const std::string path = TempPath("roundtrip.lbsq");
+  StoreMeta meta;
+  meta.dataset_digest = 0xdeadbeefcafef00dull;
+  meta.epoch = 7;
+  meta.shards = 3;
+  meta.world_x2 = 20.0;
+  meta.world_y2 = 20.0;
+  meta.bucket_capacity = 10;
+  meta.hilbert_order = 8;
+  meta.poi_count = 2750;
+  {
+    auto store = FileStorageManager::Create(path, kMinPageSize);
+    ASSERT_NE(store, nullptr);
+    const int64_t a = store->AllocatePage();
+    const int64_t b = store->AllocatePage();
+    store->WritePage(a, PatternPage(kMinPageSize, a).data());
+    store->WritePage(b, PatternPage(kMinPageSize, b).data());
+    store->set_meta(meta);
+    ASSERT_TRUE(store->Flush());
+  }
+  OpenStatus status = OpenStatus::kOk;
+  auto store = FileStorageManager::Open(path, &status);
+  ASSERT_NE(store, nullptr);
+  EXPECT_EQ(status, OpenStatus::kOk);
+  EXPECT_EQ(store->page_size(), kMinPageSize);
+  EXPECT_EQ(store->page_count(), 3);
+  EXPECT_EQ(store->meta().dataset_digest, meta.dataset_digest);
+  EXPECT_EQ(store->meta().epoch, meta.epoch);
+  EXPECT_EQ(store->meta().shards, meta.shards);
+  EXPECT_EQ(store->meta().world_x2, meta.world_x2);
+  EXPECT_EQ(store->meta().bucket_capacity, meta.bucket_capacity);
+  EXPECT_EQ(store->meta().hilbert_order, meta.hilbert_order);
+  EXPECT_EQ(store->meta().poi_count, meta.poi_count);
+  std::vector<uint8_t> out(kMinPageSize);
+  store->ReadPage(1, out.data());
+  EXPECT_EQ(out, PatternPage(kMinPageSize, 1));
+  store->ReadPage(2, out.data());
+  EXPECT_EQ(out, PatternPage(kMinPageSize, 2));
+}
+
+TEST(FileStorageManagerTest, FreeListSurvivesReopen) {
+  const std::string path = TempPath("freelist.lbsq");
+  {
+    auto store = FileStorageManager::Create(path, kMinPageSize);
+    ASSERT_NE(store, nullptr);
+    store->AllocatePage();  // 1
+    store->AllocatePage();  // 2
+    store->AllocatePage();  // 3
+    store->FreePage(2);
+    ASSERT_TRUE(store->Flush());
+  }
+  OpenStatus status = OpenStatus::kOk;
+  auto store = FileStorageManager::Open(path, &status);
+  ASSERT_NE(store, nullptr);
+  EXPECT_EQ(store->AllocatePage(), 2);  // from the persisted free chain
+  EXPECT_EQ(store->AllocatePage(), 4);  // chain exhausted: grows the file
+}
+
+TEST(FileStorageManagerTest, OpenMissingFileIsIoError) {
+  OpenStatus status = OpenStatus::kOk;
+  EXPECT_EQ(FileStorageManager::Open(TempPath("does-not-exist.lbsq"), &status),
+            nullptr);
+  EXPECT_EQ(status, OpenStatus::kIoError);
+}
+
+TEST(FileStorageManagerTest, OpenRejectsBadMagic) {
+  const std::string path = TempPath("badmagic.lbsq");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const std::vector<uint8_t> junk(kMinPageSize, uint8_t{'X'});
+    ASSERT_EQ(std::fwrite(junk.data(), 1, junk.size(), f), junk.size());
+    std::fclose(f);
+  }
+  OpenStatus status = OpenStatus::kOk;
+  EXPECT_EQ(FileStorageManager::Open(path, &status), nullptr);
+  EXPECT_EQ(status, OpenStatus::kBadMagic);
+}
+
+TEST(FileStorageManagerTest, OpenRejectsCorruptedHeader) {
+  const std::string path = TempPath("corrupt.lbsq");
+  {
+    auto store = FileStorageManager::Create(path, kMinPageSize);
+    ASSERT_NE(store, nullptr);
+    store->AllocatePage();
+    ASSERT_TRUE(store->Flush());
+  }
+  {
+    // Flip one byte inside the header payload (past magic + length).
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, 20, SEEK_SET), 0);
+    const uint8_t corrupt = 0xff;
+    ASSERT_EQ(std::fwrite(&corrupt, 1, 1, f), 1u);
+    std::fclose(f);
+  }
+  OpenStatus status = OpenStatus::kOk;
+  EXPECT_EQ(FileStorageManager::Open(path, &status), nullptr);
+  EXPECT_EQ(status, OpenStatus::kBadHeaderChecksum);
+}
+
+TEST(FileStorageManagerTest, OpenRejectsTruncatedFile) {
+  const std::string path = TempPath("truncated.lbsq");
+  {
+    auto store = FileStorageManager::Create(path, kMinPageSize);
+    ASSERT_NE(store, nullptr);
+    const int64_t a = store->AllocatePage();
+    store->WritePage(a, PatternPage(kMinPageSize, a).data());
+    ASSERT_TRUE(store->Flush());
+  }
+  // Chop the tail of the last page: the header still parses, but the store
+  // no longer covers the page count it declares.
+  std::filesystem::resize_file(path, 2 * kMinPageSize - 1);
+  OpenStatus status = OpenStatus::kOk;
+  EXPECT_EQ(FileStorageManager::Open(path, &status), nullptr);
+  EXPECT_EQ(status, OpenStatus::kTruncated);
+
+  // A file shorter than the header prefix is truncated too, not bad-magic.
+  std::filesystem::resize_file(path, 8);
+  EXPECT_EQ(FileStorageManager::Open(path, &status), nullptr);
+  EXPECT_EQ(status, OpenStatus::kTruncated);
+}
+
+TEST(BlobTest, RoundTripAcrossPageChain) {
+  MemoryStorageManager store(kMinPageSize);
+  Rng rng(5);
+  for (const size_t size : {size_t{0}, size_t{1}, size_t{247}, size_t{248},
+                            size_t{249}, size_t{4000}}) {
+    std::vector<uint8_t> blob(size);
+    for (uint8_t& b : blob) b = static_cast<uint8_t>(rng.NextBelow(256));
+    const BlobRef ref = WriteBlob(&store, blob.data(), blob.size());
+    std::vector<uint8_t> out;
+    ASSERT_TRUE(ReadBlob(store, /*pool=*/nullptr, ref, &out)) << size;
+    EXPECT_EQ(out, blob) << size;
+
+    // The same bytes must come back through a (tiny, evicting) pool.
+    BufferPool pool(&store, 2);
+    ASSERT_TRUE(ReadBlob(store, &pool, ref, &out)) << size;
+    EXPECT_EQ(out, blob) << size;
+  }
+}
+
+TEST(BlobTest, CorruptedPayloadFailsCrc) {
+  MemoryStorageManager store(kMinPageSize);
+  std::vector<uint8_t> blob(1000, uint8_t{0x5a});
+  const BlobRef ref = WriteBlob(&store, blob.data(), blob.size());
+
+  std::vector<uint8_t> page(kMinPageSize);
+  store.ReadPage(ref.first_page, page.data());
+  page[12] ^= 0x01;  // one payload bit, past the 8-byte chain pointer
+  store.WritePage(ref.first_page, page.data());
+
+  std::vector<uint8_t> out;
+  EXPECT_FALSE(ReadBlob(store, /*pool=*/nullptr, ref, &out));
+}
+
+TEST(BlobTest, BrokenChainFails) {
+  MemoryStorageManager store(kMinPageSize);
+  std::vector<uint8_t> blob(1000, uint8_t{0x33});
+  const BlobRef ref = WriteBlob(&store, blob.data(), blob.size());
+
+  // Point the first page's chain pointer out of bounds.
+  std::vector<uint8_t> page(kMinPageSize);
+  store.ReadPage(ref.first_page, page.data());
+  page[0] = 0xff;
+  page[7] = 0x7f;
+  store.WritePage(ref.first_page, page.data());
+
+  std::vector<uint8_t> out;
+  EXPECT_FALSE(ReadBlob(store, /*pool=*/nullptr, ref, &out));
+}
+
+// ---------------------------------------------------------------------------
+// BufferPool
+
+/// Fills `store` with `n` payload pages, each carrying its pattern.
+void FillPages(MemoryStorageManager* store, int n) {
+  for (int i = 0; i < n; ++i) {
+    const int64_t page = store->AllocatePage();
+    store->WritePage(page, PatternPage(kMinPageSize, page).data());
+  }
+}
+
+TEST(BufferPoolTest, HitsAndMisses) {
+  MemoryStorageManager store(kMinPageSize);
+  FillPages(&store, 3);
+  BufferPool pool(&store, 4);
+  EXPECT_EQ(pool.HitRatio(), 0.0);
+
+  const uint8_t* p1 = pool.Pin(1);
+  ASSERT_NE(p1, nullptr);
+  EXPECT_EQ(std::memcmp(p1, PatternPage(kMinPageSize, 1).data(), kMinPageSize),
+            0);
+  pool.Unpin(1);
+  EXPECT_EQ(pool.hits(), 0u);
+  EXPECT_EQ(pool.misses(), 1u);
+
+  const uint8_t* again = pool.Pin(1);
+  EXPECT_EQ(again, p1);  // same resident frame
+  pool.Unpin(1);
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.misses(), 1u);
+  EXPECT_EQ(pool.evictions(), 0u);
+  EXPECT_DOUBLE_EQ(pool.HitRatio(), 0.5);
+}
+
+TEST(BufferPoolTest, ClockEvictionOrder) {
+  MemoryStorageManager store(kMinPageSize);
+  FillPages(&store, 3);
+  BufferPool pool(&store, 2);
+  pool.Pin(1);
+  pool.Unpin(1);
+  pool.Pin(2);
+  pool.Unpin(2);
+  // Both frames referenced: the first sweep clears both bits, the second
+  // evicts the page the hand reaches first — page 1, the older frame.
+  pool.Pin(3);
+  pool.Unpin(3);
+  EXPECT_EQ(pool.evictions(), 1u);
+
+  const uint64_t misses_before = pool.misses();
+  pool.Pin(2);  // survivor: still resident
+  pool.Unpin(2);
+  EXPECT_EQ(pool.misses(), misses_before);
+  pool.Pin(1);  // victim: faulted back in
+  pool.Unpin(1);
+  EXPECT_EQ(pool.misses(), misses_before + 1);
+  EXPECT_EQ(pool.evictions(), 2u);
+}
+
+TEST(BufferPoolTest, PinnedPagesAreNeverEvicted) {
+  MemoryStorageManager store(kMinPageSize);
+  FillPages(&store, 8);
+  BufferPool pool(&store, 2);
+  const uint8_t* pinned = pool.Pin(1);  // held across the churn below
+
+  // Churn every other page through the one remaining frame.
+  for (int64_t page = 2; page <= 8; ++page) {
+    const uint8_t* p = pool.Pin(page);
+    EXPECT_EQ(
+        std::memcmp(p, PatternPage(kMinPageSize, page).data(), kMinPageSize),
+        0);
+    pool.Unpin(page);
+  }
+  EXPECT_GE(pool.evictions(), 6u);
+
+  // The pinned frame never moved or changed.
+  EXPECT_EQ(std::memcmp(pinned, PatternPage(kMinPageSize, 1).data(),
+                        kMinPageSize),
+            0);
+  const uint8_t* still = pool.Pin(1);
+  EXPECT_EQ(still, pinned);
+  pool.Unpin(1);
+  pool.Unpin(1);
+}
+
+TEST(BufferPoolTest, NestedPinsKeepFrameResident) {
+  MemoryStorageManager store(kMinPageSize);
+  FillPages(&store, 4);
+  BufferPool pool(&store, 2);
+  pool.Pin(1);
+  pool.Pin(1);  // nested
+  pool.Unpin(1);
+  // One pin still outstanding: page 1 must survive a full churn.
+  pool.Pin(2);
+  pool.Unpin(2);
+  pool.Pin(3);
+  pool.Unpin(3);
+  pool.Pin(4);
+  pool.Unpin(4);
+  const uint64_t misses_before = pool.misses();
+  pool.Pin(1);
+  EXPECT_EQ(pool.misses(), misses_before);  // hit: never left the pool
+  pool.Unpin(1);
+  pool.Unpin(1);
+}
+
+TEST(BufferPoolTest, ExportMetrics) {
+  MemoryStorageManager store(kMinPageSize);
+  FillPages(&store, 3);
+  BufferPool pool(&store, 2);
+  pool.Pin(1);
+  pool.Unpin(1);
+  pool.Pin(1);
+  pool.Unpin(1);
+  pool.Pin(2);
+  pool.Unpin(2);
+  pool.Pin(3);
+  pool.Unpin(3);
+
+  MetricsRegistry registry;
+  pool.ExportMetrics(&registry);
+  EXPECT_EQ(registry.counter("storage.pool_hits"),
+            static_cast<int64_t>(pool.hits()));
+  EXPECT_EQ(registry.counter("storage.pool_misses"),
+            static_cast<int64_t>(pool.misses()));
+  EXPECT_EQ(registry.counter("storage.pool_evictions"),
+            static_cast<int64_t>(pool.evictions()));
+  EXPECT_EQ(registry.counter("storage.pool_hits"), 1);
+  EXPECT_EQ(registry.counter("storage.pool_misses"), 3);
+  EXPECT_EQ(registry.counter("storage.pool_evictions"), 1);
+}
+
+}  // namespace
+}  // namespace lbsq::storage

@@ -1,0 +1,220 @@
+// SystemBuilder store round trips: WriteStore / OpenFromStore state
+// identity (answer digests over the Table 3 LA workload must be
+// bit-identical between a fresh build and a cold open, over both storage
+// backends), plus the typed rejection paths.
+
+#include "storage/system_builder.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/metrics.h"
+#include "spatial/generators.h"
+#include "storage/buffer_pool.h"
+#include "storage/storage_manager.h"
+
+namespace lbsq::storage {
+namespace {
+
+// Table 3, Los Angeles City: 2750 POIs over a 20 x 20 mi world, k = 5,
+// 3% windows.
+constexpr double kWorldSide = 20.0;
+constexpr int kPoiNumber = 2750;
+constexpr int kKnnK = 5;
+constexpr uint64_t kDatasetTag = 0x1a2b3c4d5e6f7081ull;
+
+const geom::Rect kWorld{0.0, 0.0, kWorldSide, kWorldSide};
+
+std::vector<spatial::Poi> LaPois(uint64_t seed = 1) {
+  Rng rng(seed);
+  return spatial::GenerateUniformPois(&rng, kWorld, kPoiNumber);
+}
+
+SystemBuilder LaBuilder(int shards = 1) {
+  SystemBuilder builder(kWorld, broadcast::BroadcastParams{});
+  builder.SetShards(shards).SetDatasetTag(kDatasetTag);
+  return builder;
+}
+
+/// Folds every bit of the answer plane — neighbor ids and distances,
+/// window POI sets — plus the cost stats of a deterministic LA query mix
+/// into one FNV digest. Two engines share the digest iff they answer the
+/// whole workload bit-identically.
+uint64_t WorkloadDigest(const core::ShardedQueryEngine& engine) {
+  Rng rng(13);
+  const double window_side = kWorldSide * std::sqrt(0.03);
+  uint64_t acc = 1469598103934665603ull;  // FNV-1a offset basis
+  for (int i = 0; i < 300; ++i) {
+    const geom::Point q{rng.Uniform(0.0, kWorldSide),
+                        rng.Uniform(0.0, kWorldSide)};
+    core::QueryRequest request;
+    request.slot = static_cast<int64_t>(rng.NextBelow(100000));
+    if (i % 2 == 0) {
+      request.kind = core::QueryKind::kKnn;
+      request.position = q;
+      request.k = kKnnK;
+      const core::QueryOutcome outcome = engine.Execute(request);
+      for (const spatial::PoiDistance& n : outcome.knn->neighbors) {
+        acc = sim::DigestFold(acc, static_cast<uint64_t>(n.poi.id));
+        acc = sim::DigestFold(acc, std::bit_cast<uint64_t>(n.distance));
+      }
+      acc = sim::DigestFold(
+          acc, static_cast<uint64_t>(outcome.knn->stats.access_latency));
+      acc = sim::DigestFold(
+          acc, static_cast<uint64_t>(outcome.knn->stats.tuning_time));
+    } else {
+      request.kind = core::QueryKind::kWindow;
+      request.window = geom::Rect::CenteredSquare(q, window_side / 2.0);
+      const core::QueryOutcome outcome = engine.Execute(request);
+      for (const spatial::Poi& p : outcome.window->pois) {
+        acc = sim::DigestFold(acc, static_cast<uint64_t>(p.id));
+        acc = sim::DigestFold(acc, std::bit_cast<uint64_t>(p.pos.x));
+        acc = sim::DigestFold(acc, std::bit_cast<uint64_t>(p.pos.y));
+      }
+      acc = sim::DigestFold(
+          acc, static_cast<uint64_t>(outcome.window->stats.buckets_read));
+    }
+  }
+  return acc;
+}
+
+TEST(SystemStoreTest, MemoryRoundTripIsStateIdentical) {
+  const SystemBuilder builder = LaBuilder();
+  const auto built = builder.BuildFromPois(LaPois());
+
+  MemoryStorageManager store;
+  ASSERT_TRUE(builder.WriteStore(*built, &store));
+  EXPECT_EQ(store.meta().dataset_digest, kDatasetTag);
+  EXPECT_EQ(store.meta().poi_count, static_cast<uint64_t>(kPoiNumber));
+
+  OpenStatus status = OpenStatus::kIoError;
+  const auto opened = builder.OpenFromStore(store, /*pool=*/nullptr, &status);
+  ASSERT_NE(opened, nullptr) << OpenStatusName(status);
+  EXPECT_EQ(status, OpenStatus::kOk);
+
+  // Structural identity: same POIs in the same order, same channel shape.
+  ASSERT_EQ(opened->total_pois(), built->total_pois());
+  const broadcast::BroadcastSystem& a = *built->shard_system(0);
+  const broadcast::BroadcastSystem& b = *opened->shard_system(0);
+  ASSERT_EQ(a.pois().size(), b.pois().size());
+  for (size_t i = 0; i < a.pois().size(); ++i) {
+    EXPECT_TRUE(a.pois()[i] == b.pois()[i]) << i;
+  }
+  EXPECT_EQ(a.buckets().size(), b.buckets().size());
+  EXPECT_EQ(a.schedule().cycle_length(), b.schedule().cycle_length());
+
+  // Answer identity: the Table 3 workload digests bit-identically.
+  EXPECT_EQ(WorkloadDigest(*built), WorkloadDigest(*opened));
+}
+
+TEST(SystemStoreTest, ShardedRoundTripIsStateIdentical) {
+  const SystemBuilder builder = LaBuilder(/*shards=*/4);
+  const auto built = builder.BuildFromPois(LaPois());
+
+  MemoryStorageManager store;
+  ASSERT_TRUE(builder.WriteStore(*built, &store));
+  OpenStatus status = OpenStatus::kIoError;
+  const auto opened = builder.OpenFromStore(store, /*pool=*/nullptr, &status);
+  ASSERT_NE(opened, nullptr) << OpenStatusName(status);
+
+  ASSERT_EQ(opened->num_shards(), 4);
+  EXPECT_EQ(opened->total_pois(), built->total_pois());
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_EQ(opened->shard_poi_count(s), built->shard_poi_count(s)) << s;
+  }
+  EXPECT_EQ(WorkloadDigest(*built), WorkloadDigest(*opened));
+}
+
+TEST(SystemStoreTest, FileBackendColdOpenThroughTinyPool) {
+  const std::string path =
+      (std::filesystem::path(::testing::TempDir()) / "la.lbsq").string();
+  const SystemBuilder builder = LaBuilder();
+  const auto built = builder.BuildFromPois(LaPois());
+  {
+    auto store = FileStorageManager::Create(path, kDefaultPageSize);
+    ASSERT_NE(store, nullptr);
+    ASSERT_TRUE(builder.WriteStore(*built, store.get()));
+  }
+
+  OpenStatus status = OpenStatus::kIoError;
+  auto store = FileStorageManager::Open(path, &status);
+  ASSERT_NE(store, nullptr) << OpenStatusName(status);
+
+  // A 2-frame pool forces evictions while the open streams the blobs.
+  BufferPool pool(store.get(), 2);
+  const auto opened = builder.OpenFromStore(*store, &pool, &status);
+  ASSERT_NE(opened, nullptr) << OpenStatusName(status);
+  EXPECT_GT(pool.misses(), 0u);
+  EXPECT_GT(pool.evictions(), 0u);
+
+  EXPECT_EQ(WorkloadDigest(*built), WorkloadDigest(*opened));
+}
+
+TEST(SystemStoreTest, RejectsDatasetMismatch) {
+  const SystemBuilder builder = LaBuilder();
+  const auto built = builder.BuildFromPois(LaPois());
+  MemoryStorageManager store;
+  ASSERT_TRUE(builder.WriteStore(*built, &store));
+
+  SystemBuilder other(kWorld, broadcast::BroadcastParams{});
+  other.SetDatasetTag(kDatasetTag + 1);
+  OpenStatus status = OpenStatus::kOk;
+  EXPECT_EQ(other.OpenFromStore(store, nullptr, &status), nullptr);
+  EXPECT_EQ(status, OpenStatus::kDatasetMismatch);
+}
+
+TEST(SystemStoreTest, RejectsParamsMismatch) {
+  const SystemBuilder builder = LaBuilder();
+  const auto built = builder.BuildFromPois(LaPois());
+  MemoryStorageManager store;
+  ASSERT_TRUE(builder.WriteStore(*built, &store));
+  OpenStatus status = OpenStatus::kOk;
+
+  // Different channel organization (m).
+  broadcast::BroadcastParams different_m;
+  different_m.m += 1;
+  SystemBuilder m_builder(kWorld, different_m);
+  m_builder.SetDatasetTag(kDatasetTag);
+  EXPECT_EQ(m_builder.OpenFromStore(store, nullptr, &status), nullptr);
+  EXPECT_EQ(status, OpenStatus::kParamsMismatch);
+
+  // Different world rectangle.
+  SystemBuilder world_builder(geom::Rect{0.0, 0.0, 10.0, 10.0},
+                              broadcast::BroadcastParams{});
+  world_builder.SetDatasetTag(kDatasetTag);
+  EXPECT_EQ(world_builder.OpenFromStore(store, nullptr, &status), nullptr);
+  EXPECT_EQ(status, OpenStatus::kParamsMismatch);
+
+  // Different shard count.
+  SystemBuilder shard_builder = LaBuilder(/*shards=*/2);
+  EXPECT_EQ(shard_builder.OpenFromStore(store, nullptr, &status), nullptr);
+  EXPECT_EQ(status, OpenStatus::kParamsMismatch);
+}
+
+TEST(SystemStoreTest, RejectsCorruptedBlob) {
+  const SystemBuilder builder = LaBuilder();
+  const auto built = builder.BuildFromPois(LaPois());
+  MemoryStorageManager store;
+  ASSERT_TRUE(builder.WriteStore(*built, &store));
+
+  // Flip the first payload byte of the first blob page (right past the
+  // 8-byte chain pointer — inside every blob's live range): its CRC breaks.
+  std::vector<uint8_t> page(store.page_size());
+  store.ReadPage(1, page.data());
+  page[8] ^= 0x01;
+  store.WritePage(1, page.data());
+
+  OpenStatus status = OpenStatus::kOk;
+  EXPECT_EQ(builder.OpenFromStore(store, nullptr, &status), nullptr);
+  EXPECT_EQ(status, OpenStatus::kBadBlob);
+}
+
+}  // namespace
+}  // namespace lbsq::storage

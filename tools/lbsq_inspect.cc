@@ -18,6 +18,7 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "spatial/generators.h"
+#include "storage/system_builder.h"
 
 namespace {
 
@@ -62,8 +63,10 @@ int main(int argc, char** argv) {
 
   const geom::Rect world{0.0, 0.0, world_side, world_side};
   Rng rng(seed);
-  broadcast::BroadcastSystem system(
-      spatial::GenerateUniformPois(&rng, world, n_pois), world, params);
+  const auto system_ptr =
+      storage::SystemBuilder(world, params)
+          .BuildSystemFromPois(spatial::GenerateUniformPois(&rng, world, n_pois));
+  const broadcast::BroadcastSystem& system = *system_ptr;
 
   std::printf("=== data organization ===\n");
   std::printf("POIs                : %lld over %.0f x %.0f mi\n",

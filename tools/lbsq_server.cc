@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 
@@ -23,9 +24,12 @@
 #include "core/sharded_query_engine.h"
 #include "server/server.h"
 #include "sim/config.h"
+#include "sim/dataset.h"
 #include "sim/query_exec.h"
 #include "sim/workload.h"
 #include "spatial/generators.h"
+#include "storage/buffer_pool.h"
+#include "storage/system_builder.h"
 
 namespace {
 
@@ -48,14 +52,18 @@ void PrintUsage() {
       "  --run-seconds=<n>                exit after n seconds (0 = until "
       "SIGINT/SIGTERM)\n"
       "\n"
+      "Storage:\n"
+      "  --store=<path>                   open a persisted page store\n"
+      "                                   (lbsq_store_build output) instead\n"
+      "                                   of rebuilding; the dataset flags\n"
+      "                                   must match the store or the open\n"
+      "                                   is refused with a typed error\n"
+      "  --pool-pages=<n>                 buffer-pool capacity in pages "
+      "(1024)\n"
+      "\n"
       "Dataset (must match the lbsq_load / lbsq_sim run to compare "
-      "digests):\n"
-      "  --params=la|suburbia|riverside   Table 3 parameter set (la)\n"
-      "  --world=<miles>                  world side (3.0)\n"
-      "  --seed=<n>                       RNG seed (1)\n"
-      "  --shards=<n>                     broadcast channels (1)\n"
-      "  --k=<n>                          default kNN k override\n"
-      "  --no-filtering                   disable the 3.3.3 data filter\n");
+      "digests):\n%s",
+      lbsq::sim::DatasetFlagsHelp());
 }
 
 bool ParseFlag(const char* arg, const char* name, std::string* value) {
@@ -77,16 +85,26 @@ bool ParseFlag(const char* arg, const char* name, std::string* value) {
 int main(int argc, char** argv) {
   using namespace lbsq;
 
-  sim::SimConfig config;
-  config.params = sim::LosAngelesCity();
-  config.world_side_mi = 3.0;
+  sim::DatasetSpec spec;
   server::ServerOptions options;
   options.num_workers = 2;
   int run_seconds = 0;
+  std::string store_path;
+  size_t pool_pages = 1024;
 
   for (int i = 1; i < argc; ++i) {
     std::string value;
     const char* arg = argv[i];
+    std::string spec_error;
+    switch (sim::ParseDatasetFlag(arg, &spec, &spec_error)) {
+      case sim::DatasetFlagResult::kParsed:
+        continue;
+      case sim::DatasetFlagResult::kError:
+        std::fprintf(stderr, "%s\n", spec_error.c_str());
+        return 1;
+      case sim::DatasetFlagResult::kNotDatasetFlag:
+        break;
+    }
     if (ParseFlag(arg, "--help", &value)) {
       PrintUsage();
       return 0;
@@ -104,51 +122,71 @@ int main(int argc, char** argv) {
       options.retry_after_ms = static_cast<uint32_t>(std::atoi(value.c_str()));
     } else if (ParseFlag(arg, "--run-seconds", &value)) {
       run_seconds = std::atoi(value.c_str());
-    } else if (ParseFlag(arg, "--params", &value)) {
-      if (value == "la") {
-        config.params = sim::LosAngelesCity();
-      } else if (value == "suburbia") {
-        config.params = sim::SyntheticSuburbia();
-      } else if (value == "riverside") {
-        config.params = sim::RiversideCounty();
-      } else {
-        std::fprintf(stderr, "unknown --params value: %s\n", value.c_str());
+    } else if (ParseFlag(arg, "--store", &value)) {
+      store_path = value;
+    } else if (ParseFlag(arg, "--pool-pages", &value)) {
+      pool_pages = static_cast<size_t>(std::atoll(value.c_str()));
+      if (pool_pages < 1) {
+        std::fprintf(stderr, "--pool-pages must be >= 1\n");
         return 1;
       }
-    } else if (ParseFlag(arg, "--world", &value)) {
-      config.world_side_mi = std::atof(value.c_str());
-    } else if (ParseFlag(arg, "--seed", &value)) {
-      config.seed = static_cast<uint64_t>(std::atoll(value.c_str()));
-    } else if (ParseFlag(arg, "--shards", &value)) {
-      config.shards = std::atoi(value.c_str());
-    } else if (ParseFlag(arg, "--k", &value)) {
-      config.params.knn_k = std::atof(value.c_str());
-    } else if (ParseFlag(arg, "--no-filtering", &value)) {
-      config.use_filtering = false;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg);
       PrintUsage();
       return 1;
     }
   }
+  spec.Validate();
 
-  // The simulator's deterministic POI stream: same seed, same world, same
-  // POIs — the foundation of the lbsq_load digest check.
-  const geom::Rect world{0.0, 0.0, config.world_side_mi,
-                         config.world_side_mi};
-  Rng poi_rng(DeriveStreamSeed(config.seed, sim::kStreamPois));
-  std::vector<spatial::Poi> pois =
-      spatial::GenerateUniformPois(&poi_rng, world, config.ScaledPoiCount());
+  sim::SimConfig config;
+  spec.ApplyTo(&config);
+  const geom::Rect world{0.0, 0.0, spec.world_side_mi, spec.world_side_mi};
+  storage::SystemBuilder builder(world, config.broadcast);
+  builder.SetOptions(sim::EngineOptionsFromConfig(config))
+      .SetShards(spec.shards)
+      .SetDatasetTag(spec.Digest());
+
+  std::unique_ptr<storage::FileStorageManager> store;
+  std::unique_ptr<storage::BufferPool> pool;
+  std::unique_ptr<core::ShardedQueryEngine> engine;
+  if (!store_path.empty()) {
+    // Cold start from the persisted store: decode pages through the buffer
+    // pool instead of regenerating POIs and re-running the Hilbert build.
+    // The store header must name exactly this deployment.
+    storage::OpenStatus status = storage::OpenStatus::kOk;
+    store = storage::FileStorageManager::Open(store_path, &status);
+    if (store == nullptr) {
+      std::fprintf(stderr, "FATAL: cannot open store '%s': %s\n",
+                   store_path.c_str(), storage::OpenStatusName(status));
+      return 1;
+    }
+    pool = std::make_unique<storage::BufferPool>(store.get(), pool_pages);
+    engine = builder.OpenFromStore(*store, pool.get(), &status);
+    if (engine == nullptr) {
+      std::fprintf(stderr, "FATAL: store '%s' rejected: %s\n",
+                   store_path.c_str(), storage::OpenStatusName(status));
+      return 1;
+    }
+    std::printf(
+        "store: %s (%lld pages, pool %zu pages, "
+        "hits/misses/evictions %llu/%llu/%llu)\n",
+        store_path.c_str(), static_cast<long long>(store->page_count()),
+        pool->capacity(), static_cast<unsigned long long>(pool->hits()),
+        static_cast<unsigned long long>(pool->misses()),
+        static_cast<unsigned long long>(pool->evictions()));
+  } else {
+    // The simulator's deterministic POI stream: same seed, same world, same
+    // POIs — the foundation of the lbsq_load digest check.
+    Rng poi_rng(DeriveStreamSeed(spec.seed, sim::kStreamPois));
+    std::vector<spatial::Poi> pois = spatial::GenerateUniformPois(
+        &poi_rng, world, config.ScaledPoiCount());
+    engine = builder.BuildFromPois(std::move(pois));
+  }
   std::printf("dataset: %zu POIs, world %.1f mi, %d shard(s), seed %llu\n",
-              pois.size(), config.world_side_mi, config.shards,
-              static_cast<unsigned long long>(config.seed));
+              engine->total_pois(), spec.world_side_mi, spec.shards,
+              static_cast<unsigned long long>(spec.seed));
 
-  const core::ShardedQueryEngine engine(std::move(pois), world,
-                                        config.broadcast,
-                                        sim::EngineOptionsFromConfig(config),
-                                        config.shards);
-
-  server::Server server(engine, /*epoch=*/0, options);
+  server::Server server(*engine, /*epoch=*/0, options);
   std::string error;
   if (!server.Start(&error)) {
     std::fprintf(stderr, "FATAL: %s\n", error.c_str());
@@ -193,5 +231,15 @@ int main(int argc, char** argv) {
 
   lbsq::MetricsRegistry registry;
   server.ExportMetrics(&registry);
+  if (pool != nullptr) {
+    pool->ExportMetrics(&registry);
+    std::printf(
+        "storage pool            : %lld hits / %lld misses / %lld "
+        "evictions (%.1f%% hit ratio)\n",
+        static_cast<long long>(registry.counter("storage.pool_hits")),
+        static_cast<long long>(registry.counter("storage.pool_misses")),
+        static_cast<long long>(registry.counter("storage.pool_evictions")),
+        pool->HitRatio() * 100.0);
+  }
   return 0;
 }

@@ -27,6 +27,7 @@
 #include "common/metrics_registry.h"
 #include "common/observability.h"
 #include "sim/config.h"
+#include "sim/dataset.h"
 #include "sim/parallel_simulator.h"
 #include "sim/simulator.h"
 
@@ -100,20 +101,18 @@ bool WriteTextFile(const std::string& path, const std::string& content) {
 void PrintUsage() {
   std::printf(
       "usage: lbsq_sim [options]\n"
-      "  --params=la|suburbia|riverside   Table 3 parameter set (la)\n"
+      "dataset flags (shared with lbsq_server / lbsq_store_build):\n"
+      "%s"
+      "other options:\n"
       "  --query=knn|window               query type (knn)\n"
-      "  --world=<miles>                  world side (3.0; 20 = full scale)\n"
       "  --warmup=<min> --duration=<min>  run lengths (45 / 30)\n"
-      "  --tx=<meters>                    transmission range override\n"
-      "  --csize=<pois>                   cache capacity override\n"
-      "  --k=<mean>                       mean kNN k override\n"
-      "  --window-pct=<pct>               mean window size override\n"
-      "  --mobility=waypoint|manhattan    mobility model (waypoint)\n"
+      "  --mobility=waypoint|manhattan    mobility model (waypoint)\n",
+      sim::DatasetFlagsHelp());
+  std::printf(
       "  --hops=<n>                       peer-discovery hops (1)\n"
       "  --policy=sound|collective        cache overflow policy (sound)\n"
       "  --paper-window-geometry          hold the paper's absolute window\n"
       "                                   geometry in scaled worlds\n"
-      "  --no-filtering                   disable \xc2\xa7" "3.3.3 data filtering\n"
       "  --no-approximate                 reject approximate kNN answers\n"
       "  --index=flat|tree                air-index organization (flat)\n"
       "  --check                          oracle-check every answer (slow)\n"
@@ -131,12 +130,6 @@ void PrintUsage() {
       "                                   are bitwise identical at every n\n"
       "  --epoch=<events>                 events per parallel epoch (32);\n"
       "                                   1 = sequential-engine semantics\n"
-      "  --shards=<n>                     Hilbert-range broadcast channels\n"
-      "                                   (1); exact answers are invariant\n"
-      "                                   across shard counts — pair with\n"
-      "                                   --no-approximate for an identical\n"
-      "                                   answer digest at any n\n"
-      "  --seed=<n>                       RNG seed (1)\n"
       "fault injection (all off by default; off = byte-identical output):\n"
       "  --fault-loss=<p>                 iid reception loss probability\n"
       "  --fault-burst-loss=<p>           Gilbert-Elliott bad-state loss\n"
@@ -180,9 +173,8 @@ bool ParseFlag(const char* arg, const char* name, std::string* value) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  sim::DatasetSpec spec;
   sim::SimConfig config;
-  config.params = sim::LosAngelesCity();
-  config.world_side_mi = 3.0;
   config.warmup_min = 45.0;
   config.duration_min = 30.0;
   std::string save_trace_path;
@@ -197,18 +189,17 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string value;
     const char* arg = argv[i];
-    if (ParseFlag(arg, "--params", &value)) {
-      if (value == "la") {
-        config.params = sim::LosAngelesCity();
-      } else if (value == "suburbia") {
-        config.params = sim::SyntheticSuburbia();
-      } else if (value == "riverside") {
-        config.params = sim::RiversideCounty();
-      } else {
-        std::fprintf(stderr, "unknown parameter set '%s'\n", value.c_str());
+    std::string spec_error;
+    switch (sim::ParseDatasetFlag(arg, &spec, &spec_error)) {
+      case sim::DatasetFlagResult::kParsed:
+        continue;
+      case sim::DatasetFlagResult::kError:
+        std::fprintf(stderr, "%s\n", spec_error.c_str());
         return 2;
-      }
-    } else if (ParseFlag(arg, "--query", &value)) {
+      case sim::DatasetFlagResult::kNotDatasetFlag:
+        break;
+    }
+    if (ParseFlag(arg, "--query", &value)) {
       if (value == "knn") {
         config.query_type = sim::QueryType::kKnn;
       } else if (value == "window") {
@@ -217,20 +208,10 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "unknown query type '%s'\n", value.c_str());
         return 2;
       }
-    } else if (ParseFlag(arg, "--world", &value)) {
-      config.world_side_mi = std::atof(value.c_str());
     } else if (ParseFlag(arg, "--warmup", &value)) {
       config.warmup_min = std::atof(value.c_str());
     } else if (ParseFlag(arg, "--duration", &value)) {
       config.duration_min = std::atof(value.c_str());
-    } else if (ParseFlag(arg, "--tx", &value)) {
-      config.params.tx_range_m = std::atof(value.c_str());
-    } else if (ParseFlag(arg, "--csize", &value)) {
-      config.params.csize = std::atoi(value.c_str());
-    } else if (ParseFlag(arg, "--k", &value)) {
-      config.params.knn_k = std::atof(value.c_str());
-    } else if (ParseFlag(arg, "--window-pct", &value)) {
-      config.params.window_pct = std::atof(value.c_str());
     } else if (ParseFlag(arg, "--mobility", &value)) {
       if (value == "waypoint") {
         config.mobility = sim::MobilityType::kRandomWaypoint;
@@ -253,8 +234,6 @@ int main(int argc, char** argv) {
       }
     } else if (ParseFlag(arg, "--paper-window-geometry", &value)) {
       config.paper_window_geometry = true;
-    } else if (ParseFlag(arg, "--no-filtering", &value)) {
-      config.use_filtering = false;
     } else if (ParseFlag(arg, "--no-approximate", &value)) {
       config.accept_approximate = false;
     } else if (ParseFlag(arg, "--check", &value)) {
@@ -290,12 +269,6 @@ int main(int argc, char** argv) {
       config.events_per_epoch = std::atoi(value.c_str());
       if (config.events_per_epoch < 1) {
         std::fprintf(stderr, "--epoch must be >= 1\n");
-        return 2;
-      }
-    } else if (ParseFlag(arg, "--shards", &value)) {
-      config.shards = std::atoi(value.c_str());
-      if (config.shards < 1) {
-        std::fprintf(stderr, "--shards must be >= 1\n");
         return 2;
       }
     } else if (ParseFlag(arg, "--fault-loss", &value)) {
@@ -336,8 +309,6 @@ int main(int argc, char** argv) {
       config.updates.moves_per_batch = std::atoi(value.c_str());
     } else if (ParseFlag(arg, "--update-move-radius", &value)) {
       config.updates.move_radius_mi = std::atof(value.c_str());
-    } else if (ParseFlag(arg, "--seed", &value)) {
-      config.seed = static_cast<uint64_t>(std::atoll(value.c_str()));
     } else if (std::strcmp(arg, "--help") == 0 ||
                std::strcmp(arg, "-h") == 0) {
       PrintUsage();
@@ -348,6 +319,8 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+
+  spec.ApplyTo(&config);
 
   if (burst) {
     if (burst_len < 1.0 || burst_frac <= 0.0 || burst_frac >= 1.0) {
