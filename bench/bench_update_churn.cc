@@ -1,4 +1,5 @@
-// Query throughput and allocation behavior under dynamic-world churn.
+// Query throughput, publication latency, and allocation behavior under
+// dynamic-world churn.
 //
 // Runs the Table 3 Los Angeles City workload (2750 POIs, 20 x 20 mi,
 // k = 5, 3% windows, 30% of queries carrying peer data) through a
@@ -10,24 +11,43 @@
 //   heavy    : one batch per 25 queries.
 //
 // For each setting it reports queries/s (epoch rebuilds included), epochs
-// published, and the peer-region revalidation counts. When built with
-// LBSQ_COUNT_ALLOCS (the default outside sanitizer builds) it also counts
-// heap allocations per steady-state query and exits 1 unless that count is
-// ZERO: churn must not cost the query path its zero-allocation property.
+// published, and the peer-region revalidation counts. The heavy row is run
+// twice — once on the diff-aware incremental publication path (PatchFrom)
+// and once with RebuildPolicy::force_full — and the bench reports per-epoch
+// publish latency (p50/p99), publication throughput (epochs/s), and the
+// incremental-vs-full publish speedup. A default batch nets ~7 dirty file
+// positions against 2750 POIs (~0.25% churn), squarely in the regime the
+// incremental path is built for.
+//
+// When built with LBSQ_COUNT_ALLOCS (the default outside sanitizer builds)
+// it also counts heap allocations per steady-state query and exits 1 unless
+// that count is ZERO: churn must not cost the query path its
+// zero-allocation property.
 //
 // "Steady state" is per epoch: an epoch publication rebinds the workspace
 // memo (covers of the old world are gone with the old system), so each
 // inter-update chunk of the workload runs twice — once uncounted to warm
-// the fresh memo and the outcome buffers, then measured. The marginal cost
-// of a query on a warm epoch must be allocation-free; the warm-up work is
-// charged to the epoch switch, exactly like the rebuild itself.
+// the fresh epoch's memo and the outcome buffers, then measured. The
+// marginal cost of a query on a warm epoch must be allocation-free; the
+// warm-up work is charged to the epoch switch, exactly like the rebuild
+// itself.
 //
-// Run:  ./build/bench/bench_update_churn
+// Writes the results to BENCH_churn.json (see --out). With --baseline=<file>
+// it instead gates: the measured incremental-vs-full speedup must be at
+// least 3x absolutely AND must not have regressed more than --max-regression
+// (default 0.25) below the checked-in baseline's. The speedup is a ratio of
+// two timings on the same machine, so the check transfers across hardware.
+//
+// Run:  ./build/bench/bench_update_churn [--out=BENCH_churn.json]
+//       ./build/bench/bench_update_churn --baseline=BENCH_churn.json
 // Env:  LBSQ_BENCH_FAST=1  - smaller workload for smoke testing.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "alloc_counter.h"
@@ -36,6 +56,7 @@
 #include "core/query_engine.h"
 #include "core/query_workspace.h"
 #include "dynamic/dynamic_engine.h"
+#include "dynamic/rebuild_policy.h"
 #include "dynamic/world_versioner.h"
 #include "geom/rect.h"
 #include "sim/config.h"
@@ -50,6 +71,7 @@ constexpr double kWorldSide = 20.0;  // Table 3: 20 x 20 mi service area
 constexpr int kPoiNumber = 2750;     // Table 3: Los Angeles City
 constexpr int kKnnK = 5;             // Table 3: default k
 constexpr double kWindowPct = 3.0;   // Table 3: window = 3% of the world
+constexpr int kHeavyInterval = 25;   // heavy churn: one batch per 25 queries
 
 bool FastMode() {
   const char* fast = std::getenv("LBSQ_BENCH_FAST");
@@ -119,6 +141,10 @@ struct ChurnRow {
   int64_t rejected = 0;
   int64_t steady_allocs = 0;
   int64_t steady_queries = 0;
+  // Per-epoch publication latency (Apply wall time), milliseconds.
+  std::vector<double> publish_ms;
+  double publish_seconds = 0.0;
+  dynamic::PublicationStats publication;
 };
 
 double SecondsSince(std::chrono::steady_clock::time_point start) {
@@ -127,17 +153,28 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const size_t rank = static_cast<size_t>(p * static_cast<double>(v.size()));
+  return v[std::min(rank, v.size() - 1)];
+}
+
 // One run over the workload on a fresh versioner, chunked at the update
-// interval: apply the batch (timed — rebuilds are part of the churn cost),
-// warm the fresh epoch's memo with an uncounted pass over the chunk, then
-// execute the chunk measured.
-ChurnRow RunChurn(const char* name, int interval,
+// interval: apply the batch (timed — publications are part of the churn
+// cost, and each Apply's wall time is recorded as one publish-latency
+// sample), warm the fresh epoch's memo with an uncounted pass over the
+// chunk, then execute the chunk measured.
+ChurnRow RunChurn(const char* name, int interval, bool force_full,
                   const std::vector<spatial::Poi>& pois,
                   const ChurnWorkload& workload) {
   const std::vector<core::QueryRequest>& requests = workload.requests;
   const geom::Rect world{0.0, 0.0, kWorldSide, kWorldSide};
   dynamic::WorldVersioner versioner(pois, world, broadcast::BroadcastParams{},
                                     core::EngineOptions{});
+  dynamic::RebuildPolicy policy;
+  policy.force_full = force_full;
+  versioner.set_rebuild_policy(policy);
   dynamic::DynamicQueryEngine engine(versioner);
   const int64_t base_insert_id = sim::FirstInsertId(pois);
   sim::UpdateWorkloadConfig update_config;
@@ -168,11 +205,15 @@ ChurnRow RunChurn(const char* name, int interval,
       end = std::min(n, (begin / step + 1) * step);
       if (begin > 0 && begin % step == 0) {
         ++batch_index;
-        const auto start = std::chrono::steady_clock::now();
-        versioner.Apply(sim::GenerateUpdateBatch(
+        const std::vector<dynamic::PoiUpdate> batch = sim::GenerateUpdateBatch(
             update_config, /*seed=*/29, batch_index,
-            versioner.Current()->pois, world, base_insert_id));
-        seconds += SecondsSince(start);
+            versioner.Current()->pois, world, base_insert_id);
+        const auto start = std::chrono::steady_clock::now();
+        versioner.Apply(batch);
+        const double s = SecondsSince(start);
+        row.publish_ms.push_back(s * 1e3);
+        row.publish_seconds += s;
+        seconds += s;
       }
     }
     for (size_t i = begin; i < end; ++i) {
@@ -194,10 +235,91 @@ ChurnRow RunChurn(const char* name, int interval,
   row.revalidated = stats.revalidated;
   row.rejected = stats.rejected;
   row.epochs = versioner.latest_epoch();
+  row.publication = versioner.publication_stats();
   return row;
 }
 
-int Run() {
+struct BenchResult {
+  int n_queries = 0;
+  std::vector<ChurnRow> rows;  // off, sparse, heavy (incremental policy)
+  ChurnRow heavy_full;         // heavy rerun with RebuildPolicy::force_full
+  double inc_p50_ms = 0.0;
+  double inc_p99_ms = 0.0;
+  double full_p50_ms = 0.0;
+  double full_p99_ms = 0.0;
+  double inc_epochs_per_sec = 0.0;
+  double speedup = 0.0;  // full publish time / incremental publish time
+};
+
+void WriteJson(const BenchResult& r, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "FATAL: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  const ChurnRow& heavy = r.rows.back();
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"bench_update_churn\",\n"
+               "  \"workload\": {\n"
+               "    \"parameter_set\": \"Los Angeles City\",\n"
+               "    \"poi_number\": %d,\n"
+               "    \"world_side_mi\": %.1f,\n"
+               "    \"knn_k\": %d,\n"
+               "    \"window_pct\": %.1f,\n"
+               "    \"n_queries\": %d,\n"
+               "    \"heavy_interval\": %d\n"
+               "  },\n",
+               kPoiNumber, kWorldSide, kKnnK, kWindowPct, r.n_queries,
+               kHeavyInterval);
+  for (const ChurnRow& row : r.rows) {
+    std::fprintf(f, "  \"%s_qps\": %.1f,\n", row.name, row.qps);
+  }
+  std::fprintf(
+      f,
+      "  \"heavy_epochs\": %llu,\n"
+      "  \"heavy_epochs_patched\": %lld,\n"
+      "  \"heavy_full_rebuild_fallbacks\": %lld,\n"
+      "  \"heavy_buckets_patched\": %lld,\n"
+      "  \"heavy_buckets_shared\": %lld,\n"
+      "  \"incremental_publish_p50_ms\": %.4f,\n"
+      "  \"incremental_publish_p99_ms\": %.4f,\n"
+      "  \"incremental_epochs_per_sec\": %.1f,\n"
+      "  \"full_publish_p50_ms\": %.4f,\n"
+      "  \"full_publish_p99_ms\": %.4f,\n"
+      "  \"incremental_vs_full_speedup\": %.4f,\n"
+      "  \"alloc_counting\": %s\n"
+      "}\n",
+      static_cast<unsigned long long>(heavy.epochs),
+      static_cast<long long>(heavy.publication.epochs_patched),
+      static_cast<long long>(heavy.publication.full_rebuild_fallbacks),
+      static_cast<long long>(heavy.publication.buckets_patched),
+      static_cast<long long>(heavy.publication.buckets_shared),
+      r.inc_p50_ms, r.inc_p99_ms, r.inc_epochs_per_sec, r.full_p50_ms,
+      r.full_p99_ms, r.speedup, kAllocCountingEnabled ? "true" : "false");
+  std::fclose(f);
+}
+
+// Pulls `"key": <number>` out of a flat JSON file. Enough for our own
+// output format; no external JSON dependency.
+bool ReadJsonNumber(const std::string& path, const std::string& key,
+                    double* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  const std::string needle = "\"" + key + "\":";
+  const size_t pos = text.find(needle);
+  if (pos == std::string::npos) return false;
+  *out = std::strtod(text.c_str() + pos + needle.size(), nullptr);
+  return true;
+}
+
+int Run(const std::string& out_path, const std::string& baseline_path,
+        double max_regression) {
   const geom::Rect world{0.0, 0.0, kWorldSide, kWorldSide};
   Rng rng(7);
   const std::vector<spatial::Poi> pois =
@@ -206,25 +328,26 @@ int Run() {
       storage::SystemBuilder(world, broadcast::BroadcastParams{})
           .BuildSystemFromPois(pois);
   const broadcast::BroadcastSystem& system = *system_ptr;
-  const int n = FastMode() ? 300 : 1500;
-  const ChurnWorkload workload = MakeWorkload(system, n, /*seed=*/13);
+  BenchResult result;
+  result.n_queries = FastMode() ? 300 : 1500;
+  const ChurnWorkload workload =
+      MakeWorkload(system, result.n_queries, /*seed=*/13);
 
   std::printf("update churn bench: %d queries, %d POIs, alloc counting %s\n",
-              n, kPoiNumber, kAllocCountingEnabled ? "on" : "off");
-  std::printf("%-8s %10s %8s %12s %10s %16s\n", "churn", "qps", "epochs",
-              "revalidated", "rejected", "allocs/query");
+              result.n_queries, kPoiNumber,
+              kAllocCountingEnabled ? "on" : "off");
+  std::printf("%-12s %10s %8s %8s %12s %10s %16s\n", "churn", "qps", "epochs",
+              "patched", "revalidated", "rejected", "allocs/query");
 
   bool ok = true;
-  for (const auto& [name, interval] :
-       {std::pair<const char*, int>{"off", 0}, {"sparse", 100},
-        {"heavy", 25}}) {
-    const ChurnRow row = RunChurn(name, interval, pois, workload);
+  const auto print_row = [&ok](const ChurnRow& row) {
     const double allocs_per_query =
         row.steady_queries > 0
             ? static_cast<double>(row.steady_allocs) / row.steady_queries
             : 0.0;
-    std::printf("%-8s %10.0f %8llu %12lld %10lld %16.4f\n", row.name, row.qps,
-                static_cast<unsigned long long>(row.epochs),
+    std::printf("%-12s %10.0f %8llu %8lld %12lld %10lld %16.4f\n", row.name,
+                row.qps, static_cast<unsigned long long>(row.epochs),
+                static_cast<long long>(row.publication.epochs_patched),
                 static_cast<long long>(row.revalidated),
                 static_cast<long long>(row.rejected), allocs_per_query);
     if (kAllocCountingEnabled && row.steady_allocs != 0) {
@@ -235,11 +358,132 @@ int Run() {
                    static_cast<long long>(row.steady_queries));
       ok = false;
     }
+  };
+
+  for (const auto& [name, interval] :
+       {std::pair<const char*, int>{"off", 0}, {"sparse", 100}}) {
+    result.rows.push_back(
+        RunChurn(name, interval, /*force_full=*/false, pois, workload));
+    print_row(result.rows.back());
   }
-  return ok ? 0 : 1;
+  // The two timed heavy passes run best-of-R (keyed on the median publish
+  // latency) so one noisy process slice cannot tilt the gated speedup. The
+  // full-rebuild pass sees the same update batches: publication is
+  // state-identical either way, so the batch sequence is too — only the
+  // per-epoch cost differs.
+  const int heavy_reps = FastMode() ? 1 : 2;
+  const auto best_of = [&](const char* name, bool force_full) {
+    ChurnRow best;
+    double best_p50 = 1e300;
+    for (int rep = 0; rep < heavy_reps; ++rep) {
+      ChurnRow row =
+          RunChurn(name, kHeavyInterval, force_full, pois, workload);
+      const double p50 = Percentile(row.publish_ms, 0.50);
+      if (p50 < best_p50) {
+        best_p50 = p50;
+        best = std::move(row);
+      }
+    }
+    return best;
+  };
+  result.rows.push_back(best_of("heavy", /*force_full=*/false));
+  print_row(result.rows.back());
+  result.heavy_full = best_of("heavy-full", /*force_full=*/true);
+  print_row(result.heavy_full);
+
+  const ChurnRow& heavy = result.rows.back();
+  result.inc_p50_ms = Percentile(heavy.publish_ms, 0.50);
+  result.inc_p99_ms = Percentile(heavy.publish_ms, 0.99);
+  result.full_p50_ms = Percentile(result.heavy_full.publish_ms, 0.50);
+  result.full_p99_ms = Percentile(result.heavy_full.publish_ms, 0.99);
+  result.inc_epochs_per_sec =
+      heavy.publish_seconds > 0.0
+          ? static_cast<double>(heavy.publish_ms.size()) /
+                heavy.publish_seconds
+          : 0.0;
+  // Median-over-median: one scheduler blip in 59 publish samples would skew
+  // a totals ratio, so the gated speedup compares the typical epoch instead.
+  result.speedup =
+      result.inc_p50_ms > 0.0 ? result.full_p50_ms / result.inc_p50_ms : 0.0;
+
+  std::printf("heavy-churn epoch publication (%zu epochs):\n",
+              heavy.publish_ms.size());
+  std::printf("  incremental publish : p50 %8.3f ms, p99 %8.3f ms "
+              "(%.0f epochs/s)\n",
+              result.inc_p50_ms, result.inc_p99_ms, result.inc_epochs_per_sec);
+  std::printf("  full-rebuild publish: p50 %8.3f ms, p99 %8.3f ms\n",
+              result.full_p50_ms, result.full_p99_ms);
+  std::printf("  incremental speedup : %10.2fx\n", result.speedup);
+  std::printf("  buckets patched/shared: %lld / %lld, fallbacks: %lld\n",
+              static_cast<long long>(heavy.publication.buckets_patched),
+              static_cast<long long>(heavy.publication.buckets_shared),
+              static_cast<long long>(
+                  heavy.publication.full_rebuild_fallbacks));
+
+  if (!ok) return 1;
+
+  if (!baseline_path.empty()) {
+    // Absolute gate first: the acceptance bar for the incremental path.
+    constexpr double kAbsoluteFloor = 3.0;
+    if (result.speedup < kAbsoluteFloor) {
+      std::fprintf(stderr,
+                   "FAIL: incremental publish speedup %.2fx is below the "
+                   "%.1fx absolute floor\n",
+                   result.speedup, kAbsoluteFloor);
+      return 1;
+    }
+    double baseline_speedup = 0.0;
+    if (!ReadJsonNumber(baseline_path, "incremental_vs_full_speedup",
+                        &baseline_speedup) ||
+        baseline_speedup <= 0.0) {
+      std::fprintf(stderr,
+                   "FAIL: no usable \"incremental_vs_full_speedup\" in "
+                   "baseline %s\n",
+                   baseline_path.c_str());
+      return 1;
+    }
+    const double floor = baseline_speedup * (1.0 - max_regression);
+    std::printf("  baseline speedup    : %10.2fx (floor %.2fx at %.0f%% "
+                "tolerance)\n",
+                baseline_speedup, floor, max_regression * 100.0);
+    if (result.speedup < floor) {
+      std::fprintf(stderr,
+                   "FAIL: incremental publish speedup %.2fx regressed more "
+                   "than %.0f%% below baseline %.2fx\n",
+                   result.speedup, max_regression * 100.0, baseline_speedup);
+      return 1;
+    }
+    std::printf("  perf check          : OK\n");
+    return 0;
+  }
+
+  WriteJson(result, out_path);
+  std::printf("  wrote %s\n", out_path.c_str());
+  return 0;
 }
 
 }  // namespace
 }  // namespace lbsq::bench
 
-int main() { return lbsq::bench::Run(); }
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_churn.json";
+  std::string baseline_path;
+  double max_regression = 0.25;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(11);
+    } else if (arg.rfind("--max-regression=", 0) == 0) {
+      max_regression = std::strtod(arg.c_str() + 17, nullptr);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--out=FILE] [--baseline=FILE] "
+                   "[--max-regression=FRAC]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  return lbsq::bench::Run(out_path, baseline_path, max_regression);
+}

@@ -42,6 +42,31 @@ AirIndex::AirIndex(const std::vector<DataBucket>& buckets,
   }
 }
 
+AirIndex::AirIndex(std::vector<Entry> entries,
+                   std::vector<hilbert::IndexRange> bucket_ranges,
+                   std::vector<double> center_xs,
+                   std::vector<double> center_ys, double half_cell_diagonal,
+                   const hilbert::HilbertGrid& grid, int entries_per_bucket)
+    : grid_(&grid),
+      entries_per_bucket_(entries_per_bucket),
+      entries_(std::move(entries)),
+      bucket_ranges_(std::move(bucket_ranges)),
+      center_xs_(std::move(center_xs)),
+      center_ys_(std::move(center_ys)),
+      half_cell_diagonal_(half_cell_diagonal) {
+  LBSQ_CHECK(entries_per_bucket_ >= 1);
+  LBSQ_CHECK(center_xs_.size() == entries_.size());
+  LBSQ_CHECK(center_ys_.size() == entries_.size());
+  // Same ordering contracts as the building constructor: the patch path
+  // must hand over a directory indistinguishable from a cold build.
+  for (size_t i = 1; i < entries_.size(); ++i) {
+    LBSQ_CHECK(entries_[i - 1].hilbert <= entries_[i].hilbert);
+  }
+  for (size_t i = 1; i < bucket_ranges_.size(); ++i) {
+    LBSQ_CHECK(bucket_ranges_[i - 1].lo <= bucket_ranges_[i].lo);
+  }
+}
+
 int64_t AirIndex::SizeInBuckets() const {
   const int64_t n = static_cast<int64_t>(entries_.size());
   return std::max<int64_t>(1, (n + entries_per_bucket_ - 1) /

@@ -31,8 +31,32 @@ class AirIndex {
   AirIndex(const std::vector<DataBucket>& buckets,
            const hilbert::HilbertGrid& grid, int entries_per_bucket);
 
+  /// Reassembles the directory from precomputed parts — the incremental
+  /// patch path, which copies every clean bucket's entry run and center row
+  /// from the previous epoch's index. The parts must be exactly what the
+  /// building constructor would produce for the same data file (the sorted-
+  /// entries and sorted-ranges contracts are still checked).
+  AirIndex(std::vector<Entry> entries,
+           std::vector<hilbert::IndexRange> bucket_ranges,
+           std::vector<double> center_xs, std::vector<double> center_ys,
+           double half_cell_diagonal, const hilbert::HilbertGrid& grid,
+           int entries_per_bucket);
+
   /// All entries, sorted by (hilbert, bucket).
   const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Per bucket: the covered curve range [hilbert_lo, hilbert_hi],
+  /// ascending by bucket id.
+  const std::vector<hilbert::IndexRange>& bucket_ranges() const {
+    return bucket_ranges_;
+  }
+
+  /// The SoA cell-center columns, parallel to entries() (the incremental
+  /// patch path copies clean rows from these; also handy for tests).
+  const std::vector<double>& center_xs() const { return center_xs_; }
+  const std::vector<double>& center_ys() const { return center_ys_; }
+  /// Half a grid-cell diagonal (the KthDistanceUpperBound slack term).
+  double half_cell_diagonal() const { return half_cell_diagonal_; }
 
   /// Size of the serialized index in buckets (>= 1).
   int64_t SizeInBuckets() const;

@@ -1,0 +1,274 @@
+#include "broadcast/incremental.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "broadcast/system.h"
+#include "common/check.h"
+
+/// \file
+/// BroadcastSystem::PatchFrom — the diff-aware epoch rebuild.
+///
+/// The data file is the POI set sorted by (hilbert, id) and chunked into
+/// fixed-capacity buckets, so bucket k always covers file positions
+/// [k*cap, (k+1)*cap). The base file never needs re-encoding: position p's
+/// sort key is (base entry p's hilbert, base bucket POI p's id), because the
+/// air index stores one entry per POI in file order. Patching is one
+/// provenance-tracked merge of (base file minus removals) with the
+/// (hilbert, id)-sorted additions: output position j remembers which base
+/// position (or which addition) produced it. Bucket k is *clean* exactly
+/// when every one of its output positions j came from base position j and
+/// the base bucket k has the same size — then its payload, entry run,
+/// center row, curve range, and id-sorted CSR run are copied verbatim.
+/// Dirty buckets are rebuilt from the merged stream; only *added* POIs ever
+/// pay a Hilbert encode + cell decode. Everything downstream (tree index,
+/// schedule) is recomputed from the patched directory — both are cheap
+/// relative to the global sort, and re-deriving them keeps the result
+/// bit-identical to a cold build by construction.
+
+namespace lbsq::broadcast {
+
+struct BroadcastSystem::PatchedParts {
+  std::vector<spatial::Poi> pois;
+  std::vector<DataBucket> buckets;
+  std::vector<AirIndex::Entry> entries;
+  std::vector<hilbert::IndexRange> bucket_ranges;
+  std::vector<double> center_xs;
+  std::vector<double> center_ys;
+  double half_cell_diagonal = 0.0;
+  std::vector<spatial::Poi> sorted_pois;
+  std::vector<size_t> sorted_start;
+};
+
+BroadcastSystem::BroadcastSystem(PatchedTag, PatchedParts parts,
+                                 const geom::Rect& world,
+                                 const BroadcastParams& params)
+    : params_(params),
+      pois_(std::move(parts.pois)),
+      grid_(world, params.hilbert_order, params.curve),
+      buckets_(std::move(parts.buckets)),
+      index_(std::move(parts.entries), std::move(parts.bucket_ranges),
+             std::move(parts.center_xs), std::move(parts.center_ys),
+             parts.half_cell_diagonal, grid_,
+             params.index_entries_per_bucket),
+      tree_index_(params.index_kind == IndexKind::kTree
+                      ? std::make_unique<TreeAirIndex>(
+                            index_.entries(), params.index_entries_per_bucket)
+                      : nullptr),
+      schedule_(static_cast<int64_t>(buckets_.size()), IndexSegmentBuckets(),
+                static_cast<int>(std::max<int64_t>(
+                    1, std::min<int64_t>(
+                           params.m, static_cast<int64_t>(buckets_.size())))),
+                params.epoch) {
+  // The FinishConstruction tail minus the per-bucket sorts: the CSR runs
+  // arrive prebuilt, only the epoch stamp is fresh.
+  for (DataBucket& bucket : buckets_) bucket.epoch = params_.epoch;
+  sorted_pois_ = std::move(parts.sorted_pois);
+  sorted_start_ = std::move(parts.sorted_start);
+}
+
+namespace {
+
+/// True when `params` describes the same channel organization as `base`
+/// (everything but the epoch label must agree for a patch to make sense).
+bool SameOrganization(const BroadcastParams& a, const BroadcastParams& b) {
+  return a.bucket_capacity == b.bucket_capacity &&
+         a.index_entries_per_bucket == b.index_entries_per_bucket &&
+         a.m == b.m && a.hilbert_order == b.hilbert_order &&
+         a.curve == b.curve && a.index_kind == b.index_kind;
+}
+
+struct KeyedAddition {
+  uint64_t hilbert = 0;
+  spatial::Poi poi;
+};
+
+}  // namespace
+
+std::unique_ptr<BroadcastSystem> BroadcastSystem::PatchFrom(
+    const BroadcastSystem& base, std::vector<spatial::Poi> pois,
+    const SystemDelta& delta, const BroadcastParams& params,
+    PatchStats* stats) {
+  // Structural decliners: the placeholder bucket of an empty file has no
+  // per-POI entries to merge against, and an empty successor would need
+  // one. Both are rare edges the caller full-builds (and counts).
+  if (base.pois_.empty() || pois.empty()) return nullptr;
+  if (!SameOrganization(base.params_, params)) return nullptr;
+
+  const hilbert::HilbertGrid& grid = base.grid_;
+  const std::vector<DataBucket>& old_buckets = base.buckets_;
+  const std::vector<AirIndex::Entry>& old_entries = base.index_.entries();
+  const std::vector<double>& old_cx = base.index_.center_xs();
+  const std::vector<double>& old_cy = base.index_.center_ys();
+  const size_t old_n = base.pois_.size();
+  const size_t cap = static_cast<size_t>(params.bucket_capacity);
+  LBSQ_CHECK_EQ(old_entries.size(), old_n);
+
+  // Base file position -> the POI stored there. Buckets are full cap-sized
+  // chunks (the last possibly short), so the split is pure arithmetic.
+  const auto old_poi = [&](size_t p) -> const spatial::Poi& {
+    return old_buckets[p / cap].pois[p % cap];
+  };
+
+  // Locate each removal on the base curve by binary search on the
+  // (hilbert, id) file order; the hilbert key comes from one encode of the
+  // removal's base-epoch position. A removal that misses the base file is a
+  // broken delta (the dynamic layer only logs applied updates).
+  std::vector<size_t> removed;
+  removed.reserve(delta.removals.size());
+  for (const PoiRemoval& r : delta.removals) {
+    const uint64_t h = grid.IndexOf(r.pos);
+    size_t lo = 0, hi = old_n;
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      const uint64_t mh = old_entries[mid].hilbert;
+      if (mh < h || (mh == h && old_poi(mid).id < r.id)) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    LBSQ_CHECK(lo < old_n);
+    LBSQ_CHECK(old_entries[lo].hilbert == h && old_poi(lo).id == r.id);
+    removed.push_back(lo);
+  }
+  std::sort(removed.begin(), removed.end());
+
+  // Only additions pay the Hilbert encode; sort them into file order.
+  std::vector<KeyedAddition> adds;
+  adds.reserve(delta.additions.size());
+  for (const spatial::Poi& p : delta.additions) {
+    adds.push_back(KeyedAddition{grid.IndexOf(p.pos), p});
+  }
+  std::sort(adds.begin(), adds.end(),
+            [](const KeyedAddition& a, const KeyedAddition& b) {
+              if (a.hilbert != b.hilbert) return a.hilbert < b.hilbert;
+              return a.poi.id < b.poi.id;
+            });
+
+  const size_t new_n = old_n - removed.size() + adds.size();
+  LBSQ_CHECK_EQ(new_n, pois.size());
+  if (new_n == 0) return nullptr;
+
+  // Provenance merge: src[j] = base position (>= 0) or ~addition index.
+  std::vector<ptrdiff_t> src(new_n);
+  {
+    size_t p = 0, r = 0, a = 0, j = 0;
+    while (p < old_n || a < adds.size()) {
+      if (r < removed.size() && removed[r] == p) {
+        ++p;
+        ++r;
+        continue;
+      }
+      bool take_add;
+      if (p >= old_n) {
+        take_add = true;
+      } else if (a >= adds.size()) {
+        take_add = false;
+      } else {
+        const uint64_t oh = old_entries[p].hilbert;
+        take_add = adds[a].hilbert < oh ||
+                   (adds[a].hilbert == oh && adds[a].poi.id < old_poi(p).id);
+      }
+      src[j++] = take_add ? ~static_cast<ptrdiff_t>(a++)
+                          : static_cast<ptrdiff_t>(p++);
+    }
+    LBSQ_CHECK_EQ(j, new_n);
+  }
+
+  PatchedParts parts;
+  parts.pois = std::move(pois);
+  const size_t num_buckets = (new_n + cap - 1) / cap;
+  parts.buckets.reserve(num_buckets);
+  parts.entries.reserve(new_n);
+  parts.bucket_ranges.reserve(num_buckets);
+  parts.center_xs.reserve(new_n);
+  parts.center_ys.reserve(new_n);
+  parts.sorted_pois.reserve(new_n);
+  parts.sorted_start.reserve(num_buckets + 1);
+  parts.sorted_start.push_back(0);
+
+  for (size_t k = 0; k < num_buckets; ++k) {
+    const size_t lo = k * cap;
+    const size_t hi = std::min(lo + cap, new_n);
+    // Clean test: bucket k of the base covers exactly base positions
+    // [k*cap, k*cap + size), so identity provenance over [lo, hi) plus an
+    // equal base bucket size means byte-equality with the base bucket.
+    bool clean = k < old_buckets.size() &&
+                 old_buckets[k].pois.size() == hi - lo;
+    for (size_t j = lo; clean && j < hi; ++j) {
+      clean = src[j] == static_cast<ptrdiff_t>(j);
+    }
+    if (clean) {
+      parts.buckets.push_back(old_buckets[k]);
+      parts.entries.insert(parts.entries.end(), old_entries.begin() + lo,
+                           old_entries.begin() + hi);
+      parts.bucket_ranges.push_back(base.index_.bucket_ranges()[k]);
+      parts.center_xs.insert(parts.center_xs.end(), old_cx.begin() + lo,
+                             old_cx.begin() + hi);
+      parts.center_ys.insert(parts.center_ys.end(), old_cy.begin() + lo,
+                             old_cy.begin() + hi);
+      parts.sorted_pois.insert(
+          parts.sorted_pois.end(),
+          base.sorted_pois_.begin() + static_cast<ptrdiff_t>(lo),
+          base.sorted_pois_.begin() + static_cast<ptrdiff_t>(hi));
+      parts.sorted_start.push_back(parts.sorted_pois.size());
+      if (stats != nullptr) ++stats->buckets_shared;
+      continue;
+    }
+    DataBucket bucket;
+    bucket.id = static_cast<int64_t>(k);
+    for (size_t j = lo; j < hi; ++j) {
+      uint64_t h;
+      if (src[j] >= 0) {
+        const size_t p = static_cast<size_t>(src[j]);
+        h = old_entries[p].hilbert;
+        bucket.pois.push_back(old_poi(p));
+        parts.center_xs.push_back(old_cx[p]);
+        parts.center_ys.push_back(old_cy[p]);
+      } else {
+        const KeyedAddition& add = adds[static_cast<size_t>(~src[j])];
+        h = add.hilbert;
+        bucket.pois.push_back(add.poi);
+        const geom::Point center = grid.CellRect(h).center();
+        parts.center_xs.push_back(center.x);
+        parts.center_ys.push_back(center.y);
+      }
+      if (j == lo) bucket.hilbert_lo = h;
+      bucket.hilbert_hi = h;
+      bucket.mbr.Expand(bucket.pois.back().pos);
+      parts.entries.push_back(
+          AirIndex::Entry{h, static_cast<int64_t>(k)});
+    }
+    parts.bucket_ranges.push_back(
+        hilbert::IndexRange{bucket.hilbert_lo, bucket.hilbert_hi});
+    parts.sorted_pois.insert(parts.sorted_pois.end(), bucket.pois.begin(),
+                             bucket.pois.end());
+    std::sort(parts.sorted_pois.begin() +
+                  static_cast<ptrdiff_t>(parts.sorted_start.back()),
+              parts.sorted_pois.end(),
+              [](const spatial::Poi& a, const spatial::Poi& b) {
+                return a.id < b.id;
+              });
+    parts.sorted_start.push_back(parts.sorted_pois.size());
+    parts.buckets.push_back(std::move(bucket));
+    if (stats != nullptr) ++stats->buckets_patched;
+  }
+
+  // Identical derivation to the building AirIndex constructor (cell sizes
+  // are uniform, but recomputing from the first entry keeps the value
+  // bit-identical rather than merely equal).
+  {
+    const geom::Rect cell = grid.CellRect(parts.entries.front().hilbert);
+    parts.half_cell_diagonal = 0.5 * std::sqrt(cell.width() * cell.width() +
+                                               cell.height() * cell.height());
+  }
+
+  return std::unique_ptr<BroadcastSystem>(new BroadcastSystem(
+      PatchedTag{}, std::move(parts), grid.world(), params));
+}
+
+}  // namespace lbsq::broadcast

@@ -1,0 +1,58 @@
+#ifndef LBSQ_BROADCAST_INCREMENTAL_H_
+#define LBSQ_BROADCAST_INCREMENTAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/point.h"
+#include "spatial/poi.h"
+
+/// \file
+/// Diff-aware epoch publication: the vocabulary for patching a
+/// `BroadcastSystem` from its predecessor instead of rebuilding it from
+/// scratch. A `SystemDelta` is the *net* effect of one update batch against
+/// the base snapshot — one removal per POI that left its base position, one
+/// addition per POI live in the new snapshot at a position the base did not
+/// carry (a moved POI contributes one of each). `BroadcastSystem::PatchFrom`
+/// consumes the delta and rebucketizes only the curve ranges it dirtied;
+/// every clean bucket's payload, air-index entry run, cell-center row, and
+/// id-sorted CSR run is taken verbatim from the base, so the published
+/// system is bit-identical to a cold full build at a fraction of the cost.
+///
+/// The types live in `broadcast` (not `dynamic`) so the layering stays
+/// acyclic: the dynamic world derives deltas from its update batches and
+/// hands them down; the broadcast layer knows nothing about update logs.
+
+namespace lbsq::broadcast {
+
+/// One POI leaving the base snapshot. `pos` is the position the POI held in
+/// the *base* epoch (a delete's position, or a move's departure point) — it
+/// locates the POI on the base curve without re-deriving anything from the
+/// new snapshot.
+struct PoiRemoval {
+  geom::Point pos;
+  int64_t id = -1;
+};
+
+/// Net difference between the base snapshot and its successor. At most one
+/// removal and one addition per id.
+struct SystemDelta {
+  std::vector<PoiRemoval> removals;
+  std::vector<spatial::Poi> additions;
+
+  size_t size() const { return removals.size() + additions.size(); }
+  bool empty() const { return removals.empty() && additions.empty(); }
+};
+
+/// What one PatchFrom call did, for the publication counters.
+struct PatchStats {
+  /// Buckets rebuilt because the delta shifted or rewrote their content.
+  int64_t buckets_patched = 0;
+  /// Buckets copied verbatim from the base (payload, entry run, centers,
+  /// CSR run — no recomputation).
+  int64_t buckets_shared = 0;
+};
+
+}  // namespace lbsq::broadcast
+
+#endif  // LBSQ_BROADCAST_INCREMENTAL_H_

@@ -102,18 +102,22 @@ std::vector<spatial::Poi> BroadcastSystem::CollectPois(
 
 void BroadcastSystem::CollectPois(const std::vector<int64_t>& bucket_ids,
                                   std::vector<spatial::Poi>* out) const {
+  CollectScratch scratch;
+  CollectPois(bucket_ids, &scratch, out);
+}
+
+void BroadcastSystem::CollectPois(const std::vector<int64_t>& bucket_ids,
+                                  CollectScratch* scratch,
+                                  std::vector<spatial::Poi>* out) const {
   out->clear();
   // Buckets partition the database and each bucket's run in sorted_pois_ is
   // id-sorted, so the id-sorted deduplicated output is a k-way merge of the
   // runs named by the (canonicalized) bucket list — no per-call sort. The
-  // merge state is thread-local so the call stays allocation-free once the
-  // scratch has grown to its steady-state size.
-  struct Cursor {
-    const spatial::Poi* cur;
-    const spatial::Poi* end;
-  };
-  static thread_local std::vector<Cursor> runs;
-  static thread_local std::vector<int64_t> canonical;
+  // merge state lives in the caller's scratch, so the call is allocation-
+  // free once that scratch has grown to its steady-state size.
+  using Cursor = CollectScratch::Cursor;
+  std::vector<Cursor>& runs = scratch->runs;
+  std::vector<int64_t>& canonical = scratch->canonical;
   const int64_t* ids = bucket_ids.data();
   size_t num_ids = bucket_ids.size();
   if (!kernels::IsSortedUniqueI64(ids, num_ids)) {

@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "broadcast/air_index.h"
+#include "broadcast/incremental.h"
 #include "broadcast/packet.h"
 #include "broadcast/schedule.h"
 #include "broadcast/tree_index.h"
@@ -54,6 +55,21 @@ struct BroadcastParams {
   uint64_t epoch = 0;
 };
 
+/// Reusable merge state for `BroadcastSystem::CollectPois`: the k-way-merge
+/// cursor heap and the canonicalized bucket-id list. Owned by the caller —
+/// per-thread scratch like every other query buffer (`QueryWorkspace` holds
+/// one) — so the merge is allocation-free once the scratch has grown to its
+/// steady-state size and the capacity is visible to the alloc counter
+/// instead of hiding in function-local TLS.
+struct CollectScratch {
+  struct Cursor {
+    const spatial::Poi* cur = nullptr;
+    const spatial::Poi* end = nullptr;
+  };
+  std::vector<Cursor> runs;
+  std::vector<int64_t> canonical;
+};
+
 /// Immutable server state for one broadcast channel.
 class BroadcastSystem {
  public:
@@ -73,6 +89,24 @@ class BroadcastSystem {
 
   BroadcastSystem(const BroadcastSystem&) = delete;
   BroadcastSystem& operator=(const BroadcastSystem&) = delete;
+
+  /// Diff-aware epoch publication: builds the system for `pois` (the new
+  /// generation-order snapshot) by patching `base` with the net `delta`
+  /// instead of re-running the global Hilbert sort. Only buckets whose curve
+  /// range the delta dirtied (or shifted, via the fixed-capacity chunking)
+  /// are rebucketized; every clean bucket's payload, air-index entry run,
+  /// cell-center row, and id-sorted CSR run is copied verbatim from the
+  /// base. The result is **bit-identical** to
+  /// `BroadcastSystem(pois, world, params)` — same buckets, same index
+  /// entries, same schedule — which the incremental-rebuild property suite
+  /// CI-diffs. Returns null when patching does not apply (empty base or new
+  /// data set, or `params` disagreeing with the base's in anything but the
+  /// epoch) — the caller falls back to a full build and counts it.
+  /// Implemented in incremental.cc.
+  static std::unique_ptr<BroadcastSystem> PatchFrom(
+      const BroadcastSystem& base, std::vector<spatial::Poi> pois,
+      const SystemDelta& delta, const BroadcastParams& params,
+      PatchStats* stats);
 
   /// The full POI database (the ground truth oracles test against).
   const std::vector<spatial::Poi>& pois() const { return pois_; }
@@ -104,11 +138,30 @@ class BroadcastSystem {
       const std::vector<int64_t>& bucket_ids) const;
 
   /// Allocation-free variant: clears and fills `*out` (same content as the
-  /// returning overload; capacity is reused).
+  /// returning overload; capacity is reused) using `*scratch` for the merge
+  /// state. Steady-state query execution passes its workspace's scratch.
+  void CollectPois(const std::vector<int64_t>& bucket_ids,
+                   CollectScratch* scratch,
+                   std::vector<spatial::Poi>* out) const;
+
+  /// Convenience overload with transient merge scratch (allocates; the
+  /// modeled-client and test paths that do not carry a workspace).
   void CollectPois(const std::vector<int64_t>& bucket_ids,
                    std::vector<spatial::Poi>* out) const;
 
  private:
+  /// Precomputed state of a patched epoch (filled by PatchFrom; defined in
+  /// incremental.cc). The constructor below adopts it without recomputing.
+  struct PatchedParts;
+  /// Disambiguation tag: keeps the adopting constructor out of overload
+  /// resolution for brace-initialized POI lists.
+  struct PatchedTag {};
+
+  /// Adopts patched parts verbatim (the PatchFrom tail): no bucketization,
+  /// no index build, no per-bucket sort — just the epoch restamp and the
+  /// cheap schedule arithmetic.
+  BroadcastSystem(PatchedTag, PatchedParts parts, const geom::Rect& world,
+                  const BroadcastParams& params);
   /// Index segment size under the configured organization.
   int64_t IndexSegmentBuckets() const;
 

@@ -68,7 +68,8 @@ const std::vector<int64_t>& QueryWorkspace::RangeBuckets(
 const std::vector<spatial::Poi>& QueryWorkspace::SpanPois(
     const broadcast::BroadcastSystem& system, CoverEntry* entry) {
   if (!entry->have_span_pois) {
-    system.CollectPois(SpanBuckets(system, entry), &entry->span_pois);
+    system.CollectPois(SpanBuckets(system, entry), &collect_scratch,
+                       &entry->span_pois);
     entry->span_slab.Assign(entry->span_pois.data(), entry->span_pois.size());
     entry->have_span_pois = true;
   }
@@ -78,7 +79,8 @@ const std::vector<spatial::Poi>& QueryWorkspace::SpanPois(
 const std::vector<spatial::Poi>& QueryWorkspace::RangePois(
     const broadcast::BroadcastSystem& system, CoverEntry* entry) {
   if (!entry->have_range_pois) {
-    system.CollectPois(RangeBuckets(system, entry), &entry->range_pois);
+    system.CollectPois(RangeBuckets(system, entry), &collect_scratch,
+                       &entry->range_pois);
     entry->range_slab.Assign(entry->range_pois.data(),
                              entry->range_pois.size());
     entry->have_range_pois = true;

@@ -175,6 +175,10 @@ class QueryWorkspace {
   /// SoA slab + distance/index buffers for the SIMD hot-loop kernels
   /// (BruteForceKnn, NNV candidate distances, window selections).
   kernels::SlabScratch slab;
+  /// Merge state for `BroadcastSystem::CollectPois` (cursor heap +
+  /// canonicalized bucket list) — per-workspace like every other scratch so
+  /// its capacity is visible to the alloc counter instead of hiding in TLS.
+  broadcast::CollectScratch collect_scratch;
 
  private:
   std::unordered_map<CoverKey, CoverEntry, CoverKeyHash> memo_;

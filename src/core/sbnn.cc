@@ -191,7 +191,7 @@ void RunSbnn(geom::Point q, const SbnnOptions& options,
     const std::vector<spatial::Poi>& memo = ws.SpanPois(system, &cover);
     ws.known_pois.assign(memo.begin(), memo.end());
   } else {
-    system.CollectPois(*retrieved, &ws.known_pois);
+    system.CollectPois(*retrieved, &ws.collect_scratch, &ws.known_pois);
   }
   // Both CollectPois and the memoized span content are already sorted by id
   // and deduplicated, so the canonicalizing sort is only needed when peer

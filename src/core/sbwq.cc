@@ -160,7 +160,7 @@ void RunSbwq(const geom::Rect& window, const SbwqOptions& options,
           window.x2, window.y2, idx);
       for (size_t j = 0; j < m; ++j) pool.push_back(memo[idx[j]]);
     } else {
-      system.CollectPois(*retrieved, &ws.known_pois);
+      system.CollectPois(*retrieved, &ws.collect_scratch, &ws.known_pois);
       const size_t n = ws.known_pois.size();
       ws.slab.slab.Assign(ws.known_pois.data(), n);
       uint32_t* idx = ws.slab.IdxFor(n);

@@ -54,6 +54,17 @@ uint64_t ShardedWorld::Apply(std::vector<PoiUpdate> updates) {
   ApplyUpdates(&updates, &pois);
   const uint64_t id = base->id + 1;
 
+  // The net base-relative delta drives per-shard patching; the raw update
+  // footprints below still drive the dirty-shard set (a shard a POI merely
+  // passed through mid-batch stays clean under netting, but an update that
+  // nets to nothing never dirties anything either way).
+  const broadcast::SystemDelta delta = DeltaFromBatch(updates);
+  const size_t base_n = base->pois.size();
+  const bool try_patch =
+      !policy_.force_full && base_n > 0 &&
+      static_cast<double>(delta.size()) <=
+          policy_.full_rebuild_churn_fraction * static_cast<double>(base_n);
+
   // An update dirties the shard(s) owning its footprint: where the POI
   // lands (insert, move-to) and where it departed from (delete, move-from).
   std::vector<bool> dirty(static_cast<size_t>(num_shards_), false);
@@ -83,11 +94,29 @@ uint64_t ShardedWorld::Apply(std::vector<PoiUpdate> updates) {
     if (dirty[s]) shard_pois[s].push_back(p);
   }
 
+  // Partition the net delta by the fixed shard map, the same way POIs are
+  // routed: a removal belongs to the shard that owned the POI's base
+  // position, an addition to the shard owning its final one.
+  std::vector<broadcast::SystemDelta> shard_deltas(
+      static_cast<size_t>(num_shards_));
+  if (try_patch) {
+    for (const broadcast::PoiRemoval& r : delta.removals) {
+      shard_deltas[static_cast<size_t>(ShardOf(base_engine, r.pos))]
+          .removals.push_back(r);
+    }
+    for (const spatial::Poi& p : delta.additions) {
+      shard_deltas[static_cast<size_t>(ShardOf(base_engine, p.pos))]
+          .additions.push_back(p);
+    }
+  }
+
   broadcast::BroadcastParams epoch_params = params_;
   epoch_params.epoch = id;
   std::vector<std::shared_ptr<const broadcast::BroadcastSystem>> systems(
       static_cast<size_t>(num_shards_));
   std::vector<int> rebuilt;
+  PublicationStats stats;
+  stats.epochs_published = 1;
   for (int s = 0; s < num_shards_; ++s) {
     const size_t si = static_cast<size_t>(s);
     if (!dirty[si]) {
@@ -95,10 +124,31 @@ uint64_t ShardedWorld::Apply(std::vector<PoiUpdate> updates) {
       continue;
     }
     rebuilt.push_back(s);
-    if (!shard_pois[si].empty()) {
-      systems[si] = storage::SystemBuilder(world_, epoch_params)
-                        .BuildSystemFromPois(std::move(shard_pois[si]));
+    if (shard_pois[si].empty()) continue;
+    if (try_patch && base_engine.shard_system(s) != nullptr) {
+      broadcast::PatchStats patch_stats;
+      // The attempt copies the shard's POIs so a decline can still feed the
+      // full build below.
+      std::unique_ptr<broadcast::BroadcastSystem> patched =
+          broadcast::BroadcastSystem::PatchFrom(
+              *base_engine.shard_system(s), shard_pois[si], shard_deltas[si],
+              epoch_params, &patch_stats);
+      if (patched != nullptr) {
+        stats.buckets_patched += patch_stats.buckets_patched;
+        stats.buckets_shared += patch_stats.buckets_shared;
+        systems[si] = std::move(patched);
+        continue;
+      }
     }
+    if (!policy_.force_full) ++stats.full_rebuild_fallbacks;
+    systems[si] = storage::SystemBuilder(world_, epoch_params)
+                      .BuildSystemFromPois(std::move(shard_pois[si]));
+  }
+  // The epoch counts as patched when every republished shard came through
+  // the incremental path.
+  if (stats.full_rebuild_fallbacks == 0 && !policy_.force_full &&
+      !rebuilt.empty()) {
+    stats.epochs_patched = 1;
   }
 
   auto next = std::make_shared<ShardedEpoch>();
@@ -110,6 +160,7 @@ uint64_t ShardedWorld::Apply(std::vector<PoiUpdate> updates) {
 
   const int64_t applied = static_cast<int64_t>(updates.size());
   const int64_t rebuilds = static_cast<int64_t>(next->rebuilt_shards.size());
+  stats.shards_rebuilt = rebuilds;
   UpdateBatch batch{id, std::move(updates)};
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
@@ -118,6 +169,7 @@ uint64_t ShardedWorld::Apply(std::vector<PoiUpdate> updates) {
     log_.Append(std::move(batch));
     updates_applied_ += applied;
     shards_rebuilt_ += rebuilds;
+    stats_.MergeFrom(stats);
   }
   return id;
 }
@@ -136,6 +188,11 @@ int64_t ShardedWorld::updates_applied() const {
 int64_t ShardedWorld::shards_rebuilt() const {
   std::lock_guard<std::mutex> lock(state_mutex_);
   return shards_rebuilt_;
+}
+
+PublicationStats ShardedWorld::publication_stats() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return stats_;
 }
 
 std::shared_ptr<const ShardedEpoch> ShardedWorld::Execute(

@@ -10,6 +10,7 @@
 #include "core/query_engine.h"
 #include "core/sharded_query_engine.h"
 #include "dynamic/dynamic_engine.h"
+#include "dynamic/rebuild_policy.h"
 #include "dynamic/update_log.h"
 #include "geom/rect.h"
 #include "spatial/poi.h"
@@ -92,6 +93,17 @@ class ShardedWorld {
   /// incremental-publication win is `epochs * num_shards` minus this.
   int64_t shards_rebuilt() const;
 
+  /// Sets the publication policy (per-shard incremental patch vs. full
+  /// rebuild). Set it before the first Apply; rebuilds read it without
+  /// further synchronization.
+  void set_rebuild_policy(const RebuildPolicy& policy) { policy_ = policy; }
+  const RebuildPolicy& rebuild_policy() const { return policy_; }
+
+  /// What the publication path did so far. `shards_rebuilt` here counts
+  /// dirty-shard republications (patched or full); `full_rebuild_fallbacks`
+  /// counts the ones that wanted to patch but full-built instead.
+  PublicationStats publication_stats() const;
+
   int num_shards() const { return num_shards_; }
   const geom::Rect& world() const { return world_; }
 
@@ -115,12 +127,14 @@ class ShardedWorld {
   broadcast::BroadcastParams params_;
   core::EngineOptions options_;
   int num_shards_ = 1;
+  RebuildPolicy policy_;
 
   mutable std::mutex state_mutex_;
   std::shared_ptr<const ShardedEpoch> current_;
   UpdateLog log_;
   int64_t updates_applied_ = 0;
   int64_t shards_rebuilt_ = 0;
+  PublicationStats stats_;
 
   // Serializes producers, like WorldVersioner's build lock: readers never
   // take it, so queries keep running while a rebuild is in flight.

@@ -53,6 +53,65 @@ int64_t ApplyUpdates(std::vector<PoiUpdate>* updates,
   return static_cast<int64_t>(kept_updates);
 }
 
+broadcast::SystemDelta DeltaFromBatch(
+    const std::vector<PoiUpdate>& updates) {
+  // Per-id net effect, in first-touch order so the output is deterministic.
+  // The batch is an *applied* one, so ops are individually valid: the first
+  // delete/move of an id proves it lived in the base epoch at its old_pos;
+  // a first-op insert proves it did not.
+  struct NetState {
+    int64_t id = -1;
+    bool from_base = false;
+    geom::Point base_pos;
+    bool alive = false;
+    geom::Point pos;
+  };
+  std::vector<NetState> states;
+  std::unordered_map<int64_t, size_t> index;
+  index.reserve(updates.size());
+  for (const PoiUpdate& update : updates) {
+    auto [it, fresh] = index.emplace(update.id, states.size());
+    if (fresh) {
+      NetState blank;
+      blank.id = update.id;
+      states.push_back(blank);
+    }
+    NetState& s = states[it->second];
+    switch (update.kind) {
+      case PoiUpdate::Kind::kInsert:
+        if (fresh) s.from_base = false;
+        s.alive = true;
+        s.pos = update.pos;
+        break;
+      case PoiUpdate::Kind::kDelete:
+        if (fresh) {
+          s.from_base = true;
+          s.base_pos = update.old_pos;
+        }
+        s.alive = false;
+        break;
+      case PoiUpdate::Kind::kMove:
+        if (fresh) {
+          s.from_base = true;
+          s.base_pos = update.old_pos;
+        }
+        s.alive = true;
+        s.pos = update.pos;
+        break;
+    }
+  }
+  broadcast::SystemDelta delta;
+  for (const NetState& s : states) {
+    if (s.from_base) {
+      delta.removals.push_back(broadcast::PoiRemoval{s.base_pos, s.id});
+    }
+    if (s.alive) {
+      delta.additions.push_back(spatial::Poi{s.id, s.pos});
+    }
+  }
+  return delta;
+}
+
 void UpdateLog::Append(UpdateBatch batch) {
   LBSQ_CHECK(batch.epoch == latest_epoch() + 1);
   batches_.push_back(std::move(batch));

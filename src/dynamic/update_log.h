@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "broadcast/incremental.h"
 #include "geom/point.h"
 #include "geom/rect.h"
 #include "spatial/poi.h"
@@ -51,6 +52,17 @@ struct UpdateBatch {
 /// (== updates->size() on return).
 int64_t ApplyUpdates(std::vector<PoiUpdate>* updates,
                      std::vector<spatial::Poi>* pois);
+
+/// Nets an applied batch (the post-ApplyUpdates vector, old_pos filled) down
+/// to the base-relative delta the incremental rebuild consumes: one removal
+/// per base POI the batch takes off the air (at the position it held in the
+/// *base* epoch, however many times it moved before vanishing) and one
+/// addition per POI alive at the end that is new or moved. A POI deleted and
+/// re-inserted in the same batch nets to a removal plus an addition; one
+/// inserted and deleted again nets to nothing. This per-id netting is what
+/// keeps the delta resolvable against the base file — intermediate positions
+/// of chained moves never appear in it.
+broadcast::SystemDelta DeltaFromBatch(const std::vector<PoiUpdate>& updates);
 
 /// Append-only record of applied batches (epochs 1, 2, ... in order).
 /// Not internally synchronized — WorldVersioner guards its instance.

@@ -59,20 +59,59 @@ uint64_t WorldVersioner::latest_epoch() const {
 }
 
 std::shared_ptr<const WorldEpoch> WorldVersioner::BuildNext(
-    const WorldEpoch& base, std::vector<PoiUpdate>* updates) const {
+    const WorldEpoch& base, std::vector<PoiUpdate>* updates,
+    PublicationStats* stats) const {
   std::vector<spatial::Poi> pois = base.pois;
   ApplyUpdates(updates, &pois);
-  return MakeEpoch(base.id + 1, std::move(pois), world_, params_, options_);
+  stats->epochs_published = 1;
+  stats->shards_rebuilt = 1;
+
+  auto epoch = std::make_shared<WorldEpoch>();
+  epoch->id = base.id + 1;
+  epoch->pois = std::move(pois);
+  broadcast::BroadcastParams params = params_;
+  params.epoch = epoch->id;
+
+  if (!policy_.force_full && base.system != nullptr) {
+    const broadcast::SystemDelta delta = DeltaFromBatch(*updates);
+    const size_t base_n = base.pois.size();
+    const bool over_threshold =
+        base_n == 0 ||
+        static_cast<double>(delta.size()) >
+            policy_.full_rebuild_churn_fraction * static_cast<double>(base_n);
+    if (!over_threshold) {
+      broadcast::PatchStats patch_stats;
+      epoch->system = broadcast::BroadcastSystem::PatchFrom(
+          *base.system, epoch->pois, delta, params, &patch_stats);
+      if (epoch->system != nullptr) {
+        stats->epochs_patched = 1;
+        stats->buckets_patched = patch_stats.buckets_patched;
+        stats->buckets_shared = patch_stats.buckets_shared;
+      }
+    }
+  }
+  if (epoch->system == nullptr) {
+    // Over-threshold churn or a structural decline: full rebuild, counted
+    // as a fallback unless full was what the policy asked for anyway.
+    if (!policy_.force_full) stats->full_rebuild_fallbacks = 1;
+    epoch->system =
+        storage::SystemBuilder(world_, params).BuildSystemFromPois(epoch->pois);
+  }
+  epoch->engine =
+      std::make_unique<core::QueryEngine>(*epoch->system, world_, options_);
+  return epoch;
 }
 
 void WorldVersioner::Publish(std::shared_ptr<const WorldEpoch> next,
-                             UpdateBatch batch, int64_t applied) {
+                             UpdateBatch batch, int64_t applied,
+                             const PublicationStats& stats) {
   std::lock_guard<std::mutex> lock(state_mutex_);
   LBSQ_CHECK(next->id == current_->id + 1);
   current_ = std::move(next);
   if (retain_history_) history_.push_back(current_);
   log_.Append(std::move(batch));
   updates_applied_ += applied;
+  stats_.MergeFrom(stats);
   published_cv_.notify_all();
 }
 
@@ -81,11 +120,12 @@ uint64_t WorldVersioner::Apply(std::vector<PoiUpdate> updates) {
   // takes this lock, so queries keep running while the rebuild is in flight.
   std::lock_guard<std::mutex> build_lock(build_mutex_);
   const std::shared_ptr<const WorldEpoch> base = Current();
-  std::shared_ptr<const WorldEpoch> next = BuildNext(*base, &updates);
+  PublicationStats stats;
+  std::shared_ptr<const WorldEpoch> next = BuildNext(*base, &updates, &stats);
   const int64_t applied = static_cast<int64_t>(updates.size());
   UpdateBatch batch{next->id, std::move(updates)};
   const uint64_t id = next->id;
-  Publish(std::move(next), std::move(batch), applied);
+  Publish(std::move(next), std::move(batch), applied, stats);
   return id;
 }
 
@@ -99,6 +139,11 @@ bool WorldVersioner::RegionDirty(const geom::Rect& rect,
 int64_t WorldVersioner::updates_applied() const {
   std::lock_guard<std::mutex> lock(state_mutex_);
   return updates_applied_;
+}
+
+PublicationStats WorldVersioner::publication_stats() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return stats_;
 }
 
 void WorldVersioner::StartBuilder() {

@@ -11,6 +11,7 @@
 
 #include "broadcast/system.h"
 #include "core/query_engine.h"
+#include "dynamic/rebuild_policy.h"
 #include "dynamic/update_log.h"
 #include "geom/rect.h"
 #include "spatial/poi.h"
@@ -92,6 +93,15 @@ class WorldVersioner {
   /// Updates applied across all published epochs (skipped-invalid excluded).
   int64_t updates_applied() const;
 
+  /// Sets the publication policy (incremental patch vs. full rebuild). Set
+  /// it before the first Apply/EnqueueBatch; it is read by rebuilds without
+  /// further synchronization.
+  void set_rebuild_policy(const RebuildPolicy& policy) { policy_ = policy; }
+  const RebuildPolicy& rebuild_policy() const { return policy_; }
+
+  /// What the publication path did so far (patched vs. fallback counts).
+  PublicationStats publication_stats() const;
+
   /// Starts the builder thread (idempotent).
   void StartBuilder();
   /// Drains the queue, then stops and joins the builder (idempotent).
@@ -102,15 +112,18 @@ class WorldVersioner {
   void WaitForEpoch(uint64_t id) const;
 
  private:
-  /// Builds the epoch succeeding `base` with `updates` applied. Pure; runs
-  /// outside state_mutex_ so pinned readers never wait on a rebuild.
+  /// Builds the epoch succeeding `base` with `updates` applied — through
+  /// the incremental patch when the policy and churn allow, else a full
+  /// rebuild (counted into `*stats`). Pure; runs outside state_mutex_ so
+  /// pinned readers never wait on a rebuild.
   std::shared_ptr<const WorldEpoch> BuildNext(const WorldEpoch& base,
-                                              std::vector<PoiUpdate>* updates)
-      const;
+                                              std::vector<PoiUpdate>* updates,
+                                              PublicationStats* stats) const;
 
-  /// Publishes `next`, logging `batch` (state_mutex_ taken inside).
+  /// Publishes `next`, logging `batch` and folding `stats` in (state_mutex_
+  /// taken inside).
   void Publish(std::shared_ptr<const WorldEpoch> next, UpdateBatch batch,
-               int64_t applied);
+               int64_t applied, const PublicationStats& stats);
 
   void BuilderLoop();
 
@@ -118,6 +131,7 @@ class WorldVersioner {
   broadcast::BroadcastParams params_;
   core::EngineOptions options_;
   bool retain_history_;
+  RebuildPolicy policy_;
 
   mutable std::mutex state_mutex_;
   mutable std::condition_variable published_cv_;
@@ -125,6 +139,7 @@ class WorldVersioner {
   std::vector<std::shared_ptr<const WorldEpoch>> history_;
   UpdateLog log_;
   int64_t updates_applied_ = 0;
+  PublicationStats stats_;
 
   // Producer side: serializes Apply against the builder thread's rebuilds.
   std::mutex build_mutex_;

@@ -90,6 +90,10 @@ struct UpdateWorkloadConfig {
   /// Maximum per-axis displacement of a moved POI, miles (clamped to the
   /// world rectangle).
   double move_radius_mi = 0.25;
+  /// Publish every epoch through a cold full rebuild instead of the
+  /// diff-aware incremental patch (the reference side of the
+  /// incremental-vs-full CI diff; answers are bit-identical either way).
+  bool force_full_rebuild = false;
 
   bool enabled() const { return interval_events > 0; }
   /// Aborts unless counts are sane; called from SimConfig::Validate.

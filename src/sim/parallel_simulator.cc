@@ -28,10 +28,13 @@ ParallelSimulator::ParallelSimulator(const SimConfig& config)
   std::vector<spatial::Poi> pois = spatial::GenerateUniformPois(
       &poi_rng, world_, config.ScaledPoiCount());
   base_insert_id_ = FirstInsertId(pois);
+  dynamic::RebuildPolicy rebuild_policy;
+  rebuild_policy.force_full = config.updates.force_full_rebuild;
   if (config.shards > 1) {
     sharded_world_ = std::make_unique<dynamic::ShardedWorld>(
         std::move(pois), world_, config.broadcast,
         EngineOptionsFromConfig(config), config.shards);
+    sharded_world_->set_rebuild_policy(rebuild_policy);
     sharded_current_ = sharded_world_->Current();
   } else {
     const bool retain_history =
@@ -39,6 +42,7 @@ ParallelSimulator::ParallelSimulator(const SimConfig& config)
     versioner_ = std::make_unique<dynamic::WorldVersioner>(
         std::move(pois), world_, config.broadcast,
         EngineOptionsFromConfig(config), retain_history);
+    versioner_->set_rebuild_policy(rebuild_policy);
     current_ = versioner_->Current();
   }
 
@@ -112,7 +116,7 @@ ParallelSimulator::EventResult ParallelSimulator::ExecuteEvent(
     worker->positions[static_cast<size_t>(i)] =
         worker->mobility->Position(i, event.time_min);
   }
-  worker->peer_index.Rebuild(worker->positions);
+  worker->peer_index.ApplyMoves(worker->positions);
 
   const geom::Point pos = worker->positions[static_cast<size_t>(event.host)];
   std::vector<core::PeerData> peers;

@@ -28,10 +28,13 @@ Simulator::Simulator(const SimConfig& config)
       &poi_rng, world_, config.ScaledPoiCount());
   server_index_.InsertAll(pois);
   base_insert_id_ = FirstInsertId(pois);
+  dynamic::RebuildPolicy rebuild_policy;
+  rebuild_policy.force_full = config.updates.force_full_rebuild;
   if (config.shards > 1) {
     sharded_world_ = std::make_unique<dynamic::ShardedWorld>(
         std::move(pois), world_, config.broadcast,
         EngineOptionsFromConfig(config), config.shards);
+    sharded_world_->set_rebuild_policy(rebuild_policy);
     sharded_current_ = sharded_world_->Current();
   } else {
     // Under churn the cache invariant is epoch-relative, so the invariant
@@ -42,6 +45,7 @@ Simulator::Simulator(const SimConfig& config)
     versioner_ = std::make_unique<dynamic::WorldVersioner>(
         std::move(pois), world_, config.broadcast,
         EngineOptionsFromConfig(config), retain_history);
+    versioner_->set_rebuild_policy(rebuild_policy);
     current_ = versioner_->Current();
   }
 
@@ -94,12 +98,14 @@ void Simulator::CheckCacheInvariant(int64_t host) const {
 void Simulator::ExecuteEvent(const QueryEvent& event, int64_t query_id,
                              SimMetrics* metrics) {
   const int64_t hosts = mobility_->num_hosts();
-  // Advance every host and refresh the peer index. O(hosts) per query
-  // event; positions between events are irrelevant to the metrics.
+  // Advance every host and patch the peer index (a full Rebuild only on the
+  // first event; afterwards most hosts stay in their grid cell between
+  // events). O(hosts) per query event; positions between events are
+  // irrelevant to the metrics.
   for (int64_t i = 0; i < hosts; ++i) {
     positions_[static_cast<size_t>(i)] = mobility_->Position(i, event.time_min);
   }
-  peer_index_.Rebuild(positions_);
+  peer_index_.ApplyMoves(positions_);
 
   const geom::Point pos = positions_[static_cast<size_t>(event.host)];
   std::vector<core::PeerData> peers;

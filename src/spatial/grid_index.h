@@ -28,6 +28,16 @@ class GridIndex {
   /// Replaces the content with `positions`; item i gets id i.
   void Rebuild(const std::vector<geom::Point>& positions);
 
+  /// Diff-aware Rebuild for the common case where the same items moved a
+  /// little: items that stayed in their cell are updated in place in the
+  /// slab (no re-count, no scatter), and only the rows of cells someone
+  /// crossed into or out of are re-merged; clean rows are block-copied.
+  /// Falls back to Rebuild when the item count changed. The resulting index
+  /// is bit-identical to `Rebuild(positions)` — same CSR offsets, same
+  /// ascending-id rows — so query results cannot depend on which path built
+  /// it.
+  void ApplyMoves(const std::vector<geom::Point>& positions);
+
   /// Appends the ids of all items within distance `radius` of `center`
   /// (closed ball, torus wrap disabled) to `*out`. `*out` is reserved up
   /// front from the overlapped buckets' exact population, so the appends
@@ -61,6 +71,25 @@ class GridIndex {
   std::vector<int64_t> ids_;
   std::vector<double> xs_;
   std::vector<double> ys_;
+  /// Reverse maps maintained by Rebuild/ApplyMoves: item id -> its cell and
+  /// its slab slot (what lets ApplyMoves patch in place).
+  std::vector<int> cell_of_;
+  std::vector<int64_t> slot_of_;
+
+  /// ApplyMoves scratch (grow-only, reused across calls).
+  struct Mover {
+    int64_t id;
+    int from;
+    int to;
+  };
+  std::vector<Mover> movers_;
+  std::vector<int> dirty_cells_;
+  std::vector<std::pair<int, int64_t>> leavers_;
+  std::vector<std::pair<int, int64_t>> arrivers_;
+  std::vector<int64_t> new_start_;
+  std::vector<int64_t> new_ids_;
+  std::vector<double> new_xs_;
+  std::vector<double> new_ys_;
 };
 
 }  // namespace lbsq::spatial

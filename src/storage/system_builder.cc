@@ -205,6 +205,13 @@ std::unique_ptr<broadcast::BroadcastSystem> SystemBuilder::BuildSystemFromPois(
                                                       params_);
 }
 
+std::unique_ptr<broadcast::BroadcastSystem> SystemBuilder::PatchSystemFromBase(
+    const broadcast::BroadcastSystem& base, std::vector<spatial::Poi> pois,
+    const broadcast::SystemDelta& delta, broadcast::PatchStats* stats) const {
+  return broadcast::BroadcastSystem::PatchFrom(base, std::move(pois), delta,
+                                               params_, stats);
+}
+
 bool SystemBuilder::WriteStore(const core::ShardedQueryEngine& engine,
                                IStorageManager* store) const {
   // The store must be freshly created (header page only) and the engine

@@ -64,6 +64,18 @@ class SystemBuilder {
   std::unique_ptr<broadcast::BroadcastSystem> BuildSystemFromPois(
       std::vector<spatial::Poi> pois) const;
 
+  /// Diff-aware variant of BuildSystemFromPois: patches `base` with the net
+  /// `delta` instead of re-running the global sort (see
+  /// broadcast::BroadcastSystem::PatchFrom — the result is bit-identical to
+  /// the full build, exactly as OpenFromStore is state-identical). Returns
+  /// null when patching does not apply; the caller falls back to
+  /// BuildSystemFromPois and counts it. Composes with OpenFromStore: a
+  /// system reopened from a store is a valid `base`.
+  std::unique_ptr<broadcast::BroadcastSystem> PatchSystemFromBase(
+      const broadcast::BroadcastSystem& base, std::vector<spatial::Poi> pois,
+      const broadcast::SystemDelta& delta,
+      broadcast::PatchStats* stats) const;
+
   /// Persists every built artifact of `engine` — per-shard POIs, the
   /// CRC-framed bucket wire bytes, the air-index segment bytes, the shard
   /// map — into `store` (which must be freshly created) and stamps the

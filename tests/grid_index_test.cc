@@ -81,6 +81,90 @@ TEST(GridIndexTest, PointsOutsideWorldClampIntoBorderCells) {
   EXPECT_EQ(out[0], 0);
 }
 
+// Unsorted world-covering scan: QueryDisc appends each row of the CSR slab
+// in storage order, so an all-covering disc reads the entire slab back in
+// layout order. Equal unsorted scans mean equal slabs — the bit-identity
+// ApplyMoves promises against Rebuild.
+std::vector<int64_t> SlabScan(const GridIndex& index) {
+  std::vector<int64_t> out;
+  index.QueryDisc({5.0, 5.0}, 100.0, &out);
+  return out;
+}
+
+TEST(GridIndexTest, ApplyMovesMatchesRebuildUnderJitter) {
+  Rng rng(11);
+  std::vector<geom::Point> pts;
+  for (int i = 0; i < 400; ++i) {
+    pts.push_back({rng.Uniform(0.0, 10.0), rng.Uniform(0.0, 10.0)});
+  }
+  GridIndex patched(kWorld, 0.9);
+  GridIndex rebuilt(kWorld, 0.9);
+  patched.Rebuild(pts);
+  for (int step = 0; step < 60; ++step) {
+    // Small jitter: most points stay in their cell, a few cross.
+    for (geom::Point& p : pts) {
+      p.x = std::clamp(p.x + rng.Uniform(-0.3, 0.3), 0.0, 10.0);
+      p.y = std::clamp(p.y + rng.Uniform(-0.3, 0.3), 0.0, 10.0);
+    }
+    patched.ApplyMoves(pts);
+    rebuilt.Rebuild(pts);
+    ASSERT_EQ(SlabScan(patched), SlabScan(rebuilt)) << "step " << step;
+    const geom::Point c{rng.Uniform(0.0, 10.0), rng.Uniform(0.0, 10.0)};
+    const double r = rng.Uniform(0.2, 2.5);
+    std::vector<int64_t> got;
+    patched.QueryDisc(c, r, &got);
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, BruteForceDisc(pts, c, r)) << "step " << step;
+  }
+}
+
+TEST(GridIndexTest, ApplyMovesMatchesRebuildUnderTeleports) {
+  // Every point relocates uniformly each step: worst case, everything
+  // crosses cells and every row is dirty.
+  Rng rng(17);
+  std::vector<geom::Point> pts;
+  for (int i = 0; i < 200; ++i) {
+    pts.push_back({rng.Uniform(0.0, 10.0), rng.Uniform(0.0, 10.0)});
+  }
+  GridIndex patched(kWorld, 1.2);
+  GridIndex rebuilt(kWorld, 1.2);
+  patched.Rebuild(pts);
+  for (int step = 0; step < 30; ++step) {
+    for (geom::Point& p : pts) {
+      p = {rng.Uniform(0.0, 10.0), rng.Uniform(0.0, 10.0)};
+    }
+    patched.ApplyMoves(pts);
+    rebuilt.Rebuild(pts);
+    ASSERT_EQ(SlabScan(patched), SlabScan(rebuilt)) << "step " << step;
+  }
+}
+
+TEST(GridIndexTest, ApplyMovesNoMoversIsIdentity) {
+  Rng rng(23);
+  std::vector<geom::Point> pts;
+  for (int i = 0; i < 100; ++i) {
+    pts.push_back({rng.Uniform(0.0, 10.0), rng.Uniform(0.0, 10.0)});
+  }
+  GridIndex index(kWorld, 1.0);
+  index.Rebuild(pts);
+  const std::vector<int64_t> before = SlabScan(index);
+  index.ApplyMoves(pts);
+  EXPECT_EQ(SlabScan(index), before);
+}
+
+TEST(GridIndexTest, ApplyMovesFallsBackOnSizeChange) {
+  GridIndex index(kWorld, 1.0);
+  index.Rebuild({{1.0, 1.0}, {2.0, 2.0}});
+  index.ApplyMoves({{3.0, 3.0}});  // Shrink: must take the Rebuild path.
+  EXPECT_EQ(index.size(), 1);
+  EXPECT_EQ(index.position(0), (geom::Point{3.0, 3.0}));
+  index.ApplyMoves({{4.0, 4.0}, {5.0, 5.0}, {6.0, 6.0}});  // Grow.
+  EXPECT_EQ(index.size(), 3);
+  std::vector<int64_t> out;
+  index.QueryDisc({5.0, 5.0}, 0.5, &out);
+  EXPECT_EQ(out, (std::vector<int64_t>{1}));
+}
+
 TEST(GridIndexTest, TinyCellSizeClamped) {
   // Requested cell size far below the 1024-per-axis cap must not blow up.
   GridIndex index(kWorld, 1e-9);

@@ -22,6 +22,7 @@
 #include "common/metrics_registry.h"
 #include "common/rng.h"
 #include "core/sharded_query_engine.h"
+#include "dynamic/rebuild_policy.h"
 #include "server/server.h"
 #include "sim/config.h"
 #include "sim/dataset.h"
@@ -231,6 +232,18 @@ int main(int argc, char** argv) {
 
   lbsq::MetricsRegistry registry;
   server.ExportMetrics(&registry);
+  // The server serves one static epoch; the dynamic.* publication counters
+  // are exported at zero so fleet dashboards see one schema for static and
+  // churning deployments.
+  const dynamic::PublicationStats publication;
+  publication.ExportTo(&registry);
+  std::printf("epoch publication       : %lld epochs, %lld incremental, "
+              "%lld full fallbacks\n",
+              static_cast<long long>(
+                  registry.counter("dynamic.epochs_published")),
+              static_cast<long long>(registry.counter("dynamic.epochs_patched")),
+              static_cast<long long>(
+                  registry.counter("dynamic.full_rebuild_fallbacks")));
   if (pool != nullptr) {
     pool->ExportMetrics(&registry);
     std::printf(

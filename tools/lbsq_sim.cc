@@ -153,7 +153,11 @@ void PrintUsage() {
       "  --update-inserts=<n>             POI inserts per batch (2)\n"
       "  --update-deletes=<n>             POI deletes per batch (1)\n"
       "  --update-moves=<n>               POI moves per batch (2)\n"
-      "  --update-move-radius=<mi>        max per-axis move distance (0.25)\n");
+      "  --update-move-radius=<mi>        max per-axis move distance (0.25)\n"
+      "  --update-full-rebuild            publish epochs via cold full\n"
+      "                                   rebuilds instead of the diff-aware\n"
+      "                                   incremental patch (reference side\n"
+      "                                   of the incremental-vs-full diff)\n");
 }
 
 bool ParseFlag(const char* arg, const char* name, std::string* value) {
@@ -309,6 +313,8 @@ int main(int argc, char** argv) {
       config.updates.moves_per_batch = std::atoi(value.c_str());
     } else if (ParseFlag(arg, "--update-move-radius", &value)) {
       config.updates.move_radius_mi = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "--update-full-rebuild", &value)) {
+      config.updates.force_full_rebuild = true;
     } else if (std::strcmp(arg, "--help") == 0 ||
                std::strcmp(arg, "-h") == 0) {
       PrintUsage();
@@ -488,6 +494,18 @@ int main(int argc, char** argv) {
     std::printf("peer regions revalidated: %lld (%lld rejected stale)\n",
                 static_cast<long long>(m.regions_revalidated),
                 static_cast<long long>(m.regions_stale_rejected));
+    const dynamic::PublicationStats pub =
+        config.shards > 1 ? simulator.sharded_world()->publication_stats()
+                          : simulator.versioner().publication_stats();
+    std::printf("epoch publication       : %lld incremental, %lld full "
+                "fallbacks, %lld shard rebuilds\n",
+                static_cast<long long>(pub.epochs_patched),
+                static_cast<long long>(pub.full_rebuild_fallbacks),
+                static_cast<long long>(pub.shards_rebuilt));
+    std::printf("buckets patched/shared  : %lld / %lld\n",
+                static_cast<long long>(pub.buckets_patched),
+                static_cast<long long>(pub.buckets_shared));
+    if (!metrics_path.empty()) pub.ExportTo(&registry);
   }
 
   if (!trace_path.empty()) {
